@@ -1,0 +1,602 @@
+//! IncDBSCAN — incremental exact DBSCAN (Ester et al., VLDB 1998).
+//!
+//! The state-of-the-art dynamic algorithm the paper compares against
+//! (its Section 3). Semantics are **exact** DBSCAN: core statuses from
+//! exact neighborhood counts, clusters from the exact core graph.
+//!
+//! * **Insertion**: one range query retrieves `B(p_new, eps)` (the *seed
+//!   objects*); vicinity counts are bumped and the points reaching
+//!   `MinPts` become core. Every new core point merges the cluster labels
+//!   of the core points in its ball (the paper's absorption/merge cases);
+//!   a new core point seeing no labeled neighbor starts a fresh cluster.
+//!   Labels are never rewritten en masse — IncDBSCAN keeps a *merge
+//!   history*, realized here as a union-find over label ids.
+//! * **Deletion**: counts are decremented, demoted points drop out of the
+//!   core graph, and the algorithm must discover whether the affected
+//!   cluster **splits**. As in the original: one BFS thread starts from
+//!   every seed (the still-core points adjacent to removed core-graph
+//!   edges), all threads expand in round-robin lockstep over the core
+//!   graph — each expansion step being a range query — threads that touch
+//!   merge, and as soon as a single thread group remains the deletion
+//!   concludes with no split. Otherwise every exhausted group has
+//!   enumerated one side of the split and is relabeled wholesale.
+//! * **C-group-by**: core points answer from their (union-find-resolved)
+//!   label; border points are resolved at query time by one range query,
+//!   honoring DBSCAN's multi-membership semantics (paper Section 2).
+//!
+//! The deletion path is exactly what the paper blames for IncDBSCAN's
+//! two-orders-of-magnitude loss: splits trigger BFS whose cost is the size
+//! of the smaller fragment *times* range-query cost. [`IncStats`] exposes
+//! per-operation provenance so the benchmarks can attribute the spikes.
+
+use crate::index::RangeIndex;
+use dydbscan_conn::UnionFind;
+use dydbscan_core::{GroupBy, Params, PointId};
+use dydbscan_geom::{FxHashMap, Point};
+use dydbscan_spatial::RTree;
+
+const NO_LABEL: u32 = u32::MAX;
+
+/// Operation counters for cost provenance in benchmarks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct IncStats {
+    /// Range queries issued (updates and BFS expansions).
+    pub range_queries: u64,
+    /// Total points returned by range queries.
+    pub points_touched: u64,
+    /// BFS expansion steps across all deletions.
+    pub bfs_expansions: u64,
+    /// Deletions that split a cluster.
+    pub splits: u64,
+    /// Label merges (insertion-side cluster merges).
+    pub label_merges: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Rec<const D: usize> {
+    coords: Point<D>,
+    /// Exact `|B(p, eps)|`, self included.
+    count: u32,
+    label: u32,
+    alive: bool,
+    core: bool,
+}
+
+/// Incremental exact DBSCAN over a pluggable range index (R-tree default).
+///
+/// # Example
+///
+/// ```
+/// use dydbscan_baseline::IncDbscan;
+/// use dydbscan_core::Params;
+///
+/// let mut c = IncDbscan::<2>::new(Params::new(1.0, 3));
+/// let a = c.insert([0.0, 0.0]);
+/// let b = c.insert([0.5, 0.0]);
+/// let d = c.insert([0.0, 0.5]);
+/// let g = c.group_by(&[a, b, d]);
+/// assert_eq!(g.num_groups(), 1);
+/// c.delete(a);
+/// let g = c.group_by(&[b, d]);
+/// assert!(g.is_noise(b));
+/// ```
+#[derive(Debug)]
+pub struct IncDbscan<const D: usize, I: RangeIndex<D> = RTree<D>> {
+    params: Params,
+    index: I,
+    recs: Vec<Rec<D>>,
+    labels: UnionFind,
+    alive: usize,
+    stats: IncStats,
+    scratch: Vec<(u32, f64)>,
+}
+
+impl<const D: usize> IncDbscan<D, RTree<D>> {
+    /// Creates an IncDBSCAN instance on an R-tree (the faithful setup).
+    pub fn new(params: Params) -> Self {
+        Self::with_index(params, RTree::default())
+    }
+}
+
+impl<const D: usize> IncDbscan<D, crate::index::GridRangeIndex<D>> {
+    /// Creates an IncDBSCAN instance on the uniform-grid backend
+    /// (ablation: is the baseline's loss an index artifact?).
+    pub fn new_grid(params: Params) -> Self {
+        Self::with_index(
+            params,
+            crate::index::GridRangeIndex::with_side(params.eps),
+        )
+    }
+}
+
+impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
+    /// Creates an instance over a caller-supplied index.
+    pub fn with_index(params: Params, index: I) -> Self {
+        params.validate();
+        assert!(
+            params.rho == 0.0,
+            "IncDBSCAN is an exact algorithm; rho must be 0"
+        );
+        Self {
+            params,
+            index,
+            recs: Vec::new(),
+            labels: UnionFind::new(),
+            alive: 0,
+            stats: IncStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The clustering parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Number of alive points.
+    pub fn len(&self) -> usize {
+        self.alive
+    }
+
+    /// True if no alive points.
+    pub fn is_empty(&self) -> bool {
+        self.alive == 0
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> IncStats {
+        self.stats
+    }
+
+    /// Whether `id` is currently a core point.
+    pub fn is_core(&self, id: PointId) -> bool {
+        self.recs[id as usize].core
+    }
+
+    /// Whether `id` is alive.
+    pub fn is_alive(&self, id: PointId) -> bool {
+        self.recs.get(id as usize).is_some_and(|r| r.alive)
+    }
+
+    /// Ids of all alive points.
+    pub fn alive_ids(&self) -> Vec<PointId> {
+        (0..self.recs.len() as u32)
+            .filter(|&i| self.recs[i as usize].alive)
+            .collect()
+    }
+
+    fn range(&mut self, q: &Point<D>, out: &mut Vec<(u32, f64)>) {
+        out.clear();
+        self.index.collect_within(q, self.params.eps, out);
+        self.stats.range_queries += 1;
+        self.stats.points_touched += out.len() as u64;
+    }
+
+    /// Inserts a point; returns its id.
+    pub fn insert(&mut self, p: Point<D>) -> PointId {
+        let id = self.recs.len() as u32;
+        self.recs.push(Rec {
+            coords: p,
+            count: 0,
+            label: NO_LABEL,
+            alive: true,
+            core: false,
+        });
+        self.alive += 1;
+        self.index.insert(p, id);
+        // Seed objects: B(p, eps), p included (it is already indexed).
+        let mut seeds = std::mem::take(&mut self.scratch);
+        self.range(&p, &mut seeds);
+        let min_pts = self.params.min_pts as u32;
+        let mut new_cores: Vec<u32> = Vec::new();
+        self.recs[id as usize].count = seeds.len() as u32;
+        if seeds.len() as u32 >= min_pts {
+            new_cores.push(id);
+        }
+        for &(q, _) in &seeds {
+            if q == id {
+                continue;
+            }
+            let r = &mut self.recs[q as usize];
+            r.count += 1;
+            if !r.core && r.count >= min_pts {
+                new_cores.push(q);
+            }
+        }
+        // Flip flags first so simultaneous promotions see each other.
+        for &q in &new_cores {
+            self.recs[q as usize].core = true;
+        }
+        // Label maintenance per new core point (creation / absorption /
+        // merge).
+        let mut ball = Vec::new();
+        for &q in &new_cores {
+            if q == id {
+                ball.clear();
+                ball.extend_from_slice(&seeds);
+            } else {
+                let qp = self.recs[q as usize].coords;
+                let mut tmp = Vec::new();
+                self.range(&qp, &mut tmp);
+                ball.clear();
+                ball.extend_from_slice(&tmp);
+            }
+            let mut label = self.recs[q as usize].label;
+            for &(r, _) in &ball {
+                if r == q || !self.recs[r as usize].core {
+                    continue;
+                }
+                let rl = self.recs[r as usize].label;
+                if rl == NO_LABEL {
+                    continue; // freshly promoted, not yet labeled
+                }
+                if label == NO_LABEL {
+                    label = self.labels.find(rl);
+                } else if !self.labels.same(label, rl) {
+                    self.labels.union(label, rl);
+                    self.stats.label_merges += 1;
+                    label = self.labels.find(label);
+                }
+            }
+            if label == NO_LABEL {
+                label = self.labels.make_set();
+            }
+            self.recs[q as usize].label = label;
+        }
+        seeds.clear();
+        self.scratch = seeds;
+        id
+    }
+
+    /// Deletes a point by id. Panics on unknown / double deletes.
+    pub fn delete(&mut self, id: PointId) {
+        assert!(self.is_alive(id), "IncDBSCAN delete of dead id {id}");
+        let p = self.recs[id as usize].coords;
+        // Seed objects around the departing point (it is still indexed).
+        let mut seeds = std::mem::take(&mut self.scratch);
+        self.range(&p, &mut seeds);
+        self.index.remove(&p, id);
+        let was_core = self.recs[id as usize].core;
+        {
+            let r = &mut self.recs[id as usize];
+            r.alive = false;
+            r.core = false;
+            r.label = NO_LABEL;
+        }
+        self.alive -= 1;
+        let min_pts = self.params.min_pts as u32;
+        // Decrement counts; collect demotions.
+        let mut demoted: Vec<u32> = Vec::new();
+        for &(q, _) in &seeds {
+            if q == id {
+                continue;
+            }
+            let r = &mut self.recs[q as usize];
+            r.count -= 1;
+            if r.core && r.count < min_pts {
+                r.core = false;
+                r.label = NO_LABEL;
+                demoted.push(q);
+            }
+        }
+        // BFS seeds: still-core endpoints of the removed core-graph edges.
+        let mut bfs_seeds: Vec<u32> = Vec::new();
+        if was_core {
+            for &(q, _) in &seeds {
+                if q != id && self.recs[q as usize].core {
+                    bfs_seeds.push(q);
+                }
+            }
+        }
+        let mut tmp = Vec::new();
+        for &q in &demoted {
+            let qp = self.recs[q as usize].coords;
+            self.range(&qp, &mut tmp);
+            for &(r, _) in &tmp {
+                if self.recs[r as usize].core {
+                    bfs_seeds.push(r);
+                }
+            }
+        }
+        bfs_seeds.sort_unstable();
+        bfs_seeds.dedup();
+        seeds.clear();
+        self.scratch = seeds;
+        if bfs_seeds.len() > 1 {
+            // Cheap pre-check from the original paper: if the seed objects
+            // are directly connected among themselves (pairwise core-graph
+            // edges within the seed set form one component), the cluster
+            // cannot have split and the BFS is skipped.
+            let groups = self.seed_components(&bfs_seeds);
+            if groups.len() > 1 {
+                self.split_check(&groups);
+            }
+        }
+    }
+
+    /// Partitions the seed set into components of the core graph induced
+    /// on the seeds alone (edges = pairs within `eps`). One component
+    /// proves the cluster intact; several require the BFS to adjudicate.
+    fn seed_components(&self, seeds: &[u32]) -> Vec<Vec<u32>> {
+        let eps_sq = self.params.eps_sq();
+        let mut uf = UnionFind::with_len(seeds.len());
+        for i in 0..seeds.len() {
+            let pi = self.recs[seeds[i] as usize].coords;
+            for j in (i + 1)..seeds.len() {
+                if uf.same(i as u32, j as u32) {
+                    continue;
+                }
+                let pj = self.recs[seeds[j] as usize].coords;
+                if dydbscan_geom::dist_sq(&pi, &pj) <= eps_sq {
+                    uf.union(i as u32, j as u32);
+                    if uf.num_sets() == 1 {
+                        return vec![seeds.to_vec()];
+                    }
+                }
+            }
+        }
+        let mut by_root: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for (i, &s) in seeds.iter().enumerate() {
+            by_root.entry(uf.find(i as u32)).or_default().push(s);
+        }
+        by_root.into_values().collect()
+    }
+
+    /// Round-robin lockstep multi-source BFS over the core graph,
+    /// relabeling exhausted thread groups (paper Section 3, "Deletion").
+    /// One thread starts per *seed component* (seeds already known to be
+    /// interconnected share a thread).
+    fn split_check(&mut self, seed_groups: &[Vec<u32>]) {
+        let k = seed_groups.len();
+        let mut threads = UnionFind::with_len(k);
+        // point -> thread root that visited it
+        let mut visited: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut queues: Vec<Vec<u32>> = vec![Vec::new(); k];
+        // visited membership per original thread (merged lazily)
+        let mut members: Vec<Vec<u32>> = vec![Vec::new(); k];
+        let mut active: Vec<u32> = Vec::new();
+        for (t, group) in seed_groups.iter().enumerate() {
+            for &s in group {
+                match visited.get(&s) {
+                    Some(&prev) => {
+                        threads.union(prev, t as u32);
+                    }
+                    None => {
+                        visited.insert(s, t as u32);
+                        queues[t].push(s);
+                        members[t].push(s);
+                    }
+                }
+            }
+            active.push(t as u32);
+        }
+        let mut ball = Vec::new();
+        loop {
+            // Coalesce the active list to live group roots.
+            let mut roots: Vec<u32> = active
+                .iter()
+                .map(|&t| threads.find(t))
+                .collect();
+            roots.sort_unstable();
+            roots.dedup();
+            roots.retain(|&g| !queues[g as usize].is_empty());
+            let running: Vec<u32> = roots;
+            if running.len() <= 1 {
+                // No split among the still-running side: every *finished*
+                // group (exhausted queue) is a separate component and was
+                // already relabeled below; the last runner keeps its label.
+                break;
+            }
+            active = running.clone();
+            // One expansion step per running group (lockstep).
+            for g in running {
+                let mut g = threads.find(g);
+                let x = match queues[g as usize].pop() {
+                    Some(x) => x,
+                    None => continue, // merged away this round
+                };
+                self.stats.bfs_expansions += 1;
+                let xp = self.recs[x as usize].coords;
+                self.range(&xp, &mut ball);
+                for &(y, _) in &ball {
+                    if y == x || !self.recs[y as usize].core {
+                        continue;
+                    }
+                    match visited.get(&y) {
+                        None => {
+                            visited.insert(y, g);
+                            queues[g as usize].push(y);
+                            members[g as usize].push(y);
+                        }
+                        Some(&h) => {
+                            let hr = threads.find(h);
+                            if hr != g {
+                                // Threads meet: merge groups and queues.
+                                threads.union(hr, g);
+                                let root = threads.find(g);
+                                let other = if root == g { hr } else { g };
+                                let q = std::mem::take(&mut queues[other as usize]);
+                                queues[root as usize].extend(q);
+                                let m = std::mem::take(&mut members[other as usize]);
+                                members[root as usize].extend(m);
+                                // Continue the expansion under the merged
+                                // root: pushing onto a drained non-root
+                                // queue would strand frontier points.
+                                g = root;
+                            }
+                        }
+                    }
+                }
+                let g = threads.find(g);
+                if queues[g as usize].is_empty() {
+                    // This group enumerated a complete component: it is a
+                    // split-off cluster. Relabel it with a fresh id.
+                    self.stats.splits += 1;
+                    let fresh = self.labels.make_set();
+                    for &m in &members[g as usize] {
+                        self.recs[m as usize].label = fresh;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Answers a C-group-by query (grouping by resolved cluster labels;
+    /// border points resolved by a range query).
+    pub fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+        let mut by_label: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
+        let mut noise = Vec::new();
+        let mut ball = Vec::new();
+        for &pid in q {
+            assert!(self.is_alive(pid), "query of dead id {pid}");
+            if self.recs[pid as usize].core {
+                let l = self.labels.find(self.recs[pid as usize].label);
+                by_label.entry(l).or_default().push(pid);
+            } else {
+                let p = self.recs[pid as usize].coords;
+                self.range(&p, &mut ball);
+                let mut ls: Vec<u32> = ball
+                    .iter()
+                    .filter(|&&(r, _)| self.recs[r as usize].core)
+                    .map(|&(r, _)| self.labels.find(self.recs[r as usize].label))
+                    .collect();
+                ls.sort_unstable();
+                ls.dedup();
+                if ls.is_empty() {
+                    noise.push(pid);
+                } else {
+                    for l in ls {
+                        by_label.entry(l).or_default().push(pid);
+                    }
+                }
+            }
+        }
+        let mut out = GroupBy {
+            groups: by_label.into_values().collect(),
+            noise,
+        };
+        out.normalize();
+        out
+    }
+
+    /// The full clustering (`Q = P`).
+    pub fn group_all(&mut self) -> GroupBy {
+        let ids = self.alive_ids();
+        self.group_by(&ids)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::GridRangeIndex;
+    use dydbscan_core::{brute_force_exact, relabel};
+    use dydbscan_geom::SplitMix64;
+
+    fn churn<I: RangeIndex<2>>(mut algo: IncDbscan<2, I>, seed: u64, steps: usize) {
+        let params = *algo.params();
+        let mut rng = SplitMix64::new(seed);
+        let mut live: Vec<(PointId, Point<2>)> = Vec::new();
+        for step in 0..steps {
+            if live.is_empty() || rng.next_below(100) < 62 {
+                let p = [rng.next_f64() * 10.0, rng.next_f64() * 10.0];
+                live.push((algo.insert(p), p));
+            } else {
+                let i = rng.next_below(live.len() as u64) as usize;
+                let (id, _) = live.swap_remove(i);
+                algo.delete(id);
+            }
+            if (step + 1) % 40 == 0 {
+                let pts: Vec<Point<2>> = live.iter().map(|&(_, p)| p).collect();
+                let ids: Vec<PointId> = live.iter().map(|&(i, _)| i).collect();
+                let got = algo.group_all();
+                let want = relabel(&brute_force_exact(&pts, &params), &ids);
+                assert_eq!(got, want, "seed {seed} step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn rtree_churn_matches_bruteforce() {
+        for seed in 0..4u64 {
+            churn(IncDbscan::<2>::new(Params::new(1.0, 3)), seed + 10, 300);
+        }
+    }
+
+    #[test]
+    fn grid_churn_matches_bruteforce() {
+        churn(
+            IncDbscan::<2, GridRangeIndex<2>>::new_grid(Params::new(1.2, 4)),
+            99,
+            300,
+        );
+    }
+
+    #[test]
+    fn forced_split_is_detected() {
+        // Two blobs joined by a single chain point; deleting it splits.
+        let params = Params::new(1.0, 3);
+        let mut algo = IncDbscan::<2>::new(params);
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for i in 0..6 {
+            left.push(algo.insert([i as f64 * 0.3, 0.0]));
+            right.push(algo.insert([4.0 + i as f64 * 0.3, 0.0]));
+        }
+        let bridge = algo.insert([2.4, 0.0]);
+        let bridge2 = algo.insert([3.2, 0.0]);
+        let g = algo.group_all();
+        assert_eq!(g.groups.len(), 1, "bridged: one cluster");
+        algo.delete(bridge);
+        algo.delete(bridge2);
+        let g = algo.group_all();
+        assert_eq!(g.groups.len(), 2, "bridge removed: split into two");
+        assert!(algo.stats().splits >= 1);
+    }
+
+    #[test]
+    fn insertion_merge_case() {
+        let params = Params::new(1.0, 2);
+        let mut algo = IncDbscan::<2>::new(params);
+        let a = algo.insert([0.0, 0.0]);
+        let b = algo.insert([0.5, 0.0]);
+        let c = algo.insert([5.0, 0.0]);
+        let d = algo.insert([5.5, 0.0]);
+        let g = algo.group_all();
+        assert_eq!(g.groups.len(), 2);
+        // chain of bridges merges the two clusters
+        for i in 1..9 {
+            algo.insert([0.5 + i as f64 * 0.5, 0.0]);
+        }
+        let g = algo.group_all();
+        assert_eq!(g.groups.len(), 1);
+        assert!(g.same_cluster(a, d));
+        assert!(g.same_cluster(b, c));
+        assert!(algo.stats().label_merges >= 1);
+    }
+
+    #[test]
+    fn min_pts_one_every_point_clusters() {
+        let mut algo = IncDbscan::<2>::new(Params::new(1.0, 1));
+        let a = algo.insert([0.0, 0.0]);
+        let b = algo.insert([10.0, 0.0]);
+        let g = algo.group_all();
+        assert_eq!(g.groups.len(), 2);
+        assert!(!g.is_noise(a) && !g.is_noise(b));
+    }
+
+    #[test]
+    fn delete_core_of_small_cluster() {
+        let mut algo = IncDbscan::<2>::new(Params::new(1.0, 3));
+        let a = algo.insert([0.0, 0.0]);
+        let b = algo.insert([0.5, 0.0]);
+        let c = algo.insert([0.0, 0.5]);
+        let g = algo.group_all();
+        assert_eq!(g.groups.len(), 1);
+        algo.delete(a);
+        let g = algo.group_all();
+        assert!(g.groups.is_empty());
+        assert_eq!(g.noise.len(), 2);
+        let _ = (b, c);
+    }
+}

@@ -1,0 +1,178 @@
+//! Range-query backends for IncDBSCAN.
+//!
+//! IncDBSCAN consumes its spatial index through a single operation: the
+//! range query `B(p, eps)` that retrieves the *seed objects* of an update
+//! (paper Section 3). The original work ran on R-trees; the
+//! `ablate_index` benchmark swaps in a uniform grid to show the baseline's
+//! losses are algorithmic rather than an index artifact.
+
+use dydbscan_geom::{cell_of, dist_sq, CellCoord, FxHashMap, Point};
+use dydbscan_spatial::RTree;
+
+/// A dynamic point index answering ball range queries.
+pub trait RangeIndex<const D: usize>: Default {
+    /// Inserts `(p, id)`; pairs must be unique.
+    fn insert(&mut self, p: Point<D>, id: u32);
+    /// Removes `(p, id)`; returns `true` if present.
+    fn remove(&mut self, p: &Point<D>, id: u32) -> bool;
+    /// Pushes every `(id, dist_sq)` within distance `r` of `q` onto `out`.
+    fn collect_within(&self, q: &Point<D>, r: f64, out: &mut Vec<(u32, f64)>);
+    /// Backend name for reporting.
+    fn name() -> &'static str;
+}
+
+impl<const D: usize> RangeIndex<D> for RTree<D> {
+    fn insert(&mut self, p: Point<D>, id: u32) {
+        RTree::insert(self, p, id);
+    }
+
+    fn remove(&mut self, p: &Point<D>, id: u32) -> bool {
+        RTree::remove(self, p, id)
+    }
+
+    fn collect_within(&self, q: &Point<D>, r: f64, out: &mut Vec<(u32, f64)>) {
+        RTree::collect_within(self, q, r, out);
+    }
+
+    fn name() -> &'static str {
+        "rtree"
+    }
+}
+
+/// A uniform grid with cells of side `eps`: a range query scans the `3^D`
+/// surrounding cells. Must be configured with [`GridRangeIndex::with_side`]
+/// before first use (the `Default` instance adopts the side of the first
+/// insertion's radius caller — see `IncDbscan::new`).
+#[derive(Debug)]
+pub struct GridRangeIndex<const D: usize> {
+    side: f64,
+    cells: FxHashMap<CellCoord<D>, Vec<(Point<D>, u32)>>,
+}
+
+impl<const D: usize> Default for GridRangeIndex<D> {
+    fn default() -> Self {
+        Self {
+            side: 1.0,
+            cells: FxHashMap::default(),
+        }
+    }
+}
+
+impl<const D: usize> GridRangeIndex<D> {
+    /// Creates a grid with the given cell side (use the query radius).
+    pub fn with_side(side: f64) -> Self {
+        assert!(side > 0.0);
+        Self {
+            side,
+            cells: FxHashMap::default(),
+        }
+    }
+
+    /// Reconfigures the cell side; only valid while empty.
+    pub fn set_side(&mut self, side: f64) {
+        assert!(self.cells.is_empty(), "cannot resize a non-empty grid");
+        assert!(side > 0.0);
+        self.side = side;
+    }
+}
+
+impl<const D: usize> RangeIndex<D> for GridRangeIndex<D> {
+    fn insert(&mut self, p: Point<D>, id: u32) {
+        self.cells
+            .entry(cell_of(&p, self.side))
+            .or_default()
+            .push((p, id));
+    }
+
+    fn remove(&mut self, p: &Point<D>, id: u32) -> bool {
+        let key = cell_of(p, self.side);
+        if let Some(v) = self.cells.get_mut(&key) {
+            if let Some(pos) = v.iter().position(|(q, i)| *i == id && q == p) {
+                v.swap_remove(pos);
+                if v.is_empty() {
+                    self.cells.remove(&key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn collect_within(&self, q: &Point<D>, r: f64, out: &mut Vec<(u32, f64)>) {
+        debug_assert!(
+            r <= self.side + 1e-9,
+            "grid backend built for radius {} got query radius {r}",
+            self.side
+        );
+        let center = cell_of(q, self.side);
+        let r_sq = r * r;
+        let mut delta = [-1i32; D];
+        loop {
+            let coord = center.offset(&delta);
+            if let Some(v) = self.cells.get(&coord) {
+                for (p, id) in v {
+                    let d = dist_sq(p, q);
+                    if d <= r_sq {
+                        out.push((*id, d));
+                    }
+                }
+            }
+            // advance the 3^D counter
+            let mut axis = 0;
+            loop {
+                if axis == D {
+                    return;
+                }
+                delta[axis] += 1;
+                if delta[axis] <= 1 {
+                    break;
+                }
+                delta[axis] = -1;
+                axis += 1;
+            }
+        }
+    }
+
+    fn name() -> &'static str {
+        "grid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydbscan_geom::SplitMix64;
+
+    #[test]
+    fn grid_matches_rtree() {
+        let mut rng = SplitMix64::new(2024);
+        let r = 1.5;
+        let mut grid = GridRangeIndex::<2>::with_side(r);
+        let mut rtree = RTree::<2>::default();
+        let mut live: Vec<(Point<2>, u32)> = Vec::new();
+        for i in 0..500u32 {
+            let p = [rng.next_f64() * 20.0, rng.next_f64() * 20.0];
+            RangeIndex::insert(&mut grid, p, i);
+            RangeIndex::insert(&mut rtree, p, i);
+            live.push((p, i));
+        }
+        for _ in 0..150 {
+            let i = rng.next_below(live.len() as u64) as usize;
+            let (p, id) = live.swap_remove(i);
+            assert!(RangeIndex::remove(&mut grid, &p, id));
+            assert!(RangeIndex::<2>::remove(&mut rtree, &p, id));
+        }
+        for _ in 0..100 {
+            let q = [rng.next_f64() * 20.0, rng.next_f64() * 20.0];
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            grid.collect_within(&q, r, &mut a);
+            RangeIndex::<2>::collect_within(&rtree, &q, r, &mut b);
+            let mut a: Vec<u32> = a.into_iter().map(|x| x.0).collect();
+            let mut b: Vec<u32> = b.into_iter().map(|x| x.0).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+}

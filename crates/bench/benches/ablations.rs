@@ -1,0 +1,196 @@
+//! Ablation benchmarks for the design decisions DESIGN.md calls out.
+//!
+//! * `ablate_cc` — the paper's choice of Holm et al. \[14\] as the CC
+//!   structure vs recomputing components from scratch (both behind the
+//!   same `DynConnectivity` interface, at the connectivity level *and*
+//!   end-to-end inside the fully-dynamic clusterer).
+//! * `ablate_index` — IncDBSCAN on its faithful R-tree vs on a uniform
+//!   grid: shows the baseline's deficit is algorithmic, not index choice.
+//! * `ablate_rho` — sensitivity of Double-Approx update cost to `rho`
+//!   (don't-care slack shrinks the work; `rho = 0` is exact).
+//! * `ablate_emptiness` — the hybrid per-cell emptiness structure: linear
+//!   scan vs kd-tree as the cell population grows (motivates the upgrade
+//!   threshold of `CellSet`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dydbscan_bench::driver::{run_workload, Algo};
+use dydbscan_bench::run_algo;
+use dydbscan_conn::{DynConnectivity, HdtConnectivity, NaiveConnectivity};
+use dydbscan_core::{FullDynDbscan, Params};
+use dydbscan_geom::SplitMix64;
+use dydbscan_spatial::{CellSet, KdTree};
+use dydbscan_workload::{PaperGrid, WorkloadSpec};
+use std::time::Duration;
+
+const N: usize = 4_000;
+
+fn ablate_cc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_cc");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    // Connectivity-level: random edge churn + connectivity queries.
+    let mut rng = SplitMix64::new(99);
+    let nv = 400u32;
+    let script: Vec<(u8, u32, u32)> = (0..6_000)
+        .map(|_| {
+            (
+                rng.next_below(3) as u8,
+                rng.next_below(nv as u64) as u32,
+                rng.next_below(nv as u64) as u32,
+            )
+        })
+        .collect();
+    fn drive<C: DynConnectivity>(mut conn: C, script: &[(u8, u32, u32)]) -> usize {
+        let mut connected = 0;
+        for &(op, u, v) in script {
+            match op {
+                0 => {
+                    conn.insert_edge(u, v);
+                }
+                1 => {
+                    conn.delete_edge(u, v);
+                }
+                _ => {
+                    if conn.connected(u, v) {
+                        connected += 1;
+                    }
+                }
+            }
+        }
+        connected
+    }
+    g.bench_function("edge_churn/hdt", |b| {
+        b.iter(|| drive(HdtConnectivity::new(), &script))
+    });
+    g.bench_function("edge_churn/naive_rebuild", |b| {
+        b.iter(|| drive(NaiveConnectivity::new(), &script))
+    });
+    // End-to-end: the fully-dynamic clusterer over either CC structure.
+    let w = WorkloadSpec::full(N, 7).build::<2>();
+    let params = Params::new(200.0, PaperGrid::MIN_PTS).with_rho(PaperGrid::RHO);
+    g.bench_function("full_dyn/hdt", |b| {
+        b.iter(|| {
+            run_workload(
+                FullDynDbscan::<2>::new(params),
+                "hdt",
+                &w,
+                None,
+                1,
+            )
+        })
+    });
+    g.bench_function("full_dyn/naive_rebuild", |b| {
+        b.iter(|| {
+            run_workload(
+                FullDynDbscan::<2, NaiveConnectivity>::with_connectivity(
+                    params,
+                    NaiveConnectivity::new(),
+                ),
+                "naive",
+                &w,
+                None,
+                1,
+            )
+        })
+    });
+    g.finish();
+}
+
+fn ablate_index(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_index");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let w = WorkloadSpec::full(N, 7).build::<2>();
+    g.bench_function("incdbscan/rtree", |b| {
+        b.iter(|| run_algo::<2>(Algo::IncDbscanRtree, 200.0, PaperGrid::MIN_PTS, &w, None, 1))
+    });
+    g.bench_function("incdbscan/grid", |b| {
+        b.iter(|| run_algo::<2>(Algo::IncDbscanGrid, 200.0, PaperGrid::MIN_PTS, &w, None, 1))
+    });
+    g.finish();
+}
+
+fn ablate_rho(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_rho");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let w = WorkloadSpec::full(N, 7).build::<2>();
+    for rho in [0.0, 1e-4, 1e-3, 1e-2, 1e-1] {
+        let params = Params::new(200.0, PaperGrid::MIN_PTS).with_rho(rho);
+        g.bench_with_input(BenchmarkId::new("full_dyn", rho.to_string()), &rho, |b, _| {
+            b.iter(|| run_workload(FullDynDbscan::<2>::new(params), "x", &w, None, 1))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_emptiness(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_emptiness");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let mut rng = SplitMix64::new(5);
+    for pop in [16usize, 64, 256, 1024, 4096] {
+        // a dense cell of `pop` points; queries from a neighboring cell
+        let pts: Vec<[f64; 2]> = (0..pop)
+            .map(|_| [rng.next_f64(), rng.next_f64()])
+            .collect();
+        let queries: Vec<[f64; 2]> = (0..64)
+            .map(|_| [1.0 + rng.next_f64() * 0.4, rng.next_f64()])
+            .collect();
+        let mut linear_only: Vec<([f64; 2], u32)> = Vec::new();
+        let mut tree = KdTree::<2>::new();
+        let mut hybrid = CellSet::<2>::new();
+        for (i, p) in pts.iter().enumerate() {
+            linear_only.push((*p, i as u32));
+            tree.insert(*p, i as u32);
+            hybrid.insert(*p, i as u32);
+        }
+        let lo = 0.45;
+        let hi = 0.45 * 1.001;
+        g.bench_with_input(BenchmarkId::new("linear_scan", pop), &pop, |b, _| {
+            b.iter(|| {
+                let mut hits = 0;
+                for q in &queries {
+                    let hi_sq = hi * hi;
+                    if linear_only
+                        .iter()
+                        .any(|(p, _)| dydbscan_geom::dist_sq(p, q) <= hi_sq)
+                    {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("kd_tree", pop), &pop, |b, _| {
+            b.iter(|| {
+                let mut hits = 0;
+                for q in &queries {
+                    if tree.find_within(q, lo, hi).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("hybrid_cellset", pop), &pop, |b, _| {
+            b.iter(|| {
+                let mut hits = 0;
+                for q in &queries {
+                    if hybrid.find_within(q, lo, hi).is_some() {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(ablations, ablate_cc, ablate_index, ablate_rho, ablate_emptiness);
+criterion_main!(ablations);

@@ -1,0 +1,102 @@
+//! Reproduces every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro <command> [--n N] [--seed S] [--budget-secs B] [--samples K]
+//!
+//! commands:
+//!   fig8 fig9 fig10 fig11     semi-dynamic experiments (Section 8.2)
+//!   fig12 fig13 fig14 fig15   fully-dynamic experiments (Section 8.3)
+//!   table1                    measured costs per variant (Table 1 counterpart)
+//!   verify                    Section 8 correctness gates
+//!   all                       everything above
+//! ```
+//!
+//! The paper runs `N = 10M`; the default here is laptop-scale. Costs are
+//! reported in microseconds, like the paper's figures; relative shapes
+//! (who wins, by how much, and the flat-vs-growing trends) are the
+//! reproduction target.
+
+use dydbscan_bench::figures::{self, ReproConfig};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage_and_exit();
+    }
+    let command = args[0].clone();
+    let mut cfg = ReproConfig::default();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--n" => {
+                cfg.n = parse(&args, &mut i);
+            }
+            "--seed" => {
+                cfg.seed = parse(&args, &mut i);
+            }
+            "--budget-secs" => {
+                let secs: u64 = parse(&args, &mut i);
+                cfg.budget = (secs > 0).then(|| Duration::from_secs(secs));
+            }
+            "--samples" => {
+                cfg.samples = parse(&args, &mut i);
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                usage_and_exit();
+            }
+        }
+        i += 1;
+    }
+    println!(
+        "# dydbscan repro — N = {}, seed = {}, budget = {:?}, MinPts = 10, rho = 0.001",
+        cfg.n, cfg.seed, cfg.budget
+    );
+    match command.as_str() {
+        "fig8" => figures::fig8(&cfg),
+        "fig9" => figures::fig9(&cfg),
+        "fig10" => figures::fig10(&cfg),
+        "fig11" => figures::fig11(&cfg),
+        "fig12" => figures::fig12(&cfg),
+        "fig13" => figures::fig13(&cfg),
+        "fig14" => figures::fig14(&cfg),
+        "fig15" => figures::fig15(&cfg),
+        "table1" => figures::table1(&cfg),
+        "verify" => figures::verify(&cfg),
+        "all" => {
+            figures::verify(&cfg);
+            figures::table1(&cfg);
+            figures::fig8(&cfg);
+            figures::fig9(&cfg);
+            figures::fig10(&cfg);
+            figures::fig11(&cfg);
+            figures::fig12(&cfg);
+            figures::fig13(&cfg);
+            figures::fig14(&cfg);
+            figures::fig15(&cfg);
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            usage_and_exit();
+        }
+    }
+}
+
+fn parse<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
+    *i += 1;
+    args.get(*i)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| {
+            eprintln!("missing/invalid value for {}", args[*i - 1]);
+            usage_and_exit()
+        })
+}
+
+fn usage_and_exit() -> ! {
+    eprintln!(
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|all> \
+         [--n N] [--seed S] [--budget-secs B] [--samples K]"
+    );
+    std::process::exit(2)
+}

@@ -1,0 +1,242 @@
+//! Uniform driver: executes a workload against any clustering algorithm.
+
+use crate::metrics::{MetricsBuilder, RunMetrics};
+use dydbscan_baseline::{GridRangeIndex, IncDbscan};
+use dydbscan_core::{FullDynDbscan, Params, SemiDynDbscan};
+use dydbscan_geom::Point;
+use dydbscan_spatial::RTree;
+use dydbscan_workload::{Op, Workload};
+use std::time::{Duration, Instant};
+
+/// A dynamic clustering algorithm under benchmark.
+pub trait Clusterer<const D: usize> {
+    /// Inserts a point, returning its id.
+    fn insert(&mut self, p: Point<D>) -> u32;
+    /// Deletes a point by id.
+    fn delete(&mut self, id: u32);
+    /// Runs a C-group-by query; returns the group count (to keep the
+    /// optimizer honest).
+    fn query(&mut self, ids: &[u32]) -> usize;
+}
+
+impl<const D: usize> Clusterer<D> for SemiDynDbscan<D> {
+    fn insert(&mut self, p: Point<D>) -> u32 {
+        SemiDynDbscan::insert(self, p)
+    }
+
+    fn delete(&mut self, _id: u32) {
+        panic!("SemiDynDbscan is insertion-only (Theorem 1); use FullDynDbscan for deletions")
+    }
+
+    fn query(&mut self, ids: &[u32]) -> usize {
+        self.group_by(ids).num_groups()
+    }
+}
+
+impl<const D: usize, C: dydbscan_conn::DynConnectivity> Clusterer<D> for FullDynDbscan<D, C> {
+    fn insert(&mut self, p: Point<D>) -> u32 {
+        FullDynDbscan::insert(self, p)
+    }
+
+    fn delete(&mut self, id: u32) {
+        FullDynDbscan::delete(self, id)
+    }
+
+    fn query(&mut self, ids: &[u32]) -> usize {
+        self.group_by(ids).num_groups()
+    }
+}
+
+impl<const D: usize> Clusterer<D> for IncDbscan<D, RTree<D>> {
+    fn insert(&mut self, p: Point<D>) -> u32 {
+        IncDbscan::insert(self, p)
+    }
+
+    fn delete(&mut self, id: u32) {
+        IncDbscan::delete(self, id)
+    }
+
+    fn query(&mut self, ids: &[u32]) -> usize {
+        self.group_by(ids).num_groups()
+    }
+}
+
+impl<const D: usize> Clusterer<D> for IncDbscan<D, GridRangeIndex<D>> {
+    fn insert(&mut self, p: Point<D>) -> u32 {
+        IncDbscan::insert(self, p)
+    }
+
+    fn delete(&mut self, id: u32) {
+        IncDbscan::delete(self, id)
+    }
+
+    fn query(&mut self, ids: &[u32]) -> usize {
+        self.group_by(ids).num_groups()
+    }
+}
+
+/// Algorithm selector used by the repro binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// Semi-dynamic, `rho = 0` (the paper's *2d-Semi-Exact* at `d = 2`).
+    SemiExact,
+    /// Semi-dynamic, `rho = 0.001` (*Semi-Approx*).
+    SemiApprox,
+    /// Fully-dynamic, `rho = 0` (*2d-Full-Exact* at `d = 2`).
+    FullExact,
+    /// Fully-dynamic, `rho = 0.001` (*Double-Approx*).
+    DoubleApprox,
+    /// IncDBSCAN on an R-tree (the faithful baseline).
+    IncDbscanRtree,
+    /// IncDBSCAN on a uniform grid (index ablation).
+    IncDbscanGrid,
+}
+
+impl Algo {
+    /// Paper-style display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algo::SemiExact => "Semi-Exact",
+            Algo::SemiApprox => "Semi-Approx",
+            Algo::FullExact => "Full-Exact",
+            Algo::DoubleApprox => "Double-Approx",
+            Algo::IncDbscanRtree => "IncDBSCAN",
+            Algo::IncDbscanGrid => "IncDBSCAN-grid",
+        }
+    }
+
+    /// The `rho` this variant runs with.
+    pub fn rho(&self) -> f64 {
+        match self {
+            Algo::SemiExact | Algo::FullExact | Algo::IncDbscanRtree | Algo::IncDbscanGrid => 0.0,
+            Algo::SemiApprox | Algo::DoubleApprox => 0.001,
+        }
+    }
+}
+
+/// Executes `workload` against `algo`, timing every operation.
+///
+/// `budget` bounds wall-clock time (the paper cut IncDBSCAN off after 3
+/// hours); on expiry the run is marked unfinished.
+pub fn run_workload<const D: usize, A: Clusterer<D>>(
+    mut algo: A,
+    name: &str,
+    workload: &Workload<D>,
+    budget: Option<Duration>,
+    samples: usize,
+) -> RunMetrics {
+    let mut metrics = MetricsBuilder::new(name, workload.ops.len(), samples);
+    let deadline = budget.map(|b| Instant::now() + b);
+    // ordinal -> algorithm id
+    let mut ids: Vec<u32> = Vec::with_capacity(workload.n_insertions);
+    let mut qbuf: Vec<u32> = Vec::with_capacity(128);
+    for (i, op) in workload.ops.iter().enumerate() {
+        let start = Instant::now();
+        let is_update = op.is_update();
+        match op {
+            Op::Insert(p) => {
+                ids.push(algo.insert(*p));
+            }
+            Op::Delete(ordinal) => {
+                algo.delete(ids[*ordinal as usize]);
+            }
+            Op::Query(ordinals) => {
+                qbuf.clear();
+                qbuf.extend(ordinals.iter().map(|&o| ids[o as usize]));
+                std::hint::black_box(algo.query(&qbuf));
+            }
+        }
+        metrics.record(is_update, start.elapsed().as_nanos());
+        if let Some(dl) = deadline {
+            if i % 256 == 255 && Instant::now() > dl {
+                return metrics.finish(false);
+            }
+        }
+    }
+    metrics.finish(true)
+}
+
+/// Builds the chosen algorithm and runs the workload.
+pub fn run_algo<const D: usize>(
+    algo: Algo,
+    eps: f64,
+    min_pts: usize,
+    workload: &Workload<D>,
+    budget: Option<Duration>,
+    samples: usize,
+) -> RunMetrics {
+    let params = Params::new(eps, min_pts).with_rho(algo.rho());
+    match algo {
+        Algo::SemiExact | Algo::SemiApprox => run_workload(
+            SemiDynDbscan::<D>::new(params),
+            algo.name(),
+            workload,
+            budget,
+            samples,
+        ),
+        Algo::FullExact | Algo::DoubleApprox => run_workload(
+            FullDynDbscan::<D>::new(params),
+            algo.name(),
+            workload,
+            budget,
+            samples,
+        ),
+        Algo::IncDbscanRtree => run_workload(
+            IncDbscan::<D>::new(Params::new(eps, min_pts)),
+            algo.name(),
+            workload,
+            budget,
+            samples,
+        ),
+        Algo::IncDbscanGrid => run_workload(
+            IncDbscan::<D, GridRangeIndex<D>>::new_grid(Params::new(eps, min_pts)),
+            algo.name(),
+            workload,
+            budget,
+            samples,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydbscan_workload::WorkloadSpec;
+
+    #[test]
+    fn full_workload_runs_all_algorithms() {
+        let w = WorkloadSpec::full(400, 11).build::<2>();
+        for algo in [Algo::FullExact, Algo::DoubleApprox, Algo::IncDbscanRtree] {
+            let m = run_algo::<2>(algo, 200.0, 10, &w, None, 5);
+            assert!(m.finished, "{}", algo.name());
+            assert_eq!(m.ops_done, w.ops.len());
+            assert!(m.n_updates == 400);
+            assert_eq!(m.n_queries, w.n_queries);
+        }
+    }
+
+    #[test]
+    fn semi_workload_runs_semi_algorithms() {
+        let w = WorkloadSpec::semi(300, 12).build::<3>();
+        for algo in [Algo::SemiExact, Algo::SemiApprox, Algo::IncDbscanGrid] {
+            let m = run_algo::<3>(algo, 300.0, 10, &w, None, 5);
+            assert!(m.finished);
+            assert_eq!(m.ops_done, w.ops.len());
+        }
+    }
+
+    #[test]
+    fn budget_cuts_off() {
+        let w = WorkloadSpec::full(50_000, 13).build::<2>();
+        let m = run_algo::<2>(
+            Algo::IncDbscanRtree,
+            200.0,
+            10,
+            &w,
+            Some(Duration::from_millis(1)),
+            5,
+        );
+        assert!(!m.finished);
+        assert!(m.ops_done < w.ops.len());
+    }
+}

@@ -1,0 +1,26 @@
+//! Benchmark and paper-reproduction harness.
+//!
+//! * [`driver`] — runs a [`dydbscan_workload::Workload`] against any of the
+//!   five algorithms of the paper's evaluation (Section 8.1), with
+//!   per-operation timing and an optional wall-clock budget.
+//! * [`metrics`] — `avgcost(t)`, `maxupdcost(t)` and average-workload-cost
+//!   exactly as Section 8.2 defines them.
+//! * [`report`] — paper-style series/table printers.
+//! * [`figures`] — one entry point per table/figure of the paper
+//!   (`fig8` ... `fig15`, `table1`, `verify`), shared between the `repro`
+//!   binary and the Criterion benches.
+//!
+//! The `repro` binary regenerates everything:
+//!
+//! ```text
+//! cargo run --release -p dydbscan-bench --bin repro -- all --n 100000
+//! cargo run --release -p dydbscan-bench --bin repro -- fig12 --n 200000 --budget-secs 120
+//! ```
+
+pub mod driver;
+pub mod figures;
+pub mod metrics;
+pub mod report;
+
+pub use driver::{run_algo, run_workload, Algo, Clusterer};
+pub use metrics::{ChunkStat, MetricsBuilder, RunMetrics};

@@ -1,0 +1,201 @@
+//! Per-operation cost metrics matching the paper's Section 8 definitions.
+//!
+//! * `avgcost(t) = (1/t) * sum_{i<=t} cost[i]` — cumulative average over
+//!   *all* operations (updates and queries);
+//! * `maxupdcost(t) = max_{i<=t, i is update} updcost[i]` — prefix maximum
+//!   over updates only (query time is excluded, as in the paper);
+//! * *average workload cost* = `avgcost(W)` at the end of the workload.
+//!
+//! Costs are wall-clock nanoseconds per operation, reported in
+//! microseconds like the paper's figures.
+
+/// Cumulative statistics sampled at a chunk boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkStat {
+    /// Operations completed at this sample point.
+    pub ops: usize,
+    /// `avgcost(ops)` in nanoseconds.
+    pub avg_cost_ns: f64,
+    /// `maxupdcost(ops)` in nanoseconds.
+    pub max_upd_cost_ns: f64,
+}
+
+/// Metrics of one workload execution.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// Algorithm label.
+    pub name: String,
+    /// Operations completed (may be fewer than the workload on DNF).
+    pub ops_done: usize,
+    /// Whether the workload ran to completion within the budget.
+    pub finished: bool,
+    /// Cumulative samples (evenly spaced over the planned workload).
+    pub chunks: Vec<ChunkStat>,
+    /// Total nanoseconds across completed operations.
+    pub total_ns: u128,
+    /// Nanoseconds spent in updates.
+    pub update_ns: u128,
+    /// Updates completed.
+    pub n_updates: usize,
+    /// Nanoseconds spent in queries.
+    pub query_ns: u128,
+    /// Queries completed.
+    pub n_queries: usize,
+    /// Maximum single-update cost, nanoseconds.
+    pub max_update_ns: u128,
+}
+
+impl RunMetrics {
+    /// Average cost over all completed operations, microseconds.
+    pub fn avg_cost_us(&self) -> f64 {
+        if self.ops_done == 0 {
+            return 0.0;
+        }
+        self.total_ns as f64 / self.ops_done as f64 / 1_000.0
+    }
+
+    /// Average update cost, microseconds.
+    pub fn avg_update_us(&self) -> f64 {
+        if self.n_updates == 0 {
+            return 0.0;
+        }
+        self.update_ns as f64 / self.n_updates as f64 / 1_000.0
+    }
+
+    /// Average query cost, microseconds.
+    pub fn avg_query_us(&self) -> f64 {
+        if self.n_queries == 0 {
+            return 0.0;
+        }
+        self.query_ns as f64 / self.n_queries as f64 / 1_000.0
+    }
+
+    /// Maximum update cost, microseconds.
+    pub fn max_update_us(&self) -> f64 {
+        self.max_update_ns as f64 / 1_000.0
+    }
+}
+
+/// Accumulates metrics while a workload executes.
+#[derive(Debug)]
+pub struct MetricsBuilder {
+    name: String,
+    planned_ops: usize,
+    sample_every: usize,
+    chunks: Vec<ChunkStat>,
+    total_ns: u128,
+    update_ns: u128,
+    n_updates: usize,
+    query_ns: u128,
+    n_queries: usize,
+    max_update_ns: u128,
+    ops_done: usize,
+}
+
+impl MetricsBuilder {
+    /// `samples` cumulative sample points spread over `planned_ops`.
+    pub fn new(name: impl Into<String>, planned_ops: usize, samples: usize) -> Self {
+        Self {
+            name: name.into(),
+            planned_ops,
+            sample_every: (planned_ops / samples.max(1)).max(1),
+            chunks: Vec::with_capacity(samples + 1),
+            total_ns: 0,
+            update_ns: 0,
+            n_updates: 0,
+            query_ns: 0,
+            n_queries: 0,
+            max_update_ns: 0,
+            ops_done: 0,
+        }
+    }
+
+    /// Records one completed operation.
+    #[inline]
+    pub fn record(&mut self, is_update: bool, ns: u128) {
+        self.ops_done += 1;
+        self.total_ns += ns;
+        if is_update {
+            self.n_updates += 1;
+            self.update_ns += ns;
+            if ns > self.max_update_ns {
+                self.max_update_ns = ns;
+            }
+        } else {
+            self.n_queries += 1;
+            self.query_ns += ns;
+        }
+        if self.ops_done.is_multiple_of(self.sample_every) || self.ops_done == self.planned_ops {
+            self.sample();
+        }
+    }
+
+    fn sample(&mut self) {
+        self.chunks.push(ChunkStat {
+            ops: self.ops_done,
+            avg_cost_ns: self.total_ns as f64 / self.ops_done.max(1) as f64,
+            max_upd_cost_ns: self.max_update_ns as f64,
+        });
+    }
+
+    /// Finalizes the metrics. `finished = false` marks a budget DNF.
+    pub fn finish(mut self, finished: bool) -> RunMetrics {
+        if self
+            .chunks
+            .last()
+            .is_none_or(|c| c.ops != self.ops_done)
+            && self.ops_done > 0
+        {
+            self.sample();
+        }
+        RunMetrics {
+            name: self.name,
+            ops_done: self.ops_done,
+            finished,
+            chunks: self.chunks,
+            total_ns: self.total_ns,
+            update_ns: self.update_ns,
+            n_updates: self.n_updates,
+            query_ns: self.query_ns,
+            n_queries: self.n_queries,
+            max_update_ns: self.max_update_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_and_max() {
+        let mut b = MetricsBuilder::new("x", 4, 2);
+        b.record(true, 1_000);
+        b.record(true, 3_000);
+        b.record(false, 10_000);
+        b.record(true, 2_000);
+        let m = b.finish(true);
+        assert_eq!(m.ops_done, 4);
+        assert_eq!(m.n_updates, 3);
+        assert_eq!(m.n_queries, 1);
+        assert!((m.avg_update_us() - 2.0).abs() < 1e-9);
+        assert!((m.avg_query_us() - 10.0).abs() < 1e-9);
+        assert!((m.max_update_us() - 3.0).abs() < 1e-9);
+        assert!((m.avg_cost_us() - 4.0).abs() < 1e-9);
+        // samples at op 2 and op 4
+        assert_eq!(m.chunks.len(), 2);
+        assert_eq!(m.chunks[1].ops, 4);
+    }
+
+    #[test]
+    fn dnf_keeps_partial_samples() {
+        let mut b = MetricsBuilder::new("x", 100, 10);
+        for _ in 0..25 {
+            b.record(true, 500);
+        }
+        let m = b.finish(false);
+        assert!(!m.finished);
+        assert_eq!(m.ops_done, 25);
+        assert_eq!(m.chunks.last().unwrap().ops, 25);
+    }
+}

@@ -1,0 +1,131 @@
+//! Plain-text table rendering for the figure reproductions.
+//!
+//! Each paper figure is a set of series; we print them as aligned columns
+//! (one row per x-value, one column per algorithm) so the numbers can be
+//! read off — or gnuplotted — exactly like the paper's log-scale charts.
+
+use crate::metrics::RunMetrics;
+
+/// Formats microseconds with three significant-ish digits.
+pub fn fmt_us(us: f64) -> String {
+    if us <= 0.0 {
+        "-".to_string()
+    } else if us < 10.0 {
+        format!("{us:.2}")
+    } else if us < 100.0 {
+        format!("{us:.1}")
+    } else {
+        format!("{us:.0}")
+    }
+}
+
+/// Prints an aligned table; `header` and each row must have equal lengths.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n== {title}");
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let print_row = |cells: &[String], widths: &[usize]| {
+        let line: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+            .collect();
+        println!("  {}", line.join("  "));
+    };
+    print_row(header, &widths);
+    for row in rows {
+        print_row(row, &widths);
+    }
+}
+
+/// Prints a time-series figure (x = #operations): `avgcost(t)` per
+/// algorithm, in microseconds.
+pub fn print_avg_cost_series(title: &str, runs: &[RunMetrics]) {
+    let mut header = vec!["ops".to_string()];
+    header.extend(runs.iter().map(|r| r.name.clone()));
+    let xs: Vec<usize> = runs
+        .iter()
+        .max_by_key(|r| r.chunks.len())
+        .map(|r| r.chunks.iter().map(|c| c.ops).collect())
+        .unwrap_or_default();
+    let mut rows = Vec::new();
+    for (i, &x) in xs.iter().enumerate() {
+        let mut row = vec![x.to_string()];
+        for r in runs {
+            row.push(match r.chunks.get(i) {
+                Some(c) if c.ops <= r.ops_done => fmt_us(c.avg_cost_ns / 1_000.0),
+                _ => "DNF".to_string(),
+            });
+        }
+        rows.push(row);
+    }
+    print_table(title, &header, &rows);
+    annotate_dnf(runs);
+}
+
+/// Prints a time-series figure of `maxupdcost(t)` per algorithm.
+pub fn print_max_upd_series(title: &str, runs: &[RunMetrics]) {
+    let mut header = vec!["ops".to_string()];
+    header.extend(runs.iter().map(|r| r.name.clone()));
+    let xs: Vec<usize> = runs
+        .iter()
+        .max_by_key(|r| r.chunks.len())
+        .map(|r| r.chunks.iter().map(|c| c.ops).collect())
+        .unwrap_or_default();
+    let mut rows = Vec::new();
+    for (i, &x) in xs.iter().enumerate() {
+        let mut row = vec![x.to_string()];
+        for r in runs {
+            row.push(match r.chunks.get(i) {
+                Some(c) if c.ops <= r.ops_done => fmt_us(c.max_upd_cost_ns / 1_000.0),
+                _ => "DNF".to_string(),
+            });
+        }
+        rows.push(row);
+    }
+    print_table(title, &header, &rows);
+    annotate_dnf(runs);
+}
+
+/// Prints a sweep figure: one row per swept x value, columns = average
+/// workload cost per algorithm.
+pub fn print_sweep(
+    title: &str,
+    x_label: &str,
+    xs: &[String],
+    algos: &[String],
+    cells: &[Vec<Option<f64>>], // cells[x][algo] = avg workload cost us
+) {
+    let mut header = vec![x_label.to_string()];
+    header.extend(algos.iter().cloned());
+    let rows: Vec<Vec<String>> = xs
+        .iter()
+        .zip(cells)
+        .map(|(x, row)| {
+            let mut r = vec![x.clone()];
+            r.extend(
+                row.iter()
+                    .map(|c| c.map_or("DNF".to_string(), fmt_us)),
+            );
+            r
+        })
+        .collect();
+    print_table(title, &header, &rows);
+}
+
+fn annotate_dnf(runs: &[RunMetrics]) {
+    for r in runs {
+        if !r.finished {
+            println!(
+                "  note: {} exceeded the time budget after {} ops (paper: \"we terminated it after 3 hours\")",
+                r.name, r.ops_done
+            );
+        }
+    }
+}

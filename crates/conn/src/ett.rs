@@ -1,0 +1,730 @@
+//! Euler-tour trees over randomized treaps with parent pointers.
+//!
+//! An Euler-tour tree (ETT) represents each tree of a forest as the Euler
+//! tour of the tree stored in a balanced binary search tree keyed by tour
+//! position. We use the arc representation:
+//!
+//! * every vertex `v` owns one **loop node** (the occurrence `v -> v`);
+//! * every forest edge `{u, v}` owns two **arc nodes** `u -> v` and
+//!   `v -> u`.
+//!
+//! The tour of a tree rooted at `r` is `loop(r)` followed, for each child
+//! `c`, by `arc(r->c), tour(c), arc(c->r)`. Rotating the tour re-roots the
+//! tree, which is how [`EulerForest::link`] and [`EulerForest::cut`] splice
+//! tours in `O(log n)` expected time.
+//!
+//! The underlying balanced BST is a treap addressed by *node handle* rather
+//! than by key: splits walk from a handle to the root gluing ancestor pieces
+//! in `O(depth)` (each ancestor has a priority no smaller than anything
+//! accumulated from its subtree, so each glue step is `O(1)`).
+//!
+//! Each node carries subtree aggregates used by the HDT hierarchy
+//! ([`crate::hdt`]):
+//!
+//! * `size` — number of nodes (for tour positions / order tests);
+//! * `loops` — number of loop nodes (= number of vertices, i.e. the
+//!   component size);
+//! * flag bits — "this subtree contains an arc whose edge lives at this
+//!   forest's level" and "this subtree contains a loop whose vertex has
+//!   non-tree edges at this forest's level".
+
+use dydbscan_geom::SplitMix64;
+
+/// Sentinel for "no node".
+pub const NIL: u32 = u32::MAX;
+
+/// Self flag: this arc's edge has level equal to this forest's level.
+pub const F_SELF_TREE: u8 = 1 << 0;
+/// Self flag: this loop's vertex has non-tree edges at this forest's level.
+pub const F_SELF_NONTREE: u8 = 1 << 1;
+const F_AGG_TREE: u8 = 1 << 2;
+const F_AGG_NONTREE: u8 = 1 << 3;
+const F_IS_LOOP: u8 = 1 << 4;
+
+#[derive(Debug, Clone)]
+struct Node {
+    pri: u64,
+    parent: u32,
+    left: u32,
+    right: u32,
+    /// Total nodes in subtree (including self).
+    size: u32,
+    /// Loop nodes in subtree (including self if a loop).
+    loops: u32,
+    flags: u8,
+    /// Vertex id for loop nodes; edge id for arc nodes.
+    payload: u32,
+}
+
+/// A forest of Euler-tour trees.
+#[derive(Debug)]
+pub struct EulerForest {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    rng: SplitMix64,
+}
+
+impl EulerForest {
+    /// Creates an empty forest. `seed` randomizes treap priorities.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Number of live nodes (loops + arcs).
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    fn alloc(&mut self, is_loop: bool, payload: u32) -> u32 {
+        let node = Node {
+            pri: self.rng.next_u64(),
+            parent: NIL,
+            left: NIL,
+            right: NIL,
+            size: 1,
+            loops: u32::from(is_loop),
+            flags: if is_loop { F_IS_LOOP } else { 0 },
+            payload,
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn free_node(&mut self, x: u32) {
+        debug_assert_ne!(x, NIL);
+        self.free.push(x);
+    }
+
+    /// Creates a new singleton tree consisting of the loop node of `vertex`.
+    pub fn new_loop(&mut self, vertex: u32) -> u32 {
+        self.alloc(true, vertex)
+    }
+
+    /// The vertex of a loop node / the edge of an arc node.
+    #[inline]
+    pub fn payload(&self, x: u32) -> u32 {
+        self.nodes[x as usize].payload
+    }
+
+    /// Whether `x` is a loop node.
+    #[inline]
+    pub fn is_loop(&self, x: u32) -> bool {
+        self.nodes[x as usize].flags & F_IS_LOOP != 0
+    }
+
+    /// Number of vertices (loop nodes) in the tree rooted at `root`.
+    #[inline]
+    pub fn loops_in_tree(&self, root: u32) -> u32 {
+        self.nodes[root as usize].loops
+    }
+
+    #[inline]
+    fn pull(&mut self, x: u32) {
+        let (l, r) = {
+            let n = &self.nodes[x as usize];
+            (n.left, n.right)
+        };
+        let mut size = 1u32;
+        let mut loops = 0u32;
+        let mut agg = 0u8;
+        {
+            let n = &self.nodes[x as usize];
+            if n.flags & F_IS_LOOP != 0 {
+                loops += 1;
+            }
+            if n.flags & F_SELF_TREE != 0 {
+                agg |= F_AGG_TREE;
+            }
+            if n.flags & F_SELF_NONTREE != 0 {
+                agg |= F_AGG_NONTREE;
+            }
+        }
+        if l != NIL {
+            let n = &self.nodes[l as usize];
+            size += n.size;
+            loops += n.loops;
+            agg |= n.flags & (F_AGG_TREE | F_AGG_NONTREE);
+        }
+        if r != NIL {
+            let n = &self.nodes[r as usize];
+            size += n.size;
+            loops += n.loops;
+            agg |= n.flags & (F_AGG_TREE | F_AGG_NONTREE);
+        }
+        let n = &mut self.nodes[x as usize];
+        n.size = size;
+        n.loops = loops;
+        n.flags = (n.flags & !(F_AGG_TREE | F_AGG_NONTREE)) | agg;
+    }
+
+    /// Root handle of the tree containing `x`.
+    pub fn root_of(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.nodes[x as usize].parent;
+            if p == NIL {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Whether two handles are in the same tree.
+    pub fn same_tree(&self, x: u32, y: u32) -> bool {
+        self.root_of(x) == self.root_of(y)
+    }
+
+    /// In-order position of `x` within its tree (0-based).
+    pub fn rank(&self, x: u32) -> u32 {
+        let mut pos = match self.nodes[x as usize].left {
+            NIL => 0,
+            l => self.nodes[l as usize].size,
+        };
+        let mut cur = x;
+        loop {
+            let p = self.nodes[cur as usize].parent;
+            if p == NIL {
+                return pos;
+            }
+            if self.nodes[p as usize].right == cur {
+                pos += 1;
+                let pl = self.nodes[p as usize].left;
+                if pl != NIL {
+                    pos += self.nodes[pl as usize].size;
+                }
+            }
+            cur = p;
+        }
+    }
+
+    /// Merges two trees (all of `a` before all of `b` in tour order).
+    /// Either argument may be `NIL`. Returns the new root.
+    fn merge(&mut self, a: u32, b: u32) -> u32 {
+        if a == NIL {
+            return b;
+        }
+        if b == NIL {
+            return a;
+        }
+        if self.nodes[a as usize].pri >= self.nodes[b as usize].pri {
+            let ar = self.nodes[a as usize].right;
+            let r = self.merge(ar, b);
+            self.nodes[a as usize].right = r;
+            self.nodes[r as usize].parent = a;
+            self.pull(a);
+            a
+        } else {
+            let bl = self.nodes[b as usize].left;
+            let l = self.merge(a, bl);
+            self.nodes[b as usize].left = l;
+            self.nodes[l as usize].parent = b;
+            self.pull(b);
+            b
+        }
+    }
+
+    /// Splits the tree containing `x` into `(L, R)` where `R` begins with
+    /// `x`. Either side may be `NIL` (L, when `x` is the tour head).
+    fn split_before(&mut self, x: u32) -> (u32, u32) {
+        // Detach x's left subtree: everything before x inside x's subtree.
+        let mut l = self.nodes[x as usize].left;
+        if l != NIL {
+            self.nodes[l as usize].parent = NIL;
+            self.nodes[x as usize].left = NIL;
+        }
+        let mut r = x;
+        let mut child = x;
+        let mut p = self.nodes[x as usize].parent;
+        self.nodes[x as usize].parent = NIL;
+        self.pull(x);
+        while p != NIL {
+            let gp = self.nodes[p as usize].parent;
+            let was_left = self.nodes[p as usize].left == child;
+            self.nodes[p as usize].parent = NIL;
+            if was_left {
+                // p and its right subtree come after x.
+                self.nodes[p as usize].left = r;
+                self.nodes[r as usize].parent = p;
+                self.pull(p);
+                r = p;
+            } else {
+                // p and its left subtree come before x.
+                self.nodes[p as usize].right = l;
+                if l != NIL {
+                    self.nodes[l as usize].parent = p;
+                }
+                self.pull(p);
+                l = p;
+            }
+            child = p;
+            p = gp;
+        }
+        (l, r)
+    }
+
+    /// Splits the tree containing `x` into `(L, R)` where `L` ends with `x`.
+    fn split_after(&mut self, x: u32) -> (u32, u32) {
+        let mut r = self.nodes[x as usize].right;
+        if r != NIL {
+            self.nodes[r as usize].parent = NIL;
+            self.nodes[x as usize].right = NIL;
+        }
+        let mut l = x;
+        let mut child = x;
+        let mut p = self.nodes[x as usize].parent;
+        self.nodes[x as usize].parent = NIL;
+        self.pull(x);
+        while p != NIL {
+            let gp = self.nodes[p as usize].parent;
+            let was_left = self.nodes[p as usize].left == child;
+            self.nodes[p as usize].parent = NIL;
+            if was_left {
+                self.nodes[p as usize].left = r;
+                if r != NIL {
+                    self.nodes[r as usize].parent = p;
+                }
+                self.pull(p);
+                r = p;
+            } else {
+                self.nodes[p as usize].right = l;
+                self.nodes[l as usize].parent = p;
+                self.pull(p);
+                l = p;
+            }
+            child = p;
+            p = gp;
+        }
+        (l, r)
+    }
+
+    /// Rotates the tour of the tree containing `loop_v` so that `loop_v`
+    /// becomes the tour head (re-roots the represented tree at `v`).
+    /// Returns the new BST root.
+    pub fn reroot(&mut self, loop_v: u32) -> u32 {
+        debug_assert!(self.is_loop(loop_v));
+        let (a, b) = self.split_before(loop_v);
+        self.merge(b, a)
+    }
+
+    /// Links the trees containing loop nodes `lu` and `lv` with a new edge,
+    /// producing arc nodes for `edge` in both directions.
+    ///
+    /// Precondition: the two loops are in different trees.
+    /// Returns `(arc_uv, arc_vu)` node handles.
+    pub fn link(&mut self, lu: u32, lv: u32, edge: u32, edge_at_level: bool) -> (u32, u32) {
+        debug_assert!(!self.same_tree(lu, lv), "link would create a cycle");
+        let a_uv = self.alloc(false, edge);
+        let a_vu = self.alloc(false, edge);
+        if edge_at_level {
+            self.nodes[a_uv as usize].flags |= F_SELF_TREE;
+            self.nodes[a_vu as usize].flags |= F_SELF_TREE;
+            self.pull(a_uv);
+            self.pull(a_vu);
+        }
+        let tu = self.reroot(lu);
+        let tv = self.reroot(lv);
+        let s = self.merge(tu, a_uv);
+        let s = self.merge(s, tv);
+        self.merge(s, a_vu);
+        (a_uv, a_vu)
+    }
+
+    /// Cuts the edge whose two arc nodes are `a1` and `a2`, splitting one
+    /// tour into two and freeing the arc nodes.
+    pub fn cut(&mut self, a1: u32, a2: u32) {
+        debug_assert!(self.same_tree(a1, a2));
+        let (first, second) = if self.rank(a1) < self.rank(a2) {
+            (a1, a2)
+        } else {
+            (a2, a1)
+        };
+        let (outer_l, _f) = self.split_before(first);
+        // _f = [first .. end of original tour]; second is within it.
+        let (_m, outer_r) = self.split_after(second);
+        // _m = [first ..= second]; strip the leading `first`.
+        let (f_only, _inner) = self.split_after(first);
+        debug_assert_eq!(f_only, first);
+        debug_assert_eq!(self.nodes[first as usize].size, 1);
+        // _inner = (first ..= second]; strip the trailing `second`.
+        let (_subtree, s_only) = self.split_before(second);
+        debug_assert_eq!(s_only, second);
+        debug_assert_eq!(self.nodes[second as usize].size, 1);
+        // _subtree is the detached tour of the far-side component.
+        // Rejoin the outer tour.
+        self.merge(outer_l, outer_r);
+        self.free_node(first);
+        self.free_node(second);
+    }
+
+    /// Sets or clears a self flag (`F_SELF_TREE` / `F_SELF_NONTREE`) on a
+    /// node and fixes aggregates up to the root.
+    pub fn set_self_flag(&mut self, x: u32, flag: u8, on: bool) {
+        debug_assert!(flag == F_SELF_TREE || flag == F_SELF_NONTREE);
+        {
+            let n = &mut self.nodes[x as usize];
+            if on {
+                n.flags |= flag;
+            } else {
+                n.flags &= !flag;
+            }
+        }
+        let mut cur = x;
+        loop {
+            self.pull(cur);
+            let p = self.nodes[cur as usize].parent;
+            if p == NIL {
+                break;
+            }
+            cur = p;
+        }
+    }
+
+    /// Whether `x` currently has the given self flag.
+    pub fn has_self_flag(&self, x: u32, flag: u8) -> bool {
+        self.nodes[x as usize].flags & flag != 0
+    }
+
+    /// Finds any node in the tree rooted at `root` carrying the given self
+    /// flag, using the subtree aggregate bits for pruning.
+    pub fn find_flagged(&self, root: u32, flag: u8) -> Option<u32> {
+        let agg = match flag {
+            F_SELF_TREE => F_AGG_TREE,
+            F_SELF_NONTREE => F_AGG_NONTREE,
+            _ => unreachable!("unknown flag"),
+        };
+        if root == NIL {
+            return None;
+        }
+        let mut x = root;
+        loop {
+            let n = &self.nodes[x as usize];
+            if n.flags & (agg | flag) == 0 {
+                return None;
+            }
+            if n.flags & flag != 0 {
+                return Some(x);
+            }
+            let l = n.left;
+            if l != NIL && self.nodes[l as usize].flags & agg != 0 {
+                x = l;
+                continue;
+            }
+            let r = n.right;
+            if r != NIL && self.nodes[r as usize].flags & agg != 0 {
+                x = r;
+                continue;
+            }
+            // Aggregate said yes but no child or self carries it: stale
+            // aggregate would be a bug.
+            unreachable!("inconsistent aggregate flags");
+        }
+    }
+
+    /// Collects the tour (payload, is_loop) left-to-right. Test helper.
+    pub fn tour(&self, root: u32) -> Vec<(u32, bool)> {
+        let mut out = Vec::new();
+        self.tour_rec(root, &mut out);
+        out
+    }
+
+    fn tour_rec(&self, x: u32, out: &mut Vec<(u32, bool)>) {
+        if x == NIL {
+            return;
+        }
+        let n = &self.nodes[x as usize];
+        self.tour_rec(n.left, out);
+        out.push((n.payload, n.flags & F_IS_LOOP != 0));
+        self.tour_rec(n.right, out);
+    }
+
+    /// Validates BST invariants for the tree containing `x`. Test helper.
+    #[cfg(test)]
+    pub fn validate(&self, x: u32) {
+        let root = self.root_of(x);
+        self.validate_rec(root, NIL);
+    }
+
+    #[cfg(test)]
+    fn validate_rec(&self, x: u32, parent: u32) -> (u32, u32, u8) {
+        if x == NIL {
+            return (0, 0, 0);
+        }
+        let n = &self.nodes[x as usize];
+        assert_eq!(n.parent, parent, "bad parent pointer at {x}");
+        if parent != NIL {
+            assert!(
+                self.nodes[parent as usize].pri >= n.pri,
+                "treap heap violation at {x}"
+            );
+        }
+        let (ls, ll, lf) = self.validate_rec(n.left, x);
+        let (rs, rl, rf) = self.validate_rec(n.right, x);
+        let mut agg = 0u8;
+        if n.flags & F_SELF_TREE != 0 {
+            agg |= F_AGG_TREE;
+        }
+        if n.flags & F_SELF_NONTREE != 0 {
+            agg |= F_AGG_NONTREE;
+        }
+        agg |= (lf | rf) & (F_AGG_TREE | F_AGG_NONTREE);
+        assert_eq!(
+            n.flags & (F_AGG_TREE | F_AGG_NONTREE),
+            agg,
+            "bad aggregate at {x}"
+        );
+        let size = 1 + ls + rs;
+        let loops = u32::from(n.flags & F_IS_LOOP != 0) + ll + rl;
+        assert_eq!(n.size, size, "bad size at {x}");
+        assert_eq!(n.loops, loops, "bad loops at {x}");
+        (size, loops, n.flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a forest over `n` vertices, returning loop handles.
+    fn loops(f: &mut EulerForest, n: u32) -> Vec<u32> {
+        (0..n).map(|v| f.new_loop(v)).collect()
+    }
+
+    #[test]
+    fn singleton_tour() {
+        let mut f = EulerForest::new(1);
+        let l = loops(&mut f, 1);
+        assert_eq!(f.tour(f.root_of(l[0])), vec![(0, true)]);
+        assert_eq!(f.loops_in_tree(f.root_of(l[0])), 1);
+    }
+
+    #[test]
+    fn link_two_vertices() {
+        let mut f = EulerForest::new(2);
+        let l = loops(&mut f, 2);
+        f.link(l[0], l[1], 77, false);
+        let t = f.tour(f.root_of(l[0]));
+        // loop(0), arc, loop(1), arc
+        assert_eq!(
+            t,
+            vec![(0, true), (77, false), (1, true), (77, false)]
+        );
+        assert!(f.same_tree(l[0], l[1]));
+        assert_eq!(f.loops_in_tree(f.root_of(l[0])), 2);
+        f.validate(l[0]);
+    }
+
+    #[test]
+    fn link_then_cut_restores() {
+        let mut f = EulerForest::new(3);
+        let l = loops(&mut f, 2);
+        let (a, b) = f.link(l[0], l[1], 9, false);
+        f.cut(a, b);
+        assert!(!f.same_tree(l[0], l[1]));
+        assert_eq!(f.tour(f.root_of(l[0])), vec![(0, true)]);
+        assert_eq!(f.tour(f.root_of(l[1])), vec![(1, true)]);
+        f.validate(l[0]);
+        f.validate(l[1]);
+    }
+
+    #[test]
+    fn chain_and_cut_middle() {
+        let mut f = EulerForest::new(4);
+        let l = loops(&mut f, 4);
+        let mut arcs = Vec::new();
+        for i in 0..3u32 {
+            arcs.push(f.link(l[i as usize], l[i as usize + 1], i, false));
+        }
+        assert_eq!(f.loops_in_tree(f.root_of(l[0])), 4);
+        // cut edge 1 (between vertices 1 and 2)
+        let (a, b) = arcs[1];
+        f.cut(a, b);
+        assert!(f.same_tree(l[0], l[1]));
+        assert!(f.same_tree(l[2], l[3]));
+        assert!(!f.same_tree(l[1], l[2]));
+        assert_eq!(f.loops_in_tree(f.root_of(l[0])), 2);
+        assert_eq!(f.loops_in_tree(f.root_of(l[3])), 2);
+        f.validate(l[0]);
+        f.validate(l[2]);
+    }
+
+    #[test]
+    fn tour_is_valid_euler_tour() {
+        // Star graph: tours must contain each arc twice, each loop once.
+        let mut f = EulerForest::new(5);
+        let l = loops(&mut f, 5);
+        for i in 1..5u32 {
+            f.link(l[0], l[i as usize], i, false);
+        }
+        let t = f.tour(f.root_of(l[0]));
+        assert_eq!(t.len(), 5 + 2 * 4);
+        for v in 0..5u32 {
+            assert_eq!(t.iter().filter(|&&(p, lp)| lp && p == v).count(), 1);
+        }
+        for e in 1..5u32 {
+            assert_eq!(t.iter().filter(|&&(p, lp)| !lp && p == e).count(), 2);
+        }
+        f.validate(l[0]);
+    }
+
+    #[test]
+    fn reroot_rotates_tour() {
+        let mut f = EulerForest::new(6);
+        let l = loops(&mut f, 3);
+        f.link(l[0], l[1], 0, false);
+        f.link(l[1], l[2], 1, false);
+        let before = f.tour(f.root_of(l[0]));
+        let r = f.reroot(l[2]);
+        let after = f.tour(r);
+        assert_eq!(after[0], (2, true));
+        // Rotation preserves the multiset and the cyclic order.
+        let mut b2 = before.clone();
+        let pos = before.iter().position(|&x| x == (2, true)).unwrap();
+        b2.rotate_left(pos);
+        assert_eq!(after, b2);
+        f.validate(l[0]);
+    }
+
+    #[test]
+    fn flags_propagate_and_find() {
+        let mut f = EulerForest::new(7);
+        let l = loops(&mut f, 4);
+        for i in 0..3u32 {
+            f.link(l[i as usize], l[i as usize + 1], i, false);
+        }
+        let root = f.root_of(l[0]);
+        assert_eq!(f.find_flagged(root, F_SELF_NONTREE), None);
+        f.set_self_flag(l[2], F_SELF_NONTREE, true);
+        let root = f.root_of(l[0]);
+        let found = f.find_flagged(root, F_SELF_NONTREE).unwrap();
+        assert_eq!(f.payload(found), 2);
+        assert!(f.is_loop(found));
+        f.set_self_flag(l[2], F_SELF_NONTREE, false);
+        let root = f.root_of(l[0]);
+        assert_eq!(f.find_flagged(root, F_SELF_NONTREE), None);
+        f.validate(l[0]);
+    }
+
+    #[test]
+    fn tree_flags_on_link() {
+        let mut f = EulerForest::new(8);
+        let l = loops(&mut f, 2);
+        let (a, _b) = f.link(l[0], l[1], 42, true);
+        let root = f.root_of(l[0]);
+        let found = f.find_flagged(root, F_SELF_TREE).unwrap();
+        assert_eq!(f.payload(found), 42);
+        f.set_self_flag(a, F_SELF_TREE, false);
+        // the twin arc still carries it
+        let root = f.root_of(l[0]);
+        assert!(f.find_flagged(root, F_SELF_TREE).is_some());
+    }
+
+    #[test]
+    fn rank_is_tour_position() {
+        let mut f = EulerForest::new(9);
+        let l = loops(&mut f, 5);
+        for i in 0..4u32 {
+            f.link(l[i as usize], l[i as usize + 1], i, false);
+        }
+        let root = f.root_of(l[0]);
+        let tour = f.tour(root);
+        // check rank of each loop node matches its position in the tour
+        for (i, &(payload, is_loop)) in tour.iter().enumerate() {
+            if is_loop {
+                assert_eq!(f.rank(l[payload as usize]) as usize, i);
+            }
+        }
+    }
+
+    /// Randomized differential test: ETT forest vs naive forest
+    /// connectivity under random link/cut.
+    #[test]
+    fn random_link_cut_matches_naive() {
+        let n: u32 = 40;
+        for seed in 0..8u64 {
+            let mut rng = SplitMix64::new(seed * 1000 + 17);
+            let mut f = EulerForest::new(seed);
+            let l = loops(&mut f, n);
+            // naive forest: edge list
+            let mut edges: Vec<(u32, u32, (u32, u32))> = Vec::new(); // (u, v, arcs)
+            let mut next_edge_id = 0u32;
+            let naive_connected = |edges: &[(u32, u32, (u32, u32))], a: u32, b: u32| {
+                let mut adj = vec![Vec::new(); n as usize];
+                for &(u, v, _) in edges {
+                    adj[u as usize].push(v);
+                    adj[v as usize].push(u);
+                }
+                let mut seen = vec![false; n as usize];
+                let mut stack = vec![a];
+                seen[a as usize] = true;
+                while let Some(x) = stack.pop() {
+                    if x == b {
+                        return true;
+                    }
+                    for &y in &adj[x as usize] {
+                        if !seen[y as usize] {
+                            seen[y as usize] = true;
+                            stack.push(y);
+                        }
+                    }
+                }
+                a == b
+            };
+            for _step in 0..400 {
+                let op = rng.next_below(3);
+                match op {
+                    0 => {
+                        // try to link two random vertices if disconnected
+                        let u = rng.next_below(n as u64) as u32;
+                        let v = rng.next_below(n as u64) as u32;
+                        if u != v && !f.same_tree(l[u as usize], l[v as usize]) {
+                            let arcs = f.link(l[u as usize], l[v as usize], next_edge_id, false);
+                            next_edge_id += 1;
+                            edges.push((u, v, arcs));
+                        }
+                    }
+                    1 => {
+                        // cut a random existing edge
+                        if !edges.is_empty() {
+                            let i = rng.next_below(edges.len() as u64) as usize;
+                            let (_, _, (a, b)) = edges.swap_remove(i);
+                            f.cut(a, b);
+                        }
+                    }
+                    _ => {
+                        let u = rng.next_below(n as u64) as u32;
+                        let v = rng.next_below(n as u64) as u32;
+                        assert_eq!(
+                            f.same_tree(l[u as usize], l[v as usize]),
+                            naive_connected(&edges, u, v),
+                            "connectivity mismatch seed {seed} ({u},{v})"
+                        );
+                    }
+                }
+                // periodically validate invariants and component sizes
+                if _step % 50 == 0 {
+                    let u = rng.next_below(n as u64) as u32;
+                    f.validate(l[u as usize]);
+                    let root = f.root_of(l[u as usize]);
+                    let mut count = 0;
+                    for w in 0..n {
+                        if f.same_tree(l[u as usize], l[w as usize]) {
+                            count += 1;
+                        }
+                    }
+                    assert_eq!(f.loops_in_tree(root), count);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,597 @@
+//! Fully-dynamic connectivity of Holm, de Lichtenberg and Thorup (HDT).
+//!
+//! This is the CC structure the paper plugs into its fully-dynamic
+//! framework (Theorem 4, citing \[14\]): `EdgeInsert`, `EdgeRemove` and
+//! `CC-Id` all in poly-logarithmic amortized time.
+//!
+//! # Structure
+//!
+//! Every edge carries a *level* `>= 0`. `F_i` denotes the spanning forest of
+//! the subgraph of edges with level `>= i`; the forests are nested
+//! (`F_0 ⊇ F_1 ⊇ ...`) and each is represented by an Euler-tour forest
+//! ([`crate::ett::EulerForest`]). The key invariants:
+//!
+//! 1. `F_0` is a spanning forest of the whole graph.
+//! 2. A component of `F_i` has at most `n / 2^i` vertices (levels only rise
+//!    when an edge is confined to the smaller half of a split component).
+//!
+//! **Insert**: a new edge goes to level 0 — a tree edge if its endpoints are
+//! disconnected in `F_0`, otherwise a non-tree edge stored in per-vertex,
+//! per-level adjacency lists.
+//!
+//! **Delete** of a tree edge `e` at level `l`: cut it from `F_0..=F_l`,
+//! then search levels `l, l-1, ..., 0` for a replacement. At level `i`, take
+//! the smaller of the two broken halves, *promote* its level-`i` tree edges
+//! to level `i+1` (preserving invariant 2), then scan its level-`i` non-tree
+//! edges: an edge leaving the half reconnects the component (it becomes a
+//! tree edge at level `i` in `F_0..=F_i`); an edge inside the half is
+//! promoted to level `i+1`. Each non-tree edge is charged `O(log n)` level
+//! rises over its lifetime, giving `O(log^2 n)` amortized per deletion.
+//!
+//! The ETT subtree flags (`F_SELF_TREE`, `F_SELF_NONTREE`) let both scans
+//! enumerate candidates in `O(log n)` per candidate instead of touching the
+//! whole component.
+
+use crate::ett::{EulerForest, F_SELF_NONTREE, F_SELF_TREE, NIL};
+use crate::{CompId, DynConnectivity};
+use dydbscan_geom::FxHashMap;
+
+const NO_EDGE: u32 = u32::MAX;
+
+#[derive(Debug, Clone)]
+struct EdgeRec {
+    u: u32,
+    v: u32,
+    level: u16,
+    is_tree: bool,
+    /// For tree edges: the (arc_uv, arc_vu) handles in forests `0..=level`.
+    arcs: Vec<(u32, u32)>,
+    /// For non-tree edges: positions inside the endpoint adjacency lists.
+    pos_u: u32,
+    pos_v: u32,
+}
+
+/// Fully-dynamic connectivity structure (HDT).
+///
+/// # Example
+///
+/// ```
+/// use dydbscan_conn::{DynConnectivity, HdtConnectivity};
+///
+/// let mut g = HdtConnectivity::new();
+/// g.insert_edge(0, 1);
+/// g.insert_edge(1, 2);
+/// g.insert_edge(2, 0);          // cycle: a non-tree edge
+/// assert!(g.connected(0, 2));
+/// g.delete_edge(0, 1);          // replacement found along the cycle
+/// assert!(g.connected(0, 1));
+/// g.delete_edge(2, 0);
+/// assert!(!g.connected(0, 1));  // now genuinely split
+/// ```
+pub struct HdtConnectivity {
+    /// One Euler-tour forest per level.
+    forests: Vec<EulerForest>,
+    /// `loops[v][i]` = loop node of vertex `v` in forest `i` (NIL if absent).
+    loops: Vec<Vec<u32>>,
+    edges: Vec<EdgeRec>,
+    free_edges: Vec<u32>,
+    edge_ids: FxHashMap<(u32, u32), u32>,
+    /// Non-tree edge ids incident to (vertex, level).
+    nontree: FxHashMap<(u32, u16), Vec<u32>>,
+    n_components: usize,
+    seed: u64,
+}
+
+impl std::fmt::Debug for HdtConnectivity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HdtConnectivity")
+            .field("vertices", &self.loops.len())
+            .field("edges", &self.edge_ids.len())
+            .field("levels", &self.forests.len())
+            .field("components", &self.n_components)
+            .finish()
+    }
+}
+
+impl HdtConnectivity {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self::with_seed(0x9E3779B97F4A7C15)
+    }
+
+    /// Creates an empty structure with a given treap-priority seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            forests: vec![EulerForest::new(seed)],
+            loops: Vec::new(),
+            edges: Vec::new(),
+            free_edges: Vec::new(),
+            edge_ids: FxHashMap::default(),
+            nontree: FxHashMap::default(),
+            n_components: 0,
+            seed,
+        }
+    }
+
+    /// Number of connected components among known vertices.
+    pub fn num_components(&self) -> usize {
+        self.n_components
+    }
+
+    /// Number of edges currently stored.
+    pub fn num_edges(&self) -> usize {
+        self.edge_ids.len()
+    }
+
+    /// Whether edge `{u, v}` is present.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.edge_ids.contains_key(&norm(u, v))
+    }
+
+    /// Size (vertex count) of `v`'s component.
+    pub fn component_size(&mut self, v: u32) -> u32 {
+        self.ensure_vertex(v);
+        let lv = self.loops[v as usize][0];
+        self.forests[0].loops_in_tree(self.forests[0].root_of(lv))
+    }
+
+    fn ensure_forest(&mut self, level: usize) {
+        while self.forests.len() <= level {
+            let seed = self.seed ^ ((self.forests.len() as u64) << 32);
+            self.forests.push(EulerForest::new(seed));
+        }
+    }
+
+    fn ensure_loop(&mut self, v: u32, level: usize) -> u32 {
+        self.ensure_forest(level);
+        let lv = &mut self.loops[v as usize];
+        while lv.len() <= level {
+            lv.push(NIL);
+        }
+        if lv[level] == NIL {
+            let node = self.forests[level].new_loop(v);
+            self.loops[v as usize][level] = node;
+            node
+        } else {
+            lv[level]
+        }
+    }
+
+    fn alloc_edge(&mut self, rec: EdgeRec) -> u32 {
+        match self.free_edges.pop() {
+            Some(i) => {
+                self.edges[i as usize] = rec;
+                i
+            }
+            None => {
+                self.edges.push(rec);
+                (self.edges.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Adds non-tree edge `eid` to the adjacency list of `(x, level)`,
+    /// maintaining the ETT non-tree flag of `x`'s loop in forest `level`.
+    fn add_nontree_at(&mut self, eid: u32, x: u32, level: u16) {
+        let lx = self.ensure_loop(x, level as usize);
+        let list = self.nontree.entry((x, level)).or_default();
+        let pos = list.len() as u32;
+        list.push(eid);
+        let e = &mut self.edges[eid as usize];
+        if e.u == x {
+            e.pos_u = pos;
+        } else {
+            debug_assert_eq!(e.v, x);
+            e.pos_v = pos;
+        }
+        if pos == 0 {
+            self.forests[level as usize].set_self_flag(lx, F_SELF_NONTREE, true);
+        }
+    }
+
+    /// Removes non-tree edge `eid` from the adjacency list of `(x, level)`.
+    fn remove_nontree_at(&mut self, eid: u32, x: u32, level: u16) {
+        let pos = {
+            let e = &self.edges[eid as usize];
+            if e.u == x {
+                e.pos_u
+            } else {
+                debug_assert_eq!(e.v, x);
+                e.pos_v
+            }
+        } as usize;
+        let list = self.nontree.get_mut(&(x, level)).expect("missing adjacency");
+        debug_assert_eq!(list[pos], eid);
+        list.swap_remove(pos);
+        if let Some(&moved) = list.get(pos) {
+            let m = &mut self.edges[moved as usize];
+            if m.u == x {
+                m.pos_u = pos as u32;
+            } else {
+                debug_assert_eq!(m.v, x);
+                m.pos_v = pos as u32;
+            }
+        }
+        if list.is_empty() {
+            self.nontree.remove(&(x, level));
+            let lx = self.loops[x as usize][level as usize];
+            self.forests[level as usize].set_self_flag(lx, F_SELF_NONTREE, false);
+        }
+    }
+
+    /// Makes `eid` a tree edge at its current level: links its endpoints in
+    /// forests `0..=level`, with the "at level" ETT flag set in the topmost.
+    fn link_tree_edge(&mut self, eid: u32) {
+        let (u, v, level) = {
+            let e = &self.edges[eid as usize];
+            (e.u, e.v, e.level)
+        };
+        let mut arcs = Vec::with_capacity(level as usize + 1);
+        for i in 0..=level {
+            let lu = self.ensure_loop(u, i as usize);
+            let lv = self.ensure_loop(v, i as usize);
+            let at_level = i == level;
+            arcs.push(self.forests[i as usize].link(lu, lv, eid, at_level));
+        }
+        let e = &mut self.edges[eid as usize];
+        e.is_tree = true;
+        e.arcs = arcs;
+    }
+
+    /// Promotes tree edge `eid` from level `i` to `i + 1`: clears its
+    /// "at level" flags in forest `i`, links its endpoints in forest `i+1`
+    /// (where it becomes the new topmost occurrence).
+    fn promote_tree_edge(&mut self, eid: u32, i: u16) {
+        let (u, v) = {
+            let e = &self.edges[eid as usize];
+            debug_assert!(e.is_tree && e.level == i);
+            (e.u, e.v)
+        };
+        let (a, b) = self.edges[eid as usize].arcs[i as usize];
+        self.forests[i as usize].set_self_flag(a, F_SELF_TREE, false);
+        self.forests[i as usize].set_self_flag(b, F_SELF_TREE, false);
+        let ni = i + 1;
+        let lu = self.ensure_loop(u, ni as usize);
+        let lv = self.ensure_loop(v, ni as usize);
+        let arcs = self.forests[ni as usize].link(lu, lv, eid, true);
+        let e = &mut self.edges[eid as usize];
+        e.level = ni;
+        e.arcs.push(arcs);
+    }
+
+    /// Promotes non-tree edge `eid` from level `i` to `i + 1`.
+    fn promote_nontree_edge(&mut self, eid: u32, i: u16) {
+        let (u, v) = {
+            let e = &self.edges[eid as usize];
+            (e.u, e.v)
+        };
+        self.remove_nontree_at(eid, u, i);
+        self.remove_nontree_at(eid, v, i);
+        self.edges[eid as usize].level = i + 1;
+        self.add_nontree_at(eid, u, i + 1);
+        self.add_nontree_at(eid, v, i + 1);
+    }
+
+    /// Replacement search after deleting a tree edge whose level was
+    /// `level` and whose endpoints were `u`, `v`. Returns `true` if the
+    /// component was reconnected.
+    fn replace(&mut self, u: u32, v: u32, level: u16) -> bool {
+        for i in (0..=level).rev() {
+            let fi = i as usize;
+            let ru = self.forests[fi].root_of(self.loops[u as usize][fi]);
+            let rv = self.forests[fi].root_of(self.loops[v as usize][fi]);
+            debug_assert_ne!(ru, rv, "endpoints still connected at level {i}");
+            // Work on the smaller half (invariant 2 allows raising its
+            // edges' levels).
+            let small = if self.forests[fi].loops_in_tree(ru) <= self.forests[fi].loops_in_tree(rv)
+            {
+                ru
+            } else {
+                rv
+            };
+            // 1) Promote all level-i tree edges of the smaller half.
+            while let Some(node) = self.forests[fi].find_flagged(small, F_SELF_TREE) {
+                let eid = self.forests[fi].payload(node);
+                self.promote_tree_edge(eid, i);
+            }
+            // 2) Scan level-i non-tree edges incident to the smaller half.
+            while let Some(node) = self.forests[fi].find_flagged(small, F_SELF_NONTREE) {
+                let x = self.forests[fi].payload(node);
+                debug_assert!(self.forests[fi].is_loop(node));
+                // Scan x's level-i list until it empties or a replacement
+                // is found. Promotions remove entries, so this terminates.
+                while let Some(&eid) = self.nontree.get(&(x, i)).and_then(|l| l.last()) {
+                    let (a, b) = {
+                        let e = &self.edges[eid as usize];
+                        (e.u, e.v)
+                    };
+                    let y = if a == x { b } else { a };
+                    let ly = self.loops[y as usize][fi];
+                    debug_assert_ne!(ly, NIL);
+                    if self.forests[fi].root_of(ly) == small {
+                        // Both endpoints inside: promote.
+                        self.promote_nontree_edge(eid, i);
+                    } else {
+                        // Leaves the half: replacement found.
+                        self.remove_nontree_at(eid, a, i);
+                        self.remove_nontree_at(eid, b, i);
+                        self.link_tree_edge(eid);
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+impl Default for HdtConnectivity {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn norm(u: u32, v: u32) -> (u32, u32) {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+impl DynConnectivity for HdtConnectivity {
+    fn ensure_vertex(&mut self, v: u32) {
+        while self.loops.len() <= v as usize {
+            self.loops.push(Vec::new());
+            self.n_components += 1;
+        }
+        // materialize the level-0 loop so component ids are stable handles
+        let v_idx = v;
+        if self.loops[v as usize].is_empty() {
+            self.ensure_loop(v_idx, 0);
+        }
+    }
+
+    fn insert_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = norm(u, v);
+        if self.edge_ids.contains_key(&key) {
+            return false;
+        }
+        self.ensure_vertex(u);
+        self.ensure_vertex(v);
+        let rec = EdgeRec {
+            u,
+            v,
+            level: 0,
+            is_tree: false,
+            arcs: Vec::new(),
+            pos_u: NO_EDGE,
+            pos_v: NO_EDGE,
+        };
+        let eid = self.alloc_edge(rec);
+        self.edge_ids.insert(key, eid);
+        let lu = self.loops[u as usize][0];
+        let lv = self.loops[v as usize][0];
+        if self.forests[0].same_tree(lu, lv) {
+            self.add_nontree_at(eid, u, 0);
+            self.add_nontree_at(eid, v, 0);
+        } else {
+            self.link_tree_edge(eid);
+            self.n_components -= 1;
+        }
+        true
+    }
+
+    fn delete_edge(&mut self, u: u32, v: u32) -> bool {
+        let key = norm(u, v);
+        let eid = match self.edge_ids.remove(&key) {
+            Some(e) => e,
+            None => return false,
+        };
+        let (eu, ev, level, is_tree) = {
+            let e = &self.edges[eid as usize];
+            (e.u, e.v, e.level, e.is_tree)
+        };
+        if !is_tree {
+            self.remove_nontree_at(eid, eu, level);
+            self.remove_nontree_at(eid, ev, level);
+        } else {
+            let arcs = std::mem::take(&mut self.edges[eid as usize].arcs);
+            for (i, (a, b)) in arcs.into_iter().enumerate() {
+                self.forests[i].cut(a, b);
+            }
+            if !self.replace(eu, ev, level) {
+                self.n_components += 1;
+            }
+        }
+        self.free_edges.push(eid);
+        true
+    }
+
+    fn connected(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return true;
+        }
+        self.ensure_vertex(u);
+        self.ensure_vertex(v);
+        let lu = self.loops[u as usize][0];
+        let lv = self.loops[v as usize][0];
+        self.forests[0].same_tree(lu, lv)
+    }
+
+    fn component_id(&mut self, v: u32) -> CompId {
+        self.ensure_vertex(v);
+        let lv = self.loops[v as usize][0];
+        self.forests[0].root_of(lv) as CompId
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.loops.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_connects() {
+        let mut h = HdtConnectivity::new();
+        assert!(h.insert_edge(0, 1));
+        assert!(h.connected(0, 1));
+        assert!(!h.connected(0, 2));
+        assert_eq!(h.num_components(), 2); // {0,1} and {2} (materialized by the query)
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_rejected() {
+        let mut h = HdtConnectivity::new();
+        assert!(h.insert_edge(3, 4));
+        assert!(!h.insert_edge(4, 3));
+        assert!(!h.insert_edge(2, 2));
+        assert!(h.has_edge(3, 4));
+        assert!(!h.has_edge(3, 2));
+    }
+
+    #[test]
+    fn delete_tree_edge_disconnects() {
+        let mut h = HdtConnectivity::new();
+        h.insert_edge(0, 1);
+        assert!(h.delete_edge(0, 1));
+        assert!(!h.connected(0, 1));
+        assert!(!h.delete_edge(0, 1));
+    }
+
+    #[test]
+    fn cycle_gives_replacement() {
+        let mut h = HdtConnectivity::new();
+        h.insert_edge(0, 1);
+        h.insert_edge(1, 2);
+        h.insert_edge(2, 0); // non-tree
+        assert!(h.delete_edge(0, 1));
+        assert!(h.connected(0, 1), "replacement edge must reconnect");
+        assert!(h.delete_edge(2, 0));
+        assert!(!h.connected(0, 1));
+        assert!(h.connected(1, 2));
+    }
+
+    #[test]
+    fn component_ids_group_correctly() {
+        let mut h = HdtConnectivity::new();
+        h.insert_edge(0, 1);
+        h.insert_edge(2, 3);
+        let a = h.component_id(0);
+        assert_eq!(a, h.component_id(1));
+        let b = h.component_id(2);
+        assert_eq!(b, h.component_id(3));
+        assert_ne!(a, b);
+        assert_ne!(a, h.component_id(4));
+    }
+
+    #[test]
+    fn component_size_tracks() {
+        let mut h = HdtConnectivity::new();
+        for i in 0..9 {
+            h.insert_edge(i, i + 1);
+        }
+        assert_eq!(h.component_size(4), 10);
+        h.delete_edge(4, 5);
+        assert_eq!(h.component_size(0), 5);
+        assert_eq!(h.component_size(9), 5);
+    }
+
+    #[test]
+    fn deep_levels_exercise_promotion() {
+        // Dense graph, then delete everything: forces level promotions.
+        let n = 24u32;
+        let mut h = HdtConnectivity::new();
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if (u + v) % 3 != 0 {
+                    h.insert_edge(u, v);
+                    edges.push((u, v));
+                }
+            }
+        }
+        // delete in insertion order; verify against naive at checkpoints
+        let mut remaining = edges.clone();
+        while let Some((u, v)) = remaining.pop() {
+            assert!(h.delete_edge(u, v));
+            if remaining.len() % 20 == 0 {
+                let naive = naive_components(n, &remaining);
+                for a in 0..n {
+                    for b in (a + 1)..n {
+                        assert_eq!(
+                            h.connected(a, b),
+                            naive[a as usize] == naive[b as usize],
+                            "mismatch after deleting down to {} edges ({a},{b})",
+                            remaining.len()
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(h.num_components(), n as usize);
+    }
+
+    fn naive_components(n: u32, edges: &[(u32, u32)]) -> Vec<u32> {
+        let mut uf = crate::UnionFind::with_len(n as usize);
+        for &(u, v) in edges {
+            uf.union(u, v);
+        }
+        (0..n).map(|v| uf.find(v)).collect()
+    }
+
+    /// The big differential test: random insert/delete/query against
+    /// union-find recomputation.
+    #[test]
+    fn random_updates_match_naive() {
+        use dydbscan_geom::SplitMix64;
+        let n = 48u32;
+        for seed in 0..6u64 {
+            let mut rng = SplitMix64::new(seed.wrapping_mul(0xABCD) + 5);
+            let mut h = HdtConnectivity::with_seed(seed + 100);
+            let mut edges: Vec<(u32, u32)> = Vec::new();
+            for step in 0..1200 {
+                let op = rng.next_below(100);
+                if op < 45 {
+                    let u = rng.next_below(n as u64) as u32;
+                    let v = rng.next_below(n as u64) as u32;
+                    if u != v && !edges.contains(&norm(u, v)) {
+                        assert!(h.insert_edge(u, v));
+                        edges.push(norm(u, v));
+                    }
+                } else if op < 80 {
+                    if !edges.is_empty() {
+                        let i = rng.next_below(edges.len() as u64) as usize;
+                        let (u, v) = edges.swap_remove(i);
+                        assert!(h.delete_edge(u, v));
+                    }
+                } else {
+                    let naive = naive_components(n, &edges);
+                    let u = rng.next_below(n as u64) as u32;
+                    let v = rng.next_below(n as u64) as u32;
+                    assert_eq!(
+                        h.connected(u, v),
+                        naive[u as usize] == naive[v as usize],
+                        "seed {seed} step {step} query ({u},{v})"
+                    );
+                }
+            }
+            // final exhaustive check, including component-id grouping
+            let naive = naive_components(n, &edges);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    let same_naive = naive[u as usize] == naive[v as usize];
+                    assert_eq!(h.connected(u, v), same_naive);
+                    assert_eq!(h.component_id(u) == h.component_id(v), same_naive);
+                }
+            }
+        }
+    }
+}

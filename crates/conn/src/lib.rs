@@ -1,0 +1,58 @@
+//! Connectivity substrates for `dydbscan`.
+//!
+//! The paper's framework (Section 4) reduces dynamic density-based
+//! clustering to maintaining connected components (CCs) of the *grid graph*.
+//! Two regimes are needed:
+//!
+//! * **Semi-dynamic** (insertions only, Theorem 1): edges are only ever
+//!   added, so Tarjan's union-find ([`union_find::UnionFind`]) supports
+//!   `EdgeInsert` and `CC-Id` in near-constant amortized time.
+//! * **Fully dynamic** (Theorem 4): edges appear *and disappear* as core
+//!   points come and go. The paper plugs in the poly-logarithmic dynamic
+//!   connectivity structure of Holm, de Lichtenberg and Thorup (HDT),
+//!   which we implement in full: Euler-tour trees over randomized treaps
+//!   ([`ett`]) and the level hierarchy with edge promotion and replacement
+//!   search ([`hdt`]).
+//!
+//! [`naive`] provides a rebuild-from-scratch connectivity oracle used for
+//! differential testing and for the `ablate_cc` benchmark.
+
+pub mod ett;
+pub mod hdt;
+pub mod naive;
+pub mod union_find;
+
+pub use hdt::HdtConnectivity;
+pub use naive::NaiveConnectivity;
+pub use union_find::UnionFind;
+
+/// A component identifier. Only meaningful for comparisons between queries
+/// issued against the *same* structure state (no updates in between), which
+/// is exactly what the C-group-by query of the paper requires.
+pub type CompId = u64;
+
+/// Common interface for dynamic connectivity structures over `u32` vertices.
+///
+/// `dydbscan-core` is generic over this trait so the fully-dynamic
+/// clustering algorithm can run on HDT (default) or on the naive oracle
+/// (differential tests, ablation benchmarks).
+pub trait DynConnectivity {
+    /// Ensures vertex `v` exists (vertices are dense `u32` indices).
+    fn ensure_vertex(&mut self, v: u32);
+
+    /// Adds edge `{u, v}`. Returns `false` (and does nothing) if the edge is
+    /// already present or `u == v`.
+    fn insert_edge(&mut self, u: u32, v: u32) -> bool;
+
+    /// Removes edge `{u, v}`. Returns `false` if absent.
+    fn delete_edge(&mut self, u: u32, v: u32) -> bool;
+
+    /// Whether `u` and `v` are currently in the same component.
+    fn connected(&mut self, u: u32, v: u32) -> bool;
+
+    /// An identifier for `v`'s component, stable while no updates occur.
+    fn component_id(&mut self, v: u32) -> CompId;
+
+    /// Number of vertices currently known.
+    fn num_vertices(&self) -> usize;
+}

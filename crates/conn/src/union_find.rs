@@ -1,0 +1,216 @@
+//! Union-find (disjoint-set union) after Tarjan.
+//!
+//! This is the CC structure for the semi-dynamic algorithms (Theorem 1 of
+//! the paper): `EdgeInsert(c1, c2)` maps to `union`, `CC-Id(c)` maps to
+//! `find`. With union by size and path halving, both run in
+//! `O(alpha(n))` amortized time.
+
+/// Disjoint-set union over dense `u32` indices.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    /// Size of the set; only meaningful at roots.
+    size: Vec<u32>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates an empty structure.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a structure with `n` singleton sets.
+    pub fn with_len(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            sets: n,
+        }
+    }
+
+    /// Adds a new singleton set and returns its index.
+    pub fn make_set(&mut self) -> u32 {
+        let id = self.parent.len() as u32;
+        self.parent.push(id);
+        self.size.push(1);
+        self.sets += 1;
+        id
+    }
+
+    /// Ensures indices `0..=v` exist as sets.
+    pub fn ensure(&mut self, v: u32) {
+        while self.parent.len() <= v as usize {
+            self.make_set();
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if no elements exist.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn num_sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Representative of `v`'s set, with path halving.
+    pub fn find(&mut self, mut v: u32) -> u32 {
+        loop {
+            let p = self.parent[v as usize];
+            if p == v {
+                return v;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[v as usize] = gp;
+            v = gp;
+        }
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn same(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `v`.
+    pub fn set_size(&mut self, v: u32) -> u32 {
+        let r = self.find(v);
+        self.size[r as usize]
+    }
+}
+
+impl crate::DynConnectivity for UnionFind {
+    fn ensure_vertex(&mut self, v: u32) {
+        self.ensure(v);
+    }
+
+    fn insert_edge(&mut self, u: u32, v: u32) -> bool {
+        if u == v {
+            return false;
+        }
+        self.ensure(u.max(v));
+        self.union(u, v)
+    }
+
+    fn delete_edge(&mut self, _u: u32, _v: u32) -> bool {
+        panic!("UnionFind is semi-dynamic: EdgeRemove is not supported (paper Section 4.2)")
+    }
+
+    fn connected(&mut self, u: u32, v: u32) -> bool {
+        self.ensure(u.max(v));
+        self.same(u, v)
+    }
+
+    fn component_id(&mut self, v: u32) -> crate::CompId {
+        self.ensure(v);
+        self.find(v) as crate::CompId
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_union_find() {
+        let mut uf = UnionFind::with_len(5);
+        assert_eq!(uf.num_sets(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_sets(), 3);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert!(uf.union(1, 3));
+        assert!(uf.same(0, 2));
+        assert_eq!(uf.set_size(3), 4);
+        assert_eq!(uf.num_sets(), 2);
+    }
+
+    #[test]
+    fn make_set_grows() {
+        let mut uf = UnionFind::new();
+        let a = uf.make_set();
+        let b = uf.make_set();
+        assert_eq!((a, b), (0, 1));
+        assert!(!uf.same(a, b));
+    }
+
+    #[test]
+    fn ensure_is_idempotent() {
+        let mut uf = UnionFind::new();
+        uf.ensure(3);
+        uf.ensure(1);
+        assert_eq!(uf.len(), 4);
+        assert_eq!(uf.num_sets(), 4);
+    }
+
+    #[test]
+    fn find_is_canonical() {
+        let mut uf = UnionFind::with_len(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        let r = uf.find(0);
+        for i in 0..10 {
+            assert_eq!(uf.find(i), r);
+        }
+        assert_eq!(uf.num_sets(), 1);
+    }
+
+    #[test]
+    fn random_unions_match_naive() {
+        use dydbscan_geom::SplitMix64;
+        let mut rng = SplitMix64::new(0xDEAD);
+        let n = 64u32;
+        let mut uf = UnionFind::with_len(n as usize);
+        // naive labels
+        let mut label: Vec<u32> = (0..n).collect();
+        for _ in 0..500 {
+            let a = rng.next_below(n as u64) as u32;
+            let b = rng.next_below(n as u64) as u32;
+            uf.union(a, b);
+            let (la, lb) = (label[a as usize], label[b as usize]);
+            if la != lb {
+                for l in label.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+            // spot-check equivalence
+            let x = rng.next_below(n as u64) as u32;
+            let y = rng.next_below(n as u64) as u32;
+            assert_eq!(
+                uf.same(x, y),
+                label[x as usize] == label[y as usize],
+                "mismatch on ({x},{y})"
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based differential testing of the HDT dynamic-connectivity
+//! structure against offline union-find recomputation, under arbitrary
+//! interleavings of edge insertions, deletions and queries.
+
+use dydbscan_conn::{DynConnectivity, HdtConnectivity, NaiveConnectivity, UnionFind};
+use proptest::prelude::*;
+
+const N: u32 = 40;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Insert(u32, u32),
+    Remove(usize),
+    Check(u32, u32),
+}
+
+fn arb_cmds() -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            4 => (0..N, 0..N).prop_map(|(u, v)| Cmd::Insert(u, v)),
+            3 => any::<usize>().prop_map(Cmd::Remove),
+            2 => (0..N, 0..N).prop_map(|(u, v)| Cmd::Check(u, v)),
+        ],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hdt_matches_offline_union_find(cmds in arb_cmds(), seed in any::<u64>()) {
+        let mut h = HdtConnectivity::with_seed(seed);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for cmd in &cmds {
+            match cmd {
+                Cmd::Insert(u, v) => {
+                    let (u, v) = (*u, *v);
+                    if u != v && !edges.contains(&(u.min(v), u.max(v))) {
+                        prop_assert!(h.insert_edge(u, v));
+                        edges.push((u.min(v), u.max(v)));
+                    }
+                }
+                Cmd::Remove(k) => {
+                    if !edges.is_empty() {
+                        let i = k % edges.len();
+                        let (u, v) = edges.swap_remove(i);
+                        prop_assert!(h.delete_edge(u, v));
+                    }
+                }
+                Cmd::Check(u, v) => {
+                    let mut uf = UnionFind::with_len(N as usize);
+                    for &(a, b) in &edges {
+                        uf.union(a, b);
+                    }
+                    prop_assert_eq!(h.connected(*u, *v), uf.same(*u, *v));
+                }
+            }
+        }
+        // final exhaustive comparison including component-id grouping
+        let mut uf = UnionFind::with_len(N as usize);
+        for &(a, b) in &edges {
+            uf.union(a, b);
+        }
+        for u in 0..N {
+            for v in (u + 1)..N {
+                let same = uf.same(u, v);
+                prop_assert_eq!(h.connected(u, v), same);
+                prop_assert_eq!(h.component_id(u) == h.component_id(v), same);
+            }
+        }
+    }
+
+    #[test]
+    fn hdt_and_naive_agree(cmds in arb_cmds()) {
+        let mut h = HdtConnectivity::new();
+        let mut n = NaiveConnectivity::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        for cmd in &cmds {
+            match cmd {
+                Cmd::Insert(u, v) => {
+                    let (u, v) = (*u, *v);
+                    if u != v && !edges.contains(&(u.min(v), u.max(v))) {
+                        prop_assert_eq!(h.insert_edge(u, v), n.insert_edge(u, v));
+                        edges.push((u.min(v), u.max(v)));
+                    }
+                }
+                Cmd::Remove(k) => {
+                    if !edges.is_empty() {
+                        let i = k % edges.len();
+                        let (u, v) = edges.swap_remove(i);
+                        prop_assert_eq!(h.delete_edge(u, v), n.delete_edge(u, v));
+                    }
+                }
+                Cmd::Check(u, v) => {
+                    prop_assert_eq!(h.connected(*u, *v), n.connected(*u, *v));
+                }
+            }
+        }
+    }
+}

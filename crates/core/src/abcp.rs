@@ -1,0 +1,230 @@
+//! Approximate bichromatic close pair (aBCP) — Lemma 3 of the paper.
+//!
+//! One instance runs per unordered pair of `eps`-close core cells
+//! `(c1, c2)`, over the sets of core points `S(c1)`, `S(c2)`. The instance
+//! maintains a **witness pair** `(p1*, p2*)` such that
+//!
+//! * if non-empty, `dist(p1*, p2*) <= (1+rho) * eps`;
+//! * it is non-empty whenever some pair `(p1, p2) in S(c1) x S(c2)` has
+//!   `dist(p1, p2) <= eps`.
+//!
+//! The grid-graph edge `{c1, c2}` exists iff the witness is non-empty
+//! (Section 7.2).
+//!
+//! Following the appendix proof and its remark, the list `L` of
+//! not-yet-de-listed points is *not materialized*: each cell keeps its core
+//! points in insertion order ([`dydbscan_grid::CoreLog`]) and the instance
+//! stores one suffix pointer per side. De-listing pops the point at a
+//! pointer (skipping tombstones of points that stopped being core) and
+//! issues one emptiness query; the total number of emptiness queries is
+//! bounded by the number of insertions/deletions touching the instance.
+//!
+//! Invariant enforced throughout (as in the proof): **if the witness is
+//! empty, `L` is empty** — i.e. both pointers sit past every alive log
+//! entry.
+//!
+//! Coordinate lookups go through a caller-supplied closure (the point
+//! arena), keeping every operation `O~(1)` regardless of cell population.
+
+use crate::points::PointId;
+use dydbscan_geom::Point;
+use dydbscan_grid::{CellId, GridIndex, LogPos};
+
+/// Identifier of an aBCP instance.
+pub type AbcpId = u32;
+
+/// Which side of an instance a cell is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The cell stored as `c1`.
+    First,
+    /// The cell stored as `c2`.
+    Second,
+}
+
+/// State of one aBCP instance.
+#[derive(Debug, Clone)]
+pub struct AbcpInstance {
+    /// The lower-numbered of the two `eps`-close core cells.
+    pub c1: CellId,
+    /// The higher-numbered cell.
+    pub c2: CellId,
+    /// Current witness pair `(point in c1, point in c2)`.
+    pub witness: Option<(PointId, PointId)>,
+    /// De-list pointer into `c1`'s core log.
+    pub ptr1: LogPos,
+    /// De-list pointer into `c2`'s core log.
+    pub ptr2: LogPos,
+}
+
+impl AbcpInstance {
+    /// Which side `cell` is on. Panics if the cell is not part of the
+    /// instance.
+    #[inline]
+    pub fn side_of(&self, cell: CellId) -> Side {
+        if cell == self.c1 {
+            Side::First
+        } else {
+            debug_assert_eq!(cell, self.c2);
+            Side::Second
+        }
+    }
+
+    /// The cell opposite to `side`.
+    #[inline]
+    pub fn other_cell(&self, side: Side) -> CellId {
+        match side {
+            Side::First => self.c2,
+            Side::Second => self.c1,
+        }
+    }
+
+    /// Whether the grid-graph edge `{c1, c2}` currently exists.
+    #[inline]
+    pub fn has_edge(&self) -> bool {
+        self.witness.is_some()
+    }
+}
+
+/// Outcome of an instance update, telling the caller (GUM) which CC
+/// operation to forward (Section 7.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeChange {
+    /// Witness state unchanged (edge presence unchanged).
+    None,
+    /// Witness appeared: call `EdgeInsert(c1, c2)`.
+    Inserted,
+    /// Witness disappeared: call `EdgeRemove(c1, c2)`.
+    Removed,
+}
+
+/// Creates an instance over cells `(a, b)`, finding the initial witness by
+/// iterating the smaller side's core points (Lemma 3: cost
+/// `O~(min(|S(c1)|, |S(c2)|))` emptiness queries).
+pub fn create<const D: usize>(grid: &GridIndex<D>, a: CellId, b: CellId) -> AbcpInstance {
+    let (c1, c2) = if a < b { (a, b) } else { (b, a) };
+    let (from, to) = if grid.cell(c1).core.len() <= grid.cell(c2).core.len() {
+        (c1, c2)
+    } else {
+        (c2, c1)
+    };
+    let mut witness = None;
+    grid.cell(from).core.for_each(|p, pid| {
+        if witness.is_none() {
+            if let Some((proof, _)) = grid.emptiness(p, to) {
+                witness = Some(if from == c1 { (pid, proof) } else { (proof, pid) });
+            }
+        }
+    });
+    // Pointers start past the current logs: L is empty (every current
+    // point was covered by the initial search).
+    AbcpInstance {
+        c1,
+        c2,
+        witness,
+        ptr1: grid.cell(c1).core_log.end(),
+        ptr2: grid.cell(c2).core_log.end(),
+    }
+}
+
+/// De-listing loop: drains `L` (both suffixes) until a witness is found or
+/// `L` empties. Each de-listed point issues one emptiness query against the
+/// opposite cell.
+fn delist_until_witness<const D: usize>(
+    inst: &mut AbcpInstance,
+    grid: &GridIndex<D>,
+    coords: &impl Fn(PointId) -> Point<D>,
+) {
+    debug_assert!(inst.witness.is_none());
+    loop {
+        // Drain side 1 first, then side 2 (order is arbitrary; see proof).
+        if let Some((pos, pid)) = grid.cell(inst.c1).core_log.next_alive(inst.ptr1) {
+            inst.ptr1 = pos + 1;
+            if let Some((proof, _)) = grid.emptiness(&coords(pid), inst.c2) {
+                inst.witness = Some((pid, proof));
+                return;
+            }
+            continue;
+        }
+        if let Some((pos, pid)) = grid.cell(inst.c2).core_log.next_alive(inst.ptr2) {
+            inst.ptr2 = pos + 1;
+            if let Some((proof, _)) = grid.emptiness(&coords(pid), inst.c1) {
+                inst.witness = Some((proof, pid));
+                return;
+            }
+            continue;
+        }
+        // L exhausted on both sides.
+        inst.ptr1 = grid.cell(inst.c1).core_log.end();
+        inst.ptr2 = grid.cell(inst.c2).core_log.end();
+        return;
+    }
+}
+
+/// Handles a core-point insertion into a side of the instance (the point
+/// must already be in the cell's core set and log). Lemma 3: if the witness
+/// is non-empty the point silently joins `L`; otherwise `L = {p}` and one
+/// de-listing runs.
+pub fn insert_core<const D: usize>(
+    inst: &mut AbcpInstance,
+    grid: &GridIndex<D>,
+    coords: &impl Fn(PointId) -> Point<D>,
+) -> EdgeChange {
+    if inst.witness.is_some() {
+        return EdgeChange::None;
+    }
+    delist_until_witness(inst, grid, coords);
+    if inst.witness.is_some() {
+        EdgeChange::Inserted
+    } else {
+        EdgeChange::None
+    }
+}
+
+/// Handles a core-point removal from `cell` (the point must already be
+/// gone from the cell's core set, with its log entry tombstoned).
+///
+/// Lemma 3's deletion: if the departed point was half of the witness, first
+/// try to re-anchor on the surviving half with one emptiness query; if that
+/// fails, run the de-listing loop; if that fails too, the witness — and the
+/// grid-graph edge — disappears.
+pub fn delete_core<const D: usize>(
+    inst: &mut AbcpInstance,
+    grid: &GridIndex<D>,
+    cell: CellId,
+    point: PointId,
+    coords: &impl Fn(PointId) -> Point<D>,
+) -> EdgeChange {
+    let (w1, w2) = match inst.witness {
+        None => return EdgeChange::None, // L empty by invariant; nothing to do
+        Some(w) => w,
+    };
+    let side = inst.side_of(cell);
+    let departed = match side {
+        Side::First => w1,
+        Side::Second => w2,
+    };
+    if departed != point {
+        return EdgeChange::None; // witness unaffected
+    }
+    // Step 1: re-anchor on the surviving witness half.
+    let survivor = match side {
+        Side::First => w2,
+        Side::Second => w1,
+    };
+    if let Some((proof, _)) = grid.emptiness(&coords(survivor), cell) {
+        inst.witness = Some(match side {
+            Side::First => (proof, survivor),
+            Side::Second => (survivor, proof),
+        });
+        return EdgeChange::None;
+    }
+    // Step 2: de-list until a witness appears or L empties.
+    inst.witness = None;
+    delist_until_witness(inst, grid, coords);
+    if inst.witness.is_some() {
+        EdgeChange::None
+    } else {
+        EdgeChange::Removed
+    }
+}

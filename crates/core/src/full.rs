@@ -1,0 +1,768 @@
+//! Fully-dynamic ρ-double-approximate DBSCAN — Theorem 4.
+//!
+//! This is the algorithm of Section 7, instantiating the grid-graph
+//! framework of Section 4 with:
+//!
+//! * **Core-status structure** (Section 7.3): core status under the
+//!   *relaxed* core definition of Section 6.2, decided by a ρ-approximate
+//!   range count `k` (`core iff k >= MinPts`). An update re-checks the
+//!   points of nearby *sparse* cells — within `(1+rho)*eps` rather than the
+//!   paper's `eps` (see DESIGN.md deviation 2; the larger radius restores
+//!   the invariant *stored-core(p) ⟹ |B(p,(1+ρ)ε)| ≥ MinPts* under
+//!   adversarial shell deletions). Dense cells short-circuit: all of their
+//!   points are definitely core.
+//! * **GUM** (Section 7.4): one [`crate::abcp`] instance per pair of
+//!   `eps`-close core cells maintains a witness pair; its appearance /
+//!   disappearance drives `EdgeInsert` / `EdgeRemove`.
+//! * **CC structure**: any [`DynConnectivity`] — by default the
+//!   Holm–de Lichtenberg–Thorup structure
+//!   ([`dydbscan_conn::HdtConnectivity`]), giving `O~(1)` amortized
+//!   updates; the naive oracle can be plugged in for differential testing
+//!   and ablation.
+//!
+//! `rho = 0` yields fully-dynamic **exact** DBSCAN (the paper's
+//! *2d-Full-Exact* when `D = 2`).
+
+use crate::abcp::{self, AbcpId, AbcpInstance, EdgeChange};
+use crate::groups::{Clustering, GroupBy};
+use crate::params::Params;
+use crate::points::{PointArena, PointId};
+use crate::query::c_group_by;
+use dydbscan_conn::{DynConnectivity, HdtConnectivity};
+use dydbscan_geom::{dist_sq, FxHashMap, Point};
+use dydbscan_grid::{CellId, GridIndex};
+
+/// Operation counters for provenance analysis in the benchmarks.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FullStats {
+    /// Approximate range-count queries issued.
+    pub count_queries: u64,
+    /// Points promoted to core.
+    pub promotions: u64,
+    /// Points demoted from core.
+    pub demotions: u64,
+    /// Grid-graph edge insertions forwarded to the CC structure.
+    pub edge_inserts: u64,
+    /// Grid-graph edge removals forwarded to the CC structure.
+    pub edge_removes: u64,
+    /// aBCP instances created.
+    pub instances_created: u64,
+    /// aBCP instances destroyed.
+    pub instances_destroyed: u64,
+}
+
+/// Fully-dynamic ρ-double-approximate DBSCAN (exact when `rho = 0`).
+///
+/// Generic over the CC structure; the default is the paper's choice (HDT).
+///
+/// # Example
+///
+/// ```
+/// use dydbscan_core::{FullDynDbscan, Params};
+///
+/// let mut c = FullDynDbscan::<2>::new(Params::new(1.0, 3).with_rho(0.001));
+/// let a = c.insert([0.0, 0.0]);
+/// let b = c.insert([0.5, 0.0]);
+/// let d = c.insert([0.0, 0.5]);
+/// assert!(c.is_core(a));
+/// let g = c.group_by(&[a, b, d]);
+/// assert_eq!(g.num_groups(), 1);
+/// c.delete(b); // drops below MinPts: the cluster dissolves
+/// let g = c.group_by(&[a, d]);
+/// assert!(g.is_noise(a) && g.is_noise(d));
+/// ```
+#[derive(Debug)]
+pub struct FullDynDbscan<const D: usize, C: DynConnectivity = HdtConnectivity> {
+    params: Params,
+    grid: GridIndex<D>,
+    points: PointArena<D>,
+    conn: C,
+    instances: Vec<AbcpInstance>,
+    free_instances: Vec<AbcpId>,
+    instance_ids: FxHashMap<(CellId, CellId), AbcpId>,
+    /// Instances touching each cell.
+    cell_instances: Vec<Vec<AbcpId>>,
+    stats: FullStats,
+}
+
+impl<const D: usize> FullDynDbscan<D, HdtConnectivity> {
+    /// Creates an empty clusterer with the default (HDT) CC structure.
+    pub fn new(params: Params) -> Self {
+        Self::with_connectivity(params, HdtConnectivity::new())
+    }
+}
+
+impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
+    /// Creates an empty clusterer over a caller-supplied CC structure.
+    pub fn with_connectivity(params: Params, conn: C) -> Self {
+        params.validate();
+        Self {
+            grid: GridIndex::new(params.eps, params.rho),
+            params,
+            points: PointArena::new(),
+            conn,
+            instances: Vec::new(),
+            free_instances: Vec::new(),
+            instance_ids: FxHashMap::default(),
+            cell_instances: Vec::new(),
+            stats: FullStats::default(),
+        }
+    }
+
+    /// The clustering parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Number of alive points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points are alive.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> FullStats {
+        self.stats
+    }
+
+    /// Whether `id` is alive.
+    pub fn is_alive(&self, id: PointId) -> bool {
+        self.points.is_alive(id)
+    }
+
+    /// Whether `id` is currently a core point.
+    pub fn is_core(&self, id: PointId) -> bool {
+        self.points.is_core(id)
+    }
+
+    /// Coordinates of a point (also valid for deleted ids).
+    pub fn coords(&self, id: PointId) -> Point<D> {
+        self.points.get(id).coords
+    }
+
+    /// Ids of all alive points.
+    pub fn alive_ids(&self) -> Vec<PointId> {
+        self.points.iter_alive().map(|(i, _)| i).collect()
+    }
+
+    /// Number of live aBCP instances (= candidate grid-graph edges).
+    pub fn num_instances(&self) -> usize {
+        self.instances.len() - self.free_instances.len()
+    }
+
+    /// Number of core points currently stored.
+    pub fn num_core_points(&self) -> usize {
+        self.points
+            .iter_alive()
+            .filter(|&(i, _)| self.points.is_core(i))
+            .count()
+    }
+
+    /// Number of (preliminary) clusters: connected components of the grid
+    /// graph over core cells. `O(#cells)` — a monitoring helper, not part
+    /// of the paper's query interface.
+    pub fn num_clusters(&mut self) -> usize {
+        let mut roots: FxHashMap<u64, ()> = FxHashMap::default();
+        for c in 0..self.grid.num_cells() as CellId {
+            if self.grid.cell(c).is_core_cell() {
+                roots.insert(self.conn.component_id(c), ());
+            }
+        }
+        roots.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Updates
+    // ------------------------------------------------------------------
+
+    /// Inserts a point; returns its id. Amortized `O~(1)`.
+    pub fn insert(&mut self, p: Point<D>) -> PointId {
+        let id = self.points.push(p, 0);
+        let cell = self.grid.insert_point(&p, id);
+        self.points.get_mut(id).cell = cell;
+        while self.cell_instances.len() <= cell as usize {
+            self.cell_instances.push(Vec::new());
+        }
+
+        let min_pts = self.params.min_pts;
+        let count = self.grid.cell(cell).count();
+        let mut promotions: Vec<PointId> = Vec::new();
+
+        // New point's own status (dense shortcut or approximate count).
+        if count >= min_pts {
+            promotions.push(id);
+            if count == min_pts {
+                // The cell just became dense: every resident is now
+                // definitely core; no count queries needed.
+                let mut residents = Vec::new();
+                self.grid.cell(cell).all.for_each(|_, q| {
+                    if q != id && !self.points.is_core(q) {
+                        residents.push(q);
+                    }
+                });
+                promotions.extend(residents);
+            }
+        } else {
+            self.stats.count_queries += 1;
+            if self.grid.count_ball_sandwich(&p) >= min_pts {
+                promotions.push(id);
+            }
+        }
+
+        // Re-check non-core points of (1+rho)eps-close sparse cells whose
+        // ball gained the new point.
+        let hi_sq = self.params.eps_hi_sq();
+        let mut trigger_cells = Vec::new();
+        self.grid.for_each_trigger_neighbor(cell, |c| {
+            trigger_cells.push(c);
+        });
+        for c in trigger_cells {
+            if self.grid.cell(c).count() >= min_pts {
+                continue; // dense: residents already core
+            }
+            let mut candidates = Vec::new();
+            self.grid.cell(c).all.for_each(|qp, q| {
+                if q != id && !self.points.is_core(q) && dist_sq(qp, &p) <= hi_sq {
+                    candidates.push(q);
+                }
+            });
+            for q in candidates {
+                self.stats.count_queries += 1;
+                let qp = self.points.get(q).coords;
+                if self.grid.count_ball_sandwich(&qp) >= min_pts {
+                    promotions.push(q);
+                }
+            }
+        }
+
+        for q in promotions {
+            self.on_became_core(q);
+        }
+        id
+    }
+
+    /// Deletes a point by id. Amortized `O~(1)`. Panics on unknown or
+    /// already-deleted ids.
+    pub fn delete(&mut self, id: PointId) {
+        assert!(
+            self.points.is_alive(id),
+            "delete of unknown or already-deleted point id {id}"
+        );
+        let (p, cell) = {
+            let r = self.points.get(id);
+            (r.coords, r.cell)
+        };
+        // Remove from the grid first so all subsequent counts see P\{p}.
+        self.grid.remove_point(&p, id);
+        if self.points.is_core(id) {
+            self.on_lost_core(id);
+        }
+        self.points.kill(id);
+
+        // Re-check core points of (1+rho)eps-close sparse cells whose ball
+        // lost the deleted point. (Points in still-dense cells remain
+        // definitely core.)
+        let min_pts = self.params.min_pts;
+        let hi_sq = self.params.eps_hi_sq();
+        let mut trigger_cells = Vec::new();
+        self.grid.for_each_trigger_neighbor(cell, |c| {
+            trigger_cells.push(c);
+        });
+        for c in trigger_cells {
+            if self.grid.cell(c).count() >= min_pts {
+                continue;
+            }
+            let mut candidates = Vec::new();
+            self.grid.cell(c).all.for_each(|qp, q| {
+                if self.points.is_core(q) && dist_sq(qp, &p) <= hi_sq {
+                    candidates.push(q);
+                }
+            });
+            for q in candidates {
+                self.stats.count_queries += 1;
+                let qp = self.points.get(q).coords;
+                if self.grid.count_ball_sandwich(&qp) < min_pts {
+                    self.on_lost_core(q);
+                }
+            }
+        }
+    }
+
+    /// Registers `q` as a core point and runs GUM (Section 7.4).
+    fn on_became_core(&mut self, q: PointId) {
+        debug_assert!(!self.points.is_core(q));
+        self.stats.promotions += 1;
+        self.points.set_core(q, true);
+        let (qp, cell) = {
+            let r = self.points.get(q);
+            (r.coords, r.cell)
+        };
+        let cell_obj = self.grid.cell_mut(cell);
+        let was_core_cell = cell_obj.is_core_cell();
+        cell_obj.core.insert(qp, q);
+        let log_pos = cell_obj.core_log.push(q);
+        self.points.get_mut(q).log_pos = log_pos;
+
+        if !was_core_cell {
+            // The cell joins V: start an aBCP instance with every
+            // eps-close core cell (Lemma 3 initial witness search).
+            self.conn.ensure_vertex(cell);
+            let mut neighbors = Vec::new();
+            self.grid.for_each_eps_neighbor(cell, |c| {
+                if c != cell && self.grid.cell(c).is_core_cell() {
+                    neighbors.push(c);
+                }
+            });
+            for c in neighbors {
+                self.create_instance(cell, c);
+            }
+        } else {
+            // The cell is already in V: feed the new core point to its
+            // aBCP instances.
+            let points = &self.points;
+            let coords = |pid: PointId| points.get(pid).coords;
+            for idx in 0..self.cell_instances[cell as usize].len() {
+                let iid = self.cell_instances[cell as usize][idx];
+                let inst = &mut self.instances[iid as usize];
+                let change = abcp::insert_core(inst, &self.grid, &coords);
+                let (c1, c2) = (inst.c1, inst.c2);
+                match change {
+                    EdgeChange::Inserted => {
+                        self.stats.edge_inserts += 1;
+                        self.conn.insert_edge(c1, c2);
+                    }
+                    EdgeChange::Removed => unreachable!("insertion cannot remove a witness"),
+                    EdgeChange::None => {}
+                }
+            }
+        }
+    }
+
+    /// Unregisters core point `q` (deleted or demoted) and runs GUM.
+    fn on_lost_core(&mut self, q: PointId) {
+        debug_assert!(self.points.is_core(q));
+        self.stats.demotions += 1;
+        self.points.set_core(q, false);
+        let (qp, cell, log_pos) = {
+            let r = self.points.get(q);
+            (r.coords, r.cell, r.log_pos)
+        };
+        let cell_obj = self.grid.cell_mut(cell);
+        let removed = cell_obj.core.remove(&qp, q);
+        debug_assert!(removed, "core point missing from its cell's core set");
+        cell_obj.core_log.kill(log_pos);
+
+        if !self.grid.cell(cell).is_core_cell() {
+            // The cell leaves V: destroy all of its aBCP instances.
+            let mine = std::mem::take(&mut self.cell_instances[cell as usize]);
+            for iid in mine {
+                let inst = &self.instances[iid as usize];
+                let (c1, c2) = (inst.c1, inst.c2);
+                if inst.has_edge() {
+                    self.stats.edge_removes += 1;
+                    self.conn.delete_edge(c1, c2);
+                }
+                let other = if c1 == cell { c2 } else { c1 };
+                let olist = &mut self.cell_instances[other as usize];
+                let pos = olist
+                    .iter()
+                    .position(|&x| x == iid)
+                    .expect("instance missing from other cell");
+                olist.swap_remove(pos);
+                self.instance_ids.remove(&(c1, c2));
+                self.free_instances.push(iid);
+                self.stats.instances_destroyed += 1;
+            }
+        } else {
+            // Update every instance of the (still core) cell.
+            let points = &self.points;
+            let coords = |pid: PointId| points.get(pid).coords;
+            for idx in 0..self.cell_instances[cell as usize].len() {
+                let iid = self.cell_instances[cell as usize][idx];
+                let inst = &mut self.instances[iid as usize];
+                let change = abcp::delete_core(inst, &self.grid, cell, q, &coords);
+                let (c1, c2) = (inst.c1, inst.c2);
+                match change {
+                    EdgeChange::Removed => {
+                        self.stats.edge_removes += 1;
+                        self.conn.delete_edge(c1, c2);
+                    }
+                    EdgeChange::Inserted => unreachable!("deletion cannot create a witness"),
+                    EdgeChange::None => {}
+                }
+            }
+        }
+    }
+
+    /// Creates the aBCP instance for core cells `(a, b)` and forwards the
+    /// edge if an initial witness exists.
+    fn create_instance(&mut self, a: CellId, b: CellId) {
+        let inst = abcp::create(&self.grid, a, b);
+        let key = (inst.c1, inst.c2);
+        debug_assert!(
+            !self.instance_ids.contains_key(&key),
+            "duplicate aBCP instance for {key:?}"
+        );
+        let has_edge = inst.has_edge();
+        let iid = match self.free_instances.pop() {
+            Some(i) => {
+                self.instances[i as usize] = inst;
+                i
+            }
+            None => {
+                self.instances.push(inst);
+                (self.instances.len() - 1) as AbcpId
+            }
+        };
+        self.instance_ids.insert(key, iid);
+        while self.cell_instances.len() <= key.1 as usize {
+            self.cell_instances.push(Vec::new());
+        }
+        self.cell_instances[key.0 as usize].push(iid);
+        self.cell_instances[key.1 as usize].push(iid);
+        self.stats.instances_created += 1;
+        self.conn.ensure_vertex(key.0);
+        self.conn.ensure_vertex(key.1);
+        if has_edge {
+            self.stats.edge_inserts += 1;
+            self.conn.insert_edge(key.0, key.1);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Answers a C-group-by query over `q` in `O~(|Q|)` time.
+    pub fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+        let conn = &mut self.conn;
+        c_group_by(q, &self.points, &self.grid, |cell| conn.component_id(cell))
+    }
+
+    /// The full clustering (`Q = P`).
+    pub fn group_all(&mut self) -> Clustering {
+        let ids: Vec<PointId> = self.points.iter_alive().map(|(i, _)| i).collect();
+        self.group_by(&ids)
+    }
+
+    /// Validates internal cross-structure invariants (test support; cost
+    /// is linear in the number of cells and instances).
+    pub fn validate_invariants(&mut self) {
+        let min_pts = self.params.min_pts;
+        // Every alive point's core flag must be a legal double-approx
+        // resolution, and core sets must mirror the flags.
+        let mut alive: Vec<(PointId, Point<D>, bool)> = Vec::new();
+        for (id, r) in self.points.iter_alive() {
+            alive.push((id, r.coords, self.points.is_core(id)));
+        }
+        let eps_sq = self.params.eps_sq();
+        let hi_sq = self.params.eps_hi_sq();
+        for &(id, p, is_core) in &alive {
+            let lo_ct = alive
+                .iter()
+                .filter(|(_, q, _)| dist_sq(&p, q) <= eps_sq)
+                .count();
+            let hi_ct = alive
+                .iter()
+                .filter(|(_, q, _)| dist_sq(&p, q) <= hi_sq)
+                .count();
+            if lo_ct >= min_pts {
+                assert!(is_core, "point {id}: definitely core but flagged non-core");
+            }
+            if hi_ct < min_pts {
+                assert!(!is_core, "point {id}: definitely non-core but flagged core");
+            }
+        }
+        // Every instance's witness must satisfy the aBCP contract, and the
+        // edge set in the CC structure must mirror witnesses.
+        for key in self.instance_ids.keys() {
+            let iid = self.instance_ids[key];
+            let inst = &self.instances[iid as usize];
+            if let Some((w1, w2)) = inst.witness {
+                let p1 = self.points.get(w1).coords;
+                let p2 = self.points.get(w2).coords;
+                assert!(self.points.is_core(w1) && self.points.is_core(w2));
+                assert!(
+                    dist_sq(&p1, &p2) <= hi_sq + 1e-9,
+                    "witness pair too far apart"
+                );
+            } else {
+                // no pair within eps may exist across the two cells
+                let mut violation = false;
+                self.grid.cell(inst.c1).core.for_each(|p1, _| {
+                    self.grid.cell(inst.c2).core.for_each(|p2, _| {
+                        if dist_sq(p1, p2) <= eps_sq {
+                            violation = true;
+                        }
+                    });
+                });
+                assert!(
+                    !violation,
+                    "aBCP instance {:?} missing a mandatory witness",
+                    (inst.c1, inst.c2)
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_dbscan::{brute_force_exact, static_cluster};
+    use crate::verify::{check_sandwich, relabel};
+    use dydbscan_conn::NaiveConnectivity;
+    use dydbscan_geom::SplitMix64;
+
+    /// Random insert/delete driver comparing against static recomputation.
+    fn churn_driver<const D: usize>(
+        seed: u64,
+        params: Params,
+        extent: f64,
+        steps: usize,
+        check_every: usize,
+        exact: bool,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        let mut algo = FullDynDbscan::<D>::new(params);
+        let mut live: Vec<(PointId, Point<D>)> = Vec::new();
+        for step in 0..steps {
+            let ins = live.is_empty() || rng.next_below(100) < 65;
+            if ins {
+                let p: Point<D> = std::array::from_fn(|_| rng.next_f64() * extent);
+                let id = algo.insert(p);
+                live.push((id, p));
+            } else {
+                let i = rng.next_below(live.len() as u64) as usize;
+                let (id, _) = live.swap_remove(i);
+                algo.delete(id);
+            }
+            if (step + 1) % check_every == 0 {
+                let pts: Vec<Point<D>> = live.iter().map(|&(_, p)| p).collect();
+                let ids: Vec<PointId> = live.iter().map(|&(i, _)| i).collect();
+                let got = algo.group_all();
+                if exact {
+                    let want = relabel(&brute_force_exact(&pts, &params), &ids);
+                    assert_eq!(got, want, "seed {seed} step {step}");
+                } else {
+                    let c1 = relabel(
+                        &brute_force_exact(&pts, &Params::new(params.eps, params.min_pts)),
+                        &ids,
+                    );
+                    let c2 = relabel(
+                        &brute_force_exact(
+                            &pts,
+                            &Params::new(params.eps_hi(), params.min_pts),
+                        ),
+                        &ids,
+                    );
+                    check_sandwich(&c1, &got, &c2)
+                        .unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}"));
+                }
+                algo.validate_invariants();
+            }
+        }
+    }
+
+    #[test]
+    fn exact_2d_churn_matches_bruteforce() {
+        for seed in 0..4u64 {
+            churn_driver::<2>(seed + 1000, Params::new(1.0, 3), 10.0, 320, 40, true);
+        }
+    }
+
+    #[test]
+    fn exact_2d_denser_minpts() {
+        churn_driver::<2>(77, Params::new(1.5, 6), 8.0, 300, 50, true);
+    }
+
+    #[test]
+    fn double_approx_2d_sandwich_under_churn() {
+        for seed in 0..3u64 {
+            churn_driver::<2>(
+                seed + 2000,
+                Params::new(1.0, 3).with_rho(0.3),
+                10.0,
+                300,
+                50,
+                false,
+            );
+        }
+    }
+
+    #[test]
+    fn double_approx_3d_sandwich_under_churn() {
+        churn_driver::<3>(3000, Params::new(1.5, 4).with_rho(0.2), 7.0, 260, 65, false);
+    }
+
+    #[test]
+    fn tiny_rho_matches_approx_static_pipeline() {
+        // The experiment requirement of Section 8: with rho = 0.001 the
+        // double-approx result must equal the rho-approximate result. At
+        // this rho, don't-care shells are empty for generic data, so both
+        // must equal exact DBSCAN.
+        let mut rng = SplitMix64::new(555);
+        let params = Params::new(1.0, 3).with_rho(0.001);
+        let mut algo = FullDynDbscan::<2>::new(params);
+        let mut live: Vec<(PointId, Point<2>)> = Vec::new();
+        for _ in 0..250 {
+            let p = [rng.next_f64() * 9.0, rng.next_f64() * 9.0];
+            live.push((algo.insert(p), p));
+        }
+        for _ in 0..100 {
+            let i = rng.next_below(live.len() as u64) as usize;
+            let (id, _) = live.swap_remove(i);
+            algo.delete(id);
+        }
+        let pts: Vec<Point<2>> = live.iter().map(|&(_, p)| p).collect();
+        let ids: Vec<PointId> = live.iter().map(|&(i, _)| i).collect();
+        let got = algo.group_all();
+        let exact = relabel(&brute_force_exact(&pts, &Params::new(1.0, 3)), &ids);
+        assert_eq!(got, exact);
+        let approx = relabel(&static_cluster(&pts, &params), &ids);
+        assert_eq!(got, approx);
+    }
+
+    #[test]
+    fn paper_example_insert_then_delete_reverts() {
+        // Figure 1's narrative: insertions merge clusters, deleting them
+        // splits the cluster back.
+        let (pts, params) = crate::static_dbscan::tests::paper_example();
+        let mut algo = FullDynDbscan::<2>::new(params);
+        let ids: Vec<PointId> = pts.iter().map(|p| algo.insert(*p)).collect();
+        let before = algo.group_all();
+        assert_eq!(before.groups.len(), 3);
+        // bridge clusters B (o6..o12 area) and C (o14..o17 area)
+        let bridge = [[5.7, 3.2], [6.0, 3.5], [5.6, 3.6], [6.1, 3.0]];
+        let bids: Vec<PointId> = bridge.iter().map(|p| algo.insert(*p)).collect();
+        let merged = algo.group_all();
+        assert_eq!(merged.groups.len(), 2, "bridge must merge two clusters");
+        for &b in &bids {
+            algo.delete(b);
+        }
+        let after = algo.group_all();
+        let want = relabel(&brute_force_exact(&pts, &params), &ids);
+        assert_eq!(after, want, "deleting the bridge must revert the merge");
+    }
+
+    #[test]
+    fn group_by_consistent_with_group_all_under_churn() {
+        let mut rng = SplitMix64::new(4321);
+        let params = Params::new(1.0, 3).with_rho(0.001);
+        let mut algo = FullDynDbscan::<2>::new(params);
+        let mut live = Vec::new();
+        for step in 0..220 {
+            if live.is_empty() || rng.next_below(10) < 7 {
+                let p = [rng.next_f64() * 8.0, rng.next_f64() * 8.0];
+                live.push(algo.insert(p));
+            } else {
+                let i = rng.next_below(live.len() as u64) as usize;
+                algo.delete(live.swap_remove(i));
+            }
+            if step % 30 == 29 {
+                let all = algo.group_all();
+                let q: Vec<PointId> = live.iter().copied().step_by(3).collect();
+                assert_eq!(algo.group_by(&q), all.restrict(&q));
+            }
+        }
+    }
+
+    #[test]
+    fn naive_connectivity_backend_agrees_with_hdt() {
+        let params = Params::new(1.0, 3);
+        let mut rng = SplitMix64::new(86);
+        let mut a = FullDynDbscan::<2>::new(params);
+        let mut b: FullDynDbscan<2, NaiveConnectivity> =
+            FullDynDbscan::with_connectivity(params, NaiveConnectivity::new());
+        let mut live = Vec::new();
+        for _ in 0..260 {
+            if live.is_empty() || rng.next_below(10) < 6 {
+                let p = [rng.next_f64() * 9.0, rng.next_f64() * 9.0];
+                let ia = a.insert(p);
+                let ib = b.insert(p);
+                assert_eq!(ia, ib);
+                live.push(ia);
+            } else {
+                let i = rng.next_below(live.len() as u64) as usize;
+                let id = live.swap_remove(i);
+                a.delete(id);
+                b.delete(id);
+            }
+        }
+        assert_eq!(a.group_all(), b.group_all());
+    }
+
+    #[test]
+    fn delete_everything_leaves_empty_state() {
+        let params = Params::new(1.0, 2);
+        let mut algo = FullDynDbscan::<2>::new(params);
+        let mut rng = SplitMix64::new(9);
+        let ids: Vec<PointId> = (0..120)
+            .map(|_| algo.insert([rng.next_f64() * 3.0, rng.next_f64() * 3.0]))
+            .collect();
+        for id in ids {
+            algo.delete(id);
+        }
+        assert!(algo.is_empty());
+        assert_eq!(algo.num_instances(), 0, "all aBCP instances destroyed");
+        let g = algo.group_all();
+        assert!(g.groups.is_empty() && g.noise.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already-deleted")]
+    fn double_delete_panics() {
+        let mut algo = FullDynDbscan::<2>::new(Params::new(1.0, 2));
+        let id = algo.insert([0.0, 0.0]);
+        algo.delete(id);
+        algo.delete(id);
+    }
+
+    #[test]
+    fn reinsertion_after_mass_deletion() {
+        // Regression guard for cell-reuse paths: cells drain, then refill.
+        let params = Params::new(1.0, 3);
+        let mut algo = FullDynDbscan::<2>::new(params);
+        for round in 0..5 {
+            let ids: Vec<PointId> = (0..60)
+                .map(|i| algo.insert([(i % 10) as f64 * 0.3, (i / 10) as f64 * 0.3]))
+                .collect();
+            let g = algo.group_all();
+            assert_eq!(g.groups.len(), 1, "round {round}");
+            assert!(g.noise.is_empty());
+            for id in ids {
+                algo.delete(id);
+            }
+            assert!(algo.is_empty());
+        }
+    }
+
+    #[test]
+    fn num_clusters_tracks_group_all_under_churn() {
+        let mut rng = SplitMix64::new(1212);
+        let params = Params::new(1.0, 3);
+        let mut algo = FullDynDbscan::<2>::new(params);
+        let mut live = Vec::new();
+        for step in 0..300 {
+            if live.is_empty() || rng.next_below(10) < 6 {
+                live.push(algo.insert([rng.next_f64() * 10.0, rng.next_f64() * 10.0]));
+            } else {
+                let i = rng.next_below(live.len() as u64) as usize;
+                algo.delete(live.swap_remove(i));
+            }
+            if step % 60 == 59 {
+                let g = algo.group_all();
+                assert_eq!(algo.num_clusters(), g.num_groups(), "step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn five_d_sandwich_smoke() {
+        churn_driver::<5>(5005, Params::new(2.5, 3).with_rho(0.1), 6.0, 150, 75, false);
+    }
+}

@@ -1,0 +1,141 @@
+//! C-group-by results and clusterings.
+//!
+//! The C-group-by query (paper Sections 1 and 3) takes a subset `Q` of the
+//! dataset and returns, for every cluster `C_i` with `C_i ∩ Q` non-empty,
+//! the set `C_i ∩ Q`. Because DBSCAN clusters need not be disjoint (a
+//! non-core point may belong to several clusters), a query point can appear
+//! in more than one returned group; points in no cluster are *noise*.
+//!
+//! Setting `Q = P` degenerates the query into the full clustering
+//! (`Clustering` is an alias).
+
+use crate::points::PointId;
+
+/// Result of a C-group-by query.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupBy {
+    /// One entry per cluster intersecting `Q`: the ids of `C_i ∩ Q`.
+    pub groups: Vec<Vec<PointId>>,
+    /// Query points belonging to no cluster.
+    pub noise: Vec<PointId>,
+}
+
+/// A full clustering = the C-group-by result for `Q = P`.
+pub type Clustering = GroupBy;
+
+impl GroupBy {
+    /// Creates an empty result.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sorts each group and orders groups lexicographically, making results
+    /// comparable across algorithms / runs. Noise is sorted too.
+    pub fn normalize(&mut self) {
+        for g in &mut self.groups {
+            g.sort_unstable();
+            g.dedup();
+        }
+        self.groups.retain(|g| !g.is_empty());
+        self.groups.sort();
+        self.noise.sort_unstable();
+        self.noise.dedup();
+    }
+
+    /// Normalized copy.
+    pub fn normalized(&self) -> Self {
+        let mut c = self.clone();
+        c.normalize();
+        c
+    }
+
+    /// Number of groups (clusters intersecting `Q`).
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Indices of the groups containing `p` (possibly several: non-core
+    /// points may belong to multiple clusters).
+    pub fn groups_of(&self, p: PointId) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.contains(&p))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Whether `a` and `b` share at least one cluster.
+    pub fn same_cluster(&self, a: PointId, b: PointId) -> bool {
+        self.groups.iter().any(|g| g.contains(&a) && g.contains(&b))
+    }
+
+    /// Whether `p` was reported as noise.
+    pub fn is_noise(&self, p: PointId) -> bool {
+        self.noise.contains(&p)
+    }
+
+    /// Restriction of this clustering to the subset `q`: what a C-group-by
+    /// query with `Q = q` must return if this is the clustering of `P`
+    /// (used to test query consistency).
+    pub fn restrict(&self, q: &[PointId]) -> GroupBy {
+        let set: std::collections::HashSet<PointId> = q.iter().copied().collect();
+        let mut out = GroupBy::new();
+        for g in &self.groups {
+            let sub: Vec<PointId> = g.iter().copied().filter(|p| set.contains(p)).collect();
+            if !sub.is_empty() {
+                out.groups.push(sub);
+            }
+        }
+        out.noise = self
+            .noise
+            .iter()
+            .copied()
+            .filter(|p| set.contains(p))
+            .collect();
+        out.normalize();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GroupBy {
+        GroupBy {
+            groups: vec![vec![3, 1], vec![2, 4, 1]],
+            noise: vec![9, 7],
+        }
+    }
+
+    #[test]
+    fn normalize_orders_everything() {
+        let mut g = sample();
+        g.normalize();
+        assert_eq!(g.groups, vec![vec![1, 2, 4], vec![1, 3]]);
+        assert_eq!(g.noise, vec![7, 9]);
+    }
+
+    #[test]
+    fn membership_queries() {
+        let g = sample().normalized();
+        assert_eq!(g.groups_of(1).len(), 2, "border point in two clusters");
+        assert_eq!(g.groups_of(3).len(), 1);
+        assert!(g.same_cluster(1, 3));
+        assert!(g.same_cluster(2, 4));
+        assert!(!g.same_cluster(3, 4));
+        assert!(g.is_noise(7));
+        assert!(!g.is_noise(1));
+    }
+
+    #[test]
+    fn restriction() {
+        let g = sample().normalized();
+        let r = g.restrict(&[3, 4, 9]);
+        assert_eq!(r.groups, vec![vec![3], vec![4]]);
+        assert_eq!(r.noise, vec![9]);
+        let empty = g.restrict(&[100]);
+        assert!(empty.groups.is_empty() && empty.noise.is_empty());
+    }
+}

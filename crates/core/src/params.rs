@@ -1,0 +1,103 @@
+//! Clustering parameters shared by every DBSCAN variant in the paper.
+//!
+//! All variants accept `eps`, `MinPts` and `rho` (Section 4): exact DBSCAN
+//! is the special case `rho = 0` (Section 2, "Remark"), which holds for the
+//! dynamic algorithms too (Section 7: "exact DBSCAN is captured with
+//! `rho = 0`").
+
+/// Parameters of (exact / ρ-approximate / ρ-double-approximate) DBSCAN.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Params {
+    /// Radius `eps` of the density ball.
+    pub eps: f64,
+    /// Density threshold `MinPts` (a core point has at least `MinPts`
+    /// points, itself included, inside its ball).
+    pub min_pts: usize,
+    /// Approximation parameter `rho in [0, 1)`. `0` means exact semantics;
+    /// the paper recommends `0.001` for practical data (Section 2).
+    pub rho: f64,
+}
+
+impl Params {
+    /// Creates exact-DBSCAN parameters (`rho = 0`).
+    pub fn new(eps: f64, min_pts: usize) -> Self {
+        let p = Self {
+            eps,
+            min_pts,
+            rho: 0.0,
+        };
+        p.validate();
+        p
+    }
+
+    /// Sets the approximation parameter `rho`.
+    pub fn with_rho(mut self, rho: f64) -> Self {
+        self.rho = rho;
+        self.validate();
+        self
+    }
+
+    /// Panics on out-of-domain parameters.
+    pub fn validate(&self) {
+        assert!(
+            self.eps.is_finite() && self.eps > 0.0,
+            "eps must be positive and finite, got {}",
+            self.eps
+        );
+        assert!(self.min_pts >= 1, "MinPts must be at least 1");
+        assert!(
+            (0.0..1.0).contains(&self.rho),
+            "rho must be in [0, 1), got {}",
+            self.rho
+        );
+    }
+
+    /// The outer radius `(1 + rho) * eps`.
+    #[inline]
+    pub fn eps_hi(&self) -> f64 {
+        (1.0 + self.rho) * self.eps
+    }
+
+    /// Squared `eps`.
+    #[inline]
+    pub fn eps_sq(&self) -> f64 {
+        self.eps * self.eps
+    }
+
+    /// Squared `(1 + rho) * eps`.
+    #[inline]
+    pub fn eps_hi_sq(&self) -> f64 {
+        self.eps_hi() * self.eps_hi()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_radii() {
+        let p = Params::new(2.0, 5).with_rho(0.5);
+        assert_eq!(p.eps_hi(), 3.0);
+        assert_eq!(p.eps_sq(), 4.0);
+        assert_eq!(p.eps_hi_sq(), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn rejects_bad_eps() {
+        Params::new(0.0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "MinPts")]
+    fn rejects_zero_minpts() {
+        Params::new(1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn rejects_rho_one() {
+        Params::new(1.0, 3).with_rho(1.0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Point arena: stable ids, coordinates and per-point clustering state.
+//!
+//! Points get monotonically increasing `u32` ids that are **never reused**,
+//! so a stale id held by a caller after deletion is detected instead of
+//! silently aliasing a different point.
+
+use dydbscan_geom::Point;
+use dydbscan_grid::{CellId, LogPos};
+
+/// Identifier of an inserted point. Never reused after deletion.
+pub type PointId = u32;
+
+const F_ALIVE: u8 = 1;
+const F_CORE: u8 = 2;
+
+/// Per-point record.
+#[derive(Debug, Clone)]
+pub struct PointRec<const D: usize> {
+    /// Coordinates.
+    pub coords: Point<D>,
+    /// Cell containing the point.
+    pub cell: CellId,
+    /// Semi-dynamic vicinity count `vincnt(p) = |B(p, eps)|`, tracked while
+    /// the point is non-core (Section 5).
+    pub vincnt: u32,
+    /// Position in the cell's core log while the point is core.
+    pub log_pos: LogPos,
+    flags: u8,
+}
+
+/// Arena of point records indexed by [`PointId`].
+#[derive(Debug, Default)]
+pub struct PointArena<const D: usize> {
+    recs: Vec<PointRec<D>>,
+    alive: usize,
+}
+
+impl<const D: usize> PointArena<D> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self {
+            recs: Vec::new(),
+            alive: 0,
+        }
+    }
+
+    /// Number of alive points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.alive
+    }
+
+    /// True if no alive points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.alive == 0
+    }
+
+    /// Total ids ever allocated.
+    #[inline]
+    pub fn capacity_ids(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// Allocates a record for a new alive point.
+    pub fn push(&mut self, coords: Point<D>, cell: CellId) -> PointId {
+        let id = self.recs.len() as PointId;
+        self.recs.push(PointRec {
+            coords,
+            cell,
+            vincnt: 0,
+            log_pos: 0,
+            flags: F_ALIVE,
+        });
+        self.alive += 1;
+        id
+    }
+
+    /// Immutable access; panics on out-of-range ids.
+    #[inline]
+    pub fn get(&self, id: PointId) -> &PointRec<D> {
+        &self.recs[id as usize]
+    }
+
+    /// Mutable access; panics on out-of-range ids.
+    #[inline]
+    pub fn get_mut(&mut self, id: PointId) -> &mut PointRec<D> {
+        &mut self.recs[id as usize]
+    }
+
+    /// Whether `id` refers to a currently alive point.
+    #[inline]
+    pub fn is_alive(&self, id: PointId) -> bool {
+        self.recs
+            .get(id as usize)
+            .is_some_and(|r| r.flags & F_ALIVE != 0)
+    }
+
+    /// Whether `id` is currently a core point.
+    #[inline]
+    pub fn is_core(&self, id: PointId) -> bool {
+        self.recs[id as usize].flags & F_CORE != 0
+    }
+
+    /// Sets the core flag.
+    #[inline]
+    pub fn set_core(&mut self, id: PointId, core: bool) {
+        let r = &mut self.recs[id as usize];
+        if core {
+            r.flags |= F_CORE;
+        } else {
+            r.flags &= !F_CORE;
+        }
+    }
+
+    /// Marks a point deleted. Panics if already deleted.
+    pub fn kill(&mut self, id: PointId) {
+        let r = &mut self.recs[id as usize];
+        assert!(r.flags & F_ALIVE != 0, "point {id} deleted twice");
+        r.flags &= !F_ALIVE;
+        r.flags &= !F_CORE;
+        self.alive -= 1;
+    }
+
+    /// Iterates `(id, &rec)` over alive points.
+    pub fn iter_alive(&self) -> impl Iterator<Item = (PointId, &PointRec<D>)> {
+        self.recs
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.flags & F_ALIVE != 0)
+            .map(|(i, r)| (i as PointId, r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle() {
+        let mut a = PointArena::<2>::new();
+        let p = a.push([1.0, 2.0], 0);
+        assert!(a.is_alive(p));
+        assert!(!a.is_core(p));
+        a.set_core(p, true);
+        assert!(a.is_core(p));
+        a.kill(p);
+        assert!(!a.is_alive(p));
+        assert!(!a.is_core(p), "kill clears core");
+        assert_eq!(a.len(), 0);
+        assert_eq!(a.capacity_ids(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "deleted twice")]
+    fn double_kill_panics() {
+        let mut a = PointArena::<2>::new();
+        let p = a.push([0.0, 0.0], 0);
+        a.kill(p);
+        a.kill(p);
+    }
+
+    #[test]
+    fn ids_never_reused() {
+        let mut a = PointArena::<1>::new();
+        let p0 = a.push([0.0], 0);
+        a.kill(p0);
+        let p1 = a.push([1.0], 0);
+        assert_ne!(p0, p1);
+        assert!(!a.is_alive(p0));
+        assert!(a.is_alive(p1));
+    }
+
+    #[test]
+    fn iter_alive_skips_dead() {
+        let mut a = PointArena::<1>::new();
+        let ids: Vec<_> = (0..5).map(|i| a.push([i as f64], 0)).collect();
+        a.kill(ids[1]);
+        a.kill(ids[3]);
+        let alive: Vec<PointId> = a.iter_alive().map(|(i, _)| i).collect();
+        assert_eq!(alive, vec![0, 2, 4]);
+    }
+}

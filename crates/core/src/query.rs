@@ -1,0 +1,79 @@
+//! The C-group-by query algorithm (paper Section 4.2).
+//!
+//! All our solutions answer C-group-by queries identically, on top of three
+//! structures: the core-status labels (stored per point), the per-core-cell
+//! emptiness structures, and the CC structure over the grid graph.
+//!
+//! For a query set `Q`:
+//!
+//! * A **core** point `q` gets the single cluster id `CC-Id(cell(q))`.
+//! * A **non-core** point `q` is *snapped* to nearby core cells: its own
+//!   cell (if core) contributes its CC id (any core point of the cell is
+//!   within `eps` since the cell diameter is `eps`); each `eps`-close core
+//!   cell `c'` contributes `CC-Id(c')` iff the emptiness query
+//!   `empty(q, c')` returns a proof point. A non-core point with no ids is
+//!   noise.
+//!
+//! The query runs in `O~(|Q|)` time: `O(1)` cells are inspected per point,
+//! each with one logarithmic emptiness query.
+
+use crate::groups::GroupBy;
+use crate::points::{PointArena, PointId};
+use dydbscan_geom::FxHashMap;
+use dydbscan_grid::{CellId, GridIndex};
+
+/// Answers a C-group-by query.
+///
+/// `cc_id` must map a **core cell** to its current component id in the grid
+/// graph (the `CC-Id` operation of the CC structure). Panics if a queried
+/// id is not alive — querying deleted points is a caller bug worth
+/// surfacing loudly.
+pub fn c_group_by<const D: usize>(
+    q: &[PointId],
+    points: &PointArena<D>,
+    grid: &GridIndex<D>,
+    mut cc_id: impl FnMut(CellId) -> u64,
+) -> GroupBy {
+    let mut by_cluster: FxHashMap<u64, Vec<PointId>> = FxHashMap::default();
+    let mut noise = Vec::new();
+    let mut ids_scratch: Vec<u64> = Vec::new();
+    for &pid in q {
+        assert!(
+            points.is_alive(pid),
+            "C-group-by query contains deleted or unknown point id {pid}"
+        );
+        let rec = points.get(pid);
+        ids_scratch.clear();
+        if points.is_core(pid) {
+            ids_scratch.push(cc_id(rec.cell));
+        } else {
+            let home = rec.cell;
+            if grid.cell(home).is_core_cell() {
+                ids_scratch.push(cc_id(home));
+            }
+            grid.for_each_eps_neighbor(home, |c| {
+                if c != home
+                    && grid.cell(c).is_core_cell()
+                    && grid.emptiness(&rec.coords, c).is_some()
+                {
+                    ids_scratch.push(cc_id(c));
+                }
+            });
+            ids_scratch.sort_unstable();
+            ids_scratch.dedup();
+        }
+        if ids_scratch.is_empty() {
+            noise.push(pid);
+        } else {
+            for &cid in &ids_scratch {
+                by_cluster.entry(cid).or_default().push(pid);
+            }
+        }
+    }
+    let mut out = GroupBy {
+        groups: by_cluster.into_values().collect(),
+        noise,
+    };
+    out.normalize();
+    out
+}

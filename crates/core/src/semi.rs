@@ -1,0 +1,449 @@
+//! Semi-dynamic (insertion-only) ρ-approximate DBSCAN — Theorem 1.
+//!
+//! This is the algorithm of Section 5, instantiating the grid-graph
+//! framework of Section 4 with:
+//!
+//! * **Core-status structure**: every non-core point `p` carries a
+//!   *vicinity count* `vincnt(p) = |B(p, eps)|`, maintained exactly. A new
+//!   point in a dense cell is core outright; otherwise its count is
+//!   computed by scanning the `eps`-close cells. A new point increments the
+//!   counts of non-core points in `eps`-close *sparse* cells, possibly
+//!   promoting them (counts reaching `MinPts` stop being tracked — the
+//!   point is core forever, insertions never demote).
+//! * **GUM**: each new core point `p` in cell `c` probes every `eps`-close
+//!   core cell `c'` that has no edge to `c` yet with an emptiness query
+//!   `empty(p, c')`; a proof point creates the edge.
+//! * **CC structure**: union-find (`EdgeInsert`/`CC-Id` only — deletions
+//!   never happen in this regime).
+//!
+//! `rho = 0` yields the exact semi-dynamic algorithm (the paper's
+//! *2d-Semi-Exact* when `D = 2`; the code runs in any dimension, though the
+//! `O~(1)` update bound is guaranteed only for `d = 2`).
+//!
+//! Amortized insertion cost is `O~(1)` (Theorem 1): a cell participates in
+//! the neighbor scans of Step 2 at most `MinPts` times per `eps`-close
+//! newcomer cell, and every emptiness probe either creates one of the
+//! `O(n)` grid-graph edges or is charged to the new core point.
+
+use crate::groups::{Clustering, GroupBy};
+use crate::params::Params;
+use crate::points::{PointArena, PointId};
+use crate::query::c_group_by;
+use dydbscan_conn::UnionFind;
+use dydbscan_geom::{dist_sq, FxHashSet, Point};
+use dydbscan_grid::{CellId, GridIndex};
+
+/// Semi-dynamic ρ-approximate DBSCAN (exact when `rho = 0`).
+///
+/// # Example
+///
+/// ```
+/// use dydbscan_core::{Params, SemiDynDbscan};
+///
+/// let mut c = SemiDynDbscan::<2>::new(Params::new(1.0, 2));
+/// let a = c.insert([1.0, 1.0]);
+/// let b = c.insert([1.5, 1.0]);
+/// let lone = c.insert([9.0, 9.0]);
+/// let g = c.group_by(&[a, b, lone]);
+/// assert!(g.same_cluster(a, b));
+/// assert!(g.is_noise(lone));
+/// assert_eq!(c.num_clusters(), 1);
+/// ```
+#[derive(Debug)]
+pub struct SemiDynDbscan<const D: usize> {
+    params: Params,
+    grid: GridIndex<D>,
+    points: PointArena<D>,
+    uf: UnionFind,
+    /// Materialized grid-graph edges (normalized cell pairs), to skip
+    /// emptiness probes for already-connected cell pairs.
+    edges: FxHashSet<(CellId, CellId)>,
+    /// Scratch buffers reused across operations.
+    promo_scratch: Vec<PointId>,
+    cell_scratch: Vec<CellId>,
+}
+
+impl<const D: usize> SemiDynDbscan<D> {
+    /// Creates an empty clusterer.
+    pub fn new(params: Params) -> Self {
+        params.validate();
+        Self {
+            grid: GridIndex::new(params.eps, params.rho),
+            params,
+            points: PointArena::new(),
+            uf: UnionFind::new(),
+            edges: FxHashSet::default(),
+            promo_scratch: Vec::new(),
+            cell_scratch: Vec::new(),
+        }
+    }
+
+    /// The clustering parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+
+    /// Number of alive points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points were inserted.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Number of grid-graph edges materialized so far.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of materialized grid cells.
+    pub fn num_cells(&self) -> usize {
+        self.grid.num_cells()
+    }
+
+    /// Whether `id` is currently a core point.
+    pub fn is_core(&self, id: PointId) -> bool {
+        self.points.is_core(id)
+    }
+
+    /// Coordinates of a point.
+    pub fn coords(&self, id: PointId) -> Point<D> {
+        self.points.get(id).coords
+    }
+
+    /// Inserts a point; returns its id. Amortized `O~(1)`.
+    pub fn insert(&mut self, p: Point<D>) -> PointId {
+        let id = self.points.push(p, 0);
+        let cell = self.grid.insert_point(&p, id);
+        self.points.get_mut(id).cell = cell;
+        self.uf.ensure(cell);
+
+        let count = self.grid.cell(cell).count();
+        let min_pts = self.params.min_pts;
+        let mut promotions = std::mem::take(&mut self.promo_scratch);
+        promotions.clear();
+
+        // --- Core status of the new point (Section 5, steps 1-2) ---
+        if count >= min_pts {
+            // Dense cell: core outright (cell diameter is eps).
+            promotions.push(id);
+            if count == min_pts {
+                // The cell *became* dense: every resident becomes core.
+                let mut residents = Vec::new();
+                self.grid.cell(cell).all.for_each(|_, q| {
+                    if q != id && !self.points.is_core(q) {
+                        residents.push(q);
+                    }
+                });
+                promotions.extend(residents);
+            }
+        } else {
+            let k = self.grid.count_ball_exact(&p);
+            self.points.get_mut(id).vincnt = k as u32;
+            if k >= min_pts {
+                promotions.push(id);
+            }
+        }
+
+        // --- Vicinity-count maintenance for neighbors (Section 5) ---
+        // The new point may raise vincnt of non-core points in eps-close
+        // *sparse* cells (non-core points live only in sparse cells).
+        let mut sparse_neighbors = std::mem::take(&mut self.cell_scratch);
+        sparse_neighbors.clear();
+        self.grid.for_each_eps_neighbor(cell, |c| {
+            sparse_neighbors.push(c);
+        });
+        let eps_sq = self.params.eps_sq();
+        for &c in &sparse_neighbors {
+            if self.grid.cell(c).count() >= min_pts {
+                continue; // dense: all residents already core
+            }
+            let mut touched = Vec::new();
+            self.grid.cell(c).all.for_each(|qp, q| {
+                if q != id && !self.points.is_core(q) && dist_sq(qp, &p) <= eps_sq {
+                    touched.push(q);
+                }
+            });
+            for q in touched {
+                let rec = self.points.get_mut(q);
+                rec.vincnt += 1;
+                if rec.vincnt as usize >= min_pts {
+                    promotions.push(q);
+                }
+            }
+        }
+        self.cell_scratch = sparse_neighbors;
+
+        // --- Promotions + GUM (Section 5) ---
+        for &q in &promotions {
+            self.on_became_core(q);
+        }
+        promotions.clear();
+        self.promo_scratch = promotions;
+        id
+    }
+
+    /// Registers a point as core and lets GUM update the grid graph.
+    fn on_became_core(&mut self, q: PointId) {
+        debug_assert!(!self.points.is_core(q));
+        self.points.set_core(q, true);
+        let (qp, cell) = {
+            let r = self.points.get(q);
+            (r.coords, r.cell)
+        };
+        self.grid.cell_mut(cell).core.insert(qp, q);
+
+        // GUM: probe eps-close core cells lacking an edge to `cell`.
+        let mut candidates = std::mem::take(&mut self.cell_scratch);
+        candidates.clear();
+        self.grid.for_each_eps_neighbor(cell, |c| {
+            if c != cell && self.grid.cell(c).is_core_cell() {
+                candidates.push(c);
+            }
+        });
+        for &c in &candidates {
+            let key = norm_pair(cell, c);
+            if self.edges.contains(&key) {
+                continue;
+            }
+            if self.grid.emptiness(&qp, c).is_some() {
+                self.edges.insert(key);
+                self.uf.ensure(cell.max(c));
+                self.uf.union(cell, c);
+            }
+        }
+        candidates.clear();
+        self.cell_scratch = candidates;
+    }
+
+    /// Answers a C-group-by query over `q` in `O~(|Q|)` time.
+    pub fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+        let uf = &mut self.uf;
+        c_group_by(q, &self.points, &self.grid, |cell| uf.find(cell) as u64)
+    }
+
+    /// The full clustering (`Q = P`).
+    pub fn group_all(&mut self) -> Clustering {
+        let ids: Vec<PointId> = self.points.iter_alive().map(|(i, _)| i).collect();
+        self.group_by(&ids)
+    }
+
+    /// Ids of all alive points (insertion order).
+    pub fn alive_ids(&self) -> Vec<PointId> {
+        self.points.iter_alive().map(|(i, _)| i).collect()
+    }
+
+    /// Number of core points currently stored.
+    pub fn num_core_points(&self) -> usize {
+        self.points.iter_alive().filter(|&(i, _)| self.points.is_core(i)).count()
+    }
+
+    /// Number of (preliminary) clusters: connected components of the grid
+    /// graph over core cells. `O(#cells)` — a monitoring helper, not part
+    /// of the paper's query interface.
+    pub fn num_clusters(&mut self) -> usize {
+        let mut roots = FxHashSet::default();
+        for c in 0..self.grid.num_cells() as CellId {
+            if self.grid.cell(c).is_core_cell() {
+                roots.insert(self.uf.find(c));
+            }
+        }
+        roots.len()
+    }
+}
+
+#[inline]
+fn norm_pair(a: CellId, b: CellId) -> (CellId, CellId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::static_dbscan::{brute_force_exact, static_cluster};
+    use crate::verify::{check_sandwich, relabel};
+    use dydbscan_geom::SplitMix64;
+
+    fn insert_all<const D: usize>(
+        algo: &mut SemiDynDbscan<D>,
+        pts: &[Point<D>],
+    ) -> Vec<PointId> {
+        pts.iter().map(|p| algo.insert(*p)).collect()
+    }
+
+    #[test]
+    fn paper_example_incremental_equals_static() {
+        let (pts, params) = crate::static_dbscan::tests::paper_example();
+        let mut algo = SemiDynDbscan::<2>::new(params);
+        let ids = insert_all(&mut algo, &pts);
+        let got = algo.group_all();
+        let want = relabel(&brute_force_exact(&pts, &params), &ids);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn exact_matches_bruteforce_random_orders() {
+        for seed in 0..5u64 {
+            let mut rng = SplitMix64::new(seed + 400);
+            let n = 220;
+            let mut pts: Vec<Point<2>> = (0..n)
+                .map(|_| [rng.next_f64() * 15.0, rng.next_f64() * 15.0])
+                .collect();
+            rng.shuffle(&mut pts);
+            let params = Params::new(1.2, 4); // rho = 0: exact
+            let mut algo = SemiDynDbscan::<2>::new(params);
+            let ids = insert_all(&mut algo, &pts);
+            let got = algo.group_all();
+            let want = relabel(&brute_force_exact(&pts, &params), &ids);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn exact_matches_after_every_prefix() {
+        let mut rng = SplitMix64::new(900);
+        let pts: Vec<Point<2>> = (0..120)
+            .map(|_| [rng.next_f64() * 8.0, rng.next_f64() * 8.0])
+            .collect();
+        let params = Params::new(1.0, 3);
+        let mut algo = SemiDynDbscan::<2>::new(params);
+        let mut ids = Vec::new();
+        for (i, p) in pts.iter().enumerate() {
+            ids.push(algo.insert(*p));
+            if i % 10 == 9 {
+                let got = algo.group_all();
+                let want = relabel(&brute_force_exact(&pts[..=i], &params), &ids);
+                assert_eq!(got, want, "prefix {}", i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn approximate_satisfies_sandwich() {
+        for seed in 0..4u64 {
+            let mut rng = SplitMix64::new(seed * 3 + 71);
+            let pts: Vec<Point<2>> = (0..250)
+                .map(|_| [rng.next_f64() * 12.0, rng.next_f64() * 12.0])
+                .collect();
+            let rho = 0.3; // aggressive rho to actually exercise don't-care
+            let params = Params::new(1.0, 3).with_rho(rho);
+            let mut algo = SemiDynDbscan::<2>::new(params);
+            let ids = insert_all(&mut algo, &pts);
+            let got = algo.group_all();
+            let c1 = relabel(&brute_force_exact(&pts, &Params::new(1.0, 3)), &ids);
+            let c2 = relabel(
+                &brute_force_exact(&pts, &Params::new(1.0 * (1.0 + rho), 3)),
+                &ids,
+            );
+            check_sandwich(&c1, &got, &c2).unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn three_d_exact_matches() {
+        let mut rng = SplitMix64::new(5150);
+        let pts: Vec<Point<3>> = (0..180)
+            .map(|_| std::array::from_fn(|_| rng.next_f64() * 8.0))
+            .collect();
+        let params = Params::new(1.4, 4);
+        let mut algo = SemiDynDbscan::<3>::new(params);
+        let ids = insert_all(&mut algo, &pts);
+        let got = algo.group_all();
+        let want = relabel(&brute_force_exact(&pts, &params), &ids);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn group_by_is_consistent_with_group_all() {
+        let mut rng = SplitMix64::new(31);
+        let pts: Vec<Point<2>> = (0..150)
+            .map(|_| [rng.next_f64() * 10.0, rng.next_f64() * 10.0])
+            .collect();
+        let params = Params::new(1.0, 3).with_rho(0.001);
+        let mut algo = SemiDynDbscan::<2>::new(params);
+        let ids = insert_all(&mut algo, &pts);
+        let all = algo.group_all();
+        for take in [2usize, 5, 17] {
+            let q: Vec<PointId> = ids.iter().copied().step_by(take).collect();
+            let got = algo.group_by(&q);
+            assert_eq!(got, all.restrict(&q), "subset stride {take}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_static_approx_pipeline() {
+        // Same don't-care resolution isn't guaranteed, but both must
+        // sandwich between the exact clusterings; additionally at rho=0
+        // they must agree exactly.
+        let mut rng = SplitMix64::new(123);
+        let pts: Vec<Point<2>> = (0..200)
+            .map(|_| [rng.next_f64() * 9.0, rng.next_f64() * 9.0])
+            .collect();
+        let params = Params::new(0.8, 3);
+        let mut algo = SemiDynDbscan::<2>::new(params);
+        let ids = insert_all(&mut algo, &pts);
+        assert_eq!(
+            algo.group_all(),
+            relabel(&static_cluster(&pts, &params), &ids)
+        );
+    }
+
+    #[test]
+    fn single_point_is_noise_unless_minpts_one() {
+        let mut algo = SemiDynDbscan::<2>::new(Params::new(1.0, 2));
+        let id = algo.insert([5.0, 5.0]);
+        let g = algo.group_by(&[id]);
+        assert!(g.is_noise(id));
+        let mut algo1 = SemiDynDbscan::<2>::new(Params::new(1.0, 1));
+        let id1 = algo1.insert([5.0, 5.0]);
+        let g1 = algo1.group_by(&[id1]);
+        assert_eq!(g1.groups, vec![vec![id1]]);
+    }
+
+    #[test]
+    fn duplicate_points_and_dense_cell_promotion() {
+        let mut algo = SemiDynDbscan::<2>::new(Params::new(1.0, 4));
+        let ids: Vec<PointId> = (0..4).map(|_| algo.insert([2.0, 2.0])).collect();
+        // fourth insertion makes the cell dense: all four become core
+        for &i in &ids {
+            assert!(algo.is_core(i), "point {i} must be core in dense cell");
+        }
+        let g = algo.group_all();
+        assert_eq!(g.groups.len(), 1);
+        assert_eq!(g.groups[0].len(), 4);
+    }
+
+    #[test]
+    fn num_clusters_tracks_group_all() {
+        let mut rng = SplitMix64::new(64);
+        let params = Params::new(1.0, 3);
+        let mut algo = SemiDynDbscan::<2>::new(params);
+        for _ in 0..200 {
+            algo.insert([rng.next_f64() * 12.0, rng.next_f64() * 12.0]);
+        }
+        let g = algo.group_all();
+        assert_eq!(algo.num_clusters(), g.num_groups());
+        assert!(algo.num_core_points() <= algo.len());
+    }
+
+    #[test]
+    fn seven_d_smoke() {
+        let mut rng = SplitMix64::new(8);
+        let pts: Vec<Point<7>> = (0..80)
+            .map(|_| std::array::from_fn(|_| rng.next_f64() * 4.0))
+            .collect();
+        let params = Params::new(2.0, 3).with_rho(0.001);
+        let mut algo = SemiDynDbscan::<7>::new(params);
+        let ids = insert_all(&mut algo, &pts);
+        let got = algo.group_all();
+        let c1 = relabel(&brute_force_exact(&pts, &Params::new(2.0, 3)), &ids);
+        let c2 = relabel(&brute_force_exact(&pts, &Params::new(2.002, 3)), &ids);
+        check_sandwich(&c1, &got, &c2).unwrap();
+    }
+}

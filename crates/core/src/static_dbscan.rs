@@ -1,0 +1,315 @@
+//! Static DBSCAN: brute-force reference and grid-based implementations.
+//!
+//! * [`brute_force_exact`] — the textbook `O(n^2)` algorithm straight from
+//!   the definitions of Section 2 (core graph + non-core assignment). Used
+//!   as ground truth in tests.
+//! * [`static_cluster`] — the grid-based algorithm in the style of
+//!   Gan & Tao's static work \[10\]: core statuses via exact neighborhood
+//!   counts, a grid graph over core cells with edges found through
+//!   (approximate, if `rho > 0`) emptiness queries, connected components
+//!   via union-find, and non-core snapping. With `rho = 0` this computes
+//!   *exact* DBSCAN; with `rho > 0` it is static ρ-approximate DBSCAN.
+//!
+//! Point ids in the returned [`Clustering`] are indices into the input
+//! slice.
+
+use crate::groups::Clustering;
+use crate::params::Params;
+use dydbscan_conn::UnionFind;
+use dydbscan_geom::{dist_sq, FxHashMap, Point};
+use dydbscan_grid::{CellId, GridIndex};
+
+/// Exact DBSCAN by definition chasing; `O(n^2)`. Ground truth for tests.
+pub fn brute_force_exact<const D: usize>(pts: &[Point<D>], params: &Params) -> Clustering {
+    params.validate();
+    let n = pts.len();
+    let eps_sq = params.eps_sq();
+    // Core points: |B(p, eps)| >= MinPts (ball includes p itself).
+    let mut core = vec![false; n];
+    for i in 0..n {
+        let mut cnt = 0;
+        for j in 0..n {
+            if dist_sq(&pts[i], &pts[j]) <= eps_sq {
+                cnt += 1;
+            }
+        }
+        core[i] = cnt >= params.min_pts;
+    }
+    // Connected components of the core graph.
+    let mut label = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if !core[s] || label[s] != u32::MAX {
+            continue;
+        }
+        label[s] = next;
+        stack.push(s);
+        while let Some(x) = stack.pop() {
+            for y in 0..n {
+                if core[y] && label[y] == u32::MAX && dist_sq(&pts[x], &pts[y]) <= eps_sq {
+                    label[y] = next;
+                    stack.push(y);
+                }
+            }
+        }
+        next += 1;
+    }
+    // Assemble clusters; assign each non-core point to the cluster of every
+    // core point inside its ball (possibly several, possibly none = noise).
+    let mut clusters: Vec<Vec<u32>> = vec![Vec::new(); next as usize];
+    let mut noise = Vec::new();
+    for i in 0..n {
+        if core[i] {
+            clusters[label[i] as usize].push(i as u32);
+        } else {
+            let mut ids: Vec<u32> = (0..n)
+                .filter(|&j| core[j] && dist_sq(&pts[i], &pts[j]) <= eps_sq)
+                .map(|j| label[j])
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            if ids.is_empty() {
+                noise.push(i as u32);
+            } else {
+                for c in ids {
+                    clusters[c as usize].push(i as u32);
+                }
+            }
+        }
+    }
+    let mut out = Clustering {
+        groups: clusters,
+        noise,
+    };
+    out.normalize();
+    out
+}
+
+/// Grid-based static DBSCAN; exact when `params.rho == 0`, ρ-approximate
+/// otherwise.
+pub fn static_cluster<const D: usize>(pts: &[Point<D>], params: &Params) -> Clustering {
+    params.validate();
+    let mut grid = GridIndex::<D>::new(params.eps, params.rho);
+    for (i, p) in pts.iter().enumerate() {
+        grid.insert_point(p, i as u32);
+    }
+    // Core statuses (exact counts, as in rho-approximate DBSCAN; only the
+    // edges and the assignment are approximate).
+    let mut core = vec![false; pts.len()];
+    let mut cell_of_pt = vec![0 as CellId; pts.len()];
+    for (i, p) in pts.iter().enumerate() {
+        let cell = grid.cell_id_of(p).expect("point was inserted");
+        cell_of_pt[i] = cell;
+        core[i] = if grid.cell(cell).count() >= params.min_pts {
+            true
+        } else {
+            grid.count_ball_exact(p) >= params.min_pts
+        };
+    }
+    for (i, p) in pts.iter().enumerate() {
+        if core[i] {
+            grid.cell_mut(cell_of_pt[i]).core.insert(*p, i as u32);
+        }
+    }
+    // Grid-graph edges between eps-close core cells via emptiness queries
+    // from every core point of one side (Lemma 3's initial-witness search);
+    // union-find for the CCs.
+    let mut uf = UnionFind::with_len(grid.num_cells());
+    let core_cells: Vec<CellId> = (0..grid.num_cells() as CellId)
+        .filter(|&c| grid.cell(c).is_core_cell())
+        .collect();
+    for &a in &core_cells {
+        let mut neighbors = Vec::new();
+        grid.for_each_eps_neighbor(a, |b| {
+            if b > a && grid.cell(b).is_core_cell() {
+                neighbors.push(b);
+            }
+        });
+        for b in neighbors {
+            if uf.same(a, b) {
+                continue; // already one CC; an extra edge changes nothing
+            }
+            // iterate the smaller side
+            let (from, to) = if grid.cell(a).core.len() <= grid.cell(b).core.len() {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            let mut hit = false;
+            grid.cell(from).core.for_each(|p, _| {
+                if !hit && grid.emptiness(p, to).is_some() {
+                    hit = true;
+                }
+            });
+            if hit {
+                uf.union(a, b);
+            }
+        }
+    }
+    // Assemble: core points by their cell's CC; non-core points snapped.
+    let mut by_cluster: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+    let mut noise = Vec::new();
+    for (i, p) in pts.iter().enumerate() {
+        let home = cell_of_pt[i];
+        if core[i] {
+            by_cluster.entry(uf.find(home)).or_default().push(i as u32);
+        } else {
+            let mut ids = Vec::new();
+            if grid.cell(home).is_core_cell() {
+                ids.push(uf.find(home));
+            }
+            let mut snapped = Vec::new();
+            grid.for_each_eps_neighbor(home, |c| {
+                if c != home && grid.cell(c).is_core_cell() {
+                    snapped.push(c);
+                }
+            });
+            for c in snapped {
+                if grid.emptiness(p, c).is_some() {
+                    ids.push(uf.find(c));
+                }
+            }
+            ids.sort_unstable();
+            ids.dedup();
+            if ids.is_empty() {
+                noise.push(i as u32);
+            } else {
+                for c in ids {
+                    by_cluster.entry(c).or_default().push(i as u32);
+                }
+            }
+        }
+    }
+    let mut out = Clustering {
+        groups: by_cluster.into_values().collect(),
+        noise,
+    };
+    out.normalize();
+    out
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use dydbscan_geom::SplitMix64;
+
+    /// The 18-point running example of the paper (Figure 2/4/7), laid out
+    /// to match the described relationships: three exact clusters
+    /// {o1..o5}, {o6..o12}, {o13..o17}, with o13 a non-core point assigned
+    /// to the cluster of o14, and o18 noise.
+    pub(crate) fn paper_example() -> (Vec<Point<2>>, Params) {
+        let eps = 1.0;
+        let pts: Vec<Point<2>> = vec![
+            // o1..o5: first cluster (o5 is a border point of it)
+            [0.0, 3.0],
+            [0.7, 3.5],
+            [0.7, 2.9],
+            [1.4, 3.2],
+            [0.7, 2.2],
+            // o6..o12: second cluster, a chain (o6, o12 are border points)
+            [3.1, 1.0],
+            [3.9, 1.2],
+            [4.7, 1.1],
+            [5.3, 1.7],
+            [5.2, 2.6],
+            [4.7, 3.3],
+            [4.0, 3.9],
+            // o13: non-core, within eps of o14 only
+            [5.5, 4.5],
+            // o14..o17: third cluster
+            [6.3, 4.3],
+            [7.1, 4.5],
+            [7.0, 3.7],
+            [7.8, 3.9],
+            // o18: noise
+            [8.4, 1.5],
+        ];
+        (pts, Params::new(eps, 3))
+    }
+
+    #[test]
+    fn paper_example_exact_clusters() {
+        let (pts, params) = paper_example();
+        let c = brute_force_exact(&pts, &params);
+        // clusters are exactly {o1..o5}, {o6..o12}, {o13..o17}; o18 noise
+        assert_eq!(c.noise, vec![17]);
+        assert_eq!(c.groups.len(), 3);
+        assert_eq!(c.groups[0], (0..5).collect::<Vec<u32>>());
+        assert_eq!(c.groups[1], (5..12).collect::<Vec<u32>>());
+        assert_eq!(c.groups[2], (12..17).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn grid_exact_matches_bruteforce_on_example() {
+        let (pts, params) = paper_example();
+        let a = brute_force_exact(&pts, &params);
+        let b = static_cluster(&pts, &params);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn grid_exact_matches_bruteforce_random() {
+        for seed in 0..6u64 {
+            let mut rng = SplitMix64::new(seed * 13 + 1);
+            let n = 250;
+            let pts: Vec<Point<2>> = (0..n)
+                .map(|_| [rng.next_f64() * 20.0, rng.next_f64() * 20.0])
+                .collect();
+            for &(eps, min_pts) in &[(1.0, 3), (2.0, 5), (0.5, 2), (3.0, 10)] {
+                let params = Params::new(eps, min_pts);
+                let a = brute_force_exact(&pts, &params);
+                let b = static_cluster(&pts, &params);
+                assert_eq!(a, b, "seed {seed} eps {eps} minpts {min_pts}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_exact_matches_bruteforce_3d() {
+        let mut rng = SplitMix64::new(41);
+        let pts: Vec<Point<3>> = (0..200)
+            .map(|_| std::array::from_fn(|_| rng.next_f64() * 10.0))
+            .collect();
+        let params = Params::new(1.5, 4);
+        assert_eq!(
+            brute_force_exact(&pts, &params),
+            static_cluster(&pts, &params)
+        );
+    }
+
+    #[test]
+    fn min_pts_one_makes_every_point_core() {
+        let pts: Vec<Point<2>> = vec![[0.0, 0.0], [10.0, 10.0], [10.2, 10.0]];
+        let params = Params::new(1.0, 1);
+        let c = brute_force_exact(&pts, &params);
+        assert!(c.noise.is_empty());
+        assert_eq!(c.groups.len(), 2);
+        assert_eq!(c, static_cluster(&pts, &params));
+    }
+
+    #[test]
+    fn all_noise_when_sparse() {
+        let pts: Vec<Point<2>> = (0..10).map(|i| [i as f64 * 100.0, 0.0]).collect();
+        let params = Params::new(1.0, 2);
+        let c = static_cluster(&pts, &params);
+        assert!(c.groups.is_empty());
+        assert_eq!(c.noise.len(), 10);
+    }
+
+    #[test]
+    fn empty_input() {
+        let pts: Vec<Point<2>> = Vec::new();
+        let c = static_cluster(&pts, &Params::new(1.0, 3));
+        assert!(c.groups.is_empty() && c.noise.is_empty());
+    }
+
+    #[test]
+    fn duplicate_points_cluster_together() {
+        let pts: Vec<Point<2>> = vec![[1.0, 1.0]; 5];
+        let params = Params::new(0.5, 5);
+        let c = static_cluster(&pts, &params);
+        assert_eq!(c.groups.len(), 1);
+        assert_eq!(c.groups[0].len(), 5);
+    }
+}

@@ -1,0 +1,144 @@
+//! Verification utilities: the sandwich guarantee and cluster comparisons.
+//!
+//! Theorem 3 of the paper states the quality guarantee of ρ-approximate and
+//! ρ-double-approximate DBSCAN: with `C1` = exact clusters at
+//! `(eps, MinPts)`, `C2` = exact clusters at `((1+rho)*eps, MinPts)` and
+//! `C` a legal approximate result,
+//!
+//! 1. every cluster of `C1` is contained in some cluster of `C`, and
+//! 2. every cluster of `C` is contained in some cluster of `C2`.
+//!
+//! [`check_sandwich`] verifies both statements structurally; our test suites
+//! apply it to every dynamic algorithm's output against the brute-force
+//! clusterings at the two radii.
+
+use crate::groups::Clustering;
+use crate::points::PointId;
+use dydbscan_geom::FxHashMap;
+
+/// Maps each point to the indices of the clusters containing it.
+fn membership(c: &Clustering) -> FxHashMap<PointId, Vec<usize>> {
+    let mut m: FxHashMap<PointId, Vec<usize>> = FxHashMap::default();
+    for (i, g) in c.groups.iter().enumerate() {
+        for &p in g {
+            m.entry(p).or_default().push(i);
+        }
+    }
+    m
+}
+
+/// Checks that every cluster of `fine` is contained in some cluster of
+/// `coarse`. Returns a human-readable error describing the first violation.
+pub fn check_containment(fine: &Clustering, coarse: &Clustering) -> Result<(), String> {
+    let member = membership(coarse);
+    for (gi, g) in fine.groups.iter().enumerate() {
+        // Intersect the coarse memberships of all points of g.
+        let mut candidates: Option<Vec<usize>> = None;
+        for &p in g {
+            let mine = match member.get(&p) {
+                Some(v) => v.clone(),
+                None => {
+                    return Err(format!(
+                        "cluster #{gi} of the finer clustering contains point {p} \
+                         which is in no cluster of the coarser clustering"
+                    ))
+                }
+            };
+            candidates = Some(match candidates {
+                None => mine,
+                Some(prev) => prev.into_iter().filter(|c| mine.contains(c)).collect(),
+            });
+            if candidates.as_ref().is_some_and(|c| c.is_empty()) {
+                return Err(format!(
+                    "cluster #{gi} of the finer clustering (size {}) is not \
+                     contained in any single cluster of the coarser clustering \
+                     (no common cluster up to point {p})",
+                    g.len()
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks the full sandwich guarantee (Theorem 3): `c1 ⊑ c ⊑ c2`.
+pub fn check_sandwich(c1: &Clustering, c: &Clustering, c2: &Clustering) -> Result<(), String> {
+    check_containment(c1, c).map_err(|e| format!("sandwich statement (i) violated: {e}"))?;
+    check_containment(c, c2).map_err(|e| format!("sandwich statement (ii) violated: {e}"))?;
+    Ok(())
+}
+
+/// Translates a clustering whose ids are positions in `ids` into one using
+/// the ids themselves (aligning static results, which index the input
+/// slice, with dynamic results, which use point ids).
+pub fn relabel(c: &Clustering, ids: &[PointId]) -> Clustering {
+    let map = |v: &Vec<PointId>| v.iter().map(|&i| ids[i as usize]).collect::<Vec<_>>();
+    let mut out = Clustering {
+        groups: c.groups.iter().map(map).collect(),
+        noise: c.noise.iter().map(|&i| ids[i as usize]).collect(),
+    };
+    out.normalize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cl(groups: Vec<Vec<u32>>, noise: Vec<u32>) -> Clustering {
+        let mut c = Clustering { groups, noise };
+        c.normalize();
+        c
+    }
+
+    #[test]
+    fn containment_accepts_refinement() {
+        let fine = cl(vec![vec![1, 2], vec![3], vec![4, 5]], vec![6]);
+        let coarse = cl(vec![vec![1, 2, 3], vec![4, 5, 6]], vec![]);
+        assert!(check_containment(&fine, &coarse).is_ok());
+    }
+
+    #[test]
+    fn containment_rejects_split_cluster() {
+        let fine = cl(vec![vec![1, 4]], vec![]);
+        let coarse = cl(vec![vec![1, 2], vec![3, 4]], vec![]);
+        let err = check_containment(&fine, &coarse).unwrap_err();
+        assert!(err.contains("not contained"), "{err}");
+    }
+
+    #[test]
+    fn containment_rejects_missing_point() {
+        let fine = cl(vec![vec![1, 2]], vec![]);
+        let coarse = cl(vec![vec![1]], vec![2]);
+        assert!(check_containment(&fine, &coarse).is_err());
+    }
+
+    #[test]
+    fn containment_handles_multi_membership() {
+        // point 2 is a border point of both coarse clusters; the fine
+        // cluster {1,2} fits in coarse {1,2}, and {2,3} fits in {2,3}.
+        let fine = cl(vec![vec![1, 2], vec![2, 3]], vec![]);
+        let coarse = cl(vec![vec![1, 2], vec![2, 3]], vec![]);
+        assert!(check_containment(&fine, &coarse).is_ok());
+    }
+
+    #[test]
+    fn sandwich_full_check() {
+        let c1 = cl(vec![vec![1, 2], vec![3, 4]], vec![5]);
+        let c = cl(vec![vec![1, 2], vec![3, 4, 5]], vec![]);
+        let c2 = cl(vec![vec![1, 2, 3, 4, 5]], vec![]);
+        assert!(check_sandwich(&c1, &c, &c2).is_ok());
+        // breaking (ii): c merges across c2's clusters
+        let c2_split = cl(vec![vec![1, 2], vec![3, 4, 5]], vec![]);
+        let c_bad = cl(vec![vec![1, 2, 3]], vec![4, 5]);
+        assert!(check_sandwich(&c1, &c_bad, &c2_split).is_err());
+    }
+
+    #[test]
+    fn relabel_translates_ids() {
+        let c = cl(vec![vec![0, 2]], vec![1]);
+        let r = relabel(&c, &[10, 20, 30]);
+        assert_eq!(r.groups, vec![vec![10, 30]]);
+        assert_eq!(r.noise, vec![20]);
+    }
+}

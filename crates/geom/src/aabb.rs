@@ -1,0 +1,269 @@
+//! Axis-aligned bounding boxes with point-to-box distance bounds.
+//!
+//! `mindist`/`maxdist` are the pruning primitives used throughout the
+//! spatial structures:
+//!
+//! * a subtree whose box has `mindist(q) > r` cannot contain a point within
+//!   distance `r` of `q` (safe to skip);
+//! * a subtree whose box has `maxdist(q) <= r` contains only points within
+//!   distance `r` of `q` (safe to count wholesale).
+//!
+//! These two rules are exactly what the approximate range counting and
+//! approximate emptiness contracts of the paper (Sections 4.2 and 7.3) need.
+
+use crate::point::Point;
+
+/// A closed axis-aligned box `[lo, hi]` in `D` dimensions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb<const D: usize> {
+    pub lo: Point<D>,
+    pub hi: Point<D>,
+}
+
+impl<const D: usize> Aabb<D> {
+    /// Creates a box from its lower and upper corners.
+    ///
+    /// Requires `lo[i] <= hi[i]` for all `i` (checked in debug builds).
+    #[inline]
+    pub fn new(lo: Point<D>, hi: Point<D>) -> Self {
+        for i in 0..D {
+            debug_assert!(lo[i] <= hi[i], "inverted box on axis {i}");
+        }
+        Self { lo, hi }
+    }
+
+    /// The degenerate box containing exactly `p`.
+    #[inline]
+    pub fn point(p: Point<D>) -> Self {
+        Self { lo: p, hi: p }
+    }
+
+    /// A box spanning the whole space.
+    #[inline]
+    pub fn everything() -> Self {
+        Self {
+            lo: [f64::NEG_INFINITY; D],
+            hi: [f64::INFINITY; D],
+        }
+    }
+
+    /// The empty box: contains nothing, `min_dist_sq` is infinite, and
+    /// extending it by a point yields the degenerate box of that point.
+    /// Used as the identity element for subtree bounding-box aggregation.
+    #[inline]
+    pub fn empty() -> Self {
+        Self {
+            lo: [f64::INFINITY; D],
+            hi: [f64::NEG_INFINITY; D],
+        }
+    }
+
+    /// Whether this is the empty box (or otherwise inverted).
+    #[inline]
+    pub fn is_empty_box(&self) -> bool {
+        (0..D).any(|i| self.lo[i] > self.hi[i])
+    }
+
+    /// Squared distance from `q` to the closest point of the box
+    /// (zero if `q` is inside).
+    #[inline]
+    pub fn min_dist_sq(&self, q: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = if q[i] < self.lo[i] {
+                self.lo[i] - q[i]
+            } else if q[i] > self.hi[i] {
+                q[i] - self.hi[i]
+            } else {
+                0.0
+            };
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Squared distance from `q` to the farthest point of the box.
+    #[inline]
+    pub fn max_dist_sq(&self, q: &Point<D>) -> f64 {
+        let mut acc = 0.0;
+        for i in 0..D {
+            let d = (q[i] - self.lo[i]).abs().max((q[i] - self.hi[i]).abs());
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Returns `true` if `p` lies inside the (closed) box.
+    #[inline]
+    pub fn contains(&self, p: &Point<D>) -> bool {
+        for i in 0..D {
+            if p[i] < self.lo[i] || p[i] > self.hi[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns `true` if the two (closed) boxes intersect.
+    #[inline]
+    pub fn intersects(&self, other: &Aabb<D>) -> bool {
+        for i in 0..D {
+            if self.hi[i] < other.lo[i] || other.hi[i] < self.lo[i] {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Grows the box (in place) to contain `p`.
+    #[inline]
+    pub fn extend_point(&mut self, p: &Point<D>) {
+        for i in 0..D {
+            self.lo[i] = self.lo[i].min(p[i]);
+            self.hi[i] = self.hi[i].max(p[i]);
+        }
+    }
+
+    /// Grows the box (in place) to contain `other`.
+    #[inline]
+    pub fn extend_box(&mut self, other: &Aabb<D>) {
+        for i in 0..D {
+            self.lo[i] = self.lo[i].min(other.lo[i]);
+            self.hi[i] = self.hi[i].max(other.hi[i]);
+        }
+    }
+
+    /// The smallest box containing both inputs.
+    #[inline]
+    pub fn union(mut self, other: &Aabb<D>) -> Aabb<D> {
+        self.extend_box(other);
+        self
+    }
+
+    /// Sum of side lengths times each other: the box "margin" used by
+    /// R-tree split heuristics. For `D = 2` this is the half-perimeter
+    /// analogue; we use total side-length sum, which ranks splits the same.
+    #[inline]
+    pub fn margin(&self) -> f64 {
+        let mut m = 0.0;
+        for i in 0..D {
+            m += self.hi[i] - self.lo[i];
+        }
+        m
+    }
+
+    /// Box volume (product of side lengths).
+    #[inline]
+    pub fn volume(&self) -> f64 {
+        let mut v = 1.0;
+        for i in 0..D {
+            v *= self.hi[i] - self.lo[i];
+        }
+        v
+    }
+
+    /// Volume of the intersection with `other` (zero if disjoint).
+    #[inline]
+    pub fn overlap_volume(&self, other: &Aabb<D>) -> f64 {
+        let mut v = 1.0;
+        for i in 0..D {
+            let lo = self.lo[i].max(other.lo[i]);
+            let hi = self.hi[i].min(other.hi[i]);
+            if hi <= lo {
+                return 0.0;
+            }
+            v *= hi - lo;
+        }
+        v
+    }
+
+    /// Whether the whole box lies within distance `r` of `q`.
+    #[inline]
+    pub fn fully_within(&self, q: &Point<D>, r: f64) -> bool {
+        self.max_dist_sq(q) <= r * r
+    }
+
+    /// Whether no point of the box lies within distance `r` of `q`.
+    #[inline]
+    pub fn fully_outside(&self, q: &Point<D>, r: f64) -> bool {
+        self.min_dist_sq(q) > r * r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Aabb<2> {
+        Aabb::new([0.0, 0.0], [1.0, 1.0])
+    }
+
+    #[test]
+    fn min_dist_inside_is_zero() {
+        assert_eq!(unit().min_dist_sq(&[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn min_dist_outside_corner() {
+        // (2,2) is sqrt(2) from corner (1,1)
+        assert!((unit().min_dist_sq(&[2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_dist_outside_face() {
+        assert!((unit().min_dist_sq(&[0.5, 3.0]) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dist_from_center() {
+        // farthest corner of unit box from center is sqrt(0.5)
+        assert!((unit().max_dist_sq(&[0.5, 0.5]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_dist_from_outside() {
+        // farthest corner from (2,2) is (0,0): squared distance 8
+        assert!((unit().max_dist_sq(&[2.0, 2.0]) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contains_and_intersects() {
+        let b = unit();
+        assert!(b.contains(&[0.0, 1.0]));
+        assert!(!b.contains(&[1.0001, 0.5]));
+        assert!(b.intersects(&Aabb::new([0.9, 0.9], [2.0, 2.0])));
+        assert!(!b.intersects(&Aabb::new([1.1, 0.0], [2.0, 1.0])));
+        // touching boxes intersect (closed boxes)
+        assert!(b.intersects(&Aabb::new([1.0, 0.0], [2.0, 1.0])));
+    }
+
+    #[test]
+    fn extend_and_union() {
+        let mut b = Aabb::point([0.5, 0.5]);
+        b.extend_point(&[-1.0, 2.0]);
+        assert_eq!(b.lo, [-1.0, 0.5]);
+        assert_eq!(b.hi, [0.5, 2.0]);
+        let u = b.union(&Aabb::new([3.0, 3.0], [4.0, 4.0]));
+        assert_eq!(u.hi, [4.0, 4.0]);
+    }
+
+    #[test]
+    fn volumes_and_margin() {
+        let b = Aabb::new([0.0, 0.0], [2.0, 3.0]);
+        assert_eq!(b.volume(), 6.0);
+        assert_eq!(b.margin(), 5.0);
+        let c = Aabb::new([1.0, 1.0], [3.0, 2.0]);
+        assert_eq!(b.overlap_volume(&c), 1.0);
+        assert_eq!(c.overlap_volume(&b), 1.0);
+        assert_eq!(b.overlap_volume(&Aabb::new([5.0, 5.0], [6.0, 6.0])), 0.0);
+    }
+
+    #[test]
+    fn fully_within_outside() {
+        let b = unit();
+        assert!(b.fully_within(&[0.5, 0.5], 1.0));
+        assert!(!b.fully_within(&[0.5, 0.5], 0.5));
+        assert!(b.fully_outside(&[5.0, 0.5], 3.9));
+        assert!(!b.fully_outside(&[5.0, 0.5], 4.0));
+    }
+}

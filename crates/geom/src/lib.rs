@@ -1,0 +1,38 @@
+// `for i in 0..D` loops index several fixed-size arrays in lockstep all
+// over this crate; zipped iterator chains obscure that without a perf win.
+#![allow(clippy::needless_range_loop)]
+
+//! Geometry substrate for `dydbscan`.
+//!
+//! This crate provides the primitives every other layer of the system is
+//! built on:
+//!
+//! * [`point`] — `D`-dimensional points (`[f64; D]`) and distance kernels.
+//!   All distance comparisons in the system are performed on *squared*
+//!   distances to avoid `sqrt` in hot paths.
+//! * [`aabb`] — axis-aligned boxes with min/max distance to a point, used by
+//!   the kd-tree / R-tree pruning rules and the grid's cell-to-point bounds.
+//! * [`cell`] — integer grid-cell coordinates for the grid of side
+//!   `eps / sqrt(d)` from Section 4.1 of the paper, plus the geometry of a
+//!   cell (its bounding box).
+//! * [`offsets`] — precomputed tables of integer cell offsets within a given
+//!   distance (the "eps-close" and "(1+rho)*eps-close" neighborhoods).
+//! * [`fxhash`] — a fast, non-cryptographic hasher for integer-keyed hash
+//!   maps (cell coordinate -> cell id). The standard library's SipHash is
+//!   needlessly slow for this workload.
+//! * [`rng`] — a tiny, dependency-free SplitMix64 generator used for treap
+//!   priorities and internal randomized tests.
+
+pub mod aabb;
+pub mod cell;
+pub mod fxhash;
+pub mod offsets;
+pub mod point;
+pub mod rng;
+
+pub use aabb::Aabb;
+pub use cell::{cell_box, cell_gap_sq, cell_of, side_for_eps, CellCoord};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use offsets::OffsetTable;
+pub use point::{dist, dist_sq, mid_point, within, Point};
+pub use rng::SplitMix64;

@@ -1,0 +1,205 @@
+//! Precomputed cell-offset neighborhoods.
+//!
+//! Section 4.1: two cells are *eps-close* if the smallest distance between
+//! their boundaries is at most `eps`. With cell side `eps / sqrt(d)` this is
+//! an integer predicate on the coordinate offset (see
+//! [`crate::cell::cell_gap_sq`]), so the set of eps-close offsets is finite
+//! (`O((sqrt(d))^d)` of them) and can be enumerated once per structure.
+//!
+//! The fully-dynamic core-status maintenance additionally needs the slightly
+//! larger `(1+rho)*eps`-close neighborhood (see DESIGN.md, deviation 2); the
+//! same table type serves both radii.
+
+use crate::cell::cell_gap_sq;
+
+/// A table of integer cell offsets whose cell-boundary distance is at most a
+/// given radius.
+///
+/// The zero offset (the cell itself) is included: a cell is trivially
+/// 0-close to itself, and the paper's neighborhood enumerations ("any point
+/// within distance eps from p_new must be in an eps-close cell") include the
+/// home cell.
+#[derive(Debug, Clone)]
+pub struct OffsetTable<const D: usize> {
+    offsets: Vec<[i32; D]>,
+    radius: f64,
+    side: f64,
+}
+
+impl<const D: usize> OffsetTable<D> {
+    /// Enumerates all offsets `delta` with box-to-box distance
+    /// `<= radius` between a cell and the cell translated by `delta`,
+    /// for cells of side `side`.
+    ///
+    /// The per-axis range is `|delta_i| <= ceil(radius / side) + 1`, and the
+    /// exact predicate `cell_gap_sq(delta) * side^2 <= radius^2` filters the
+    /// hypercube. The table is sorted lexicographically for deterministic
+    /// iteration order (and thus deterministic don't-care resolution).
+    pub fn new(radius: f64, side: f64) -> Self {
+        assert!(radius >= 0.0 && side > 0.0);
+        let r = (radius / side).ceil() as i64 + 1;
+        let r = i32::try_from(r).expect("neighborhood radius too large");
+        let bound_sq = (radius / side) * (radius / side) + 1e-9;
+        let mut offsets = Vec::new();
+        let mut cur = [0i32; D];
+        Self::enumerate(0, r, bound_sq, &mut cur, &mut offsets);
+        offsets.sort_unstable();
+        Self {
+            offsets,
+            radius,
+            side,
+        }
+    }
+
+    fn enumerate(
+        axis: usize,
+        r: i32,
+        bound_sq: f64,
+        cur: &mut [i32; D],
+        out: &mut Vec<[i32; D]>,
+    ) {
+        if axis == D {
+            if (cell_gap_sq(cur) as f64) <= bound_sq {
+                out.push(*cur);
+            }
+            return;
+        }
+        for v in -r..=r {
+            cur[axis] = v;
+            // prune: partial gap already exceeds the bound
+            let mut partial: i64 = 0;
+            for &c in cur.iter().take(axis + 1) {
+                let g = (c.abs() as i64 - 1).max(0);
+                partial += g * g;
+            }
+            if (partial as f64) > bound_sq {
+                continue;
+            }
+            Self::enumerate(axis + 1, r, bound_sq, cur, out);
+        }
+        cur[axis] = 0;
+    }
+
+    /// The offsets, sorted lexicographically. Includes `[0; D]`.
+    #[inline]
+    pub fn offsets(&self) -> &[[i32; D]] {
+        &self.offsets
+    }
+
+    /// Number of offsets in the table.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// True if the table is empty (never the case for radius >= 0).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.is_empty()
+    }
+
+    /// The radius this table was built for.
+    #[inline]
+    pub fn radius(&self) -> f64 {
+        self.radius
+    }
+
+    /// The cell side this table was built for.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{cell_box, side_for_eps, CellCoord};
+
+    #[test]
+    fn includes_self_and_adjacent() {
+        let t = OffsetTable::<2>::new(1.0, 1.0);
+        assert!(t.offsets().contains(&[0, 0]));
+        assert!(t.offsets().contains(&[1, 1]));
+        assert!(t.offsets().contains(&[-1, 0]));
+    }
+
+    #[test]
+    fn two_d_eps_close_count() {
+        // d=2: side = eps/sqrt(2); eps-close iff gap_sq <= 2.
+        // offsets with per-axis |delta| <= 2 qualifying:
+        //   |delta_i|<=1: gap 0 -> 9 offsets
+        //   one axis +-2, other in -1..=1: gap 1 -> 12 offsets
+        //   both axes +-2: gap 2 -> 4 offsets
+        // total 25... minus none. Also |delta|=3 with other 0: gap 4 > 2. So 21?
+        // gap for (2,2) = 1+1 = 2 <= 2 -> included. (2,0)=1, (2,1)=1,(2,2)=2.
+        // 9 + 12 + 4 = 25.
+        let eps = 4.0;
+        let t = OffsetTable::<2>::new(eps, side_for_eps::<2>(eps));
+        assert_eq!(t.len(), 25);
+    }
+
+    #[test]
+    fn one_d_eps_close_count() {
+        // d=1: side = eps; eps-close iff gap <= 1 cell: |delta| <= 2.
+        let t = OffsetTable::<1>::new(5.0, 5.0);
+        assert_eq!(t.len(), 5); // -2..=2
+    }
+
+    #[test]
+    fn table_matches_box_distance_brute_force() {
+        // For random radii/sides, membership must equal the geometric
+        // box-to-box distance predicate.
+        for &(radius, side) in &[(1.0, 0.4), (2.5, 1.0), (3.0, 3.0), (0.0, 1.0)] {
+            let t = OffsetTable::<2>::new(radius, side);
+            let origin = cell_box(&CellCoord::<2>([0, 0]), side);
+            let r = (radius / side).ceil() as i32 + 2;
+            for dx in -r..=r {
+                for dy in -r..=r {
+                    let b = cell_box(&CellCoord([dx, dy]), side);
+                    let mut acc = 0.0f64;
+                    for i in 0..2 {
+                        let d = if b.lo[i] > origin.hi[i] {
+                            b.lo[i] - origin.hi[i]
+                        } else if origin.lo[i] > b.hi[i] {
+                            origin.lo[i] - b.hi[i]
+                        } else {
+                            0.0
+                        };
+                        acc += d * d;
+                    }
+                    let geometric = acc <= radius * radius + 1e-9;
+                    let tabulated = t.offsets().contains(&[dx, dy]);
+                    assert_eq!(
+                        geometric, tabulated,
+                        "radius {radius} side {side} delta ({dx},{dy})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bigger_radius_superset() {
+        let side = 1.0;
+        let small = OffsetTable::<3>::new(2.0, side);
+        let big = OffsetTable::<3>::new(2.2, side);
+        for o in small.offsets() {
+            assert!(big.offsets().contains(o));
+        }
+        assert!(big.len() >= small.len());
+    }
+
+    #[test]
+    fn seven_d_is_finite_and_sane() {
+        let eps = 7.0;
+        let t = OffsetTable::<7>::new(eps, side_for_eps::<7>(eps));
+        // sanity: includes self, is symmetric, not absurdly small
+        assert!(t.offsets().binary_search(&[0; 7]).is_ok());
+        assert!(t.len() > 100);
+        for o in t.offsets() {
+            let neg: [i32; 7] = std::array::from_fn(|i| -o[i]);
+            assert!(t.offsets().binary_search(&neg).is_ok());
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! `D`-dimensional points and distance kernels.
+//!
+//! A point is a plain `[f64; D]`. The dimensionality is a compile-time
+//! constant: the paper's algorithms carry `O((sqrt(d))^d)` factors and are
+//! designed for small, fixed `d` (the evaluation uses `d in {2, 3, 5, 7}`),
+//! so monomorphizing per dimension is both faster and simpler than a dynamic
+//! representation.
+
+/// A point in `D`-dimensional Euclidean space.
+pub type Point<const D: usize> = [f64; D];
+
+/// Squared Euclidean distance between `a` and `b`.
+///
+/// All proximity predicates in the system compare squared distances against
+/// squared radii, avoiding `sqrt` on hot paths.
+#[inline]
+pub fn dist_sq<const D: usize>(a: &Point<D>, b: &Point<D>) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..D {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between `a` and `b`.
+#[inline]
+pub fn dist<const D: usize>(a: &Point<D>, b: &Point<D>) -> f64 {
+    dist_sq(a, b).sqrt()
+}
+
+/// Component-wise midpoint of `a` and `b`.
+#[inline]
+pub fn mid_point<const D: usize>(a: &Point<D>, b: &Point<D>) -> Point<D> {
+    let mut m = [0.0; D];
+    for i in 0..D {
+        m[i] = 0.5 * (a[i] + b[i]);
+    }
+    m
+}
+
+/// Returns `true` if `a` and `b` are within distance `r` (inclusive).
+#[inline]
+pub fn within<const D: usize>(a: &Point<D>, b: &Point<D>, r: f64) -> bool {
+    dist_sq(a, b) <= r * r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_sq_matches_manual() {
+        let a = [0.0, 3.0];
+        let b = [4.0, 0.0];
+        assert_eq!(dist_sq(&a, &b), 25.0);
+        assert_eq!(dist(&a, &b), 5.0);
+    }
+
+    #[test]
+    fn dist_zero_for_same_point() {
+        let a = [1.5, -2.5, 3.25];
+        assert_eq!(dist_sq(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn within_is_inclusive() {
+        let a = [0.0];
+        let b = [2.0];
+        assert!(within(&a, &b, 2.0));
+        assert!(!within(&a, &b, 1.9999999));
+    }
+
+    #[test]
+    fn midpoint() {
+        assert_eq!(mid_point(&[0.0, 2.0], &[2.0, 4.0]), [1.0, 3.0]);
+    }
+
+    #[test]
+    fn dist_1d_and_7d() {
+        assert_eq!(dist_sq(&[1.0], &[4.0]), 9.0);
+        let a = [1.0; 7];
+        let b = [2.0; 7];
+        assert_eq!(dist_sq(&a, &b), 7.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Append-only, tombstoned logs of core-point arrivals per cell.
+//!
+//! Lemma 3 of the paper maintains, for each aBCP instance, a virtual list
+//! `L` of the points inserted after the initial witness pair was found. The
+//! appendix remark shows `L` never needs materializing: keep each cell's
+//! core points **in insertion order** and represent `L` as one suffix
+//! pointer per cell per instance.
+//!
+//! [`CoreLog`] is that insertion-ordered list. Entries are never removed —
+//! a point that stops being core is tombstoned — so suffix positions held
+//! by aBCP instances remain valid forever. De-listing advances a position
+//! past tombstones; since positions held by an instance only move forward,
+//! the total skip work is bounded by the log length, which is bounded by
+//! the number of core-arrival events in the cell.
+
+/// Position in a [`CoreLog`] (index of the next entry to de-list).
+pub type LogPos = u32;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    point: u32,
+    alive: bool,
+}
+
+/// Insertion-ordered log of core points of one cell.
+#[derive(Debug, Clone, Default)]
+pub struct CoreLog {
+    entries: Vec<Entry>,
+    alive: u32,
+}
+
+impl CoreLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a core-point arrival; returns its position.
+    pub fn push(&mut self, point: u32) -> LogPos {
+        self.entries.push(Entry { point, alive: true });
+        self.alive += 1;
+        (self.entries.len() - 1) as LogPos
+    }
+
+    /// Tombstones the entry at `pos` (the point stopped being core).
+    pub fn kill(&mut self, pos: LogPos) {
+        let e = &mut self.entries[pos as usize];
+        debug_assert!(e.alive, "double kill at {pos}");
+        e.alive = false;
+        self.alive -= 1;
+    }
+
+    /// Number of alive entries (= current core points of the cell).
+    #[inline]
+    pub fn alive_count(&self) -> u32 {
+        self.alive
+    }
+
+    /// Total log length; positions `>= end()` are "after everything".
+    #[inline]
+    pub fn end(&self) -> LogPos {
+        self.entries.len() as LogPos
+    }
+
+    /// The point at `pos` if that entry is alive.
+    #[inline]
+    pub fn get_alive(&self, pos: LogPos) -> Option<u32> {
+        let e = self.entries.get(pos as usize)?;
+        e.alive.then_some(e.point)
+    }
+
+    /// First alive entry at position `>= pos`, as `(position, point)`.
+    pub fn next_alive(&self, mut pos: LogPos) -> Option<(LogPos, u32)> {
+        while (pos as usize) < self.entries.len() {
+            let e = &self.entries[pos as usize];
+            if e.alive {
+                return Some((pos, e.point));
+            }
+            pos += 1;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_kill_iterate() {
+        let mut log = CoreLog::new();
+        let a = log.push(10);
+        let b = log.push(11);
+        let c = log.push(12);
+        assert_eq!(log.alive_count(), 3);
+        log.kill(b);
+        assert_eq!(log.alive_count(), 2);
+        assert_eq!(log.next_alive(0), Some((a, 10)));
+        assert_eq!(log.next_alive(a + 1), Some((c, 12)));
+        assert_eq!(log.next_alive(c + 1), None);
+        assert_eq!(log.get_alive(b), None);
+        assert_eq!(log.get_alive(c), Some(12));
+    }
+
+    #[test]
+    fn end_moves_with_pushes() {
+        let mut log = CoreLog::new();
+        assert_eq!(log.end(), 0);
+        log.push(5);
+        assert_eq!(log.end(), 1);
+        assert_eq!(log.next_alive(1), None);
+        log.push(6);
+        assert_eq!(log.next_alive(1), Some((1, 6)));
+    }
+
+    #[test]
+    #[should_panic(expected = "double kill")]
+    #[cfg(debug_assertions)]
+    fn double_kill_panics() {
+        let mut log = CoreLog::new();
+        let p = log.push(1);
+        log.kill(p);
+        log.kill(p);
+    }
+}

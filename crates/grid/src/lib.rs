@@ -1,0 +1,595 @@
+//! The grid / cell registry of the paper's framework (Section 4.1).
+//!
+//! A grid with cells of side `eps / sqrt(d)` is imposed on `R^d`; cells are
+//! materialized on demand in a hash map keyed by integer coordinates. Each
+//! materialized cell carries:
+//!
+//! * the set of **all** points it contains (powering the approximate range
+//!   counting of Section 7.3),
+//! * the set of its **core** points (the per-cell *emptiness structure* of
+//!   Section 4.2),
+//! * an insertion-ordered [`core_log::CoreLog`] of core arrivals (realizing
+//!   the O(1)-memory `L` lists of Lemma 3),
+//! * its **neighbor list**: every materialized cell within boundary
+//!   distance `(1+rho)*eps`, each tagged with whether it is also
+//!   `eps`-close. Lists are built once per cell from the precomputed offset
+//!   table and kept complete by reverse registration when later cells
+//!   materialize — so the `O((sqrt d)^d)` offset sweep is paid once per
+//!   distinct cell, not once per update.
+//!
+//! Two radii appear because the fully-dynamic core-status maintenance must
+//! re-check points within `(1+rho)*eps` of an update (DESIGN.md, deviation
+//! 2), while grid-graph edges and emptiness snapping use `eps`-closeness
+//! exactly as in the paper.
+
+pub mod core_log;
+
+pub use core_log::{CoreLog, LogPos};
+
+use dydbscan_geom::{
+    cell_box, cell_gap_sq, cell_of, side_for_eps, Aabb, CellCoord, FxHashMap, OffsetTable, Point,
+};
+use dydbscan_spatial::CellSet;
+
+/// Index of a materialized cell.
+pub type CellId = u32;
+
+/// A materialized grid cell.
+#[derive(Debug)]
+pub struct Cell<const D: usize> {
+    /// Integer grid coordinates.
+    pub coord: CellCoord<D>,
+    /// Every point currently in the cell.
+    pub all: CellSet<D>,
+    /// The core points currently in the cell (the emptiness structure).
+    pub core: CellSet<D>,
+    /// Insertion-ordered log of core arrivals (see [`CoreLog`]).
+    pub core_log: CoreLog,
+    /// Materialized cells within `(1+rho)*eps`; the flag marks `eps`-close
+    /// ones. Includes the cell itself (flagged `true`).
+    pub neighbors: Vec<(CellId, bool)>,
+}
+
+impl<const D: usize> Cell<D> {
+    fn new(coord: CellCoord<D>) -> Self {
+        Self {
+            coord,
+            all: CellSet::new(),
+            core: CellSet::new(),
+            core_log: CoreLog::new(),
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of points in the cell (`|P(c)|`).
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.all.len()
+    }
+
+    /// Whether the cell holds at least one core point.
+    #[inline]
+    pub fn is_core_cell(&self) -> bool {
+        !self.core.is_empty()
+    }
+}
+
+/// Offset-table size above which cell materialization switches to the
+/// prefix-filtered sweep (see [`GridIndex::ensure_cell`]).
+const PREFIX_FILTER_THRESHOLD: usize = 2_048;
+
+/// The grid index: cell registry, neighbor lists, per-cell point sets.
+#[derive(Debug)]
+pub struct GridIndex<const D: usize> {
+    eps: f64,
+    rho: f64,
+    side: f64,
+    /// Offsets within `(1+rho)*eps`, tagged with `eps`-closeness; sorted
+    /// lexicographically.
+    offsets: Vec<([i32; D], bool)>,
+    /// Ranges of `offsets` sharing their first `prefix_len` coordinates
+    /// (empty when the plain sweep is used).
+    offset_groups: Vec<(u32, u32)>,
+    /// Number of coordinates forming the prefix key.
+    prefix_len: usize,
+    /// Hash of each materialized cell's coordinate prefix -> count. A
+    /// missing hash proves no cell has that prefix (collisions only cause
+    /// harmless extra probes), letting `ensure_cell` skip whole offset
+    /// groups. This tames the `O((sqrt d)^d)` constant in high dimensions:
+    /// the 7D table holds ~10^5 offsets, but live cells occupy a handful
+    /// of prefixes.
+    prefix_counts: FxHashMap<u64, u32>,
+    map: FxHashMap<CellCoord<D>, CellId>,
+    cells: Vec<Cell<D>>,
+}
+
+/// Mixes the first `len` coordinates into a 64-bit key (Fx-style).
+#[inline]
+fn prefix_hash(coords: &[i32], len: usize) -> u64 {
+    let mut h: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+    for &c in &coords[..len] {
+        h = (h.rotate_left(5) ^ (c as u32 as u64)).wrapping_mul(0x51_7c_c1_b7_27_22_0a_95);
+    }
+    h
+}
+
+impl<const D: usize> GridIndex<D> {
+    /// Creates a grid for clustering radius `eps` and approximation `rho`.
+    pub fn new(eps: f64, rho: f64) -> Self {
+        assert!(eps > 0.0, "eps must be positive");
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+        let side = side_for_eps::<D>(eps);
+        let outer = OffsetTable::<D>::new((1.0 + rho) * eps, side);
+        let eps_gap_bound = (eps / side) * (eps / side) + 1e-9;
+        let offsets: Vec<([i32; D], bool)> = outer
+            .offsets()
+            .iter()
+            .map(|&o| (o, (cell_gap_sq(&o) as f64) <= eps_gap_bound))
+            .collect();
+        // Group offsets by coordinate prefix when the table is large.
+        let (prefix_len, offset_groups) = if offsets.len() > PREFIX_FILTER_THRESHOLD && D >= 4 {
+            let len = D / 2 + 1;
+            let mut groups = Vec::new();
+            let mut start = 0usize;
+            for i in 1..=offsets.len() {
+                if i == offsets.len() || offsets[i].0[..len] != offsets[start].0[..len] {
+                    groups.push((start as u32, i as u32));
+                    start = i;
+                }
+            }
+            (len, groups)
+        } else {
+            (0, Vec::new())
+        };
+        Self {
+            eps,
+            rho,
+            side,
+            offsets,
+            offset_groups,
+            prefix_len,
+            prefix_counts: FxHashMap::default(),
+            map: FxHashMap::default(),
+            cells: Vec::new(),
+        }
+    }
+
+    /// Clustering radius `eps`.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Approximation parameter `rho`.
+    #[inline]
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Cell side length (`eps / sqrt(d)`).
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Number of materialized cells (including drained ones).
+    #[inline]
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The cell with a given id.
+    #[inline]
+    pub fn cell(&self, id: CellId) -> &Cell<D> {
+        &self.cells[id as usize]
+    }
+
+    /// Mutable access to a cell.
+    #[inline]
+    pub fn cell_mut(&mut self, id: CellId) -> &mut Cell<D> {
+        &mut self.cells[id as usize]
+    }
+
+    /// The id of the materialized cell containing `p`, if any.
+    #[inline]
+    pub fn cell_id_of(&self, p: &Point<D>) -> Option<CellId> {
+        self.map.get(&cell_of(p, self.side)).copied()
+    }
+
+    /// Geometric bounding box of a cell.
+    #[inline]
+    pub fn box_of(&self, id: CellId) -> Aabb<D> {
+        cell_box(&self.cells[id as usize].coord, self.side)
+    }
+
+    /// Materializes (if necessary) the cell containing `p` and returns its
+    /// id. New cells sweep the offset table once and register themselves in
+    /// their neighbors' lists; in high dimensions whole offset groups are
+    /// skipped when no live cell shares the target coordinate prefix.
+    pub fn ensure_cell(&mut self, p: &Point<D>) -> CellId {
+        let coord = cell_of(p, self.side);
+        if let Some(&id) = self.map.get(&coord) {
+            return id;
+        }
+        let id = self.cells.len() as CellId;
+        self.cells.push(Cell::new(coord));
+        self.map.insert(coord, id);
+        let mut my_neighbors = Vec::new();
+        if self.offset_groups.is_empty() {
+            // Plain sweep: probe every offset. The zero offset links the
+            // cell to itself.
+            for &(off, eps_close) in &self.offsets {
+                let ncoord = coord.offset(&off);
+                if let Some(&nid) = self.map.get(&ncoord) {
+                    my_neighbors.push((nid, eps_close));
+                    if nid != id {
+                        self.cells[nid as usize].neighbors.push((id, eps_close));
+                    }
+                }
+            }
+        } else {
+            // Prefix-filtered sweep. Register this cell's prefix first so
+            // the self offset also passes the filter.
+            *self
+                .prefix_counts
+                .entry(prefix_hash(&coord.0, self.prefix_len))
+                .or_insert(0) += 1;
+            let mut target = [0i32; D];
+            for &(gs, ge) in &self.offset_groups {
+                let head = &self.offsets[gs as usize].0;
+                for i in 0..self.prefix_len {
+                    target[i] = coord.0[i] + head[i];
+                }
+                if !self
+                    .prefix_counts
+                    .contains_key(&prefix_hash(&target, self.prefix_len))
+                {
+                    continue;
+                }
+                for &(off, eps_close) in &self.offsets[gs as usize..ge as usize] {
+                    let ncoord = coord.offset(&off);
+                    if let Some(&nid) = self.map.get(&ncoord) {
+                        my_neighbors.push((nid, eps_close));
+                        if nid != id {
+                            self.cells[nid as usize].neighbors.push((id, eps_close));
+                        }
+                    }
+                }
+            }
+        }
+        self.cells[id as usize].neighbors = my_neighbors;
+        id
+    }
+
+    /// Adds `(p, point_id)` to its cell's `all` set; returns the cell id.
+    pub fn insert_point(&mut self, p: &Point<D>, point_id: u32) -> CellId {
+        let id = self.ensure_cell(p);
+        self.cells[id as usize].all.insert(*p, point_id);
+        id
+    }
+
+    /// Removes `(p, point_id)` from its cell's `all` set; returns the cell
+    /// id. Panics if the point was never inserted.
+    pub fn remove_point(&mut self, p: &Point<D>, point_id: u32) -> CellId {
+        let id = self
+            .cell_id_of(p)
+            .expect("removing a point from a cell that was never materialized");
+        let ok = self.cells[id as usize].all.remove(p, point_id);
+        assert!(ok, "removing a point absent from its cell");
+        id
+    }
+
+    /// Calls `f(neighbor_id)` for every materialized `eps`-close cell of
+    /// `id`, including `id` itself.
+    #[inline]
+    pub fn for_each_eps_neighbor(&self, id: CellId, mut f: impl FnMut(CellId)) {
+        for &(nid, eps_close) in &self.cells[id as usize].neighbors {
+            if eps_close {
+                f(nid);
+            }
+        }
+    }
+
+    /// Calls `f(neighbor_id)` for every materialized `(1+rho)*eps`-close
+    /// cell of `id` (the core-status re-check neighborhood), including `id`.
+    #[inline]
+    pub fn for_each_trigger_neighbor(&self, id: CellId, mut f: impl FnMut(CellId)) {
+        for &(nid, _) in &self.cells[id as usize].neighbors {
+            f(nid);
+        }
+    }
+
+    /// ρ-approximate ε-emptiness (Section 4.2): queries the core points of
+    /// cell `c`. Returns a proof point within `(1+rho)*eps` whenever some
+    /// core point of `c` lies within `eps` of `q`.
+    #[inline]
+    pub fn emptiness(&self, q: &Point<D>, c: CellId) -> Option<(u32, f64)> {
+        self.cells[c as usize]
+            .core
+            .find_within(q, self.eps, (1.0 + self.rho) * self.eps)
+    }
+
+    /// ρ-approximate range count (Section 7.3): returns `k` with
+    /// `|B(q, eps)| <= k <= |B(q, (1+rho)*eps)|` over **all** points.
+    ///
+    /// `q`'s cell must be materialized (callers count after inserting the
+    /// probe point, or probe with an existing point).
+    pub fn count_ball_sandwich(&self, q: &Point<D>) -> usize {
+        let home = self
+            .cell_id_of(q)
+            .expect("count_ball_sandwich requires q's cell to exist");
+        let lo = self.eps;
+        let hi = (1.0 + self.rho) * self.eps;
+        let mut k = 0usize;
+        for &(nid, _) in &self.cells[home as usize].neighbors {
+            let cell = &self.cells[nid as usize];
+            if cell.all.is_empty() {
+                continue;
+            }
+            let bb = cell_box(&cell.coord, self.side);
+            if bb.fully_outside(q, lo) {
+                continue;
+            }
+            if bb.fully_within(q, hi) {
+                k += cell.all.len();
+            } else {
+                k += cell.all.count_within_sandwich(q, lo, hi);
+            }
+        }
+        k
+    }
+
+    /// Exact count of points within `eps` of `q` (used by the semi-dynamic
+    /// core-status bootstrap, Section 5 Step 2). `q`'s cell must exist.
+    pub fn count_ball_exact(&self, q: &Point<D>) -> usize {
+        let home = self
+            .cell_id_of(q)
+            .expect("count_ball_exact requires q's cell to exist");
+        let mut k = 0usize;
+        for &(nid, eps_close) in &self.cells[home as usize].neighbors {
+            if !eps_close {
+                continue;
+            }
+            let cell = &self.cells[nid as usize];
+            if cell.all.is_empty() {
+                continue;
+            }
+            let bb = cell_box(&cell.coord, self.side);
+            if bb.fully_outside(q, self.eps) {
+                continue;
+            }
+            if bb.fully_within(q, self.eps) {
+                k += cell.all.len();
+            } else {
+                k += cell.all.count_within_sandwich(q, self.eps, self.eps);
+            }
+        }
+        k
+    }
+
+    /// Exact range report over all points within `r <= (1+rho)*eps` of `q`
+    /// into `out` as `(point_id, dist_sq)`. `q`'s cell must exist.
+    pub fn collect_ball(&self, q: &Point<D>, r: f64, out: &mut Vec<(u32, f64)>) {
+        debug_assert!(r <= (1.0 + self.rho) * self.eps + 1e-9);
+        let home = self
+            .cell_id_of(q)
+            .expect("collect_ball requires q's cell to exist");
+        for &(nid, _) in &self.cells[home as usize].neighbors {
+            let cell = &self.cells[nid as usize];
+            if cell.all.is_empty() {
+                continue;
+            }
+            cell.all.collect_within(q, r, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydbscan_geom::dist_sq;
+    use dydbscan_geom::SplitMix64;
+
+    #[test]
+    fn cells_materialize_once() {
+        let mut g = GridIndex::<2>::new(1.0, 0.0);
+        let a = g.ensure_cell(&[0.1, 0.1]);
+        let b = g.ensure_cell(&[0.2, 0.2]); // same cell (side ~0.707)
+        assert_eq!(a, b);
+        let c = g.ensure_cell(&[5.0, 5.0]);
+        assert_ne!(a, c);
+        assert_eq!(g.num_cells(), 2);
+    }
+
+    #[test]
+    fn neighbor_lists_are_symmetric_and_complete() {
+        let mut g = GridIndex::<2>::new(2.0, 0.001);
+        let mut rng = SplitMix64::new(5);
+        let mut ids = Vec::new();
+        for _ in 0..60 {
+            let p = [rng.next_f64() * 12.0, rng.next_f64() * 12.0];
+            ids.push(g.ensure_cell(&p));
+        }
+        // symmetry + completeness against the geometric predicate
+        let r = (1.0 + g.rho()) * g.eps();
+        for a in 0..g.num_cells() as CellId {
+            for b in 0..g.num_cells() as CellId {
+                let ba = g.box_of(a);
+                let bb = g.box_of(b);
+                // box-to-box distance via per-axis gaps
+                let mut acc = 0.0f64;
+                for i in 0..2 {
+                    let d = if bb.lo[i] > ba.hi[i] {
+                        bb.lo[i] - ba.hi[i]
+                    } else if ba.lo[i] > bb.hi[i] {
+                        ba.lo[i] - bb.hi[i]
+                    } else {
+                        0.0
+                    };
+                    acc += d * d;
+                }
+                let close = acc <= r * r + 1e-9;
+                let listed = g.cell(a).neighbors.iter().any(|&(n, _)| n == b);
+                assert_eq!(close, listed, "cells {a},{b}");
+                if listed {
+                    assert!(
+                        g.cell(b).neighbors.iter().any(|&(n, _)| n == a),
+                        "asymmetric neighbor lists {a},{b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_is_eps_close_neighbor() {
+        let mut g = GridIndex::<3>::new(1.5, 0.1);
+        let c = g.ensure_cell(&[0.0, 0.0, 0.0]);
+        let mut found_self = false;
+        g.for_each_eps_neighbor(c, |n| {
+            if n == c {
+                found_self = true;
+            }
+        });
+        assert!(found_self);
+    }
+
+    #[test]
+    fn insert_remove_point_roundtrip() {
+        let mut g = GridIndex::<2>::new(1.0, 0.0);
+        let c = g.insert_point(&[0.3, 0.3], 7);
+        assert_eq!(g.cell(c).count(), 1);
+        let c2 = g.remove_point(&[0.3, 0.3], 7);
+        assert_eq!(c, c2);
+        assert_eq!(g.cell(c).count(), 0);
+    }
+
+    #[test]
+    fn exact_ball_count_matches_bruteforce() {
+        let mut rng = SplitMix64::new(77);
+        let eps = 1.3;
+        let mut g = GridIndex::<2>::new(eps, 0.0);
+        let pts: Vec<[f64; 2]> = (0..300)
+            .map(|_| [rng.next_f64() * 10.0, rng.next_f64() * 10.0])
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            g.insert_point(p, i as u32);
+        }
+        for (i, q) in pts.iter().enumerate().take(60) {
+            let brute = pts.iter().filter(|p| dist_sq(p, q) <= eps * eps).count();
+            assert_eq!(g.count_ball_exact(q), brute, "query {i}");
+            // rho = 0: the sandwich count is also exact
+            assert_eq!(g.count_ball_sandwich(q), brute, "sandwich query {i}");
+        }
+    }
+
+    #[test]
+    fn sandwich_count_is_sandwiched() {
+        let mut rng = SplitMix64::new(99);
+        let eps = 1.0;
+        let rho = 0.25;
+        let mut g = GridIndex::<3>::new(eps, rho);
+        let pts: Vec<[f64; 3]> = (0..400)
+            .map(|_| std::array::from_fn(|_| rng.next_f64() * 6.0))
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            g.insert_point(p, i as u32);
+        }
+        let hi = (1.0 + rho) * eps;
+        for q in pts.iter().take(80) {
+            let lo_ct = pts.iter().filter(|p| dist_sq(p, q) <= eps * eps).count();
+            let hi_ct = pts.iter().filter(|p| dist_sq(p, q) <= hi * hi).count();
+            let k = g.count_ball_sandwich(q);
+            assert!(
+                lo_ct <= k && k <= hi_ct,
+                "sandwich violated: {lo_ct} <= {k} <= {hi_ct}"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_ball_matches_bruteforce() {
+        let mut rng = SplitMix64::new(3);
+        let eps = 0.8;
+        let mut g = GridIndex::<2>::new(eps, 0.0);
+        let pts: Vec<[f64; 2]> = (0..200)
+            .map(|_| [rng.next_f64() * 5.0, rng.next_f64() * 5.0])
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            g.insert_point(p, i as u32);
+        }
+        for q in pts.iter().take(40) {
+            let mut got = Vec::new();
+            g.collect_ball(q, eps, &mut got);
+            let mut got: Vec<u32> = got.into_iter().map(|(i, _)| i).collect();
+            got.sort_unstable();
+            let mut want: Vec<u32> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| dist_sq(p, q) <= eps * eps)
+                .map(|(i, _)| i as u32)
+                .collect();
+            want.sort_unstable();
+            assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn emptiness_uses_core_points_only() {
+        let mut g = GridIndex::<2>::new(1.0, 0.0);
+        let p = [0.1, 0.1];
+        let c = g.insert_point(&p, 0);
+        // not a core point yet: emptiness must fail
+        assert!(g.emptiness(&[0.2, 0.1], c).is_none());
+        g.cell_mut(c).core.insert(p, 0);
+        let (id, _) = g.emptiness(&[0.2, 0.1], c).expect("core point in range");
+        assert_eq!(id, 0);
+    }
+
+    #[test]
+    fn prefix_filtered_neighbor_lists_match_geometry_5d() {
+        // d >= 5 exceeds PREFIX_FILTER_THRESHOLD, exercising the filtered
+        // sweep; lists must equal the geometric predicate exactly.
+        let eps = 5.0;
+        let mut g = GridIndex::<5>::new(eps, 0.01);
+        assert!(
+            !g.offset_groups.is_empty(),
+            "expected the prefix filter to be active at d=5"
+        );
+        let mut rng = SplitMix64::new(17);
+        for _ in 0..40 {
+            let p: [f64; 5] = std::array::from_fn(|_| rng.next_f64() * 12.0);
+            g.ensure_cell(&p);
+        }
+        let r = (1.0 + g.rho()) * g.eps();
+        for a in 0..g.num_cells() as CellId {
+            for b in 0..g.num_cells() as CellId {
+                let ba = g.box_of(a);
+                let bb = g.box_of(b);
+                let mut acc = 0.0f64;
+                for i in 0..5 {
+                    let d = if bb.lo[i] > ba.hi[i] {
+                        bb.lo[i] - ba.hi[i]
+                    } else if ba.lo[i] > bb.hi[i] {
+                        ba.lo[i] - bb.hi[i]
+                    } else {
+                        0.0
+                    };
+                    acc += d * d;
+                }
+                let close = acc <= r * r + 1e-9;
+                let listed = g.cell(a).neighbors.iter().any(|&(n, _)| n == b);
+                assert_eq!(close, listed, "cells {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn seven_dim_grid_small_smoke() {
+        let mut g = GridIndex::<7>::new(7.0, 0.001);
+        let a = g.insert_point(&[0.0; 7], 0);
+        let b = g.insert_point(&[1.0; 7], 1);
+        let _ = (a, b);
+        assert_eq!(g.count_ball_exact(&[0.0; 7]), 2); // dist = sqrt(7) < 7
+    }
+}

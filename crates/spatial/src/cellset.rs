@@ -1,0 +1,252 @@
+//! Per-cell point containers: linear scan for small cells, kd-tree above a
+//! threshold.
+//!
+//! Grid cells have side `eps / sqrt(d)`, so most cells hold a handful of
+//! points and a linear scan beats any tree. Dense regions, however, can put
+//! thousands of points into one cell, and the emptiness structure of the
+//! paper (Section 4.2) must stay sub-linear there — the entire point of
+//! plugging in a real structure. `CellSet` therefore starts as a flat array
+//! and upgrades itself to a [`KdTree`] once it exceeds
+//! [`CellSet::UPGRADE_THRESHOLD`] entries.
+//!
+//! The `ablate_emptiness` benchmark sweeps this threshold.
+
+use crate::kdtree::KdTree;
+use dydbscan_geom::{dist_sq, Point};
+
+/// A dynamic multiset of `(Point<D>, u32)` entries scoped to one grid cell.
+#[derive(Debug, Clone)]
+pub struct CellSet<const D: usize> {
+    entries: Vec<(Point<D>, u32)>,
+    tree: Option<KdTree<D>>,
+}
+
+impl<const D: usize> Default for CellSet<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> CellSet<D> {
+    /// Entry count beyond which the set switches to a kd-tree.
+    pub const UPGRADE_THRESHOLD: usize = 48;
+
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            tree: None,
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.tree {
+            Some(t) => t.len(),
+            None => self.entries.len(),
+        }
+    }
+
+    /// True if the set has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the set has upgraded to tree mode (diagnostic).
+    #[inline]
+    pub fn is_tree_mode(&self) -> bool {
+        self.tree.is_some()
+    }
+
+    /// Inserts an entry. `(point, item)` pairs must be unique.
+    pub fn insert(&mut self, point: Point<D>, item: u32) {
+        match &mut self.tree {
+            Some(t) => t.insert(point, item),
+            None => {
+                self.entries.push((point, item));
+                if self.entries.len() > Self::UPGRADE_THRESHOLD {
+                    let entries = std::mem::take(&mut self.entries);
+                    self.tree = Some(KdTree::from_entries(entries));
+                }
+            }
+        }
+    }
+
+    /// Removes an entry; returns `true` if present.
+    pub fn remove(&mut self, point: &Point<D>, item: u32) -> bool {
+        match &mut self.tree {
+            Some(t) => {
+                let ok = t.remove(point, item);
+                // Downgrade when the cell drains, keeping memory small and
+                // restoring the fast linear path.
+                if ok && t.len() <= Self::UPGRADE_THRESHOLD / 4 {
+                    let mut entries = Vec::with_capacity(t.len());
+                    t.for_each(|p, i| entries.push((*p, i)));
+                    self.entries = entries;
+                    self.tree = None;
+                }
+                ok
+            }
+            None => {
+                match self.entries.iter().position(|(p, i)| *i == item && p == point) {
+                    Some(pos) => {
+                        self.entries.swap_remove(pos);
+                        true
+                    }
+                    None => false,
+                }
+            }
+        }
+    }
+
+    /// Approximate emptiness with proof point: returns an entry within `hi`
+    /// of `q`, guaranteed when some entry is within `lo`. See
+    /// [`KdTree::find_within`].
+    pub fn find_within(&self, q: &Point<D>, lo: f64, hi: f64) -> Option<(u32, f64)> {
+        match &self.tree {
+            Some(t) => t.find_within(q, lo, hi),
+            None => {
+                let hi_sq = hi * hi;
+                for (p, item) in &self.entries {
+                    let d = dist_sq(p, q);
+                    if d <= hi_sq {
+                        return Some((*item, d));
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Sandwiched count: `|B(q,lo)| <= result <= |B(q,hi)|`.
+    pub fn count_within_sandwich(&self, q: &Point<D>, lo: f64, hi: f64) -> usize {
+        match &self.tree {
+            Some(t) => t.count_within_sandwich(q, lo, hi),
+            None => {
+                let lo_sq = lo * lo;
+                self.entries
+                    .iter()
+                    .filter(|(p, _)| dist_sq(p, q) <= lo_sq)
+                    .count()
+            }
+        }
+    }
+
+    /// Exact range report of `(item, dist_sq)` within `r` of `q`.
+    pub fn collect_within(&self, q: &Point<D>, r: f64, out: &mut Vec<(u32, f64)>) {
+        match &self.tree {
+            Some(t) => t.collect_within(q, r, out),
+            None => {
+                let r_sq = r * r;
+                for (p, item) in &self.entries {
+                    let d = dist_sq(p, q);
+                    if d <= r_sq {
+                        out.push((*item, d));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterates all `(point, item)` entries.
+    pub fn for_each(&self, mut f: impl FnMut(&Point<D>, u32)) {
+        match &self.tree {
+            Some(t) => t.for_each(f),
+            None => {
+                for (p, item) in &self.entries {
+                    f(p, *item);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydbscan_geom::SplitMix64;
+
+    #[test]
+    fn linear_mode_basics() {
+        let mut s = CellSet::<2>::new();
+        s.insert([0.0, 0.0], 1);
+        s.insert([1.0, 0.0], 2);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_tree_mode());
+        assert!(s.find_within(&[0.1, 0.0], 0.2, 0.2).is_some());
+        assert!(s.remove(&[0.0, 0.0], 1));
+        assert!(!s.remove(&[0.0, 0.0], 1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn upgrades_and_downgrades() {
+        let mut s = CellSet::<2>::new();
+        let n = CellSet::<2>::UPGRADE_THRESHOLD + 10;
+        for i in 0..n as u32 {
+            s.insert([i as f64, 0.0], i);
+        }
+        assert!(s.is_tree_mode());
+        assert_eq!(s.len(), n);
+        for i in 0..n as u32 {
+            assert!(s.remove(&[i as f64, 0.0], i));
+        }
+        assert!(!s.is_tree_mode(), "should downgrade when drained");
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn queries_agree_across_modes() {
+        let mut rng = SplitMix64::new(11);
+        let mut linear = CellSet::<3>::new();
+        let mut big = CellSet::<3>::new();
+        let pts: Vec<[f64; 3]> = (0..40)
+            .map(|_| std::array::from_fn(|_| rng.next_f64() * 4.0))
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            linear.insert(*p, i as u32);
+            big.insert(*p, i as u32);
+        }
+        // push `big` into tree mode with faraway filler, which cannot
+        // affect queries near the original cluster
+        for j in 0..CellSet::<3>::UPGRADE_THRESHOLD as u32 {
+            big.insert([1000.0 + j as f64, 0.0, 0.0], 10_000 + j);
+        }
+        assert!(big.is_tree_mode());
+        for _ in 0..100 {
+            let q: [f64; 3] = std::array::from_fn(|_| rng.next_f64() * 4.0);
+            let r = rng.next_f64() * 2.0;
+            assert_eq!(
+                linear.count_within_sandwich(&q, r, r),
+                big.count_within_sandwich(&q, r, r)
+            );
+            assert_eq!(
+                linear.find_within(&q, r, r).is_some(),
+                big.find_within(&q, r, r).is_some()
+            );
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            linear.collect_within(&q, r, &mut a);
+            big.collect_within(&q, r, &mut b);
+            let mut a: Vec<u32> = a.into_iter().map(|x| x.0).collect();
+            let mut b: Vec<u32> = b.into_iter().map(|x| x.0).filter(|&i| i < 10_000).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn for_each_visits_all() {
+        let mut s = CellSet::<1>::new();
+        for i in 0..10u32 {
+            s.insert([i as f64], i);
+        }
+        let mut seen = Vec::new();
+        s.for_each(|_, i| seen.push(i));
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+}

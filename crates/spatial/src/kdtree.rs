@@ -1,0 +1,895 @@
+//! A dynamic kd-tree with scapegoat rebuilding and tombstoned deletes.
+//!
+//! # Why this structure
+//!
+//! The paper's algorithms consume two geometric oracles (Sections 4.2, 7.3):
+//! approximate emptiness and approximate range counting, both of which it
+//! instantiates with rather elaborate structures (Arya et al.'s ANN, Chan's
+//! dynamic 2D NN, Mount & Park's dynamic approximate range counting). All
+//! that matters to the clustering layer are the oracle *contracts*; this
+//! kd-tree satisfies them with amortized-logarithmic updates and excellent
+//! practical constants (see DESIGN.md, deviation 1).
+//!
+//! # Balancing scheme
+//!
+//! * Inserts descend by splitting coordinate and append a leaf (cyclic
+//!   axis). Every node tracks `total` (nodes) and `alive` (non-tombstoned)
+//!   counts plus the bounding box of its alive points.
+//! * A subtree is *unbalanced* when a child's `total` exceeds
+//!   `ALPHA * total` of its parent, and *rotten* when fewer than half its
+//!   nodes are alive. After each update the highest offending node on the
+//!   search path is rebuilt into a perfectly balanced subtree (splitting on
+//!   the widest axis at the median, dropping tombstones).
+//! * Deletes mark tombstones; routing structure is preserved so lookups by
+//!   coordinate stay correct.
+//!
+//! Standard scapegoat analysis gives `O(log n)` amortized insert/delete and
+//! `O(log n)` height, hence logarithmic emptiness queries plus output-
+//! bounded counting descents.
+
+use dydbscan_geom::{dist_sq, Aabb, Point};
+
+const NIL: u32 = u32::MAX;
+/// Weight-balance factor: a child may hold at most this fraction of its
+/// parent's subtree before triggering a rebuild.
+const ALPHA: f64 = 0.70;
+
+#[derive(Debug, Clone)]
+struct Node<const D: usize> {
+    point: Point<D>,
+    item: u32,
+    left: u32,
+    right: u32,
+    axis: u8,
+    alive: bool,
+    /// Nodes in this subtree, including tombstones and self.
+    total: u32,
+    /// Alive nodes in this subtree.
+    alive_count: u32,
+    /// Bounding box of alive points in this subtree.
+    bbox: Aabb<D>,
+}
+
+/// Dynamic kd-tree over `(Point<D>, u32 item)` entries.
+///
+/// Duplicate points are allowed; `(point, item)` pairs are assumed unique
+/// (enforced by the callers, which use distinct point ids).
+///
+/// # Example
+///
+/// ```
+/// use dydbscan_spatial::KdTree;
+///
+/// let mut t = KdTree::<2>::new();
+/// t.insert([0.0, 0.0], 1);
+/// t.insert([3.0, 4.0], 2);
+/// // exact emptiness (lo = hi)
+/// assert!(t.find_within(&[0.1, 0.0], 0.5, 0.5).is_some());
+/// // sandwiched count: |B(q, 4.9)| <= k <= |B(q, 5.1)|
+/// let k = t.count_within_sandwich(&[0.0, 0.0], 4.9, 5.1);
+/// assert!((1..=2).contains(&k));
+/// t.remove(&[0.0, 0.0], 1);
+/// assert_eq!(t.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct KdTree<const D: usize> {
+    nodes: Vec<Node<D>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+    /// Scratch for rebuilds (kept to avoid reallocation).
+    scratch: Vec<(Point<D>, u32)>,
+    /// Reused path stack for updates.
+    path: Vec<u32>,
+}
+
+impl<const D: usize> Default for KdTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> KdTree<D> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+            scratch: Vec::new(),
+            path: Vec::new(),
+        }
+    }
+
+    /// Builds a tree from entries (bulk load, perfectly balanced).
+    pub fn from_entries(mut entries: Vec<(Point<D>, u32)>) -> Self {
+        let mut t = Self::new();
+        t.len = entries.len();
+        let n = entries.len();
+        t.nodes.reserve(n);
+        t.root = t.build(&mut entries[..]);
+        t
+    }
+
+    /// Number of alive entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no alive entries exist.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bounding box of all alive points ([`Aabb::empty`] if none).
+    pub fn bbox(&self) -> Aabb<D> {
+        if self.root == NIL {
+            Aabb::empty()
+        } else {
+            self.nodes[self.root as usize].bbox
+        }
+    }
+
+    fn alloc(&mut self, point: Point<D>, item: u32, axis: u8) -> u32 {
+        let node = Node {
+            point,
+            item,
+            left: NIL,
+            right: NIL,
+            axis,
+            alive: true,
+            total: 1,
+            alive_count: 1,
+            bbox: Aabb::point(point),
+        };
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    #[inline]
+    fn pull(&mut self, x: u32) {
+        let (l, r) = {
+            let n = &self.nodes[x as usize];
+            (n.left, n.right)
+        };
+        let mut total = 1u32;
+        let mut alive = 0u32;
+        let mut bbox = Aabb::empty();
+        {
+            let n = &self.nodes[x as usize];
+            if n.alive {
+                alive += 1;
+                bbox.extend_point(&n.point);
+            }
+        }
+        for c in [l, r] {
+            if c != NIL {
+                let n = &self.nodes[c as usize];
+                total += n.total;
+                alive += n.alive_count;
+                if n.alive_count > 0 {
+                    bbox.extend_box(&n.bbox);
+                }
+            }
+        }
+        let n = &mut self.nodes[x as usize];
+        n.total = total;
+        n.alive_count = alive;
+        n.bbox = bbox;
+    }
+
+    /// Inserts an entry. Amortized `O(log n)`.
+    pub fn insert(&mut self, point: Point<D>, item: u32) {
+        self.len += 1;
+        if self.root == NIL {
+            self.root = self.alloc(point, item, 0);
+            return;
+        }
+        let mut path = std::mem::take(&mut self.path);
+        path.clear();
+        let mut cur = self.root;
+        loop {
+            path.push(cur);
+            let n = &self.nodes[cur as usize];
+            let axis = n.axis as usize;
+            let next = if point[axis] < n.point[axis] {
+                n.left
+            } else {
+                n.right
+            };
+            if next == NIL {
+                let child_axis = (n.axis + 1) % D as u8;
+                let go_left = point[axis] < n.point[axis];
+                let new = self.alloc(point, item, child_axis);
+                let n = &mut self.nodes[cur as usize];
+                if go_left {
+                    n.left = new;
+                } else {
+                    n.right = new;
+                }
+                break;
+            }
+            cur = next;
+        }
+        // Fix aggregates bottom-up, then rebuild the highest unbalanced
+        // node, if any.
+        for &x in path.iter().rev() {
+            self.pull(x);
+        }
+        let scapegoat = path.iter().copied().find(|&x| self.is_unbalanced(x));
+        if let Some(x) = scapegoat {
+            self.rebuild_at(x, &path);
+        }
+        self.path = path;
+    }
+
+    /// Deletes an entry by coordinates and item id. Returns `true` if found.
+    pub fn remove(&mut self, point: &Point<D>, item: u32) -> bool {
+        if self.root == NIL {
+            return false;
+        }
+        let mut path = std::mem::take(&mut self.path);
+        path.clear();
+        // The routing invariant: entries with coordinate < split go left,
+        // others right. Equal coordinates may sit on either side of *equal*
+        // split values only through rebuild reshuffles, so we must search
+        // both sides when coordinates tie. A small explicit stack handles
+        // the (rare) ambiguity.
+        let found = self.find_node(self.root, point, item, &mut path);
+        let found = match found {
+            Some(x) => x,
+            None => {
+                self.path = path;
+                return false;
+            }
+        };
+        debug_assert!(self.nodes[found as usize].alive);
+        self.nodes[found as usize].alive = false;
+        self.len -= 1;
+        for &x in path.iter().rev() {
+            self.pull(x);
+        }
+        let rotten = path.iter().copied().find(|&x| self.is_rotten(x));
+        if let Some(x) = rotten {
+            self.rebuild_at(x, &path);
+        }
+        self.path = path;
+        true
+    }
+
+    /// Finds the alive node holding `(point, item)`, pushing the path from
+    /// the root to the node (inclusive of ancestors, exclusive of the node
+    /// itself... the node is pushed too) onto `path`.
+    fn find_node(&self, x: u32, point: &Point<D>, item: u32, path: &mut Vec<u32>) -> Option<u32> {
+        if x == NIL {
+            return None;
+        }
+        let n = &self.nodes[x as usize];
+        path.push(x);
+        if n.alive && n.item == item && &n.point == point {
+            return Some(x);
+        }
+        let axis = n.axis as usize;
+        if point[axis] < n.point[axis] {
+            if let Some(f) = self.find_node(n.left, point, item, path) {
+                return Some(f);
+            }
+        } else {
+            if let Some(f) = self.find_node(n.right, point, item, path) {
+                return Some(f);
+            }
+            // Equal coordinates may have been routed left by a rebuild's
+            // median partition; search the other side too.
+            if point[axis] == n.point[axis] {
+                if let Some(f) = self.find_node(n.left, point, item, path) {
+                    return Some(f);
+                }
+            }
+        }
+        path.pop();
+        None
+    }
+
+    #[inline]
+    fn is_unbalanced(&self, x: u32) -> bool {
+        let n = &self.nodes[x as usize];
+        let limit = (ALPHA * n.total as f64) as u32 + 1;
+        for c in [n.left, n.right] {
+            if c != NIL && self.nodes[c as usize].total > limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn is_rotten(&self, x: u32) -> bool {
+        let n = &self.nodes[x as usize];
+        n.total > 4 && n.alive_count * 2 < n.total
+    }
+
+    /// Rebuilds the subtree rooted at `x` into a balanced, tombstone-free
+    /// subtree; `path` are `x`'s ancestors (prefix up to and including `x`).
+    fn rebuild_at(&mut self, x: u32, path: &[u32]) {
+        let mut entries = std::mem::take(&mut self.scratch);
+        entries.clear();
+        self.collect_alive(x, &mut entries);
+        self.free_subtree(x);
+        let new_root = self.build(&mut entries[..]);
+        let pos = path.iter().position(|&p| p == x).expect("x on path");
+        if pos == 0 {
+            self.root = new_root;
+        } else {
+            let parent = path[pos - 1];
+            let pn = &mut self.nodes[parent as usize];
+            if pn.left == x {
+                pn.left = new_root;
+            } else {
+                debug_assert_eq!(pn.right, x);
+                pn.right = new_root;
+            }
+            for &a in path[..pos].iter().rev() {
+                self.pull(a);
+            }
+        }
+        self.scratch = entries;
+    }
+
+    fn collect_alive(&self, x: u32, out: &mut Vec<(Point<D>, u32)>) {
+        if x == NIL {
+            return;
+        }
+        let n = &self.nodes[x as usize];
+        if n.alive_count == 0 {
+            return;
+        }
+        if n.alive {
+            out.push((n.point, n.item));
+        }
+        self.collect_alive(n.left, out);
+        self.collect_alive(n.right, out);
+    }
+
+    fn free_subtree(&mut self, x: u32) {
+        if x == NIL {
+            return;
+        }
+        let (l, r) = {
+            let n = &self.nodes[x as usize];
+            (n.left, n.right)
+        };
+        self.free.push(x);
+        self.free_subtree(l);
+        self.free_subtree(r);
+    }
+
+    /// Builds a balanced subtree over `entries`, splitting each level on
+    /// the axis with the widest spread at the median.
+    fn build(&mut self, entries: &mut [(Point<D>, u32)]) -> u32 {
+        if entries.is_empty() {
+            return NIL;
+        }
+        // Pick widest axis.
+        let mut lo = [f64::INFINITY; D];
+        let mut hi = [f64::NEG_INFINITY; D];
+        for (p, _) in entries.iter() {
+            for i in 0..D {
+                lo[i] = lo[i].min(p[i]);
+                hi[i] = hi[i].max(p[i]);
+            }
+        }
+        let mut axis = 0;
+        let mut best = f64::NEG_INFINITY;
+        for i in 0..D {
+            let spread = hi[i] - lo[i];
+            if spread > best {
+                best = spread;
+                axis = i;
+            }
+        }
+        let mid = entries.len() / 2;
+        entries.select_nth_unstable_by(mid, |a, b| {
+            a.0[axis].partial_cmp(&b.0[axis]).expect("NaN coordinate")
+        });
+        let (point, item) = entries[mid];
+        let node = self.alloc(point, item, axis as u8);
+        // Routing invariant requires: left side strictly < split value.
+        // select_nth guarantees left <= split <= right, but equal values may
+        // remain on the left; move them right of the median.
+        let split = point[axis];
+        let (left_part, rest) = entries.split_at_mut(mid);
+        let right_part = &mut rest[1..];
+        // Partition left_part so that values equal to split go to its end;
+        // they belong logically to the right subtree. We handle them by
+        // building them into the right subtree instead.
+        let eq_start = itertools_partition(left_part, |e| e.0[axis] < split);
+        let l = self.build(&mut left_part[..eq_start]);
+        let r = if eq_start < left_part.len() {
+            // A few ties crossed the median: merge them with the right part.
+            let mut merged: Vec<(Point<D>, u32)> =
+                Vec::with_capacity(left_part.len() - eq_start + right_part.len());
+            merged.extend_from_slice(&left_part[eq_start..]);
+            merged.extend_from_slice(right_part);
+            self.build(&mut merged[..])
+        } else {
+            self.build(right_part)
+        };
+        let n = &mut self.nodes[node as usize];
+        n.left = l;
+        n.right = r;
+        self.pull(node);
+        node
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Approximate emptiness: returns some entry within distance `hi` of
+    /// `q`, **guaranteed** to return one if any entry lies within `lo`
+    /// (`lo <= hi`). May return `None` when the nearest entry is in the
+    /// `(lo, hi]` shell — the paper's "don't care" zone.
+    ///
+    /// With `lo = hi = eps` this is an exact emptiness query.
+    pub fn find_within(&self, q: &Point<D>, lo: f64, hi: f64) -> Option<(u32, f64)> {
+        debug_assert!(lo <= hi);
+        if self.root == NIL {
+            return None;
+        }
+        let lo_sq = lo * lo;
+        let hi_sq = hi * hi;
+        self.find_within_rec(self.root, q, lo_sq, hi_sq)
+    }
+
+    fn find_within_rec(&self, x: u32, q: &Point<D>, lo_sq: f64, hi_sq: f64) -> Option<(u32, f64)> {
+        let n = &self.nodes[x as usize];
+        if n.alive_count == 0 || n.bbox.min_dist_sq(q) > lo_sq {
+            // No alive point of this subtree can be within `lo`; skipping
+            // cannot violate the guarantee.
+            return None;
+        }
+        if n.alive {
+            let d = dist_sq(&n.point, q);
+            if d <= hi_sq {
+                return Some((n.item, d));
+            }
+        }
+        // Visit the nearer child first for earlier hits.
+        let (mut a, mut b) = (n.left, n.right);
+        let da = child_min_dist(self, a, q);
+        let db = child_min_dist(self, b, q);
+        if db < da {
+            std::mem::swap(&mut a, &mut b);
+        }
+        for c in [a, b] {
+            if c != NIL {
+                if let Some(hit) = self.find_within_rec(c, q, lo_sq, hi_sq) {
+                    return Some(hit);
+                }
+            }
+        }
+        None
+    }
+
+    /// Sandwiched range count: returns `k` with
+    /// `|B(q, lo)| <= k <= |B(q, hi)|` over alive entries.
+    ///
+    /// Subtrees fully inside `B(q, hi)` are counted wholesale; subtrees
+    /// fully outside `B(q, lo)` are skipped; individual points are counted
+    /// iff within `lo`. With `lo = hi` this is an exact range count.
+    pub fn count_within_sandwich(&self, q: &Point<D>, lo: f64, hi: f64) -> usize {
+        debug_assert!(lo <= hi);
+        if self.root == NIL {
+            return 0;
+        }
+        self.count_rec(self.root, q, lo * lo, hi * hi)
+    }
+
+    fn count_rec(&self, x: u32, q: &Point<D>, lo_sq: f64, hi_sq: f64) -> usize {
+        let n = &self.nodes[x as usize];
+        if n.alive_count == 0 {
+            return 0;
+        }
+        let bb = &n.bbox;
+        if bb.min_dist_sq(q) > lo_sq {
+            return 0;
+        }
+        if bb.max_dist_sq(q) <= hi_sq {
+            return n.alive_count as usize;
+        }
+        let mut k = 0usize;
+        if n.alive && dist_sq(&n.point, q) <= lo_sq {
+            k += 1;
+        }
+        for c in [n.left, n.right] {
+            if c != NIL {
+                k += self.count_rec(c, q, lo_sq, hi_sq);
+            }
+        }
+        k
+    }
+
+    /// Exact range report: pushes every alive `(item, dist_sq)` within
+    /// distance `r` of `q` onto `out`.
+    pub fn collect_within(&self, q: &Point<D>, r: f64, out: &mut Vec<(u32, f64)>) {
+        if self.root != NIL {
+            self.collect_rec(self.root, q, r * r, out);
+        }
+    }
+
+    fn collect_rec(&self, x: u32, q: &Point<D>, r_sq: f64, out: &mut Vec<(u32, f64)>) {
+        let n = &self.nodes[x as usize];
+        if n.alive_count == 0 || n.bbox.min_dist_sq(q) > r_sq {
+            return;
+        }
+        if n.alive {
+            let d = dist_sq(&n.point, q);
+            if d <= r_sq {
+                out.push((n.item, d));
+            }
+        }
+        for c in [n.left, n.right] {
+            if c != NIL {
+                self.collect_rec(c, q, r_sq, out);
+            }
+        }
+    }
+
+    /// Exact nearest neighbour (alive entries). `None` on an empty tree.
+    pub fn nearest(&self, q: &Point<D>) -> Option<(u32, f64)> {
+        if self.root == NIL {
+            return None;
+        }
+        let mut best: Option<(u32, f64)> = None;
+        self.nearest_rec(self.root, q, &mut best);
+        best
+    }
+
+    fn nearest_rec(&self, x: u32, q: &Point<D>, best: &mut Option<(u32, f64)>) {
+        let n = &self.nodes[x as usize];
+        if n.alive_count == 0 {
+            return;
+        }
+        if let Some((_, b)) = best {
+            if n.bbox.min_dist_sq(q) >= *b {
+                return;
+            }
+        }
+        if n.alive {
+            let d = dist_sq(&n.point, q);
+            if best.is_none_or(|(_, b)| d < b) {
+                *best = Some((n.item, d));
+            }
+        }
+        let (mut a, mut bc) = (n.left, n.right);
+        let da = child_min_dist(self, a, q);
+        let db = child_min_dist(self, bc, q);
+        if db < da {
+            std::mem::swap(&mut a, &mut bc);
+        }
+        for c in [a, bc] {
+            if c != NIL {
+                self.nearest_rec(c, q, best);
+            }
+        }
+    }
+
+    /// Iterates all alive `(point, item)` entries (test/diagnostic helper).
+    pub fn for_each(&self, mut f: impl FnMut(&Point<D>, u32)) {
+        fn rec<const D: usize>(t: &KdTree<D>, x: u32, f: &mut impl FnMut(&Point<D>, u32)) {
+            if x == NIL {
+                return;
+            }
+            let n = &t.nodes[x as usize];
+            if n.alive_count == 0 {
+                return;
+            }
+            if n.alive {
+                f(&n.point, n.item);
+            }
+            rec(t, n.left, f);
+            rec(t, n.right, f);
+        }
+        rec(self, self.root, &mut f);
+    }
+
+    /// Validates structural invariants (test helper).
+    #[cfg(test)]
+    pub fn validate(&self) {
+        fn rec<const D: usize>(t: &KdTree<D>, x: u32) -> (u32, u32, Aabb<D>) {
+            if x == NIL {
+                return (0, 0, Aabb::empty());
+            }
+            let n = &t.nodes[x as usize];
+            let (lt, la, lb) = rec(t, n.left);
+            let (rt, ra, rb) = rec(t, n.right);
+            let mut bbox = Aabb::empty();
+            if n.alive {
+                bbox.extend_point(&n.point);
+            }
+            if la > 0 {
+                bbox.extend_box(&lb);
+            }
+            if ra > 0 {
+                bbox.extend_box(&rb);
+            }
+            assert_eq!(n.total, 1 + lt + rt, "bad total at {x}");
+            assert_eq!(
+                n.alive_count,
+                u32::from(n.alive) + la + ra,
+                "bad alive count at {x}"
+            );
+            if n.alive_count > 0 {
+                assert_eq!(n.bbox, bbox, "bad bbox at {x}");
+            }
+            (n.total, n.alive_count, bbox)
+        }
+        let (_, alive, _) = rec(self, self.root);
+        assert_eq!(alive as usize, self.len);
+    }
+}
+
+#[inline]
+fn child_min_dist<const D: usize>(t: &KdTree<D>, c: u32, q: &Point<D>) -> f64 {
+    if c == NIL {
+        f64::INFINITY
+    } else {
+        let n = &t.nodes[c as usize];
+        if n.alive_count == 0 {
+            f64::INFINITY
+        } else {
+            n.bbox.min_dist_sq(q)
+        }
+    }
+}
+
+/// Stable-ish partition: moves elements satisfying `pred` to the front,
+/// returning the boundary index. (Order within halves is unspecified.)
+fn itertools_partition<T>(xs: &mut [T], mut pred: impl FnMut(&T) -> bool) -> usize {
+    let mut i = 0;
+    for j in 0..xs.len() {
+        if pred(&xs[j]) {
+            xs.swap(i, j);
+            i += 1;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydbscan_geom::SplitMix64;
+
+    fn random_points<const D: usize>(rng: &mut SplitMix64, n: usize, extent: f64) -> Vec<Point<D>> {
+        (0..n)
+            .map(|_| std::array::from_fn(|_| rng.next_f64() * extent))
+            .collect()
+    }
+
+    #[test]
+    fn insert_query_roundtrip() {
+        let mut t = KdTree::<2>::new();
+        t.insert([0.0, 0.0], 0);
+        t.insert([3.0, 4.0], 1);
+        t.insert([10.0, 10.0], 2);
+        assert_eq!(t.len(), 3);
+        let hit = t.find_within(&[0.1, 0.1], 1.0, 1.0).unwrap();
+        assert_eq!(hit.0, 0);
+        assert!(t.find_within(&[6.0, 8.0], 1.0, 1.0).is_none());
+        assert_eq!(t.count_within_sandwich(&[0.0, 0.0], 5.0, 5.0), 2);
+        t.validate();
+    }
+
+    #[test]
+    fn remove_and_tombstones() {
+        let mut t = KdTree::<2>::new();
+        for i in 0..20u32 {
+            t.insert([i as f64, 0.0], i);
+        }
+        for i in (0..20u32).step_by(2) {
+            assert!(t.remove(&[i as f64, 0.0], i));
+        }
+        assert_eq!(t.len(), 10);
+        assert!(!t.remove(&[0.0, 0.0], 0), "double delete must fail");
+        let mut out = Vec::new();
+        t.collect_within(&[0.0, 0.0], 100.0, &mut out);
+        assert_eq!(out.len(), 10);
+        for (item, _) in out {
+            assert_eq!(item % 2, 1);
+        }
+        t.validate();
+    }
+
+    #[test]
+    fn duplicate_coordinates() {
+        let mut t = KdTree::<2>::new();
+        for i in 0..8u32 {
+            t.insert([1.0, 1.0], i);
+        }
+        assert_eq!(t.len(), 8);
+        assert_eq!(t.count_within_sandwich(&[1.0, 1.0], 0.0, 0.0), 8);
+        for i in 0..8u32 {
+            assert!(t.remove(&[1.0, 1.0], i), "failed to remove dup {i}");
+        }
+        assert!(t.is_empty());
+        t.validate();
+    }
+
+    #[test]
+    fn emptiness_contract_on_shell() {
+        // Single point in the don't-care shell: both answers are legal,
+        // but a point within lo MUST be found.
+        let mut t = KdTree::<1>::new();
+        t.insert([1.05], 7);
+        // nearest at 1.05: within hi=1.1, outside lo=1.0 -> may or may not
+        // be returned; whatever is returned must be within hi.
+        if let Some((item, d)) = t.find_within(&[0.0], 1.0, 1.1) {
+            assert_eq!(item, 7);
+            assert!(d.sqrt() <= 1.1);
+        }
+        t.insert([0.9], 8);
+        let (item, d) = t.find_within(&[0.0], 1.0, 1.1).expect("0.9 within lo");
+        assert!(d.sqrt() <= 1.1);
+        // it may legally return item 7 (in shell) or 8
+        assert!(item == 7 || item == 8);
+    }
+
+    #[test]
+    fn randomized_differential_vs_bruteforce() {
+        for seed in 0..5u64 {
+            let mut rng = SplitMix64::new(seed * 77 + 1);
+            let pts = random_points::<3>(&mut rng, 400, 10.0);
+            let mut t = KdTree::<3>::new();
+            let mut alive: Vec<Option<Point<3>>> = vec![None; pts.len()];
+            for (i, p) in pts.iter().enumerate() {
+                t.insert(*p, i as u32);
+                alive[i] = Some(*p);
+            }
+            // random deletions
+            for _ in 0..200 {
+                let i = rng.next_below(pts.len() as u64) as usize;
+                if let Some(p) = alive[i].take() {
+                    assert!(t.remove(&p, i as u32));
+                }
+            }
+            t.validate();
+            // differential queries
+            for _ in 0..200 {
+                let q: Point<3> = std::array::from_fn(|_| rng.next_f64() * 10.0);
+                let r = rng.next_f64() * 3.0;
+                let brute: Vec<u32> = alive
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| {
+                        p.and_then(|p| (dist_sq(&p, &q) <= r * r).then_some(i as u32))
+                    })
+                    .collect();
+                // exact count (lo = hi)
+                assert_eq!(
+                    t.count_within_sandwich(&q, r, r),
+                    brute.len(),
+                    "count mismatch seed {seed}"
+                );
+                // exact collect
+                let mut got = Vec::new();
+                t.collect_within(&q, r, &mut got);
+                let mut got: Vec<u32> = got.into_iter().map(|(i, _)| i).collect();
+                got.sort_unstable();
+                let mut want = brute.clone();
+                want.sort_unstable();
+                assert_eq!(got, want, "collect mismatch seed {seed}");
+                // exact emptiness
+                assert_eq!(
+                    t.find_within(&q, r, r).is_some(),
+                    !brute.is_empty(),
+                    "emptiness mismatch seed {seed}"
+                );
+                // sandwich contracts with a shell
+                let hi = r * 1.25;
+                let within_hi = alive
+                    .iter()
+                    .flatten()
+                    .filter(|p| dist_sq(p, &q) <= hi * hi)
+                    .count();
+                let k = t.count_within_sandwich(&q, r, hi);
+                assert!(
+                    brute.len() <= k && k <= within_hi,
+                    "sandwich violated: {} <= {} <= {}",
+                    brute.len(),
+                    k,
+                    within_hi
+                );
+                if let Some((_, d)) = t.find_within(&q, r, hi) {
+                    assert!(d <= hi * hi + 1e-12);
+                } else {
+                    assert!(brute.is_empty(), "must find a proof point within lo");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_matches_bruteforce() {
+        let mut rng = SplitMix64::new(99);
+        let pts = random_points::<2>(&mut rng, 300, 5.0);
+        let mut t = KdTree::<2>::new();
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(*p, i as u32);
+        }
+        for _ in 0..100 {
+            let q: Point<2> = std::array::from_fn(|_| rng.next_f64() * 5.0);
+            let (_, d) = t.nearest(&q).unwrap();
+            let bd = pts
+                .iter()
+                .map(|p| dist_sq(p, &q))
+                .fold(f64::INFINITY, f64::min);
+            assert!((d - bd).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heavy_churn_stays_balanced() {
+        let mut rng = SplitMix64::new(4242);
+        let mut t = KdTree::<2>::new();
+        let mut live: Vec<(Point<2>, u32)> = Vec::new();
+        let mut next_id = 0u32;
+        for round in 0..30 {
+            for _ in 0..200 {
+                let p: Point<2> = [rng.next_f64() * 100.0, rng.next_f64() * 100.0];
+                t.insert(p, next_id);
+                live.push((p, next_id));
+                next_id += 1;
+            }
+            for _ in 0..150 {
+                if live.is_empty() {
+                    break;
+                }
+                let i = rng.next_below(live.len() as u64) as usize;
+                let (p, id) = live.swap_remove(i);
+                assert!(t.remove(&p, id));
+            }
+            assert_eq!(t.len(), live.len(), "round {round}");
+        }
+        t.validate();
+        // memory bounded: tombstones cleaned by rebuilds
+        assert!(
+            t.nodes.len() - t.free.len() <= 2 * live.len() + 8,
+            "tombstone cleanup failed: {} stored vs {} live",
+            t.nodes.len() - t.free.len(),
+            live.len()
+        );
+    }
+
+    #[test]
+    fn bulk_build_matches_incremental() {
+        let mut rng = SplitMix64::new(7);
+        let pts = random_points::<2>(&mut rng, 128, 50.0);
+        let entries: Vec<(Point<2>, u32)> =
+            pts.iter().enumerate().map(|(i, p)| (*p, i as u32)).collect();
+        let bulk = KdTree::from_entries(entries);
+        let mut inc = KdTree::<2>::new();
+        for (i, p) in pts.iter().enumerate() {
+            inc.insert(*p, i as u32);
+        }
+        for _ in 0..50 {
+            let q: Point<2> = std::array::from_fn(|_| rng.next_f64() * 50.0);
+            let r = rng.next_f64() * 10.0;
+            assert_eq!(
+                bulk.count_within_sandwich(&q, r, r),
+                inc.count_within_sandwich(&q, r, r)
+            );
+        }
+    }
+}

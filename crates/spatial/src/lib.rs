@@ -1,0 +1,30 @@
+//! Dynamic spatial-index substrates for `dydbscan`.
+//!
+//! The paper treats its geometric helper structures as black boxes with
+//! precise contracts; this crate supplies implementations of all of them:
+//!
+//! * [`kdtree::KdTree`] — a dynamic (scapegoat-rebuilt) kd-tree with
+//!   tombstoned deletion. It answers the two contracts the paper needs:
+//!   - **ρ-approximate ε-emptiness** (Section 4.2) via
+//!     [`kdtree::KdTree::find_within`]: given `lo = ε`, `hi = (1+ρ)ε`, it
+//!     returns a *proof point* within `hi` whenever some point lies within
+//!     `lo`, and may return nothing only if no point lies within `lo`.
+//!     This substitutes for the ANN structure of Arya et al. (and, with
+//!     `lo = hi = ε`, for Chan's exact 2D structure).
+//!   - **ρ-approximate range counting** (Section 7.3) via
+//!     [`kdtree::KdTree::count_within_sandwich`]: returns `k` with
+//!     `|B(q,lo)| <= k <= |B(q,hi)|`, substituting for Mount & Park.
+//! * [`cellset::CellSet`] — the per-cell point container used by the grid:
+//!   a plain array below a size threshold (cells are tiny on average) that
+//!   upgrades itself to a `KdTree` when the cell becomes populous.
+//! * [`rtree::RTree`] — a Guttman R-tree with quadratic split and
+//!   condense/reinsert deletion; this is the range-query index IncDBSCAN
+//!   (Ester et al., VLDB'98) performs its seed retrievals on.
+
+pub mod cellset;
+pub mod kdtree;
+pub mod rtree;
+
+pub use cellset::CellSet;
+pub use kdtree::KdTree;
+pub use rtree::RTree;

@@ -1,0 +1,607 @@
+//! An R-tree over points (Guttman 1984), with quadratic split and
+//! condense/reinsert deletion.
+//!
+//! IncDBSCAN (Ester et al., VLDB'98 — the paper's experimental baseline,
+//! reviewed in its Section 3) retrieves the *seed objects* `B(p, eps)` of
+//! every update through range queries on a spatial index; the original work
+//! used R-trees/R*-trees. We reimplement the index so the baseline is
+//! faithful end-to-end. A grid-backed alternative exists in
+//! `dydbscan-baseline` for the `ablate_index` benchmark, demonstrating that
+//! IncDBSCAN's deficit against the paper's algorithms is algorithmic, not
+//! an artifact of index choice.
+
+use dydbscan_geom::{dist_sq, Aabb, Point};
+
+const NIL: u32 = u32::MAX;
+/// Maximum entries per node.
+const MAX_FILL: usize = 16;
+/// Minimum entries per non-root node.
+const MIN_FILL: usize = 6;
+
+#[derive(Debug, Clone)]
+struct RNode<const D: usize> {
+    bbox: Aabb<D>,
+    parent: u32,
+    /// Leaf payload: points and their ids.
+    entries: Vec<(Point<D>, u32)>,
+    /// Internal payload: child node indices.
+    children: Vec<u32>,
+    is_leaf: bool,
+}
+
+impl<const D: usize> RNode<D> {
+    fn new_leaf() -> Self {
+        Self {
+            bbox: Aabb::empty(),
+            parent: NIL,
+            entries: Vec::with_capacity(MAX_FILL + 1),
+            children: Vec::new(),
+            is_leaf: true,
+        }
+    }
+
+    fn new_internal() -> Self {
+        Self {
+            bbox: Aabb::empty(),
+            parent: NIL,
+            entries: Vec::new(),
+            children: Vec::with_capacity(MAX_FILL + 1),
+            is_leaf: false,
+        }
+    }
+
+    fn fanout(&self) -> usize {
+        if self.is_leaf {
+            self.entries.len()
+        } else {
+            self.children.len()
+        }
+    }
+}
+
+/// A dynamic R-tree over `(Point<D>, u32)` entries.
+///
+/// # Example
+///
+/// ```
+/// use dydbscan_spatial::RTree;
+///
+/// let mut t = RTree::<2>::new();
+/// for i in 0..100u32 {
+///     t.insert([i as f64, 0.0], i);
+/// }
+/// assert_eq!(t.count_within(&[50.0, 0.0], 2.0), 5);
+/// t.remove(&[50.0, 0.0], 50);
+/// assert_eq!(t.count_within(&[50.0, 0.0], 2.0), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RTree<const D: usize> {
+    nodes: Vec<RNode<D>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl<const D: usize> Default for RTree<D> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const D: usize> RTree<D> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        let mut t = Self {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+        };
+        t.root = t.alloc(RNode::new_leaf());
+        t
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no entries are stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn alloc(&mut self, node: RNode<D>) -> u32 {
+        match self.free.pop() {
+            Some(i) => {
+                self.nodes[i as usize] = node;
+                i
+            }
+            None => {
+                self.nodes.push(node);
+                (self.nodes.len() - 1) as u32
+            }
+        }
+    }
+
+    fn recompute_bbox(&mut self, x: u32) {
+        let mut bb = Aabb::empty();
+        let n = &self.nodes[x as usize];
+        if n.is_leaf {
+            for (p, _) in &n.entries {
+                bb.extend_point(p);
+            }
+        } else {
+            for &c in &n.children {
+                bb.extend_box(&self.nodes[c as usize].bbox);
+            }
+        }
+        self.nodes[x as usize].bbox = bb;
+    }
+
+    /// Inserts an entry. `(point, id)` pairs must be unique.
+    pub fn insert(&mut self, point: Point<D>, id: u32) {
+        self.len += 1;
+        let leaf = self.choose_leaf(point);
+        self.nodes[leaf as usize].entries.push((point, id));
+        self.nodes[leaf as usize].bbox.extend_point(&point);
+        self.handle_overflow_and_adjust(leaf);
+    }
+
+    fn choose_leaf(&self, point: Point<D>) -> u32 {
+        let mut cur = self.root;
+        loop {
+            let n = &self.nodes[cur as usize];
+            if n.is_leaf {
+                return cur;
+            }
+            // least volume enlargement, ties by least volume
+            let mut best = NIL;
+            let mut best_enl = f64::INFINITY;
+            let mut best_vol = f64::INFINITY;
+            for &c in &n.children {
+                let bb = &self.nodes[c as usize].bbox;
+                let mut grown = *bb;
+                grown.extend_point(&point);
+                let vol = bb.volume();
+                let enl = grown.volume() - vol;
+                if enl < best_enl || (enl == best_enl && vol < best_vol) {
+                    best = c;
+                    best_enl = enl;
+                    best_vol = vol;
+                }
+            }
+            cur = best;
+        }
+    }
+
+    /// After a child of `x` changed: split `x` if overfull, extend boxes up
+    /// to the root, splitting overfull ancestors on the way.
+    fn handle_overflow_and_adjust(&mut self, mut x: u32) {
+        loop {
+            if self.nodes[x as usize].fanout() > MAX_FILL {
+                let sibling = self.split(x);
+                let parent = self.nodes[x as usize].parent;
+                if parent == NIL {
+                    // grow a new root
+                    let mut root = RNode::new_internal();
+                    root.children.push(x);
+                    root.children.push(sibling);
+                    let r = self.alloc(root);
+                    self.nodes[x as usize].parent = r;
+                    self.nodes[sibling as usize].parent = r;
+                    self.recompute_bbox(r);
+                    self.root = r;
+                    return;
+                } else {
+                    self.nodes[sibling as usize].parent = parent;
+                    self.nodes[parent as usize].children.push(sibling);
+                    self.recompute_bbox(parent);
+                    x = parent;
+                    continue;
+                }
+            }
+            self.recompute_bbox(x);
+            let parent = self.nodes[x as usize].parent;
+            if parent == NIL {
+                return;
+            }
+            // cheap upward extension
+            let bb = self.nodes[x as usize].bbox;
+            self.nodes[parent as usize].bbox.extend_box(&bb);
+            x = parent;
+        }
+    }
+
+    /// Quadratic split of an overfull node; returns the new sibling index.
+    fn split(&mut self, x: u32) -> u32 {
+        let is_leaf = self.nodes[x as usize].is_leaf;
+        if is_leaf {
+            let entries = std::mem::take(&mut self.nodes[x as usize].entries);
+            let boxes: Vec<Aabb<D>> = entries.iter().map(|(p, _)| Aabb::point(*p)).collect();
+            let (ga, gb) = quadratic_partition(&boxes);
+            let sibling = self.alloc(RNode::new_leaf());
+            let mut a = Vec::with_capacity(ga.len());
+            let mut b = Vec::with_capacity(gb.len());
+            for &i in &ga {
+                a.push(entries[i]);
+            }
+            for &i in &gb {
+                b.push(entries[i]);
+            }
+            self.nodes[x as usize].entries = a;
+            self.nodes[sibling as usize].entries = b;
+            self.recompute_bbox(x);
+            self.recompute_bbox(sibling);
+            sibling
+        } else {
+            let children = std::mem::take(&mut self.nodes[x as usize].children);
+            let boxes: Vec<Aabb<D>> = children
+                .iter()
+                .map(|&c| self.nodes[c as usize].bbox)
+                .collect();
+            let (ga, gb) = quadratic_partition(&boxes);
+            let sibling = self.alloc(RNode::new_internal());
+            let mut a = Vec::with_capacity(ga.len());
+            let mut b = Vec::with_capacity(gb.len());
+            for &i in &ga {
+                a.push(children[i]);
+            }
+            for &i in &gb {
+                b.push(children[i]);
+            }
+            for &c in &b {
+                self.nodes[c as usize].parent = sibling;
+            }
+            for &c in &a {
+                self.nodes[c as usize].parent = x;
+            }
+            self.nodes[x as usize].children = a;
+            self.nodes[sibling as usize].children = b;
+            self.recompute_bbox(x);
+            self.recompute_bbox(sibling);
+            sibling
+        }
+    }
+
+    /// Removes an entry; returns `true` if present.
+    pub fn remove(&mut self, point: &Point<D>, id: u32) -> bool {
+        let leaf = match self.find_leaf(self.root, point, id) {
+            Some(l) => l,
+            None => return false,
+        };
+        let n = &mut self.nodes[leaf as usize];
+        let pos = n
+            .entries
+            .iter()
+            .position(|(p, i)| *i == id && p == point)
+            .expect("find_leaf returned a leaf without the entry");
+        n.entries.swap_remove(pos);
+        self.len -= 1;
+        self.condense(leaf);
+        // shrink the root if it became a single-child internal node
+        while !self.nodes[self.root as usize].is_leaf
+            && self.nodes[self.root as usize].children.len() == 1
+        {
+            let old = self.root;
+            let child = self.nodes[old as usize].children[0];
+            self.nodes[child as usize].parent = NIL;
+            self.root = child;
+            self.free.push(old);
+        }
+        true
+    }
+
+    fn find_leaf(&self, x: u32, point: &Point<D>, id: u32) -> Option<u32> {
+        let n = &self.nodes[x as usize];
+        if !n.bbox.contains(point) {
+            return None;
+        }
+        if n.is_leaf {
+            if n.entries.iter().any(|(p, i)| *i == id && p == point) {
+                return Some(x);
+            }
+            return None;
+        }
+        for &c in &n.children {
+            if let Some(l) = self.find_leaf(c, point, id) {
+                return Some(l);
+            }
+        }
+        None
+    }
+
+    /// CondenseTree: walk from `leaf` to the root, eliminating underfull
+    /// nodes and collecting their entries for reinsertion.
+    fn condense(&mut self, leaf: u32) {
+        let mut orphans: Vec<(Point<D>, u32)> = Vec::new();
+        let mut x = leaf;
+        while self.nodes[x as usize].parent != NIL {
+            let parent = self.nodes[x as usize].parent;
+            if self.nodes[x as usize].fanout() < MIN_FILL {
+                // unlink x, collect its entries
+                let pos = self.nodes[parent as usize]
+                    .children
+                    .iter()
+                    .position(|&c| c == x)
+                    .expect("child not in parent");
+                self.nodes[parent as usize].children.swap_remove(pos);
+                self.collect_entries(x, &mut orphans);
+                self.free_subtree(x);
+            } else {
+                self.recompute_bbox(x);
+            }
+            x = parent;
+        }
+        self.recompute_bbox(self.root);
+        // reinsert orphans (len was already decremented only for the
+        // deleted entry; reinsertion must not double-count)
+        for (p, id) in orphans {
+            self.len -= 1; // insert() will re-increment
+            self.insert(p, id);
+        }
+    }
+
+    fn collect_entries(&self, x: u32, out: &mut Vec<(Point<D>, u32)>) {
+        let n = &self.nodes[x as usize];
+        if n.is_leaf {
+            out.extend_from_slice(&n.entries);
+        } else {
+            for &c in &n.children {
+                self.collect_entries(c, out);
+            }
+        }
+    }
+
+    fn free_subtree(&mut self, x: u32) {
+        let children = self.nodes[x as usize].children.clone();
+        for c in children {
+            self.free_subtree(c);
+        }
+        self.free.push(x);
+    }
+
+    // ------------------------------------------------------------------
+    // Queries
+    // ------------------------------------------------------------------
+
+    /// Range report: pushes every `(id, dist_sq)` within distance `r` of
+    /// `q` onto `out`.
+    pub fn collect_within(&self, q: &Point<D>, r: f64, out: &mut Vec<(u32, f64)>) {
+        self.collect_rec(self.root, q, r * r, out);
+    }
+
+    fn collect_rec(&self, x: u32, q: &Point<D>, r_sq: f64, out: &mut Vec<(u32, f64)>) {
+        let n = &self.nodes[x as usize];
+        if n.fanout() == 0 || n.bbox.min_dist_sq(q) > r_sq {
+            return;
+        }
+        if n.is_leaf {
+            for (p, id) in &n.entries {
+                let d = dist_sq(p, q);
+                if d <= r_sq {
+                    out.push((*id, d));
+                }
+            }
+        } else {
+            for &c in &n.children {
+                self.collect_rec(c, q, r_sq, out);
+            }
+        }
+    }
+
+    /// Number of entries within distance `r` of `q`.
+    pub fn count_within(&self, q: &Point<D>, r: f64) -> usize {
+        let mut out = Vec::new();
+        self.collect_within(q, r, &mut out);
+        out.len()
+    }
+
+    /// Validates structural invariants (test helper).
+    #[cfg(test)]
+    pub fn validate(&self) {
+        fn rec<const D: usize>(t: &RTree<D>, x: u32, parent: u32, is_root: bool) -> usize {
+            let n = &t.nodes[x as usize];
+            assert_eq!(n.parent, parent, "bad parent at {x}");
+            if !is_root {
+                assert!(n.fanout() >= MIN_FILL, "underfull node {x}: {}", n.fanout());
+            }
+            assert!(n.fanout() <= MAX_FILL, "overfull node {x}");
+            if n.is_leaf {
+                for (p, _) in &n.entries {
+                    assert!(n.bbox.contains(p), "entry outside bbox at {x}");
+                }
+                n.entries.len()
+            } else {
+                let mut total = 0;
+                for &c in &n.children {
+                    let cb = &t.nodes[c as usize].bbox;
+                    for i in 0..D {
+                        assert!(cb.lo[i] >= n.bbox.lo[i] && cb.hi[i] <= n.bbox.hi[i]);
+                    }
+                    total += rec(t, c, x, false);
+                }
+                total
+            }
+        }
+        let total = rec(self, self.root, NIL, true);
+        assert_eq!(total, self.len);
+    }
+}
+
+/// Guttman's quadratic split: seeds maximize dead volume, remaining boxes
+/// go to the group whose box grows least (forced assignment to honour the
+/// minimum fill).
+fn quadratic_partition<const D: usize>(boxes: &[Aabb<D>]) -> (Vec<usize>, Vec<usize>) {
+    let n = boxes.len();
+    debug_assert!(n >= 2);
+    let (mut s1, mut s2) = (0, 1);
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let u = boxes[i].union(&boxes[j]);
+            let dead = u.volume() - boxes[i].volume() - boxes[j].volume();
+            if dead > worst {
+                worst = dead;
+                s1 = i;
+                s2 = j;
+            }
+        }
+    }
+    let mut ga = vec![s1];
+    let mut gb = vec![s2];
+    let mut bb_a = boxes[s1];
+    let mut bb_b = boxes[s2];
+    let mut rest: Vec<usize> = (0..n).filter(|&i| i != s1 && i != s2).collect();
+    while let Some(pos) = pick_next(&rest, &bb_a, &bb_b, boxes) {
+        let i = rest.swap_remove(pos);
+        // forced assignment to reach minimum fill
+        if ga.len() + rest.len() + 1 == MIN_FILL {
+            ga.push(i);
+            bb_a.extend_box(&boxes[i]);
+            continue;
+        }
+        if gb.len() + rest.len() + 1 == MIN_FILL {
+            gb.push(i);
+            bb_b.extend_box(&boxes[i]);
+            continue;
+        }
+        let grow_a = bb_a.union(&boxes[i]).volume() - bb_a.volume();
+        let grow_b = bb_b.union(&boxes[i]).volume() - bb_b.volume();
+        let to_a = match grow_a.partial_cmp(&grow_b).unwrap() {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => ga.len() <= gb.len(),
+        };
+        if to_a {
+            ga.push(i);
+            bb_a.extend_box(&boxes[i]);
+        } else {
+            gb.push(i);
+            bb_b.extend_box(&boxes[i]);
+        }
+    }
+    (ga, gb)
+}
+
+/// PickNext: the remaining box with the greatest preference difference.
+fn pick_next<const D: usize>(
+    rest: &[usize],
+    bb_a: &Aabb<D>,
+    bb_b: &Aabb<D>,
+    boxes: &[Aabb<D>],
+) -> Option<usize> {
+    if rest.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    let mut best_diff = f64::NEG_INFINITY;
+    for (pos, &i) in rest.iter().enumerate() {
+        let ga = bb_a.union(&boxes[i]).volume() - bb_a.volume();
+        let gb = bb_b.union(&boxes[i]).volume() - bb_b.volume();
+        let diff = (ga - gb).abs();
+        if diff > best_diff {
+            best_diff = diff;
+            best = pos;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dydbscan_geom::SplitMix64;
+
+    #[test]
+    fn insert_and_query() {
+        let mut t = RTree::<2>::new();
+        for i in 0..100u32 {
+            t.insert([i as f64, 0.0], i);
+        }
+        t.validate();
+        let mut out = Vec::new();
+        t.collect_within(&[50.0, 0.0], 2.5, &mut out);
+        let mut ids: Vec<u32> = out.into_iter().map(|(i, _)| i).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![48, 49, 50, 51, 52]);
+    }
+
+    #[test]
+    fn remove_entries() {
+        let mut t = RTree::<2>::new();
+        for i in 0..200u32 {
+            t.insert([(i % 20) as f64, (i / 20) as f64], i);
+        }
+        t.validate();
+        for i in (0..200u32).step_by(3) {
+            assert!(t.remove(&[(i % 20) as f64, (i / 20) as f64], i));
+        }
+        assert!(!t.remove(&[0.0, 0.0], 0));
+        t.validate();
+        assert_eq!(t.len(), 200 - 67);
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = RTree::<3>::new();
+        assert_eq!(t.count_within(&[0.0; 3], 10.0), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn randomized_differential() {
+        for seed in 0..4u64 {
+            let mut rng = SplitMix64::new(seed + 31);
+            let mut t = RTree::<2>::new();
+            let mut live: Vec<(Point<2>, u32)> = Vec::new();
+            let mut next = 0u32;
+            for _ in 0..1500 {
+                let op = rng.next_below(10);
+                if op < 6 {
+                    let p: Point<2> = [rng.next_f64() * 50.0, rng.next_f64() * 50.0];
+                    t.insert(p, next);
+                    live.push((p, next));
+                    next += 1;
+                } else if op < 9 {
+                    if !live.is_empty() {
+                        let i = rng.next_below(live.len() as u64) as usize;
+                        let (p, id) = live.swap_remove(i);
+                        assert!(t.remove(&p, id));
+                    }
+                } else {
+                    let q: Point<2> = [rng.next_f64() * 50.0, rng.next_f64() * 50.0];
+                    let r = rng.next_f64() * 8.0;
+                    let mut got = Vec::new();
+                    t.collect_within(&q, r, &mut got);
+                    let mut got: Vec<u32> = got.into_iter().map(|x| x.0).collect();
+                    got.sort_unstable();
+                    let mut want: Vec<u32> = live
+                        .iter()
+                        .filter(|(p, _)| dist_sq(p, &q) <= r * r)
+                        .map(|&(_, i)| i)
+                        .collect();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "seed {seed}");
+                }
+            }
+            t.validate();
+            assert_eq!(t.len(), live.len());
+        }
+    }
+
+    #[test]
+    fn duplicate_points_distinct_ids() {
+        let mut t = RTree::<2>::new();
+        for i in 0..40u32 {
+            t.insert([5.0, 5.0], i);
+        }
+        assert_eq!(t.count_within(&[5.0, 5.0], 0.0), 40);
+        for i in 0..40u32 {
+            assert!(t.remove(&[5.0, 5.0], i));
+        }
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based verification of the spatial oracle contracts the
+//! clustering layer depends on (DESIGN.md, deviation 1):
+//!
+//! * `find_within(q, lo, hi)` — returns an entry within `hi` whenever one
+//!   exists within `lo`; anything returned is within `hi`.
+//! * `count_within_sandwich(q, lo, hi)` — `|B(q,lo)| <= k <= |B(q,hi)|`.
+//! * `collect_within(q, r)` — exactly the entries within `r`.
+//!
+//! Each property is tested under interleaved insertions and deletions for
+//! the kd-tree, the hybrid cell set, and the R-tree.
+
+use dydbscan_geom::dist_sq;
+use dydbscan_spatial::{CellSet, KdTree, RTree};
+use proptest::prelude::*;
+
+type P2 = [f64; 2];
+
+fn arb_point() -> impl Strategy<Value = P2> {
+    // quantized coordinates generate plenty of exact ties
+    (0i32..200, 0i32..200).prop_map(|(x, y)| [x as f64 * 0.05, y as f64 * 0.05])
+}
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Insert(P2),
+    Remove(usize),
+}
+
+fn arb_cmds(n: usize) -> impl Strategy<Value = Vec<Cmd>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => arb_point().prop_map(Cmd::Insert),
+            1 => (0usize..256).prop_map(Cmd::Remove),
+        ],
+        1..n,
+    )
+}
+
+/// A resolved event stream: insertions get sequential ids, removals pick a
+/// currently-live entry deterministically.
+#[derive(Debug, Clone, Copy)]
+enum Ev {
+    Ins(P2, u32),
+    Del(P2, u32),
+}
+
+/// Resolves commands into events plus the surviving entries.
+fn resolve(cmds: &[Cmd]) -> (Vec<Ev>, Vec<(P2, u32)>) {
+    let mut live: Vec<(P2, u32)> = Vec::new();
+    let mut evs = Vec::with_capacity(cmds.len());
+    let mut next = 0u32;
+    for c in cmds {
+        match c {
+            Cmd::Insert(p) => {
+                evs.push(Ev::Ins(*p, next));
+                live.push((*p, next));
+                next += 1;
+            }
+            Cmd::Remove(k) => {
+                if !live.is_empty() {
+                    let i = k % live.len();
+                    let (p, id) = live.swap_remove(i);
+                    evs.push(Ev::Del(p, id));
+                }
+            }
+        }
+    }
+    (evs, live)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kdtree_contracts(cmds in arb_cmds(200), q in arb_point(), r in 0.1f64..4.0) {
+        let (evs, live) = resolve(&cmds);
+        let mut t = KdTree::<2>::new();
+        for ev in evs {
+            match ev {
+                Ev::Ins(p, i) => t.insert(p, i),
+                Ev::Del(p, i) => {
+                    prop_assert!(t.remove(&p, i));
+                }
+            }
+        }
+        let lo = r;
+        let hi = r * 1.3;
+        let in_lo = live.iter().filter(|(p, _)| dist_sq(p, &q) <= lo * lo).count();
+        let in_hi = live.iter().filter(|(p, _)| dist_sq(p, &q) <= hi * hi).count();
+        // emptiness
+        match t.find_within(&q, lo, hi) {
+            Some((_, d)) => prop_assert!(d <= hi * hi + 1e-12),
+            None => prop_assert_eq!(in_lo, 0, "must find a proof point within lo"),
+        }
+        // counting sandwich
+        let k = t.count_within_sandwich(&q, lo, hi);
+        prop_assert!(in_lo <= k && k <= in_hi, "{} <= {} <= {}", in_lo, k, in_hi);
+        // exact collection
+        let mut got = Vec::new();
+        t.collect_within(&q, r, &mut got);
+        prop_assert_eq!(got.len(), in_lo);
+    }
+
+    #[test]
+    fn cellset_matches_kdtree(cmds in arb_cmds(150), q in arb_point(), r in 0.1f64..3.0) {
+        let (evs, _live) = resolve(&cmds);
+        let mut cs = CellSet::<2>::new();
+        let mut t = KdTree::<2>::new();
+        for ev in evs {
+            match ev {
+                Ev::Ins(p, i) => {
+                    cs.insert(p, i);
+                    t.insert(p, i);
+                }
+                Ev::Del(p, i) => {
+                    prop_assert!(cs.remove(&p, i));
+                    prop_assert!(t.remove(&p, i));
+                }
+            }
+        }
+        prop_assert_eq!(cs.len(), t.len());
+        prop_assert_eq!(
+            cs.count_within_sandwich(&q, r, r),
+            t.count_within_sandwich(&q, r, r)
+        );
+        prop_assert_eq!(
+            cs.find_within(&q, r, r).is_some(),
+            t.find_within(&q, r, r).is_some()
+        );
+    }
+
+    #[test]
+    fn rtree_exact_range(cmds in arb_cmds(150), q in arb_point(), r in 0.1f64..3.0) {
+        let (evs, live) = resolve(&cmds);
+        let mut t = RTree::<2>::new();
+        for ev in evs {
+            match ev {
+                Ev::Ins(p, i) => t.insert(p, i),
+                Ev::Del(p, i) => {
+                    prop_assert!(t.remove(&p, i));
+                }
+            }
+        }
+        let mut got = Vec::new();
+        t.collect_within(&q, r, &mut got);
+        let mut got: Vec<u32> = got.into_iter().map(|(i, _)| i).collect();
+        got.sort_unstable();
+        let mut want: Vec<u32> = live
+            .iter()
+            .filter(|(p, _)| dist_sq(p, &q) <= r * r)
+            .map(|&(_, i)| i)
+            .collect();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn kdtree_nearest_is_truly_nearest(cmds in arb_cmds(120), q in arb_point()) {
+        let (evs, live) = resolve(&cmds);
+        let mut t = KdTree::<2>::new();
+        for ev in evs {
+            match ev {
+                Ev::Ins(p, i) => t.insert(p, i),
+                Ev::Del(p, i) => {
+                    prop_assert!(t.remove(&p, i));
+                }
+            }
+        }
+        match t.nearest(&q) {
+            None => prop_assert!(live.is_empty()),
+            Some((_, d)) => {
+                let best = live
+                    .iter()
+                    .map(|(p, _)| dist_sq(p, &q))
+                    .fold(f64::INFINITY, f64::min);
+                prop_assert!((d - best).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! Workload generation for the paper's evaluation (Section 8.1).
+//!
+//! * [`spreader`] — the seed-spreader synthetic dataset generator of
+//!   Gan & Tao \[10\]: ~10 clusters from a random walk with restarts plus
+//!   0.01% uniform noise in `[0, 10^5]^d`.
+//! * [`workload`] — the three-step workload builder: permuted insertions,
+//!   deletion tokens filled against the simulated alive set (with the
+//!   "good prefix" rejection), and C-group-by queries of size
+//!   `|Q| ~ U[2, 100]` every `f_qry` updates.
+//! * [`params`] — the parameter grid of Table 2 with the paper's defaults.
+
+pub mod params;
+pub mod spreader;
+pub mod workload;
+
+pub use params::PaperGrid;
+pub use spreader::{seed_spreader, EXTENT};
+pub use workload::{Op, Workload, WorkloadSpec};

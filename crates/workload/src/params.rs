@@ -1,0 +1,52 @@
+//! The experiment parameter grid (paper Table 2, with defaults in bold
+//! there): `d in {2, 3, 5, 7}`, `eps in {50d, 100d, 200d, 400d, 800d}`,
+//! `%ins in {2/3, 4/5, 5/6, 8/9, 10/11}`, `f_qry in {0.01N .. 0.1N}`;
+//! `MinPts = 10` and `rho = 0.001` throughout; `N = 10M` in the paper,
+//! scaled down by default here (overridable from the CLI).
+
+/// The paper's parameter grid and defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperGrid;
+
+impl PaperGrid {
+    /// Dimensionalities evaluated (`d = 2, 3, 5, 7`).
+    pub const DIMS: [usize; 4] = [2, 3, 5, 7];
+
+    /// `eps / d` sweep values; default is `100`.
+    pub const EPS_OVER_D: [f64; 5] = [50.0, 100.0, 200.0, 400.0, 800.0];
+
+    /// Default `eps` for dimensionality `d` (`100 * d`).
+    pub fn default_eps(d: usize) -> f64 {
+        100.0 * d as f64
+    }
+
+    /// `MinPts = 10` in every experiment.
+    pub const MIN_PTS: usize = 10;
+
+    /// `rho = 0.001` for all approximate variants.
+    pub const RHO: f64 = 0.001;
+
+    /// Insertion-percentage sweep; default is `5/6`.
+    pub fn ins_fracs() -> [f64; 5] {
+        [2.0 / 3.0, 4.0 / 5.0, 5.0 / 6.0, 8.0 / 9.0, 10.0 / 11.0]
+    }
+
+    /// Query-frequency sweep as fractions of `N`; default is `0.03`.
+    pub fn f_qry_fracs() -> [f64; 10] {
+        [0.01, 0.02, 0.03, 0.04, 0.05, 0.06, 0.07, 0.08, 0.09, 0.10]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        assert_eq!(PaperGrid::default_eps(3), 300.0);
+        assert_eq!(PaperGrid::MIN_PTS, 10);
+        assert_eq!(PaperGrid::RHO, 0.001);
+        assert!((PaperGrid::ins_fracs()[2] - 5.0 / 6.0).abs() < 1e-12);
+        assert_eq!(PaperGrid::f_qry_fracs().len(), 10);
+    }
+}

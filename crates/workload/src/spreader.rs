@@ -1,0 +1,160 @@
+//! The "seed spreader" synthetic data generator (paper Section 8.1,
+//! originally from Gan & Tao's static work \[10\]).
+//!
+//! A spreader performs a random walk with restarts over the data space
+//! `[0, 10^5]^d`:
+//!
+//! * at each time tick it emits one point uniformly distributed in the
+//!   ball `B(p, 25)` around its current location `p`;
+//! * after emitting 100 points from the same location it moves a distance
+//!   of 50 in a random direction;
+//! * with probability `10 / (0.9999 * I)` per tick it *restarts* at a
+//!   fresh uniform location (so about 10 clusters emerge for `I` points);
+//! * after `0.9999 * I` ticks, `0.0001 * I` uniform noise points are
+//!   appended.
+
+use dydbscan_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Side length of the data space (`[0, EXTENT]^d`).
+pub const EXTENT: f64 = 100_000.0;
+/// Radius of the emission ball around the spreader.
+pub const VICINITY: f64 = 25.0;
+/// Distance of one spreader relocation step.
+pub const STEP: f64 = 50.0;
+/// Points emitted per location before the spreader moves.
+pub const PER_STATION: usize = 100;
+
+/// Generates `n` points with the seed-spreader process.
+///
+/// Around `0.9999 * n` clustered points followed by `0.0001 * n` uniform
+/// noise points (at least one noise point for `n > 0`, as in the paper's
+/// proportions rounded up).
+pub fn seed_spreader<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    if n == 0 {
+        return out;
+    }
+    let n_noise = ((n as f64) * 0.0001).ceil() as usize;
+    let n_cluster = n - n_noise.min(n);
+    let restart_prob = 10.0 / (n_cluster.max(1) as f64);
+
+    let mut pos = random_location::<D>(&mut rng);
+    let mut emitted_here = 0usize;
+    for _ in 0..n_cluster {
+        out.push(uniform_in_ball(&mut rng, &pos, VICINITY));
+        emitted_here += 1;
+        if emitted_here == PER_STATION {
+            emitted_here = 0;
+            pos = step(&mut rng, &pos, STEP);
+        }
+        if rng.gen::<f64>() < restart_prob {
+            pos = random_location::<D>(&mut rng);
+            emitted_here = 0;
+        }
+    }
+    for _ in 0..n - n_cluster {
+        out.push(random_location::<D>(&mut rng));
+    }
+    out
+}
+
+fn random_location<const D: usize>(rng: &mut StdRng) -> Point<D> {
+    std::array::from_fn(|_| rng.gen::<f64>() * EXTENT)
+}
+
+/// Uniform point in `B(center, r)` (rejection sampling from the cube).
+fn uniform_in_ball<const D: usize>(rng: &mut StdRng, center: &Point<D>, r: f64) -> Point<D> {
+    loop {
+        let offset: [f64; D] = std::array::from_fn(|_| (rng.gen::<f64>() * 2.0 - 1.0) * r);
+        let norm_sq: f64 = offset.iter().map(|x| x * x).sum();
+        if norm_sq <= r * r {
+            let mut p = *center;
+            for i in 0..D {
+                p[i] = (p[i] + offset[i]).clamp(0.0, EXTENT);
+            }
+            return p;
+        }
+    }
+}
+
+/// Moves `center` by distance `len` in a uniform random direction.
+fn step<const D: usize>(rng: &mut StdRng, center: &Point<D>, len: f64) -> Point<D> {
+    // random direction via normalized cube rejection
+    loop {
+        let dir: [f64; D] = std::array::from_fn(|_| rng.gen::<f64>() * 2.0 - 1.0);
+        let norm_sq: f64 = dir.iter().map(|x| x * x).sum();
+        if norm_sq > 1e-12 && norm_sq <= 1.0 {
+            let norm = norm_sq.sqrt();
+            let mut p = *center;
+            for i in 0..D {
+                p[i] = (p[i] + dir[i] / norm * len).clamp(0.0, EXTENT);
+            }
+            return p;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let pts = seed_spreader::<2>(10_000, 42);
+        assert_eq!(pts.len(), 10_000);
+        for p in &pts {
+            for &x in p {
+                assert!((0.0..=EXTENT).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = seed_spreader::<3>(2_000, 7);
+        let b = seed_spreader::<3>(2_000, 7);
+        assert_eq!(a, b);
+        let c = seed_spreader::<3>(2_000, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clustered_points_are_locally_dense() {
+        // Most points should have a near neighbor well under the paper's
+        // default eps (= 100 * d); uniform noise would not.
+        let pts = seed_spreader::<2>(5_000, 1);
+        let clustered = &pts[..4_900];
+        let mut with_near = 0;
+        for (i, p) in clustered.iter().enumerate().take(500) {
+            let near = clustered
+                .iter()
+                .enumerate()
+                .any(|(j, q)| i != j && dydbscan_geom::dist_sq(p, q) <= 50.0 * 50.0);
+            if near {
+                with_near += 1;
+            }
+        }
+        assert!(with_near > 450, "only {with_near}/500 have near neighbors");
+    }
+
+    #[test]
+    fn produces_multiple_clusters() {
+        // with restarts, points should span distant regions
+        let pts = seed_spreader::<2>(20_000, 3);
+        let far_apart = pts.iter().any(|p| {
+            pts.iter()
+                .any(|q| dydbscan_geom::dist_sq(p, q) > (EXTENT * 0.5).powi(2))
+        });
+        assert!(far_apart, "expected spread across the data space");
+    }
+
+    #[test]
+    fn small_inputs() {
+        assert!(seed_spreader::<2>(0, 1).is_empty());
+        assert_eq!(seed_spreader::<2>(1, 1).len(), 1);
+        assert_eq!(seed_spreader::<2>(5, 1).len(), 5);
+    }
+}

@@ -1,0 +1,284 @@
+//! Workload construction (paper Section 8.1).
+//!
+//! A workload is a mixed sequence of updates and C-group-by queries,
+//! characterized by `N` (number of updates), `%ins` (fraction of updates
+//! that are insertions; `1` in semi-dynamic workloads) and `f_qry` (one
+//! query every `f_qry` updates). It is built in three steps exactly as the
+//! paper describes:
+//!
+//! 1. **Insertions**: a seed-spreader dataset of `I = N * %ins` points,
+//!    randomly permuted (so clusters form early in the stream).
+//! 2. **Deletions**: `N - I` deletion tokens appended, the combined
+//!    sequence randomly permuted and *rejected* while any prefix holds
+//!    more tokens than insertions; each token then deletes a uniformly
+//!    random currently-alive point.
+//! 3. **Queries**: a C-group-by query after every `f_qry` updates, with
+//!    `|Q|` uniform in `[2, 100]` sampled from the alive points without
+//!    replacement.
+//!
+//! Deletions and queries reference points by their *insertion ordinal*
+//! (the position in the insertion subsequence); drivers map ordinals to
+//! the ids their algorithm returned.
+
+use crate::spreader::seed_spreader;
+use dydbscan_geom::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One workload operation.
+#[derive(Debug, Clone)]
+pub enum Op<const D: usize> {
+    /// Insert this point; it becomes insertion ordinal `0, 1, 2, ...` in
+    /// order of appearance.
+    Insert(Point<D>),
+    /// Delete the point with the given insertion ordinal.
+    Delete(u32),
+    /// C-group-by over the points with these insertion ordinals.
+    Query(Vec<u32>),
+}
+
+impl<const D: usize> Op<D> {
+    /// Whether this is an update (insert or delete) rather than a query.
+    pub fn is_update(&self) -> bool {
+        !matches!(self, Op::Query(_))
+    }
+}
+
+/// Workload parameters (Table 2 defaults; `n` is scaled by the caller).
+///
+/// # Example
+///
+/// ```
+/// use dydbscan_workload::{Op, WorkloadSpec};
+///
+/// let w = WorkloadSpec::full(1_200, 42).build::<2>();
+/// assert_eq!(w.n_insertions, 1_000); // %ins = 5/6
+/// assert_eq!(w.n_deletions, 200);
+/// assert!(w.n_queries > 0);
+/// assert!(matches!(w.ops[0], Op::Insert(_))); // prefixes stay non-negative
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Total number of updates `N`.
+    pub n_updates: usize,
+    /// Insertion fraction `%ins` (1.0 = semi-dynamic).
+    pub ins_frac: f64,
+    /// One query every `f_qry` updates (`0` = no queries).
+    pub f_qry: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Semi-dynamic workload (insertions only) with the paper's default
+    /// query frequency `f_qry = 0.03 * N`.
+    pub fn semi(n_updates: usize, seed: u64) -> Self {
+        Self {
+            n_updates,
+            ins_frac: 1.0,
+            f_qry: (n_updates as f64 * 0.03).ceil() as usize,
+            seed,
+        }
+    }
+
+    /// Fully-dynamic workload with the paper's defaults
+    /// (`%ins = 5/6`, `f_qry = 0.03 * N`).
+    pub fn full(n_updates: usize, seed: u64) -> Self {
+        Self {
+            n_updates,
+            ins_frac: 5.0 / 6.0,
+            f_qry: (n_updates as f64 * 0.03).ceil() as usize,
+            seed,
+        }
+    }
+
+    /// Overrides the insertion fraction.
+    pub fn with_ins_frac(mut self, f: f64) -> Self {
+        assert!((0.0..=1.0).contains(&f));
+        self.ins_frac = f;
+        self
+    }
+
+    /// Overrides the query frequency.
+    pub fn with_f_qry(mut self, f: usize) -> Self {
+        self.f_qry = f;
+        self
+    }
+
+    /// Builds the operation sequence.
+    pub fn build<const D: usize>(&self) -> Workload<D> {
+        build_workload(self)
+    }
+}
+
+/// A materialized workload.
+#[derive(Debug, Clone)]
+pub struct Workload<const D: usize> {
+    /// Operation sequence.
+    pub ops: Vec<Op<D>>,
+    /// Number of insertions.
+    pub n_insertions: usize,
+    /// Number of deletions.
+    pub n_deletions: usize,
+    /// Number of queries.
+    pub n_queries: usize,
+}
+
+fn build_workload<const D: usize>(spec: &WorkloadSpec) -> Workload<D> {
+    let n = spec.n_updates;
+    let n_ins = ((n as f64) * spec.ins_frac).round() as usize;
+    let n_del = n - n_ins;
+    assert!(
+        n_del <= n_ins,
+        "more deletions than insertions is unsatisfiable"
+    );
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    // Step 1: insertion points, randomly permuted.
+    let mut pts = seed_spreader::<D>(n_ins, spec.seed ^ 0x5EED_DA7A);
+    for i in (1..pts.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        pts.swap(i, j);
+    }
+
+    // Step 2: mix in deletion tokens; reject "bad" permutations where some
+    // prefix has more tokens than insertions.
+    let slots: Vec<bool> = loop {
+        // true = insertion slot
+        let mut slots = vec![true; n_ins];
+        slots.extend(std::iter::repeat_n(false, n_del));
+        for i in (1..slots.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            slots.swap(i, j);
+        }
+        let mut balance: i64 = 0;
+        let good = slots.iter().all(|&ins| {
+            balance += if ins { 1 } else { -1 };
+            balance >= 0
+        });
+        if good {
+            break slots;
+        }
+    };
+
+    // Fill tokens & inject queries, simulating the alive set.
+    let mut ops = Vec::with_capacity(n + n / spec.f_qry.max(1) + 1);
+    let mut alive: Vec<u32> = Vec::with_capacity(n_ins);
+    let mut next_ordinal = 0u32;
+    let mut pts_iter = pts.into_iter();
+    let mut since_query = 0usize;
+    let mut n_queries = 0usize;
+    for ins in slots {
+        if ins {
+            let p = pts_iter.next().expect("counted insertions");
+            ops.push(Op::Insert(p));
+            alive.push(next_ordinal);
+            next_ordinal += 1;
+        } else {
+            let i = rng.gen_range(0..alive.len());
+            let ordinal = alive.swap_remove(i);
+            ops.push(Op::Delete(ordinal));
+        }
+        since_query += 1;
+        if spec.f_qry > 0 && since_query >= spec.f_qry && alive.len() >= 2 {
+            since_query = 0;
+            let q_size = rng.gen_range(2..=100usize).min(alive.len());
+            // sample without replacement
+            let mut q = Vec::with_capacity(q_size);
+            let mut chosen = std::collections::HashSet::new();
+            while q.len() < q_size {
+                let i = rng.gen_range(0..alive.len());
+                if chosen.insert(i) {
+                    q.push(alive[i]);
+                }
+            }
+            ops.push(Op::Query(q));
+            n_queries += 1;
+        }
+    }
+    Workload {
+        ops,
+        n_insertions: n_ins,
+        n_deletions: n_del,
+        n_queries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semi_workload_has_no_deletions() {
+        let w = WorkloadSpec::semi(1_000, 1).build::<2>();
+        assert_eq!(w.n_insertions, 1_000);
+        assert_eq!(w.n_deletions, 0);
+        assert!(w.n_queries > 0);
+        assert!(w.ops.iter().all(|o| !matches!(o, Op::Delete(_))));
+    }
+
+    #[test]
+    fn full_workload_balances() {
+        let w = WorkloadSpec::full(1_200, 2).build::<2>();
+        assert_eq!(w.n_insertions, 1_000);
+        assert_eq!(w.n_deletions, 200);
+        // every prefix keeps a non-negative alive count, and deletions
+        // reference alive ordinals only
+        let mut alive = std::collections::HashSet::new();
+        let mut next = 0u32;
+        for op in &w.ops {
+            match op {
+                Op::Insert(_) => {
+                    alive.insert(next);
+                    next += 1;
+                }
+                Op::Delete(o) => {
+                    assert!(alive.remove(o), "deleting dead ordinal {o}");
+                }
+                Op::Query(q) => {
+                    assert!(q.len() >= 2 && q.len() <= 100);
+                    for o in q {
+                        assert!(alive.contains(o), "query of dead ordinal {o}");
+                    }
+                    // no duplicates
+                    let mut s = q.clone();
+                    s.sort_unstable();
+                    s.dedup();
+                    assert_eq!(s.len(), q.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = WorkloadSpec::full(600, 9).build::<3>();
+        let b = WorkloadSpec::full(600, 9).build::<3>();
+        assert_eq!(a.ops.len(), b.ops.len());
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            match (x, y) {
+                (Op::Insert(p), Op::Insert(q)) => assert_eq!(p, q),
+                (Op::Delete(p), Op::Delete(q)) => assert_eq!(p, q),
+                (Op::Query(p), Op::Query(q)) => assert_eq!(p, q),
+                _ => panic!("op kind mismatch"),
+            }
+        }
+    }
+
+    #[test]
+    fn query_frequency_respected() {
+        let w = WorkloadSpec::semi(1_000, 3).with_f_qry(100).build::<2>();
+        assert_eq!(w.n_queries, 10);
+        let w = WorkloadSpec::semi(1_000, 3).with_f_qry(0).build::<2>();
+        assert_eq!(w.n_queries, 0);
+    }
+
+    #[test]
+    fn extreme_ins_fractions() {
+        let w = WorkloadSpec::full(100, 5).with_ins_frac(2.0 / 3.0).build::<2>();
+        assert_eq!(w.n_insertions, 67);
+        assert_eq!(w.n_deletions, 33);
+        let w = WorkloadSpec::full(100, 5).with_ins_frac(10.0 / 11.0).build::<2>();
+        assert_eq!(w.n_insertions + w.n_deletions, 100);
+    }
+}

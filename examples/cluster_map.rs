@@ -1,0 +1,119 @@
+//! Renders a dynamic clustering to an image (plain PPM, no dependencies):
+//! a before/after pair showing Figure 1 of the paper — three clusters, a
+//! handful of insertions creating a connection path that merges two of
+//! them, and the deletion of those points splitting them again.
+//!
+//! ```text
+//! cargo run --release --example cluster_map
+//! # -> cluster_map_before.ppm, cluster_map_merged.ppm, cluster_map_after.ppm
+//! ```
+
+use dydbscan::{seed_spreader, FullDynDbscan, Params, PointId};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+const SIZE: usize = 512;
+const EXTENT: f64 = 100_000.0;
+
+fn main() -> std::io::Result<()> {
+    let params = Params::new(2_000.0, 10).with_rho(0.001);
+    let mut clusterer = FullDynDbscan::<2>::new(params);
+    let pts = seed_spreader::<2>(12_000, 4);
+    let mut ids: Vec<PointId> = Vec::with_capacity(pts.len());
+    for p in &pts {
+        ids.push(clusterer.insert(*p));
+    }
+    render(&mut clusterer, "cluster_map_before.ppm")?;
+    let before = clusterer.num_clusters();
+
+    // Build a bridge between the two largest clusters' bounding centers.
+    let all = clusterer.group_all();
+    let mut by_size: Vec<&Vec<PointId>> = all.groups.iter().collect();
+    by_size.sort_by_key(|g| std::cmp::Reverse(g.len()));
+    let mut bridge_ids = Vec::new();
+    if by_size.len() >= 2 {
+        let c0 = centroid(&clusterer, by_size[0]);
+        let c1 = centroid(&clusterer, by_size[1]);
+        let steps = 64;
+        for i in 0..=steps {
+            let t = i as f64 / steps as f64;
+            let p = [c0[0] + (c1[0] - c0[0]) * t, c0[1] + (c1[1] - c0[1]) * t];
+            // a little blob at each step so the path is dense enough
+            for j in 0..10 {
+                let jx = (j % 3) as f64 * 300.0;
+                let jy = (j / 3) as f64 * 300.0;
+                bridge_ids.push(clusterer.insert([p[0] + jx, p[1] + jy]));
+            }
+        }
+    }
+    render(&mut clusterer, "cluster_map_merged.ppm")?;
+    let merged = clusterer.num_clusters();
+
+    for id in bridge_ids {
+        clusterer.delete(id);
+    }
+    render(&mut clusterer, "cluster_map_after.ppm")?;
+    let after = clusterer.num_clusters();
+
+    println!("clusters: before={before}, with bridge={merged}, after deletion={after}");
+    println!("wrote cluster_map_{{before,merged,after}}.ppm");
+    Ok(())
+}
+
+fn centroid<const D: usize>(c: &FullDynDbscan<D>, ids: &[PointId]) -> [f64; D] {
+    let mut acc = [0.0; D];
+    for &id in ids {
+        let p = c.coords(id);
+        for i in 0..D {
+            acc[i] += p[i];
+        }
+    }
+    for a in acc.iter_mut() {
+        *a /= ids.len() as f64;
+    }
+    acc
+}
+
+/// Writes the current clustering as a PPM scatter plot; clusters are
+/// colored by a hash of their (opaque) id, noise is gray.
+fn render(clusterer: &mut FullDynDbscan<2>, path: &str) -> std::io::Result<()> {
+    let groups = clusterer.group_all();
+    let mut img = vec![[18u8, 18, 24]; SIZE * SIZE];
+    let mut plot = |p: [f64; 2], rgb: [u8; 3]| {
+        let x = ((p[0] / EXTENT) * (SIZE as f64 - 1.0)) as isize;
+        let y = ((p[1] / EXTENT) * (SIZE as f64 - 1.0)) as isize;
+        for dx in -1..=1isize {
+            for dy in -1..=1isize {
+                let (px, py) = (x + dx, y + dy);
+                if (0..SIZE as isize).contains(&px) && (0..SIZE as isize).contains(&py) {
+                    img[py as usize * SIZE + px as usize] = rgb;
+                }
+            }
+        }
+    };
+    for (gi, group) in groups.groups.iter().enumerate() {
+        let rgb = palette(gi as u64);
+        for &id in group {
+            plot(clusterer.coords(id), rgb);
+        }
+    }
+    for &id in &groups.noise {
+        plot(clusterer.coords(id), [90, 90, 90]);
+    }
+    let mut out = BufWriter::new(File::create(path)?);
+    writeln!(out, "P6\n{SIZE} {SIZE}\n255")?;
+    for px in &img {
+        out.write_all(px)?;
+    }
+    out.flush()
+}
+
+/// Deterministic distinct-ish colors.
+fn palette(i: u64) -> [u8; 3] {
+    let h = i.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17);
+    [
+        128 + (h & 0x7F) as u8,
+        128 + ((h >> 8) & 0x7F) as u8,
+        128 + ((h >> 16) & 0x7F) as u8,
+    ]
+}

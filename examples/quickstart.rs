@@ -1,0 +1,67 @@
+//! Quickstart: dynamic density-based clustering in a dozen lines.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds a fully-dynamic ρ-double-approximate DBSCAN clusterer (Gan & Tao,
+//! SIGMOD'17), feeds it three blobs plus noise, asks C-group-by queries,
+//! then deletes a blob and watches the clustering react — all with
+//! near-constant-time updates.
+
+use dydbscan::{FullDynDbscan, Params, PointId};
+
+fn main() {
+    // eps = 1.0, MinPts = 4, rho = 0.001 (the paper's recommended slack).
+    let params = Params::new(1.0, 4).with_rho(0.001);
+    let mut clusterer = FullDynDbscan::<2>::new(params);
+
+    // Three blobs of 25 points each, plus a lonely outlier.
+    let mut blob = |cx: f64, cy: f64| -> Vec<PointId> {
+        (0..25)
+            .map(|i| {
+                let dx = (i % 5) as f64 * 0.3;
+                let dy = (i / 5) as f64 * 0.3;
+                clusterer.insert([cx + dx, cy + dy])
+            })
+            .collect()
+    };
+    let a = blob(0.0, 0.0);
+    let b = blob(10.0, 0.0);
+    let c = blob(5.0, 8.0);
+    let outlier = clusterer.insert([50.0, 50.0]);
+
+    // C-group-by: group *these* points by cluster, in O~(|Q|) time.
+    let q = vec![a[0], a[24], b[0], c[0], outlier];
+    let groups = clusterer.group_by(&q);
+    println!("three blobs + outlier -> {} groups", groups.num_groups());
+    assert_eq!(groups.num_groups(), 3);
+    assert!(groups.same_cluster(a[0], a[24]));
+    assert!(!groups.same_cluster(a[0], b[0]));
+    assert!(groups.is_noise(outlier));
+
+    // A bridge of points merges blobs a and b ...
+    let bridge: Vec<PointId> = (1..20)
+        .map(|i| clusterer.insert([i as f64 * 0.5, 0.0]))
+        .collect();
+    let groups = clusterer.group_by(&[a[0], b[0], c[0]]);
+    println!("after bridging      -> {} groups", groups.num_groups());
+    assert!(groups.same_cluster(a[0], b[0]));
+
+    // ... and deleting the bridge splits them again (fully dynamic!).
+    for id in bridge {
+        clusterer.delete(id);
+    }
+    let groups = clusterer.group_by(&[a[0], b[0], c[0]]);
+    println!("after unbridging    -> {} groups", groups.num_groups());
+    assert!(!groups.same_cluster(a[0], b[0]));
+
+    // The full clustering is just the query with Q = P.
+    let all = clusterer.group_all();
+    println!(
+        "full clustering     -> {} clusters, {} noise points, {} points total",
+        all.num_groups(),
+        all.noise.len(),
+        clusterer.len()
+    );
+}

@@ -1,0 +1,98 @@
+//! The paper's motivating scenario (Section 1): *"are stocks X, Y in the
+//! same cluster?"*, asked continuously over a live feature stream.
+//!
+//! ```text
+//! cargo run --release --example stock_stream
+//! ```
+//!
+//! Each stock is a point in a 3-dimensional feature space (volatility,
+//! momentum, volume z-score). Every tick, a batch of stocks re-prices:
+//! their old feature points are deleted and the new ones inserted — a
+//! fully-dynamic workload. A C-group-by query over a small watchlist then
+//! groups just those stocks by regime, in time proportional to the
+//! watchlist, not the market.
+
+use dydbscan::{FullDynDbscan, Params, PointId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const SECTORS: [(&str, [f64; 3]); 4] = [
+    ("tech", [8.0, 6.0, 5.0]),
+    ("utilities", [2.0, 2.0, 2.0]),
+    ("energy", [6.0, 1.5, 7.5]),
+    ("meme", [14.0, 13.0, 14.0]),
+];
+const STOCKS_PER_SECTOR: usize = 60;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let params = Params::new(1.6, 5).with_rho(0.001);
+    let mut market = FullDynDbscan::<3>::new(params);
+
+    // Current feature point of every stock.
+    let mut ids: Vec<PointId> = Vec::new();
+    let mut sector_of: Vec<usize> = Vec::new();
+    for (s, (_, center)) in SECTORS.iter().enumerate() {
+        for _ in 0..STOCKS_PER_SECTOR {
+            let p = jitter(&mut rng, center, 0.7);
+            ids.push(market.insert(p));
+            sector_of.push(s);
+        }
+    }
+
+    // Watchlist: two tech stocks, one utility, one meme stock.
+    let watch = [ids[0], ids[1], ids[STOCKS_PER_SECTOR], ids[3 * STOCKS_PER_SECTOR]];
+    let g = market.group_by(&watch);
+    println!(
+        "tick 0: watchlist falls into {} regime(s); tech pair together: {}",
+        g.num_groups(),
+        g.same_cluster(watch[0], watch[1])
+    );
+
+    // Stream: 40 ticks, 30 re-pricings per tick; the meme sector slowly
+    // drifts into tech territory until the regimes merge.
+    let mut drift: f64 = 0.0;
+    for tick in 1..=40 {
+        drift += 0.25;
+        for _ in 0..30 {
+            let k = rng.gen_range(0..ids.len());
+            let s = sector_of[k];
+            let mut center = SECTORS[s].1;
+            if s == 3 {
+                // meme sector drifts toward tech
+                for (i, c) in center.iter_mut().enumerate() {
+                    *c += (SECTORS[0].1[i] - SECTORS[3].1[i]) * (drift / 10.0).min(1.0);
+                }
+            }
+            let p = jitter(&mut rng, &center, 0.7);
+            market.delete(ids[k]);
+            ids[k] = market.insert(p);
+        }
+        if tick % 10 == 0 {
+            let watch = [ids[0], ids[1], ids[STOCKS_PER_SECTOR], ids[3 * STOCKS_PER_SECTOR]];
+            let g = market.group_by(&watch);
+            println!(
+                "tick {tick}: {} regime(s) on the watchlist; tech ~ meme: {}",
+                g.num_groups(),
+                g.same_cluster(watch[0], watch[3]),
+            );
+        }
+    }
+
+    let all = market.group_all();
+    println!(
+        "final market structure: {} regimes, {} unclassified stocks (of {})",
+        all.num_groups(),
+        all.noise.len(),
+        market.len()
+    );
+    let stats = market.stats();
+    println!(
+        "work done: {} promotions, {} demotions, {} edge inserts, {} edge removes",
+        stats.promotions, stats.demotions, stats.edge_inserts, stats.edge_removes
+    );
+}
+
+fn jitter(rng: &mut StdRng, center: &[f64; 3], r: f64) -> [f64; 3] {
+    std::array::from_fn(|i| center[i] + (rng.gen::<f64>() * 2.0 - 1.0) * r)
+}

@@ -1,0 +1,57 @@
+//! # dydbscan — Dynamic Density Based Clustering
+//!
+//! Umbrella crate re-exporting the full system: a from-scratch Rust
+//! implementation of *Gan & Tao, "Dynamic Density Based Clustering",
+//! SIGMOD 2017*, including every substrate the paper depends on.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dydbscan::{FullDynDbscan, Params};
+//!
+//! // rho-double-approximate DBSCAN: O~(1) updates, O~(|Q|) queries
+//! let params = Params::new(1.0, 3).with_rho(0.001);
+//! let mut clusterer = FullDynDbscan::<2>::new(params);
+//!
+//! let a = clusterer.insert([0.0, 0.0]);
+//! let b = clusterer.insert([0.4, 0.3]);
+//! let c = clusterer.insert([0.7, 0.1]);
+//! let lone = clusterer.insert([50.0, 50.0]);
+//!
+//! // cluster-group-by query: partition *these* points by cluster
+//! let groups = clusterer.group_by(&[a, b, c, lone]);
+//! assert!(groups.same_cluster(a, c));
+//! assert!(groups.is_noise(lone));
+//!
+//! clusterer.delete(b); // fully dynamic: deletions are O~(1) too
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`core`] (re-exported at the root) | the paper's algorithms: semi-dynamic ρ-approximate DBSCAN (Thm 1), fully-dynamic ρ-double-approximate DBSCAN (Thm 4), static exact/approximate DBSCAN, C-group-by queries, the sandwich-guarantee checker, executable USEC reductions (Thm 2) |
+//! | [`baseline`] | IncDBSCAN (Ester et al., VLDB'98), the experimental baseline |
+//! | [`conn`] | union-find + Holm–de Lichtenberg–Thorup dynamic connectivity over Euler-tour trees |
+//! | [`spatial`] | dynamic kd-tree (approximate emptiness / range counting), per-cell sets, R-tree |
+//! | [`grid`] | the grid of Section 4.1: cells, neighbor lists, core logs |
+//! | [`geom`] | points, boxes, cell coordinates, offset tables |
+//! | [`workload`] | seed-spreader generator + workload builder (Section 8.1) |
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for
+//! paper-vs-measured results of every table and figure.
+
+pub use dydbscan_baseline as baseline;
+pub use dydbscan_conn as conn;
+pub use dydbscan_core as core;
+pub use dydbscan_geom as geom;
+pub use dydbscan_grid as grid;
+pub use dydbscan_spatial as spatial;
+pub use dydbscan_workload as workload;
+
+pub use dydbscan_baseline::{IncDbscan, IncStats};
+pub use dydbscan_core::{
+    brute_force_exact, check_containment, check_sandwich, relabel, static_cluster, Clustering,
+    FullDynDbscan, FullStats, GroupBy, Params, PointId, SemiDynDbscan,
+};
+pub use dydbscan_workload::{seed_spreader, Op, Workload, WorkloadSpec};

@@ -1,0 +1,154 @@
+//! Cross-algorithm integration tests: every implementation in the
+//! workspace must agree on the same data.
+//!
+//! At `rho = 0` all variants compute *exact* DBSCAN, so their outputs must
+//! be identical — across the semi-dynamic structure (Theorem 1), the
+//! fully-dynamic structure (Theorem 4), IncDBSCAN (both index backends),
+//! the grid-based static algorithm and the brute-force reference. At
+//! `rho > 0` the approximate variants must satisfy the sandwich guarantee
+//! (Theorem 3) against the exact clusterings at both radii.
+
+use dydbscan::baseline::GridRangeIndex;
+use dydbscan::conn::NaiveConnectivity;
+use dydbscan::core::full::FullDynDbscan;
+use dydbscan::geom::{Point, SplitMix64};
+use dydbscan::{
+    brute_force_exact, check_sandwich, relabel, static_cluster, IncDbscan, Params, PointId,
+    SemiDynDbscan,
+};
+
+fn random_points<const D: usize>(seed: u64, n: usize, extent: f64) -> Vec<Point<D>> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| std::array::from_fn(|_| rng.next_f64() * extent))
+        .collect()
+}
+
+#[test]
+fn all_exact_variants_agree_on_insert_only_data() {
+    for seed in 0..3u64 {
+        let pts = random_points::<2>(seed + 50, 300, 14.0);
+        let params = Params::new(1.0, 4);
+        let want = brute_force_exact(&pts, &params);
+
+        assert_eq!(static_cluster(&pts, &params), want, "static grid");
+
+        let mut semi = SemiDynDbscan::<2>::new(params);
+        let ids: Vec<PointId> = pts.iter().map(|p| semi.insert(*p)).collect();
+        assert_eq!(semi.group_all(), relabel(&want, &ids), "semi-dynamic");
+
+        let mut full = FullDynDbscan::<2>::new(params);
+        let ids: Vec<PointId> = pts.iter().map(|p| full.insert(*p)).collect();
+        assert_eq!(full.group_all(), relabel(&want, &ids), "fully-dynamic");
+
+        let mut inc = IncDbscan::<2>::new(params);
+        let ids: Vec<PointId> = pts.iter().map(|p| inc.insert(*p)).collect();
+        assert_eq!(inc.group_all(), relabel(&want, &ids), "IncDBSCAN rtree");
+
+        let mut incg = IncDbscan::<2, GridRangeIndex<2>>::new_grid(params);
+        let ids: Vec<PointId> = pts.iter().map(|p| incg.insert(*p)).collect();
+        assert_eq!(incg.group_all(), relabel(&want, &ids), "IncDBSCAN grid");
+    }
+}
+
+#[test]
+fn fully_dynamic_exact_agrees_with_incdbscan_under_churn() {
+    // Two independent dynamic exact algorithms must produce identical
+    // groupings after every batch of updates.
+    let mut rng = SplitMix64::new(777);
+    let params = Params::new(1.1, 3);
+    let mut full = FullDynDbscan::<2>::new(params);
+    let mut inc = IncDbscan::<2>::new(params);
+    let mut live: Vec<PointId> = Vec::new();
+    for step in 0..500 {
+        if live.is_empty() || rng.next_below(100) < 60 {
+            let p = [rng.next_f64() * 12.0, rng.next_f64() * 12.0];
+            let a = full.insert(p);
+            let b = inc.insert(p);
+            assert_eq!(a, b, "id schemes must align");
+            live.push(a);
+        } else {
+            let i = rng.next_below(live.len() as u64) as usize;
+            let id = live.swap_remove(i);
+            full.delete(id);
+            inc.delete(id);
+        }
+        if step % 50 == 49 {
+            assert_eq!(full.group_all(), inc.group_all(), "step {step}");
+            // and on a random sub-query
+            if live.len() >= 4 {
+                let q: Vec<PointId> = live.iter().copied().step_by(4).collect();
+                assert_eq!(full.group_by(&q), inc.group_by(&q), "subquery {step}");
+            }
+        }
+    }
+}
+
+#[test]
+fn approximate_variants_sandwich_against_both_radii() {
+    let pts = random_points::<3>(31, 260, 8.0);
+    let rho = 0.2;
+    let lo = Params::new(1.4, 4);
+    let hi = Params::new(1.4 * (1.0 + rho), 4);
+    let c1 = brute_force_exact(&pts, &lo);
+    let c2 = brute_force_exact(&pts, &hi);
+
+    let approx = Params::new(1.4, 4).with_rho(rho);
+    let stat = static_cluster(&pts, &approx);
+    check_sandwich(&c1, &stat, &c2).expect("static approx sandwich");
+
+    let mut semi = SemiDynDbscan::<3>::new(approx);
+    let ids: Vec<PointId> = pts.iter().map(|p| semi.insert(*p)).collect();
+    check_sandwich(
+        &relabel(&c1, &ids),
+        &semi.group_all(),
+        &relabel(&c2, &ids),
+    )
+    .expect("semi-dynamic sandwich");
+
+    let mut full = FullDynDbscan::<3>::new(approx);
+    let ids: Vec<PointId> = pts.iter().map(|p| full.insert(*p)).collect();
+    check_sandwich(
+        &relabel(&c1, &ids),
+        &full.group_all(),
+        &relabel(&c2, &ids),
+    )
+    .expect("fully-dynamic sandwich");
+}
+
+#[test]
+fn connectivity_backends_are_interchangeable() {
+    let mut rng = SplitMix64::new(4);
+    let params = Params::new(1.0, 3).with_rho(0.05);
+    let mut hdt = FullDynDbscan::<2>::new(params);
+    let mut naive: FullDynDbscan<2, NaiveConnectivity> =
+        FullDynDbscan::with_connectivity(params, NaiveConnectivity::new());
+    let mut live = Vec::new();
+    for _ in 0..400 {
+        if live.is_empty() || rng.next_below(10) < 6 {
+            let p = [rng.next_f64() * 9.0, rng.next_f64() * 9.0];
+            let a = hdt.insert(p);
+            naive.insert(p);
+            live.push(a);
+        } else {
+            let i = rng.next_below(live.len() as u64) as usize;
+            let id = live.swap_remove(i);
+            hdt.delete(id);
+            naive.delete(id);
+        }
+    }
+    assert_eq!(hdt.group_all(), naive.group_all());
+}
+
+#[test]
+fn semi_and_full_agree_at_rho_zero_insert_only() {
+    let pts = random_points::<5>(91, 150, 5.0);
+    let params = Params::new(1.8, 3);
+    let mut semi = SemiDynDbscan::<5>::new(params);
+    let mut full = FullDynDbscan::<5>::new(params);
+    for p in &pts {
+        semi.insert(*p);
+        full.insert(*p);
+    }
+    assert_eq!(semi.group_all(), full.group_all());
+}

@@ -1,0 +1,154 @@
+//! Property-based tests (proptest) over the system's contracts:
+//!
+//! * the sandwich guarantee (Theorem 3) for arbitrary point sets,
+//!   parameters and update orders;
+//! * exactness of every variant at `rho = 0`;
+//! * C-group-by consistency: any sub-query must equal the restriction of
+//!   the full clustering (the problem definition's "same C(P)" rule);
+//! * internal invariant audits of the fully-dynamic structure after
+//!   arbitrary interleavings of insertions and deletions.
+
+use dydbscan::core::full::FullDynDbscan;
+use dydbscan::{
+    brute_force_exact, check_sandwich, relabel, Params, PointId, SemiDynDbscan,
+};
+use proptest::prelude::*;
+
+/// Small coordinates so clusters actually form at eps = 1.
+fn arb_points(max_len: usize) -> impl Strategy<Value = Vec<[f64; 2]>> {
+    prop::collection::vec(
+        (0u32..60, 0u32..60).prop_map(|(x, y)| [x as f64 * 0.25, y as f64 * 0.25]),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn semi_exact_matches_bruteforce(pts in arb_points(120), min_pts in 1usize..6) {
+        let params = Params::new(1.0, min_pts);
+        let mut semi = SemiDynDbscan::<2>::new(params);
+        let ids: Vec<PointId> = pts.iter().map(|p| semi.insert(*p)).collect();
+        let got = semi.group_all();
+        let want = relabel(&brute_force_exact(&pts, &params), &ids);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn full_exact_matches_bruteforce_with_deletions(
+        pts in arb_points(90),
+        deletions in prop::collection::vec(0usize..90, 0..40),
+        min_pts in 1usize..6,
+    ) {
+        let params = Params::new(1.0, min_pts);
+        let mut algo = FullDynDbscan::<2>::new(params);
+        let ids: Vec<PointId> = pts.iter().map(|p| algo.insert(*p)).collect();
+        let mut alive: Vec<bool> = vec![true; pts.len()];
+        for d in deletions {
+            let k = d % pts.len();
+            if alive[k] {
+                algo.delete(ids[k]);
+                alive[k] = false;
+            }
+        }
+        let live_pts: Vec<[f64; 2]> =
+            pts.iter().zip(&alive).filter(|(_, &a)| a).map(|(p, _)| *p).collect();
+        let live_ids: Vec<PointId> =
+            ids.iter().zip(&alive).filter(|(_, &a)| a).map(|(i, _)| *i).collect();
+        let got = algo.group_all();
+        let want = relabel(&brute_force_exact(&live_pts, &params), &live_ids);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sandwich_guarantee_under_churn(
+        pts in arb_points(80),
+        deletions in prop::collection::vec(0usize..80, 0..30),
+        rho_pct in 1u32..40,
+    ) {
+        let rho = rho_pct as f64 / 100.0;
+        let params = Params::new(1.0, 3).with_rho(rho);
+        let mut algo = FullDynDbscan::<2>::new(params);
+        let ids: Vec<PointId> = pts.iter().map(|p| algo.insert(*p)).collect();
+        let mut alive: Vec<bool> = vec![true; pts.len()];
+        for d in deletions {
+            let k = d % pts.len();
+            if alive[k] {
+                algo.delete(ids[k]);
+                alive[k] = false;
+            }
+        }
+        let live_pts: Vec<[f64; 2]> =
+            pts.iter().zip(&alive).filter(|(_, &a)| a).map(|(p, _)| *p).collect();
+        let live_ids: Vec<PointId> =
+            ids.iter().zip(&alive).filter(|(_, &a)| a).map(|(i, _)| *i).collect();
+        let got = algo.group_all();
+        let c1 = relabel(&brute_force_exact(&live_pts, &Params::new(1.0, 3)), &live_ids);
+        let c2 = relabel(
+            &brute_force_exact(&live_pts, &Params::new(1.0 + rho, 3)),
+            &live_ids,
+        );
+        prop_assert!(check_sandwich(&c1, &got, &c2).is_ok());
+        algo.validate_invariants();
+    }
+
+    #[test]
+    fn group_by_equals_restriction_of_group_all(
+        pts in arb_points(70),
+        subset_mask in prop::collection::vec(any::<bool>(), 70),
+        rho_pct in 0u32..30,
+    ) {
+        let params = Params::new(1.0, 3).with_rho(rho_pct as f64 / 100.0);
+        let mut algo = FullDynDbscan::<2>::new(params);
+        let ids: Vec<PointId> = pts.iter().map(|p| algo.insert(*p)).collect();
+        let q: Vec<PointId> = ids
+            .iter()
+            .zip(subset_mask.iter().chain(std::iter::repeat(&false)))
+            .filter(|(_, &m)| m)
+            .map(|(i, _)| *i)
+            .collect();
+        let all = algo.group_all();
+        let sub = algo.group_by(&q);
+        prop_assert_eq!(sub, all.restrict(&q));
+    }
+
+    #[test]
+    fn insertion_order_is_irrelevant_at_rho_zero(
+        pts in arb_points(80),
+        seed in any::<u64>(),
+    ) {
+        let params = Params::new(1.0, 3);
+        let mut a = SemiDynDbscan::<2>::new(params);
+        let ids_a: Vec<PointId> = pts.iter().map(|p| a.insert(*p)).collect();
+        // shuffled order
+        let mut order: Vec<usize> = (0..pts.len()).collect();
+        let mut rng = dydbscan::geom::SplitMix64::new(seed);
+        rng.shuffle(&mut order);
+        let mut b = SemiDynDbscan::<2>::new(params);
+        let mut ids_b = vec![0 as PointId; pts.len()];
+        for &k in &order {
+            ids_b[k] = b.insert(pts[k]);
+        }
+        // map both to the original indices and compare
+        let ga = a.group_all();
+        let gb = b.group_all();
+        let inv_a: std::collections::HashMap<PointId, u32> =
+            ids_a.iter().enumerate().map(|(k, &i)| (i, k as u32)).collect();
+        let inv_b: std::collections::HashMap<PointId, u32> =
+            ids_b.iter().enumerate().map(|(k, &i)| (i, k as u32)).collect();
+        let norm = |g: &dydbscan::GroupBy, inv: &std::collections::HashMap<PointId, u32>| {
+            let mut out = dydbscan::GroupBy {
+                groups: g
+                    .groups
+                    .iter()
+                    .map(|grp| grp.iter().map(|p| inv[p]).collect())
+                    .collect(),
+                noise: g.noise.iter().map(|p| inv[p]).collect(),
+            };
+            out.normalize();
+            out
+        };
+        prop_assert_eq!(norm(&ga, &inv_a), norm(&gb, &inv_b));
+    }
+}

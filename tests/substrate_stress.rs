@@ -1,0 +1,191 @@
+//! Heavier randomized stress tests of the substrates through their public
+//! interfaces: HDT connectivity at larger scales, kd-tree/R-tree churn,
+//! and grid behaviour under adversarial (axis-aligned, colinear,
+//! boundary-heavy) inputs.
+
+use dydbscan::conn::{DynConnectivity, HdtConnectivity, UnionFind};
+use dydbscan::geom::{dist_sq, SplitMix64};
+use dydbscan::spatial::{KdTree, RTree};
+
+#[test]
+fn hdt_large_random_graph_against_offline_unionfind() {
+    let n: u32 = 300;
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    let mut h = HdtConnectivity::new();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for step in 0..6_000 {
+        let op = rng.next_below(100);
+        if op < 55 {
+            let u = rng.next_below(n as u64) as u32;
+            let v = rng.next_below(n as u64) as u32;
+            if u != v {
+                let key = (u.min(v), u.max(v));
+                if !edges.contains(&key) && h.insert_edge(u, v) {
+                    edges.push(key);
+                }
+            }
+        } else if op < 90 {
+            if !edges.is_empty() {
+                let i = rng.next_below(edges.len() as u64) as usize;
+                let (u, v) = edges.swap_remove(i);
+                assert!(h.delete_edge(u, v), "step {step}");
+            }
+        } else {
+            // spot-check 20 random pairs against offline union-find
+            let mut uf = UnionFind::with_len(n as usize);
+            for &(u, v) in &edges {
+                uf.union(u, v);
+            }
+            for _ in 0..20 {
+                let u = rng.next_below(n as u64) as u32;
+                let v = rng.next_below(n as u64) as u32;
+                assert_eq!(h.connected(u, v), uf.same(u, v), "step {step} ({u},{v})");
+            }
+        }
+    }
+}
+
+#[test]
+fn hdt_wheel_graph_tear_down() {
+    // A wheel: hub connected to a long cycle. Deleting hub spokes one at a
+    // time forces replacement searches through the cycle at rising levels.
+    let n = 128u32;
+    let mut h = HdtConnectivity::new();
+    for i in 0..n {
+        h.insert_edge(i, (i + 1) % n); // cycle
+        h.insert_edge(i, n); // spoke to hub
+    }
+    for i in 0..n {
+        assert!(h.delete_edge(i, n));
+        assert!(h.connected(0, (i + 1) % n), "cycle keeps everything connected");
+    }
+    // now tear the cycle: one cut keeps it connected (a path), two split it
+    assert!(h.delete_edge(0, 1));
+    assert!(h.connected(0, 1), "path still connects the long way around");
+    assert!(h.delete_edge(64, 65));
+    assert!(!h.connected(64, 65));
+    assert!(!h.connected(0, 1));
+    assert!(h.connected(1, 64), "segment 1..=64 intact");
+    assert!(h.connected(65, 0), "segment 65..=127,0 intact");
+    assert_eq!(h.num_components(), 3); // two path halves + isolated hub
+}
+
+#[test]
+fn kdtree_colinear_and_axis_aligned_points() {
+    // Degenerate geometry: all points on one line, many ties per axis.
+    let mut t = KdTree::<2>::new();
+    let pts: Vec<[f64; 2]> = (0..500).map(|i| [(i % 50) as f64, 0.0]).collect();
+    for (i, p) in pts.iter().enumerate() {
+        t.insert(*p, i as u32);
+    }
+    for q in 0..50 {
+        let qp = [q as f64, 0.0];
+        let brute = pts.iter().filter(|p| dist_sq(p, &qp) <= 4.0).count();
+        assert_eq!(t.count_within_sandwich(&qp, 2.0, 2.0), brute);
+    }
+    // remove every second point, re-check
+    for (i, p) in pts.iter().enumerate() {
+        if i % 2 == 0 {
+            assert!(t.remove(p, i as u32));
+        }
+    }
+    for q in 0..50 {
+        let qp = [q as f64, 0.0];
+        let brute = pts
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| i % 2 == 1 && dist_sq(p, &qp) <= 4.0)
+            .count();
+        assert_eq!(t.count_within_sandwich(&qp, 2.0, 2.0), brute);
+    }
+}
+
+#[test]
+fn kdtree_full_drain_and_refill_many_rounds() {
+    let mut rng = SplitMix64::new(12);
+    let mut t = KdTree::<3>::new();
+    for round in 0..10 {
+        let pts: Vec<[f64; 3]> = (0..300)
+            .map(|_| std::array::from_fn(|_| rng.next_f64() * 10.0))
+            .collect();
+        for (i, p) in pts.iter().enumerate() {
+            t.insert(*p, (round * 1000 + i) as u32);
+        }
+        assert_eq!(t.len(), 300);
+        for (i, p) in pts.iter().enumerate() {
+            assert!(t.remove(p, (round * 1000 + i) as u32));
+        }
+        assert!(t.is_empty(), "round {round}");
+        assert!(t.nearest(&[0.0; 3]).is_none());
+    }
+}
+
+#[test]
+fn rtree_skewed_then_uniform_mix() {
+    let mut rng = SplitMix64::new(55);
+    let mut t = RTree::<2>::new();
+    let mut live: Vec<([f64; 2], u32)> = Vec::new();
+    let mut id = 0u32;
+    // phase 1: highly skewed line cluster
+    for i in 0..800 {
+        let p = [i as f64 * 0.01, 100.0];
+        t.insert(p, id);
+        live.push((p, id));
+        id += 1;
+    }
+    // phase 2: uniform blanket
+    for _ in 0..800 {
+        let p = [rng.next_f64() * 100.0, rng.next_f64() * 100.0];
+        t.insert(p, id);
+        live.push((p, id));
+        id += 1;
+    }
+    // phase 3: delete all of phase 1
+    for &(p, i) in live.iter().take(800) {
+        assert!(t.remove(&p, i));
+    }
+    live.drain(..800);
+    // verify queries against brute force
+    for _ in 0..60 {
+        let q = [rng.next_f64() * 100.0, rng.next_f64() * 100.0];
+        let r = rng.next_f64() * 10.0;
+        let mut got = Vec::new();
+        t.collect_within(&q, r, &mut got);
+        let want = live.iter().filter(|(p, _)| dist_sq(p, &q) <= r * r).count();
+        assert_eq!(got.len(), want);
+    }
+}
+
+#[test]
+fn grid_heavy_boundary_traffic() {
+    use dydbscan::grid::GridIndex;
+    // eps chosen so side = 1: every integer point sits on a cell corner.
+    let eps = 2f64.sqrt();
+    let mut g = GridIndex::<2>::new(eps, 0.001);
+    let mut pts = Vec::new();
+    for x in -6..6 {
+        for y in -6..6 {
+            pts.push([x as f64, y as f64]);
+        }
+    }
+    for (i, p) in pts.iter().enumerate() {
+        g.insert_point(p, i as u32);
+    }
+    for (i, q) in pts.iter().enumerate() {
+        let brute = pts.iter().filter(|p| dist_sq(p, q) <= eps * eps).count();
+        assert_eq!(g.count_ball_exact(q), brute, "query {i}");
+    }
+    // remove a checkerboard and re-verify
+    for (i, p) in pts.iter().enumerate() {
+        if (p[0] as i64 + p[1] as i64) % 2 == 0 {
+            g.remove_point(p, i as u32);
+        }
+    }
+    for q in pts.iter() {
+        let brute = pts
+            .iter()
+            .filter(|p| (p[0] as i64 + p[1] as i64) % 2 != 0 && dist_sq(p, q) <= eps * eps)
+            .count();
+        assert_eq!(g.count_ball_exact(q), brute);
+    }
+}
