@@ -31,7 +31,7 @@
 
 use crate::index::RangeIndex;
 use dydbscan_conn::UnionFind;
-use dydbscan_core::{GroupBy, Params, PointId};
+use dydbscan_core::{ClustererStats, Clustering, DynamicClusterer, GroupBy, Params, PointId};
 use dydbscan_geom::{FxHashMap, Point};
 use dydbscan_spatial::RTree;
 
@@ -102,10 +102,7 @@ impl<const D: usize> IncDbscan<D, crate::index::GridRangeIndex<D>> {
     /// Creates an IncDBSCAN instance on the uniform-grid backend
     /// (ablation: is the baseline's loss an index artifact?).
     pub fn new_grid(params: Params) -> Self {
-        Self::with_index(
-            params,
-            crate::index::GridRangeIndex::with_side(params.eps),
-        )
+        Self::with_index(params, crate::index::GridRangeIndex::with_side(params.eps))
     }
 }
 
@@ -156,6 +153,11 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
     /// Whether `id` is alive.
     pub fn is_alive(&self, id: PointId) -> bool {
         self.recs.get(id as usize).is_some_and(|r| r.alive)
+    }
+
+    /// Coordinates of a point (also valid for deleted ids).
+    pub fn coords(&self, id: PointId) -> Point<D> {
+        self.recs[id as usize].coords
     }
 
     /// Ids of all alive points.
@@ -373,10 +375,7 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
         let mut ball = Vec::new();
         loop {
             // Coalesce the active list to live group roots.
-            let mut roots: Vec<u32> = active
-                .iter()
-                .map(|&t| threads.find(t))
-                .collect();
+            let mut roots: Vec<u32> = active.iter().map(|&t| threads.find(t)).collect();
             roots.sort_unstable();
             roots.dedup();
             roots.retain(|&g| !queues[g as usize].is_empty());
@@ -480,9 +479,64 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
     }
 
     /// The full clustering (`Q = P`).
-    pub fn group_all(&mut self) -> GroupBy {
+    pub fn group_all(&mut self) -> Clustering {
         let ids = self.alive_ids();
         self.group_by(&ids)
+    }
+}
+
+impl<const D: usize, I: RangeIndex<D>> DynamicClusterer<D> for IncDbscan<D, I> {
+    fn params(&self) -> &Params {
+        IncDbscan::params(self)
+    }
+
+    fn len(&self) -> usize {
+        IncDbscan::len(self)
+    }
+
+    fn supports_deletion(&self) -> bool {
+        true
+    }
+
+    fn insert(&mut self, p: Point<D>) -> PointId {
+        IncDbscan::insert(self, p)
+    }
+
+    fn delete(&mut self, id: PointId) {
+        IncDbscan::delete(self, id)
+    }
+
+    fn is_core(&self, id: PointId) -> bool {
+        IncDbscan::is_core(self, id)
+    }
+
+    fn coords(&self, id: PointId) -> Point<D> {
+        IncDbscan::coords(self, id)
+    }
+
+    fn alive_ids(&self) -> Vec<PointId> {
+        IncDbscan::alive_ids(self)
+    }
+
+    fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+        IncDbscan::group_by(self, q)
+    }
+
+    fn group_all(&mut self) -> Clustering {
+        IncDbscan::group_all(self)
+    }
+
+    /// IncDBSCAN keeps a merge history, not an explicit edge set: only
+    /// `range_queries` and `splits` are tracked; the graph-churn counters
+    /// stay `0`. Full provenance lives in [`IncStats`] on the concrete
+    /// type.
+    fn stats(&self) -> ClustererStats {
+        let s = self.stats;
+        ClustererStats {
+            range_queries: s.range_queries,
+            splits: s.splits,
+            ..ClustererStats::default()
+        }
     }
 }
 

@@ -3,7 +3,7 @@
 //! * `ablate_cc` — the paper's choice of Holm et al. \[14\] as the CC
 //!   structure vs recomputing components from scratch (both behind the
 //!   same `DynConnectivity` interface, at the connectivity level *and*
-//!   end-to-end inside the fully-dynamic clusterer).
+//!   end-to-end through the `DbscanBuilder` connectivity selector).
 //! * `ablate_index` — IncDBSCAN on its faithful R-tree vs on a uniform
 //!   grid: shows the baseline's deficit is algorithmic, not index choice.
 //! * `ablate_rho` — sensitivity of Double-Approx update cost to `rho`
@@ -11,24 +11,23 @@
 //! * `ablate_emptiness` — the hybrid per-cell emptiness structure: linear
 //!   scan vs kd-tree as the cell population grows (motivates the upgrade
 //!   threshold of `CellSet`).
+//!
+//! ```text
+//! cargo bench -p dydbscan-bench --bench ablations
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dydbscan_bench::driver::{run_workload, Algo};
-use dydbscan_bench::run_algo;
-use dydbscan_conn::{DynConnectivity, HdtConnectivity, NaiveConnectivity};
-use dydbscan_core::{FullDynDbscan, Params};
-use dydbscan_geom::SplitMix64;
-use dydbscan_spatial::{CellSet, KdTree};
-use dydbscan_workload::{PaperGrid, WorkloadSpec};
-use std::time::Duration;
+use dydbscan::conn::{DynConnectivity, HdtConnectivity, NaiveConnectivity};
+use dydbscan::geom::SplitMix64;
+use dydbscan::spatial::{CellSet, KdTree};
+use dydbscan::workload::PaperGrid;
+use dydbscan::{ConnectivityBackend, WorkloadSpec};
+use dydbscan_bench::driver::{run_algo, run_workload, Algo};
+use dydbscan_bench::BenchGroup;
 
 const N: usize = 4_000;
 
-fn ablate_cc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_cc");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(900));
+fn ablate_cc() {
+    let g = BenchGroup::new("ablate_cc");
     // Connectivity-level: random edge churn + connectivity queries.
     let mut rng = SplitMix64::new(99);
     let nv = 400u32;
@@ -60,84 +59,59 @@ fn ablate_cc(c: &mut Criterion) {
         }
         connected
     }
-    g.bench_function("edge_churn/hdt", |b| {
-        b.iter(|| drive(HdtConnectivity::new(), &script))
+    g.bench("edge_churn/hdt", || drive(HdtConnectivity::new(), &script));
+    g.bench("edge_churn/naive_rebuild", || {
+        drive(NaiveConnectivity::new(), &script)
     });
-    g.bench_function("edge_churn/naive_rebuild", |b| {
-        b.iter(|| drive(NaiveConnectivity::new(), &script))
-    });
-    // End-to-end: the fully-dynamic clusterer over either CC structure.
+    // End-to-end: the fully-dynamic clusterer over either CC structure,
+    // selected through the public builder.
     let w = WorkloadSpec::full(N, 7).build::<2>();
-    let params = Params::new(200.0, PaperGrid::MIN_PTS).with_rho(PaperGrid::RHO);
-    g.bench_function("full_dyn/hdt", |b| {
-        b.iter(|| {
-            run_workload(
-                FullDynDbscan::<2>::new(params),
-                "hdt",
-                &w,
-                None,
-                1,
-            )
-        })
-    });
-    g.bench_function("full_dyn/naive_rebuild", |b| {
-        b.iter(|| {
-            run_workload(
-                FullDynDbscan::<2, NaiveConnectivity>::with_connectivity(
-                    params,
-                    NaiveConnectivity::new(),
-                ),
-                "naive",
-                &w,
-                None,
-                1,
-            )
-        })
-    });
-    g.finish();
-}
-
-fn ablate_index(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_index");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(900));
-    let w = WorkloadSpec::full(N, 7).build::<2>();
-    g.bench_function("incdbscan/rtree", |b| {
-        b.iter(|| run_algo::<2>(Algo::IncDbscanRtree, 200.0, PaperGrid::MIN_PTS, &w, None, 1))
-    });
-    g.bench_function("incdbscan/grid", |b| {
-        b.iter(|| run_algo::<2>(Algo::IncDbscanGrid, 200.0, PaperGrid::MIN_PTS, &w, None, 1))
-    });
-    g.finish();
-}
-
-fn ablate_rho(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_rho");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(900));
-    let w = WorkloadSpec::full(N, 7).build::<2>();
-    for rho in [0.0, 1e-4, 1e-3, 1e-2, 1e-1] {
-        let params = Params::new(200.0, PaperGrid::MIN_PTS).with_rho(rho);
-        g.bench_with_input(BenchmarkId::new("full_dyn", rho.to_string()), &rho, |b, _| {
-            b.iter(|| run_workload(FullDynDbscan::<2>::new(params), "x", &w, None, 1))
+    for (label, backend) in [
+        ("full_dyn/hdt", ConnectivityBackend::Hdt),
+        ("full_dyn/naive_rebuild", ConnectivityBackend::Naive),
+    ] {
+        g.bench(label, || {
+            let mut c = Algo::DoubleApprox
+                .builder(200.0, PaperGrid::MIN_PTS)
+                .connectivity(backend)
+                .build::<2>()
+                .expect("valid config");
+            run_workload(c.as_mut(), label, &w, None, 1)
         });
     }
-    g.finish();
 }
 
-fn ablate_emptiness(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablate_emptiness");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(900));
+fn ablate_index() {
+    let g = BenchGroup::new("ablate_index");
+    let w = WorkloadSpec::full(N, 7).build::<2>();
+    g.bench("incdbscan/rtree", || {
+        run_algo::<2>(Algo::IncDbscanRtree, 200.0, PaperGrid::MIN_PTS, &w, None, 1)
+    });
+    g.bench("incdbscan/grid", || {
+        run_algo::<2>(Algo::IncDbscanGrid, 200.0, PaperGrid::MIN_PTS, &w, None, 1)
+    });
+}
+
+fn ablate_rho() {
+    let g = BenchGroup::new("ablate_rho");
+    let w = WorkloadSpec::full(N, 7).build::<2>();
+    for rho in [0.0, 1e-4, 1e-3, 1e-2, 1e-1] {
+        g.bench(&format!("full_dyn/rho={rho}"), || {
+            let mut c = dydbscan::DbscanBuilder::new(200.0, PaperGrid::MIN_PTS)
+                .rho(rho)
+                .build::<2>()
+                .expect("valid config");
+            run_workload(c.as_mut(), "x", &w, None, 1)
+        });
+    }
+}
+
+fn ablate_emptiness() {
+    let g = BenchGroup::new("ablate_emptiness");
     let mut rng = SplitMix64::new(5);
     for pop in [16usize, 64, 256, 1024, 4096] {
         // a dense cell of `pop` points; queries from a neighboring cell
-        let pts: Vec<[f64; 2]> = (0..pop)
-            .map(|_| [rng.next_f64(), rng.next_f64()])
-            .collect();
+        let pts: Vec<[f64; 2]> = (0..pop).map(|_| [rng.next_f64(), rng.next_f64()]).collect();
         let queries: Vec<[f64; 2]> = (0..64)
             .map(|_| [1.0 + rng.next_f64() * 0.4, rng.next_f64()])
             .collect();
@@ -151,46 +125,43 @@ fn ablate_emptiness(c: &mut Criterion) {
         }
         let lo = 0.45;
         let hi = 0.45 * 1.001;
-        g.bench_with_input(BenchmarkId::new("linear_scan", pop), &pop, |b, _| {
-            b.iter(|| {
-                let mut hits = 0;
-                for q in &queries {
-                    let hi_sq = hi * hi;
-                    if linear_only
-                        .iter()
-                        .any(|(p, _)| dydbscan_geom::dist_sq(p, q) <= hi_sq)
-                    {
-                        hits += 1;
-                    }
+        g.bench(&format!("linear_scan/pop={pop}"), || {
+            let mut hits = 0;
+            for q in &queries {
+                let hi_sq = hi * hi;
+                if linear_only
+                    .iter()
+                    .any(|(p, _)| dydbscan::geom::dist_sq(p, q) <= hi_sq)
+                {
+                    hits += 1;
                 }
-                hits
-            })
+            }
+            hits
         });
-        g.bench_with_input(BenchmarkId::new("kd_tree", pop), &pop, |b, _| {
-            b.iter(|| {
-                let mut hits = 0;
-                for q in &queries {
-                    if tree.find_within(q, lo, hi).is_some() {
-                        hits += 1;
-                    }
+        g.bench(&format!("kd_tree/pop={pop}"), || {
+            let mut hits = 0;
+            for q in &queries {
+                if tree.find_within(q, lo, hi).is_some() {
+                    hits += 1;
                 }
-                hits
-            })
+            }
+            hits
         });
-        g.bench_with_input(BenchmarkId::new("hybrid_cellset", pop), &pop, |b, _| {
-            b.iter(|| {
-                let mut hits = 0;
-                for q in &queries {
-                    if hybrid.find_within(q, lo, hi).is_some() {
-                        hits += 1;
-                    }
+        g.bench(&format!("hybrid_cellset/pop={pop}"), || {
+            let mut hits = 0;
+            for q in &queries {
+                if hybrid.find_within(q, lo, hi).is_some() {
+                    hits += 1;
                 }
-                hits
-            })
+            }
+            hits
         });
     }
-    g.finish();
 }
 
-criterion_group!(ablations, ablate_cc, ablate_index, ablate_rho, ablate_emptiness);
-criterion_main!(ablations);
+fn main() {
+    ablate_cc();
+    ablate_index();
+    ablate_rho();
+    ablate_emptiness();
+}

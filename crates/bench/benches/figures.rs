@@ -1,150 +1,155 @@
-//! Criterion microbenches: one group per paper figure, regenerating each
-//! experiment's series in miniature (the `repro` binary runs the full-size
-//! versions). Bench ids encode the swept parameter so the group output
-//! reads like the figure's x-axis.
+//! Microbenches: one group per paper figure, regenerating each
+//! experiment's series in miniature (the `repro` binary runs the
+//! full-size versions). Bench ids encode the swept parameter so the group
+//! output reads like the figure's x-axis.
+//!
+//! ```text
+//! cargo bench -p dydbscan-bench --bench figures
+//! ```
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dydbscan::workload::PaperGrid;
+use dydbscan::WorkloadSpec;
 use dydbscan_bench::driver::{run_algo, Algo};
-use dydbscan_workload::{PaperGrid, WorkloadSpec};
-use std::time::Duration;
+use dydbscan_bench::BenchGroup;
 
 const N: usize = 4_000;
 const MIN_PTS: usize = PaperGrid::MIN_PTS;
 
-fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
-    let mut g = c.benchmark_group("unnamed");
-    g.sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_millis(900));
-    g
+fn series_group<const D: usize>(name: &str, semi: bool, algos: &[Algo]) {
+    let g = BenchGroup::new(name);
+    let w = if semi {
+        WorkloadSpec::semi(N, 7).build::<D>()
+    } else {
+        WorkloadSpec::full(N, 7).build::<D>()
+    };
+    let eps = PaperGrid::default_eps(D);
+    for &algo in algos {
+        g.bench(algo.name(), || {
+            run_algo::<D>(algo, eps, MIN_PTS, &w, None, 1)
+        });
+    }
 }
 
-macro_rules! series_group {
-    ($c:expr, $name:literal, $dim:literal, $semi:expr, $algos:expr) => {{
-        let mut g = $c.benchmark_group($name);
-        g.sample_size(10)
-            .warm_up_time(Duration::from_millis(300))
-            .measurement_time(Duration::from_millis(900));
-        let w = if $semi {
-            WorkloadSpec::semi(N, 7).build::<$dim>()
-        } else {
-            WorkloadSpec::full(N, 7).build::<$dim>()
-        };
-        let eps = PaperGrid::default_eps($dim);
-        for algo in $algos {
-            g.bench_function(algo.name(), |b| {
-                b.iter(|| run_algo::<$dim>(algo, eps, MIN_PTS, &w, None, 1))
-            });
-        }
-        g.finish();
-    }};
-}
-
-fn fig8(c: &mut Criterion) {
-    series_group!(
-        c,
+fn fig8() {
+    series_group::<2>(
         "fig8_semi_2d",
-        2,
         true,
-        [Algo::SemiExact, Algo::SemiApprox, Algo::IncDbscanRtree]
+        &[Algo::SemiExact, Algo::SemiApprox, Algo::IncDbscanRtree],
     );
 }
 
-fn fig9(c: &mut Criterion) {
-    series_group!(c, "fig9a_semi_3d", 3, true, [Algo::SemiApprox, Algo::IncDbscanRtree]);
-    series_group!(c, "fig9b_semi_5d", 5, true, [Algo::SemiApprox, Algo::IncDbscanRtree]);
-    series_group!(c, "fig9c_semi_7d", 7, true, [Algo::SemiApprox, Algo::IncDbscanRtree]);
+fn fig9() {
+    series_group::<3>(
+        "fig9a_semi_3d",
+        true,
+        &[Algo::SemiApprox, Algo::IncDbscanRtree],
+    );
+    series_group::<5>(
+        "fig9b_semi_5d",
+        true,
+        &[Algo::SemiApprox, Algo::IncDbscanRtree],
+    );
+    series_group::<7>(
+        "fig9c_semi_7d",
+        true,
+        &[Algo::SemiApprox, Algo::IncDbscanRtree],
+    );
 }
 
-fn fig10(c: &mut Criterion) {
-    let mut g = configure(c);
+fn fig10() {
+    let g = BenchGroup::new("fig10_eps_sweep_2d");
     let w = WorkloadSpec::semi(N, 7).build::<2>();
     for eps_over_d in PaperGrid::EPS_OVER_D {
         for algo in [Algo::SemiApprox, Algo::IncDbscanRtree] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("fig10_eps_sweep_2d/{}", algo.name()), eps_over_d),
-                &eps_over_d,
-                |b, &e| b.iter(|| run_algo::<2>(algo, e * 2.0, MIN_PTS, &w, None, 1)),
-            );
+            g.bench(&format!("{}/eps_over_d={eps_over_d}", algo.name()), || {
+                run_algo::<2>(algo, eps_over_d * 2.0, MIN_PTS, &w, None, 1)
+            });
         }
     }
-    g.finish();
 }
 
-fn fig11(c: &mut Criterion) {
-    let mut g = configure(c);
+fn fig11() {
+    let g = BenchGroup::new("fig11_fqry_sweep_2d");
     for frac in [0.01, 0.03, 0.10] {
         let f = ((N as f64) * frac).ceil() as usize;
         let w = WorkloadSpec::semi(N, 7).with_f_qry(f).build::<2>();
         for algo in [Algo::SemiApprox, Algo::IncDbscanRtree] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("fig11_fqry_sweep_2d/{}", algo.name()), frac.to_string()),
-                &frac,
-                |b, _| b.iter(|| run_algo::<2>(algo, 200.0, MIN_PTS, &w, None, 1)),
-            );
+            g.bench(&format!("{}/f_qry={frac}N", algo.name()), || {
+                run_algo::<2>(algo, 200.0, MIN_PTS, &w, None, 1)
+            });
         }
     }
-    g.finish();
 }
 
-fn fig12(c: &mut Criterion) {
-    series_group!(
-        c,
+fn fig12() {
+    series_group::<2>(
         "fig12_full_2d",
-        2,
         false,
-        [Algo::FullExact, Algo::DoubleApprox, Algo::IncDbscanRtree]
+        &[Algo::FullExact, Algo::DoubleApprox, Algo::IncDbscanRtree],
     );
 }
 
-fn fig13(c: &mut Criterion) {
-    series_group!(c, "fig13a_full_3d", 3, false, [Algo::DoubleApprox, Algo::IncDbscanRtree]);
-    series_group!(c, "fig13b_full_5d", 5, false, [Algo::DoubleApprox, Algo::IncDbscanRtree]);
-    series_group!(c, "fig13c_full_7d", 7, false, [Algo::DoubleApprox, Algo::IncDbscanRtree]);
+fn fig13() {
+    series_group::<3>(
+        "fig13a_full_3d",
+        false,
+        &[Algo::DoubleApprox, Algo::IncDbscanRtree],
+    );
+    series_group::<5>(
+        "fig13b_full_5d",
+        false,
+        &[Algo::DoubleApprox, Algo::IncDbscanRtree],
+    );
+    series_group::<7>(
+        "fig13c_full_7d",
+        false,
+        &[Algo::DoubleApprox, Algo::IncDbscanRtree],
+    );
 }
 
-fn fig14(c: &mut Criterion) {
-    let mut g = configure(c);
+fn fig14() {
+    let g = BenchGroup::new("fig14_eps_sweep_2d");
     let w = WorkloadSpec::full(N, 7).build::<2>();
     for eps_over_d in PaperGrid::EPS_OVER_D {
         for algo in [Algo::DoubleApprox, Algo::IncDbscanRtree] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("fig14_eps_sweep_2d/{}", algo.name()), eps_over_d),
-                &eps_over_d,
-                |b, &e| b.iter(|| run_algo::<2>(algo, e * 2.0, MIN_PTS, &w, None, 1)),
-            );
+            g.bench(&format!("{}/eps_over_d={eps_over_d}", algo.name()), || {
+                run_algo::<2>(algo, eps_over_d * 2.0, MIN_PTS, &w, None, 1)
+            });
         }
     }
-    g.finish();
 }
 
-fn fig15(c: &mut Criterion) {
-    let mut g = configure(c);
+fn fig15() {
+    let g = BenchGroup::new("fig15_ins_sweep_2d");
     let labels = ["2:3", "4:5", "5:6", "8:9", "10:11"];
     for (i, frac) in PaperGrid::ins_fracs().into_iter().enumerate() {
         let w = WorkloadSpec::full(N, 7).with_ins_frac(frac).build::<2>();
         for algo in [Algo::DoubleApprox, Algo::IncDbscanRtree] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("fig15_ins_sweep_2d/{}", algo.name()), labels[i]),
-                &frac,
-                |b, _| b.iter(|| run_algo::<2>(algo, 200.0, MIN_PTS, &w, None, 1)),
-            );
+            g.bench(&format!("{}/ins={}", algo.name(), labels[i]), || {
+                run_algo::<2>(algo, 200.0, MIN_PTS, &w, None, 1)
+            });
         }
     }
-    g.finish();
 }
 
 /// Table 1's practical content: per-variant update+query throughput.
-fn table1(c: &mut Criterion) {
-    series_group!(
-        c,
+fn table1() {
+    series_group::<3>(
         "table1_variants_3d",
-        3,
         false,
-        [Algo::DoubleApprox, Algo::IncDbscanRtree]
+        &[Algo::DoubleApprox, Algo::IncDbscanRtree],
     );
-    series_group!(c, "table1_variants_semi_3d", 3, true, [Algo::SemiApprox]);
+    series_group::<3>("table1_variants_semi_3d", true, &[Algo::SemiApprox]);
 }
 
-criterion_group!(figures, fig8, fig9, fig10, fig11, fig12, fig13, fig14, fig15, table1);
-criterion_main!(figures);
+fn main() {
+    fig8();
+    fig9();
+    fig10();
+    fig11();
+    fig12();
+    fig13();
+    fig14();
+    fig15();
+    table1();
+}

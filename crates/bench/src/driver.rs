@@ -1,81 +1,15 @@
-//! Uniform driver: executes a workload against any clustering algorithm.
+//! Uniform driver: executes a workload against any clustering algorithm
+//! through the public [`DynamicClusterer`] trait — the bench harness has
+//! no private algorithm abstraction of its own.
 
 use crate::metrics::{MetricsBuilder, RunMetrics};
-use dydbscan_baseline::{GridRangeIndex, IncDbscan};
-use dydbscan_core::{FullDynDbscan, Params, SemiDynDbscan};
-use dydbscan_geom::Point;
-use dydbscan_spatial::RTree;
-use dydbscan_workload::{Op, Workload};
+use dydbscan::Workload;
+use dydbscan::{Algorithm, ConnectivityBackend, DbscanBuilder, DynamicClusterer, IndexBackend};
 use std::time::{Duration, Instant};
 
-/// A dynamic clustering algorithm under benchmark.
-pub trait Clusterer<const D: usize> {
-    /// Inserts a point, returning its id.
-    fn insert(&mut self, p: Point<D>) -> u32;
-    /// Deletes a point by id.
-    fn delete(&mut self, id: u32);
-    /// Runs a C-group-by query; returns the group count (to keep the
-    /// optimizer honest).
-    fn query(&mut self, ids: &[u32]) -> usize;
-}
-
-impl<const D: usize> Clusterer<D> for SemiDynDbscan<D> {
-    fn insert(&mut self, p: Point<D>) -> u32 {
-        SemiDynDbscan::insert(self, p)
-    }
-
-    fn delete(&mut self, _id: u32) {
-        panic!("SemiDynDbscan is insertion-only (Theorem 1); use FullDynDbscan for deletions")
-    }
-
-    fn query(&mut self, ids: &[u32]) -> usize {
-        self.group_by(ids).num_groups()
-    }
-}
-
-impl<const D: usize, C: dydbscan_conn::DynConnectivity> Clusterer<D> for FullDynDbscan<D, C> {
-    fn insert(&mut self, p: Point<D>) -> u32 {
-        FullDynDbscan::insert(self, p)
-    }
-
-    fn delete(&mut self, id: u32) {
-        FullDynDbscan::delete(self, id)
-    }
-
-    fn query(&mut self, ids: &[u32]) -> usize {
-        self.group_by(ids).num_groups()
-    }
-}
-
-impl<const D: usize> Clusterer<D> for IncDbscan<D, RTree<D>> {
-    fn insert(&mut self, p: Point<D>) -> u32 {
-        IncDbscan::insert(self, p)
-    }
-
-    fn delete(&mut self, id: u32) {
-        IncDbscan::delete(self, id)
-    }
-
-    fn query(&mut self, ids: &[u32]) -> usize {
-        self.group_by(ids).num_groups()
-    }
-}
-
-impl<const D: usize> Clusterer<D> for IncDbscan<D, GridRangeIndex<D>> {
-    fn insert(&mut self, p: Point<D>) -> u32 {
-        IncDbscan::insert(self, p)
-    }
-
-    fn delete(&mut self, id: u32) {
-        IncDbscan::delete(self, id)
-    }
-
-    fn query(&mut self, ids: &[u32]) -> usize {
-        self.group_by(ids).num_groups()
-    }
-}
-
-/// Algorithm selector used by the repro binary.
+/// Paper-variant selector used by the repro binary: each value names one
+/// of the lines in the paper's figures and maps to a [`DbscanBuilder`]
+/// configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algo {
     /// Semi-dynamic, `rho = 0` (the paper's *2d-Semi-Exact* at `d = 2`).
@@ -112,14 +46,28 @@ impl Algo {
             Algo::SemiApprox | Algo::DoubleApprox => 0.001,
         }
     }
+
+    /// The builder configuration this variant denotes.
+    pub fn builder(&self, eps: f64, min_pts: usize) -> DbscanBuilder {
+        let b = DbscanBuilder::new(eps, min_pts).rho(self.rho());
+        match self {
+            Algo::SemiExact | Algo::SemiApprox => b.algorithm(Algorithm::SemiDynamic),
+            Algo::FullExact | Algo::DoubleApprox => b
+                .algorithm(Algorithm::FullyDynamic)
+                .connectivity(ConnectivityBackend::Hdt),
+            Algo::IncDbscanRtree => b.algorithm(Algorithm::IncDbscan).index(IndexBackend::RTree),
+            Algo::IncDbscanGrid => b.algorithm(Algorithm::IncDbscan).index(IndexBackend::Grid),
+        }
+    }
 }
 
 /// Executes `workload` against `algo`, timing every operation.
 ///
-/// `budget` bounds wall-clock time (the paper cut IncDBSCAN off after 3
-/// hours); on expiry the run is marked unfinished.
-pub fn run_workload<const D: usize, A: Clusterer<D>>(
-    mut algo: A,
+/// Operations are fed through [`DynamicClusterer::apply`], which maintains
+/// the ordinal-to-id map. `budget` bounds wall-clock time (the paper cut
+/// IncDBSCAN off after 3 hours); on expiry the run is marked unfinished.
+pub fn run_workload<const D: usize>(
+    algo: &mut dyn DynamicClusterer<D>,
     name: &str,
     workload: &Workload<D>,
     budget: Option<Duration>,
@@ -127,25 +75,12 @@ pub fn run_workload<const D: usize, A: Clusterer<D>>(
 ) -> RunMetrics {
     let mut metrics = MetricsBuilder::new(name, workload.ops.len(), samples);
     let deadline = budget.map(|b| Instant::now() + b);
-    // ordinal -> algorithm id
+    // ordinal -> algorithm id, maintained by `apply`
     let mut ids: Vec<u32> = Vec::with_capacity(workload.n_insertions);
-    let mut qbuf: Vec<u32> = Vec::with_capacity(128);
     for (i, op) in workload.ops.iter().enumerate() {
         let start = Instant::now();
         let is_update = op.is_update();
-        match op {
-            Op::Insert(p) => {
-                ids.push(algo.insert(*p));
-            }
-            Op::Delete(ordinal) => {
-                algo.delete(ids[*ordinal as usize]);
-            }
-            Op::Query(ordinals) => {
-                qbuf.clear();
-                qbuf.extend(ordinals.iter().map(|&o| ids[o as usize]));
-                std::hint::black_box(algo.query(&qbuf));
-            }
-        }
+        std::hint::black_box(algo.apply(op, &mut ids));
         metrics.record(is_update, start.elapsed().as_nanos());
         if let Some(dl) = deadline {
             if i % 256 == 255 && Instant::now() > dl {
@@ -156,7 +91,7 @@ pub fn run_workload<const D: usize, A: Clusterer<D>>(
     metrics.finish(true)
 }
 
-/// Builds the chosen algorithm and runs the workload.
+/// Builds the chosen paper variant and runs the workload.
 pub fn run_algo<const D: usize>(
     algo: Algo,
     eps: f64,
@@ -165,43 +100,17 @@ pub fn run_algo<const D: usize>(
     budget: Option<Duration>,
     samples: usize,
 ) -> RunMetrics {
-    let params = Params::new(eps, min_pts).with_rho(algo.rho());
-    match algo {
-        Algo::SemiExact | Algo::SemiApprox => run_workload(
-            SemiDynDbscan::<D>::new(params),
-            algo.name(),
-            workload,
-            budget,
-            samples,
-        ),
-        Algo::FullExact | Algo::DoubleApprox => run_workload(
-            FullDynDbscan::<D>::new(params),
-            algo.name(),
-            workload,
-            budget,
-            samples,
-        ),
-        Algo::IncDbscanRtree => run_workload(
-            IncDbscan::<D>::new(Params::new(eps, min_pts)),
-            algo.name(),
-            workload,
-            budget,
-            samples,
-        ),
-        Algo::IncDbscanGrid => run_workload(
-            IncDbscan::<D, GridRangeIndex<D>>::new_grid(Params::new(eps, min_pts)),
-            algo.name(),
-            workload,
-            budget,
-            samples,
-        ),
-    }
+    let mut clusterer = algo
+        .builder(eps, min_pts)
+        .build::<D>()
+        .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+    run_workload(clusterer.as_mut(), algo.name(), workload, budget, samples)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dydbscan_workload::WorkloadSpec;
+    use dydbscan::WorkloadSpec;
 
     #[test]
     fn full_workload_runs_all_algorithms() {
@@ -238,5 +147,21 @@ mod tests {
         );
         assert!(!m.finished);
         assert!(m.ops_done < w.ops.len());
+    }
+
+    #[test]
+    fn variants_map_to_valid_builder_configs() {
+        for algo in [
+            Algo::SemiExact,
+            Algo::SemiApprox,
+            Algo::FullExact,
+            Algo::DoubleApprox,
+            Algo::IncDbscanRtree,
+            Algo::IncDbscanGrid,
+        ] {
+            algo.builder(1.0, 5)
+                .check()
+                .unwrap_or_else(|e| panic!("{}: {e}", algo.name()));
+        }
     }
 }

@@ -5,12 +5,14 @@
 
 use crate::driver::{run_algo, Algo};
 use crate::metrics::RunMetrics;
-use crate::report::{fmt_us, print_avg_cost_series, print_max_upd_series, print_sweep, print_table};
-use dydbscan_core::{
-    brute_force_exact, check_sandwich, relabel, FullDynDbscan, Params, PointId,
+use crate::report::{
+    fmt_us, print_avg_cost_series, print_max_upd_series, print_sweep, print_table,
 };
-use dydbscan_geom::Point;
-use dydbscan_workload::{Op, PaperGrid, WorkloadSpec};
+use dydbscan::geom::Point;
+use dydbscan::workload::PaperGrid;
+use dydbscan::{
+    brute_force_exact, check_sandwich, relabel, FullDynDbscan, Op, Params, PointId, WorkloadSpec,
+};
 use std::time::Duration;
 
 /// Shared configuration for all reproductions.
@@ -60,7 +62,10 @@ fn full_runs<const D: usize>(cfg: &ReproConfig, algos: &[Algo]) -> Vec<RunMetric
 /// Figure 8: semi-dynamic algorithms in 2D — (a) `avgcost(t)`,
 /// (b) `maxupdcost(t)`.
 pub fn fig8(cfg: &ReproConfig) {
-    let runs = semi_runs::<2>(cfg, &[Algo::SemiExact, Algo::SemiApprox, Algo::IncDbscanRtree]);
+    let runs = semi_runs::<2>(
+        cfg,
+        &[Algo::SemiExact, Algo::SemiApprox, Algo::IncDbscanRtree],
+    );
     print_avg_cost_series(
         "Figure 8a — semi-dynamic 2D: average cost per operation (microsec)",
         &runs,
@@ -203,7 +208,9 @@ fn fqry_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo]) {
     let mut cells = Vec::new();
     for frac in PaperGrid::f_qry_fracs() {
         let f = ((cfg.n as f64) * frac).ceil() as usize;
-        let w = WorkloadSpec::semi(cfg.n, cfg.seed).with_f_qry(f).build::<D>();
+        let w = WorkloadSpec::semi(cfg.n, cfg.seed)
+            .with_f_qry(f)
+            .build::<D>();
         xs.push(format!("{:.2}N", frac));
         let row: Vec<Option<f64>> = algos
             .iter()
@@ -302,10 +309,16 @@ fn ins_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo]) {
 /// Table 1 (practical counterpart): measured amortized update and query
 /// costs per variant and regime, next to the paper's complexity bounds.
 pub fn table1(cfg: &ReproConfig) {
-    let header: Vec<String> = ["method", "regime", "update (us)", "query (us)", "paper bound"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "method",
+        "regime",
+        "update (us)",
+        "query (us)",
+        "paper bound",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows: Vec<Vec<String>> = Vec::new();
     // d = 2 exact variants
     {
@@ -401,18 +414,26 @@ pub fn verify(cfg: &ReproConfig) {
     let pts: Vec<Point<2>> = alive.iter().map(|&(_, p)| p).collect();
     let aids: Vec<PointId> = alive.iter().map(|&(i, _)| i).collect();
     let got = algo.group_all();
-    let approx_static = relabel(&dydbscan_core::static_cluster(&pts, &params), &aids);
+    let approx_static = relabel(&dydbscan::static_cluster(&pts, &params), &aids);
     println!(
         "  [1] Double-Approx == static rho-approximate (rho=0.001): {}",
-        if got == approx_static { "MATCH" } else { "MISMATCH" }
+        if got == approx_static {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        }
     );
     let exact_static = relabel(
-        &dydbscan_core::static_cluster(&pts, &Params::new(params.eps, MIN_PTS)),
+        &dydbscan::static_cluster(&pts, &Params::new(params.eps, MIN_PTS)),
         &aids,
     );
     println!(
         "  [2] Double-Approx == exact DBSCAN at eps (stability check):  {}",
-        if got == exact_static { "MATCH" } else { "MISMATCH" }
+        if got == exact_static {
+            "MATCH"
+        } else {
+            "MISMATCH"
+        }
     );
 
     // (3) sandwich guarantee at aggressive rho against brute force
@@ -442,7 +463,10 @@ pub fn verify(cfg: &ReproConfig) {
     let pts: Vec<Point<2>> = alive.iter().map(|&(_, p)| p).collect();
     let aids: Vec<PointId> = alive.iter().map(|&(i, _)| i).collect();
     let got = algo.group_all();
-    let c1 = relabel(&brute_force_exact(&pts, &Params::new(params.eps, MIN_PTS)), &aids);
+    let c1 = relabel(
+        &brute_force_exact(&pts, &Params::new(params.eps, MIN_PTS)),
+        &aids,
+    );
     let c2 = relabel(
         &brute_force_exact(&pts, &Params::new(params.eps_hi(), MIN_PTS)),
         &aids,

@@ -1,14 +1,15 @@
 //! Benchmark and paper-reproduction harness.
 //!
-//! * [`driver`] — runs a [`dydbscan_workload::Workload`] against any of the
-//!   five algorithms of the paper's evaluation (Section 8.1), with
-//!   per-operation timing and an optional wall-clock budget.
+//! * [`driver`] — runs a [`dydbscan::Workload`] against any of the five
+//!   algorithms of the paper's evaluation (Section 8.1) through the public
+//!   [`dydbscan::DynamicClusterer`] trait, with per-operation timing and
+//!   an optional wall-clock budget.
 //! * [`metrics`] — `avgcost(t)`, `maxupdcost(t)` and average-workload-cost
 //!   exactly as Section 8.2 defines them.
 //! * [`report`] — paper-style series/table printers.
 //! * [`figures`] — one entry point per table/figure of the paper
 //!   (`fig8` ... `fig15`, `table1`, `verify`), shared between the `repro`
-//!   binary and the Criterion benches.
+//!   binary and the benches.
 //!
 //! The `repro` binary regenerates everything:
 //!
@@ -20,7 +21,9 @@
 pub mod driver;
 pub mod figures;
 pub mod metrics;
+pub mod microbench;
 pub mod report;
 
-pub use driver::{run_algo, run_workload, Algo, Clusterer};
+pub use driver::{run_algo, run_workload, Algo};
 pub use metrics::{ChunkStat, MetricsBuilder, RunMetrics};
+pub use microbench::{BenchConfig, BenchGroup};

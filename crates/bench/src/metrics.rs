@@ -140,12 +140,7 @@ impl MetricsBuilder {
 
     /// Finalizes the metrics. `finished = false` marks a budget DNF.
     pub fn finish(mut self, finished: bool) -> RunMetrics {
-        if self
-            .chunks
-            .last()
-            .is_none_or(|c| c.ops != self.ops_done)
-            && self.ops_done > 0
-        {
+        if self.chunks.last().is_none_or(|c| c.ops != self.ops_done) && self.ops_done > 0 {
             self.sample();
         }
         RunMetrics {

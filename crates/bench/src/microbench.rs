@@ -1,0 +1,121 @@
+//! Minimal wall-clock micro-benchmark harness.
+//!
+//! A dependency-free stand-in for Criterion (the workspace builds without
+//! external crates): fixed warm-up, then timed iterations until a target
+//! duration or iteration cap is reached, reporting mean / min / max per
+//! iteration. Benches registered with `harness = false` call
+//! [`BenchGroup`] directly from `main`.
+
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for one group of related benchmarks.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Warm-up iterations (not measured).
+    pub warmup_iters: usize,
+    /// Stop measuring after this many iterations...
+    pub max_iters: usize,
+    /// ...or after this much measured wall-clock time, whichever first
+    /// (always completes at least one measured iteration).
+    pub target: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            warmup_iters: 1,
+            max_iters: 10,
+            target: Duration::from_millis(900),
+        }
+    }
+}
+
+/// A named group of benchmarks printed as one block.
+pub struct BenchGroup {
+    config: BenchConfig,
+}
+
+impl BenchGroup {
+    /// Starts a group, printing its header.
+    pub fn new(name: &str) -> Self {
+        println!("\n== {name}");
+        Self {
+            config: BenchConfig::default(),
+        }
+    }
+
+    /// Overrides the group's tuning knobs.
+    pub fn config(mut self, config: BenchConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Measures `f`, printing one result line. The closure's return value
+    /// is black-boxed so the optimizer cannot delete the work.
+    pub fn bench<R>(&self, id: &str, mut f: impl FnMut() -> R) {
+        for _ in 0..self.config.warmup_iters {
+            std::hint::black_box(f());
+        }
+        let mut times: Vec<Duration> = Vec::with_capacity(self.config.max_iters);
+        let begun = Instant::now();
+        while times.len() < self.config.max_iters
+            && (times.is_empty() || begun.elapsed() < self.config.target)
+        {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed());
+        }
+        let total: Duration = times.iter().sum();
+        let mean = total / times.len() as u32;
+        let min = times.iter().min().expect("at least one iteration");
+        let max = times.iter().max().expect("at least one iteration");
+        println!(
+            "  {id:<44} {:>10} (min {:>10}, max {:>10}, {} iters)",
+            fmt_duration(mean),
+            fmt_duration(*min),
+            fmt_duration(*max),
+            times.len()
+        );
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_respects_iteration_cap() {
+        let g = BenchGroup::new("test-group").config(BenchConfig {
+            warmup_iters: 1,
+            max_iters: 3,
+            target: Duration::from_secs(10),
+        });
+        let mut calls = 0u32;
+        g.bench("counter", || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 4, "1 warm-up + 3 measured");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(50)), "50.0 us");
+        assert_eq!(fmt_duration(Duration::from_millis(50)), "50.0 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(50)), "50.00 s");
+    }
+}

@@ -109,10 +109,7 @@ pub fn print_sweep(
         .zip(cells)
         .map(|(x, row)| {
             let mut r = vec![x.clone()];
-            r.extend(
-                row.iter()
-                    .map(|c| c.map_or("DNF".to_string(), fmt_us)),
-            );
+            r.extend(row.iter().map(|c| c.map_or("DNF".to_string(), fmt_us)));
             r
         })
         .collect();

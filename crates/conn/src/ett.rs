@@ -515,10 +515,7 @@ mod tests {
         f.link(l[0], l[1], 77, false);
         let t = f.tour(f.root_of(l[0]));
         // loop(0), arc, loop(1), arc
-        assert_eq!(
-            t,
-            vec![(0, true), (77, false), (1, true), (77, false)]
-        );
+        assert_eq!(t, vec![(0, true), (77, false), (1, true), (77, false)]);
         assert!(f.same_tree(l[0], l[1]));
         assert_eq!(f.loops_in_tree(f.root_of(l[0])), 2);
         f.validate(l[0]);

@@ -200,7 +200,10 @@ impl HdtConnectivity {
                 e.pos_v
             }
         } as usize;
-        let list = self.nontree.get_mut(&(x, level)).expect("missing adjacency");
+        let list = self
+            .nontree
+            .get_mut(&(x, level))
+            .expect("missing adjacency");
         debug_assert_eq!(list[pos], eid);
         list.swap_remove(pos);
         if let Some(&moved) = list.get(pos) {

@@ -62,7 +62,11 @@ impl NaiveConnectivity {
     /// Number of connected components.
     pub fn num_components(&mut self) -> usize {
         self.refresh();
-        self.labels.iter().copied().max().map_or(0, |m| m as usize + 1)
+        self.labels
+            .iter()
+            .copied()
+            .max()
+            .map_or(0, |m| m as usize + 1)
     }
 }
 

@@ -112,7 +112,11 @@ pub fn create<const D: usize>(grid: &GridIndex<D>, a: CellId, b: CellId) -> Abcp
     grid.cell(from).core.for_each(|p, pid| {
         if witness.is_none() {
             if let Some((proof, _)) = grid.emptiness(p, to) {
-                witness = Some(if from == c1 { (pid, proof) } else { (proof, pid) });
+                witness = Some(if from == c1 {
+                    (pid, proof)
+                } else {
+                    (proof, pid)
+                });
             }
         }
     });

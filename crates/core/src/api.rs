@@ -1,0 +1,159 @@
+//! The public operational contract of every dynamic clusterer in the
+//! workspace.
+//!
+//! Gan & Tao's framework presents three interchangeable regimes —
+//! semi-dynamic ρ-approximate (Theorem 1), fully-dynamic
+//! ρ-double-approximate (Theorem 4), and the IncDBSCAN baseline — over one
+//! contract: *insert*, *delete*, *C-group-by*. [`DynamicClusterer`]
+//! promotes that contract to a first-class, object-safe trait so front-ends
+//! (the workload driver, the `dydbscan::DbscanBuilder`, the
+//! runtime-dimension `dydbscan::DynDbscan` facade, future network layers)
+//! can swap engines without caring which theorem is underneath.
+//!
+//! The trait is object safe: `Box<dyn DynamicClusterer<D>>` is the lingua
+//! franca of the builder and the benchmarks.
+
+use crate::groups::{Clustering, GroupBy};
+use crate::ops::Op;
+use crate::params::Params;
+use crate::points::PointId;
+use dydbscan_geom::Point;
+
+/// Operation counters common to every clusterer, for cost provenance.
+///
+/// Not every algorithm tracks every counter; untracked fields stay `0`
+/// (each implementation documents its mapping). Algorithm-specific
+/// counters remain available on the concrete types (`FullStats`,
+/// `IncStats`, `SemiStats`).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ClustererStats {
+    /// Range-count / range-report queries issued against spatial
+    /// structures.
+    pub range_queries: u64,
+    /// Points promoted to core status.
+    pub promotions: u64,
+    /// Points demoted from core status (always `0` in insertion-only
+    /// regimes).
+    pub demotions: u64,
+    /// Edges inserted into the cluster graph (grid graph or core graph).
+    pub edge_inserts: u64,
+    /// Edges removed from the cluster graph (always `0` where the graph
+    /// only grows).
+    pub edge_removes: u64,
+    /// Cluster splits adjudicated on deletion (IncDBSCAN's BFS relabels).
+    pub splits: u64,
+}
+
+/// A dynamic density-based clusterer over `D`-dimensional points.
+///
+/// The contract follows the paper's problem statement (Section 3): points
+/// are inserted and deleted one at a time, each insertion minting a fresh
+/// [`PointId`] that is never reused, and the cluster structure is
+/// interrogated through *C-group-by* queries — partition an arbitrary
+/// subset `Q` of the alive points by cluster, in time `O~(|Q|)` for the
+/// paper's algorithms. `group_all` degenerates the query to `Q = P`, and
+/// **returns [`Clustering`] for every implementation** (the historical
+/// `GroupBy`-vs-`Clustering` split is gone; they are the same type).
+///
+/// # Regimes
+///
+/// Insertion-only structures (`SemiDynDbscan`) advertise themselves via
+/// [`supports_deletion`](DynamicClusterer::supports_deletion)` == false`
+/// and **panic** on `delete`: silently ignoring a deletion would corrupt
+/// the caller's model of the alive set. Runtime front-ends should consult
+/// `supports_deletion` before routing fully-dynamic workloads.
+///
+/// # Example
+///
+/// ```
+/// use dydbscan_core::{DynamicClusterer, FullDynDbscan, Params};
+///
+/// let mut c: Box<dyn DynamicClusterer<2>> =
+///     Box::new(FullDynDbscan::<2>::new(Params::new(1.0, 3)));
+/// let ids = c.insert_batch(&[[0.0, 0.0], [0.5, 0.0], [0.0, 0.5], [9.0, 9.0]]);
+/// let g = c.group_by(&ids);
+/// assert!(g.same_cluster(ids[0], ids[1]));
+/// assert!(g.is_noise(ids[3]));
+/// c.delete(ids[1]);
+/// ```
+pub trait DynamicClusterer<const D: usize> {
+    /// The clustering parameters.
+    fn params(&self) -> &Params;
+
+    /// Number of alive points.
+    fn len(&self) -> usize;
+
+    /// True if no points are alive.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether this implementation accepts deletions (`false` for
+    /// insertion-only regimes, whose `delete` panics).
+    fn supports_deletion(&self) -> bool;
+
+    /// Inserts a point; returns its never-reused id.
+    fn insert(&mut self, p: Point<D>) -> PointId;
+
+    /// Deletes a point by id.
+    ///
+    /// # Panics
+    ///
+    /// On unknown or already-deleted ids, and on insertion-only
+    /// implementations (see [`supports_deletion`](Self::supports_deletion)).
+    fn delete(&mut self, id: PointId);
+
+    /// Whether `id` is currently a core point.
+    fn is_core(&self, id: PointId) -> bool;
+
+    /// Coordinates of a point (also valid for deleted ids).
+    fn coords(&self, id: PointId) -> Point<D>;
+
+    /// Ids of all alive points, in insertion order.
+    fn alive_ids(&self) -> Vec<PointId>;
+
+    /// Answers a C-group-by query over `q`.
+    fn group_by(&mut self, q: &[PointId]) -> GroupBy;
+
+    /// The full clustering (`Q = P`).
+    fn group_all(&mut self) -> Clustering {
+        let ids = self.alive_ids();
+        self.group_by(&ids)
+    }
+
+    /// Common operation counters (see [`ClustererStats`]).
+    fn stats(&self) -> ClustererStats;
+
+    /// Inserts a batch of points; returns their ids in order.
+    fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
+        pts.iter().map(|p| self.insert(*p)).collect()
+    }
+
+    /// Deletes a batch of points by id.
+    fn delete_batch(&mut self, ids: &[PointId]) {
+        for &id in ids {
+            self.delete(id);
+        }
+    }
+
+    /// Applies one workload operation, maintaining the caller's
+    /// ordinal-to-id map `ids` (insertions append to it; deletions and
+    /// queries resolve ordinals through it). Returns the query result for
+    /// [`Op::Query`], `None` for updates.
+    fn apply(&mut self, op: &Op<D>, ids: &mut Vec<PointId>) -> Option<GroupBy> {
+        match op {
+            Op::Insert(p) => {
+                ids.push(self.insert(*p));
+                None
+            }
+            Op::Delete(o) => {
+                self.delete(ids[*o as usize]);
+                None
+            }
+            Op::Query(os) => {
+                let q: Vec<PointId> = os.iter().map(|&o| ids[o as usize]).collect();
+                Some(self.group_by(&q))
+            }
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! *2d-Full-Exact* when `D = 2`).
 
 use crate::abcp::{self, AbcpId, AbcpInstance, EdgeChange};
+use crate::api::{ClustererStats, DynamicClusterer};
 use crate::groups::{Clustering, GroupBy};
 use crate::params::Params;
 use crate::points::{PointArena, PointId};
@@ -510,6 +511,60 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
     }
 }
 
+impl<const D: usize, C: DynConnectivity> DynamicClusterer<D> for FullDynDbscan<D, C> {
+    fn params(&self) -> &Params {
+        FullDynDbscan::params(self)
+    }
+
+    fn len(&self) -> usize {
+        FullDynDbscan::len(self)
+    }
+
+    fn supports_deletion(&self) -> bool {
+        true
+    }
+
+    fn insert(&mut self, p: Point<D>) -> PointId {
+        FullDynDbscan::insert(self, p)
+    }
+
+    fn delete(&mut self, id: PointId) {
+        FullDynDbscan::delete(self, id)
+    }
+
+    fn is_core(&self, id: PointId) -> bool {
+        FullDynDbscan::is_core(self, id)
+    }
+
+    fn coords(&self, id: PointId) -> Point<D> {
+        FullDynDbscan::coords(self, id)
+    }
+
+    fn alive_ids(&self) -> Vec<PointId> {
+        FullDynDbscan::alive_ids(self)
+    }
+
+    fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+        FullDynDbscan::group_by(self, q)
+    }
+
+    fn group_all(&mut self) -> Clustering {
+        FullDynDbscan::group_all(self)
+    }
+
+    fn stats(&self) -> ClustererStats {
+        let s = self.stats;
+        ClustererStats {
+            range_queries: s.count_queries,
+            promotions: s.promotions,
+            demotions: s.demotions,
+            edge_inserts: s.edge_inserts,
+            edge_removes: s.edge_removes,
+            splits: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,10 +609,7 @@ mod tests {
                         &ids,
                     );
                     let c2 = relabel(
-                        &brute_force_exact(
-                            &pts,
-                            &Params::new(params.eps_hi(), params.min_pts),
-                        ),
+                        &brute_force_exact(&pts, &Params::new(params.eps_hi(), params.min_pts)),
                         &ids,
                     );
                     check_sandwich(&c1, &got, &c2)

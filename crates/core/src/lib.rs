@@ -14,6 +14,17 @@
 //! | [`static_dbscan::static_cluster`] | static | exact / ρ-approximate | Section 2 / \[10\] |
 //! | [`static_dbscan::brute_force_exact`] | static | exact, `O(n^2)` | Section 2 |
 //!
+//! ## The unified API
+//!
+//! All dynamic structures (including the IncDBSCAN baseline in
+//! `dydbscan-baseline`) implement one object-safe trait,
+//! [`DynamicClusterer`]: `insert` / `delete` / `group_by` / `group_all` /
+//! `stats` / `params`, plus batch entry points (`insert_batch`,
+//! `delete_batch`) and a workload hook (`apply`) consuming [`Op`]. The
+//! umbrella crate layers a runtime configuration front-end
+//! (`dydbscan::DbscanBuilder`) and a runtime-dimension facade
+//! (`dydbscan::DynDbscan`) on top of this trait.
+//!
 //! Both dynamic structures follow the grid-graph framework of Section 4:
 //! core statuses are maintained per point, a sparse graph over *core cells*
 //! mirrors cluster connectivity, and a CC structure (union-find /
@@ -53,8 +64,10 @@
 //! ```
 
 pub mod abcp;
+pub mod api;
 pub mod full;
 pub mod groups;
+pub mod ops;
 pub mod params;
 pub mod points;
 pub mod query;
@@ -63,11 +76,13 @@ pub mod static_dbscan;
 pub mod usec;
 pub mod verify;
 
+pub use api::{ClustererStats, DynamicClusterer};
 pub use full::{FullDynDbscan, FullStats};
 pub use groups::{Clustering, GroupBy};
-pub use params::Params;
+pub use ops::Op;
+pub use params::{ParamError, Params};
 pub use points::{PointArena, PointId, PointRec};
-pub use semi::SemiDynDbscan;
+pub use semi::{SemiDynDbscan, SemiStats};
 pub use static_dbscan::{brute_force_exact, static_cluster};
 pub use usec::{solve_usec, solve_usec_ls_via_clustering, UsecInstance};
 pub use verify::{check_containment, check_sandwich, relabel};

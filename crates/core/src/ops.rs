@@ -1,0 +1,29 @@
+//! Workload operations: the operational contract every dynamic clusterer
+//! consumes.
+//!
+//! An [`Op`] references points by their *insertion ordinal* (the position
+//! in the insertion subsequence of the workload), not by [`crate::PointId`]:
+//! ordinals are algorithm-independent, so one recorded operation sequence
+//! can drive any implementation. Drivers maintain the ordinal-to-id map —
+//! or let [`crate::DynamicClusterer::apply`] do it for them.
+
+use dydbscan_geom::Point;
+
+/// One workload operation.
+#[derive(Debug, Clone)]
+pub enum Op<const D: usize> {
+    /// Insert this point; it becomes insertion ordinal `0, 1, 2, ...` in
+    /// order of appearance.
+    Insert(Point<D>),
+    /// Delete the point with the given insertion ordinal.
+    Delete(u32),
+    /// C-group-by over the points with these insertion ordinals.
+    Query(Vec<u32>),
+}
+
+impl<const D: usize> Op<D> {
+    /// Whether this is an update (insert or delete) rather than a query.
+    pub fn is_update(&self) -> bool {
+        !matches!(self, Op::Query(_))
+    }
+}

@@ -4,6 +4,38 @@
 //! is the special case `rho = 0` (Section 2, "Remark"), which holds for the
 //! dynamic algorithms too (Section 7: "exact DBSCAN is captured with
 //! `rho = 0`").
+//!
+//! Two construction styles are offered: the asserting [`Params::new`] /
+//! [`Params::with_rho`] for code that owns its constants, and the fallible
+//! [`Params::try_new`] / [`Params::try_with_rho`] for front-ends (such as
+//! `dydbscan::DbscanBuilder`) that accept runtime configuration.
+
+use std::fmt;
+
+/// A rejected parameter (see [`Params::try_new`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamError {
+    /// `eps` must be positive and finite.
+    BadEps(f64),
+    /// `MinPts` must be at least 1.
+    BadMinPts(usize),
+    /// `rho` must lie in `[0, 1)`.
+    BadRho(f64),
+}
+
+impl fmt::Display for ParamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParamError::BadEps(e) => {
+                write!(f, "eps must be positive and finite, got {e}")
+            }
+            ParamError::BadMinPts(m) => write!(f, "MinPts must be at least 1, got {m}"),
+            ParamError::BadRho(r) => write!(f, "rho must be in [0, 1), got {r}"),
+        }
+    }
+}
+
+impl std::error::Error for ParamError {}
 
 /// Parameters of (exact / ρ-approximate / ρ-double-approximate) DBSCAN.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,37 +51,61 @@ pub struct Params {
 }
 
 impl Params {
-    /// Creates exact-DBSCAN parameters (`rho = 0`).
+    /// Creates exact-DBSCAN parameters (`rho = 0`). Panics on out-of-domain
+    /// values; use [`Params::try_new`] to handle them gracefully.
     pub fn new(eps: f64, min_pts: usize) -> Self {
+        match Self::try_new(eps, min_pts) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`Params::new`].
+    pub fn try_new(eps: f64, min_pts: usize) -> Result<Self, ParamError> {
         let p = Self {
             eps,
             min_pts,
             rho: 0.0,
         };
-        p.validate();
-        p
+        p.check()?;
+        Ok(p)
     }
 
-    /// Sets the approximation parameter `rho`.
-    pub fn with_rho(mut self, rho: f64) -> Self {
+    /// Sets the approximation parameter `rho`. Panics on out-of-domain
+    /// values; use [`Params::try_with_rho`] to handle them gracefully.
+    pub fn with_rho(self, rho: f64) -> Self {
+        match self.try_with_rho(rho) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`Params::with_rho`].
+    pub fn try_with_rho(mut self, rho: f64) -> Result<Self, ParamError> {
         self.rho = rho;
-        self.validate();
-        self
+        self.check()?;
+        Ok(self)
+    }
+
+    /// Returns the first out-of-domain parameter, if any.
+    pub fn check(&self) -> Result<(), ParamError> {
+        if !(self.eps.is_finite() && self.eps > 0.0) {
+            return Err(ParamError::BadEps(self.eps));
+        }
+        if self.min_pts < 1 {
+            return Err(ParamError::BadMinPts(self.min_pts));
+        }
+        if !(0.0..1.0).contains(&self.rho) {
+            return Err(ParamError::BadRho(self.rho));
+        }
+        Ok(())
     }
 
     /// Panics on out-of-domain parameters.
     pub fn validate(&self) {
-        assert!(
-            self.eps.is_finite() && self.eps > 0.0,
-            "eps must be positive and finite, got {}",
-            self.eps
-        );
-        assert!(self.min_pts >= 1, "MinPts must be at least 1");
-        assert!(
-            (0.0..1.0).contains(&self.rho),
-            "rho must be in [0, 1), got {}",
-            self.rho
-        );
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
     }
 
     /// The outer radius `(1 + rho) * eps`.
@@ -99,5 +155,34 @@ mod tests {
     #[should_panic(expected = "rho")]
     fn rejects_rho_one() {
         Params::new(1.0, 3).with_rho(1.0);
+    }
+
+    #[test]
+    fn try_new_reports_errors_without_panicking() {
+        assert_eq!(Params::try_new(0.0, 3), Err(ParamError::BadEps(0.0)));
+        assert!(matches!(
+            Params::try_new(f64::NAN, 3),
+            Err(ParamError::BadEps(e)) if e.is_nan()
+        ));
+        assert_eq!(Params::try_new(1.0, 0), Err(ParamError::BadMinPts(0)));
+        assert_eq!(
+            Params::try_new(1.0, 3).unwrap().try_with_rho(1.0),
+            Err(ParamError::BadRho(1.0))
+        );
+        assert_eq!(
+            Params::try_new(1.0, 3).unwrap().try_with_rho(-0.5),
+            Err(ParamError::BadRho(-0.5))
+        );
+        let ok = Params::try_new(2.0, 4).unwrap().try_with_rho(0.1).unwrap();
+        assert_eq!(ok, Params::new(2.0, 4).with_rho(0.1));
+    }
+
+    #[test]
+    fn param_error_display_matches_assert_messages() {
+        assert!(ParamError::BadEps(-1.0)
+            .to_string()
+            .contains("eps must be positive"));
+        assert!(ParamError::BadMinPts(0).to_string().contains("MinPts"));
+        assert!(ParamError::BadRho(2.0).to_string().contains("rho"));
     }
 }

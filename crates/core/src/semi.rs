@@ -25,6 +25,7 @@
 //! newcomer cell, and every emptiness probe either creates one of the
 //! `O(n)` grid-graph edges or is charged to the new core point.
 
+use crate::api::{ClustererStats, DynamicClusterer};
 use crate::groups::{Clustering, GroupBy};
 use crate::params::Params;
 use crate::points::{PointArena, PointId};
@@ -32,6 +33,17 @@ use crate::query::c_group_by;
 use dydbscan_conn::UnionFind;
 use dydbscan_geom::{dist_sq, FxHashSet, Point};
 use dydbscan_grid::{CellId, GridIndex};
+
+/// Operation counters for cost provenance (semi-dynamic regime).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SemiStats {
+    /// Exact vicinity counts computed for newly inserted points.
+    pub count_queries: u64,
+    /// Points promoted to core (insertions never demote).
+    pub promotions: u64,
+    /// Emptiness probes issued by GUM.
+    pub emptiness_probes: u64,
+}
 
 /// Semi-dynamic ρ-approximate DBSCAN (exact when `rho = 0`).
 ///
@@ -61,6 +73,7 @@ pub struct SemiDynDbscan<const D: usize> {
     /// Scratch buffers reused across operations.
     promo_scratch: Vec<PointId>,
     cell_scratch: Vec<CellId>,
+    stats: SemiStats,
 }
 
 impl<const D: usize> SemiDynDbscan<D> {
@@ -75,7 +88,13 @@ impl<const D: usize> SemiDynDbscan<D> {
             edges: FxHashSet::default(),
             promo_scratch: Vec::new(),
             cell_scratch: Vec::new(),
+            stats: SemiStats::default(),
         }
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> SemiStats {
+        self.stats
     }
 
     /// The clustering parameters.
@@ -140,6 +159,7 @@ impl<const D: usize> SemiDynDbscan<D> {
                 promotions.extend(residents);
             }
         } else {
+            self.stats.count_queries += 1;
             let k = self.grid.count_ball_exact(&p);
             self.points.get_mut(id).vincnt = k as u32;
             if k >= min_pts {
@@ -188,6 +208,7 @@ impl<const D: usize> SemiDynDbscan<D> {
     /// Registers a point as core and lets GUM update the grid graph.
     fn on_became_core(&mut self, q: PointId) {
         debug_assert!(!self.points.is_core(q));
+        self.stats.promotions += 1;
         self.points.set_core(q, true);
         let (qp, cell) = {
             let r = self.points.get(q);
@@ -208,6 +229,7 @@ impl<const D: usize> SemiDynDbscan<D> {
             if self.edges.contains(&key) {
                 continue;
             }
+            self.stats.emptiness_probes += 1;
             if self.grid.emptiness(&qp, c).is_some() {
                 self.edges.insert(key);
                 self.uf.ensure(cell.max(c));
@@ -237,7 +259,10 @@ impl<const D: usize> SemiDynDbscan<D> {
 
     /// Number of core points currently stored.
     pub fn num_core_points(&self) -> usize {
-        self.points.iter_alive().filter(|&(i, _)| self.points.is_core(i)).count()
+        self.points
+            .iter_alive()
+            .filter(|&(i, _)| self.points.is_core(i))
+            .count()
     }
 
     /// Number of (preliminary) clusters: connected components of the grid
@@ -251,6 +276,59 @@ impl<const D: usize> SemiDynDbscan<D> {
             }
         }
         roots.len()
+    }
+}
+
+impl<const D: usize> DynamicClusterer<D> for SemiDynDbscan<D> {
+    fn params(&self) -> &Params {
+        SemiDynDbscan::params(self)
+    }
+
+    fn len(&self) -> usize {
+        SemiDynDbscan::len(self)
+    }
+
+    fn supports_deletion(&self) -> bool {
+        false
+    }
+
+    fn insert(&mut self, p: Point<D>) -> PointId {
+        SemiDynDbscan::insert(self, p)
+    }
+
+    fn delete(&mut self, _id: PointId) {
+        panic!("SemiDynDbscan is insertion-only (Theorem 1); use FullDynDbscan for deletions")
+    }
+
+    fn is_core(&self, id: PointId) -> bool {
+        SemiDynDbscan::is_core(self, id)
+    }
+
+    fn coords(&self, id: PointId) -> Point<D> {
+        SemiDynDbscan::coords(self, id)
+    }
+
+    fn alive_ids(&self) -> Vec<PointId> {
+        SemiDynDbscan::alive_ids(self)
+    }
+
+    fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+        SemiDynDbscan::group_by(self, q)
+    }
+
+    fn group_all(&mut self) -> Clustering {
+        SemiDynDbscan::group_all(self)
+    }
+
+    fn stats(&self) -> ClustererStats {
+        ClustererStats {
+            range_queries: self.stats.count_queries + self.stats.emptiness_probes,
+            promotions: self.stats.promotions,
+            demotions: 0,
+            edge_inserts: self.edges.len() as u64,
+            edge_removes: 0,
+            splits: 0,
+        }
     }
 }
 
@@ -270,10 +348,7 @@ mod tests {
     use crate::verify::{check_sandwich, relabel};
     use dydbscan_geom::SplitMix64;
 
-    fn insert_all<const D: usize>(
-        algo: &mut SemiDynDbscan<D>,
-        pts: &[Point<D>],
-    ) -> Vec<PointId> {
+    fn insert_all<const D: usize>(algo: &mut SemiDynDbscan<D>, pts: &[Point<D>]) -> Vec<PointId> {
         pts.iter().map(|p| algo.insert(*p)).collect()
     }
 

@@ -48,13 +48,9 @@ impl<const D: usize> UsecInstance<D> {
 /// the Lemma 2 algorithm.
 ///
 /// Uses `rho = 0` (exact semantics); see the module docs for why.
-pub fn solve_usec_ls_via_clustering<const D: usize>(
-    red: &[Point<D>],
-    blue: &[Point<D>],
-) -> bool {
+pub fn solve_usec_ls_via_clustering<const D: usize>(red: &[Point<D>], blue: &[Point<D>]) -> bool {
     debug_assert!(
-        red.iter()
-            .all(|r| blue.iter().all(|b| r[0] < b[0])),
+        red.iter().all(|r| blue.iter().all(|b| r[0] < b[0])),
         "inputs must be separated on dimension 1"
     );
     // eps = 1, MinPts = 3, rho = 0 — exactly the proof's setup.
@@ -98,11 +94,9 @@ pub fn solve_usec<const D: usize>(instance: &UsecInstance<D>, base: usize) -> bo
 
 fn solve_usec_rec<const D: usize>(pts: &[(Point<D>, bool)], base: usize) -> bool {
     if pts.len() <= base {
-        return pts.iter().any(|(p, pr)| {
-            *pr && pts
-                .iter()
-                .any(|(q, qr)| !*qr && dist_sq(p, q) <= 1.0)
-        });
+        return pts
+            .iter()
+            .any(|(p, pr)| *pr && pts.iter().any(|(q, qr)| !*qr && dist_sq(p, q) <= 1.0));
     }
     let mid = pts.len() / 2;
     let (p1, p2) = pts.split_at(mid);

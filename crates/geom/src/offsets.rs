@@ -51,13 +51,7 @@ impl<const D: usize> OffsetTable<D> {
         }
     }
 
-    fn enumerate(
-        axis: usize,
-        r: i32,
-        bound_sq: f64,
-        cur: &mut [i32; D],
-        out: &mut Vec<[i32; D]>,
-    ) {
+    fn enumerate(axis: usize, r: i32, bound_sq: f64, cur: &mut [i32; D], out: &mut Vec<[i32; D]>) {
         if axis == D {
             if (cell_gap_sq(cur) as f64) <= bound_sq {
                 out.push(*cur);

@@ -1,9 +1,8 @@
 //! SplitMix64: a tiny, fast, dependency-free pseudo-random generator.
 //!
-//! Used for treap priorities in the Euler-tour trees and for shuffles in
-//! internal tests. (Workload generation uses the `rand` crate for
-//! higher-quality streams; this generator exists so that low-level substrate
-//! crates stay dependency-free.)
+//! Used for treap priorities in the Euler-tour trees, for the workload and
+//! seed-spreader generators, and for shuffles in tests. The whole
+//! workspace is dependency-free; this is its only randomness source.
 
 /// SplitMix64 state. Deterministic for a given seed.
 #[derive(Debug, Clone)]

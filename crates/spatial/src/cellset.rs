@@ -90,7 +90,11 @@ impl<const D: usize> CellSet<D> {
                 ok
             }
             None => {
-                match self.entries.iter().position(|(p, i)| *i == item && p == point) {
+                match self
+                    .entries
+                    .iter()
+                    .position(|(p, i)| *i == item && p == point)
+                {
                     Some(pos) => {
                         self.entries.swap_remove(pos);
                         true

@@ -876,8 +876,11 @@ mod tests {
     fn bulk_build_matches_incremental() {
         let mut rng = SplitMix64::new(7);
         let pts = random_points::<2>(&mut rng, 128, 50.0);
-        let entries: Vec<(Point<2>, u32)> =
-            pts.iter().enumerate().map(|(i, p)| (*p, i as u32)).collect();
+        let entries: Vec<(Point<2>, u32)> = pts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (*p, i as u32))
+            .collect();
         let bulk = KdTree::from_entries(entries);
         let mut inc = KdTree::<2>::new();
         for (i, p) in pts.iter().enumerate() {

@@ -13,9 +13,7 @@
 //! * after `0.9999 * I` ticks, `0.0001 * I` uniform noise points are
 //!   appended.
 
-use dydbscan_geom::Point;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dydbscan_geom::{Point, SplitMix64};
 
 /// Side length of the data space (`[0, EXTENT]^d`).
 pub const EXTENT: f64 = 100_000.0;
@@ -32,7 +30,7 @@ pub const PER_STATION: usize = 100;
 /// noise points (at least one noise point for `n > 0`, as in the paper's
 /// proportions rounded up).
 pub fn seed_spreader<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) ^ 0x5EED);
     let mut out = Vec::with_capacity(n);
     if n == 0 {
         return out;
@@ -50,7 +48,7 @@ pub fn seed_spreader<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
             emitted_here = 0;
             pos = step(&mut rng, &pos, STEP);
         }
-        if rng.gen::<f64>() < restart_prob {
+        if rng.next_f64() < restart_prob {
             pos = random_location::<D>(&mut rng);
             emitted_here = 0;
         }
@@ -61,14 +59,14 @@ pub fn seed_spreader<const D: usize>(n: usize, seed: u64) -> Vec<Point<D>> {
     out
 }
 
-fn random_location<const D: usize>(rng: &mut StdRng) -> Point<D> {
-    std::array::from_fn(|_| rng.gen::<f64>() * EXTENT)
+fn random_location<const D: usize>(rng: &mut SplitMix64) -> Point<D> {
+    std::array::from_fn(|_| rng.next_f64() * EXTENT)
 }
 
 /// Uniform point in `B(center, r)` (rejection sampling from the cube).
-fn uniform_in_ball<const D: usize>(rng: &mut StdRng, center: &Point<D>, r: f64) -> Point<D> {
+fn uniform_in_ball<const D: usize>(rng: &mut SplitMix64, center: &Point<D>, r: f64) -> Point<D> {
     loop {
-        let offset: [f64; D] = std::array::from_fn(|_| (rng.gen::<f64>() * 2.0 - 1.0) * r);
+        let offset: [f64; D] = std::array::from_fn(|_| (rng.next_f64() * 2.0 - 1.0) * r);
         let norm_sq: f64 = offset.iter().map(|x| x * x).sum();
         if norm_sq <= r * r {
             let mut p = *center;
@@ -81,10 +79,10 @@ fn uniform_in_ball<const D: usize>(rng: &mut StdRng, center: &Point<D>, r: f64) 
 }
 
 /// Moves `center` by distance `len` in a uniform random direction.
-fn step<const D: usize>(rng: &mut StdRng, center: &Point<D>, len: f64) -> Point<D> {
+fn step<const D: usize>(rng: &mut SplitMix64, center: &Point<D>, len: f64) -> Point<D> {
     // random direction via normalized cube rejection
     loop {
-        let dir: [f64; D] = std::array::from_fn(|_| rng.gen::<f64>() * 2.0 - 1.0);
+        let dir: [f64; D] = std::array::from_fn(|_| rng.next_f64() * 2.0 - 1.0);
         let norm_sq: f64 = dir.iter().map(|x| x * x).sum();
         if norm_sq > 1e-12 && norm_sq <= 1.0 {
             let norm = norm_sq.sqrt();

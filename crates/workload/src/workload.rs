@@ -18,31 +18,16 @@
 //!
 //! Deletions and queries reference points by their *insertion ordinal*
 //! (the position in the insertion subsequence); drivers map ordinals to
-//! the ids their algorithm returned.
+//! the ids their algorithm returned — [`Op`] itself is defined in
+//! `dydbscan-core` next to the [`DynamicClusterer`] trait that consumes
+//! it, and re-exported here.
+//!
+//! [`DynamicClusterer`]: dydbscan_core::DynamicClusterer
 
 use crate::spreader::seed_spreader;
-use dydbscan_geom::Point;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dydbscan_geom::SplitMix64;
 
-/// One workload operation.
-#[derive(Debug, Clone)]
-pub enum Op<const D: usize> {
-    /// Insert this point; it becomes insertion ordinal `0, 1, 2, ...` in
-    /// order of appearance.
-    Insert(Point<D>),
-    /// Delete the point with the given insertion ordinal.
-    Delete(u32),
-    /// C-group-by over the points with these insertion ordinals.
-    Query(Vec<u32>),
-}
-
-impl<const D: usize> Op<D> {
-    /// Whether this is an update (insert or delete) rather than a query.
-    pub fn is_update(&self) -> bool {
-        !matches!(self, Op::Query(_))
-    }
-}
+pub use dydbscan_core::Op;
 
 /// Workload parameters (Table 2 defaults; `n` is scaled by the caller).
 ///
@@ -132,14 +117,11 @@ fn build_workload<const D: usize>(spec: &WorkloadSpec) -> Workload<D> {
         n_del <= n_ins,
         "more deletions than insertions is unsatisfiable"
     );
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x574F_524B);
 
     // Step 1: insertion points, randomly permuted.
     let mut pts = seed_spreader::<D>(n_ins, spec.seed ^ 0x5EED_DA7A);
-    for i in (1..pts.len()).rev() {
-        let j = rng.gen_range(0..=i);
-        pts.swap(i, j);
-    }
+    rng.shuffle(&mut pts);
 
     // Step 2: mix in deletion tokens; reject "bad" permutations where some
     // prefix has more tokens than insertions.
@@ -147,10 +129,7 @@ fn build_workload<const D: usize>(spec: &WorkloadSpec) -> Workload<D> {
         // true = insertion slot
         let mut slots = vec![true; n_ins];
         slots.extend(std::iter::repeat_n(false, n_del));
-        for i in (1..slots.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            slots.swap(i, j);
-        }
+        rng.shuffle(&mut slots);
         let mut balance: i64 = 0;
         let good = slots.iter().all(|&ins| {
             balance += if ins { 1 } else { -1 };
@@ -175,19 +154,19 @@ fn build_workload<const D: usize>(spec: &WorkloadSpec) -> Workload<D> {
             alive.push(next_ordinal);
             next_ordinal += 1;
         } else {
-            let i = rng.gen_range(0..alive.len());
+            let i = rng.next_below(alive.len() as u64) as usize;
             let ordinal = alive.swap_remove(i);
             ops.push(Op::Delete(ordinal));
         }
         since_query += 1;
         if spec.f_qry > 0 && since_query >= spec.f_qry && alive.len() >= 2 {
             since_query = 0;
-            let q_size = rng.gen_range(2..=100usize).min(alive.len());
+            let q_size = (2 + rng.next_below(99) as usize).min(alive.len());
             // sample without replacement
             let mut q = Vec::with_capacity(q_size);
             let mut chosen = std::collections::HashSet::new();
             while q.len() < q_size {
-                let i = rng.gen_range(0..alive.len());
+                let i = rng.next_below(alive.len() as u64) as usize;
                 if chosen.insert(i) {
                     q.push(alive[i]);
                 }
@@ -275,10 +254,14 @@ mod tests {
 
     #[test]
     fn extreme_ins_fractions() {
-        let w = WorkloadSpec::full(100, 5).with_ins_frac(2.0 / 3.0).build::<2>();
+        let w = WorkloadSpec::full(100, 5)
+            .with_ins_frac(2.0 / 3.0)
+            .build::<2>();
         assert_eq!(w.n_insertions, 67);
         assert_eq!(w.n_deletions, 33);
-        let w = WorkloadSpec::full(100, 5).with_ins_frac(10.0 / 11.0).build::<2>();
+        let w = WorkloadSpec::full(100, 5)
+            .with_ins_frac(10.0 / 11.0)
+            .build::<2>();
         assert_eq!(w.n_insertions + w.n_deletions, 100);
     }
 }

@@ -1,14 +1,15 @@
 //! Renders a dynamic clustering to an image (plain PPM, no dependencies):
 //! a before/after pair showing Figure 1 of the paper — three clusters, a
 //! handful of insertions creating a connection path that merges two of
-//! them, and the deletion of those points splitting them again.
+//! them, and the deletion of those points splitting them again. The
+//! clusterer is driven entirely through the [`DynamicClusterer`] trait.
 //!
 //! ```text
 //! cargo run --release --example cluster_map
 //! # -> cluster_map_before.ppm, cluster_map_merged.ppm, cluster_map_after.ppm
 //! ```
 
-use dydbscan::{seed_spreader, FullDynDbscan, Params, PointId};
+use dydbscan::{seed_spreader, DbscanBuilder, DynamicClusterer, PointId};
 use std::fs::File;
 use std::io::{BufWriter, Write};
 
@@ -16,24 +17,25 @@ const SIZE: usize = 512;
 const EXTENT: f64 = 100_000.0;
 
 fn main() -> std::io::Result<()> {
-    let params = Params::new(2_000.0, 10).with_rho(0.001);
-    let mut clusterer = FullDynDbscan::<2>::new(params);
+    let mut clusterer = DbscanBuilder::new(2_000.0, 10)
+        .rho(0.001)
+        .build::<2>()
+        .expect("valid parameters");
     let pts = seed_spreader::<2>(12_000, 4);
-    let mut ids: Vec<PointId> = Vec::with_capacity(pts.len());
-    for p in &pts {
-        ids.push(clusterer.insert(*p));
-    }
-    render(&mut clusterer, "cluster_map_before.ppm")?;
-    let before = clusterer.num_clusters();
+    clusterer.insert_batch(&pts);
+    // One C-group-by over all points per stage, shared by the render and
+    // the cluster count.
+    let all = clusterer.group_all();
+    render(clusterer.as_ref(), &all, "cluster_map_before.ppm")?;
+    let before = all.num_groups();
 
     // Build a bridge between the two largest clusters' bounding centers.
-    let all = clusterer.group_all();
     let mut by_size: Vec<&Vec<PointId>> = all.groups.iter().collect();
     by_size.sort_by_key(|g| std::cmp::Reverse(g.len()));
     let mut bridge_ids = Vec::new();
     if by_size.len() >= 2 {
-        let c0 = centroid(&clusterer, by_size[0]);
-        let c1 = centroid(&clusterer, by_size[1]);
+        let c0 = centroid(clusterer.as_ref(), by_size[0]);
+        let c1 = centroid(clusterer.as_ref(), by_size[1]);
         let steps = 64;
         for i in 0..=steps {
             let t = i as f64 / steps as f64;
@@ -46,27 +48,26 @@ fn main() -> std::io::Result<()> {
             }
         }
     }
-    render(&mut clusterer, "cluster_map_merged.ppm")?;
-    let merged = clusterer.num_clusters();
+    let bridged = clusterer.group_all();
+    render(clusterer.as_ref(), &bridged, "cluster_map_merged.ppm")?;
+    let merged = bridged.num_groups();
 
-    for id in bridge_ids {
-        clusterer.delete(id);
-    }
-    render(&mut clusterer, "cluster_map_after.ppm")?;
-    let after = clusterer.num_clusters();
+    clusterer.delete_batch(&bridge_ids);
+    let reverted = clusterer.group_all();
+    render(clusterer.as_ref(), &reverted, "cluster_map_after.ppm")?;
+    let after = reverted.num_groups();
 
     println!("clusters: before={before}, with bridge={merged}, after deletion={after}");
     println!("wrote cluster_map_{{before,merged,after}}.ppm");
     Ok(())
 }
 
-fn centroid<const D: usize>(c: &FullDynDbscan<D>, ids: &[PointId]) -> [f64; D] {
-    let mut acc = [0.0; D];
+fn centroid(c: &dyn DynamicClusterer<2>, ids: &[PointId]) -> [f64; 2] {
+    let mut acc = [0.0; 2];
     for &id in ids {
         let p = c.coords(id);
-        for i in 0..D {
-            acc[i] += p[i];
-        }
+        acc[0] += p[0];
+        acc[1] += p[1];
     }
     for a in acc.iter_mut() {
         *a /= ids.len() as f64;
@@ -74,10 +75,13 @@ fn centroid<const D: usize>(c: &FullDynDbscan<D>, ids: &[PointId]) -> [f64; D] {
     acc
 }
 
-/// Writes the current clustering as a PPM scatter plot; clusters are
-/// colored by a hash of their (opaque) id, noise is gray.
-fn render(clusterer: &mut FullDynDbscan<2>, path: &str) -> std::io::Result<()> {
-    let groups = clusterer.group_all();
+/// Writes a clustering as a PPM scatter plot; clusters are colored by a
+/// hash of their (opaque) id, noise is gray.
+fn render(
+    clusterer: &dyn DynamicClusterer<2>,
+    groups: &dydbscan::Clustering,
+    path: &str,
+) -> std::io::Result<()> {
     let mut img = vec![[18u8, 18, 24]; SIZE * SIZE];
     let mut plot = |p: [f64; 2], rgb: [u8; 3]| {
         let x = ((p[0] / EXTENT) * (SIZE as f64 - 1.0)) as isize;

@@ -4,27 +4,30 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! Builds a fully-dynamic ρ-double-approximate DBSCAN clusterer (Gan & Tao,
-//! SIGMOD'17), feeds it three blobs plus noise, asks C-group-by queries,
-//! then deletes a blob and watches the clustering react — all with
-//! near-constant-time updates.
+//! Configures a fully-dynamic ρ-double-approximate DBSCAN clusterer
+//! (Gan & Tao, SIGMOD'17) through the [`DbscanBuilder`], feeds it three
+//! blobs plus noise through the [`DynamicClusterer`] contract, asks
+//! C-group-by queries, then deletes a blob and watches the clustering
+//! react — all with near-constant-time updates.
 
-use dydbscan::{FullDynDbscan, Params, PointId};
+use dydbscan::{DbscanBuilder, PointId};
 
 fn main() {
     // eps = 1.0, MinPts = 4, rho = 0.001 (the paper's recommended slack).
-    let params = Params::new(1.0, 4).with_rho(0.001);
-    let mut clusterer = FullDynDbscan::<2>::new(params);
+    // The builder picks the fully-dynamic engine by default and returns it
+    // as a trait object: swap in Algorithm::SemiDynamic or
+    // Algorithm::IncDbscan and the rest of this program is unchanged.
+    let mut clusterer = DbscanBuilder::new(1.0, 4)
+        .rho(0.001)
+        .build::<2>()
+        .expect("valid parameters");
 
     // Three blobs of 25 points each, plus a lonely outlier.
     let mut blob = |cx: f64, cy: f64| -> Vec<PointId> {
-        (0..25)
-            .map(|i| {
-                let dx = (i % 5) as f64 * 0.3;
-                let dy = (i / 5) as f64 * 0.3;
-                clusterer.insert([cx + dx, cy + dy])
-            })
-            .collect()
+        let pts: Vec<[f64; 2]> = (0..25)
+            .map(|i| [cx + (i % 5) as f64 * 0.3, cy + (i / 5) as f64 * 0.3])
+            .collect();
+        clusterer.insert_batch(&pts)
     };
     let a = blob(0.0, 0.0);
     let b = blob(10.0, 0.0);
@@ -41,17 +44,14 @@ fn main() {
     assert!(groups.is_noise(outlier));
 
     // A bridge of points merges blobs a and b ...
-    let bridge: Vec<PointId> = (1..20)
-        .map(|i| clusterer.insert([i as f64 * 0.5, 0.0]))
-        .collect();
+    let bridge_pts: Vec<[f64; 2]> = (1..20).map(|i| [i as f64 * 0.5, 0.0]).collect();
+    let bridge = clusterer.insert_batch(&bridge_pts);
     let groups = clusterer.group_by(&[a[0], b[0], c[0]]);
     println!("after bridging      -> {} groups", groups.num_groups());
     assert!(groups.same_cluster(a[0], b[0]));
 
     // ... and deleting the bridge splits them again (fully dynamic!).
-    for id in bridge {
-        clusterer.delete(id);
-    }
+    clusterer.delete_batch(&bridge);
     let groups = clusterer.group_by(&[a[0], b[0], c[0]]);
     println!("after unbridging    -> {} groups", groups.num_groups());
     assert!(!groups.same_cluster(a[0], b[0]));
@@ -63,5 +63,10 @@ fn main() {
         all.num_groups(),
         all.noise.len(),
         clusterer.len()
+    );
+    let stats = clusterer.stats();
+    println!(
+        "work done           -> {} range counts, {} promotions, {} demotions",
+        stats.range_queries, stats.promotions, stats.demotions
     );
 }

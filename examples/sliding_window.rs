@@ -10,11 +10,11 @@
 //! events matter. Every arrival inserts one point and evicts the oldest —
 //! a fully-dynamic workload with a deletion for every insertion, the
 //! regime where IncDBSCAN melts down and the paper's ρ-double-approximate
-//! algorithm keeps O~(1) updates. The demo tracks how hotspots (clusters)
-//! appear, merge and dissolve as the window slides across three bursts of
-//! activity.
+//! algorithm keeps O~(1) updates. The demo drives everything through the
+//! [`DynamicClusterer`] contract and tracks how hotspots (clusters)
+//! appear, merge and dissolve as the window slides across the stream.
 
-use dydbscan::{seed_spreader, FullDynDbscan, Params, PointId};
+use dydbscan::{seed_spreader, DbscanBuilder, PointId};
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -25,8 +25,10 @@ fn main() {
     // A long event stream: the seed-spreader walk makes activity move
     // around the map over time, like real incident streams do.
     let stream = seed_spreader::<2>(STREAM, 99);
-    let params = Params::new(400.0, 10).with_rho(0.001);
-    let mut clusterer = FullDynDbscan::<2>::new(params);
+    let mut clusterer = DbscanBuilder::new(400.0, 10)
+        .rho(0.001)
+        .build::<2>()
+        .expect("valid parameters");
     let mut window: VecDeque<PointId> = VecDeque::with_capacity(WINDOW);
 
     let t0 = Instant::now();
@@ -57,7 +59,11 @@ fn main() {
     );
     let stats = clusterer.stats();
     println!(
-        "provenance: {} count queries, {} aBCP instances created, {} edges inserted, {} removed",
-        stats.count_queries, stats.instances_created, stats.edge_inserts, stats.edge_removes
+        "provenance: {} count queries, {} promotions / {} demotions, {} edges inserted, {} removed",
+        stats.range_queries,
+        stats.promotions,
+        stats.demotions,
+        stats.edge_inserts,
+        stats.edge_removes
     );
 }

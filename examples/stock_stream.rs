@@ -5,16 +5,17 @@
 //! cargo run --release --example stock_stream
 //! ```
 //!
-//! Each stock is a point in a 3-dimensional feature space (volatility,
-//! momentum, volume z-score). Every tick, a batch of stocks re-prices:
-//! their old feature points are deleted and the new ones inserted — a
-//! fully-dynamic workload. A C-group-by query over a small watchlist then
-//! groups just those stocks by regime, in time proportional to the
-//! watchlist, not the market.
+//! Each stock is a point in a feature space whose dimensionality is only
+//! known at runtime (here: volatility, momentum, volume z-score — but the
+//! feed could add a fourth factor tomorrow), so the market model uses the
+//! [`DynDbscan`] facade: plain `&[f64]` rows in, no compile-time `D`.
+//! Every tick, a batch of stocks re-prices: their old feature points are
+//! deleted and the new ones inserted — a fully-dynamic workload. A
+//! C-group-by query over a small watchlist then groups just those stocks
+//! by regime, in time proportional to the watchlist, not the market.
 
-use dydbscan::{FullDynDbscan, Params, PointId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use dydbscan::geom::SplitMix64;
+use dydbscan::{DbscanBuilder, PointId};
 
 const SECTORS: [(&str, [f64; 3]); 4] = [
     ("tech", [8.0, 6.0, 5.0]),
@@ -25,9 +26,12 @@ const SECTORS: [(&str, [f64; 3]); 4] = [
 const STOCKS_PER_SECTOR: usize = 60;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(42);
-    let params = Params::new(1.6, 5).with_rho(0.001);
-    let mut market = FullDynDbscan::<3>::new(params);
+    let mut rng = SplitMix64::new(42);
+    let dim = SECTORS[0].1.len(); // runtime value: today's feature count
+    let mut market = DbscanBuilder::new(1.6, 5)
+        .rho(0.001)
+        .build_dyn(dim)
+        .expect("valid parameters");
 
     // Current feature point of every stock.
     let mut ids: Vec<PointId> = Vec::new();
@@ -35,13 +39,18 @@ fn main() {
     for (s, (_, center)) in SECTORS.iter().enumerate() {
         for _ in 0..STOCKS_PER_SECTOR {
             let p = jitter(&mut rng, center, 0.7);
-            ids.push(market.insert(p));
+            ids.push(market.insert(&p));
             sector_of.push(s);
         }
     }
 
     // Watchlist: two tech stocks, one utility, one meme stock.
-    let watch = [ids[0], ids[1], ids[STOCKS_PER_SECTOR], ids[3 * STOCKS_PER_SECTOR]];
+    let watch = [
+        ids[0],
+        ids[1],
+        ids[STOCKS_PER_SECTOR],
+        ids[3 * STOCKS_PER_SECTOR],
+    ];
     let g = market.group_by(&watch);
     println!(
         "tick 0: watchlist falls into {} regime(s); tech pair together: {}",
@@ -55,7 +64,7 @@ fn main() {
     for tick in 1..=40 {
         drift += 0.25;
         for _ in 0..30 {
-            let k = rng.gen_range(0..ids.len());
+            let k = rng.next_below(ids.len() as u64) as usize;
             let s = sector_of[k];
             let mut center = SECTORS[s].1;
             if s == 3 {
@@ -66,10 +75,15 @@ fn main() {
             }
             let p = jitter(&mut rng, &center, 0.7);
             market.delete(ids[k]);
-            ids[k] = market.insert(p);
+            ids[k] = market.insert(&p);
         }
         if tick % 10 == 0 {
-            let watch = [ids[0], ids[1], ids[STOCKS_PER_SECTOR], ids[3 * STOCKS_PER_SECTOR]];
+            let watch = [
+                ids[0],
+                ids[1],
+                ids[STOCKS_PER_SECTOR],
+                ids[3 * STOCKS_PER_SECTOR],
+            ];
             let g = market.group_by(&watch);
             println!(
                 "tick {tick}: {} regime(s) on the watchlist; tech ~ meme: {}",
@@ -93,6 +107,6 @@ fn main() {
     );
 }
 
-fn jitter(rng: &mut StdRng, center: &[f64; 3], r: f64) -> [f64; 3] {
-    std::array::from_fn(|i| center[i] + (rng.gen::<f64>() * 2.0 - 1.0) * r)
+fn jitter(rng: &mut SplitMix64, center: &[f64; 3], r: f64) -> [f64; 3] {
+    std::array::from_fn(|i| center[i] + (rng.next_f64() * 2.0 - 1.0) * r)
 }

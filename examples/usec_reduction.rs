@@ -66,9 +66,7 @@ fn main() {
     println!(
         "   The reduction needs the dummy p' to be non-core *exactly*: |B(p',1)| = 2 < MinPts."
     );
-    println!(
-        "   Under rho-double-approximation, a red point at distance in (1, 1+rho] of p' puts"
-    );
+    println!("   Under rho-double-approximation, a red point at distance in (1, 1+rho] of p' puts");
     println!(
         "   p' in the don't-care zone: declaring it core is legal, the 2-point query may merge"
     );

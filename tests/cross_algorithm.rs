@@ -13,8 +13,9 @@ use dydbscan::conn::NaiveConnectivity;
 use dydbscan::core::full::FullDynDbscan;
 use dydbscan::geom::{Point, SplitMix64};
 use dydbscan::{
-    brute_force_exact, check_sandwich, relabel, static_cluster, IncDbscan, Params, PointId,
-    SemiDynDbscan,
+    brute_force_exact, check_sandwich, relabel, static_cluster, Algorithm, ConnectivityBackend,
+    DbscanBuilder, DynamicClusterer, IncDbscan, IndexBackend, Op, Params, PointId, SemiDynDbscan,
+    WorkloadSpec,
 };
 
 fn random_points<const D: usize>(seed: u64, n: usize, extent: f64) -> Vec<Point<D>> {
@@ -99,21 +100,13 @@ fn approximate_variants_sandwich_against_both_radii() {
 
     let mut semi = SemiDynDbscan::<3>::new(approx);
     let ids: Vec<PointId> = pts.iter().map(|p| semi.insert(*p)).collect();
-    check_sandwich(
-        &relabel(&c1, &ids),
-        &semi.group_all(),
-        &relabel(&c2, &ids),
-    )
-    .expect("semi-dynamic sandwich");
+    check_sandwich(&relabel(&c1, &ids), &semi.group_all(), &relabel(&c2, &ids))
+        .expect("semi-dynamic sandwich");
 
     let mut full = FullDynDbscan::<3>::new(approx);
     let ids: Vec<PointId> = pts.iter().map(|p| full.insert(*p)).collect();
-    check_sandwich(
-        &relabel(&c1, &ids),
-        &full.group_all(),
-        &relabel(&c2, &ids),
-    )
-    .expect("fully-dynamic sandwich");
+    check_sandwich(&relabel(&c1, &ids), &full.group_all(), &relabel(&c2, &ids))
+        .expect("fully-dynamic sandwich");
 }
 
 #[test]
@@ -138,6 +131,138 @@ fn connectivity_backends_are_interchangeable() {
         }
     }
     assert_eq!(hdt.group_all(), naive.group_all());
+}
+
+/// Every exact engine reachable through the builder, as a trait object.
+fn exact_fleet(eps: f64, min_pts: usize) -> Vec<(&'static str, Box<dyn DynamicClusterer<2>>)> {
+    let b = DbscanBuilder::new(eps, min_pts);
+    vec![
+        (
+            "full/hdt",
+            b.algorithm(Algorithm::FullyDynamic).build::<2>().unwrap(),
+        ),
+        (
+            "full/naive",
+            b.algorithm(Algorithm::FullyDynamic)
+                .connectivity(ConnectivityBackend::Naive)
+                .build::<2>()
+                .unwrap(),
+        ),
+        (
+            "inc/rtree",
+            b.algorithm(Algorithm::IncDbscan)
+                .index(IndexBackend::RTree)
+                .build::<2>()
+                .unwrap(),
+        ),
+        (
+            "inc/grid",
+            b.algorithm(Algorithm::IncDbscan)
+                .index(IndexBackend::Grid)
+                .build::<2>()
+                .unwrap(),
+        ),
+    ]
+}
+
+#[test]
+fn dyn_trait_parity_on_seed_spreader_workload_exact() {
+    // Satellite requirement: drive all algorithms through
+    // `Box<dyn DynamicClusterer>` on a seed-spreader workload and assert
+    // identical exact clusterings at rho = 0 — including every
+    // intermediate C-group-by answer, resolved via the trait's `apply`.
+    let w = WorkloadSpec::full(1_500, 20).build::<2>();
+    let (eps, min_pts) = (200.0, 10);
+    let mut fleet = exact_fleet(eps, min_pts);
+    let mut id_maps: Vec<Vec<PointId>> = vec![Vec::new(); fleet.len()];
+    for (k, op) in w.ops.iter().enumerate() {
+        let mut results = Vec::new();
+        for ((name, algo), ids) in fleet.iter_mut().zip(&mut id_maps) {
+            results.push((*name, algo.apply(op, ids)));
+        }
+        let (base_name, base) = &results[0];
+        for (name, r) in &results[1..] {
+            assert_eq!(r, base, "op {k}: {name} disagrees with {base_name}");
+        }
+    }
+    // final full clusterings coincide too (id schemes align: every engine
+    // numbers insertions identically)
+    let finals: Vec<_> = fleet
+        .iter_mut()
+        .map(|(name, algo)| (*name, algo.group_all()))
+        .collect();
+    for (name, c) in &finals[1..] {
+        assert_eq!(c, &finals[0].1, "{name} final clustering");
+    }
+    // the semi-dynamic engine agrees on the insertion-only prefix order:
+    // replay only the insertions and compare against brute force
+    let mut semi = DbscanBuilder::new(eps, min_pts)
+        .algorithm(Algorithm::SemiDynamic)
+        .build::<2>()
+        .unwrap();
+    let pts: Vec<Point<2>> = w
+        .ops
+        .iter()
+        .filter_map(|op| match op {
+            Op::Insert(p) => Some(*p),
+            _ => None,
+        })
+        .collect();
+    let ids = semi.insert_batch(&pts);
+    let want = relabel(&brute_force_exact(&pts, &Params::new(eps, min_pts)), &ids);
+    assert_eq!(semi.group_all(), want, "semi-dynamic on insertion prefix");
+}
+
+#[test]
+fn dyn_trait_sandwich_containment_on_seed_spreader_workload() {
+    // rho > 0: the approximate engines driven through the trait must
+    // sandwich between the exact clusterings at eps and (1+rho)*eps.
+    let w = WorkloadSpec::full(1_200, 21).build::<2>();
+    let (eps, min_pts, rho) = (200.0, 10, 0.25);
+    let mut approx: Vec<(&str, Box<dyn DynamicClusterer<2>>)> = vec![
+        (
+            "full/hdt",
+            DbscanBuilder::new(eps, min_pts)
+                .rho(rho)
+                .build::<2>()
+                .unwrap(),
+        ),
+        (
+            "full/naive",
+            DbscanBuilder::new(eps, min_pts)
+                .rho(rho)
+                .connectivity(ConnectivityBackend::Naive)
+                .build::<2>()
+                .unwrap(),
+        ),
+    ];
+    let mut id_maps: Vec<Vec<PointId>> = vec![Vec::new(); approx.len()];
+    let mut alive: Vec<(PointId, Point<2>)> = Vec::new();
+    for op in &w.ops {
+        for ((_, algo), ids) in approx.iter_mut().zip(&mut id_maps) {
+            algo.apply(op, ids);
+        }
+        match op {
+            Op::Insert(p) => alive.push((*id_maps[0].last().unwrap(), *p)),
+            Op::Delete(o) => {
+                let id = id_maps[0][*o as usize];
+                let pos = alive.iter().position(|&(i, _)| i == id).unwrap();
+                alive.swap_remove(pos);
+            }
+            Op::Query(_) => {}
+        }
+    }
+    let pts: Vec<Point<2>> = alive.iter().map(|&(_, p)| p).collect();
+    let aids: Vec<PointId> = alive.iter().map(|&(i, _)| i).collect();
+    let c1 = relabel(&brute_force_exact(&pts, &Params::new(eps, min_pts)), &aids);
+    let c2 = relabel(
+        &brute_force_exact(&pts, &Params::new(eps * (1.0 + rho), min_pts)),
+        &aids,
+    );
+    for (name, algo) in &mut approx {
+        let got = algo.group_all();
+        check_sandwich(&c1, &got, &c2).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
 }
 
 #[test]

@@ -20,12 +20,16 @@ fn rejects_negative_rho() {
 
 #[test]
 #[should_panic(expected = "insertion-only")]
-fn semi_dynamic_rejects_deletion_via_driver_contract() {
-    // The driver trait surfaces the paper's regime restriction loudly.
-    use dydbscan_bench::Clusterer;
-    let mut semi = SemiDynDbscan::<2>::new(Params::new(1.0, 2));
-    let id = Clusterer::insert(&mut semi, [0.0, 0.0]);
-    Clusterer::delete(&mut semi, id);
+fn semi_dynamic_rejects_deletion_via_public_contract() {
+    // The public trait surfaces the paper's regime restriction loudly.
+    use dydbscan::{Algorithm, DbscanBuilder};
+    let mut semi = DbscanBuilder::new(1.0, 2)
+        .algorithm(Algorithm::SemiDynamic)
+        .build::<2>()
+        .expect("valid configuration");
+    assert!(!semi.supports_deletion());
+    let id = semi.insert([0.0, 0.0]);
+    semi.delete(id);
 }
 
 #[test]

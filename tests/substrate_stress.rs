@@ -57,7 +57,10 @@ fn hdt_wheel_graph_tear_down() {
     }
     for i in 0..n {
         assert!(h.delete_edge(i, n));
-        assert!(h.connected(0, (i + 1) % n), "cycle keeps everything connected");
+        assert!(
+            h.connected(0, (i + 1) % n),
+            "cycle keeps everything connected"
+        );
     }
     // now tear the cycle: one cut keeps it connected (a path), two split it
     assert!(h.delete_edge(0, 1));
