@@ -528,8 +528,12 @@ impl<const D: usize, I: RangeIndex<D>> DynamicClusterer<D> for IncDbscan<D, I> {
 
     /// IncDBSCAN keeps a merge history, not an explicit edge set: only
     /// `range_queries` and `splits` are tracked; the graph-churn counters
-    /// stay `0`. Full provenance lives in [`IncStats`] on the concrete
-    /// type.
+    /// stay `0`. The batch counters also stay `0`: the baseline is kept
+    /// faithful to Ester et al.'s per-update algorithm, so
+    /// `insert_batch`/`delete_batch` fall through to the default looped
+    /// implementations (the grid engines' grouped pipelines are exactly
+    /// the capability this baseline lacks). Full provenance lives in
+    /// [`IncStats`] on the concrete type.
     fn stats(&self) -> ClustererStats {
         let s = self.stats;
         ClustererStats {

@@ -1,0 +1,24 @@
+//! Batched vs looped update microbench: `insert_batch` against looped
+//! `insert`, and `delete_batch` against looped `delete`, on 100k
+//! seed-spreader points (scale down with `DYDBSCAN_BENCH_N` for quick
+//! runs). The acceptance target of the batching pipeline is
+//! `insert_batch` ≥ 1.5x over looped inserts at batch size 1024.
+//!
+//! ```text
+//! cargo bench -p dydbscan-bench --bench batching
+//! ```
+
+use dydbscan_bench::batchbench::{print_record, standard_suite};
+
+fn main() {
+    let n: usize = std::env::var("DYDBSCAN_BENCH_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100_000);
+    for batch_size in [64usize, 1024] {
+        println!("\n== batching (N = {n}, batch = {batch_size})");
+        for r in standard_suite(n, batch_size, 2017) {
+            print_record(&r);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Batched-vs-looped update comparisons on seed-spreader data.
+//!
+//! Shared by the `batching` bench target and the `repro -- batch` command
+//! (which records the results in `BENCH_repro.json`). Each comparison
+//! drives the *same* points through a freshly built engine twice — once
+//! one update at a time, once through the grouped batch pipeline — and
+//! reports total wall-clock per variant.
+
+use crate::json::BatchRecord;
+use dydbscan::workload::PaperGrid;
+use dydbscan::{seed_spreader, DynamicClusterer, FullDynDbscan, Params, SemiDynDbscan};
+use std::time::Instant;
+
+fn params() -> Params {
+    // the Double-Approx configuration of the paper's evaluation
+    Params::new(PaperGrid::default_eps(2), PaperGrid::MIN_PTS).with_rho(PaperGrid::RHO)
+}
+
+/// Times `insert_batch` (chunks of `batch_size`) against looped `insert`
+/// on `n` seed-spreader points, for the engine `build` constructs.
+pub fn compare_insert<A: DynamicClusterer<2>>(
+    label: &str,
+    n: usize,
+    batch_size: usize,
+    seed: u64,
+    build: impl Fn() -> A,
+) -> BatchRecord {
+    let pts = seed_spreader::<2>(n, seed);
+
+    let mut looped = build();
+    let t0 = Instant::now();
+    for p in &pts {
+        std::hint::black_box(looped.insert(*p));
+    }
+    let looped_ns = t0.elapsed().as_nanos();
+
+    let mut batched = build();
+    let t0 = Instant::now();
+    for chunk in pts.chunks(batch_size) {
+        std::hint::black_box(batched.insert_batch(chunk));
+    }
+    let batched_ns = t0.elapsed().as_nanos();
+    assert_eq!(looped.len(), batched.len());
+
+    BatchRecord {
+        series: format!("{label}/insert"),
+        n_points: n,
+        batch_size,
+        looped_ns,
+        batched_ns,
+    }
+}
+
+/// Times `delete_batch` (chunks of `batch_size`) against looped `delete`
+/// of every point, after loading `n` seed-spreader points.
+pub fn compare_delete<A: DynamicClusterer<2>>(
+    label: &str,
+    n: usize,
+    batch_size: usize,
+    seed: u64,
+    build: impl Fn() -> A,
+) -> BatchRecord {
+    let pts = seed_spreader::<2>(n, seed);
+
+    let mut looped = build();
+    let ids = looped.insert_batch(&pts);
+    let t0 = Instant::now();
+    for &id in &ids {
+        looped.delete(id);
+    }
+    let looped_ns = t0.elapsed().as_nanos();
+
+    let mut batched = build();
+    let ids = batched.insert_batch(&pts);
+    let t0 = Instant::now();
+    for chunk in ids.chunks(batch_size) {
+        batched.delete_batch(chunk);
+    }
+    let batched_ns = t0.elapsed().as_nanos();
+    assert!(batched.is_empty());
+
+    BatchRecord {
+        series: format!("{label}/delete"),
+        n_points: n,
+        batch_size,
+        looped_ns,
+        batched_ns,
+    }
+}
+
+/// The standard comparison suite: fully-dynamic insert + delete and
+/// semi-dynamic insert, at the given scale and batch size.
+pub fn standard_suite(n: usize, batch_size: usize, seed: u64) -> Vec<BatchRecord> {
+    vec![
+        compare_insert("full", n, batch_size, seed, || {
+            FullDynDbscan::<2>::new(params())
+        }),
+        compare_delete("full", n, batch_size, seed, || {
+            FullDynDbscan::<2>::new(params())
+        }),
+        compare_insert("semi", n, batch_size, seed, || {
+            SemiDynDbscan::<2>::new(params())
+        }),
+    ]
+}
+
+/// Prints one comparison in the microbench layout.
+pub fn print_record(r: &BatchRecord) {
+    println!(
+        "  {:<32} looped {:>9.1} ms   batched {:>9.1} ms   speedup {:.2}x",
+        format!("{} (batch={})", r.series, r.batch_size),
+        r.looped_ns as f64 / 1e6,
+        r.batched_ns as f64 / 1e6,
+        r.speedup()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_runs_at_small_scale() {
+        let recs = standard_suite(600, 64, 9);
+        assert_eq!(recs.len(), 3);
+        for r in &recs {
+            assert_eq!(r.n_points, 600);
+            assert!(r.looped_ns > 0 && r.batched_ns > 0, "{}", r.series);
+        }
+    }
+}

@@ -1,22 +1,30 @@
-//! Reproduces every table and figure of the paper's evaluation.
+//! Reproduces every table and figure of the paper's evaluation, and
+//! records the measurements machine-readably in `BENCH_repro.json`.
 //!
 //! ```text
 //! repro <command> [--n N] [--seed S] [--budget-secs B] [--samples K]
+//!      [--batch-size B] [--out PATH]
 //!
 //! commands:
 //!   fig8 fig9 fig10 fig11     semi-dynamic experiments (Section 8.2)
 //!   fig12 fig13 fig14 fig15   fully-dynamic experiments (Section 8.3)
 //!   table1                    measured costs per variant (Table 1 counterpart)
 //!   verify                    Section 8 correctness gates
+//!   batch                     batched vs looped update microbench
 //!   all                       everything above
 //! ```
 //!
 //! The paper runs `N = 10M`; the default here is laptop-scale. Costs are
 //! reported in microseconds, like the paper's figures; relative shapes
 //! (who wins, by how much, and the flat-vs-growing trends) are the
-//! reproduction target.
+//! reproduction target. `BENCH_repro.json` additionally captures op/sec
+//! per series, the process peak RSS after each figure, and the
+//! batched-vs-looped speedups, so the perf trajectory of the repository
+//! is diffable commit over commit.
 
+use dydbscan_bench::batchbench;
 use dydbscan_bench::figures::{self, ReproConfig};
+use dydbscan_bench::JsonReport;
 use std::time::Duration;
 
 fn main() {
@@ -26,6 +34,8 @@ fn main() {
     }
     let command = args[0].clone();
     let mut cfg = ReproConfig::default();
+    let mut batch_size = 1024usize;
+    let mut out_path = "BENCH_repro.json".to_string();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -42,6 +52,12 @@ fn main() {
             "--samples" => {
                 cfg.samples = parse(&args, &mut i);
             }
+            "--batch-size" => {
+                batch_size = parse(&args, &mut i);
+            }
+            "--out" => {
+                out_path = parse(&args, &mut i);
+            }
             other => {
                 eprintln!("unknown option {other}");
                 usage_and_exit();
@@ -53,33 +69,80 @@ fn main() {
         "# dydbscan repro — N = {}, seed = {}, budget = {:?}, MinPts = 10, rho = 0.001",
         cfg.n, cfg.seed, cfg.budget
     );
-    match command.as_str() {
-        "fig8" => figures::fig8(&cfg),
-        "fig9" => figures::fig9(&cfg),
-        "fig10" => figures::fig10(&cfg),
-        "fig11" => figures::fig11(&cfg),
-        "fig12" => figures::fig12(&cfg),
-        "fig13" => figures::fig13(&cfg),
-        "fig14" => figures::fig14(&cfg),
-        "fig15" => figures::fig15(&cfg),
-        "table1" => figures::table1(&cfg),
-        "verify" => figures::verify(&cfg),
-        "all" => {
-            figures::verify(&cfg);
-            figures::table1(&cfg);
-            figures::fig8(&cfg);
-            figures::fig9(&cfg);
-            figures::fig10(&cfg);
-            figures::fig11(&cfg);
-            figures::fig12(&cfg);
-            figures::fig13(&cfg);
-            figures::fig14(&cfg);
-            figures::fig15(&cfg);
+    let mut report = JsonReport::new();
+    report.config = vec![
+        ("command".into(), command.clone()),
+        ("n".into(), cfg.n.to_string()),
+        ("seed".into(), cfg.seed.to_string()),
+        ("samples".into(), cfg.samples.to_string()),
+        (
+            "budget_secs".into(),
+            cfg.budget
+                .map(|b| b.as_secs().to_string())
+                .unwrap_or_else(|| "null".into()),
+        ),
+        ("batch_size".into(), batch_size.to_string()),
+    ];
+
+    let known = [
+        "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "verify",
+        "batch",
+    ];
+    let selected: Vec<&str> = if command == "all" {
+        vec![
+            "verify", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "batch",
+        ]
+    } else if known.contains(&command.as_str()) {
+        vec![command.as_str()]
+    } else {
+        eprintln!("unknown command {command}");
+        usage_and_exit();
+    };
+
+    let mut checks_failed = false;
+    for name in selected {
+        match name {
+            "fig8" => report.add_figure("fig8", figures::fig8(&cfg)),
+            "fig9" => report.add_figure("fig9", figures::fig9(&cfg)),
+            "fig10" => report.add_figure("fig10", figures::fig10(&cfg)),
+            "fig11" => report.add_figure("fig11", figures::fig11(&cfg)),
+            "fig12" => report.add_figure("fig12", figures::fig12(&cfg)),
+            "fig13" => report.add_figure("fig13", figures::fig13(&cfg)),
+            "fig14" => report.add_figure("fig14", figures::fig14(&cfg)),
+            "fig15" => report.add_figure("fig15", figures::fig15(&cfg)),
+            "table1" => report.add_figure("table1", figures::table1(&cfg)),
+            "verify" => {
+                let checks = figures::verify(&cfg);
+                checks_failed |= checks.iter().any(|(_, pass)| !pass);
+                report.add_checks(checks);
+            }
+            "batch" => {
+                println!(
+                    "\n== Batched vs looped updates (seed-spreader, N = {})",
+                    cfg.n
+                );
+                let records = batchbench::standard_suite(cfg.n, batch_size, cfg.seed);
+                for r in &records {
+                    batchbench::print_record(r);
+                }
+                report.add_batches(records);
+            }
+            _ => unreachable!(),
         }
-        other => {
-            eprintln!("unknown command {other}");
-            usage_and_exit();
+    }
+
+    match report.write(&out_path) {
+        Ok(()) => println!("\nwrote {out_path}"),
+        Err(e) => {
+            eprintln!("failed to write {out_path}: {e}");
+            std::process::exit(1);
         }
+    }
+    // CI gates on this: a failed Section 8 check must fail the run.
+    if checks_failed {
+        eprintln!("verification checks FAILED (see the verify section of {out_path})");
+        std::process::exit(1);
     }
 }
 
@@ -95,8 +158,8 @@ fn parse<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|all> \
-         [--n N] [--seed S] [--budget-secs B] [--samples K]"
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|batch|all> \
+         [--n N] [--seed S] [--budget-secs B] [--samples K] [--batch-size B] [--out PATH]"
     );
     std::process::exit(2)
 }

@@ -4,6 +4,7 @@
 //! plots. Scales default to laptop size; `--n` restores any scale.
 
 use crate::driver::{run_algo, Algo};
+use crate::json::SeriesRecord;
 use crate::metrics::RunMetrics;
 use crate::report::{
     fmt_us, print_avg_cost_series, print_max_upd_series, print_sweep, print_table,
@@ -60,8 +61,9 @@ fn full_runs<const D: usize>(cfg: &ReproConfig, algos: &[Algo]) -> Vec<RunMetric
 }
 
 /// Figure 8: semi-dynamic algorithms in 2D — (a) `avgcost(t)`,
-/// (b) `maxupdcost(t)`.
-pub fn fig8(cfg: &ReproConfig) {
+/// (b) `maxupdcost(t)`. Every figure returns its measured series so the
+/// `repro` binary can record them in `BENCH_repro.json`.
+pub fn fig8(cfg: &ReproConfig) -> Vec<SeriesRecord> {
     let runs = semi_runs::<2>(
         cfg,
         &[Algo::SemiExact, Algo::SemiApprox, Algo::IncDbscanRtree],
@@ -74,16 +76,18 @@ pub fn fig8(cfg: &ReproConfig) {
         "Figure 8b — semi-dynamic 2D: maximum update cost (microsec)",
         &runs,
     );
+    runs.iter().map(SeriesRecord::from_metrics).collect()
 }
 
 /// Figure 9: semi-dynamic algorithms in d = 3, 5, 7 (avg + max vs time).
-pub fn fig9(cfg: &ReproConfig) {
-    fig9_dim::<3>(cfg, "a");
-    fig9_dim::<5>(cfg, "b");
-    fig9_dim::<7>(cfg, "c");
+pub fn fig9(cfg: &ReproConfig) -> Vec<SeriesRecord> {
+    let mut out = fig9_dim::<3>(cfg, "a");
+    out.extend(fig9_dim::<5>(cfg, "b"));
+    out.extend(fig9_dim::<7>(cfg, "c"));
+    out
 }
 
-fn fig9_dim<const D: usize>(cfg: &ReproConfig, panel: &str) {
+fn fig9_dim<const D: usize>(cfg: &ReproConfig, panel: &str) -> Vec<SeriesRecord> {
     let runs = semi_runs::<D>(cfg, &[Algo::SemiApprox, Algo::IncDbscanRtree]);
     print_avg_cost_series(
         &format!("Figure 9{panel} — semi-dynamic {D}D: average cost (microsec)"),
@@ -93,67 +97,77 @@ fn fig9_dim<const D: usize>(cfg: &ReproConfig, panel: &str) {
         &format!("Figure 9{panel} — semi-dynamic {D}D: max update cost (microsec)"),
         &runs,
     );
+    runs.iter()
+        .map(|m| SeriesRecord::from_metrics_labeled(format!("{}/d={D}", m.name), m))
+        .collect()
 }
 
 /// Figure 10: semi-dynamic average workload cost vs `eps`.
-pub fn fig10(cfg: &ReproConfig) {
-    eps_sweep::<2>(
+pub fn fig10(cfg: &ReproConfig) -> Vec<SeriesRecord> {
+    let mut out = eps_sweep::<2>(
         cfg,
         "Figure 10a — semi-dynamic cost vs eps (d=2)",
         &[Algo::SemiExact, Algo::SemiApprox, Algo::IncDbscanRtree],
         false,
     );
-    eps_sweep::<3>(
+    out.extend(eps_sweep::<3>(
         cfg,
         "Figure 10b(1) — semi-dynamic cost vs eps (d=3)",
         &[Algo::SemiApprox, Algo::IncDbscanRtree],
         false,
-    );
-    eps_sweep::<5>(
+    ));
+    out.extend(eps_sweep::<5>(
         cfg,
         "Figure 10b(2) — semi-dynamic cost vs eps (d=5)",
         &[Algo::SemiApprox, Algo::IncDbscanRtree],
         false,
-    );
-    eps_sweep::<7>(
+    ));
+    out.extend(eps_sweep::<7>(
         cfg,
         "Figure 10b(3) — semi-dynamic cost vs eps (d=7)",
         &[Algo::SemiApprox, Algo::IncDbscanRtree],
         false,
-    );
+    ));
+    out
 }
 
 /// Figure 14: fully-dynamic average workload cost vs `eps`. The paper's
 /// IncDBSCAN "has no results for d = 5 and 7" (terminated); the budget
 /// reproduces that behaviour organically.
-pub fn fig14(cfg: &ReproConfig) {
-    eps_sweep::<2>(
+pub fn fig14(cfg: &ReproConfig) -> Vec<SeriesRecord> {
+    let mut out = eps_sweep::<2>(
         cfg,
         "Figure 14a — fully-dynamic cost vs eps (d=2)",
         &[Algo::FullExact, Algo::DoubleApprox, Algo::IncDbscanRtree],
         true,
     );
-    eps_sweep::<3>(
+    out.extend(eps_sweep::<3>(
         cfg,
         "Figure 14b(1) — fully-dynamic cost vs eps (d=3)",
         &[Algo::DoubleApprox, Algo::IncDbscanRtree],
         true,
-    );
-    eps_sweep::<5>(
+    ));
+    out.extend(eps_sweep::<5>(
         cfg,
         "Figure 14b(2) — fully-dynamic cost vs eps (d=5)",
         &[Algo::DoubleApprox],
         true,
-    );
-    eps_sweep::<7>(
+    ));
+    out.extend(eps_sweep::<7>(
         cfg,
         "Figure 14b(3) — fully-dynamic cost vs eps (d=7)",
         &[Algo::DoubleApprox],
         true,
-    );
+    ));
+    out
 }
 
-fn eps_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo], full: bool) {
+fn eps_sweep<const D: usize>(
+    cfg: &ReproConfig,
+    title: &str,
+    algos: &[Algo],
+    full: bool,
+) -> Vec<SeriesRecord> {
     let w = if full {
         WorkloadSpec::full(cfg.n, cfg.seed).build::<D>()
     } else {
@@ -162,6 +176,7 @@ fn eps_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo], ful
     let names: Vec<String> = algos.iter().map(|a| a.name().to_string()).collect();
     let mut xs = Vec::new();
     let mut cells = Vec::new();
+    let mut records = Vec::new();
     for &e in &PaperGrid::EPS_OVER_D {
         let eps = e * D as f64;
         xs.push(format!("{e:.0}"));
@@ -169,43 +184,50 @@ fn eps_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo], ful
             .iter()
             .map(|&a| {
                 let m = run_algo::<D>(a, eps, MIN_PTS, &w, cfg.budget, cfg.samples);
+                records.push(SeriesRecord::from_metrics_labeled(
+                    format!("{}/d={D}/eps_over_d={e:.0}", a.name()),
+                    &m,
+                ));
                 m.finished.then(|| m.avg_cost_us())
             })
             .collect();
         cells.push(row);
     }
     print_sweep(title, "eps/d", &xs, &names, &cells);
+    records
 }
 
 /// Figure 11: semi-dynamic average workload cost vs query frequency.
-pub fn fig11(cfg: &ReproConfig) {
-    fqry_sweep::<2>(
+pub fn fig11(cfg: &ReproConfig) -> Vec<SeriesRecord> {
+    let mut out = fqry_sweep::<2>(
         cfg,
         "Figure 11a — semi-dynamic cost vs f_qry (d=2)",
         &[Algo::SemiExact, Algo::SemiApprox, Algo::IncDbscanRtree],
     );
-    fqry_sweep::<3>(
+    out.extend(fqry_sweep::<3>(
         cfg,
         "Figure 11b(1) — semi-dynamic cost vs f_qry (d=3)",
         &[Algo::SemiApprox, Algo::IncDbscanRtree],
-    );
-    fqry_sweep::<5>(
+    ));
+    out.extend(fqry_sweep::<5>(
         cfg,
         "Figure 11b(2) — semi-dynamic cost vs f_qry (d=5)",
         &[Algo::SemiApprox, Algo::IncDbscanRtree],
-    );
-    fqry_sweep::<7>(
+    ));
+    out.extend(fqry_sweep::<7>(
         cfg,
         "Figure 11b(3) — semi-dynamic cost vs f_qry (d=7)",
         &[Algo::SemiApprox, Algo::IncDbscanRtree],
-    );
+    ));
+    out
 }
 
-fn fqry_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo]) {
+fn fqry_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo]) -> Vec<SeriesRecord> {
     let eps = PaperGrid::default_eps(D);
     let names: Vec<String> = algos.iter().map(|a| a.name().to_string()).collect();
     let mut xs = Vec::new();
     let mut cells = Vec::new();
+    let mut records = Vec::new();
     for frac in PaperGrid::f_qry_fracs() {
         let f = ((cfg.n as f64) * frac).ceil() as usize;
         let w = WorkloadSpec::semi(cfg.n, cfg.seed)
@@ -216,16 +238,21 @@ fn fqry_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo]) {
             .iter()
             .map(|&a| {
                 let m = run_algo::<D>(a, eps, MIN_PTS, &w, cfg.budget, cfg.samples);
+                records.push(SeriesRecord::from_metrics_labeled(
+                    format!("{}/d={D}/f_qry={frac:.2}N", a.name()),
+                    &m,
+                ));
                 m.finished.then(|| m.avg_cost_us())
             })
             .collect();
         cells.push(row);
     }
     print_sweep(title, "f_qry", &xs, &names, &cells);
+    records
 }
 
 /// Figure 12: fully-dynamic algorithms in 2D — (a) avg, (b) max.
-pub fn fig12(cfg: &ReproConfig) {
+pub fn fig12(cfg: &ReproConfig) -> Vec<SeriesRecord> {
     let runs = full_runs::<2>(
         cfg,
         &[Algo::FullExact, Algo::DoubleApprox, Algo::IncDbscanRtree],
@@ -238,16 +265,18 @@ pub fn fig12(cfg: &ReproConfig) {
         "Figure 12b — fully-dynamic 2D: maximum update cost (microsec)",
         &runs,
     );
+    runs.iter().map(SeriesRecord::from_metrics).collect()
 }
 
 /// Figure 13: fully-dynamic algorithms in d = 3, 5, 7.
-pub fn fig13(cfg: &ReproConfig) {
-    fig13_dim::<3>(cfg, "a");
-    fig13_dim::<5>(cfg, "b");
-    fig13_dim::<7>(cfg, "c");
+pub fn fig13(cfg: &ReproConfig) -> Vec<SeriesRecord> {
+    let mut out = fig13_dim::<3>(cfg, "a");
+    out.extend(fig13_dim::<5>(cfg, "b"));
+    out.extend(fig13_dim::<7>(cfg, "c"));
+    out
 }
 
-fn fig13_dim<const D: usize>(cfg: &ReproConfig, panel: &str) {
+fn fig13_dim<const D: usize>(cfg: &ReproConfig, panel: &str) -> Vec<SeriesRecord> {
     let runs = full_runs::<D>(cfg, &[Algo::DoubleApprox, Algo::IncDbscanRtree]);
     print_avg_cost_series(
         &format!("Figure 13{panel} — fully-dynamic {D}D: average cost (microsec)"),
@@ -257,38 +286,43 @@ fn fig13_dim<const D: usize>(cfg: &ReproConfig, panel: &str) {
         &format!("Figure 13{panel} — fully-dynamic {D}D: max update cost (microsec)"),
         &runs,
     );
+    runs.iter()
+        .map(|m| SeriesRecord::from_metrics_labeled(format!("{}/d={D}", m.name), m))
+        .collect()
 }
 
 /// Figure 15: fully-dynamic average workload cost vs insertion percentage.
-pub fn fig15(cfg: &ReproConfig) {
-    ins_sweep::<2>(
+pub fn fig15(cfg: &ReproConfig) -> Vec<SeriesRecord> {
+    let mut out = ins_sweep::<2>(
         cfg,
         "Figure 15a — fully-dynamic cost vs %ins (d=2)",
         &[Algo::FullExact, Algo::DoubleApprox, Algo::IncDbscanRtree],
     );
-    ins_sweep::<3>(
+    out.extend(ins_sweep::<3>(
         cfg,
         "Figure 15b(1) — fully-dynamic cost vs %ins (d=3)",
         &[Algo::DoubleApprox, Algo::IncDbscanRtree],
-    );
-    ins_sweep::<5>(
+    ));
+    out.extend(ins_sweep::<5>(
         cfg,
         "Figure 15b(2) — fully-dynamic cost vs %ins (d=5)",
         &[Algo::DoubleApprox],
-    );
-    ins_sweep::<7>(
+    ));
+    out.extend(ins_sweep::<7>(
         cfg,
         "Figure 15b(3) — fully-dynamic cost vs %ins (d=7)",
         &[Algo::DoubleApprox],
-    );
+    ));
+    out
 }
 
-fn ins_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo]) {
+fn ins_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo]) -> Vec<SeriesRecord> {
     let eps = PaperGrid::default_eps(D);
     let names: Vec<String> = algos.iter().map(|a| a.name().to_string()).collect();
     let labels = ["2/3", "4/5", "5/6", "8/9", "10/11"];
     let mut xs = Vec::new();
     let mut cells = Vec::new();
+    let mut records = Vec::new();
     for (i, frac) in PaperGrid::ins_fracs().into_iter().enumerate() {
         let w = WorkloadSpec::full(cfg.n, cfg.seed)
             .with_ins_frac(frac)
@@ -298,17 +332,23 @@ fn ins_sweep<const D: usize>(cfg: &ReproConfig, title: &str, algos: &[Algo]) {
             .iter()
             .map(|&a| {
                 let m = run_algo::<D>(a, eps, MIN_PTS, &w, cfg.budget, cfg.samples);
+                records.push(SeriesRecord::from_metrics_labeled(
+                    format!("{}/d={D}/ins={}", a.name(), labels[i]),
+                    &m,
+                ));
                 m.finished.then(|| m.avg_cost_us())
             })
             .collect();
         cells.push(row);
     }
     print_sweep(title, "%ins", &xs, &names, &cells);
+    records
 }
 
 /// Table 1 (practical counterpart): measured amortized update and query
 /// costs per variant and regime, next to the paper's complexity bounds.
-pub fn table1(cfg: &ReproConfig) {
+pub fn table1(cfg: &ReproConfig) -> Vec<SeriesRecord> {
+    let mut records = Vec::new();
     let header: Vec<String> = [
         "method",
         "regime",
@@ -323,6 +363,10 @@ pub fn table1(cfg: &ReproConfig) {
     // d = 2 exact variants
     {
         let runs = semi_runs::<2>(cfg, &[Algo::SemiExact]);
+        records.push(SeriesRecord::from_metrics_labeled(
+            "exact-dbscan-d2-semi",
+            &runs[0],
+        ));
         rows.push(vec![
             "exact DBSCAN d=2 (semi)".into(),
             "insertions".into(),
@@ -331,6 +375,10 @@ pub fn table1(cfg: &ReproConfig) {
             "O~(1) / O~(|Q|)".into(),
         ]);
         let runs = full_runs::<2>(cfg, &[Algo::FullExact]);
+        records.push(SeriesRecord::from_metrics_labeled(
+            "exact-dbscan-d2-full",
+            &runs[0],
+        ));
         rows.push(vec![
             "exact DBSCAN d=2 (full)".into(),
             "fully dynamic".into(),
@@ -342,6 +390,10 @@ pub fn table1(cfg: &ReproConfig) {
     // d = 3 approximate variants
     {
         let runs = semi_runs::<3>(cfg, &[Algo::SemiApprox]);
+        records.push(SeriesRecord::from_metrics_labeled(
+            "rho-approx-d3-semi",
+            &runs[0],
+        ));
         rows.push(vec![
             "rho-approx d=3 (semi)".into(),
             "insertions".into(),
@@ -350,6 +402,10 @@ pub fn table1(cfg: &ReproConfig) {
             "O~(1) / O~(|Q|)".into(),
         ]);
         let runs = full_runs::<3>(cfg, &[Algo::DoubleApprox]);
+        records.push(SeriesRecord::from_metrics_labeled(
+            "rho-double-approx-d3-full",
+            &runs[0],
+        ));
         rows.push(vec![
             "rho-double-approx d=3 (full)".into(),
             "fully dynamic".into(),
@@ -358,6 +414,10 @@ pub fn table1(cfg: &ReproConfig) {
             "O~(1) / O~(|Q|)".into(),
         ]);
         let runs = full_runs::<3>(cfg, &[Algo::IncDbscanRtree]);
+        records.push(SeriesRecord::from_metrics_labeled(
+            "incdbscan-d3-full",
+            &runs[0],
+        ));
         rows.push(vec![
             "IncDBSCAN d=3 (exact)".into(),
             "fully dynamic".into(),
@@ -380,13 +440,15 @@ pub fn table1(cfg: &ReproConfig) {
         &header,
         &rows,
     );
+    records
 }
 
 /// Section 8 correctness gate: (1) at `rho = 0.001`, Double-Approx must
 /// return the same clusters as static ρ-approximate DBSCAN (the paper's
 /// stringent requirement); (2) at aggressive `rho`, the sandwich guarantee
 /// must hold against brute-force exact clusterings at both radii.
-pub fn verify(cfg: &ReproConfig) {
+pub fn verify(cfg: &ReproConfig) -> Vec<(String, bool)> {
+    let mut checks = Vec::new();
     let n = cfg.n.min(20_000);
     println!("\n== Verification (Section 8 stringent requirement), N = {n}");
     // (1) end-state equivalence on a fully-dynamic workload
@@ -415,6 +477,10 @@ pub fn verify(cfg: &ReproConfig) {
     let aids: Vec<PointId> = alive.iter().map(|&(i, _)| i).collect();
     let got = algo.group_all();
     let approx_static = relabel(&dydbscan::static_cluster(&pts, &params), &aids);
+    checks.push((
+        "double-approx == static rho-approximate (rho=0.001)".to_string(),
+        got == approx_static,
+    ));
     println!(
         "  [1] Double-Approx == static rho-approximate (rho=0.001): {}",
         if got == approx_static {
@@ -427,6 +493,10 @@ pub fn verify(cfg: &ReproConfig) {
         &dydbscan::static_cluster(&pts, &Params::new(params.eps, MIN_PTS)),
         &aids,
     );
+    checks.push((
+        "double-approx == exact DBSCAN at eps (stability)".to_string(),
+        got == exact_static,
+    ));
     println!(
         "  [2] Double-Approx == exact DBSCAN at eps (stability check):  {}",
         if got == exact_static {
@@ -472,7 +542,14 @@ pub fn verify(cfg: &ReproConfig) {
         &aids,
     );
     match check_sandwich(&c1, &got, &c2) {
-        Ok(()) => println!("  [3] sandwich guarantee at rho={rho} (N={n_small}): HOLDS"),
-        Err(e) => println!("  [3] sandwich guarantee at rho={rho}: VIOLATED — {e}"),
+        Ok(()) => {
+            checks.push((format!("sandwich guarantee at rho={rho}"), true));
+            println!("  [3] sandwich guarantee at rho={rho} (N={n_small}): HOLDS")
+        }
+        Err(e) => {
+            checks.push((format!("sandwich guarantee at rho={rho}"), false));
+            println!("  [3] sandwich guarantee at rho={rho}: VIOLATED — {e}")
+        }
     }
+    checks
 }

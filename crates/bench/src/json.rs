@@ -1,0 +1,327 @@
+//! Machine-readable benchmark report: `BENCH_repro.json`.
+//!
+//! The `repro` binary records every figure it reproduces — per-series
+//! operation throughput plus the process peak memory after each figure —
+//! so the perf trajectory of the repository can be tracked commit over
+//! commit by diffing one file. The workspace is dependency-free, so the
+//! writer emits JSON by hand (flat records, ASCII labels).
+
+use crate::metrics::RunMetrics;
+use std::fmt::Write as _;
+
+/// One measured series of a figure.
+#[derive(Debug, Clone)]
+pub struct SeriesRecord {
+    /// Series label (algorithm, optionally with the swept parameter).
+    pub series: String,
+    /// Operations completed.
+    pub ops: usize,
+    /// Whether the run finished within its budget.
+    pub finished: bool,
+    /// Total wall-clock nanoseconds across completed operations.
+    pub total_ns: u128,
+    /// Average cost per operation, microseconds.
+    pub avg_cost_us: f64,
+    /// Maximum single-update cost, microseconds.
+    pub max_update_us: f64,
+}
+
+impl SeriesRecord {
+    /// Extracts the record of one workload execution.
+    pub fn from_metrics(m: &RunMetrics) -> Self {
+        Self {
+            series: m.name.clone(),
+            ops: m.ops_done,
+            finished: m.finished,
+            total_ns: m.total_ns,
+            avg_cost_us: m.avg_cost_us(),
+            max_update_us: m.max_update_us(),
+        }
+    }
+
+    /// Like [`from_metrics`](Self::from_metrics) with a label override
+    /// (used by sweeps to encode the swept parameter).
+    pub fn from_metrics_labeled(label: impl Into<String>, m: &RunMetrics) -> Self {
+        let mut r = Self::from_metrics(m);
+        r.series = label.into();
+        r
+    }
+
+    /// Operations per second over the whole run.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.total_ns == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / (self.total_ns as f64 / 1e9)
+    }
+}
+
+/// One batched-vs-looped comparison (see `crate::batchbench`).
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// Comparison label, e.g. `full/insert`.
+    pub series: String,
+    /// Points driven through each variant.
+    pub n_points: usize,
+    /// Batch size of the batched variant.
+    pub batch_size: usize,
+    /// Total nanoseconds for the looped variant.
+    pub looped_ns: u128,
+    /// Total nanoseconds for the batched variant.
+    pub batched_ns: u128,
+}
+
+impl BatchRecord {
+    /// Looped-over-batched wall-clock ratio (`> 1` means batching wins).
+    pub fn speedup(&self) -> f64 {
+        if self.batched_ns == 0 {
+            return 0.0;
+        }
+        self.looped_ns as f64 / self.batched_ns as f64
+    }
+}
+
+/// Accumulates everything `repro` measured and writes `BENCH_repro.json`.
+#[derive(Debug, Default)]
+pub struct JsonReport {
+    /// CLI invocation context (`command`, `n`, `seed`, ...).
+    pub config: Vec<(String, String)>,
+    figures: Vec<FigureEntry>,
+    checks: Vec<(String, bool)>,
+    batches: Vec<BatchRecord>,
+}
+
+#[derive(Debug)]
+struct FigureEntry {
+    name: String,
+    peak_rss_bytes_after: u64,
+    series: Vec<SeriesRecord>,
+}
+
+impl JsonReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one figure's series, stamping the current peak RSS.
+    pub fn add_figure(&mut self, name: &str, series: Vec<SeriesRecord>) {
+        self.figures.push(FigureEntry {
+            name: name.to_string(),
+            peak_rss_bytes_after: peak_rss_bytes(),
+            series,
+        });
+    }
+
+    /// Records the verification gates.
+    pub fn add_checks(&mut self, checks: Vec<(String, bool)>) {
+        self.checks.extend(checks);
+    }
+
+    /// Records batched-vs-looped comparisons.
+    pub fn add_batches(&mut self, batches: Vec<BatchRecord>) {
+        self.batches.extend(batches);
+    }
+
+    /// Serializes the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"config\": {");
+        for (i, (k, v)) in self.config.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {}", quote(k), json_scalar(v));
+        }
+        s.push_str("},\n");
+        let _ = writeln!(s, "  \"peak_memory_bytes\": {},", peak_rss_bytes());
+        s.push_str("  \"figures\": [\n");
+        for (i, f) in self.figures.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"figure\": {}, \"peak_rss_bytes_after\": {}, \"series\": [",
+                quote(&f.name),
+                f.peak_rss_bytes_after
+            );
+            for (j, r) in f.series.iter().enumerate() {
+                let _ = writeln!(
+                    s,
+                    "      {{\"series\": {}, \"ops\": {}, \"finished\": {}, \"total_ns\": {}, \
+                     \"ops_per_sec\": {:.1}, \"avg_cost_us\": {:.3}, \"max_update_us\": {:.1}}}{}",
+                    quote(&r.series),
+                    r.ops,
+                    r.finished,
+                    r.total_ns,
+                    r.ops_per_sec(),
+                    r.avg_cost_us,
+                    r.max_update_us,
+                    comma(j, f.series.len()),
+                );
+            }
+            let _ = writeln!(s, "    ]}}{}", comma(i, self.figures.len()));
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"verify\": [\n");
+        for (i, (check, pass)) in self.checks.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"check\": {}, \"pass\": {}}}{}",
+                quote(check),
+                pass,
+                comma(i, self.checks.len())
+            );
+        }
+        s.push_str("  ],\n");
+        s.push_str("  \"batch\": [\n");
+        for (i, b) in self.batches.iter().enumerate() {
+            let _ = writeln!(
+                s,
+                "    {{\"series\": {}, \"n_points\": {}, \"batch_size\": {}, \"looped_ns\": {}, \
+                 \"batched_ns\": {}, \"speedup\": {:.3}}}{}",
+                quote(&b.series),
+                b.n_points,
+                b.batch_size,
+                b.looped_ns,
+                b.batched_ns,
+                b.speedup(),
+                comma(i, self.batches.len()),
+            );
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a config value: bare if it parses as a number or bool, quoted
+/// otherwise.
+fn json_scalar(v: &str) -> String {
+    if v.parse::<f64>().is_ok() || v == "true" || v == "false" || v == "null" {
+        v.to_string()
+    } else {
+        quote(v)
+    }
+}
+
+/// Process peak resident-set size in bytes (`VmHWM` from
+/// `/proc/self/status`); `0` where unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_valid_shape() {
+        let mut rep = JsonReport::new();
+        rep.config.push(("n".into(), "100".into()));
+        rep.config.push(("command".into(), "all".into()));
+        rep.add_figure(
+            "fig8",
+            vec![SeriesRecord {
+                series: "Semi-Exact".into(),
+                ops: 10,
+                finished: true,
+                total_ns: 2_000_000,
+                avg_cost_us: 200.0,
+                max_update_us: 400.0,
+            }],
+        );
+        rep.add_checks(vec![("sandwich".into(), true)]);
+        rep.add_batches(vec![BatchRecord {
+            series: "full/insert".into(),
+            n_points: 100,
+            batch_size: 10,
+            looped_ns: 300,
+            batched_ns: 100,
+        }]);
+        let j = rep.to_json();
+        assert!(j.contains("\"figures\""));
+        assert!(j.contains("\"Semi-Exact\""));
+        assert!(j.contains("\"ops_per_sec\": 5000.0"));
+        assert!(j.contains("\"speedup\": 3.000"));
+        assert!(j.contains("\"command\": \"all\""));
+        // crude balance check on the hand-rolled writer
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces:\n{j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::fs::metadata("/proc/self/status").is_ok() {
+            assert!(peak_rss_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn speedup_and_ops_per_sec_handle_zero() {
+        let b = BatchRecord {
+            series: "x".into(),
+            n_points: 0,
+            batch_size: 1,
+            looped_ns: 0,
+            batched_ns: 0,
+        };
+        assert_eq!(b.speedup(), 0.0);
+        let r = SeriesRecord {
+            series: "x".into(),
+            ops: 0,
+            finished: true,
+            total_ns: 0,
+            avg_cost_us: 0.0,
+            max_update_us: 0.0,
+        };
+        assert_eq!(r.ops_per_sec(), 0.0);
+    }
+}

@@ -9,7 +9,12 @@
 //! * [`report`] — paper-style series/table printers.
 //! * [`figures`] — one entry point per table/figure of the paper
 //!   (`fig8` ... `fig15`, `table1`, `verify`), shared between the `repro`
-//!   binary and the benches.
+//!   binary and the benches; each returns its measured series.
+//! * [`json`] — the machine-readable `BENCH_repro.json` report (per-figure
+//!   op/sec + peak memory) the `repro` binary writes, so the perf
+//!   trajectory can be tracked commit over commit.
+//! * [`batchbench`] — batched-vs-looped update comparisons shared by the
+//!   `batching` bench target and `repro -- batch`.
 //!
 //! The `repro` binary regenerates everything:
 //!
@@ -18,12 +23,15 @@
 //! cargo run --release -p dydbscan-bench --bin repro -- fig12 --n 200000 --budget-secs 120
 //! ```
 
+pub mod batchbench;
 pub mod driver;
 pub mod figures;
+pub mod json;
 pub mod metrics;
 pub mod microbench;
 pub mod report;
 
 pub use driver::{run_algo, run_workload, Algo};
+pub use json::{peak_rss_bytes, BatchRecord, JsonReport, SeriesRecord};
 pub use metrics::{ChunkStat, MetricsBuilder, RunMetrics};
 pub use microbench::{BenchConfig, BenchGroup};

@@ -108,18 +108,20 @@ pub fn create<const D: usize>(grid: &GridIndex<D>, a: CellId, b: CellId) -> Abcp
     } else {
         (c2, c1)
     };
+    // Sweep the smaller side's contiguous core block, stopping at the
+    // first witness.
+    let core = &grid.cell(from).core;
     let mut witness = None;
-    grid.cell(from).core.for_each(|p, pid| {
-        if witness.is_none() {
-            if let Some((proof, _)) = grid.emptiness(p, to) {
-                witness = Some(if from == c1 {
-                    (pid, proof)
-                } else {
-                    (proof, pid)
-                });
-            }
+    for (p, &pid) in core.points().iter().zip(core.items()) {
+        if let Some((proof, _)) = grid.emptiness(p, to) {
+            witness = Some(if from == c1 {
+                (pid, proof)
+            } else {
+                (proof, pid)
+            });
+            break;
         }
-    });
+    }
     // Pointers start past the current logs: L is empty (every current
     // point was covered by the initial search).
     AbcpInstance {

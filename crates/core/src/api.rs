@@ -42,6 +42,17 @@ pub struct ClustererStats {
     pub edge_removes: u64,
     /// Cluster splits adjudicated on deletion (IncDBSCAN's BFS relabels).
     pub splits: u64,
+    /// Updates that went through a grouped batch pipeline
+    /// (`insert_batch`/`delete_batch` on engines that override them).
+    pub batched_updates: u64,
+    /// Grouped batch flushes executed. `batched_updates / batch_flushes`
+    /// is the average amortization window.
+    pub batch_flushes: u64,
+    /// Neighbor-cell scans performed by batch flushes — each scan covers a
+    /// whole batch where per-op updates would rescan the cell per point,
+    /// so comparing this against `batched_updates` exposes the
+    /// amortization factor.
+    pub batch_cell_scans: u64,
 }
 
 /// A dynamic density-based clusterer over `D`-dimensional points.
@@ -106,7 +117,9 @@ pub trait DynamicClusterer<const D: usize> {
     /// Whether `id` is currently a core point.
     fn is_core(&self, id: PointId) -> bool;
 
-    /// Coordinates of a point (also valid for deleted ids).
+    /// Coordinates of an alive point. Coordinates live in the grid's
+    /// cell-major storage, so implementations may panic on deleted
+    /// (stale) ids with a message naming the id.
     fn coords(&self, id: PointId) -> Point<D>;
 
     /// Ids of all alive points, in insertion order.
@@ -125,11 +138,20 @@ pub trait DynamicClusterer<const D: usize> {
     fn stats(&self) -> ClustererStats;
 
     /// Inserts a batch of points; returns their ids in order.
+    ///
+    /// The default loops over [`insert`](Self::insert); the grid engines
+    /// override it with a cell-major pipeline that groups the batch by
+    /// target cell, materializes each touched cell once, and flushes all
+    /// promotions and grid-graph churn in a single pass. Overrides must
+    /// preserve the per-op semantics: the resulting clustering is
+    /// identical to looped insertion at `rho = 0` and sandwich-valid at
+    /// `rho > 0`.
     fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
         pts.iter().map(|p| self.insert(*p)).collect()
     }
 
-    /// Deletes a batch of points by id.
+    /// Deletes a batch of points by id, under the same equivalence
+    /// contract as [`insert_batch`](Self::insert_batch).
     fn delete_batch(&mut self, ids: &[PointId]) {
         for &id in ids {
             self.delete(id);

@@ -1,0 +1,167 @@
+//! Shared plumbing of the batched update pipelines (semi + full engines).
+//!
+//! A batch is processed cell-major: points are first placed (or removed),
+//! grouped by target cell, and every *touched* neighbor cell is then
+//! materialized exactly once with the coordinate block of the batch points
+//! that can reach it. The engines sweep each touched cell's SoA block once
+//! against that bucket, where per-op updates would rescan the same cell
+//! for every nearby update.
+
+use crate::points::{PointArena, PointId};
+use dydbscan_geom::{FxHashMap, Point};
+use dydbscan_grid::{CellId, GridIndex, NeighborScope};
+
+/// Phase 1 of every insert pipeline: allocate ids for the whole batch,
+/// group it by target cell (materializing cells as needed), append each
+/// group to its cell's SoA block in one `insert_block`, and record each
+/// point's `(cell, slot)` in the arena. `on_cell` runs once per distinct
+/// target cell (the engines hook their per-cell state growth here).
+/// Returns the new ids (in batch order) and the cell groups.
+pub(crate) fn place_batch<const D: usize>(
+    grid: &mut GridIndex<D>,
+    points: &mut PointArena,
+    pts: &[Point<D>],
+    mut on_cell: impl FnMut(CellId),
+) -> (Vec<PointId>, Vec<(CellId, Vec<u32>)>) {
+    let mut ids = Vec::with_capacity(pts.len());
+    let mut cells = Vec::with_capacity(pts.len());
+    for p in pts {
+        ids.push(points.push(0, 0));
+        cells.push(grid.ensure_cell(p));
+    }
+    let groups = group_by_cell(&cells);
+    for (cell, members) in &groups {
+        on_cell(*cell);
+        let first_slot = grid
+            .cell_mut(*cell)
+            .all
+            .insert_block(members.iter().map(|&k| (pts[k as usize], ids[k as usize])));
+        for (i, &k) in members.iter().enumerate() {
+            let rec = points.get_mut(ids[k as usize]);
+            rec.cell = *cell;
+            rec.slot = first_slot + i as u32;
+        }
+    }
+    (ids, groups)
+}
+
+/// Phase 2 helper shared by the insert pipelines: resolves a dense batch
+/// cell in one pass. If `cell` holds at least `min_pts` points after the
+/// batch, every resident is definitely core (cell diameter is `eps`):
+/// when the cell was dense *before* the batch its old residents are
+/// already core, so only the newcomers are pushed; when the batch crossed
+/// the threshold every non-core resident is. Returns `false` for sparse
+/// cells — the caller counts its members individually.
+pub(crate) fn promote_dense_cell<const D: usize>(
+    grid: &GridIndex<D>,
+    points: &PointArena,
+    cell: CellId,
+    members: &[u32],
+    ids: &[PointId],
+    min_pts: usize,
+    promotions: &mut Vec<PointId>,
+) -> bool {
+    let count = grid.cell(cell).count();
+    if count < min_pts {
+        return false;
+    }
+    if count - members.len() >= min_pts {
+        promotions.extend(members.iter().map(|&k| ids[k as usize]));
+    } else {
+        for &q in grid.cell(cell).all.items() {
+            if !points.is_core(q) {
+                promotions.push(q);
+            }
+        }
+    }
+    true
+}
+
+/// Groups batch members (indices `0..cells.len()`) by their target cell,
+/// in first-touch order (deterministic regardless of hash-map internals).
+pub(crate) fn group_by_cell(cells: &[CellId]) -> Vec<(CellId, Vec<u32>)> {
+    let mut index: FxHashMap<CellId, u32> = FxHashMap::default();
+    let mut groups: Vec<(CellId, Vec<u32>)> = Vec::new();
+    for (k, &c) in cells.iter().enumerate() {
+        let gi = *index.entry(c).or_insert_with(|| {
+            groups.push((c, Vec::new()));
+            (groups.len() - 1) as u32
+        });
+        groups[gi as usize].1.push(k as u32);
+    }
+    groups
+}
+
+/// For every materialized cell in the `scope` neighborhood of any batch
+/// cell that passes `keep`, collects the coordinates of the batch points
+/// that can reach it — one `(cell, coordinate block)` bucket per touched
+/// cell, first-touch order. `coords_of` resolves a batch member index to
+/// its coordinates.
+///
+/// `keep` prunes cells whose residents cannot need re-checking (dense
+/// cells: their points are definitely core); skipping them *here* avoids
+/// materializing coordinate blocks that would be thrown away, which is
+/// where most of the work would otherwise go on clustered data.
+pub(crate) fn neighbor_buckets<const D: usize>(
+    grid: &GridIndex<D>,
+    groups: &[(CellId, Vec<u32>)],
+    coords_of: impl Fn(u32) -> Point<D>,
+    scope: NeighborScope,
+    keep: impl Fn(&dydbscan_grid::Cell<D>) -> bool,
+) -> Vec<(CellId, Vec<Point<D>>)> {
+    let mut index: FxHashMap<CellId, u32> = FxHashMap::default();
+    let mut buckets: Vec<(CellId, Vec<Point<D>>)> = Vec::new();
+    for (cell, members) in groups {
+        grid.visit_neighbor_cells(*cell, scope, |nid, cell_obj| {
+            if !keep(cell_obj) {
+                return;
+            }
+            let bi = *index.entry(nid).or_insert_with(|| {
+                buckets.push((nid, Vec::new()));
+                (buckets.len() - 1) as u32
+            });
+            let b = &mut buckets[bi as usize].1;
+            b.extend(members.iter().map(|&k| coords_of(k)));
+        });
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_preserve_first_touch_order() {
+        let groups = group_by_cell(&[5, 3, 5, 5, 3, 9]);
+        assert_eq!(
+            groups,
+            vec![(5, vec![0, 2, 3]), (3, vec![1, 4]), (9, vec![5])]
+        );
+    }
+
+    #[test]
+    fn buckets_cover_every_neighbor_once() {
+        let mut grid = GridIndex::<2>::new(1.0, 0.0);
+        let a = grid.ensure_cell(&[0.1, 0.1]);
+        let b = grid.ensure_cell(&[0.8, 0.1]); // eps-close to a
+        let pts = [[0.1, 0.1], [0.15, 0.12], [0.8, 0.1]];
+        let cells = [a, a, b];
+        let groups = group_by_cell(&cells);
+        let buckets = neighbor_buckets(
+            &grid,
+            &groups,
+            |k| pts[k as usize],
+            NeighborScope::Eps,
+            |_| true,
+        );
+        // each touched cell appears exactly once
+        let mut seen: Vec<CellId> = buckets.iter().map(|(c, _)| *c).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), buckets.len());
+        // cell a's bucket holds its own two points plus b's (eps-close)
+        let a_bucket = &buckets.iter().find(|(c, _)| *c == a).unwrap().1;
+        assert_eq!(a_bucket.len(), 3);
+    }
+}

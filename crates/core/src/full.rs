@@ -30,8 +30,8 @@ use crate::params::Params;
 use crate::points::{PointArena, PointId};
 use crate::query::c_group_by;
 use dydbscan_conn::{DynConnectivity, HdtConnectivity};
-use dydbscan_geom::{dist_sq, FxHashMap, Point};
-use dydbscan_grid::{CellId, GridIndex};
+use dydbscan_geom::{any_within_sq, dist_sq, FxHashMap, Point};
+use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 
 /// Operation counters for provenance analysis in the benchmarks.
 #[derive(Debug, Default, Clone, Copy)]
@@ -50,6 +50,13 @@ pub struct FullStats {
     pub instances_created: u64,
     /// aBCP instances destroyed.
     pub instances_destroyed: u64,
+    /// Updates applied through the batched entry points.
+    pub batched_updates: u64,
+    /// Batch flushes executed (grouped `insert_batch`/`delete_batch`).
+    pub batch_flushes: u64,
+    /// Neighbor-cell scans performed by batch flushes — each one covers a
+    /// whole batch where per-op updates would rescan the cell per point.
+    pub batch_cell_scans: u64,
 }
 
 /// Fully-dynamic ρ-double-approximate DBSCAN (exact when `rho = 0`).
@@ -76,7 +83,7 @@ pub struct FullStats {
 pub struct FullDynDbscan<const D: usize, C: DynConnectivity = HdtConnectivity> {
     params: Params,
     grid: GridIndex<D>,
-    points: PointArena<D>,
+    points: PointArena,
     conn: C,
     instances: Vec<AbcpInstance>,
     free_instances: Vec<AbcpId>,
@@ -140,9 +147,16 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         self.points.is_core(id)
     }
 
-    /// Coordinates of a point (also valid for deleted ids).
+    /// Coordinates of an alive point, read from its cell's SoA block.
+    /// Panics on deleted ids (the grid no longer stores their
+    /// coordinates).
     pub fn coords(&self, id: PointId) -> Point<D> {
-        self.points.get(id).coords
+        assert!(
+            self.points.is_alive(id),
+            "coords of deleted or unknown point id {id}"
+        );
+        let r = self.points.get(id);
+        *self.grid.cell(r.cell).all.point(r.slot)
     }
 
     /// Ids of all alive points.
@@ -182,9 +196,13 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
 
     /// Inserts a point; returns its id. Amortized `O~(1)`.
     pub fn insert(&mut self, p: Point<D>) -> PointId {
-        let id = self.points.push(p, 0);
-        let cell = self.grid.insert_point(&p, id);
-        self.points.get_mut(id).cell = cell;
+        let id = self.points.push(0, 0);
+        let (cell, slot) = self.grid.insert_point(&p, id);
+        {
+            let rec = self.points.get_mut(id);
+            rec.cell = cell;
+            rec.slot = slot;
+        }
         while self.cell_instances.len() <= cell as usize {
             self.cell_instances.push(Vec::new());
         }
@@ -199,13 +217,12 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             if count == min_pts {
                 // The cell just became dense: every resident is now
                 // definitely core; no count queries needed.
-                let mut residents = Vec::new();
-                self.grid.cell(cell).all.for_each(|_, q| {
-                    if q != id && !self.points.is_core(q) {
-                        residents.push(q);
+                let points = &self.points;
+                for &q in self.grid.cell(cell).all.items() {
+                    if q != id && !points.is_core(q) {
+                        promotions.push(q);
                     }
-                });
-                promotions.extend(residents);
+                }
             }
         } else {
             self.stats.count_queries += 1;
@@ -215,28 +232,34 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         }
 
         // Re-check non-core points of (1+rho)eps-close sparse cells whose
-        // ball gained the new point.
+        // ball gained the new point: one neighbor visitation over the
+        // cells' SoA blocks.
         let hi_sq = self.params.eps_hi_sq();
-        let mut trigger_cells = Vec::new();
-        self.grid.for_each_trigger_neighbor(cell, |c| {
-            trigger_cells.push(c);
-        });
-        for c in trigger_cells {
-            if self.grid.cell(c).count() >= min_pts {
-                continue; // dense: residents already core
-            }
-            let mut candidates = Vec::new();
-            self.grid.cell(c).all.for_each(|qp, q| {
-                if q != id && !self.points.is_core(q) && dist_sq(qp, &p) <= hi_sq {
-                    candidates.push(q);
-                }
-            });
-            for q in candidates {
-                self.stats.count_queries += 1;
-                let qp = self.points.get(q).coords;
-                if self.grid.count_ball_sandwich(&qp) >= min_pts {
-                    promotions.push(q);
-                }
+        let mut candidates: Vec<PointId> = Vec::new();
+        {
+            let points = &self.points;
+            self.grid
+                .visit_neighbor_cells(cell, NeighborScope::Trigger, |_, c| {
+                    if c.count() >= min_pts {
+                        return; // dense: residents already core
+                    }
+                    for (qp, &q) in c.all.points().iter().zip(c.all.items()) {
+                        if q != id && dist_sq(qp, &p) <= hi_sq && !points.is_core(q) {
+                            candidates.push(q);
+                        }
+                    }
+                });
+        }
+        for q in candidates {
+            self.stats.count_queries += 1;
+            let rec = self.points.get(q);
+            let qp = *self.grid.cell(rec.cell).all.point(rec.slot);
+            if self
+                .grid
+                .count_ball_from(rec.cell, &qp, self.params.eps, self.params.eps_hi())
+                >= min_pts
+            {
+                promotions.push(q);
             }
         }
 
@@ -246,49 +269,286 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         id
     }
 
-    /// Deletes a point by id. Amortized `O~(1)`. Panics on unknown or
-    /// already-deleted ids.
-    pub fn delete(&mut self, id: PointId) {
+    /// Inserts a batch of points through the cell-major pipeline: place
+    /// everything, group by target cell, recompute statuses once per
+    /// touched cell, and flush all promotions (GUM + connectivity) in a
+    /// single pass. Identical to looped insertion at `rho = 0`,
+    /// sandwich-valid at `rho > 0`.
+    pub fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
+        if pts.len() < 2 {
+            return pts.iter().map(|p| self.insert(*p)).collect();
+        }
+        self.stats.batch_flushes += 1;
+        self.stats.batched_updates += pts.len() as u64;
+        let batch_start = self.points.capacity_ids() as PointId;
+        let min_pts = self.params.min_pts;
+
+        // Phase 1: place the whole batch cell-major (tree maintenance is
+        // deferred to amortized doubling rebuilds inside `CellSet`).
+        let cell_instances = &mut self.cell_instances;
+        let (ids, groups) = crate::batch::place_batch(&mut self.grid, &mut self.points, pts, |c| {
+            while cell_instances.len() <= c as usize {
+                cell_instances.push(Vec::new());
+            }
+        });
+
+        // Phase 2: statuses of the batch's own points, one pass per
+        // target cell (dense cells need no count queries; see
+        // `batch::promote_dense_cell`).
+        let mut promotions: Vec<PointId> = Vec::new();
+        for (cell, members) in &groups {
+            let dense = crate::batch::promote_dense_cell(
+                &self.grid,
+                &self.points,
+                *cell,
+                members,
+                &ids,
+                min_pts,
+                &mut promotions,
+            );
+            if dense {
+                continue;
+            }
+            for &k in members {
+                self.stats.count_queries += 1;
+                let p = &pts[k as usize];
+                if self
+                    .grid
+                    .count_ball_from(*cell, p, self.params.eps, self.params.eps_hi())
+                    >= min_pts
+                {
+                    promotions.push(ids[k as usize]);
+                }
+            }
+        }
+
+        // Phase 3: re-check pre-existing non-core points near the batch.
+        // Every touched trigger-neighbor cell is materialized once; its
+        // SoA block is swept against the coordinate block of the batch
+        // points that can reach it, and each survivor whose ball gained a
+        // batch point is re-counted exactly once.
+        let buckets = crate::batch::neighbor_buckets(
+            &self.grid,
+            &groups,
+            |k| pts[k as usize],
+            NeighborScope::Trigger,
+            |c| c.count() < min_pts, // dense cells: residents already core
+        );
+        let hi_sq = self.params.eps_hi_sq();
+        let mut candidates: Vec<PointId> = Vec::new();
+        let mut cell_scans = 0u64;
+        {
+            let points = &self.points;
+            for (c, bucket) in &buckets {
+                let cell_obj = self.grid.cell(*c);
+                cell_scans += 1;
+                for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
+                    if q >= batch_start || points.is_core(q) {
+                        continue; // batch points handled in phase 2
+                    }
+                    if any_within_sq(bucket, qp, hi_sq) {
+                        candidates.push(q);
+                    }
+                }
+            }
+        }
+        self.stats.batch_cell_scans += cell_scans;
+        for q in candidates {
+            self.stats.count_queries += 1;
+            let rec = self.points.get(q);
+            let qp = *self.grid.cell(rec.cell).all.point(rec.slot);
+            if self
+                .grid
+                .count_ball_from(rec.cell, &qp, self.params.eps, self.params.eps_hi())
+                >= min_pts
+            {
+                promotions.push(q);
+            }
+        }
+
+        // Phase 4: flush all promotions (GUM + connectivity) in one pass.
+        self.flush_promotions(&promotions);
+        ids
+    }
+
+    /// Registers a block of promoted points cell-at-a-time: each cell's
+    /// core block is extended in one shot, and its aBCP instances are
+    /// updated **once per instance** for the whole block instead of once
+    /// per point — the "single pass" edge-churn flush of the batch
+    /// pipeline. Produces the same final grid graph as per-point
+    /// [`on_became_core`](Self::on_became_core) at `rho = 0`.
+    fn flush_promotions(&mut self, promotions: &[PointId]) {
+        if promotions.is_empty() {
+            return;
+        }
+        let cells_of: Vec<CellId> = promotions
+            .iter()
+            .map(|&q| self.points.get(q).cell)
+            .collect();
+        let groups = crate::batch::group_by_cell(&cells_of);
+        for (cell, members) in &groups {
+            let was_core_cell = self.grid.cell(*cell).is_core_cell();
+            let entries: Vec<(Point<D>, PointId)> = members
+                .iter()
+                .map(|&k| {
+                    let q = promotions[k as usize];
+                    let r = self.points.get(q);
+                    (*self.grid.cell(r.cell).all.point(r.slot), q)
+                })
+                .collect();
+            let first_slot = self
+                .grid
+                .cell_mut(*cell)
+                .core
+                .insert_block(entries.iter().copied());
+            for (i, &(_, q)) in entries.iter().enumerate() {
+                debug_assert!(!self.points.is_core(q));
+                let log_pos = self.grid.cell_mut(*cell).core_log.push(q);
+                self.points.set_core(q, true);
+                let rec = self.points.get_mut(q);
+                rec.core_slot = first_slot + i as u32;
+                rec.log_pos = log_pos;
+                self.stats.promotions += 1;
+            }
+            if !was_core_cell {
+                // Initial witness searches cover the whole block (Lemma 3).
+                self.gum_cell_joins_v(*cell);
+            } else {
+                // One de-listing round per instance for the whole block.
+                self.abcp_insert_round(*cell);
+            }
+        }
+    }
+
+    /// The removal prologue shared by `delete` and `delete_batch`: pulls
+    /// `id` out of the grid (patching the slots the swap-remove
+    /// relocated), runs GUM if it was core, and kills the arena record.
+    /// The grid is updated first so all subsequent counts see `P \ {p}`.
+    /// Returns the cell the point lived in and its coordinates.
+    fn remove_from_grid(&mut self, id: PointId) -> (CellId, Point<D>) {
         assert!(
             self.points.is_alive(id),
             "delete of unknown or already-deleted point id {id}"
         );
-        let (p, cell) = {
+        let (cell, slot) = {
             let r = self.points.get(id);
-            (r.coords, r.cell)
+            (r.cell, r.slot)
         };
-        // Remove from the grid first so all subsequent counts see P\{p}.
-        self.grid.remove_point(&p, id);
+        let p = *self.grid.cell(cell).all.point(slot);
+        for (moved, new_slot) in self.grid.remove_point_at(cell, slot).iter() {
+            self.points.get_mut(moved).slot = new_slot;
+        }
         if self.points.is_core(id) {
-            self.on_lost_core(id);
+            self.on_lost_core(id, p);
         }
         self.points.kill(id);
+        (cell, p)
+    }
+
+    /// Deletes a point by id. Amortized `O~(1)`. Panics on unknown or
+    /// already-deleted ids.
+    pub fn delete(&mut self, id: PointId) {
+        let (cell, p) = self.remove_from_grid(id);
 
         // Re-check core points of (1+rho)eps-close sparse cells whose ball
         // lost the deleted point. (Points in still-dense cells remain
         // definitely core.)
         let min_pts = self.params.min_pts;
         let hi_sq = self.params.eps_hi_sq();
-        let mut trigger_cells = Vec::new();
-        self.grid.for_each_trigger_neighbor(cell, |c| {
-            trigger_cells.push(c);
-        });
-        for c in trigger_cells {
-            if self.grid.cell(c).count() >= min_pts {
-                continue;
+        let mut candidates: Vec<PointId> = Vec::new();
+        {
+            let points = &self.points;
+            self.grid
+                .visit_neighbor_cells(cell, NeighborScope::Trigger, |_, c| {
+                    if c.count() >= min_pts {
+                        return;
+                    }
+                    for (qp, &q) in c.all.points().iter().zip(c.all.items()) {
+                        if dist_sq(qp, &p) <= hi_sq && points.is_core(q) {
+                            candidates.push(q);
+                        }
+                    }
+                });
+        }
+        for q in candidates {
+            self.stats.count_queries += 1;
+            let rec = self.points.get(q);
+            let qp = *self.grid.cell(rec.cell).all.point(rec.slot);
+            if self
+                .grid
+                .count_ball_from(rec.cell, &qp, self.params.eps, self.params.eps_hi())
+                < min_pts
+            {
+                self.on_lost_core(q, qp);
             }
-            let mut candidates = Vec::new();
-            self.grid.cell(c).all.for_each(|qp, q| {
-                if self.points.is_core(q) && dist_sq(qp, &p) <= hi_sq {
-                    candidates.push(q);
+        }
+    }
+
+    /// Deletes a batch of points through the cell-major pipeline: pull
+    /// everything out of the grid, then re-check each touched cell's
+    /// surviving core points exactly once against the batch's coordinate
+    /// block, flushing demotions (GUM + connectivity) in a single pass.
+    /// Identical to looped deletion at `rho = 0`, sandwich-valid at
+    /// `rho > 0`.
+    pub fn delete_batch(&mut self, del_ids: &[PointId]) {
+        if del_ids.len() < 2 {
+            for &id in del_ids {
+                self.delete(id);
+            }
+            return;
+        }
+        self.stats.batch_flushes += 1;
+        self.stats.batched_updates += del_ids.len() as u64;
+        let min_pts = self.params.min_pts;
+
+        // Phase 1: pull every point out of the grid (and, for core
+        // points, out of GUM), recording coordinates per source cell.
+        let mut coords = Vec::with_capacity(del_ids.len());
+        let mut cells = Vec::with_capacity(del_ids.len());
+        for &id in del_ids {
+            let (cell, p) = self.remove_from_grid(id);
+            coords.push(p);
+            cells.push(cell);
+        }
+        let groups = crate::batch::group_by_cell(&cells);
+
+        // Phase 2: re-check surviving core points near the batch. Every
+        // touched trigger-neighbor cell is materialized once; dense cells
+        // keep their residents definitely core and are skipped.
+        let buckets = crate::batch::neighbor_buckets(
+            &self.grid,
+            &groups,
+            |k| coords[k as usize],
+            NeighborScope::Trigger,
+            |c| c.count() < min_pts, // still-dense cells keep their cores
+        );
+        let hi_sq = self.params.eps_hi_sq();
+        let mut candidates: Vec<PointId> = Vec::new();
+        let mut cell_scans = 0u64;
+        {
+            let points = &self.points;
+            for (c, bucket) in &buckets {
+                let cell_obj = self.grid.cell(*c);
+                cell_scans += 1;
+                for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
+                    if points.is_core(q) && any_within_sq(bucket, qp, hi_sq) {
+                        candidates.push(q);
+                    }
                 }
-            });
-            for q in candidates {
-                self.stats.count_queries += 1;
-                let qp = self.points.get(q).coords;
-                if self.grid.count_ball_sandwich(&qp) < min_pts {
-                    self.on_lost_core(q);
-                }
+            }
+        }
+        self.stats.batch_cell_scans += cell_scans;
+        // Phase 3: one count query per affected survivor; flush demotions.
+        for q in candidates {
+            self.stats.count_queries += 1;
+            let rec = self.points.get(q);
+            let qp = *self.grid.cell(rec.cell).all.point(rec.slot);
+            if self
+                .grid
+                .count_ball_from(rec.cell, &qp, self.params.eps, self.params.eps_hi())
+                < min_pts
+            {
+                self.on_lost_core(q, qp);
             }
         }
     }
@@ -300,62 +560,89 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         self.points.set_core(q, true);
         let (qp, cell) = {
             let r = self.points.get(q);
-            (r.coords, r.cell)
+            (*self.grid.cell(r.cell).all.point(r.slot), r.cell)
         };
         let cell_obj = self.grid.cell_mut(cell);
         let was_core_cell = cell_obj.is_core_cell();
-        cell_obj.core.insert(qp, q);
+        let core_slot = cell_obj.core.insert(qp, q);
         let log_pos = cell_obj.core_log.push(q);
-        self.points.get_mut(q).log_pos = log_pos;
+        {
+            let rec = self.points.get_mut(q);
+            rec.core_slot = core_slot;
+            rec.log_pos = log_pos;
+        }
 
         if !was_core_cell {
-            // The cell joins V: start an aBCP instance with every
-            // eps-close core cell (Lemma 3 initial witness search).
-            self.conn.ensure_vertex(cell);
-            let mut neighbors = Vec::new();
-            self.grid.for_each_eps_neighbor(cell, |c| {
-                if c != cell && self.grid.cell(c).is_core_cell() {
+            self.gum_cell_joins_v(cell);
+        } else {
+            self.abcp_insert_round(cell);
+        }
+    }
+
+    /// GUM after `cell` gained its first core point(s): start an aBCP
+    /// instance with every eps-close core cell (Lemma 3 initial witness
+    /// search, covering everything currently in `cell`'s core block).
+    fn gum_cell_joins_v(&mut self, cell: CellId) {
+        self.conn.ensure_vertex(cell);
+        let mut neighbors = Vec::new();
+        self.grid
+            .visit_neighbor_cells(cell, NeighborScope::Eps, |c, cell_obj| {
+                if c != cell && cell_obj.is_core_cell() {
                     neighbors.push(c);
                 }
             });
-            for c in neighbors {
-                self.create_instance(cell, c);
-            }
-        } else {
-            // The cell is already in V: feed the new core point to its
-            // aBCP instances.
-            let points = &self.points;
-            let coords = |pid: PointId| points.get(pid).coords;
-            for idx in 0..self.cell_instances[cell as usize].len() {
-                let iid = self.cell_instances[cell as usize][idx];
-                let inst = &mut self.instances[iid as usize];
-                let change = abcp::insert_core(inst, &self.grid, &coords);
-                let (c1, c2) = (inst.c1, inst.c2);
-                match change {
-                    EdgeChange::Inserted => {
-                        self.stats.edge_inserts += 1;
-                        self.conn.insert_edge(c1, c2);
-                    }
-                    EdgeChange::Removed => unreachable!("insertion cannot remove a witness"),
-                    EdgeChange::None => {}
+        for c in neighbors {
+            self.create_instance(cell, c);
+        }
+    }
+
+    /// GUM after `cell` (already in V) gained core point(s): one
+    /// de-listing round per aBCP instance of the cell, forwarding any
+    /// witness appearance to the CC structure. Covers every core arrival
+    /// since the instance's last round, so the batch flush calls it once
+    /// per cell instead of once per point.
+    fn abcp_insert_round(&mut self, cell: CellId) {
+        let points = &self.points;
+        let grid = &self.grid;
+        let coords = |pid: PointId| {
+            let r = points.get(pid);
+            *grid.cell(r.cell).all.point(r.slot)
+        };
+        for idx in 0..self.cell_instances[cell as usize].len() {
+            let iid = self.cell_instances[cell as usize][idx];
+            let inst = &mut self.instances[iid as usize];
+            let change = abcp::insert_core(inst, grid, &coords);
+            let (c1, c2) = (inst.c1, inst.c2);
+            match change {
+                EdgeChange::Inserted => {
+                    self.stats.edge_inserts += 1;
+                    self.conn.insert_edge(c1, c2);
                 }
+                EdgeChange::Removed => unreachable!("insertion cannot remove a witness"),
+                EdgeChange::None => {}
             }
         }
     }
 
     /// Unregisters core point `q` (deleted or demoted) and runs GUM.
-    fn on_lost_core(&mut self, q: PointId) {
+    /// `qp` are `q`'s coordinates (a deleted point is already out of the
+    /// grid's SoA blocks when this runs).
+    fn on_lost_core(&mut self, q: PointId, qp: Point<D>) {
         debug_assert!(self.points.is_core(q));
         self.stats.demotions += 1;
         self.points.set_core(q, false);
-        let (qp, cell, log_pos) = {
+        let (cell, core_slot, log_pos) = {
             let r = self.points.get(q);
-            (r.coords, r.cell, r.log_pos)
+            (r.cell, r.core_slot, r.log_pos)
         };
         let cell_obj = self.grid.cell_mut(cell);
-        let removed = cell_obj.core.remove(&qp, q);
-        debug_assert!(removed, "core point missing from its cell's core set");
-        cell_obj.core_log.kill(log_pos);
+        debug_assert_eq!(cell_obj.core.item(core_slot), q);
+        debug_assert_eq!(cell_obj.core.point(core_slot), &qp);
+        let moves = cell_obj.core.swap_remove(core_slot);
+        for (moved, new_slot) in moves.iter() {
+            self.points.get_mut(moved).core_slot = new_slot;
+        }
+        self.grid.cell_mut(cell).core_log.kill(log_pos);
 
         if !self.grid.cell(cell).is_core_cell() {
             // The cell leaves V: destroy all of its aBCP instances.
@@ -381,11 +668,15 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         } else {
             // Update every instance of the (still core) cell.
             let points = &self.points;
-            let coords = |pid: PointId| points.get(pid).coords;
+            let grid = &self.grid;
+            let coords = |pid: PointId| {
+                let r = points.get(pid);
+                *grid.cell(r.cell).all.point(r.slot)
+            };
             for idx in 0..self.cell_instances[cell as usize].len() {
                 let iid = self.cell_instances[cell as usize][idx];
                 let inst = &mut self.instances[iid as usize];
-                let change = abcp::delete_core(inst, &self.grid, cell, q, &coords);
+                let change = abcp::delete_core(inst, grid, cell, q, &coords);
                 let (c1, c2) = (inst.c1, inst.c2);
                 match change {
                     EdgeChange::Removed => {
@@ -458,7 +749,8 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         // resolution, and core sets must mirror the flags.
         let mut alive: Vec<(PointId, Point<D>, bool)> = Vec::new();
         for (id, r) in self.points.iter_alive() {
-            alive.push((id, r.coords, self.points.is_core(id)));
+            let p = *self.grid.cell(r.cell).all.point(r.slot);
+            alive.push((id, p, self.points.is_core(id)));
         }
         let eps_sq = self.params.eps_sq();
         let hi_sq = self.params.eps_hi_sq();
@@ -484,8 +776,10 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             let iid = self.instance_ids[key];
             let inst = &self.instances[iid as usize];
             if let Some((w1, w2)) = inst.witness {
-                let p1 = self.points.get(w1).coords;
-                let p2 = self.points.get(w2).coords;
+                let r1 = self.points.get(w1);
+                let r2 = self.points.get(w2);
+                let p1 = *self.grid.cell(r1.cell).all.point(r1.slot);
+                let p2 = *self.grid.cell(r2.cell).all.point(r2.slot);
                 assert!(self.points.is_core(w1) && self.points.is_core(w2));
                 assert!(
                     dist_sq(&p1, &p2) <= hi_sq + 1e-9,
@@ -552,6 +846,14 @@ impl<const D: usize, C: DynConnectivity> DynamicClusterer<D> for FullDynDbscan<D
         FullDynDbscan::group_all(self)
     }
 
+    fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
+        FullDynDbscan::insert_batch(self, pts)
+    }
+
+    fn delete_batch(&mut self, ids: &[PointId]) {
+        FullDynDbscan::delete_batch(self, ids)
+    }
+
     fn stats(&self) -> ClustererStats {
         let s = self.stats;
         ClustererStats {
@@ -561,6 +863,9 @@ impl<const D: usize, C: DynConnectivity> DynamicClusterer<D> for FullDynDbscan<D
             edge_inserts: s.edge_inserts,
             edge_removes: s.edge_removes,
             splits: 0,
+            batched_updates: s.batched_updates,
+            batch_flushes: s.batch_flushes,
+            batch_cell_scans: s.batch_cell_scans,
         }
     }
 }

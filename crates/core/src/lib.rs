@@ -65,6 +65,7 @@
 
 pub mod abcp;
 pub mod api;
+mod batch;
 pub mod full;
 pub mod groups;
 pub mod ops;

@@ -1,10 +1,18 @@
-//! Point arena: stable ids, coordinates and per-point clustering state.
+//! Point arena: stable ids and per-point clustering state.
 //!
 //! Points get monotonically increasing `u32` ids that are **never reused**,
 //! so a stale id held by a caller after deletion is detected instead of
-//! silently aliasing a different point.
+//! silently aliasing a different point. Out-of-range ids panic with a
+//! message naming the id and the operation rather than a bare index panic.
+//!
+//! Coordinates are *not* stored here: the grid owns them, cell-major, in
+//! each cell's structure-of-arrays block ([`dydbscan_spatial::CellSet`]).
+//! A [`PointRec`] is pure id↔location bookkeeping — which cell the point
+//! lives in and its slots inside that cell's `all`/`core` blocks — plus
+//! the per-point counters the engines maintain. Hot-path neighborhood
+//! scans therefore sweep contiguous per-cell memory and never chase ids
+//! back through this arena.
 
-use dydbscan_geom::Point;
 use dydbscan_grid::{CellId, LogPos};
 
 /// Identifier of an inserted point. Never reused after deletion.
@@ -13,13 +21,16 @@ pub type PointId = u32;
 const F_ALIVE: u8 = 1;
 const F_CORE: u8 = 2;
 
-/// Per-point record.
+/// Per-point record: location bookkeeping + engine counters.
 #[derive(Debug, Clone)]
-pub struct PointRec<const D: usize> {
-    /// Coordinates.
-    pub coords: Point<D>,
+pub struct PointRec {
     /// Cell containing the point.
     pub cell: CellId,
+    /// Slot in the cell's `all` block (kept consistent under swap-remove
+    /// by the engines). Stale once the point is deleted.
+    pub slot: u32,
+    /// Slot in the cell's `core` block while the point is core.
+    pub core_slot: u32,
     /// Semi-dynamic vicinity count `vincnt(p) = |B(p, eps)|`, tracked while
     /// the point is non-core (Section 5).
     pub vincnt: u32,
@@ -30,12 +41,12 @@ pub struct PointRec<const D: usize> {
 
 /// Arena of point records indexed by [`PointId`].
 #[derive(Debug, Default)]
-pub struct PointArena<const D: usize> {
-    recs: Vec<PointRec<D>>,
+pub struct PointArena {
+    recs: Vec<PointRec>,
     alive: usize,
 }
 
-impl<const D: usize> PointArena<D> {
+impl PointArena {
     /// Creates an empty arena.
     pub fn new() -> Self {
         Self {
@@ -56,18 +67,19 @@ impl<const D: usize> PointArena<D> {
         self.alive == 0
     }
 
-    /// Total ids ever allocated.
+    /// Total ids ever allocated (= the next id to be handed out).
     #[inline]
     pub fn capacity_ids(&self) -> usize {
         self.recs.len()
     }
 
-    /// Allocates a record for a new alive point.
-    pub fn push(&mut self, coords: Point<D>, cell: CellId) -> PointId {
+    /// Allocates a record for a new alive point at `(cell, slot)`.
+    pub fn push(&mut self, cell: CellId, slot: u32) -> PointId {
         let id = self.recs.len() as PointId;
         self.recs.push(PointRec {
-            coords,
             cell,
+            slot,
+            core_slot: 0,
             vincnt: 0,
             log_pos: 0,
             flags: F_ALIVE,
@@ -76,15 +88,32 @@ impl<const D: usize> PointArena<D> {
         id
     }
 
-    /// Immutable access; panics on out-of-range ids.
-    #[inline]
-    pub fn get(&self, id: PointId) -> &PointRec<D> {
-        &self.recs[id as usize]
+    #[cold]
+    #[inline(never)]
+    fn bad_id(&self, op: &str, id: PointId) -> ! {
+        panic!(
+            "PointArena::{op}: stale or unknown point id {id} (ids 0..{} were ever allocated)",
+            self.recs.len()
+        );
     }
 
-    /// Mutable access; panics on out-of-range ids.
+    /// Immutable access. Panics on ids that were never allocated, naming
+    /// the id and operation.
     #[inline]
-    pub fn get_mut(&mut self, id: PointId) -> &mut PointRec<D> {
+    pub fn get(&self, id: PointId) -> &PointRec {
+        match self.recs.get(id as usize) {
+            Some(r) => r,
+            None => self.bad_id("get", id),
+        }
+    }
+
+    /// Mutable access. Panics on ids that were never allocated, naming
+    /// the id and operation.
+    #[inline]
+    pub fn get_mut(&mut self, id: PointId) -> &mut PointRec {
+        if id as usize >= self.recs.len() {
+            self.bad_id("get_mut", id);
+        }
         &mut self.recs[id as usize]
     }
 
@@ -96,15 +125,22 @@ impl<const D: usize> PointArena<D> {
             .is_some_and(|r| r.flags & F_ALIVE != 0)
     }
 
-    /// Whether `id` is currently a core point.
+    /// Whether `id` is currently a core point. Panics on ids that were
+    /// never allocated, naming the id and operation.
     #[inline]
     pub fn is_core(&self, id: PointId) -> bool {
-        self.recs[id as usize].flags & F_CORE != 0
+        match self.recs.get(id as usize) {
+            Some(r) => r.flags & F_CORE != 0,
+            None => self.bad_id("is_core", id),
+        }
     }
 
     /// Sets the core flag.
     #[inline]
     pub fn set_core(&mut self, id: PointId, core: bool) {
+        if id as usize >= self.recs.len() {
+            self.bad_id("set_core", id);
+        }
         let r = &mut self.recs[id as usize];
         if core {
             r.flags |= F_CORE;
@@ -115,6 +151,9 @@ impl<const D: usize> PointArena<D> {
 
     /// Marks a point deleted. Panics if already deleted.
     pub fn kill(&mut self, id: PointId) {
+        if id as usize >= self.recs.len() {
+            self.bad_id("kill", id);
+        }
         let r = &mut self.recs[id as usize];
         assert!(r.flags & F_ALIVE != 0, "point {id} deleted twice");
         r.flags &= !F_ALIVE;
@@ -123,7 +162,7 @@ impl<const D: usize> PointArena<D> {
     }
 
     /// Iterates `(id, &rec)` over alive points.
-    pub fn iter_alive(&self) -> impl Iterator<Item = (PointId, &PointRec<D>)> {
+    pub fn iter_alive(&self) -> impl Iterator<Item = (PointId, &PointRec)> {
         self.recs
             .iter()
             .enumerate()
@@ -138,10 +177,12 @@ mod tests {
 
     #[test]
     fn lifecycle() {
-        let mut a = PointArena::<2>::new();
-        let p = a.push([1.0, 2.0], 0);
+        let mut a = PointArena::new();
+        let p = a.push(3, 7);
         assert!(a.is_alive(p));
         assert!(!a.is_core(p));
+        assert_eq!(a.get(p).cell, 3);
+        assert_eq!(a.get(p).slot, 7);
         a.set_core(p, true);
         assert!(a.is_core(p));
         a.kill(p);
@@ -154,18 +195,33 @@ mod tests {
     #[test]
     #[should_panic(expected = "deleted twice")]
     fn double_kill_panics() {
-        let mut a = PointArena::<2>::new();
-        let p = a.push([0.0, 0.0], 0);
+        let mut a = PointArena::new();
+        let p = a.push(0, 0);
         a.kill(p);
         a.kill(p);
     }
 
     #[test]
+    #[should_panic(expected = "PointArena::get: stale or unknown point id 42")]
+    fn get_names_id_and_operation() {
+        let a = PointArena::new();
+        let _ = a.get(42);
+    }
+
+    #[test]
+    #[should_panic(expected = "PointArena::is_core: stale or unknown point id 7")]
+    fn is_core_names_id_and_operation() {
+        let mut a = PointArena::new();
+        a.push(0, 0);
+        let _ = a.is_core(7);
+    }
+
+    #[test]
     fn ids_never_reused() {
-        let mut a = PointArena::<1>::new();
-        let p0 = a.push([0.0], 0);
+        let mut a = PointArena::new();
+        let p0 = a.push(0, 0);
         a.kill(p0);
-        let p1 = a.push([1.0], 0);
+        let p1 = a.push(0, 0);
         assert_ne!(p0, p1);
         assert!(!a.is_alive(p0));
         assert!(a.is_alive(p1));
@@ -173,8 +229,8 @@ mod tests {
 
     #[test]
     fn iter_alive_skips_dead() {
-        let mut a = PointArena::<1>::new();
-        let ids: Vec<_> = (0..5).map(|i| a.push([i as f64], 0)).collect();
+        let mut a = PointArena::new();
+        let ids: Vec<_> = (0..5).map(|i| a.push(0, i)).collect();
         a.kill(ids[1]);
         a.kill(ids[3]);
         let alive: Vec<PointId> = a.iter_alive().map(|(i, _)| i).collect();

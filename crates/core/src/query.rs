@@ -27,10 +27,11 @@ use dydbscan_grid::{CellId, GridIndex};
 /// `cc_id` must map a **core cell** to its current component id in the grid
 /// graph (the `CC-Id` operation of the CC structure). Panics if a queried
 /// id is not alive — querying deleted points is a caller bug worth
-/// surfacing loudly.
+/// surfacing loudly. Query coordinates are read from the grid's cell-major
+/// blocks through each record's `(cell, slot)` bookkeeping.
 pub fn c_group_by<const D: usize>(
     q: &[PointId],
-    points: &PointArena<D>,
+    points: &PointArena,
     grid: &GridIndex<D>,
     mut cc_id: impl FnMut(CellId) -> u64,
 ) -> GroupBy {
@@ -48,15 +49,15 @@ pub fn c_group_by<const D: usize>(
             ids_scratch.push(cc_id(rec.cell));
         } else {
             let home = rec.cell;
+            let qp = *grid.cell(home).all.point(rec.slot);
             if grid.cell(home).is_core_cell() {
                 ids_scratch.push(cc_id(home));
             }
-            grid.for_each_eps_neighbor(home, |c| {
-                if c != home
-                    && grid.cell(c).is_core_cell()
-                    && grid.emptiness(&rec.coords, c).is_some()
-                {
-                    ids_scratch.push(cc_id(c));
+            let ids = &mut ids_scratch;
+            let cc = &mut cc_id;
+            grid.visit_neighbor_cells(home, dydbscan_grid::NeighborScope::Eps, |c, cell| {
+                if c != home && cell.is_core_cell() && grid.emptiness(&qp, c).is_some() {
+                    ids.push(cc(c));
                 }
             });
             ids_scratch.sort_unstable();

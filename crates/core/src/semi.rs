@@ -31,8 +31,8 @@ use crate::params::Params;
 use crate::points::{PointArena, PointId};
 use crate::query::c_group_by;
 use dydbscan_conn::UnionFind;
-use dydbscan_geom::{dist_sq, FxHashSet, Point};
-use dydbscan_grid::{CellId, GridIndex};
+use dydbscan_geom::{count_within_sq, dist_sq, FxHashSet, Point};
+use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 
 /// Operation counters for cost provenance (semi-dynamic regime).
 #[derive(Debug, Default, Clone, Copy)]
@@ -43,6 +43,13 @@ pub struct SemiStats {
     pub promotions: u64,
     /// Emptiness probes issued by GUM.
     pub emptiness_probes: u64,
+    /// Updates applied through the batched entry points.
+    pub batched_updates: u64,
+    /// Batch flushes executed (grouped `insert_batch` calls).
+    pub batch_flushes: u64,
+    /// Neighbor-cell scans performed by batch flushes — each one covers a
+    /// whole batch where per-op updates would rescan the cell per point.
+    pub batch_cell_scans: u64,
 }
 
 /// Semi-dynamic ρ-approximate DBSCAN (exact when `rho = 0`).
@@ -65,7 +72,7 @@ pub struct SemiStats {
 pub struct SemiDynDbscan<const D: usize> {
     params: Params,
     grid: GridIndex<D>,
-    points: PointArena<D>,
+    points: PointArena,
     uf: UnionFind,
     /// Materialized grid-graph edges (normalized cell pairs), to skip
     /// emptiness probes for already-connected cell pairs.
@@ -127,16 +134,21 @@ impl<const D: usize> SemiDynDbscan<D> {
         self.points.is_core(id)
     }
 
-    /// Coordinates of a point.
+    /// Coordinates of a point, read from its cell's SoA block.
     pub fn coords(&self, id: PointId) -> Point<D> {
-        self.points.get(id).coords
+        let r = self.points.get(id);
+        *self.grid.cell(r.cell).all.point(r.slot)
     }
 
     /// Inserts a point; returns its id. Amortized `O~(1)`.
     pub fn insert(&mut self, p: Point<D>) -> PointId {
-        let id = self.points.push(p, 0);
-        let cell = self.grid.insert_point(&p, id);
-        self.points.get_mut(id).cell = cell;
+        let id = self.points.push(0, 0);
+        let (cell, slot) = self.grid.insert_point(&p, id);
+        {
+            let rec = self.points.get_mut(id);
+            rec.cell = cell;
+            rec.slot = slot;
+        }
         self.uf.ensure(cell);
 
         let count = self.grid.cell(cell).count();
@@ -150,13 +162,12 @@ impl<const D: usize> SemiDynDbscan<D> {
             promotions.push(id);
             if count == min_pts {
                 // The cell *became* dense: every resident becomes core.
-                let mut residents = Vec::new();
-                self.grid.cell(cell).all.for_each(|_, q| {
-                    if q != id && !self.points.is_core(q) {
-                        residents.push(q);
+                let points = &self.points;
+                for &q in self.grid.cell(cell).all.items() {
+                    if q != id && !points.is_core(q) {
+                        promotions.push(q);
                     }
-                });
-                promotions.extend(residents);
+                }
             }
         } else {
             self.stats.count_queries += 1;
@@ -169,32 +180,31 @@ impl<const D: usize> SemiDynDbscan<D> {
 
         // --- Vicinity-count maintenance for neighbors (Section 5) ---
         // The new point may raise vincnt of non-core points in eps-close
-        // *sparse* cells (non-core points live only in sparse cells).
-        let mut sparse_neighbors = std::mem::take(&mut self.cell_scratch);
-        sparse_neighbors.clear();
-        self.grid.for_each_eps_neighbor(cell, |c| {
-            sparse_neighbors.push(c);
-        });
+        // *sparse* cells (non-core points live only in sparse cells). One
+        // neighbor visitation sweeps each cell's SoA block.
         let eps_sq = self.params.eps_sq();
-        for &c in &sparse_neighbors {
-            if self.grid.cell(c).count() >= min_pts {
-                continue; // dense: all residents already core
-            }
-            let mut touched = Vec::new();
-            self.grid.cell(c).all.for_each(|qp, q| {
-                if q != id && !self.points.is_core(q) && dist_sq(qp, &p) <= eps_sq {
-                    touched.push(q);
-                }
-            });
-            for q in touched {
-                let rec = self.points.get_mut(q);
-                rec.vincnt += 1;
-                if rec.vincnt as usize >= min_pts {
-                    promotions.push(q);
-                }
+        let mut touched: Vec<PointId> = Vec::new();
+        {
+            let points = &self.points;
+            self.grid
+                .visit_neighbor_cells(cell, NeighborScope::Eps, |_, c| {
+                    if c.count() >= min_pts {
+                        return; // dense: all residents already core
+                    }
+                    for (qp, &q) in c.all.points().iter().zip(c.all.items()) {
+                        if q != id && dist_sq(qp, &p) <= eps_sq && !points.is_core(q) {
+                            touched.push(q);
+                        }
+                    }
+                });
+        }
+        for q in touched {
+            let rec = self.points.get_mut(q);
+            rec.vincnt += 1;
+            if rec.vincnt as usize >= min_pts {
+                promotions.push(q);
             }
         }
-        self.cell_scratch = sparse_neighbors;
 
         // --- Promotions + GUM (Section 5) ---
         for &q in &promotions {
@@ -205,35 +215,182 @@ impl<const D: usize> SemiDynDbscan<D> {
         id
     }
 
+    /// Inserts a batch of points, amortizing the per-cell work: the batch
+    /// is grouped by target cell, every touched neighbor cell is swept
+    /// once against the batch's coordinate block, and all promotions are
+    /// flushed through GUM in a single pass. The final clustering is
+    /// identical to inserting the points one at a time (`rho = 0`) and
+    /// sandwich-valid at `rho > 0`.
+    pub fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
+        if pts.len() < 2 {
+            return pts.iter().map(|p| self.insert(*p)).collect();
+        }
+        self.stats.batch_flushes += 1;
+        self.stats.batched_updates += pts.len() as u64;
+        let batch_start = self.points.capacity_ids() as PointId;
+        let min_pts = self.params.min_pts;
+
+        // Phase 1: place the whole batch cell-major (tree maintenance is
+        // deferred to amortized doubling rebuilds inside `CellSet`).
+        let uf = &mut self.uf;
+        let (ids, groups) =
+            crate::batch::place_batch(&mut self.grid, &mut self.points, pts, |c| uf.ensure(c));
+
+        // Phase 2: statuses of the batch's own points, one pass per
+        // target cell (dense cells need no count queries; see
+        // `batch::promote_dense_cell`).
+        let mut promotions: Vec<PointId> = Vec::new();
+        for (cell, members) in &groups {
+            let dense = crate::batch::promote_dense_cell(
+                &self.grid,
+                &self.points,
+                *cell,
+                members,
+                &ids,
+                min_pts,
+                &mut promotions,
+            );
+            if dense {
+                continue;
+            }
+            for &k in members {
+                self.stats.count_queries += 1;
+                let p = &pts[k as usize];
+                let kct = self
+                    .grid
+                    .count_ball_from(*cell, p, self.params.eps, self.params.eps);
+                self.points.get_mut(ids[k as usize]).vincnt = kct as u32;
+                if kct >= min_pts {
+                    promotions.push(ids[k as usize]);
+                }
+            }
+        }
+
+        // Phase 3: vicinity counts of pre-existing non-core points. Each
+        // eps-close touched cell is materialized once and its SoA block
+        // swept against the batch points that can reach it.
+        let buckets = crate::batch::neighbor_buckets(
+            &self.grid,
+            &groups,
+            |k| pts[k as usize],
+            NeighborScope::Eps,
+            |c| c.count() < min_pts, // dense: all residents already core
+        );
+        let eps_sq = self.params.eps_sq();
+        let mut bumped: Vec<(PointId, u32)> = Vec::new();
+        let mut cell_scans = 0u64;
+        {
+            let points = &self.points;
+            for (c, bucket) in &buckets {
+                let cell_obj = self.grid.cell(*c);
+                cell_scans += 1;
+                for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
+                    if q >= batch_start || points.is_core(q) {
+                        continue; // batch points handled in phase 2
+                    }
+                    let delta = count_within_sq(bucket, qp, eps_sq);
+                    if delta > 0 {
+                        bumped.push((q, delta as u32));
+                    }
+                }
+            }
+        }
+        self.stats.batch_cell_scans += cell_scans;
+        for (q, delta) in bumped {
+            let rec = self.points.get_mut(q);
+            rec.vincnt += delta;
+            if rec.vincnt as usize >= min_pts {
+                promotions.push(q);
+            }
+        }
+
+        // Phase 4: flush all promotions (GUM + union-find) in one pass —
+        // each cell's core block is extended in one shot, then GUM probes
+        // run per point with already-connected cell pairs skipped.
+        self.flush_promotions(&promotions);
+        ids
+    }
+
+    /// Registers a block of promoted points cell-at-a-time and runs GUM
+    /// over the block. Same final grid graph as per-point
+    /// [`on_became_core`](Self::on_became_core) at `rho = 0`.
+    fn flush_promotions(&mut self, promotions: &[PointId]) {
+        if promotions.is_empty() {
+            return;
+        }
+        let cells_of: Vec<CellId> = promotions
+            .iter()
+            .map(|&q| self.points.get(q).cell)
+            .collect();
+        let groups = crate::batch::group_by_cell(&cells_of);
+        for (cell, members) in &groups {
+            let entries: Vec<(Point<D>, PointId)> = members
+                .iter()
+                .map(|&k| {
+                    let q = promotions[k as usize];
+                    let r = self.points.get(q);
+                    (*self.grid.cell(r.cell).all.point(r.slot), q)
+                })
+                .collect();
+            let first_slot = self
+                .grid
+                .cell_mut(*cell)
+                .core
+                .insert_block(entries.iter().copied());
+            for (i, &(_, q)) in entries.iter().enumerate() {
+                debug_assert!(!self.points.is_core(q));
+                self.points.set_core(q, true);
+                self.points.get_mut(q).core_slot = first_slot + i as u32;
+                self.stats.promotions += 1;
+            }
+            // GUM for the block: the `edges` set already dedups pairs, so
+            // a pair connected by an earlier block member skips its
+            // probes.
+            self.gum_probes(*cell, entries.iter().map(|&(qp, _)| qp));
+        }
+    }
+
     /// Registers a point as core and lets GUM update the grid graph.
+    /// (The per-point path uses an incremental core insert, keeping the
+    /// cell's deferred tail empty; the batch flush extends the core block
+    /// wholesale instead.)
     fn on_became_core(&mut self, q: PointId) {
         debug_assert!(!self.points.is_core(q));
         self.stats.promotions += 1;
         self.points.set_core(q, true);
         let (qp, cell) = {
             let r = self.points.get(q);
-            (r.coords, r.cell)
+            (*self.grid.cell(r.cell).all.point(r.slot), r.cell)
         };
-        self.grid.cell_mut(cell).core.insert(qp, q);
+        let core_slot = self.grid.cell_mut(cell).core.insert(qp, q);
+        self.points.get_mut(q).core_slot = core_slot;
+        self.gum_probes(cell, std::iter::once(qp));
+    }
 
-        // GUM: probe eps-close core cells lacking an edge to `cell`.
+    /// GUM: for each newly core point `qp` of `cell`, probe every
+    /// eps-close core cell lacking an edge to `cell`; a proof point
+    /// creates the edge and unions the components.
+    fn gum_probes(&mut self, cell: CellId, new_cores: impl Iterator<Item = Point<D>>) {
         let mut candidates = std::mem::take(&mut self.cell_scratch);
         candidates.clear();
-        self.grid.for_each_eps_neighbor(cell, |c| {
-            if c != cell && self.grid.cell(c).is_core_cell() {
-                candidates.push(c);
-            }
-        });
-        for &c in &candidates {
-            let key = norm_pair(cell, c);
-            if self.edges.contains(&key) {
-                continue;
-            }
-            self.stats.emptiness_probes += 1;
-            if self.grid.emptiness(&qp, c).is_some() {
-                self.edges.insert(key);
-                self.uf.ensure(cell.max(c));
-                self.uf.union(cell, c);
+        self.grid
+            .visit_neighbor_cells(cell, NeighborScope::Eps, |c, cell_obj| {
+                if c != cell && cell_obj.is_core_cell() {
+                    candidates.push(c);
+                }
+            });
+        for qp in new_cores {
+            for &c in &candidates {
+                let key = norm_pair(cell, c);
+                if self.edges.contains(&key) {
+                    continue;
+                }
+                self.stats.emptiness_probes += 1;
+                if self.grid.emptiness(&qp, c).is_some() {
+                    self.edges.insert(key);
+                    self.uf.ensure(cell.max(c));
+                    self.uf.union(cell, c);
+                }
             }
         }
         candidates.clear();
@@ -320,6 +477,10 @@ impl<const D: usize> DynamicClusterer<D> for SemiDynDbscan<D> {
         SemiDynDbscan::group_all(self)
     }
 
+    fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
+        SemiDynDbscan::insert_batch(self, pts)
+    }
+
     fn stats(&self) -> ClustererStats {
         ClustererStats {
             range_queries: self.stats.count_queries + self.stats.emptiness_probes,
@@ -328,6 +489,9 @@ impl<const D: usize> DynamicClusterer<D> for SemiDynDbscan<D> {
             edge_inserts: self.edges.len() as u64,
             edge_removes: 0,
             splits: 0,
+            batched_updates: self.stats.batched_updates,
+            batch_flushes: self.stats.batch_flushes,
+            batch_cell_scans: self.stats.batch_cell_scans,
         }
     }
 }

@@ -17,7 +17,7 @@ use crate::groups::Clustering;
 use crate::params::Params;
 use dydbscan_conn::UnionFind;
 use dydbscan_geom::{dist_sq, FxHashMap, Point};
-use dydbscan_grid::{CellId, GridIndex};
+use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 
 /// Exact DBSCAN by definition chasing; `O(n^2)`. Ground truth for tests.
 pub fn brute_force_exact<const D: usize>(pts: &[Point<D>], params: &Params) -> Clustering {
@@ -121,8 +121,8 @@ pub fn static_cluster<const D: usize>(pts: &[Point<D>], params: &Params) -> Clus
         .collect();
     for &a in &core_cells {
         let mut neighbors = Vec::new();
-        grid.for_each_eps_neighbor(a, |b| {
-            if b > a && grid.cell(b).is_core_cell() {
+        grid.visit_neighbor_cells(a, NeighborScope::Eps, |b, cell| {
+            if b > a && cell.is_core_cell() {
                 neighbors.push(b);
             }
         });
@@ -130,18 +130,18 @@ pub fn static_cluster<const D: usize>(pts: &[Point<D>], params: &Params) -> Clus
             if uf.same(a, b) {
                 continue; // already one CC; an extra edge changes nothing
             }
-            // iterate the smaller side
+            // sweep the smaller side's contiguous core block
             let (from, to) = if grid.cell(a).core.len() <= grid.cell(b).core.len() {
                 (a, b)
             } else {
                 (b, a)
             };
-            let mut hit = false;
-            grid.cell(from).core.for_each(|p, _| {
-                if !hit && grid.emptiness(p, to).is_some() {
-                    hit = true;
-                }
-            });
+            let hit = grid
+                .cell(from)
+                .core
+                .points()
+                .iter()
+                .any(|p| grid.emptiness(p, to).is_some());
             if hit {
                 uf.union(a, b);
             }
@@ -160,15 +160,13 @@ pub fn static_cluster<const D: usize>(pts: &[Point<D>], params: &Params) -> Clus
                 ids.push(uf.find(home));
             }
             let mut snapped = Vec::new();
-            grid.for_each_eps_neighbor(home, |c| {
-                if c != home && grid.cell(c).is_core_cell() {
+            grid.visit_neighbor_cells(home, NeighborScope::Eps, |c, cell| {
+                if c != home && cell.is_core_cell() && grid.emptiness(p, c).is_some() {
                     snapped.push(c);
                 }
             });
             for c in snapped {
-                if grid.emptiness(p, c).is_some() {
-                    ids.push(uf.find(c));
-                }
+                ids.push(uf.find(c));
             }
             ids.sort_unstable();
             ids.dedup();

@@ -34,5 +34,5 @@ pub use aabb::Aabb;
 pub use cell::{cell_box, cell_gap_sq, cell_of, side_for_eps, CellCoord};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use offsets::OffsetTable;
-pub use point::{dist, dist_sq, mid_point, within, Point};
+pub use point::{any_within_sq, count_within_sq, dist, dist_sq, mid_point, within, Point};
 pub use rng::SplitMix64;

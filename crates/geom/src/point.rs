@@ -45,6 +45,24 @@ pub fn within<const D: usize>(a: &Point<D>, b: &Point<D>, r: f64) -> bool {
     dist_sq(a, b) <= r * r
 }
 
+/// Returns `true` if any point of the contiguous block `pts` lies within
+/// squared distance `r_sq` of `q`.
+///
+/// The batch update pipelines probe each touched cell's residents against
+/// the batch's coordinate block with this kernel; keeping it a straight
+/// sweep over a slice lets the compiler vectorize the distance loop.
+#[inline]
+pub fn any_within_sq<const D: usize>(pts: &[Point<D>], q: &Point<D>, r_sq: f64) -> bool {
+    pts.iter().any(|p| dist_sq(p, q) <= r_sq)
+}
+
+/// Counts the points of the contiguous block `pts` within squared distance
+/// `r_sq` of `q` (the batched counterpart of per-point `within` checks).
+#[inline]
+pub fn count_within_sq<const D: usize>(pts: &[Point<D>], q: &Point<D>, r_sq: f64) -> usize {
+    pts.iter().filter(|p| dist_sq(p, q) <= r_sq).count()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -29,10 +29,22 @@ pub use core_log::{CoreLog, LogPos};
 use dydbscan_geom::{
     cell_box, cell_gap_sq, cell_of, side_for_eps, Aabb, CellCoord, FxHashMap, OffsetTable, Point,
 };
-use dydbscan_spatial::CellSet;
+use dydbscan_spatial::{CellSet, SwapMoves};
 
 /// Index of a materialized cell.
 pub type CellId = u32;
+
+/// Which neighbor radius a sweep covers — the two neighborhoods every
+/// engine iterates (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeighborScope {
+    /// Cells within boundary distance `eps`: grid-graph edges, emptiness
+    /// snapping, exact counting (Section 4.1).
+    Eps,
+    /// Cells within `(1+rho)*eps`: core-status trigger neighborhoods and
+    /// sandwich counting (Section 7.3, DESIGN.md deviation 2).
+    Trigger,
+}
 
 /// A materialized grid cell.
 #[derive(Debug)]
@@ -261,42 +273,74 @@ impl<const D: usize> GridIndex<D> {
         id
     }
 
-    /// Adds `(p, point_id)` to its cell's `all` set; returns the cell id.
-    pub fn insert_point(&mut self, p: &Point<D>, point_id: u32) -> CellId {
+    /// Adds `(p, point_id)` to its cell's `all` set; returns the cell id
+    /// and the point's slot in the cell's SoA block.
+    pub fn insert_point(&mut self, p: &Point<D>, point_id: u32) -> (CellId, u32) {
         let id = self.ensure_cell(p);
-        self.cells[id as usize].all.insert(*p, point_id);
-        id
+        let slot = self.cells[id as usize].all.insert(*p, point_id);
+        (id, slot)
     }
 
-    /// Removes `(p, point_id)` from its cell's `all` set; returns the cell
-    /// id. Panics if the point was never inserted.
-    pub fn remove_point(&mut self, p: &Point<D>, point_id: u32) -> CellId {
+    /// Removes the point in `slot` of `cell`'s `all` set by swap-remove;
+    /// returns the relocations it performed, so the caller can patch its
+    /// id↔slot map.
+    #[inline]
+    pub fn remove_point_at(&mut self, cell: CellId, slot: u32) -> SwapMoves {
+        self.cells[cell as usize].all.swap_remove(slot)
+    }
+
+    /// Removes `(p, point_id)` from its cell's `all` set by value; returns
+    /// the cell id and the relocations the swap-remove performed (which
+    /// slot-tracking callers must apply — ignoring them is only safe when
+    /// no id↔slot map exists, as in the static pipeline and tests). Panics
+    /// if the point was never inserted. Callers that already know the slot
+    /// use [`remove_point_at`](Self::remove_point_at) instead.
+    pub fn remove_point(&mut self, p: &Point<D>, point_id: u32) -> (CellId, SwapMoves) {
         let id = self
             .cell_id_of(p)
             .expect("removing a point from a cell that was never materialized");
-        let ok = self.cells[id as usize].all.remove(p, point_id);
-        assert!(ok, "removing a point absent from its cell");
-        id
+        let slot = self.cells[id as usize]
+            .all
+            .slot_of(p, point_id)
+            .expect("removing a point absent from its cell");
+        (id, self.cells[id as usize].all.swap_remove(slot))
+    }
+
+    // ------------------------------------------------------------------
+    // Neighbor visitation engine
+    // ------------------------------------------------------------------
+
+    /// The shared neighbor-sweep every engine builds on: calls
+    /// `f(neighbor_id, &cell)` for each materialized cell in the `scope`
+    /// neighborhood of `home` (including `home` itself). The callback
+    /// receives the cell, whose [`dydbscan_spatial::CellSet`] blocks
+    /// (`all`/`core`) expose contiguous `points()`/`items()` slices.
+    #[inline]
+    pub fn visit_neighbor_cells(
+        &self,
+        home: CellId,
+        scope: NeighborScope,
+        mut f: impl FnMut(CellId, &Cell<D>),
+    ) {
+        for &(nid, eps_close) in &self.cells[home as usize].neighbors {
+            if eps_close || scope == NeighborScope::Trigger {
+                f(nid, &self.cells[nid as usize]);
+            }
+        }
     }
 
     /// Calls `f(neighbor_id)` for every materialized `eps`-close cell of
     /// `id`, including `id` itself.
     #[inline]
     pub fn for_each_eps_neighbor(&self, id: CellId, mut f: impl FnMut(CellId)) {
-        for &(nid, eps_close) in &self.cells[id as usize].neighbors {
-            if eps_close {
-                f(nid);
-            }
-        }
+        self.visit_neighbor_cells(id, NeighborScope::Eps, |nid, _| f(nid));
     }
 
     /// Calls `f(neighbor_id)` for every materialized `(1+rho)*eps`-close
     /// cell of `id` (the core-status re-check neighborhood), including `id`.
     #[inline]
     pub fn for_each_trigger_neighbor(&self, id: CellId, mut f: impl FnMut(CellId)) {
-        for &(nid, _) in &self.cells[id as usize].neighbors {
-            f(nid);
-        }
+        self.visit_neighbor_cells(id, NeighborScope::Trigger, |nid, _| f(nid));
     }
 
     /// ρ-approximate ε-emptiness (Section 4.2): queries the core points of
@@ -318,25 +362,7 @@ impl<const D: usize> GridIndex<D> {
         let home = self
             .cell_id_of(q)
             .expect("count_ball_sandwich requires q's cell to exist");
-        let lo = self.eps;
-        let hi = (1.0 + self.rho) * self.eps;
-        let mut k = 0usize;
-        for &(nid, _) in &self.cells[home as usize].neighbors {
-            let cell = &self.cells[nid as usize];
-            if cell.all.is_empty() {
-                continue;
-            }
-            let bb = cell_box(&cell.coord, self.side);
-            if bb.fully_outside(q, lo) {
-                continue;
-            }
-            if bb.fully_within(q, hi) {
-                k += cell.all.len();
-            } else {
-                k += cell.all.count_within_sandwich(q, lo, hi);
-            }
-        }
-        k
+        self.count_ball_from(home, q, self.eps, (1.0 + self.rho) * self.eps)
     }
 
     /// Exact count of points within `eps` of `q` (used by the semi-dynamic
@@ -345,25 +371,37 @@ impl<const D: usize> GridIndex<D> {
         let home = self
             .cell_id_of(q)
             .expect("count_ball_exact requires q's cell to exist");
+        self.count_ball_from(home, q, self.eps, self.eps)
+    }
+
+    /// Sandwiched ball count swept from a known home cell (`q` must lie
+    /// in `home`): one neighbor visitation with whole-cell shortcuts
+    /// (count a cell wholesale when its box is inside `B(q, hi)`, skip it
+    /// when outside `B(q, lo)`). `lo = hi = eps` gives the exact count.
+    /// The sweep covers the `eps` scope when `hi <= eps` (no farther cell
+    /// can reach `B(q, hi)`) and the full trigger scope otherwise.
+    pub fn count_ball_from(&self, home: CellId, q: &Point<D>, lo: f64, hi: f64) -> usize {
+        let scope = if hi <= self.eps {
+            NeighborScope::Eps
+        } else {
+            NeighborScope::Trigger
+        };
+        let side = self.side;
         let mut k = 0usize;
-        for &(nid, eps_close) in &self.cells[home as usize].neighbors {
-            if !eps_close {
-                continue;
-            }
-            let cell = &self.cells[nid as usize];
+        self.visit_neighbor_cells(home, scope, |_, cell| {
             if cell.all.is_empty() {
-                continue;
+                return;
             }
-            let bb = cell_box(&cell.coord, self.side);
-            if bb.fully_outside(q, self.eps) {
-                continue;
+            let bb = cell_box(&cell.coord, side);
+            if bb.fully_outside(q, lo) {
+                return;
             }
-            if bb.fully_within(q, self.eps) {
+            if bb.fully_within(q, hi) {
                 k += cell.all.len();
             } else {
-                k += cell.all.count_within_sandwich(q, self.eps, self.eps);
+                k += cell.all.count_within_sandwich(q, lo, hi);
             }
-        }
+        });
         k
     }
 
@@ -374,13 +412,11 @@ impl<const D: usize> GridIndex<D> {
         let home = self
             .cell_id_of(q)
             .expect("collect_ball requires q's cell to exist");
-        for &(nid, _) in &self.cells[home as usize].neighbors {
-            let cell = &self.cells[nid as usize];
-            if cell.all.is_empty() {
-                continue;
+        self.visit_neighbor_cells(home, NeighborScope::Trigger, |_, cell| {
+            if !cell.all.is_empty() {
+                cell.all.collect_within(q, r, out);
             }
-            cell.all.collect_within(q, r, out);
-        }
+        });
     }
 }
 
@@ -457,10 +493,20 @@ mod tests {
     #[test]
     fn insert_remove_point_roundtrip() {
         let mut g = GridIndex::<2>::new(1.0, 0.0);
-        let c = g.insert_point(&[0.3, 0.3], 7);
+        let (c, slot) = g.insert_point(&[0.3, 0.3], 7);
+        assert_eq!(slot, 0);
         assert_eq!(g.cell(c).count(), 1);
-        let c2 = g.remove_point(&[0.3, 0.3], 7);
+        let (c2, _) = g.remove_point(&[0.3, 0.3], 7);
         assert_eq!(c, c2);
+        assert_eq!(g.cell(c).count(), 0);
+        // slotted path: swap-remove reports the id moving into the slot
+        let (c, s0) = g.insert_point(&[0.31, 0.3], 8);
+        let (c1, s1) = g.insert_point(&[0.32, 0.3], 9);
+        assert_eq!(c, c1);
+        assert_eq!((s0, s1), (0, 1));
+        let moves = g.remove_point_at(c, s0);
+        assert_eq!(moves.as_slice(), &[(9, 0)], "9 moves into slot 0");
+        assert!(g.remove_point_at(c, 0).as_slice().is_empty());
         assert_eq!(g.cell(c).count(), 0);
     }
 
@@ -538,7 +584,7 @@ mod tests {
     fn emptiness_uses_core_points_only() {
         let mut g = GridIndex::<2>::new(1.0, 0.0);
         let p = [0.1, 0.1];
-        let c = g.insert_point(&p, 0);
+        let (c, _) = g.insert_point(&p, 0);
         // not a core point yet: emptiness must fail
         assert!(g.emptiness(&[0.2, 0.1], c).is_none());
         g.cell_mut(c).core.insert(p, 0);

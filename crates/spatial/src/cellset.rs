@@ -1,168 +1,346 @@
-//! Per-cell point containers: linear scan for small cells, kd-tree above a
-//! threshold.
+//! Per-cell point storage: a cell-major structure-of-arrays block, with a
+//! kd-tree query accelerator for populous cells.
 //!
 //! Grid cells have side `eps / sqrt(d)`, so most cells hold a handful of
-//! points and a linear scan beats any tree. Dense regions, however, can put
-//! thousands of points into one cell, and the emptiness structure of the
-//! paper (Section 4.2) must stay sub-linear there — the entire point of
-//! plugging in a real structure. `CellSet` therefore starts as a flat array
-//! and upgrades itself to a [`KdTree`] once it exceeds
-//! [`CellSet::UPGRADE_THRESHOLD`] entries.
+//! points. The hot paths of every engine — emptiness probes, range
+//! counting, the aBCP witness search, batch core-status recomputation —
+//! sweep the points of a cell; storing coordinates and ids in two parallel
+//! vectors lets those sweeps run over contiguous memory instead of chasing
+//! `PointId -> arena` indirections. Entries are addressed by **slot**
+//! (their index in the block); removal is `swap_remove`, and every id
+//! that moved to a new slot is reported so callers can keep their
+//! id↔slot maps consistent.
 //!
-//! The `ablate_emptiness` benchmark sweeps this threshold.
+//! Dense regions can still put thousands of points into one cell, and the
+//! emptiness structure of the paper (Section 4.2) must stay sub-linear
+//! there. Above [`CellSet::UPGRADE_THRESHOLD`] entries the set therefore
+//! maintains a [`KdTree`] *in addition to* the SoA block. The tree indexes
+//! the **prefix** `[0, tree_len)` of the block; the suffix is the
+//! *deferred tail*, covered by linear scans. While the tail is empty,
+//! per-point insertion keeps it empty (incremental tree inserts, exactly
+//! the classic behavior); [`CellSet::insert_block`] — the batch
+//! pipelines' entry point — only appends to the SoA and lets the tail
+//! grow. Once a tail exists, *every* insertion path appends to it, and
+//! the tree is rebuilt from scratch whenever the tail would outgrow the
+//! indexed prefix (removals enforce the same bound). That turns
+//! `O(log n)` tree maintenance *per point* into an amortized doubling
+//! rebuild *per block*, which is where batched updates beat looped ones
+//! on dense data, while queries stay sub-linear (tree + a tail never
+//! larger than the indexed prefix).
+//!
+//! The `ablate_emptiness` benchmark sweeps the upgrade threshold.
 
 use crate::kdtree::KdTree;
 use dydbscan_geom::{dist_sq, Point};
 
-/// A dynamic multiset of `(Point<D>, u32)` entries scoped to one grid cell.
-#[derive(Debug, Clone)]
-pub struct CellSet<const D: usize> {
-    entries: Vec<(Point<D>, u32)>,
-    tree: Option<KdTree<D>>,
+/// Slot relocations performed by one [`CellSet::swap_remove`]: up to two
+/// `(id, new_slot)` pairs (removing from the tree-indexed prefix plugs
+/// the hole with the last prefix entry, whose own hole is plugged by the
+/// last tail entry).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SwapMoves {
+    moves: [(u32, u32); 2],
+    len: u8,
 }
 
-impl<const D: usize> Default for CellSet<D> {
-    fn default() -> Self {
-        Self::new()
+impl SwapMoves {
+    #[inline]
+    fn push(&mut self, id: u32, slot: u32) {
+        self.moves[self.len as usize] = (id, slot);
+        self.len += 1;
+    }
+
+    /// The `(id, new_slot)` relocations, oldest first.
+    #[inline]
+    pub fn as_slice(&self) -> &[(u32, u32)] {
+        &self.moves[..self.len as usize]
+    }
+
+    /// Iterates the `(id, new_slot)` relocations.
+    #[inline]
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.as_slice().iter().copied()
     }
 }
 
+/// A dynamic multiset of `(Point<D>, u32)` entries scoped to one grid
+/// cell, stored cell-major as two parallel arrays.
+#[derive(Debug, Clone, Default)]
+pub struct CellSet<const D: usize> {
+    pts: Vec<Point<D>>,
+    ids: Vec<u32>,
+    /// Query accelerator over the prefix `[0, tree_len)` while the cell
+    /// is populous; `None` in the (common) small-cell regime.
+    tree: Option<KdTree<D>>,
+    /// Number of leading slots indexed by `tree` (`0` when `tree` is
+    /// `None`). Slots `>= tree_len` are the deferred tail.
+    tree_len: u32,
+}
+
 impl<const D: usize> CellSet<D> {
-    /// Entry count beyond which the set switches to a kd-tree.
+    /// Entry count beyond which queries are served by a kd-tree.
     pub const UPGRADE_THRESHOLD: usize = 48;
 
     /// Creates an empty set.
     pub fn new() -> Self {
-        Self {
-            entries: Vec::new(),
-            tree: None,
-        }
+        Self::default()
     }
 
     /// Number of entries.
     #[inline]
     pub fn len(&self) -> usize {
-        match &self.tree {
-            Some(t) => t.len(),
-            None => self.entries.len(),
-        }
+        self.ids.len()
     }
 
     /// True if the set has no entries.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.ids.is_empty()
     }
 
-    /// Whether the set has upgraded to tree mode (diagnostic).
+    /// Whether the set currently carries the kd-tree accelerator
+    /// (diagnostic).
     #[inline]
     pub fn is_tree_mode(&self) -> bool {
         self.tree.is_some()
     }
 
-    /// Inserts an entry. `(point, item)` pairs must be unique.
-    pub fn insert(&mut self, point: Point<D>, item: u32) {
+    /// Entries in the deferred tail (diagnostic; `len()` when no tree).
+    #[inline]
+    pub fn tail_len(&self) -> usize {
+        self.ids.len() - self.tree_len as usize
+    }
+
+    /// The coordinate block, one entry per slot.
+    #[inline]
+    pub fn points(&self) -> &[Point<D>] {
+        &self.pts
+    }
+
+    /// The id block, parallel to [`points`](Self::points).
+    #[inline]
+    pub fn items(&self) -> &[u32] {
+        &self.ids
+    }
+
+    /// Coordinates of the entry in `slot`.
+    #[inline]
+    pub fn point(&self, slot: u32) -> &Point<D> {
+        &self.pts[slot as usize]
+    }
+
+    /// Id of the entry in `slot`.
+    #[inline]
+    pub fn item(&self, slot: u32) -> u32 {
+        self.ids[slot as usize]
+    }
+
+    fn rebuild_tree(&mut self) {
+        let entries: Vec<(Point<D>, u32)> = self
+            .pts
+            .iter()
+            .copied()
+            .zip(self.ids.iter().copied())
+            .collect();
+        self.tree = Some(KdTree::from_entries(entries));
+        self.tree_len = self.ids.len() as u32;
+    }
+
+    /// Inserts an entry and returns its slot. `(point, item)` pairs must
+    /// be unique. Slots are stable until a `swap_remove` of a lower slot.
+    pub fn insert(&mut self, point: Point<D>, item: u32) -> u32 {
+        let slot = self.ids.len() as u32;
+        self.pts.push(point);
+        self.ids.push(item);
         match &mut self.tree {
-            Some(t) => t.insert(point, item),
-            None => {
-                self.entries.push((point, item));
-                if self.entries.len() > Self::UPGRADE_THRESHOLD {
-                    let entries = std::mem::take(&mut self.entries);
-                    self.tree = Some(KdTree::from_entries(entries));
+            Some(t) => {
+                if self.tree_len == slot {
+                    // tail empty: keep the prefix complete incrementally
+                    t.insert(point, item);
+                    self.tree_len = slot + 1;
+                } else if self.tail_len() > self.tree_len as usize {
+                    self.rebuild_tree();
                 }
             }
+            None => {
+                if self.ids.len() > Self::UPGRADE_THRESHOLD {
+                    self.rebuild_tree();
+                }
+            }
+        }
+        slot
+    }
+
+    /// Appends a block of entries, returning the slot of the first one
+    /// (the rest follow contiguously). Tree maintenance is deferred: the
+    /// block lands in the tail, and the tree is rebuilt wholesale only
+    /// when the tail would outgrow the indexed prefix — amortized
+    /// doubling instead of per-point `O(log n)` inserts. This is the
+    /// batch pipelines' insertion path.
+    pub fn insert_block(&mut self, entries: impl Iterator<Item = (Point<D>, u32)>) -> u32 {
+        let first = self.ids.len() as u32;
+        for (p, i) in entries {
+            self.pts.push(p);
+            self.ids.push(i);
+        }
+        match &self.tree {
+            Some(_) => {
+                if self.tail_len() > self.tree_len as usize {
+                    self.rebuild_tree();
+                }
+            }
+            None => {
+                if self.ids.len() > Self::UPGRADE_THRESHOLD {
+                    self.rebuild_tree();
+                }
+            }
+        }
+        first
+    }
+
+    /// Removes the entry in `slot` by swap-remove, reporting every entry
+    /// that changed slot so callers can patch their id↔slot maps (at most
+    /// two — see [`SwapMoves`]).
+    pub fn swap_remove(&mut self, slot: u32) -> SwapMoves {
+        let mut moves = SwapMoves::default();
+        let s = slot as usize;
+        let last = self.ids.len() - 1;
+        if let Some(t) = &mut self.tree {
+            if slot < self.tree_len {
+                let ok = t.remove(&self.pts[s], self.ids[s]);
+                debug_assert!(ok, "tree accelerator out of sync with SoA block");
+                // Plug the prefix hole with the last *prefix* entry (it
+                // stays indexed), then the prefix-end hole with the last
+                // tail entry.
+                self.tree_len -= 1;
+                let pe = self.tree_len as usize; // last prefix slot
+                if s != pe {
+                    self.pts[s] = self.pts[pe];
+                    self.ids[s] = self.ids[pe];
+                    moves.push(self.ids[s], slot);
+                }
+                if pe != last {
+                    self.pts[pe] = self.pts[last];
+                    self.ids[pe] = self.ids[last];
+                    moves.push(self.ids[pe], self.tree_len);
+                }
+                self.pts.pop();
+                self.ids.pop();
+            } else {
+                // tail entry: plain swap with the last (also tail) entry
+                self.pts.swap_remove(s);
+                self.ids.swap_remove(s);
+                if s < self.ids.len() {
+                    moves.push(self.ids[s], slot);
+                }
+            }
+            // Drop the accelerator when the cell drains, restoring the
+            // fast linear path and bounding memory; otherwise mirror the
+            // insert-side policy — a delete-heavy run must not shrink the
+            // indexed prefix below the deferred tail, or queries degrade
+            // toward linear tail scans.
+            if self.ids.len() <= Self::UPGRADE_THRESHOLD / 4 {
+                self.tree = None;
+                self.tree_len = 0;
+            } else if self.tail_len() > self.tree_len as usize {
+                self.rebuild_tree();
+            }
+        } else {
+            self.pts.swap_remove(s);
+            self.ids.swap_remove(s);
+            if s < self.ids.len() {
+                moves.push(self.ids[s], slot);
+            }
+        }
+        moves
+    }
+
+    /// Slot of the entry `(point, item)`, if present (linear sweep over
+    /// the parallel blocks; duplicate items with different points are
+    /// matched pairwise, honoring the multiset contract).
+    pub fn slot_of(&self, point: &Point<D>, item: u32) -> Option<u32> {
+        self.pts
+            .iter()
+            .zip(&self.ids)
+            .position(|(p, &i)| i == item && p == point)
+            .map(|s| s as u32)
+    }
+
+    /// Removes an entry by value; returns `true` if present. Convenience
+    /// for callers that do not track slots (tests, the static pipeline).
+    pub fn remove(&mut self, point: &Point<D>, item: u32) -> bool {
+        match self.slot_of(point, item) {
+            Some(slot) => {
+                self.swap_remove(slot);
+                true
+            }
+            None => false,
         }
     }
 
-    /// Removes an entry; returns `true` if present.
-    pub fn remove(&mut self, point: &Point<D>, item: u32) -> bool {
-        match &mut self.tree {
-            Some(t) => {
-                let ok = t.remove(point, item);
-                // Downgrade when the cell drains, keeping memory small and
-                // restoring the fast linear path.
-                if ok && t.len() <= Self::UPGRADE_THRESHOLD / 4 {
-                    let mut entries = Vec::with_capacity(t.len());
-                    t.for_each(|p, i| entries.push((*p, i)));
-                    self.entries = entries;
-                    self.tree = None;
-                }
-                ok
-            }
-            None => {
-                match self
-                    .entries
-                    .iter()
-                    .position(|(p, i)| *i == item && p == point)
-                {
-                    Some(pos) => {
-                        self.entries.swap_remove(pos);
-                        true
-                    }
-                    None => false,
-                }
-            }
-        }
+    /// The deferred-tail slices (empty ranges when fully indexed).
+    #[inline]
+    fn tail(&self) -> (&[Point<D>], &[u32]) {
+        let t = self.tree_len as usize;
+        (&self.pts[t..], &self.ids[t..])
     }
 
     /// Approximate emptiness with proof point: returns an entry within `hi`
     /// of `q`, guaranteed when some entry is within `lo`. See
     /// [`KdTree::find_within`].
     pub fn find_within(&self, q: &Point<D>, lo: f64, hi: f64) -> Option<(u32, f64)> {
-        match &self.tree {
-            Some(t) => t.find_within(q, lo, hi),
-            None => {
-                let hi_sq = hi * hi;
-                for (p, item) in &self.entries {
-                    let d = dist_sq(p, q);
-                    if d <= hi_sq {
-                        return Some((*item, d));
-                    }
-                }
-                None
+        if let Some(t) = &self.tree {
+            if let Some(hit) = t.find_within(q, lo, hi) {
+                return Some(hit);
             }
         }
+        let (pts, ids) = match &self.tree {
+            Some(_) => self.tail(),
+            None => (&self.pts[..], &self.ids[..]),
+        };
+        let hi_sq = hi * hi;
+        for (p, item) in pts.iter().zip(ids) {
+            let d = dist_sq(p, q);
+            if d <= hi_sq {
+                return Some((*item, d));
+            }
+        }
+        None
     }
 
     /// Sandwiched count: `|B(q,lo)| <= result <= |B(q,hi)|`.
     pub fn count_within_sandwich(&self, q: &Point<D>, lo: f64, hi: f64) -> usize {
-        match &self.tree {
-            Some(t) => t.count_within_sandwich(q, lo, hi),
-            None => {
-                let lo_sq = lo * lo;
-                self.entries
-                    .iter()
-                    .filter(|(p, _)| dist_sq(p, q) <= lo_sq)
-                    .count()
-            }
-        }
+        let (mut k, pts) = match &self.tree {
+            Some(t) => (t.count_within_sandwich(q, lo, hi), self.tail().0),
+            None => (0, &self.pts[..]),
+        };
+        let lo_sq = lo * lo;
+        k += pts.iter().filter(|p| dist_sq(p, q) <= lo_sq).count();
+        k
     }
 
     /// Exact range report of `(item, dist_sq)` within `r` of `q`.
     pub fn collect_within(&self, q: &Point<D>, r: f64, out: &mut Vec<(u32, f64)>) {
-        match &self.tree {
-            Some(t) => t.collect_within(q, r, out),
-            None => {
-                let r_sq = r * r;
-                for (p, item) in &self.entries {
-                    let d = dist_sq(p, q);
-                    if d <= r_sq {
-                        out.push((*item, d));
-                    }
-                }
+        let (pts, ids) = match &self.tree {
+            Some(t) => {
+                t.collect_within(q, r, out);
+                self.tail()
+            }
+            None => (&self.pts[..], &self.ids[..]),
+        };
+        let r_sq = r * r;
+        for (p, item) in pts.iter().zip(ids) {
+            let d = dist_sq(p, q);
+            if d <= r_sq {
+                out.push((*item, d));
             }
         }
     }
 
-    /// Iterates all `(point, item)` entries.
+    /// Iterates all `(point, item)` entries in slot order.
     pub fn for_each(&self, mut f: impl FnMut(&Point<D>, u32)) {
-        match &self.tree {
-            Some(t) => t.for_each(f),
-            None => {
-                for (p, item) in &self.entries {
-                    f(p, *item);
-                }
-            }
+        for (p, item) in self.pts.iter().zip(&self.ids) {
+            f(p, *item);
         }
     }
 }
@@ -175,14 +353,46 @@ mod tests {
     #[test]
     fn linear_mode_basics() {
         let mut s = CellSet::<2>::new();
-        s.insert([0.0, 0.0], 1);
-        s.insert([1.0, 0.0], 2);
+        assert_eq!(s.insert([0.0, 0.0], 1), 0);
+        assert_eq!(s.insert([1.0, 0.0], 2), 1);
         assert_eq!(s.len(), 2);
         assert!(!s.is_tree_mode());
         assert!(s.find_within(&[0.1, 0.0], 0.2, 0.2).is_some());
         assert!(s.remove(&[0.0, 0.0], 1));
         assert!(!s.remove(&[0.0, 0.0], 1));
         assert_eq!(s.len(), 1);
+        assert_eq!(s.item(0), 2, "swap-remove moved the tail into slot 0");
+    }
+
+    #[test]
+    fn swap_remove_reports_moved_ids() {
+        let mut s = CellSet::<1>::new();
+        for i in 0..4u32 {
+            s.insert([i as f64], 10 + i);
+        }
+        // removing a middle slot moves the last entry into it
+        let m = s.swap_remove(1);
+        assert_eq!(m.as_slice(), &[(13, 1)]);
+        assert_eq!(s.item(1), 13);
+        assert_eq!(s.point(1), &[3.0]);
+        // removing the last slot moves nothing
+        let m = s.swap_remove(2);
+        assert!(m.as_slice().is_empty());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn soa_slices_stay_parallel() {
+        let mut s = CellSet::<2>::new();
+        for i in 0..10u32 {
+            s.insert([i as f64, -(i as f64)], i);
+        }
+        s.swap_remove(3);
+        s.swap_remove(0);
+        assert_eq!(s.points().len(), s.items().len());
+        for (slot, id) in s.items().iter().enumerate() {
+            assert_eq!(s.points()[slot][0], *id as f64, "pts/ids desynced");
+        }
     }
 
     #[test]
@@ -193,12 +403,62 @@ mod tests {
             s.insert([i as f64, 0.0], i);
         }
         assert!(s.is_tree_mode());
+        assert_eq!(s.tail_len(), 0, "per-point inserts keep the tail empty");
         assert_eq!(s.len(), n);
         for i in 0..n as u32 {
             assert!(s.remove(&[i as f64, 0.0], i));
         }
         assert!(!s.is_tree_mode(), "should downgrade when drained");
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn insert_block_defers_tree_maintenance() {
+        let mut s = CellSet::<2>::new();
+        let block: Vec<([f64; 2], u32)> = (0..60).map(|i| ([i as f64, 0.5], i)).collect();
+        let first = s.insert_block(block.iter().copied());
+        assert_eq!(first, 0);
+        assert!(s.is_tree_mode(), "crossing the threshold builds the tree");
+        assert_eq!(s.tail_len(), 0);
+        // a small block lands in the tail without rebuilding
+        let more: Vec<([f64; 2], u32)> = (60..70).map(|i| ([i as f64, 0.5], i)).collect();
+        assert_eq!(s.insert_block(more.iter().copied()), 60);
+        assert_eq!(s.tail_len(), 10);
+        // queries cover tree + tail
+        assert_eq!(s.count_within_sandwich(&[65.0, 0.5], 0.1, 0.1), 1);
+        assert!(s.find_within(&[69.0, 0.5], 0.1, 0.1).is_some());
+        // tail outgrowing the prefix triggers one wholesale rebuild
+        let many: Vec<([f64; 2], u32)> = (70..200).map(|i| ([i as f64, 0.5], i)).collect();
+        s.insert_block(many.iter().copied());
+        assert_eq!(s.tail_len(), 0, "doubling rebuild swallowed the tail");
+        assert_eq!(s.len(), 200);
+    }
+
+    #[test]
+    fn prefix_swap_remove_reports_both_moves() {
+        let mut s = CellSet::<1>::new();
+        let n = CellSet::<1>::UPGRADE_THRESHOLD as u32 + 2; // tree built, tail empty
+        for i in 0..n {
+            s.insert([i as f64], i);
+        }
+        // grow a tail of 3
+        s.insert_block((n..n + 3).map(|i| ([i as f64], i)));
+        assert_eq!(s.tail_len(), 3);
+        // removing a prefix slot moves the last prefix entry into the
+        // hole and the last tail entry into the prefix boundary
+        let m = s.swap_remove(0);
+        assert_eq!(m.as_slice().len(), 2);
+        for &(id, slot) in m.as_slice() {
+            assert_eq!(s.item(slot), id, "reported move must match the block");
+        }
+        // everything still queryable exactly
+        for i in 1..n + 2 {
+            assert!(
+                s.find_within(&[i as f64], 0.01, 0.01).is_some(),
+                "entry {i} lost"
+            );
+        }
+        assert!(s.find_within(&[0.0], 0.01, 0.01).is_none());
     }
 
     #[test]
@@ -219,6 +479,8 @@ mod tests {
             big.insert([1000.0 + j as f64, 0.0, 0.0], 10_000 + j);
         }
         assert!(big.is_tree_mode());
+        // and a deferred tail on top
+        big.insert_block((0..8u32).map(|j| ([2000.0 + j as f64, 0.0, 0.0], 20_000 + j)));
         for _ in 0..100 {
             let q: [f64; 3] = std::array::from_fn(|_| rng.next_f64() * 4.0);
             let r = rng.next_f64() * 2.0;
@@ -252,5 +514,48 @@ mod tests {
         s.for_each(|_, i| seen.push(i));
         seen.sort_unstable();
         assert_eq!(seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tree_mode_swap_remove_keeps_queries_exact() {
+        // interleave slot removals and block inserts with queries while
+        // above and while draining below the threshold
+        let mut rng = SplitMix64::new(77);
+        let mut s = CellSet::<2>::new();
+        let mut live: Vec<([f64; 2], u32)> = Vec::new();
+        let mut next = 0u32;
+        for _ in 0..(CellSet::<2>::UPGRADE_THRESHOLD as u32 * 3) {
+            let p = [rng.next_f64() * 3.0, rng.next_f64() * 3.0];
+            s.insert(p, next);
+            live.push((p, next));
+            next += 1;
+        }
+        loop {
+            if rng.next_below(8) == 0 {
+                // occasional deferred block to keep a tail in play
+                let block: Vec<([f64; 2], u32)> = (0..5)
+                    .map(|j| ([rng.next_f64() * 3.0, rng.next_f64() * 3.0], next + j))
+                    .collect();
+                next += 5;
+                s.insert_block(block.iter().copied());
+                live.extend(block);
+            }
+            if live.is_empty() {
+                break;
+            }
+            let k = rng.next_below(live.len() as u64) as u32;
+            // mirror the swap-remove through the reported moves
+            let removed_id = s.item(k);
+            s.swap_remove(k);
+            let pos = live.iter().position(|&(_, i)| i == removed_id).unwrap();
+            live.swap_remove(pos);
+            let q = [rng.next_f64() * 3.0, rng.next_f64() * 3.0];
+            let r = rng.next_f64() * 1.5;
+            let brute = live.iter().filter(|(p, _)| dist_sq(p, &q) <= r * r).count();
+            assert_eq!(s.count_within_sandwich(&q, r, r), brute);
+            if live.len() < 4 {
+                break;
+            }
+        }
     }
 }

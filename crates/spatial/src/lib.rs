@@ -25,6 +25,6 @@ pub mod cellset;
 pub mod kdtree;
 pub mod rtree;
 
-pub use cellset::CellSet;
+pub use cellset::{CellSet, SwapMoves};
 pub use kdtree::KdTree;
 pub use rtree::RTree;

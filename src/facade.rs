@@ -135,9 +135,15 @@ impl DynDbscan {
             rows.len(),
             self.dim
         );
-        rows.chunks_exact(self.dim)
-            .map(|row| self.insert(row))
-            .collect()
+        // Route through the engine's grouped batch pipeline (cell-major
+        // placement, one flush) rather than looping per row.
+        dispatch!(&mut self.inner, c => {
+            let pts: Vec<_> = rows
+                .chunks_exact(self.dim)
+                .map(|row| row.try_into().expect("checked length"))
+                .collect();
+            c.insert_batch(&pts)
+        })
     }
 
     /// Deletes a point by id. Panics on dead ids and on insertion-only
@@ -156,7 +162,9 @@ impl DynDbscan {
         dispatch!(&self.inner, c => c.is_core(id))
     }
 
-    /// Coordinates of a point as a fresh row (also valid for deleted ids).
+    /// Coordinates of an alive point as a fresh row. Coordinates live in
+    /// the grid's cell-major storage, so the grid engines panic on
+    /// deleted (stale) ids with a message naming the id.
     pub fn coords(&self, id: PointId) -> Vec<f64> {
         dispatch!(&self.inner, c => c.coords(id).to_vec())
     }

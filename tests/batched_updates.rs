@@ -1,0 +1,268 @@
+//! Batched-vs-looped equivalence: the grouped `insert_batch` /
+//! `delete_batch` pipelines must be semantically invisible.
+//!
+//! * At `rho = 0` every engine's batched clustering is **identical** to
+//!   applying the same updates one at a time — checked through
+//!   `Box<dyn DynamicClusterer>` on seed-spreader workloads, under random
+//!   interleavings of batch sizes, and after every flush.
+//! * At `rho > 0` the batched result must satisfy the Theorem 3 sandwich
+//!   against brute-force exact clusterings at both radii (batched and
+//!   looped runs may legally resolve don't-care points differently).
+//! * The new `ClustererStats` batch counters must expose the
+//!   amortization (updates per flush, cells materialized per flush).
+
+use dydbscan::geom::{Point, SplitMix64};
+use dydbscan::{
+    brute_force_exact, check_sandwich, relabel, seed_spreader, Algorithm, DbscanBuilder,
+    DynamicClusterer, Params, PointId,
+};
+
+const EPS: f64 = 200.0; // PaperGrid::default_eps(2)
+const MIN_PTS: usize = 10;
+
+fn engines(rho: f64) -> Vec<(&'static str, Box<dyn DynamicClusterer<2>>)> {
+    let mut out: Vec<(&'static str, Box<dyn DynamicClusterer<2>>)> = vec![
+        (
+            "semi",
+            DbscanBuilder::new(EPS, MIN_PTS)
+                .rho(rho)
+                .algorithm(Algorithm::SemiDynamic)
+                .build::<2>()
+                .unwrap(),
+        ),
+        (
+            "full",
+            DbscanBuilder::new(EPS, MIN_PTS)
+                .rho(rho)
+                .algorithm(Algorithm::FullyDynamic)
+                .build::<2>()
+                .unwrap(),
+        ),
+    ];
+    if rho == 0.0 {
+        out.push((
+            "incdbscan",
+            DbscanBuilder::new(EPS, MIN_PTS)
+                .algorithm(Algorithm::IncDbscan)
+                .build::<2>()
+                .unwrap(),
+        ));
+    }
+    out
+}
+
+/// Split `pts` into batches whose sizes cycle through `sizes`.
+fn batches<'a>(pts: &'a [Point<2>], sizes: &[usize]) -> Vec<&'a [Point<2>]> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    let mut k = 0;
+    while at < pts.len() {
+        let take = sizes[k % sizes.len()].min(pts.len() - at);
+        out.push(&pts[at..at + take]);
+        at += take;
+        k += 1;
+    }
+    out
+}
+
+#[test]
+fn batched_inserts_equal_looped_inserts_at_rho_zero() {
+    let pts = seed_spreader::<2>(900, 41);
+    for (name, mut batched) in engines(0.0) {
+        let mut looped = engines(0.0)
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .unwrap()
+            .1;
+        for chunk in batches(&pts, &[1, 7, 64, 3, 128, 2]) {
+            let a = batched.insert_batch(chunk);
+            let b: Vec<PointId> = chunk.iter().map(|p| looped.insert(*p)).collect();
+            assert_eq!(a, b, "{name}: id sequences must align");
+            assert_eq!(
+                batched.group_all(),
+                looped.group_all(),
+                "{name}: clusterings diverged after a flush"
+            );
+        }
+        assert_eq!(batched.len(), pts.len());
+    }
+}
+
+#[test]
+fn batched_deletes_equal_looped_deletes_at_rho_zero() {
+    let pts = seed_spreader::<2>(800, 42);
+    for (name, mut batched) in engines(0.0) {
+        if !batched.supports_deletion() {
+            continue;
+        }
+        let mut looped = engines(0.0)
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .unwrap()
+            .1;
+        let ids = batched.insert_batch(&pts);
+        assert_eq!(ids, looped.insert_batch(&pts));
+        let mut rng = SplitMix64::new(7);
+        let mut alive = ids;
+        while !alive.is_empty() {
+            let take = (1 + rng.next_below(60) as usize).min(alive.len());
+            let mut chunk = Vec::with_capacity(take);
+            for _ in 0..take {
+                let i = rng.next_below(alive.len() as u64) as usize;
+                chunk.push(alive.swap_remove(i));
+            }
+            batched.delete_batch(&chunk);
+            for &id in &chunk {
+                looped.delete(id);
+            }
+            assert_eq!(
+                batched.group_all(),
+                looped.group_all(),
+                "{name}: clusterings diverged after deleting {} points",
+                chunk.len()
+            );
+        }
+        assert!(batched.is_empty());
+    }
+}
+
+#[test]
+fn random_interleavings_stay_identical_at_rho_zero() {
+    // Mixed single-op and batched updates in random order: the batched
+    // instance must track the looped instance exactly at rho = 0.
+    let pool = seed_spreader::<2>(1_400, 43);
+    for (name, mut batched) in engines(0.0) {
+        let mut looped = engines(0.0)
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .unwrap()
+            .1;
+        let deletions = batched.supports_deletion();
+        let mut rng = SplitMix64::new(11 + name.len() as u64);
+        let mut next = 0usize;
+        let mut alive: Vec<PointId> = Vec::new();
+        for round in 0..40 {
+            let do_delete = deletions && !alive.is_empty() && rng.next_below(10) < 4;
+            if do_delete {
+                let take = (1 + rng.next_below(25) as usize).min(alive.len());
+                let mut chunk = Vec::with_capacity(take);
+                for _ in 0..take {
+                    let i = rng.next_below(alive.len() as u64) as usize;
+                    chunk.push(alive.swap_remove(i));
+                }
+                if chunk.len() == 1 {
+                    batched.delete(chunk[0]);
+                } else {
+                    batched.delete_batch(&chunk);
+                }
+                for &id in &chunk {
+                    looped.delete(id);
+                }
+            } else {
+                let take = (1 + rng.next_below(90) as usize).min(pool.len() - next);
+                if take == 0 {
+                    break;
+                }
+                let chunk = &pool[next..next + take];
+                next += take;
+                let a = batched.insert_batch(chunk);
+                let b: Vec<PointId> = chunk.iter().map(|p| looped.insert(*p)).collect();
+                assert_eq!(a, b, "{name} round {round}");
+                alive.extend(a);
+            }
+            assert_eq!(
+                batched.group_all(),
+                looped.group_all(),
+                "{name} round {round}"
+            );
+        }
+    }
+}
+
+#[test]
+fn batched_updates_sandwich_at_positive_rho() {
+    let pts = seed_spreader::<2>(700, 44);
+    let rho = 0.25;
+    let lo = Params::new(EPS, MIN_PTS);
+    let hi = Params::new(EPS * (1.0 + rho), MIN_PTS);
+    for (name, mut algo) in engines(rho) {
+        let ids = algo.insert_batch(&pts);
+        let c1 = relabel(&brute_force_exact(&pts, &lo), &ids);
+        let c2 = relabel(&brute_force_exact(&pts, &hi), &ids);
+        check_sandwich(&c1, &algo.group_all(), &c2)
+            .unwrap_or_else(|e| panic!("{name} insert_batch: {e}"));
+        if !algo.supports_deletion() {
+            continue;
+        }
+        // delete a random third in batches; re-check the sandwich
+        let mut rng = SplitMix64::new(5);
+        let mut alive = ids;
+        let mut removed = 0;
+        while removed < pts.len() / 3 {
+            let take = (1 + rng.next_below(40) as usize).min(alive.len());
+            let mut chunk = Vec::with_capacity(take);
+            for _ in 0..take {
+                let i = rng.next_below(alive.len() as u64) as usize;
+                chunk.push(alive.swap_remove(i));
+            }
+            removed += chunk.len();
+            algo.delete_batch(&chunk);
+        }
+        let live_pts: Vec<Point<2>> = alive.iter().map(|&id| algo.coords(id)).collect();
+        let c1 = relabel(&brute_force_exact(&live_pts, &lo), &alive);
+        let c2 = relabel(&brute_force_exact(&live_pts, &hi), &alive);
+        check_sandwich(&c1, &algo.group_all(), &c2)
+            .unwrap_or_else(|e| panic!("{name} delete_batch: {e}"));
+    }
+}
+
+#[test]
+fn batch_counters_expose_amortization() {
+    let pts = seed_spreader::<2>(600, 45);
+    for (name, mut algo) in engines(0.0) {
+        algo.insert_batch(&pts[..512]);
+        algo.insert_batch(&pts[512..]);
+        let s = algo.stats();
+        if name == "incdbscan" {
+            // the baseline loops: no grouped pipeline, counters stay 0
+            assert_eq!(s.batch_flushes, 0, "{name}");
+            assert_eq!(s.batched_updates, 0, "{name}");
+            continue;
+        }
+        assert_eq!(s.batch_flushes, 2, "{name}");
+        assert_eq!(s.batched_updates, pts.len() as u64, "{name}");
+        assert!(
+            s.batch_cell_scans > 0,
+            "{name}: batch flushes must report their cell scans"
+        );
+        // the whole point: far fewer cell materializations than points
+        assert!(
+            s.batch_cell_scans < s.batched_updates * 4,
+            "{name}: amortization collapsed ({} scans for {} updates)",
+            s.batch_cell_scans,
+            s.batched_updates
+        );
+        if algo.supports_deletion() {
+            let ids = algo.alive_ids();
+            algo.delete_batch(&ids[..256]);
+            let s = algo.stats();
+            assert_eq!(s.batch_flushes, 3, "{name}");
+            assert_eq!(s.batched_updates, (pts.len() + 256) as u64, "{name}");
+        }
+    }
+}
+
+#[test]
+fn single_element_batches_take_the_per_op_path() {
+    // Degenerate batches must not inflate the batch counters (they
+    // delegate to the per-op update).
+    let mut algo = DbscanBuilder::new(EPS, MIN_PTS).build::<2>().unwrap();
+    let a = algo.insert_batch(&[[1.0, 2.0]]);
+    let empty: Vec<PointId> = algo.insert_batch(&[]);
+    assert_eq!(a.len(), 1);
+    assert!(empty.is_empty());
+    algo.delete_batch(&a);
+    let s = algo.stats();
+    assert_eq!(s.batch_flushes, 0);
+    assert_eq!(s.batched_updates, 0);
+}
