@@ -50,6 +50,10 @@ pub struct IncStats {
     pub splits: u64,
     /// Label merges (insertion-side cluster merges).
     pub label_merges: u64,
+    /// Updates applied through the grouped batch entry points.
+    pub batched_updates: u64,
+    /// Grouped batch flushes executed.
+    pub batch_flushes: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -174,8 +178,11 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
         self.stats.points_touched += out.len() as u64;
     }
 
-    /// Inserts a point; returns its id.
+    /// Inserts a point; returns its id. Panics on NaN/infinite
+    /// coordinates (see `DynamicClusterer::try_insert` for the fallible
+    /// boundary) — admitted, they would corrupt R-tree node splits.
     pub fn insert(&mut self, p: Point<D>) -> PointId {
+        dydbscan_core::validate_point(&p, 0).unwrap_or_else(|e| panic!("{e}"));
         let id = self.recs.len() as u32;
         self.recs.push(Rec {
             coords: p,
@@ -312,6 +319,208 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             let groups = self.seed_components(&bfs_seeds);
             if groups.len() > 1 {
                 self.split_check(&groups);
+            }
+        }
+    }
+
+    /// Inserts a batch in one index pass: every point is indexed first,
+    /// then each batch point issues exactly **one** range query against
+    /// the final set, which serves double duty as its seed set (own
+    /// count + neighbor count bumps) *and* as the ball of its label
+    /// round. Looped insertion instead re-queries a batch point's ball
+    /// whenever a later neighbor promotes it, and its early queries see
+    /// only a prefix of the batch. The final clustering is identical
+    /// (exact counts over the final set; the label merges commute).
+    pub fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
+        if pts.len() < 2 {
+            return pts.iter().map(|p| self.insert(*p)).collect();
+        }
+        dydbscan_core::validate_points(pts).unwrap_or_else(|e| panic!("{e}"));
+        self.stats.batch_flushes += 1;
+        self.stats.batched_updates += pts.len() as u64;
+        let batch_start = self.recs.len() as u32;
+        let min_pts = self.params.min_pts as u32;
+
+        // Phase 1: index the whole batch.
+        let ids: Vec<u32> = pts
+            .iter()
+            .map(|p| {
+                let id = self.recs.len() as u32;
+                self.recs.push(Rec {
+                    coords: *p,
+                    count: 0,
+                    label: NO_LABEL,
+                    alive: true,
+                    core: false,
+                });
+                self.alive += 1;
+                self.index.insert(*p, id);
+                id
+            })
+            .collect();
+
+        // Phase 2: one range query per batch point, retained for reuse.
+        let mut seeds: Vec<Vec<(u32, f64)>> = Vec::with_capacity(pts.len());
+        for p in pts {
+            let mut s = Vec::new();
+            self.range(p, &mut s);
+            seeds.push(s);
+        }
+
+        // Phase 3: counts and promotions. Batch points read their count
+        // off their own (final-set) query; pre-existing points get one
+        // bump per batch ball containing them and promote exactly when
+        // they cross the threshold.
+        let mut new_cores: Vec<u32> = Vec::new();
+        for (k, s) in seeds.iter().enumerate() {
+            self.recs[ids[k] as usize].count = s.len() as u32;
+            if s.len() as u32 >= min_pts {
+                new_cores.push(ids[k]);
+            }
+        }
+        for s in &seeds {
+            for &(q, _) in s {
+                if q >= batch_start {
+                    continue; // batch counts already final
+                }
+                let r = &mut self.recs[q as usize];
+                r.count += 1;
+                if !r.core && r.count == min_pts {
+                    new_cores.push(q);
+                }
+            }
+        }
+
+        // Flip flags first so simultaneous promotions see each other.
+        for &q in &new_cores {
+            self.recs[q as usize].core = true;
+        }
+
+        // Phase 4: label maintenance per new core point (creation /
+        // absorption / merge), reusing the retained balls for batch
+        // points; only pre-existing promotions re-query.
+        let mut ball = Vec::new();
+        for &q in &new_cores {
+            if q < batch_start {
+                let qp = self.recs[q as usize].coords;
+                self.range(&qp, &mut ball);
+            }
+            let b: &[(u32, f64)] = if q >= batch_start {
+                &seeds[(q - batch_start) as usize]
+            } else {
+                &ball
+            };
+            let mut label = self.recs[q as usize].label;
+            for &(r, _) in b {
+                if r == q || !self.recs[r as usize].core {
+                    continue;
+                }
+                let rl = self.recs[r as usize].label;
+                if rl == NO_LABEL {
+                    continue; // promoted this flush, labeled by its own round
+                }
+                if label == NO_LABEL {
+                    label = self.labels.find(rl);
+                } else if !self.labels.same(label, rl) {
+                    self.labels.union(label, rl);
+                    self.stats.label_merges += 1;
+                    label = self.labels.find(label);
+                }
+            }
+            if label == NO_LABEL {
+                label = self.labels.make_set();
+            }
+            self.recs[q as usize].label = label;
+        }
+        ids
+    }
+
+    /// Deletes a batch in one index pass: every point leaves the index
+    /// first, then each deleted point issues exactly **one** range query
+    /// against the surviving set to decrement neighbor counts, and the
+    /// split adjudication — the BFS whose cost dominates IncDBSCAN
+    /// deletions — runs **once for the whole batch** instead of once per
+    /// deletion. The final clustering is identical to looped deletion
+    /// (counts are exact over the survivors; the combined BFS discovers
+    /// the same final core-graph components).
+    pub fn delete_batch(&mut self, del_ids: &[PointId]) {
+        if del_ids.len() < 2 {
+            for &id in del_ids {
+                self.delete(id);
+            }
+            return;
+        }
+        self.stats.batch_flushes += 1;
+        self.stats.batched_updates += del_ids.len() as u64;
+        let min_pts = self.params.min_pts as u32;
+
+        // Phase 1: pull the whole batch out of the index and the record
+        // table, keeping coordinates and core-ness for seed discovery.
+        let mut dead: Vec<(Point<D>, bool)> = Vec::with_capacity(del_ids.len());
+        for &id in del_ids {
+            assert!(self.is_alive(id), "IncDBSCAN delete of dead id {id}");
+            let p = self.recs[id as usize].coords;
+            let was_core = self.recs[id as usize].core;
+            self.index.remove(&p, id);
+            let r = &mut self.recs[id as usize];
+            r.alive = false;
+            r.core = false;
+            r.label = NO_LABEL;
+            self.alive -= 1;
+            dead.push((p, was_core));
+        }
+
+        // Phase 2: one range query per deleted point over the survivors;
+        // each survivor's count drops once per deleted ball containing
+        // it. Seeds are collected now and re-filtered afterwards (a seed
+        // can still be demoted by a later decrement).
+        let mut demoted: Vec<u32> = Vec::new();
+        let mut bfs_seeds: Vec<u32> = Vec::new();
+        let mut ball = Vec::new();
+        for &(p, was_core) in &dead {
+            self.range(&p, &mut ball);
+            for &(q, _) in &ball {
+                let r = &mut self.recs[q as usize];
+                r.count -= 1;
+                if r.core && r.count < min_pts {
+                    r.core = false;
+                    r.label = NO_LABEL;
+                    demoted.push(q);
+                }
+            }
+            if was_core {
+                bfs_seeds.extend(ball.iter().map(|&(q, _)| q));
+            }
+        }
+        for &q in &demoted {
+            let qp = self.recs[q as usize].coords;
+            self.range(&qp, &mut ball);
+            bfs_seeds.extend(ball.iter().map(|&(r, _)| r));
+        }
+        bfs_seeds.retain(|&q| self.recs[q as usize].core);
+        bfs_seeds.sort_unstable();
+        bfs_seeds.dedup();
+
+        // Phase 3: one split adjudication per affected *cluster*. A
+        // split can only happen inside one former cluster, so seeds are
+        // scoped by their (resolved) label first — a batch touching
+        // several far-apart clusters must not compare their seeds
+        // against each other, or every intact cluster would read as a
+        // "split", be BFS-enumerated wholesale, and bump the splits
+        // counter that looped deletion leaves at zero.
+        let mut by_label: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+        for &q in &bfs_seeds {
+            let l = self.labels.find(self.recs[q as usize].label);
+            by_label.entry(l).or_default().push(q);
+        }
+        let mut labeled: Vec<(u32, Vec<u32>)> = by_label.into_iter().collect();
+        labeled.sort_unstable_by_key(|&(l, _)| l); // deterministic order
+        for (_, seeds) in labeled {
+            if seeds.len() > 1 {
+                let groups = self.seed_components(&seeds);
+                if groups.len() > 1 {
+                    self.split_check(&groups);
+                }
             }
         }
     }
@@ -526,19 +735,28 @@ impl<const D: usize, I: RangeIndex<D>> DynamicClusterer<D> for IncDbscan<D, I> {
         IncDbscan::group_all(self)
     }
 
+    fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
+        IncDbscan::insert_batch(self, pts)
+    }
+
+    fn delete_batch(&mut self, ids: &[PointId]) {
+        IncDbscan::delete_batch(self, ids)
+    }
+
     /// IncDBSCAN keeps a merge history, not an explicit edge set: only
-    /// `range_queries` and `splits` are tracked; the graph-churn counters
-    /// stay `0`. The batch counters also stay `0`: the baseline is kept
-    /// faithful to Ester et al.'s per-update algorithm, so
-    /// `insert_batch`/`delete_batch` fall through to the default looped
-    /// implementations (the grid engines' grouped pipelines are exactly
-    /// the capability this baseline lacks). Full provenance lives in
+    /// `range_queries`, `splits` and the batch counters are tracked; the
+    /// graph-churn counters stay `0`, and so does `batch_cell_scans` —
+    /// the grouped overrides save *queries* (one index pass per batch,
+    /// one split adjudication per flush), not cell materializations,
+    /// which the baseline does not have. Full provenance lives in
     /// [`IncStats`] on the concrete type.
     fn stats(&self) -> ClustererStats {
         let s = self.stats;
         ClustererStats {
             range_queries: s.range_queries,
             splits: s.splits,
+            batched_updates: s.batched_updates,
+            batch_flushes: s.batch_flushes,
             ..ClustererStats::default()
         }
     }
@@ -631,6 +849,96 @@ mod tests {
         assert!(g.same_cluster(a, d));
         assert!(g.same_cluster(b, c));
         assert!(algo.stats().label_merges >= 1);
+    }
+
+    #[test]
+    fn batched_updates_match_looped_updates() {
+        // The grouped one-index-pass overrides must be semantically
+        // invisible: same clustering as looped updates after every flush.
+        let mut rng = SplitMix64::new(314);
+        let params = Params::new(1.0, 3);
+        let mut batched = IncDbscan::<2>::new(params);
+        let mut looped = IncDbscan::<2>::new(params);
+        let mut alive: Vec<PointId> = Vec::new();
+        for round in 0..12 {
+            if alive.len() > 30 && rng.next_below(10) < 4 {
+                let take = (1 + rng.next_below(25) as usize).min(alive.len());
+                let mut chunk = Vec::with_capacity(take);
+                for _ in 0..take {
+                    let i = rng.next_below(alive.len() as u64) as usize;
+                    chunk.push(alive.swap_remove(i));
+                }
+                batched.delete_batch(&chunk);
+                for &id in &chunk {
+                    looped.delete(id);
+                }
+            } else {
+                let take = 5 + rng.next_below(50) as usize;
+                let pts: Vec<Point<2>> = (0..take)
+                    .map(|_| [rng.next_f64() * 6.0, rng.next_f64() * 6.0])
+                    .collect();
+                let a = batched.insert_batch(&pts);
+                let b: Vec<PointId> = pts.iter().map(|p| looped.insert(*p)).collect();
+                assert_eq!(a, b, "round {round}");
+                alive.extend(a);
+            }
+            let got = batched.group_all();
+            assert_eq!(got, looped.group_all(), "round {round}");
+            // and both must equal brute force (exact algorithm)
+            let pts: Vec<Point<2>> = alive.iter().map(|&id| batched.coords(id)).collect();
+            let want = relabel(&brute_force_exact(&pts, &params), &alive);
+            assert_eq!(got, want, "round {round} vs brute force");
+        }
+        assert!(batched.stats().batch_flushes > 0);
+        assert!(
+            batched.stats().range_queries < looped.stats().range_queries,
+            "the grouped pipeline must save index passes ({} vs {})",
+            batched.stats().range_queries,
+            looped.stats().range_queries
+        );
+    }
+
+    #[test]
+    fn batched_split_detection_matches_looped() {
+        // Deleting both bridge points in ONE batch must still split the
+        // cluster, with a single combined adjudication.
+        let params = Params::new(1.0, 3);
+        let mut algo = IncDbscan::<2>::new(params);
+        for i in 0..6 {
+            algo.insert([i as f64 * 0.3, 0.0]);
+            algo.insert([4.0 + i as f64 * 0.3, 0.0]);
+        }
+        let bridge = algo.insert([2.4, 0.0]);
+        let bridge2 = algo.insert([3.2, 0.0]);
+        assert_eq!(algo.group_all().groups.len(), 1);
+        algo.delete_batch(&[bridge, bridge2]);
+        let g = algo.group_all();
+        assert_eq!(g.groups.len(), 2, "bridge removed in one batch: split");
+        assert!(algo.stats().splits >= 1);
+    }
+
+    #[test]
+    fn batched_delete_across_unrelated_clusters_is_not_a_split() {
+        // One batch deletes a core point from each of two far-apart
+        // clusters. Neither cluster splits; the adjudication must be
+        // scoped per cluster (seeds of A never race seeds of B), so the
+        // splits counter stays 0 — as it does under looped deletion.
+        let params = Params::new(1.0, 3);
+        let mut algo = IncDbscan::<2>::new(params);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in 0..6 {
+            a.push(algo.insert([i as f64 * 0.3, 0.0]));
+            b.push(algo.insert([100.0 + i as f64 * 0.3, 0.0]));
+        }
+        assert_eq!(algo.group_all().groups.len(), 2);
+        algo.delete_batch(&[a[2], b[3]]);
+        assert_eq!(algo.stats().splits, 0, "intact clusters are not splits");
+        let g = algo.group_all();
+        assert_eq!(g.groups.len(), 2);
+        let pts: Vec<Point<2>> = algo.alive_ids().iter().map(|&i| algo.coords(i)).collect();
+        let want = relabel(&brute_force_exact(&pts, &params), &algo.alive_ids());
+        assert_eq!(g, want);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   (don't-care slack shrinks the work; `rho = 0` is exact).
 //! * `ablate_emptiness` — the hybrid per-cell emptiness structure: linear
 //!   scan vs kd-tree as the cell population grows (motivates the upgrade
-//!   threshold of `CellSet`).
+//!   threshold of `CellSet`), plus a sweep of the deferred-tail rebuild
+//!   trigger (`CellSet::TAIL_REBUILD_PERCENT`) under mixed block-insert
+//!   and query churn (motivates its committed default).
 //!
 //! ```text
 //! cargo bench -p dydbscan-bench --bench ablations
@@ -155,6 +157,41 @@ fn ablate_emptiness() {
                 }
             }
             hits
+        });
+    }
+
+    // Deferred-tail rebuild trigger sweep: a batch-flush-shaped workload
+    // (block inserts into one dense cell, interleaved with the two hot
+    // query kinds — emptiness probes, which early-exit on hits, and
+    // sandwiched range counts, which must visit the whole tail) at
+    // several tail/prefix rebuild ratios. Eager ratios pay rebuilds per
+    // block; lazy ones pay longer linear tail scans per count. The
+    // committed default is the winner at 200.
+    let mut rng = SplitMix64::new(6);
+    let blocks: Vec<Vec<([f64; 2], u32)>> = (0..64u32)
+        .map(|b| {
+            (0..48)
+                .map(|j| ([rng.next_f64(), rng.next_f64()], b * 48 + j))
+                .collect()
+        })
+        .collect();
+    let queries: Vec<[f64; 2]> = (0..16)
+        .map(|_| [1.0 + rng.next_f64() * 0.4, rng.next_f64()])
+        .collect();
+    for pct in [25u32, 50, 100, 200, 400] {
+        g.bench(&format!("tail_rebuild/pct={pct}"), || {
+            let mut s = CellSet::<2>::with_tail_rebuild_percent(pct);
+            let mut acc = 0usize;
+            for block in &blocks {
+                s.insert_block(block.iter().copied());
+                for q in &queries {
+                    if s.find_within(q, 0.45, 0.45 * 1.001).is_some() {
+                        acc += 1;
+                    }
+                    acc += s.count_within_sandwich(q, 0.45, 0.45 * 1.001);
+                }
+            }
+            acc
         });
     }
 }

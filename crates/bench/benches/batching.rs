@@ -1,14 +1,16 @@
 //! Batched vs looped update microbench: `insert_batch` against looped
 //! `insert`, and `delete_batch` against looped `delete`, on 100k
 //! seed-spreader points (scale down with `DYDBSCAN_BENCH_N` for quick
-//! runs). The acceptance target of the batching pipeline is
-//! `insert_batch` ≥ 1.5x over looped inserts at batch size 1024.
+//! runs), swept over the flush thread budget. The acceptance targets of
+//! the batching pipeline are `insert_batch` ≥ 1.5x over looped inserts
+//! at batch size 1024 (threads = 1), and a ≥ 1.5x flush speedup of
+//! 4 threads over 1 thread at the same batch size.
 //!
 //! ```text
 //! cargo bench -p dydbscan-bench --bench batching
 //! ```
 
-use dydbscan_bench::batchbench::{print_record, standard_suite};
+use dydbscan_bench::batchbench::{print_record, print_thread_scaling, standard_suite};
 
 fn main() {
     let n: usize = std::env::var("DYDBSCAN_BENCH_N")
@@ -16,9 +18,15 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(100_000);
     for batch_size in [64usize, 1024] {
-        println!("\n== batching (N = {n}, batch = {batch_size})");
-        for r in standard_suite(n, batch_size, 2017) {
-            print_record(&r);
+        let mut records = Vec::new();
+        for threads in [1usize, 2, 4] {
+            println!("\n== batching (N = {n}, batch = {batch_size}, threads = {threads})");
+            for r in standard_suite(n, batch_size, 2017, threads) {
+                print_record(&r);
+                records.push(r);
+            }
         }
+        println!("\n== thread scaling (N = {n}, batch = {batch_size})");
+        print_thread_scaling(&records);
     }
 }

@@ -4,7 +4,10 @@
 //! (which records the results in `BENCH_repro.json`). Each comparison
 //! drives the *same* points through a freshly built engine twice — once
 //! one update at a time, once through the grouped batch pipeline — and
-//! reports total wall-clock per variant.
+//! reports total wall-clock per variant. The batched variant runs at a
+//! configurable flush thread budget (`threads = 1` is the exact
+//! sequential pipeline), so sweeping `threads` isolates the parallel
+//! flush speedup from the grouping speedup.
 
 use crate::json::BatchRecord;
 use dydbscan::workload::PaperGrid;
@@ -18,11 +21,14 @@ fn params() -> Params {
 
 /// Times `insert_batch` (chunks of `batch_size`) against looped `insert`
 /// on `n` seed-spreader points, for the engine `build` constructs.
+/// `threads` is recorded in the result and must match what `build`
+/// configures.
 pub fn compare_insert<A: DynamicClusterer<2>>(
     label: &str,
     n: usize,
     batch_size: usize,
     seed: u64,
+    threads: usize,
     build: impl Fn() -> A,
 ) -> BatchRecord {
     let pts = seed_spreader::<2>(n, seed);
@@ -46,6 +52,7 @@ pub fn compare_insert<A: DynamicClusterer<2>>(
         series: format!("{label}/insert"),
         n_points: n,
         batch_size,
+        threads,
         looped_ns,
         batched_ns,
     }
@@ -58,6 +65,7 @@ pub fn compare_delete<A: DynamicClusterer<2>>(
     n: usize,
     batch_size: usize,
     seed: u64,
+    threads: usize,
     build: impl Fn() -> A,
 ) -> BatchRecord {
     let pts = seed_spreader::<2>(n, seed);
@@ -83,23 +91,25 @@ pub fn compare_delete<A: DynamicClusterer<2>>(
         series: format!("{label}/delete"),
         n_points: n,
         batch_size,
+        threads,
         looped_ns,
         batched_ns,
     }
 }
 
 /// The standard comparison suite: fully-dynamic insert + delete and
-/// semi-dynamic insert, at the given scale and batch size.
-pub fn standard_suite(n: usize, batch_size: usize, seed: u64) -> Vec<BatchRecord> {
+/// semi-dynamic insert, at the given scale, batch size and flush thread
+/// budget.
+pub fn standard_suite(n: usize, batch_size: usize, seed: u64, threads: usize) -> Vec<BatchRecord> {
     vec![
-        compare_insert("full", n, batch_size, seed, || {
-            FullDynDbscan::<2>::new(params())
+        compare_insert("full", n, batch_size, seed, threads, || {
+            FullDynDbscan::<2>::new(params()).with_threads(threads)
         }),
-        compare_delete("full", n, batch_size, seed, || {
-            FullDynDbscan::<2>::new(params())
+        compare_delete("full", n, batch_size, seed, threads, || {
+            FullDynDbscan::<2>::new(params()).with_threads(threads)
         }),
-        compare_insert("semi", n, batch_size, seed, || {
-            SemiDynDbscan::<2>::new(params())
+        compare_insert("semi", n, batch_size, seed, threads, || {
+            SemiDynDbscan::<2>::new(params()).with_threads(threads)
         }),
     ]
 }
@@ -107,12 +117,42 @@ pub fn standard_suite(n: usize, batch_size: usize, seed: u64) -> Vec<BatchRecord
 /// Prints one comparison in the microbench layout.
 pub fn print_record(r: &BatchRecord) {
     println!(
-        "  {:<32} looped {:>9.1} ms   batched {:>9.1} ms   speedup {:.2}x",
-        format!("{} (batch={})", r.series, r.batch_size),
+        "  {:<40} looped {:>9.1} ms   batched {:>9.1} ms   speedup {:.2}x",
+        format!(
+            "{} (batch={}, threads={})",
+            r.series, r.batch_size, r.threads
+        ),
         r.looped_ns as f64 / 1e6,
         r.batched_ns as f64 / 1e6,
         r.speedup()
     );
+}
+
+/// For each `(series, batch_size)` present at several thread counts,
+/// prints the flush speedup of every multi-threaded record over its
+/// `threads = 1` twin and returns the `(series, threads, speedup)`
+/// triples — the acceptance metric of the parallel flush.
+pub fn print_thread_scaling(records: &[BatchRecord]) -> Vec<(String, usize, f64)> {
+    let mut out = Vec::new();
+    for r in records.iter().filter(|r| r.threads > 1) {
+        let Some(base) = records
+            .iter()
+            .find(|b| b.threads == 1 && b.series == r.series && b.batch_size == r.batch_size)
+        else {
+            continue;
+        };
+        let speedup = base.batched_ns as f64 / r.batched_ns.max(1) as f64;
+        println!(
+            "  {:<40} flush speedup over 1 thread: {:.2}x",
+            format!(
+                "{} (batch={}, threads={})",
+                r.series, r.batch_size, r.threads
+            ),
+            speedup
+        );
+        out.push((r.series.clone(), r.threads, speedup));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -121,11 +161,34 @@ mod tests {
 
     #[test]
     fn suite_runs_at_small_scale() {
-        let recs = standard_suite(600, 64, 9);
+        let recs = standard_suite(600, 64, 9, 1);
         assert_eq!(recs.len(), 3);
         for r in &recs {
             assert_eq!(r.n_points, 600);
+            assert_eq!(r.threads, 1);
             assert!(r.looped_ns > 0 && r.batched_ns > 0, "{}", r.series);
         }
+    }
+
+    #[test]
+    fn thread_scaling_pairs_records_with_their_sequential_twin() {
+        let mk = |series: &str, threads: usize, batched_ns: u128| BatchRecord {
+            series: series.into(),
+            n_points: 10,
+            batch_size: 4,
+            threads,
+            looped_ns: 1000,
+            batched_ns,
+        };
+        let recs = vec![
+            mk("full/insert", 1, 800),
+            mk("full/insert", 4, 200),
+            mk("semi/insert", 4, 100), // no sequential twin: skipped
+        ];
+        let scaling = print_thread_scaling(&recs);
+        assert_eq!(scaling.len(), 1);
+        assert_eq!(scaling[0].0, "full/insert");
+        assert_eq!(scaling[0].1, 4);
+        assert!((scaling[0].2 - 4.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,245 @@
+//! Perf regression gate: diffs a fresh `BENCH_repro.json` against the
+//! committed baseline and fails when any figure series lost more
+//! throughput than the tolerance band allows.
+//!
+//! ```text
+//! benchdiff <baseline.json> <fresh.json> [--tolerance 0.25]
+//! ```
+//!
+//! * Figure series are matched by `(figure, series)` and compared on
+//!   `ops_per_sec`: `fresh < baseline * (1 - tolerance)` is a
+//!   regression. A series present in the baseline but missing from the
+//!   fresh report also fails (a silently dropped benchmark is how perf
+//!   gates rot). Series whose *baseline* run was budget-capped
+//!   (`finished: false`) are skipped — their op/sec measures the host,
+//!   not the code.
+//! * Batch records are matched by `(series, batch_size, threads)` and
+//!   compared on their batched-over-looped `speedup` — a machine-ratio,
+//!   so it transfers between runners better than absolute op/sec.
+//! * Improvements are reported but never fail the gate; the tolerance
+//!   band absorbs runner-to-runner noise in both directions.
+//!
+//! The gate refuses to compare reports measured under different
+//! configurations (every key in `CONFIG_KEYS`: command, n, seed,
+//! batch_size, threads, samples, budget_secs): a baseline at another
+//! scale — or with another budget, which changes which series finish —
+//! would make every diff meaningless.
+
+use dydbscan_bench::jsonread::{parse, Json};
+
+const CONFIG_KEYS: [&str; 7] = [
+    "command",
+    "n",
+    "seed",
+    "batch_size",
+    "threads",
+    "samples",
+    "budget_secs",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut tolerance = 0.25f64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tolerance" => {
+                i += 1;
+                tolerance = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .unwrap_or_else(|| usage_and_exit("--tolerance needs a value in [0, 1)"));
+            }
+            p => paths.push(p),
+        }
+        i += 1;
+    }
+    let [base_path, fresh_path] = paths[..] else {
+        usage_and_exit("expected exactly two report paths")
+    };
+
+    let base = load(base_path);
+    let fresh = load(fresh_path);
+    check_config(&base, &fresh);
+
+    let mut regressions: Vec<String> = Vec::new();
+    let mut improvements = 0usize;
+    let mut compared = 0usize;
+
+    // Figure series: op/sec within the band.
+    for (figure, series) in figure_series(&base) {
+        let name = format!(
+            "{}/{}",
+            figure,
+            series.get("series").and_then(Json::as_str).unwrap_or("?")
+        );
+        let base_ops = series
+            .get("ops_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        if base_ops <= 0.0 {
+            continue; // nothing meaningful to gate on
+        }
+        if series.get("finished") == Some(&Json::Bool(false)) {
+            // A budget-capped baseline series' op/sec is proportional to
+            // host single-thread speed, not to the code under test —
+            // diffing it across machines only measures the machines.
+            // (A series that finished in the baseline but gets capped in
+            // the fresh run still registers as an op/sec regression.)
+            println!("  {name:<48} skipped (budget-capped baseline)");
+            continue;
+        }
+        let Some(fresh_ops) = lookup_series(&fresh, &figure, &name) else {
+            regressions.push(format!("{name}: series missing from the fresh report"));
+            continue;
+        };
+        compared += 1;
+        let ratio = fresh_ops / base_ops;
+        let verdict = if ratio < 1.0 - tolerance {
+            regressions.push(format!(
+                "{name}: {base_ops:.0} -> {fresh_ops:.0} op/s ({:+.1}%)",
+                (ratio - 1.0) * 100.0
+            ));
+            "REGRESSION"
+        } else if ratio > 1.0 + tolerance {
+            improvements += 1;
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {name:<48} {base_ops:>12.0} -> {fresh_ops:>12.0} op/s  {:+7.1}%  {verdict}",
+            (ratio - 1.0) * 100.0
+        );
+    }
+
+    // Batch records: grouped-pipeline speedups within the band.
+    for rec in batch_records(&base) {
+        let key = batch_key(rec);
+        let base_speedup = rec.get("speedup").and_then(Json::as_f64).unwrap_or(0.0);
+        if base_speedup <= 0.0 {
+            continue;
+        }
+        let Some(fresh_speedup) = batch_records(&fresh)
+            .into_iter()
+            .find(|r| batch_key(r) == key)
+            .and_then(|r| r.get("speedup").and_then(Json::as_f64))
+        else {
+            regressions.push(format!("batch {key}: missing from the fresh report"));
+            continue;
+        };
+        compared += 1;
+        let ratio = fresh_speedup / base_speedup;
+        let verdict = if ratio < 1.0 - tolerance {
+            regressions.push(format!(
+                "batch {key}: speedup {base_speedup:.2}x -> {fresh_speedup:.2}x"
+            ));
+            "REGRESSION"
+        } else if ratio > 1.0 + tolerance {
+            improvements += 1;
+            "improved"
+        } else {
+            "ok"
+        };
+        println!(
+            "  batch {key:<42} {base_speedup:>11.2}x -> {fresh_speedup:>11.2}x  {:+7.1}%  {verdict}",
+            (ratio - 1.0) * 100.0
+        );
+    }
+
+    println!(
+        "\nbenchdiff: {compared} series compared, {improvements} improved, {} regressed \
+         (tolerance ±{:.0}%)",
+        regressions.len(),
+        tolerance * 100.0
+    );
+    if !regressions.is_empty() {
+        eprintln!("\nperf regressions beyond the tolerance band:");
+        for r in &regressions {
+            eprintln!("  - {r}");
+        }
+        std::process::exit(1);
+    }
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("benchdiff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    parse(&text).unwrap_or_else(|e| {
+        eprintln!("benchdiff: cannot parse {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Refuses cross-configuration comparisons.
+fn check_config(base: &Json, fresh: &Json) {
+    for key in CONFIG_KEYS {
+        let b = base.get("config").and_then(|c| c.get(key)).cloned();
+        let f = fresh.get("config").and_then(|c| c.get(key)).cloned();
+        if b != f {
+            eprintln!(
+                "benchdiff: config mismatch on '{key}' ({b:?} vs {f:?}); \
+                 regenerate the fresh report with the baseline's flags"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Flattens a report's figures into `(figure_name, series_object)` pairs.
+fn figure_series(report: &Json) -> Vec<(String, &Json)> {
+    let mut out = Vec::new();
+    for fig in report
+        .get("figures")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+    {
+        let name = fig
+            .get("figure")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        for s in fig.get("series").and_then(Json::as_arr).unwrap_or_default() {
+            out.push((name.clone(), s));
+        }
+    }
+    out
+}
+
+/// Finds `figure/series` in a report; returns its op/sec.
+fn lookup_series(report: &Json, figure: &str, full_name: &str) -> Option<f64> {
+    figure_series(report).into_iter().find_map(|(f, s)| {
+        let name = format!("{}/{}", f, s.get("series").and_then(Json::as_str)?);
+        (f == figure && name == full_name)
+            .then(|| s.get("ops_per_sec").and_then(Json::as_f64))
+            .flatten()
+    })
+}
+
+fn batch_records(report: &Json) -> Vec<&Json> {
+    report
+        .get("batch")
+        .and_then(Json::as_arr)
+        .unwrap_or_default()
+        .iter()
+        .collect()
+}
+
+fn batch_key(rec: &Json) -> String {
+    format!(
+        "{}[batch={},threads={}]",
+        rec.get("series").and_then(Json::as_str).unwrap_or("?"),
+        rec.get("batch_size").and_then(Json::as_f64).unwrap_or(0.0),
+        rec.get("threads").and_then(Json::as_f64).unwrap_or(1.0),
+    )
+}
+
+fn usage_and_exit(msg: &str) -> ! {
+    eprintln!("benchdiff: {msg}");
+    eprintln!("usage: benchdiff <baseline.json> <fresh.json> [--tolerance 0.25]");
+    std::process::exit(2)
+}

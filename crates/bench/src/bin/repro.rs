@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro <command> [--n N] [--seed S] [--budget-secs B] [--samples K]
-//!      [--batch-size B] [--out PATH]
+//!      [--batch-size B] [--threads T] [--out PATH]
 //!
 //! commands:
 //!   fig8 fig9 fig10 fig11     semi-dynamic experiments (Section 8.2)
@@ -35,6 +35,7 @@ fn main() {
     let command = args[0].clone();
     let mut cfg = ReproConfig::default();
     let mut batch_size = 1024usize;
+    let mut threads = 4usize;
     let mut out_path = "BENCH_repro.json".to_string();
     let mut i = 1;
     while i < args.len() {
@@ -54,6 +55,9 @@ fn main() {
             }
             "--batch-size" => {
                 batch_size = parse(&args, &mut i);
+            }
+            "--threads" => {
+                threads = parse::<usize>(&args, &mut i).max(1);
             }
             "--out" => {
                 out_path = parse(&args, &mut i);
@@ -82,6 +86,7 @@ fn main() {
                 .unwrap_or_else(|| "null".into()),
         ),
         ("batch_size".into(), batch_size.to_string()),
+        ("threads".into(), threads.to_string()),
     ];
 
     let known = [
@@ -118,14 +123,23 @@ fn main() {
                 report.add_checks(checks);
             }
             "batch" => {
-                println!(
-                    "\n== Batched vs looped updates (seed-spreader, N = {})",
-                    cfg.n
-                );
-                let records = batchbench::standard_suite(cfg.n, batch_size, cfg.seed);
-                for r in &records {
-                    batchbench::print_record(r);
+                // One suite on the exact sequential flush and one at the
+                // requested thread budget: their `batched_ns` ratio is
+                // the parallel flush speedup recorded in the report.
+                let mut records = Vec::new();
+                let sweep: &[usize] = if threads > 1 { &[1, threads] } else { &[1] };
+                for &t in sweep {
+                    println!(
+                        "\n== Batched vs looped updates (seed-spreader, N = {}, threads = {t})",
+                        cfg.n
+                    );
+                    for r in batchbench::standard_suite(cfg.n, batch_size, cfg.seed, t) {
+                        batchbench::print_record(&r);
+                        records.push(r);
+                    }
                 }
+                println!("\n== Parallel flush scaling");
+                batchbench::print_thread_scaling(&records);
                 report.add_batches(records);
             }
             _ => unreachable!(),
@@ -159,7 +173,8 @@ fn parse<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
 fn usage_and_exit() -> ! {
     eprintln!(
         "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|batch|all> \
-         [--n N] [--seed S] [--budget-secs B] [--samples K] [--batch-size B] [--out PATH]"
+         [--n N] [--seed S] [--budget-secs B] [--samples K] [--batch-size B] [--threads T] \
+         [--out PATH]"
     );
     std::process::exit(2)
 }

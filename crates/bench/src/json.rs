@@ -65,6 +65,8 @@ pub struct BatchRecord {
     pub n_points: usize,
     /// Batch size of the batched variant.
     pub batch_size: usize,
+    /// Thread budget of the batched variant's flush (`1` = sequential).
+    pub threads: usize,
     /// Total nanoseconds for the looped variant.
     pub looped_ns: u128,
     /// Total nanoseconds for the batched variant.
@@ -177,11 +179,12 @@ impl JsonReport {
         for (i, b) in self.batches.iter().enumerate() {
             let _ = writeln!(
                 s,
-                "    {{\"series\": {}, \"n_points\": {}, \"batch_size\": {}, \"looped_ns\": {}, \
-                 \"batched_ns\": {}, \"speedup\": {:.3}}}{}",
+                "    {{\"series\": {}, \"n_points\": {}, \"batch_size\": {}, \"threads\": {}, \
+                 \"looped_ns\": {}, \"batched_ns\": {}, \"speedup\": {:.3}}}{}",
                 quote(&b.series),
                 b.n_points,
                 b.batch_size,
+                b.threads,
                 b.looped_ns,
                 b.batched_ns,
                 b.speedup(),
@@ -279,6 +282,7 @@ mod tests {
             series: "full/insert".into(),
             n_points: 100,
             batch_size: 10,
+            threads: 4,
             looped_ns: 300,
             batched_ns: 100,
         }]);
@@ -287,6 +291,7 @@ mod tests {
         assert!(j.contains("\"Semi-Exact\""));
         assert!(j.contains("\"ops_per_sec\": 5000.0"));
         assert!(j.contains("\"speedup\": 3.000"));
+        assert!(j.contains("\"threads\": 4"));
         assert!(j.contains("\"command\": \"all\""));
         // crude balance check on the hand-rolled writer
         assert_eq!(
@@ -310,6 +315,7 @@ mod tests {
             series: "x".into(),
             n_points: 0,
             batch_size: 1,
+            threads: 1,
             looped_ns: 0,
             batched_ns: 0,
         };

@@ -1,0 +1,310 @@
+//! Minimal JSON reader for `BENCH_repro.json`.
+//!
+//! The workspace is dependency-free, so the `benchdiff` regression gate
+//! parses the report with this small recursive-descent parser instead of
+//! serde. It accepts the general JSON grammar (objects, arrays, strings
+//! with the escapes `json.rs` emits, numbers, booleans, null) — enough
+//! to read any report the writer can produce, including hand-edited
+//! baselines.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (all JSON numbers fit an `f64` for our reports).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in document order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure, with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let bytes = text.as_bytes();
+    let mut at = 0usize;
+    let value = parse_value(bytes, &mut at)?;
+    skip_ws(bytes, &mut at);
+    if at != bytes.len() {
+        return Err(err(at, "trailing content after the document"));
+    }
+    Ok(value)
+}
+
+fn err(at: usize, msg: impl Into<String>) -> JsonError {
+    JsonError {
+        at,
+        msg: msg.into(),
+    }
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while *at < b.len() && matches!(b[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn expect(b: &[u8], at: &mut usize, c: u8) -> Result<(), JsonError> {
+    if *at < b.len() && b[*at] == c {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(err(*at, format!("expected '{}'", c as char)))
+    }
+}
+
+fn parse_value(b: &[u8], at: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, at);
+    match b.get(*at) {
+        None => Err(err(*at, "unexpected end of input")),
+        Some(b'{') => parse_object(b, at),
+        Some(b'[') => parse_array(b, at),
+        Some(b'"') => Ok(Json::Str(parse_string(b, at)?)),
+        Some(b't') => parse_lit(b, at, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, at, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, at, "null", Json::Null),
+        Some(_) => parse_number(b, at),
+    }
+}
+
+fn parse_lit(b: &[u8], at: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if b[*at..].starts_with(lit.as_bytes()) {
+        *at += lit.len();
+        Ok(value)
+    } else {
+        Err(err(*at, format!("expected '{lit}'")))
+    }
+}
+
+fn parse_number(b: &[u8], at: &mut usize) -> Result<Json, JsonError> {
+    let start = *at;
+    while *at < b.len() && matches!(b[*at], b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
+        *at += 1;
+    }
+    std::str::from_utf8(&b[start..*at])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| err(start, "invalid number"))
+}
+
+fn parse_string(b: &[u8], at: &mut usize) -> Result<String, JsonError> {
+    expect(b, at, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*at) {
+            None => return Err(err(*at, "unterminated string")),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                match b.get(*at) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*at + 1..*at + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| err(*at, "bad \\u escape"))?;
+                        // Surrogate pairs never appear in our reports;
+                        // map unpaired surrogates to the replacement char.
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *at += 4;
+                    }
+                    _ => return Err(err(*at, "bad escape")),
+                }
+                *at += 1;
+            }
+            Some(_) => {
+                // advance one UTF-8 scalar
+                let s = std::str::from_utf8(&b[*at..]).map_err(|_| err(*at, "invalid UTF-8"))?;
+                let c = s.chars().next().unwrap();
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(b: &[u8], at: &mut usize) -> Result<Json, JsonError> {
+    expect(b, at, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, at);
+    if b.get(*at) == Some(&b']') {
+        *at += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, at)?);
+        skip_ws(b, at);
+        match b.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b']') => {
+                *at += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(err(*at, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], at: &mut usize) -> Result<Json, JsonError> {
+    expect(b, at, b'{')?;
+    let mut members = Vec::new();
+    skip_ws(b, at);
+    if b.get(*at) == Some(&b'}') {
+        *at += 1;
+        return Ok(Json::Obj(members));
+    }
+    loop {
+        skip_ws(b, at);
+        let key = parse_string(b, at)?;
+        skip_ws(b, at);
+        expect(b, at, b':')?;
+        let value = parse_value(b, at)?;
+        members.push((key, value));
+        skip_ws(b, at);
+        match b.get(*at) {
+            Some(b',') => *at += 1,
+            Some(b'}') => {
+                *at += 1;
+                return Ok(Json::Obj(members));
+            }
+            _ => return Err(err(*at, "expected ',' or '}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_containers() {
+        let doc = r#"{"a": 1.5, "b": [true, null, "x\ny"], "c": {"d": -2e3}}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(v.get("a").unwrap().as_f64(), Some(1.5));
+        let b = v.get("b").unwrap().as_arr().unwrap();
+        assert_eq!(b[0], Json::Bool(true));
+        assert_eq!(b[1], Json::Null);
+        assert_eq!(b[2].as_str(), Some("x\ny"));
+        assert_eq!(v.get("c").unwrap().get("d").unwrap().as_f64(), Some(-2e3));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in ["{", "[1,", "{\"a\" 1}", "tru", "{}extra", "\"\\q\""] {
+            assert!(parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn round_trips_the_report_writer() {
+        // the writer's own output must parse
+        let mut rep = crate::json::JsonReport::new();
+        rep.config.push(("command".into(), "all".into()));
+        rep.config.push(("n".into(), "100".into()));
+        rep.add_figure(
+            "fig8",
+            vec![crate::json::SeriesRecord {
+                series: "Semi \"quoted\"".into(),
+                ops: 10,
+                finished: true,
+                total_ns: 2_000_000,
+                avg_cost_us: 200.0,
+                max_update_us: 400.0,
+            }],
+        );
+        rep.add_checks(vec![("sandwich".into(), true)]);
+        rep.add_batches(vec![crate::json::BatchRecord {
+            series: "full/insert".into(),
+            n_points: 100,
+            batch_size: 10,
+            threads: 4,
+            looped_ns: 300,
+            batched_ns: 100,
+        }]);
+        let v = parse(&rep.to_json()).unwrap();
+        assert_eq!(
+            v.get("config").unwrap().get("n").unwrap().as_f64(),
+            Some(100.0)
+        );
+        let figs = v.get("figures").unwrap().as_arr().unwrap();
+        assert_eq!(figs[0].get("figure").unwrap().as_str(), Some("fig8"));
+        let series = figs[0].get("series").unwrap().as_arr().unwrap();
+        assert_eq!(
+            series[0].get("series").unwrap().as_str(),
+            Some("Semi \"quoted\"")
+        );
+        assert_eq!(series[0].get("ops_per_sec").unwrap().as_f64(), Some(5000.0));
+        let batch = v.get("batch").unwrap().as_arr().unwrap();
+        assert_eq!(batch[0].get("threads").unwrap().as_f64(), Some(4.0));
+    }
+}

@@ -13,8 +13,12 @@
 //! * [`json`] — the machine-readable `BENCH_repro.json` report (per-figure
 //!   op/sec + peak memory) the `repro` binary writes, so the perf
 //!   trajectory can be tracked commit over commit.
-//! * [`batchbench`] — batched-vs-looped update comparisons shared by the
-//!   `batching` bench target and `repro -- batch`.
+//! * [`jsonread`] — the dependency-free JSON parser behind the
+//!   `benchdiff` binary, which diffs a fresh report against the
+//!   committed baseline and fails CI on out-of-band regressions.
+//! * [`batchbench`] — batched-vs-looped update comparisons (swept over
+//!   the flush thread budget) shared by the `batching` bench target and
+//!   `repro -- batch`.
 //!
 //! The `repro` binary regenerates everything:
 //!
@@ -27,6 +31,7 @@ pub mod batchbench;
 pub mod driver;
 pub mod figures;
 pub mod json;
+pub mod jsonread;
 pub mod metrics;
 pub mod microbench;
 pub mod report;

@@ -15,7 +15,7 @@
 
 use crate::groups::{Clustering, GroupBy};
 use crate::ops::Op;
-use crate::params::Params;
+use crate::params::{validate_point, validate_points, ParamError, Params};
 use crate::points::PointId;
 use dydbscan_geom::Point;
 
@@ -53,6 +53,14 @@ pub struct ClustererStats {
     /// so comparing this against `batched_updates` exposes the
     /// amortization factor.
     pub batch_cell_scans: u64,
+    /// Workers engaged by parallel batch flushes, summed over every
+    /// flush phase that actually went parallel. Stays `0` on
+    /// single-threaded configurations (`threads(1)`) and on engines
+    /// without a parallel flush.
+    pub parallel_workers: u64,
+    /// Per-touched-cell tasks dispatched through the parallel flush
+    /// pool (only counted when a phase engaged more than one worker).
+    pub parallel_cell_tasks: u64,
 }
 
 /// A dynamic density-based clusterer over `D`-dimensional points.
@@ -104,7 +112,22 @@ pub trait DynamicClusterer<const D: usize> {
     fn supports_deletion(&self) -> bool;
 
     /// Inserts a point; returns its never-reused id.
+    ///
+    /// # Panics
+    ///
+    /// On rows with NaN or infinite coordinates — they have no grid cell
+    /// and no usable ordering, so admitting them would silently corrupt
+    /// the spatial structures. Front-ends ingesting untrusted data use
+    /// [`try_insert`](Self::try_insert) instead.
     fn insert(&mut self, p: Point<D>) -> PointId;
+
+    /// Fallible [`insert`](Self::insert): rejects rows with NaN/±∞
+    /// coordinates with [`ParamError::InvalidPoint`] (`id = 0`) instead
+    /// of panicking. This is the ingestion boundary for untrusted data.
+    fn try_insert(&mut self, p: Point<D>) -> Result<PointId, ParamError> {
+        validate_point(&p, 0)?;
+        Ok(self.insert(p))
+    }
 
     /// Deletes a point by id.
     ///
@@ -148,6 +171,15 @@ pub trait DynamicClusterer<const D: usize> {
     /// `rho > 0`.
     fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
         pts.iter().map(|p| self.insert(*p)).collect()
+    }
+
+    /// Fallible [`insert_batch`](Self::insert_batch): the whole batch is
+    /// validated up front, and the first row carrying a NaN/±∞
+    /// coordinate rejects the call with [`ParamError::InvalidPoint`]
+    /// naming the row and axis — nothing is inserted on error.
+    fn try_insert_batch(&mut self, pts: &[Point<D>]) -> Result<Vec<PointId>, ParamError> {
+        validate_points(pts)?;
+        Ok(self.insert_batch(pts))
     }
 
     /// Deletes a batch of points by id, under the same equivalence

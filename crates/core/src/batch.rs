@@ -8,7 +8,7 @@
 //! for every nearby update.
 
 use crate::points::{PointArena, PointId};
-use dydbscan_geom::{FxHashMap, Point};
+use dydbscan_geom::{any_within_sq, count_within_sq, FxHashMap, Point};
 use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 
 /// Phase 1 of every insert pipeline: allocate ids for the whole batch,
@@ -92,26 +92,87 @@ pub(crate) fn group_by_cell(cells: &[CellId]) -> Vec<(CellId, Vec<u32>)> {
     groups
 }
 
+/// The touched-cell buckets of one flush, arena-backed: every group's
+/// coordinate block is stored **once** in a contiguous arena, and each
+/// touched cell's bucket is a list of `(offset, len)` ranges into it —
+/// where the former layout copied the block into every neighboring cell's
+/// bucket (up to `5^d`-fold duplication). The arena and the range lists
+/// are immutable once built, so the whole structure is shared by the
+/// parallel flush workers without any copying.
+///
+/// Buckets are sorted by cell id, giving the flush a deterministic task
+/// (and result-merge) order that is independent of batch order and hash
+/// internals.
+pub(crate) struct NeighborBuckets<const D: usize> {
+    /// Per-group coordinate blocks, back to back.
+    arena: Vec<Point<D>>,
+    /// One entry per touched cell: the `(offset, len)` arena ranges of
+    /// the groups that can reach it. Sorted by cell id.
+    buckets: Vec<(CellId, Vec<(u32, u32)>)>,
+}
+
+impl<const D: usize> NeighborBuckets<D> {
+    /// Number of touched cells.
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// The touched cell of bucket `bi`.
+    #[inline]
+    pub(crate) fn cell(&self, bi: usize) -> CellId {
+        self.buckets[bi].0
+    }
+
+    /// The coordinate slices of bucket `bi` (one per reaching group).
+    #[inline]
+    pub(crate) fn slices(&self, bi: usize) -> impl Iterator<Item = &[Point<D>]> {
+        self.buckets[bi]
+            .1
+            .iter()
+            .map(|&(off, len)| &self.arena[off as usize..off as usize + len as usize])
+    }
+
+    /// How many of bucket `bi`'s batch points lie within `r_sq` of `q`.
+    #[inline]
+    pub(crate) fn count_within_sq(&self, bi: usize, q: &Point<D>, r_sq: f64) -> usize {
+        self.slices(bi).map(|s| count_within_sq(s, q, r_sq)).sum()
+    }
+
+    /// Whether any of bucket `bi`'s batch points lies within `r_sq` of `q`.
+    #[inline]
+    pub(crate) fn any_within_sq(&self, bi: usize, q: &Point<D>, r_sq: f64) -> bool {
+        self.slices(bi).any(|s| any_within_sq(s, q, r_sq))
+    }
+}
+
 /// For every materialized cell in the `scope` neighborhood of any batch
-/// cell that passes `keep`, collects the coordinates of the batch points
-/// that can reach it — one `(cell, coordinate block)` bucket per touched
-/// cell, first-touch order. `coords_of` resolves a batch member index to
-/// its coordinates.
+/// cell that passes `keep`, collects the batch points that can reach it —
+/// one range-list bucket per touched cell (see [`NeighborBuckets`]).
+/// `coords_of` resolves a batch member index to its coordinates; each
+/// group's block is materialized once, not once per neighbor.
 ///
 /// `keep` prunes cells whose residents cannot need re-checking (dense
 /// cells: their points are definitely core); skipping them *here* avoids
-/// materializing coordinate blocks that would be thrown away, which is
-/// where most of the work would otherwise go on clustered data.
+/// registering ranges that would be thrown away, which is where most of
+/// the work would otherwise go on clustered data.
 pub(crate) fn neighbor_buckets<const D: usize>(
     grid: &GridIndex<D>,
     groups: &[(CellId, Vec<u32>)],
     coords_of: impl Fn(u32) -> Point<D>,
     scope: NeighborScope,
     keep: impl Fn(&dydbscan_grid::Cell<D>) -> bool,
-) -> Vec<(CellId, Vec<Point<D>>)> {
+) -> NeighborBuckets<D> {
+    let mut arena: Vec<Point<D>> = Vec::new();
+    let mut ranges: Vec<(u32, u32)> = Vec::with_capacity(groups.len());
+    for (_, members) in groups {
+        let off = arena.len() as u32;
+        arena.extend(members.iter().map(|&k| coords_of(k)));
+        ranges.push((off, members.len() as u32));
+    }
     let mut index: FxHashMap<CellId, u32> = FxHashMap::default();
-    let mut buckets: Vec<(CellId, Vec<Point<D>>)> = Vec::new();
-    for (cell, members) in groups {
+    let mut buckets: Vec<(CellId, Vec<(u32, u32)>)> = Vec::new();
+    for (gi, (cell, _)) in groups.iter().enumerate() {
         grid.visit_neighbor_cells(*cell, scope, |nid, cell_obj| {
             if !keep(cell_obj) {
                 return;
@@ -120,11 +181,11 @@ pub(crate) fn neighbor_buckets<const D: usize>(
                 buckets.push((nid, Vec::new()));
                 (buckets.len() - 1) as u32
             });
-            let b = &mut buckets[bi as usize].1;
-            b.extend(members.iter().map(|&k| coords_of(k)));
+            buckets[bi as usize].1.push(ranges[gi]);
         });
     }
-    buckets
+    buckets.sort_unstable_by_key(|&(c, _)| c);
+    NeighborBuckets { arena, buckets }
 }
 
 #[cfg(test)]
@@ -155,13 +216,55 @@ mod tests {
             NeighborScope::Eps,
             |_| true,
         );
-        // each touched cell appears exactly once
-        let mut seen: Vec<CellId> = buckets.iter().map(|(c, _)| *c).collect();
-        seen.sort_unstable();
-        seen.dedup();
-        assert_eq!(seen.len(), buckets.len());
+        // each touched cell appears exactly once, in cell-id order
+        let seen: Vec<CellId> = (0..buckets.len()).map(|bi| buckets.cell(bi)).collect();
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted, seen, "buckets must come back in cell-id order");
         // cell a's bucket holds its own two points plus b's (eps-close)
-        let a_bucket = &buckets.iter().find(|(c, _)| *c == a).unwrap().1;
-        assert_eq!(a_bucket.len(), 3);
+        let a_bi = (0..buckets.len())
+            .find(|&bi| buckets.cell(bi) == a)
+            .unwrap();
+        let total: usize = buckets.slices(a_bi).map(|s| s.len()).sum();
+        assert_eq!(total, 3);
+        assert_eq!(buckets.count_within_sq(a_bi, &[0.1, 0.1], 0.01), 2);
+        assert!(buckets.any_within_sq(a_bi, &[0.82, 0.1], 0.01));
+        assert!(!buckets.any_within_sq(a_bi, &[9.0, 9.0], 0.01));
+    }
+
+    #[test]
+    fn bucket_arena_stores_each_group_block_once() {
+        // A 3x3 square of mutually-close cells: each group's block is
+        // referenced by every neighbor's bucket but stored exactly once.
+        let mut grid = GridIndex::<2>::new(1.0, 0.0);
+        let mut pts: Vec<[f64; 2]> = Vec::new();
+        let mut cells = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                let side = std::f64::consts::FRAC_1_SQRT_2; // cell side at eps = 1
+                let p = [0.2 + i as f64 * side, 0.2 + j as f64 * side];
+                cells.push(grid.ensure_cell(&p));
+                pts.push(p);
+            }
+        }
+        let groups = group_by_cell(&cells);
+        let buckets = neighbor_buckets(
+            &grid,
+            &groups,
+            |k| pts[k as usize],
+            NeighborScope::Eps,
+            |_| true,
+        );
+        assert_eq!(
+            buckets.arena.len(),
+            pts.len(),
+            "arena must hold each batch point once, not once per neighbor"
+        );
+        // every touched cell still sees every reachable block via ranges
+        let referenced: usize = (0..buckets.len())
+            .map(|bi| buckets.slices(bi).map(|s| s.len()).sum::<usize>())
+            .sum();
+        assert!(referenced > buckets.arena.len(), "ranges fan out");
     }
 }

@@ -30,7 +30,7 @@ use crate::params::Params;
 use crate::points::{PointArena, PointId};
 use crate::query::c_group_by;
 use dydbscan_conn::{DynConnectivity, HdtConnectivity};
-use dydbscan_geom::{any_within_sq, dist_sq, FxHashMap, Point};
+use dydbscan_geom::{dist_sq, FxHashMap, Point};
 use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 
 /// Operation counters for provenance analysis in the benchmarks.
@@ -57,6 +57,10 @@ pub struct FullStats {
     /// Neighbor-cell scans performed by batch flushes — each one covers a
     /// whole batch where per-op updates would rescan the cell per point.
     pub batch_cell_scans: u64,
+    /// Workers engaged by flush phases that went parallel.
+    pub parallel_workers: u64,
+    /// Cell tasks dispatched through the parallel flush pool.
+    pub parallel_cell_tasks: u64,
 }
 
 /// Fully-dynamic ρ-double-approximate DBSCAN (exact when `rho = 0`).
@@ -90,6 +94,8 @@ pub struct FullDynDbscan<const D: usize, C: DynConnectivity = HdtConnectivity> {
     instance_ids: FxHashMap<(CellId, CellId), AbcpId>,
     /// Instances touching each cell.
     cell_instances: Vec<Vec<AbcpId>>,
+    /// Thread budget of the parallel batch flush (`1` = sequential).
+    threads: usize,
     stats: FullStats,
 }
 
@@ -113,7 +119,30 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             free_instances: Vec::new(),
             instance_ids: FxHashMap::default(),
             cell_instances: Vec::new(),
+            threads: crate::parallel::default_threads(),
             stats: FullStats::default(),
+        }
+    }
+
+    /// Sets the thread budget of the parallel batch flush (default: one
+    /// worker per logical CPU; `1` = the exact sequential path). The
+    /// clustering is bit-identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The thread budget of the parallel batch flush.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Records pool engagement in the stats (phases that stayed inline
+    /// do not count as parallel work).
+    fn note_parallel(&mut self, workers: usize, tasks: usize) {
+        if workers > 1 {
+            self.stats.parallel_workers += workers as u64;
+            self.stats.parallel_cell_tasks += tasks as u64;
         }
     }
 
@@ -194,8 +223,11 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
     // Updates
     // ------------------------------------------------------------------
 
-    /// Inserts a point; returns its id. Amortized `O~(1)`.
+    /// Inserts a point; returns its id. Amortized `O~(1)`. Panics on
+    /// NaN/infinite coordinates (see `DynamicClusterer::try_insert` for
+    /// the fallible boundary).
     pub fn insert(&mut self, p: Point<D>) -> PointId {
+        crate::params::validate_point(&p, 0).unwrap_or_else(|e| panic!("{e}"));
         let id = self.points.push(0, 0);
         let (cell, slot) = self.grid.insert_point(&p, id);
         {
@@ -272,19 +304,24 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
     /// Inserts a batch of points through the cell-major pipeline: place
     /// everything, group by target cell, recompute statuses once per
     /// touched cell, and flush all promotions (GUM + connectivity) in a
-    /// single pass. Identical to looped insertion at `rho = 0`,
-    /// sandwich-valid at `rho > 0`.
+    /// single pass. The per-cell status phases run on the parallel flush
+    /// pool (see [`crate::parallel`]); results are merged in cell-id
+    /// order, so the outcome is bit-identical at every thread count,
+    /// identical to looped insertion at `rho = 0`, and sandwich-valid at
+    /// `rho > 0`.
     pub fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
         if pts.len() < 2 {
             return pts.iter().map(|p| self.insert(*p)).collect();
         }
+        crate::params::validate_points(pts).unwrap_or_else(|e| panic!("{e}"));
         self.stats.batch_flushes += 1;
         self.stats.batched_updates += pts.len() as u64;
         let batch_start = self.points.capacity_ids() as PointId;
         let min_pts = self.params.min_pts;
 
-        // Phase 1: place the whole batch cell-major (tree maintenance is
-        // deferred to amortized doubling rebuilds inside `CellSet`).
+        // Phase 1 (sequential): place the whole batch cell-major (tree
+        // maintenance is deferred to amortized doubling rebuilds inside
+        // `CellSet`).
         let cell_instances = &mut self.cell_instances;
         let (ids, groups) = crate::batch::place_batch(&mut self.grid, &mut self.points, pts, |c| {
             while cell_instances.len() <= c as usize {
@@ -292,41 +329,50 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             }
         });
 
-        // Phase 2: statuses of the batch's own points, one pass per
-        // target cell (dense cells need no count queries; see
-        // `batch::promote_dense_cell`).
-        let mut promotions: Vec<PointId> = Vec::new();
-        for (cell, members) in &groups {
-            let dense = crate::batch::promote_dense_cell(
-                &self.grid,
-                &self.points,
-                *cell,
-                members,
-                &ids,
-                min_pts,
-                &mut promotions,
-            );
-            if dense {
-                continue;
-            }
-            for &k in members {
-                self.stats.count_queries += 1;
-                let p = &pts[k as usize];
-                if self
-                    .grid
-                    .count_ball_from(*cell, p, self.params.eps, self.params.eps_hi())
-                    >= min_pts
-                {
-                    promotions.push(ids[k as usize]);
+        // Phase 2 (parallel): statuses of the batch's own points, one
+        // task per target cell (dense cells need no count queries; see
+        // `batch::promote_dense_cell`). Workers only read the grid and
+        // the arena.
+        let (outcomes, workers) = {
+            let (grid, points, params) = (&self.grid, &self.points, &self.params);
+            let (ids, groups) = (&ids, &groups);
+            crate::parallel::run_tasks(self.threads, groups.len(), |gi| {
+                let (cell, members) = &groups[gi];
+                let mut promotions: Vec<PointId> = Vec::new();
+                let mut count_queries = 0u64;
+                let dense = crate::batch::promote_dense_cell(
+                    grid,
+                    points,
+                    *cell,
+                    members,
+                    ids,
+                    min_pts,
+                    &mut promotions,
+                );
+                if !dense {
+                    for &k in members {
+                        count_queries += 1;
+                        let p = &pts[k as usize];
+                        if grid.count_ball_from(*cell, p, params.eps, params.eps_hi()) >= min_pts {
+                            promotions.push(ids[k as usize]);
+                        }
+                    }
                 }
-            }
+                (promotions, count_queries)
+            })
+        };
+        self.note_parallel(workers, groups.len());
+        let mut promotions: Vec<PointId> = Vec::new();
+        for (promos, queries) in outcomes {
+            self.stats.count_queries += queries;
+            promotions.extend(promos);
         }
 
-        // Phase 3: re-check pre-existing non-core points near the batch.
-        // Every touched trigger-neighbor cell is materialized once; its
-        // SoA block is swept against the coordinate block of the batch
-        // points that can reach it, and each survivor whose ball gained a
-        // batch point is re-counted exactly once.
+        // Phase 3 (parallel): re-check pre-existing non-core points near
+        // the batch. Every touched trigger-neighbor cell is one task:
+        // its SoA block is swept against the arena-backed bucket of the
+        // batch points that can reach it, and each survivor whose ball
+        // gained a batch point is re-counted in place.
         let buckets = crate::batch::neighbor_buckets(
             &self.grid,
             &groups,
@@ -335,38 +381,38 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             |c| c.count() < min_pts, // dense cells: residents already core
         );
         let hi_sq = self.params.eps_hi_sq();
-        let mut candidates: Vec<PointId> = Vec::new();
-        let mut cell_scans = 0u64;
-        {
-            let points = &self.points;
-            for (c, bucket) in &buckets {
-                let cell_obj = self.grid.cell(*c);
-                cell_scans += 1;
+        let (outcomes, workers) = {
+            let (grid, points, params, buckets) =
+                (&self.grid, &self.points, &self.params, &buckets);
+            crate::parallel::run_tasks(self.threads, buckets.len(), |bi| {
+                let cell_id = buckets.cell(bi);
+                let cell_obj = grid.cell(cell_id);
+                let mut promotions: Vec<PointId> = Vec::new();
+                let mut count_queries = 0u64;
                 for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
                     if q >= batch_start || points.is_core(q) {
                         continue; // batch points handled in phase 2
                     }
-                    if any_within_sq(bucket, qp, hi_sq) {
-                        candidates.push(q);
+                    if buckets.any_within_sq(bi, qp, hi_sq) {
+                        count_queries += 1;
+                        if grid.count_ball_from(cell_id, qp, params.eps, params.eps_hi()) >= min_pts
+                        {
+                            promotions.push(q);
+                        }
                     }
                 }
-            }
-        }
-        self.stats.batch_cell_scans += cell_scans;
-        for q in candidates {
-            self.stats.count_queries += 1;
-            let rec = self.points.get(q);
-            let qp = *self.grid.cell(rec.cell).all.point(rec.slot);
-            if self
-                .grid
-                .count_ball_from(rec.cell, &qp, self.params.eps, self.params.eps_hi())
-                >= min_pts
-            {
-                promotions.push(q);
-            }
+                (promotions, count_queries)
+            })
+        };
+        self.stats.batch_cell_scans += buckets.len() as u64;
+        self.note_parallel(workers, buckets.len());
+        for (promos, queries) in outcomes {
+            self.stats.count_queries += queries;
+            promotions.extend(promos);
         }
 
-        // Phase 4: flush all promotions (GUM + connectivity) in one pass.
+        // Phase 4 (sequential): flush all promotions (GUM + connectivity)
+        // in one pass.
         self.flush_promotions(&promotions);
         ids
     }
@@ -488,8 +534,10 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
     /// everything out of the grid, then re-check each touched cell's
     /// surviving core points exactly once against the batch's coordinate
     /// block, flushing demotions (GUM + connectivity) in a single pass.
-    /// Identical to looped deletion at `rho = 0`, sandwich-valid at
-    /// `rho > 0`.
+    /// The per-touched-cell scan-and-recount phase runs on the parallel
+    /// flush pool with a cell-id-order merge — bit-identical at every
+    /// thread count, identical to looped deletion at `rho = 0`,
+    /// sandwich-valid at `rho > 0`.
     pub fn delete_batch(&mut self, del_ids: &[PointId]) {
         if del_ids.len() < 2 {
             for &id in del_ids {
@@ -501,8 +549,9 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         self.stats.batched_updates += del_ids.len() as u64;
         let min_pts = self.params.min_pts;
 
-        // Phase 1: pull every point out of the grid (and, for core
-        // points, out of GUM), recording coordinates per source cell.
+        // Phase 1 (sequential): pull every point out of the grid (and,
+        // for core points, out of GUM), recording coordinates per source
+        // cell.
         let mut coords = Vec::with_capacity(del_ids.len());
         let mut cells = Vec::with_capacity(del_ids.len());
         for &id in del_ids {
@@ -512,8 +561,12 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         }
         let groups = crate::batch::group_by_cell(&cells);
 
-        // Phase 2: re-check surviving core points near the batch. Every
-        // touched trigger-neighbor cell is materialized once; dense cells
+        // Phases 2-3 (parallel): re-check surviving core points near the
+        // batch. Every touched trigger-neighbor cell is one task: its
+        // SoA block is swept against the arena-backed bucket of deleted
+        // coordinates that can reach it, and each affected survivor is
+        // re-counted in place (counts read only `all` blocks, so the
+        // demotion decisions are independent of each other). Dense cells
         // keep their residents definitely core and are skipped.
         let buckets = crate::batch::neighbor_buckets(
             &self.grid,
@@ -523,31 +576,33 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             |c| c.count() < min_pts, // still-dense cells keep their cores
         );
         let hi_sq = self.params.eps_hi_sq();
-        let mut candidates: Vec<PointId> = Vec::new();
-        let mut cell_scans = 0u64;
-        {
-            let points = &self.points;
-            for (c, bucket) in &buckets {
-                let cell_obj = self.grid.cell(*c);
-                cell_scans += 1;
+        let (outcomes, workers) = {
+            let (grid, points, params, buckets) =
+                (&self.grid, &self.points, &self.params, &buckets);
+            crate::parallel::run_tasks(self.threads, buckets.len(), |bi| {
+                let cell_id = buckets.cell(bi);
+                let cell_obj = grid.cell(cell_id);
+                let mut demotions: Vec<(PointId, Point<D>)> = Vec::new();
+                let mut count_queries = 0u64;
                 for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
-                    if points.is_core(q) && any_within_sq(bucket, qp, hi_sq) {
-                        candidates.push(q);
+                    if points.is_core(q) && buckets.any_within_sq(bi, qp, hi_sq) {
+                        count_queries += 1;
+                        if grid.count_ball_from(cell_id, qp, params.eps, params.eps_hi()) < min_pts
+                        {
+                            demotions.push((q, *qp));
+                        }
                     }
                 }
-            }
-        }
-        self.stats.batch_cell_scans += cell_scans;
-        // Phase 3: one count query per affected survivor; flush demotions.
-        for q in candidates {
-            self.stats.count_queries += 1;
-            let rec = self.points.get(q);
-            let qp = *self.grid.cell(rec.cell).all.point(rec.slot);
-            if self
-                .grid
-                .count_ball_from(rec.cell, &qp, self.params.eps, self.params.eps_hi())
-                < min_pts
-            {
+                (demotions, count_queries)
+            })
+        };
+        self.stats.batch_cell_scans += buckets.len() as u64;
+        self.note_parallel(workers, buckets.len());
+        // Phase 4 (sequential): flush demotions through GUM and the CC
+        // structure in merged (cell-id, slot) order.
+        for (demotions, queries) in outcomes {
+            self.stats.count_queries += queries;
+            for (q, qp) in demotions {
                 self.on_lost_core(q, qp);
             }
         }
@@ -866,6 +921,8 @@ impl<const D: usize, C: DynConnectivity> DynamicClusterer<D> for FullDynDbscan<D
             batched_updates: s.batched_updates,
             batch_flushes: s.batch_flushes,
             batch_cell_scans: s.batch_cell_scans,
+            parallel_workers: s.parallel_workers,
+            parallel_cell_tasks: s.parallel_cell_tasks,
         }
     }
 }

@@ -69,6 +69,7 @@ mod batch;
 pub mod full;
 pub mod groups;
 pub mod ops;
+mod parallel;
 pub mod params;
 pub mod points;
 pub mod query;
@@ -81,7 +82,7 @@ pub use api::{ClustererStats, DynamicClusterer};
 pub use full::{FullDynDbscan, FullStats};
 pub use groups::{Clustering, GroupBy};
 pub use ops::Op;
-pub use params::{ParamError, Params};
+pub use params::{validate_point, validate_points, ParamError, Params};
 pub use points::{PointArena, PointId, PointRec};
 pub use semi::{SemiDynDbscan, SemiStats};
 pub use static_dbscan::{brute_force_exact, static_cluster};

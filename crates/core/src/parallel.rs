@@ -1,0 +1,129 @@
+//! Dependency-free scoped worker pool for the batch flush.
+//!
+//! The batch pipelines' expensive middle phases — the per-touched-cell
+//! neighbor scans and core-status recounts — are embarrassingly parallel:
+//! every task reads the grid and the point arena and writes only its own
+//! result. [`run_tasks`] fans a task range out over a small
+//! [`std::thread::scope`] crew that *work-steals* indices from one shared
+//! atomic cursor (no per-worker queues, no channels), then hands the
+//! results back **in task order**: each worker tags what it produced with
+//! the task index it claimed, and the merge slots everything back into
+//! `0..tasks` order. Callers that enumerate their tasks deterministically
+//! (the flushes sort touched cells by cell id) therefore observe results
+//! that are *bit-identical* to the sequential path, regardless of the
+//! thread count or the interleaving the scheduler picked.
+//!
+//! `threads <= 1` never spawns: the tasks run inline on the caller's
+//! thread — the exact sequential path. Small task counts also stay
+//! inline (`MIN_TASKS_PER_WORKER`), so per-op-sized flushes do not pay
+//! thread-spawn latency for microscopic wins.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A worker is only worth spawning if it has at least this many tasks to
+/// chew on; below that, spawn latency dominates the stolen work.
+const MIN_TASKS_PER_WORKER: usize = 4;
+
+/// The default thread budget: one worker per logical CPU.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `run(i)` for every task index `i in 0..tasks` on up to `threads`
+/// scoped workers and returns `(results, workers_engaged)`, with
+/// `results[i] == run(i)` — task order, independent of scheduling.
+/// `workers_engaged == 1` means the tasks ran inline (the exact
+/// sequential path); `run` must be pure with respect to shared state for
+/// the parallel path to be equivalent.
+pub(crate) fn run_tasks<R: Send>(
+    threads: usize,
+    tasks: usize,
+    run: impl Fn(usize) -> R + Sync,
+) -> (Vec<R>, usize) {
+    let workers = threads.min(tasks / MIN_TASKS_PER_WORKER);
+    if workers <= 1 {
+        return ((0..tasks).map(run).collect(), 1);
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut per_worker: Vec<Vec<(u32, R)>> = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local: Vec<(u32, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks {
+                            break;
+                        }
+                        local.push((i as u32, run(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(local) => per_worker.push(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(tasks).collect();
+    for local in per_worker {
+        for (i, r) in local {
+            debug_assert!(slots[i as usize].is_none(), "task {i} claimed twice");
+            slots[i as usize] = Some(r);
+        }
+    }
+    let results = slots
+        .into_iter()
+        .map(|r| r.expect("every task index claimed exactly once"))
+        .collect();
+    (results, workers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_task_order() {
+        for threads in [1usize, 2, 4, 8] {
+            let (out, workers) = run_tasks(threads, 257, |i| i * i);
+            assert_eq!(out.len(), 257);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, i * i, "threads={threads}");
+            }
+            assert!(workers >= 1 && workers <= threads.max(1));
+        }
+    }
+
+    #[test]
+    fn small_task_counts_run_inline() {
+        let (out, workers) = run_tasks(8, 3, |i| i);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(workers, 1, "3 tasks must not spawn 8 threads");
+        let (out, workers) = run_tasks(1, 100, |i| i + 1);
+        assert_eq!(out[99], 100);
+        assert_eq!(workers, 1, "threads = 1 is the exact sequential path");
+    }
+
+    #[test]
+    fn zero_tasks_yield_empty() {
+        let (out, workers) = run_tasks(4, 0, |_| 0u8);
+        assert!(out.is_empty());
+        assert_eq!(workers, 1);
+    }
+
+    #[test]
+    fn workers_actually_share_the_range() {
+        // With enough tasks the crew engages; every index appears once.
+        let (out, workers) = run_tasks(4, 1000, |i| i as u64);
+        assert_eq!(workers, 4);
+        let sum: u64 = out.iter().sum();
+        assert_eq!(sum, 999 * 1000 / 2);
+    }
+}

@@ -10,9 +10,11 @@
 //! [`Params::try_new`] / [`Params::try_with_rho`] for front-ends (such as
 //! `dydbscan::DbscanBuilder`) that accept runtime configuration.
 
+use dydbscan_geom::Point;
 use std::fmt;
 
-/// A rejected parameter (see [`Params::try_new`]).
+/// A rejected parameter or input row (see [`Params::try_new`] and
+/// [`validate_points`]).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ParamError {
     /// `eps` must be positive and finite.
@@ -21,6 +23,17 @@ pub enum ParamError {
     BadMinPts(usize),
     /// `rho` must lie in `[0, 1)`.
     BadRho(f64),
+    /// An input row carried a NaN or infinite coordinate: row `id`
+    /// (index within the rejected call's batch; `0` for single-row
+    /// inserts), coordinate `axis`. Non-finite coordinates have no grid
+    /// cell and no usable ordering, so they are rejected at the API
+    /// boundary instead of corrupting the spatial structures.
+    InvalidPoint {
+        /// Index of the offending row within the call's batch.
+        id: usize,
+        /// Index of the offending coordinate within the row.
+        axis: usize,
+    },
 }
 
 impl fmt::Display for ParamError {
@@ -31,11 +44,35 @@ impl fmt::Display for ParamError {
             }
             ParamError::BadMinPts(m) => write!(f, "MinPts must be at least 1, got {m}"),
             ParamError::BadRho(r) => write!(f, "rho must be in [0, 1), got {r}"),
+            ParamError::InvalidPoint { id, axis } => write!(
+                f,
+                "point {id} has a non-finite coordinate on axis {axis} (NaN/infinity rejected)"
+            ),
         }
     }
 }
 
 impl std::error::Error for ParamError {}
+
+/// Validates one input row: every coordinate must be finite. `id` is the
+/// row's index within the caller's batch, echoed into the error.
+#[inline]
+pub fn validate_point<const D: usize>(p: &Point<D>, id: usize) -> Result<(), ParamError> {
+    match p.iter().position(|c| !c.is_finite()) {
+        None => Ok(()),
+        Some(axis) => Err(ParamError::InvalidPoint { id, axis }),
+    }
+}
+
+/// Validates a batch of input rows, reporting the first offending
+/// `(row, axis)` pair as [`ParamError::InvalidPoint`].
+#[inline]
+pub fn validate_points<const D: usize>(pts: &[Point<D>]) -> Result<(), ParamError> {
+    for (id, p) in pts.iter().enumerate() {
+        validate_point(p, id)?;
+    }
+    Ok(())
+}
 
 /// Parameters of (exact / ρ-approximate / ρ-double-approximate) DBSCAN.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -184,5 +221,28 @@ mod tests {
             .contains("eps must be positive"));
         assert!(ParamError::BadMinPts(0).to_string().contains("MinPts"));
         assert!(ParamError::BadRho(2.0).to_string().contains("rho"));
+        let e = ParamError::InvalidPoint { id: 3, axis: 1 };
+        assert!(e.to_string().contains("point 3"));
+        assert!(e.to_string().contains("axis 1"));
+    }
+
+    #[test]
+    fn point_validation_reports_row_and_axis() {
+        assert_eq!(validate_point(&[0.0, 1.0], 7), Ok(()));
+        assert_eq!(
+            validate_point(&[0.0, f64::NAN], 7),
+            Err(ParamError::InvalidPoint { id: 7, axis: 1 })
+        );
+        assert_eq!(
+            validate_point(&[f64::INFINITY, 0.0], 0),
+            Err(ParamError::InvalidPoint { id: 0, axis: 0 })
+        );
+        let rows: [[f64; 3]; 3] = [[0.0; 3], [1.0, f64::NEG_INFINITY, 2.0], [f64::NAN; 3]];
+        assert_eq!(
+            validate_points(&rows),
+            Err(ParamError::InvalidPoint { id: 1, axis: 1 }),
+            "first offending row wins"
+        );
+        assert_eq!(validate_points(&rows[..1]), Ok(()));
     }
 }

@@ -31,7 +31,7 @@ use crate::params::Params;
 use crate::points::{PointArena, PointId};
 use crate::query::c_group_by;
 use dydbscan_conn::UnionFind;
-use dydbscan_geom::{count_within_sq, dist_sq, FxHashSet, Point};
+use dydbscan_geom::{dist_sq, FxHashSet, Point};
 use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 
 /// Operation counters for cost provenance (semi-dynamic regime).
@@ -50,6 +50,10 @@ pub struct SemiStats {
     /// Neighbor-cell scans performed by batch flushes — each one covers a
     /// whole batch where per-op updates would rescan the cell per point.
     pub batch_cell_scans: u64,
+    /// Workers engaged by flush phases that went parallel.
+    pub parallel_workers: u64,
+    /// Cell tasks dispatched through the parallel flush pool.
+    pub parallel_cell_tasks: u64,
 }
 
 /// Semi-dynamic ρ-approximate DBSCAN (exact when `rho = 0`).
@@ -80,6 +84,8 @@ pub struct SemiDynDbscan<const D: usize> {
     /// Scratch buffers reused across operations.
     promo_scratch: Vec<PointId>,
     cell_scratch: Vec<CellId>,
+    /// Thread budget of the parallel batch flush (`1` = sequential).
+    threads: usize,
     stats: SemiStats,
 }
 
@@ -95,8 +101,22 @@ impl<const D: usize> SemiDynDbscan<D> {
             edges: FxHashSet::default(),
             promo_scratch: Vec::new(),
             cell_scratch: Vec::new(),
+            threads: crate::parallel::default_threads(),
             stats: SemiStats::default(),
         }
+    }
+
+    /// Sets the thread budget of the parallel batch flush (default: one
+    /// worker per logical CPU; `1` = the exact sequential path). The
+    /// clustering is bit-identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// The thread budget of the parallel batch flush.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Operation counters.
@@ -140,8 +160,11 @@ impl<const D: usize> SemiDynDbscan<D> {
         *self.grid.cell(r.cell).all.point(r.slot)
     }
 
-    /// Inserts a point; returns its id. Amortized `O~(1)`.
+    /// Inserts a point; returns its id. Amortized `O~(1)`. Panics on
+    /// NaN/infinite coordinates (see `DynamicClusterer::try_insert` for
+    /// the fallible boundary).
     pub fn insert(&mut self, p: Point<D>) -> PointId {
+        crate::params::validate_point(&p, 0).unwrap_or_else(|e| panic!("{e}"));
         let id = self.points.push(0, 0);
         let (cell, slot) = self.grid.insert_point(&p, id);
         {
@@ -218,57 +241,85 @@ impl<const D: usize> SemiDynDbscan<D> {
     /// Inserts a batch of points, amortizing the per-cell work: the batch
     /// is grouped by target cell, every touched neighbor cell is swept
     /// once against the batch's coordinate block, and all promotions are
-    /// flushed through GUM in a single pass. The final clustering is
-    /// identical to inserting the points one at a time (`rho = 0`) and
-    /// sandwich-valid at `rho > 0`.
+    /// flushed through GUM in a single pass. The per-cell status phases
+    /// run on the parallel flush pool (see [`crate::parallel`]); results
+    /// are merged in cell-id order, so the final clustering is
+    /// bit-identical at every thread count, identical to inserting the
+    /// points one at a time at `rho = 0`, and sandwich-valid at
+    /// `rho > 0`.
     pub fn insert_batch(&mut self, pts: &[Point<D>]) -> Vec<PointId> {
         if pts.len() < 2 {
             return pts.iter().map(|p| self.insert(*p)).collect();
         }
+        crate::params::validate_points(pts).unwrap_or_else(|e| panic!("{e}"));
         self.stats.batch_flushes += 1;
         self.stats.batched_updates += pts.len() as u64;
         let batch_start = self.points.capacity_ids() as PointId;
         let min_pts = self.params.min_pts;
 
-        // Phase 1: place the whole batch cell-major (tree maintenance is
-        // deferred to amortized doubling rebuilds inside `CellSet`).
+        // Phase 1 (sequential): place the whole batch cell-major (tree
+        // maintenance is deferred to amortized doubling rebuilds inside
+        // `CellSet`).
         let uf = &mut self.uf;
         let (ids, groups) =
             crate::batch::place_batch(&mut self.grid, &mut self.points, pts, |c| uf.ensure(c));
 
-        // Phase 2: statuses of the batch's own points, one pass per
-        // target cell (dense cells need no count queries; see
-        // `batch::promote_dense_cell`).
-        let mut promotions: Vec<PointId> = Vec::new();
-        for (cell, members) in &groups {
-            let dense = crate::batch::promote_dense_cell(
-                &self.grid,
-                &self.points,
-                *cell,
-                members,
-                &ids,
-                min_pts,
-                &mut promotions,
-            );
-            if dense {
-                continue;
-            }
-            for &k in members {
-                self.stats.count_queries += 1;
-                let p = &pts[k as usize];
-                let kct = self
-                    .grid
-                    .count_ball_from(*cell, p, self.params.eps, self.params.eps);
-                self.points.get_mut(ids[k as usize]).vincnt = kct as u32;
-                if kct >= min_pts {
-                    promotions.push(ids[k as usize]);
+        // Phase 2 (parallel): statuses of the batch's own points, one
+        // task per target cell (dense cells need no count queries; see
+        // `batch::promote_dense_cell`). Workers only read the grid and
+        // the arena; vicinity counts are written back on this thread.
+        struct GroupOutcome {
+            promotions: Vec<PointId>,
+            vincnts: Vec<(PointId, u32)>,
+            count_queries: u64,
+        }
+        let (outcomes, workers) = {
+            let (grid, points, params) = (&self.grid, &self.points, &self.params);
+            let (ids, groups) = (&ids, &groups);
+            crate::parallel::run_tasks(self.threads, groups.len(), |gi| {
+                let (cell, members) = &groups[gi];
+                let mut out = GroupOutcome {
+                    promotions: Vec::new(),
+                    vincnts: Vec::new(),
+                    count_queries: 0,
+                };
+                let dense = crate::batch::promote_dense_cell(
+                    grid,
+                    points,
+                    *cell,
+                    members,
+                    ids,
+                    min_pts,
+                    &mut out.promotions,
+                );
+                if !dense {
+                    for &k in members {
+                        out.count_queries += 1;
+                        let p = &pts[k as usize];
+                        let kct = grid.count_ball_from(*cell, p, params.eps, params.eps);
+                        out.vincnts.push((ids[k as usize], kct as u32));
+                        if kct >= min_pts {
+                            out.promotions.push(ids[k as usize]);
+                        }
+                    }
                 }
+                out
+            })
+        };
+        self.note_parallel(workers, groups.len());
+        let mut promotions: Vec<PointId> = Vec::new();
+        for out in outcomes {
+            self.stats.count_queries += out.count_queries;
+            for (id, k) in out.vincnts {
+                self.points.get_mut(id).vincnt = k;
             }
+            promotions.extend(out.promotions);
         }
 
-        // Phase 3: vicinity counts of pre-existing non-core points. Each
-        // eps-close touched cell is materialized once and its SoA block
-        // swept against the batch points that can reach it.
+        // Phase 3 (parallel): vicinity counts of pre-existing non-core
+        // points. Each eps-close touched cell is one task: its SoA block
+        // is swept against the arena-backed bucket of batch points that
+        // can reach it.
         let buckets = crate::batch::neighbor_buckets(
             &self.grid,
             &groups,
@@ -277,26 +328,26 @@ impl<const D: usize> SemiDynDbscan<D> {
             |c| c.count() < min_pts, // dense: all residents already core
         );
         let eps_sq = self.params.eps_sq();
-        let mut bumped: Vec<(PointId, u32)> = Vec::new();
-        let mut cell_scans = 0u64;
-        {
-            let points = &self.points;
-            for (c, bucket) in &buckets {
-                let cell_obj = self.grid.cell(*c);
-                cell_scans += 1;
+        let (bumped_lists, workers) = {
+            let (grid, points, buckets) = (&self.grid, &self.points, &buckets);
+            crate::parallel::run_tasks(self.threads, buckets.len(), |bi| {
+                let cell_obj = grid.cell(buckets.cell(bi));
+                let mut bumped: Vec<(PointId, u32)> = Vec::new();
                 for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
                     if q >= batch_start || points.is_core(q) {
                         continue; // batch points handled in phase 2
                     }
-                    let delta = count_within_sq(bucket, qp, eps_sq);
+                    let delta = buckets.count_within_sq(bi, qp, eps_sq);
                     if delta > 0 {
                         bumped.push((q, delta as u32));
                     }
                 }
-            }
-        }
-        self.stats.batch_cell_scans += cell_scans;
-        for (q, delta) in bumped {
+                bumped
+            })
+        };
+        self.stats.batch_cell_scans += buckets.len() as u64;
+        self.note_parallel(workers, buckets.len());
+        for (q, delta) in bumped_lists.into_iter().flatten() {
             let rec = self.points.get_mut(q);
             rec.vincnt += delta;
             if rec.vincnt as usize >= min_pts {
@@ -304,11 +355,21 @@ impl<const D: usize> SemiDynDbscan<D> {
             }
         }
 
-        // Phase 4: flush all promotions (GUM + union-find) in one pass —
-        // each cell's core block is extended in one shot, then GUM probes
-        // run per point with already-connected cell pairs skipped.
+        // Phase 4 (sequential): flush all promotions (GUM + union-find)
+        // in one pass — each cell's core block is extended in one shot,
+        // then GUM probes run per point with already-connected cell pairs
+        // skipped.
         self.flush_promotions(&promotions);
         ids
+    }
+
+    /// Records pool engagement in the stats (phases that stayed inline
+    /// do not count as parallel work).
+    fn note_parallel(&mut self, workers: usize, tasks: usize) {
+        if workers > 1 {
+            self.stats.parallel_workers += workers as u64;
+            self.stats.parallel_cell_tasks += tasks as u64;
+        }
     }
 
     /// Registers a block of promoted points cell-at-a-time and runs GUM
@@ -492,6 +553,8 @@ impl<const D: usize> DynamicClusterer<D> for SemiDynDbscan<D> {
             batched_updates: self.stats.batched_updates,
             batch_flushes: self.stats.batch_flushes,
             batch_cell_scans: self.stats.batch_cell_scans,
+            parallel_workers: self.stats.parallel_workers,
+            parallel_cell_tasks: self.stats.parallel_cell_tasks,
         }
     }
 }

@@ -88,7 +88,7 @@ pub fn solve_usec<const D: usize>(instance: &UsecInstance<D>, base: usize) -> bo
         .map(|&p| (p, true))
         .chain(instance.blue.iter().map(|&p| (p, false)))
         .collect();
-    pts.sort_by(|a, b| a.0[0].partial_cmp(&b.0[0]).expect("NaN coordinate"));
+    pts.sort_by(|a, b| a.0[0].total_cmp(&b.0[0]));
     solve_usec_rec(&pts, base.max(2))
 }
 

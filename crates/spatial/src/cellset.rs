@@ -21,14 +21,16 @@
 //! the classic behavior); [`CellSet::insert_block`] — the batch
 //! pipelines' entry point — only appends to the SoA and lets the tail
 //! grow. Once a tail exists, *every* insertion path appends to it, and
-//! the tree is rebuilt from scratch whenever the tail would outgrow the
-//! indexed prefix (removals enforce the same bound). That turns
-//! `O(log n)` tree maintenance *per point* into an amortized doubling
-//! rebuild *per block*, which is where batched updates beat looped ones
-//! on dense data, while queries stay sub-linear (tree + a tail never
-//! larger than the indexed prefix).
+//! the tree is rebuilt from scratch whenever the tail outgrows
+//! [`CellSet::TAIL_REBUILD_PERCENT`] percent of the indexed prefix
+//! (removals enforce the same bound). That turns `O(log n)` tree
+//! maintenance *per point* into an amortized geometric rebuild *per
+//! block*, which is where batched updates beat looped ones on dense
+//! data, while queries stay sub-linear (tree + a tail bounded by a
+//! constant multiple of the indexed prefix).
 //!
-//! The `ablate_emptiness` benchmark sweeps the upgrade threshold.
+//! The `ablate_emptiness` benchmark sweeps both the upgrade threshold
+//! and the tail-rebuild trigger.
 
 use crate::kdtree::KdTree;
 use dydbscan_geom::{dist_sq, Point};
@@ -65,7 +67,7 @@ impl SwapMoves {
 
 /// A dynamic multiset of `(Point<D>, u32)` entries scoped to one grid
 /// cell, stored cell-major as two parallel arrays.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CellSet<const D: usize> {
     pts: Vec<Point<D>>,
     ids: Vec<u32>,
@@ -75,15 +77,60 @@ pub struct CellSet<const D: usize> {
     /// Number of leading slots indexed by `tree` (`0` when `tree` is
     /// `None`). Slots `>= tree_len` are the deferred tail.
     tree_len: u32,
+    /// Rebuild trigger: the tree is rebuilt when the deferred tail
+    /// exceeds this percentage of the indexed prefix (see
+    /// [`TAIL_REBUILD_PERCENT`](Self::TAIL_REBUILD_PERCENT)).
+    tail_rebuild_percent: u32,
+}
+
+impl<const D: usize> Default for CellSet<D> {
+    fn default() -> Self {
+        Self {
+            pts: Vec::new(),
+            ids: Vec::new(),
+            tree: None,
+            tree_len: 0,
+            tail_rebuild_percent: Self::TAIL_REBUILD_PERCENT,
+        }
+    }
 }
 
 impl<const D: usize> CellSet<D> {
     /// Entry count beyond which queries are served by a kd-tree.
     pub const UPGRADE_THRESHOLD: usize = 48;
 
+    /// Deferred-tail rebuild trigger, as a percentage of the indexed
+    /// prefix: the tree is rebuilt wholesale once
+    /// `tail_len * 100 > tree_len * TAIL_REBUILD_PERCENT`. Lower values
+    /// rebuild eagerly (faster queries, more rebuild work); higher
+    /// values tolerate longer linear tails. `200` won the
+    /// `ablate_emptiness` sweep over {25, 50, 100, 200, 400} on a
+    /// block-insert + mixed-query (emptiness probe + sandwich count)
+    /// workload: the seed's implicit `100` (rebuild when the tail would
+    /// outgrow the prefix) pays ~20% more total time in rebuild work,
+    /// while `400` drifts toward linear-scan latency on populous cells.
+    /// Queries stay exact at any setting — the tail is always scanned —
+    /// so this is purely a rebuild-work/query-latency trade.
+    pub const TAIL_REBUILD_PERCENT: u32 = 200;
+
     /// Creates an empty set.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty set with a non-default tail-rebuild trigger
+    /// (ablation/benchmark support; clamped to at least `1`).
+    pub fn with_tail_rebuild_percent(percent: u32) -> Self {
+        Self {
+            tail_rebuild_percent: percent.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// Whether the deferred tail has outgrown the rebuild trigger.
+    #[inline]
+    fn tail_overflow(&self) -> bool {
+        self.tail_len() as u64 * 100 > self.tree_len as u64 * self.tail_rebuild_percent as u64
     }
 
     /// Number of entries.
@@ -158,7 +205,7 @@ impl<const D: usize> CellSet<D> {
                     // tail empty: keep the prefix complete incrementally
                     t.insert(point, item);
                     self.tree_len = slot + 1;
-                } else if self.tail_len() > self.tree_len as usize {
+                } else if self.tail_overflow() {
                     self.rebuild_tree();
                 }
             }
@@ -185,7 +232,7 @@ impl<const D: usize> CellSet<D> {
         }
         match &self.tree {
             Some(_) => {
-                if self.tail_len() > self.tree_len as usize {
+                if self.tail_overflow() {
                     self.rebuild_tree();
                 }
             }
@@ -242,7 +289,7 @@ impl<const D: usize> CellSet<D> {
             if self.ids.len() <= Self::UPGRADE_THRESHOLD / 4 {
                 self.tree = None;
                 self.tree_len = 0;
-            } else if self.tail_len() > self.tree_len as usize {
+            } else if self.tail_overflow() {
                 self.rebuild_tree();
             }
         } else {
@@ -432,6 +479,41 @@ mod tests {
         s.insert_block(many.iter().copied());
         assert_eq!(s.tail_len(), 0, "doubling rebuild swallowed the tail");
         assert_eq!(s.len(), 200);
+    }
+
+    #[test]
+    fn tail_rebuild_percent_controls_the_trigger() {
+        // An eager trigger (25%) rebuilds on a tail a lazy one (400%)
+        // tolerates; queries stay exact in both configurations.
+        let mut eager = CellSet::<2>::with_tail_rebuild_percent(25);
+        let mut lazy = CellSet::<2>::with_tail_rebuild_percent(400);
+        let n = CellSet::<2>::UPGRADE_THRESHOLD as u32 + 2;
+        for i in 0..n {
+            eager.insert([i as f64, 0.0], i);
+            lazy.insert([i as f64, 0.0], i);
+        }
+        assert!(eager.is_tree_mode() && lazy.is_tree_mode());
+        let block: Vec<([f64; 2], u32)> = (n..2 * n).map(|i| ([i as f64, 0.0], i)).collect();
+        eager.insert_block(block.iter().copied());
+        lazy.insert_block(block.iter().copied());
+        assert_eq!(eager.tail_len(), 0, "25%: a same-size tail must rebuild");
+        assert_eq!(
+            lazy.tail_len(),
+            n as usize,
+            "400%: a same-size tail stays deferred"
+        );
+        for i in 0..2 * n {
+            for s in [&eager, &lazy] {
+                assert!(
+                    s.find_within(&[i as f64, 0.0], 0.01, 0.01).is_some(),
+                    "entry {i} lost"
+                );
+            }
+        }
+        assert_eq!(
+            CellSet::<2>::new().tail_rebuild_percent,
+            CellSet::<2>::TAIL_REBUILD_PERCENT
+        );
     }
 
     #[test]

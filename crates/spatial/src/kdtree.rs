@@ -399,9 +399,7 @@ impl<const D: usize> KdTree<D> {
             }
         }
         let mid = entries.len() / 2;
-        entries.select_nth_unstable_by(mid, |a, b| {
-            a.0[axis].partial_cmp(&b.0[axis]).expect("NaN coordinate")
-        });
+        entries.select_nth_unstable_by(mid, |a, b| a.0[axis].total_cmp(&b.0[axis]));
         let (point, item) = entries[mid];
         let node = self.alloc(point, item, axis as u8);
         // Routing invariant requires: left side strictly < split value.

@@ -470,7 +470,11 @@ fn quadratic_partition<const D: usize>(boxes: &[Aabb<D>]) -> (Vec<usize>, Vec<us
         }
         let grow_a = bb_a.union(&boxes[i]).volume() - bb_a.volume();
         let grow_b = bb_b.union(&boxes[i]).volume() - bb_b.volume();
-        let to_a = match grow_a.partial_cmp(&grow_b).unwrap() {
+        // total_cmp: growth values are NaN when coordinates ever were
+        // (inf - inf), and a split must still terminate — the public API
+        // rejects non-finite rows, but the index must not abort even if
+        // one slips through a future code path.
+        let to_a = match grow_a.total_cmp(&grow_b) {
             std::cmp::Ordering::Less => true,
             std::cmp::Ordering::Greater => false,
             std::cmp::Ordering::Equal => ga.len() <= gb.len(),

@@ -145,6 +145,7 @@ pub struct DbscanBuilder {
     algorithm: Algorithm,
     connectivity: ConnectivityBackend,
     index: IndexBackend,
+    threads: Option<usize>,
 }
 
 impl DbscanBuilder {
@@ -157,12 +158,23 @@ impl DbscanBuilder {
             algorithm: Algorithm::FullyDynamic,
             connectivity: ConnectivityBackend::default(),
             index: IndexBackend::default(),
+            threads: None,
         }
     }
 
     /// Sets the approximation parameter `rho` (default `0` = exact).
     pub fn rho(mut self, rho: f64) -> Self {
         self.rho = rho;
+        self
+    }
+
+    /// Sets the thread budget of the grid engines' parallel batch flush
+    /// (default: one worker per logical CPU; `1` = the exact sequential
+    /// path; `0` is treated as `1`). The clustering is bit-identical at
+    /// every thread count — threads only buy wall-clock. IncDBSCAN is
+    /// inherently per-update and ignores the setting.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
         self
     }
 
@@ -243,15 +255,29 @@ impl DbscanBuilder {
         // new backend variant fails to compile here until it is wired up,
         // rather than silently falling back to the default engine.
         Ok(match self.algorithm {
-            Algorithm::SemiDynamic => Box::new(SemiDynDbscan::<D>::new(params)),
+            Algorithm::SemiDynamic => {
+                let mut c = SemiDynDbscan::<D>::new(params);
+                if let Some(t) = self.threads {
+                    c = c.with_threads(t);
+                }
+                Box::new(c)
+            }
             Algorithm::FullyDynamic => match self.connectivity {
                 ConnectivityBackend::Auto | ConnectivityBackend::Hdt => {
-                    Box::new(FullDynDbscan::<D>::new(params))
+                    let mut c = FullDynDbscan::<D>::new(params);
+                    if let Some(t) = self.threads {
+                        c = c.with_threads(t);
+                    }
+                    Box::new(c)
                 }
-                ConnectivityBackend::Naive => Box::new(FullDynDbscan::<D, _>::with_connectivity(
-                    params,
-                    NaiveConnectivity::new(),
-                )),
+                ConnectivityBackend::Naive => {
+                    let mut c =
+                        FullDynDbscan::<D, _>::with_connectivity(params, NaiveConnectivity::new());
+                    if let Some(t) = self.threads {
+                        c = c.with_threads(t);
+                    }
+                    Box::new(c)
+                }
                 ConnectivityBackend::UnionFind => {
                     unreachable!("rejected by check_combination")
                 }
@@ -318,6 +344,25 @@ mod tests {
                 .unwrap();
             c.insert([0.0, 0.0, 0.0]);
             assert_eq!(c.len(), 1);
+        }
+    }
+
+    #[test]
+    fn threads_setting_reaches_every_engine_without_error() {
+        for algo in [
+            Algorithm::SemiDynamic,
+            Algorithm::FullyDynamic,
+            Algorithm::IncDbscan, // single-threaded: setting is a no-op
+        ] {
+            for threads in [0usize, 1, 2, 8] {
+                let mut c = DbscanBuilder::new(1.0, 2)
+                    .algorithm(algo)
+                    .threads(threads)
+                    .build::<2>()
+                    .unwrap_or_else(|e| panic!("{} threads={threads}: {e}", algo.name()));
+                let ids = c.insert_batch(&[[0.0, 0.0], [0.5, 0.0], [9.0, 9.0]]);
+                assert!(c.group_by(&ids).same_cluster(ids[0], ids[1]));
+            }
         }
     }
 

@@ -22,7 +22,9 @@
 //! ```
 
 use crate::builder::{BuildError, DbscanBuilder};
-use dydbscan_core::{ClustererStats, Clustering, DynamicClusterer, GroupBy, Params, PointId};
+use dydbscan_core::{
+    ClustererStats, Clustering, DynamicClusterer, GroupBy, ParamError, Params, PointId,
+};
 
 enum Inner {
     D2(Box<dyn DynamicClusterer<2>>),
@@ -120,10 +122,24 @@ impl DynDbscan {
     }
 
     /// Inserts one row; returns its id. Panics unless
-    /// `row.len() == self.dim()`.
+    /// `row.len() == self.dim()`, and on NaN/infinite coordinates (use
+    /// [`try_insert`](DynDbscan::try_insert) for untrusted data).
     pub fn insert(&mut self, row: &[f64]) -> PointId {
         self.check_row(row);
         dispatch!(&mut self.inner, c => c.insert(row.try_into().expect("checked length")))
+    }
+
+    /// Fallible [`insert`](DynDbscan::insert): a row carrying a NaN or
+    /// infinite coordinate is rejected with
+    /// [`ParamError::InvalidPoint`] (`id = 0`, `axis` = offending
+    /// coordinate) instead of panicking. Length mismatches still panic —
+    /// they are caller bugs, not data problems.
+    pub fn try_insert(&mut self, row: &[f64]) -> Result<PointId, ParamError> {
+        self.check_row(row);
+        if let Some(axis) = row.iter().position(|c| !c.is_finite()) {
+            return Err(ParamError::InvalidPoint { id: 0, axis });
+        }
+        Ok(self.insert(row))
     }
 
     /// Inserts rows from a flat buffer (`rows.len()` must be a multiple of
@@ -144,6 +160,30 @@ impl DynDbscan {
                 .collect();
             c.insert_batch(&pts)
         })
+    }
+
+    /// Fallible [`insert_batch`](DynDbscan::insert_batch): the flat
+    /// buffer is validated up front, and the first non-finite value
+    /// rejects the whole call with [`ParamError::InvalidPoint`] naming
+    /// the row and axis — nothing is inserted on error. Ragged buffers
+    /// still panic (caller bug).
+    pub fn try_insert_batch(&mut self, rows: &[f64]) -> Result<Vec<PointId>, ParamError> {
+        // Shape first: a ragged buffer is a caller bug and must panic
+        // as documented, not be masked as a data error naming a row
+        // that does not fully exist.
+        assert!(
+            rows.len().is_multiple_of(self.dim),
+            "flat buffer of {} values is not a multiple of dimension {}",
+            rows.len(),
+            self.dim
+        );
+        if let Some(i) = rows.iter().position(|c| !c.is_finite()) {
+            return Err(ParamError::InvalidPoint {
+                id: i / self.dim,
+                axis: i % self.dim,
+            });
+        }
+        Ok(self.insert_batch(rows))
     }
 
     /// Deletes a point by id. Panics on dead ids and on insertion-only

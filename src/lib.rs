@@ -16,9 +16,12 @@
 //! ```
 //! use dydbscan::{DbscanBuilder, DynamicClusterer};
 //!
-//! // rho-double-approximate DBSCAN: O~(1) updates, O~(|Q|) queries
+//! // rho-double-approximate DBSCAN: O~(1) updates, O~(|Q|) queries;
+//! // threads(4) runs batched flushes on 4 workers (bit-identical
+//! // results at every thread count; 1 = exact sequential path)
 //! let mut clusterer = DbscanBuilder::new(1.0, 3)
 //!     .rho(0.001)
+//!     .threads(4)
 //!     .build::<2>()
 //!     .expect("valid parameters");
 //!

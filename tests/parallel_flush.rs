@@ -1,0 +1,113 @@
+//! Parallel-vs-sequential equivalence: the batch flush's worker pool
+//! must be invisible in the results, not just statistically but
+//! **bit-identically** — the flush enumerates touched cells in cell-id
+//! order and merges worker results back in task order, so every thread
+//! count resolves every don't-care point the same way. Checked through
+//! `Box<dyn DynamicClusterer>` for all three engines (the baseline is
+//! single-threaded; its equivalence is trivial but keeps the builder
+//! path honest), at `rho = 0` *and* at an aggressive `rho`, after every
+//! flush, for clusterings and per-point core statuses alike.
+
+use dydbscan::geom::{Point, SplitMix64};
+use dydbscan::{seed_spreader, Algorithm, DbscanBuilder, DynamicClusterer, PointId};
+
+const EPS: f64 = 200.0; // PaperGrid::default_eps(2)
+const MIN_PTS: usize = 10;
+
+fn build(algo: Algorithm, rho: f64, threads: usize) -> Box<dyn DynamicClusterer<2>> {
+    DbscanBuilder::new(EPS, MIN_PTS)
+        .rho(rho)
+        .algorithm(algo)
+        .threads(threads)
+        .build::<2>()
+        .unwrap()
+}
+
+/// Drives identical batched workloads through a sequential (threads = 1)
+/// and a parallel instance, asserting equality after every flush.
+fn assert_bit_identical(algo: Algorithm, rho: f64, threads: usize, seed: u64) {
+    let pool = seed_spreader::<2>(1_200, seed);
+    let mut seq = build(algo, rho, 1);
+    let mut par = build(algo, rho, threads);
+    let deletions = seq.supports_deletion();
+    let mut rng = SplitMix64::new(seed ^ 0xD1CE);
+    let mut next = 0usize;
+    let mut alive: Vec<PointId> = Vec::new();
+    for round in 0..28 {
+        let label = format!("{algo:?} rho={rho} threads={threads} round={round}");
+        if deletions && alive.len() > 80 && rng.next_below(10) < 4 {
+            let take = (1 + rng.next_below(120) as usize).min(alive.len());
+            let mut chunk = Vec::with_capacity(take);
+            for _ in 0..take {
+                let i = rng.next_below(alive.len() as u64) as usize;
+                chunk.push(alive.swap_remove(i));
+            }
+            seq.delete_batch(&chunk);
+            par.delete_batch(&chunk);
+        } else {
+            let take = (1 + rng.next_below(160) as usize).min(pool.len() - next);
+            if take == 0 {
+                break;
+            }
+            let chunk: &[Point<2>] = &pool[next..next + take];
+            next += take;
+            let a = seq.insert_batch(chunk);
+            let b = par.insert_batch(chunk);
+            assert_eq!(a, b, "{label}: id sequences must align");
+            alive.extend(a);
+        }
+        // Bit-identical clustering, not merely sandwich-compatible:
+        // parallelism must not change a single don't-care resolution.
+        assert_eq!(seq.group_all(), par.group_all(), "{label}");
+        for &id in &alive {
+            assert_eq!(seq.is_core(id), par.is_core(id), "{label}: core of {id}");
+        }
+    }
+    assert!(next > 0, "workload must have run");
+}
+
+#[test]
+fn parallel_flush_is_bit_identical_across_thread_counts() {
+    for algo in [
+        Algorithm::SemiDynamic,
+        Algorithm::FullyDynamic,
+        Algorithm::IncDbscan,
+    ] {
+        for threads in [2usize, 8] {
+            let rhos: &[f64] = if algo == Algorithm::IncDbscan {
+                &[0.0] // the baseline is exact-only
+            } else {
+                &[0.0, 0.25]
+            };
+            for &rho in rhos {
+                assert_bit_identical(algo, rho, threads, 97 + threads as u64);
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_flush_reports_engagement_in_stats() {
+    // Big flushes on many cells must actually engage the pool — and the
+    // sequential configuration must never report parallel work.
+    let pts = seed_spreader::<2>(6_000, 5);
+    for algo in [Algorithm::SemiDynamic, Algorithm::FullyDynamic] {
+        let mut par = build(algo, 0.0, 4);
+        par.insert_batch(&pts);
+        let s = par.stats();
+        assert!(
+            s.parallel_workers > 0,
+            "{algo:?}: a 6k-point flush must engage workers"
+        );
+        assert!(
+            s.parallel_cell_tasks >= s.parallel_workers,
+            "{algo:?}: every engaged worker had at least one task"
+        );
+
+        let mut seq = build(algo, 0.0, 1);
+        seq.insert_batch(&pts);
+        let s = seq.stats();
+        assert_eq!(s.parallel_workers, 0, "{algo:?}: threads(1) stays inline");
+        assert_eq!(s.parallel_cell_tasks, 0, "{algo:?}");
+    }
+}
