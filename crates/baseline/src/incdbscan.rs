@@ -31,13 +31,18 @@
 
 use crate::index::RangeIndex;
 use dydbscan_conn::UnionFind;
-use dydbscan_core::{ClustererStats, Clustering, DynamicClusterer, GroupBy, Params, PointId};
+use dydbscan_core::{
+    ClustererStats, Clustering, DynamicClusterer, FlushPhase, FlushPipeline, GroupBy, Params,
+    PointId,
+};
 use dydbscan_geom::{FxHashMap, Point};
 use dydbscan_spatial::RTree;
 
 const NO_LABEL: u32 = u32::MAX;
 
-/// Operation counters for cost provenance in benchmarks.
+/// Operation counters for cost provenance in benchmarks. The shared
+/// batch/parallelism counters live in the engine's
+/// [`FlushPipeline`] — see [`IncDbscan::flush_stats`].
 #[derive(Debug, Default, Clone, Copy)]
 pub struct IncStats {
     /// Range queries issued (updates and BFS expansions).
@@ -50,10 +55,6 @@ pub struct IncStats {
     pub splits: u64,
     /// Label merges (insertion-side cluster merges).
     pub label_merges: u64,
-    /// Updates applied through the grouped batch entry points.
-    pub batched_updates: u64,
-    /// Grouped batch flushes executed.
-    pub batch_flushes: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -93,6 +94,10 @@ pub struct IncDbscan<const D: usize, I: RangeIndex<D> = RTree<D>> {
     alive: usize,
     stats: IncStats,
     scratch: Vec<(u32, f64)>,
+    /// The batch flush pipeline: thread budget, persistent worker pool,
+    /// shared flush counters. The baseline fans its per-point range
+    /// queries out over it; everything else stays per-update.
+    pipeline: FlushPipeline,
 }
 
 impl<const D: usize> IncDbscan<D, RTree<D>> {
@@ -126,7 +131,26 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             alive: 0,
             stats: IncStats::default(),
             scratch: Vec::new(),
+            pipeline: FlushPipeline::new(),
         }
+    }
+
+    /// Sets the thread budget of the batched range-query phases
+    /// (default: one worker per logical CPU; `1` = the exact sequential
+    /// path). The clustering is bit-identical at every thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.pipeline.set_threads(threads);
+        self
+    }
+
+    /// The thread budget of the batched range-query phases.
+    pub fn threads(&self) -> usize {
+        self.pipeline.threads()
+    }
+
+    /// The shared flush-pipeline counters (batching + parallelism).
+    pub fn flush_stats(&self) -> dydbscan_core::FlushStats {
+        self.pipeline.stats()
     }
 
     /// The clustering parameters.
@@ -336,8 +360,7 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             return pts.iter().map(|p| self.insert(*p)).collect();
         }
         dydbscan_core::validate_points(pts).unwrap_or_else(|e| panic!("{e}"));
-        self.stats.batch_flushes += 1;
-        self.stats.batched_updates += pts.len() as u64;
+        self.pipeline.begin_flush(pts.len());
         let batch_start = self.recs.len() as u32;
         let min_pts = self.params.min_pts as u32;
 
@@ -359,13 +382,19 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             })
             .collect();
 
-        // Phase 2: one range query per batch point, retained for reuse.
-        let mut seeds: Vec<Vec<(u32, f64)>> = Vec::with_capacity(pts.len());
-        for p in pts {
-            let mut s = Vec::new();
-            self.range(p, &mut s);
-            seeds.push(s);
-        }
+        // Phase 2 (parallel): one range query per batch point against
+        // the final, now-stable index, retained for reuse. Queries only
+        // read the index; results come back in batch order.
+        let seeds: Vec<Vec<(u32, f64)>> = {
+            let (index, eps) = (&self.index, self.params.eps);
+            self.pipeline.run(FlushPhase::Scan, pts.len(), |k| {
+                let mut s = Vec::new();
+                index.collect_within(&pts[k], eps, &mut s);
+                s
+            })
+        };
+        self.stats.range_queries += seeds.len() as u64;
+        self.stats.points_touched += seeds.iter().map(|s| s.len() as u64).sum::<u64>();
 
         // Phase 3: counts and promotions. Batch points read their count
         // off their own (final-set) query; pre-existing points get one
@@ -450,8 +479,7 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             }
             return;
         }
-        self.stats.batch_flushes += 1;
-        self.stats.batched_updates += del_ids.len() as u64;
+        self.pipeline.begin_flush(del_ids.len());
         let min_pts = self.params.min_pts as u32;
 
         // Phase 1: pull the whole batch out of the index and the record
@@ -470,16 +498,25 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             dead.push((p, was_core));
         }
 
-        // Phase 2: one range query per deleted point over the survivors;
-        // each survivor's count drops once per deleted ball containing
+        // Phase 2: one range query per deleted point over the — now
+        // stable — surviving set, fanned out over the pool; each
+        // survivor's count then drops once per deleted ball containing
         // it. Seeds are collected now and re-filtered afterwards (a seed
         // can still be demoted by a later decrement).
+        let balls: Vec<Vec<(u32, f64)>> = {
+            let (index, eps) = (&self.index, self.params.eps);
+            self.pipeline.run(FlushPhase::Scan, dead.len(), |k| {
+                let mut s = Vec::new();
+                index.collect_within(&dead[k].0, eps, &mut s);
+                s
+            })
+        };
+        self.stats.range_queries += balls.len() as u64;
+        self.stats.points_touched += balls.iter().map(|b| b.len() as u64).sum::<u64>();
         let mut demoted: Vec<u32> = Vec::new();
         let mut bfs_seeds: Vec<u32> = Vec::new();
-        let mut ball = Vec::new();
-        for &(p, was_core) in &dead {
-            self.range(&p, &mut ball);
-            for &(q, _) in &ball {
+        for (ball, &(_, was_core)) in balls.iter().zip(&dead) {
+            for &(q, _) in ball {
                 let r = &mut self.recs[q as usize];
                 r.count -= 1;
                 if r.core && r.count < min_pts {
@@ -492,9 +529,17 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
                 bfs_seeds.extend(ball.iter().map(|&(q, _)| q));
             }
         }
-        for &q in &demoted {
-            let qp = self.recs[q as usize].coords;
-            self.range(&qp, &mut ball);
+        let demoted_balls: Vec<Vec<(u32, f64)>> = {
+            let (index, eps, recs) = (&self.index, self.params.eps, &self.recs);
+            self.pipeline.run(FlushPhase::Scan, demoted.len(), |k| {
+                let mut s = Vec::new();
+                index.collect_within(&recs[demoted[k] as usize].coords, eps, &mut s);
+                s
+            })
+        };
+        self.stats.range_queries += demoted_balls.len() as u64;
+        self.stats.points_touched += demoted_balls.iter().map(|b| b.len() as u64).sum::<u64>();
+        for ball in &demoted_balls {
             bfs_seeds.extend(ball.iter().map(|&(r, _)| r));
         }
         bfs_seeds.retain(|&q| self.recs[q as usize].core);
@@ -744,21 +789,22 @@ impl<const D: usize, I: RangeIndex<D>> DynamicClusterer<D> for IncDbscan<D, I> {
     }
 
     /// IncDBSCAN keeps a merge history, not an explicit edge set: only
-    /// `range_queries`, `splits` and the batch counters are tracked; the
-    /// graph-churn counters stay `0`, and so does `batch_cell_scans` —
-    /// the grouped overrides save *queries* (one index pass per batch,
-    /// one split adjudication per flush), not cell materializations,
-    /// which the baseline does not have. Full provenance lives in
-    /// [`IncStats`] on the concrete type.
+    /// `range_queries`, `splits` and the shared flush counters are
+    /// tracked; the graph-churn counters stay `0`, and so does
+    /// `batch_cell_scans` — the grouped overrides save *queries* (one
+    /// index pass per batch, one split adjudication per flush), not
+    /// cell materializations, which the baseline does not have. The
+    /// parallel counters report the pooled per-point range-query
+    /// phases. Full provenance lives in [`IncStats`] on the concrete
+    /// type.
     fn stats(&self) -> ClustererStats {
         let s = self.stats;
         ClustererStats {
             range_queries: s.range_queries,
             splits: s.splits,
-            batched_updates: s.batched_updates,
-            batch_flushes: s.batch_flushes,
             ..ClustererStats::default()
         }
+        .with_flush(self.pipeline.stats())
     }
 }
 
@@ -889,7 +935,7 @@ mod tests {
             let want = relabel(&brute_force_exact(&pts, &params), &alive);
             assert_eq!(got, want, "round {round} vs brute force");
         }
-        assert!(batched.stats().batch_flushes > 0);
+        assert!(batched.flush_stats().batch_flushes > 0);
         assert!(
             batched.stats().range_queries < looped.stats().range_queries,
             "the grouped pipeline must save index passes ({} vs {})",

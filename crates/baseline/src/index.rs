@@ -10,7 +10,11 @@ use dydbscan_geom::{cell_of, dist_sq, CellCoord, FxHashMap, Point};
 use dydbscan_spatial::RTree;
 
 /// A dynamic point index answering ball range queries.
-pub trait RangeIndex<const D: usize>: Default {
+///
+/// `Sync` is required because the batched update pipelines fan their
+/// per-point range queries out over the shared flush pool; queries take
+/// `&self` and run concurrently between index mutations.
+pub trait RangeIndex<const D: usize>: Default + Sync {
     /// Inserts `(p, id)`; pairs must be unique.
     fn insert(&mut self, p: Point<D>, id: u32);
     /// Removes `(p, id)`; returns `true` if present.

@@ -125,7 +125,7 @@ impl MetricsBuilder {
             self.n_queries += 1;
             self.query_ns += ns;
         }
-        if self.ops_done.is_multiple_of(self.sample_every) || self.ops_done == self.planned_ops {
+        if self.ops_done % self.sample_every == 0 || self.ops_done == self.planned_ops {
             self.sample();
         }
     }

@@ -201,23 +201,40 @@ pub fn delete_core<const D: usize>(
     point: PointId,
     coords: &impl Fn(PointId) -> Point<D>,
 ) -> EdgeChange {
+    delete_cores(inst, grid, cell, &[point], coords)
+}
+
+/// Batched [`delete_core`]: handles a whole *block* of core-point
+/// removals from `cell` in one round (every removed point must already
+/// be gone from the cell's core set, with its log entry tombstoned).
+///
+/// The witness is re-anchored — or de-listed away — **once per instance
+/// per flushed cell**, not once per removed point: the per-point path
+/// may re-anchor onto a point that a later removal of the same flush
+/// evicts again, while the batched round runs after all of the cell's
+/// removals and can only land on survivors. The final witness state is
+/// the same (at `rho = 0` it is determined by the surviving core sets),
+/// with strictly fewer emptiness queries.
+pub fn delete_cores<const D: usize>(
+    inst: &mut AbcpInstance,
+    grid: &GridIndex<D>,
+    cell: CellId,
+    removed: &[PointId],
+    coords: &impl Fn(PointId) -> Point<D>,
+) -> EdgeChange {
     let (w1, w2) = match inst.witness {
         None => return EdgeChange::None, // L empty by invariant; nothing to do
         Some(w) => w,
     };
     let side = inst.side_of(cell);
-    let departed = match side {
-        Side::First => w1,
-        Side::Second => w2,
+    let (departed, survivor) = match side {
+        Side::First => (w1, w2),
+        Side::Second => (w2, w1),
     };
-    if departed != point {
+    if !removed.contains(&departed) {
         return EdgeChange::None; // witness unaffected
     }
     // Step 1: re-anchor on the surviving witness half.
-    let survivor = match side {
-        Side::First => w2,
-        Side::Second => w1,
-    };
     if let Some((proof, _)) = grid.emptiness(&coords(survivor), cell) {
         inst.witness = Some(match side {
             Side::First => (proof, survivor),

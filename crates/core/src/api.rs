@@ -61,6 +61,34 @@ pub struct ClustererStats {
     /// Per-touched-cell tasks dispatched through the parallel flush
     /// pool (only counted when a phase engaged more than one worker).
     pub parallel_cell_tasks: u64,
+    /// Parallel flush phases that reused the already-spawned, parked
+    /// persistent crew instead of paying a thread spawn. The crew is
+    /// spawned lazily by the first phase that goes parallel, so this
+    /// stays `0` until at least the second such phase.
+    pub pool_reuse_count: u64,
+    /// Placement (phase 1) chunk tasks dispatched through the pool
+    /// (only counted when the phase engaged more than one worker).
+    pub phase1_parallel_tasks: u64,
+    /// Per-cell / per-instance GUM rounds whose read-only half ran on
+    /// the pool (only counted when the phase engaged more than one
+    /// worker).
+    pub gum_parallel_rounds: u64,
+}
+
+impl ClustererStats {
+    /// Folds the shared flush-pipeline counters into the stats (every
+    /// engine reports them identically).
+    pub fn with_flush(mut self, f: crate::batch::FlushStats) -> Self {
+        self.batched_updates = f.batched_updates;
+        self.batch_flushes = f.batch_flushes;
+        self.batch_cell_scans = f.batch_cell_scans;
+        self.parallel_workers = f.parallel_workers;
+        self.parallel_cell_tasks = f.parallel_cell_tasks;
+        self.pool_reuse_count = f.pool_reuse_count;
+        self.phase1_parallel_tasks = f.phase1_parallel_tasks;
+        self.gum_parallel_rounds = f.gum_parallel_rounds;
+        self
+    }
 }
 
 /// A dynamic density-based clusterer over `D`-dimensional points.

@@ -1,4 +1,5 @@
-//! Shared plumbing of the batched update pipelines (semi + full engines).
+//! Shared plumbing of the batched update pipelines — the **flush
+//! pipeline** every engine drives.
 //!
 //! A batch is processed cell-major: points are first placed (or removed),
 //! grouped by target cell, and every *touched* neighbor cell is then
@@ -6,10 +7,230 @@
 //! that can reach it. The engines sweep each touched cell's SoA block once
 //! against that bucket, where per-op updates would rescan the same cell
 //! for every nearby update.
+//!
+//! [`FlushPipeline`] is the part of that machinery the engines *own*: the
+//! persistent worker pool (`core::parallel`), the thread budget, and
+//! the flush/parallelism counters every engine reports identically. The
+//! flush-promotions preamble the grid engines share — group-by-cell,
+//! core-block extension, slot bookkeeping — lives in
+//! `extend_core_blocks`; `semi.rs` / `full.rs` only implement the
+//! per-cell GUM step over the `PromotedBlock`s it returns.
 
+use crate::parallel::WorkerPool;
 use crate::points::{PointArena, PointId};
-use dydbscan_geom::{any_within_sq, count_within_sq, FxHashMap, Point};
+use dydbscan_geom::{any_within_sq, cell_of, count_within_sq, FxHashMap, Point};
 use dydbscan_grid::{CellId, GridIndex, NeighborScope};
+
+/// Flush counters shared by every engine that drives the
+/// [`FlushPipeline`]; surfaced verbatim in
+/// [`crate::ClustererStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FlushStats {
+    /// Updates applied through the batched entry points.
+    pub batched_updates: u64,
+    /// Grouped batch flushes executed.
+    pub batch_flushes: u64,
+    /// Neighbor-cell scans performed by batch flushes — each one covers
+    /// a whole batch where per-op updates would rescan the cell per
+    /// point.
+    pub batch_cell_scans: u64,
+    /// Workers engaged by flush phases that went parallel.
+    pub parallel_workers: u64,
+    /// Per-cell (scan and GUM) tasks dispatched through phases that
+    /// engaged more than one worker.
+    pub parallel_cell_tasks: u64,
+    /// Parallel phase runs that reused the already-spawned, parked crew
+    /// instead of paying a thread spawn.
+    pub pool_reuse_count: u64,
+    /// Placement (phase 1) chunk tasks dispatched through phases that
+    /// engaged more than one worker.
+    pub phase1_parallel_tasks: u64,
+    /// Per-cell / per-instance GUM rounds dispatched through phases
+    /// that engaged more than one worker.
+    pub gum_parallel_rounds: u64,
+}
+
+/// Which flush phase a parallel run belongs to, for counter provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushPhase {
+    /// Phase 1: cell placement / grouping work (chunked per point).
+    Placement,
+    /// Phases 2–3: per-touched-cell status scans and recounts.
+    Scan,
+    /// Phase 4: the read-only halves of the per-cell GUM rounds.
+    Gum,
+}
+
+/// The engine-owned half of the batch flush: thread budget, the
+/// persistent worker pool (lazily spawned at the first parallel
+/// flush, parked between flushes, joined on drop or budget change), and
+/// the shared flush counters.
+///
+/// All three engines — `SemiDynDbscan`, `FullDynDbscan`, and the
+/// `IncDbscan` baseline — drive their batched entry points through one
+/// of these.
+#[derive(Debug)]
+pub struct FlushPipeline {
+    pool: WorkerPool,
+    stats: FlushStats,
+}
+
+impl Default for FlushPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlushPipeline {
+    /// A pipeline with the default thread budget (one worker per
+    /// logical CPU).
+    pub fn new() -> Self {
+        Self {
+            pool: WorkerPool::new(crate::parallel::default_threads()),
+            stats: FlushStats::default(),
+        }
+    }
+
+    /// Sets the thread budget (`0` is treated as `1`; `1` is the exact
+    /// sequential path). A live crew of the wrong size is torn down and
+    /// respawned lazily by the next parallel flush.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.pool.set_budget(threads);
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.pool.budget()
+    }
+
+    /// Whether the crew threads are currently spawned (and parked
+    /// between flushes). Spawning is lazy: `false` until the first
+    /// flush phase that actually goes parallel.
+    pub fn pool_spawned(&self) -> bool {
+        self.pool.is_spawned()
+    }
+
+    /// The flush counters (with the pool-reuse count folded in).
+    pub fn stats(&self) -> FlushStats {
+        let mut s = self.stats;
+        s.pool_reuse_count = self.pool.reuse_count();
+        s
+    }
+
+    /// Opens a flush of `updates` batched updates.
+    pub fn begin_flush(&mut self, updates: usize) {
+        self.stats.batch_flushes += 1;
+        self.stats.batched_updates += updates as u64;
+    }
+
+    /// Records `n` whole-batch neighbor-cell scans.
+    pub fn note_cell_scans(&mut self, n: usize) {
+        self.stats.batch_cell_scans += n as u64;
+    }
+
+    /// Runs `run(i)` for every `i in 0..tasks` on the pool and returns
+    /// the results in task order — bit-identical to the inline
+    /// (`threads = 1`) path. Phases that stay inline report no parallel
+    /// work.
+    pub fn run<R: Send>(
+        &mut self,
+        phase: FlushPhase,
+        tasks: usize,
+        run: impl Fn(usize) -> R + Sync,
+    ) -> Vec<R> {
+        let (results, workers) = self.pool.run(tasks, run);
+        if workers > 1 {
+            self.stats.parallel_workers += workers as u64;
+            match phase {
+                FlushPhase::Placement => self.stats.phase1_parallel_tasks += tasks as u64,
+                FlushPhase::Scan => self.stats.parallel_cell_tasks += tasks as u64,
+                FlushPhase::Gum => {
+                    self.stats.parallel_cell_tasks += tasks as u64;
+                    self.stats.gum_parallel_rounds += tasks as u64;
+                }
+            }
+        }
+        results
+    }
+}
+
+/// Placement work is chunked at this many points per task; the cell
+/// coordinate of a point is cheap, so only big batches go parallel.
+const PHASE1_CHUNK: usize = 1024;
+
+/// Normalizes an unordered cell pair to `(min, max)` — the key shape of
+/// the engines' edge sets and aBCP instance registries.
+#[inline]
+pub(crate) fn norm_pair(a: CellId, b: CellId) -> (CellId, CellId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// One cell's slice of a promotions flush, produced by
+/// [`extend_core_blocks`]: the engines' per-cell GUM hooks run over
+/// these blocks.
+pub(crate) struct PromotedBlock<const D: usize> {
+    /// The cell whose core block was extended.
+    pub cell: CellId,
+    /// Whether the cell already held core points before this flush.
+    pub was_core_cell: bool,
+    /// The newly promoted points `(coords, id)`, in promotion order.
+    pub entries: Vec<(Point<D>, PointId)>,
+}
+
+/// The flush-promotions preamble shared by the grid engines: groups the
+/// promoted points by cell, extends each cell's core block in one shot,
+/// and fixes up the arena's core flags and slot bookkeeping (plus the
+/// core log when `track_log` — the fully-dynamic engine's aBCP
+/// instances replay arrivals from it; the insertion-only engine skips
+/// it). The engines then run their per-cell GUM step over the returned
+/// blocks.
+pub(crate) fn extend_core_blocks<const D: usize>(
+    grid: &mut GridIndex<D>,
+    points: &mut PointArena,
+    promotions: &[PointId],
+    track_log: bool,
+) -> Vec<PromotedBlock<D>> {
+    if promotions.is_empty() {
+        return Vec::new();
+    }
+    let cells_of: Vec<CellId> = promotions.iter().map(|&q| points.get(q).cell).collect();
+    let groups = group_by_cell(&cells_of);
+    let mut blocks = Vec::with_capacity(groups.len());
+    for (cell, members) in &groups {
+        let was_core_cell = grid.cell(*cell).is_core_cell();
+        let entries: Vec<(Point<D>, PointId)> = members
+            .iter()
+            .map(|&k| {
+                let q = promotions[k as usize];
+                let r = points.get(q);
+                (*grid.cell(r.cell).all.point(r.slot), q)
+            })
+            .collect();
+        let first_slot = grid
+            .cell_mut(*cell)
+            .core
+            .insert_block(entries.iter().copied());
+        for (i, &(_, q)) in entries.iter().enumerate() {
+            debug_assert!(!points.is_core(q));
+            points.set_core(q, true);
+            if track_log {
+                let log_pos = grid.cell_mut(*cell).core_log.push(q);
+                points.get_mut(q).log_pos = log_pos;
+            }
+            points.get_mut(q).core_slot = first_slot + i as u32;
+        }
+        blocks.push(PromotedBlock {
+            cell: *cell,
+            was_core_cell,
+            entries,
+        });
+    }
+    blocks
+}
 
 /// Phase 1 of every insert pipeline: allocate ids for the whole batch,
 /// group it by target cell (materializing cells as needed), append each
@@ -17,17 +238,32 @@ use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 /// point's `(cell, slot)` in the arena. `on_cell` runs once per distinct
 /// target cell (the engines hook their per-cell state growth here).
 /// Returns the new ids (in batch order) and the cell groups.
+///
+/// The pure float-to-integer cell-coordinate mapping of the whole batch
+/// runs on the pipeline's pool in [`PHASE1_CHUNK`]-sized tasks; the
+/// order-sensitive remainder (cell materialization, id allocation,
+/// grouping, block appends) stays sequential, so the outcome is
+/// bit-identical at every thread count.
 pub(crate) fn place_batch<const D: usize>(
+    pipe: &mut FlushPipeline,
     grid: &mut GridIndex<D>,
     points: &mut PointArena,
     pts: &[Point<D>],
     mut on_cell: impl FnMut(CellId),
 ) -> (Vec<PointId>, Vec<(CellId, Vec<u32>)>) {
+    let side = grid.side();
+    let chunks = pts.len().div_ceil(PHASE1_CHUNK);
+    let coord_chunks = pipe.run(FlushPhase::Placement, chunks, |c| {
+        pts[c * PHASE1_CHUNK..((c + 1) * PHASE1_CHUNK).min(pts.len())]
+            .iter()
+            .map(|p| cell_of(p, side))
+            .collect::<Vec<_>>()
+    });
     let mut ids = Vec::with_capacity(pts.len());
     let mut cells = Vec::with_capacity(pts.len());
-    for p in pts {
+    for coord in coord_chunks.into_iter().flatten() {
         ids.push(points.push(0, 0));
-        cells.push(grid.ensure_cell(p));
+        cells.push(grid.ensure_cell_at(coord));
     }
     let groups = group_by_cell(&cells);
     for (cell, members) in &groups {

@@ -30,10 +30,13 @@ use crate::params::Params;
 use crate::points::{PointArena, PointId};
 use crate::query::c_group_by;
 use dydbscan_conn::{DynConnectivity, HdtConnectivity};
-use dydbscan_geom::{dist_sq, FxHashMap, Point};
+use dydbscan_geom::{dist_sq, FxHashMap, FxHashSet, Point};
 use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 
-/// Operation counters for provenance analysis in the benchmarks.
+/// Operation counters for provenance analysis in the benchmarks. The
+/// shared batch/parallelism counters live in the engine's
+/// [`FlushPipeline`](crate::batch::FlushPipeline) — see
+/// [`FullDynDbscan::flush_stats`].
 #[derive(Debug, Default, Clone, Copy)]
 pub struct FullStats {
     /// Approximate range-count queries issued.
@@ -50,17 +53,6 @@ pub struct FullStats {
     pub instances_created: u64,
     /// aBCP instances destroyed.
     pub instances_destroyed: u64,
-    /// Updates applied through the batched entry points.
-    pub batched_updates: u64,
-    /// Batch flushes executed (grouped `insert_batch`/`delete_batch`).
-    pub batch_flushes: u64,
-    /// Neighbor-cell scans performed by batch flushes — each one covers a
-    /// whole batch where per-op updates would rescan the cell per point.
-    pub batch_cell_scans: u64,
-    /// Workers engaged by flush phases that went parallel.
-    pub parallel_workers: u64,
-    /// Cell tasks dispatched through the parallel flush pool.
-    pub parallel_cell_tasks: u64,
 }
 
 /// Fully-dynamic ρ-double-approximate DBSCAN (exact when `rho = 0`).
@@ -94,8 +86,9 @@ pub struct FullDynDbscan<const D: usize, C: DynConnectivity = HdtConnectivity> {
     instance_ids: FxHashMap<(CellId, CellId), AbcpId>,
     /// Instances touching each cell.
     cell_instances: Vec<Vec<AbcpId>>,
-    /// Thread budget of the parallel batch flush (`1` = sequential).
-    threads: usize,
+    /// The batch flush pipeline: thread budget, persistent worker pool,
+    /// shared flush counters.
+    pipeline: crate::batch::FlushPipeline,
     stats: FullStats,
 }
 
@@ -119,31 +112,36 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             free_instances: Vec::new(),
             instance_ids: FxHashMap::default(),
             cell_instances: Vec::new(),
-            threads: crate::parallel::default_threads(),
+            pipeline: crate::batch::FlushPipeline::new(),
             stats: FullStats::default(),
         }
     }
 
     /// Sets the thread budget of the parallel batch flush (default: one
     /// worker per logical CPU; `1` = the exact sequential path). The
-    /// clustering is bit-identical at every thread count.
+    /// clustering is bit-identical at every thread count. The persistent
+    /// crew (if already spawned) is rebuilt at the new size by the next
+    /// parallel flush.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.pipeline.set_threads(threads);
         self
     }
 
     /// The thread budget of the parallel batch flush.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pipeline.threads()
     }
 
-    /// Records pool engagement in the stats (phases that stayed inline
-    /// do not count as parallel work).
-    fn note_parallel(&mut self, workers: usize, tasks: usize) {
-        if workers > 1 {
-            self.stats.parallel_workers += workers as u64;
-            self.stats.parallel_cell_tasks += tasks as u64;
-        }
+    /// The shared flush-pipeline counters (batching + parallelism).
+    pub fn flush_stats(&self) -> crate::batch::FlushStats {
+        self.pipeline.stats()
+    }
+
+    /// Whether the persistent flush crew is currently spawned (it is
+    /// lazily spawned by the first flush phase that goes parallel and
+    /// parked between flushes).
+    pub fn pool_spawned(&self) -> bool {
+        self.pipeline.pool_spawned()
     }
 
     /// The clustering parameters.
@@ -305,7 +303,7 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
     /// everything, group by target cell, recompute statuses once per
     /// touched cell, and flush all promotions (GUM + connectivity) in a
     /// single pass. The per-cell status phases run on the parallel flush
-    /// pool (see [`crate::parallel`]); results are merged in cell-id
+    /// pool (see `core::parallel`); results are merged in cell-id
     /// order, so the outcome is bit-identical at every thread count,
     /// identical to looped insertion at `rho = 0`, and sandwich-valid at
     /// `rho > 0`.
@@ -314,54 +312,62 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             return pts.iter().map(|p| self.insert(*p)).collect();
         }
         crate::params::validate_points(pts).unwrap_or_else(|e| panic!("{e}"));
-        self.stats.batch_flushes += 1;
-        self.stats.batched_updates += pts.len() as u64;
+        self.pipeline.begin_flush(pts.len());
         let batch_start = self.points.capacity_ids() as PointId;
         let min_pts = self.params.min_pts;
 
-        // Phase 1 (sequential): place the whole batch cell-major (tree
-        // maintenance is deferred to amortized doubling rebuilds inside
-        // `CellSet`).
+        // Phase 1: place the whole batch cell-major (the pure
+        // coordinate mapping runs on the pool; materialization and
+        // grouping stay sequential; tree maintenance is deferred to
+        // amortized doubling rebuilds inside `CellSet`).
         let cell_instances = &mut self.cell_instances;
-        let (ids, groups) = crate::batch::place_batch(&mut self.grid, &mut self.points, pts, |c| {
-            while cell_instances.len() <= c as usize {
-                cell_instances.push(Vec::new());
-            }
-        });
+        let (ids, groups) = crate::batch::place_batch(
+            &mut self.pipeline,
+            &mut self.grid,
+            &mut self.points,
+            pts,
+            |c| {
+                while cell_instances.len() <= c as usize {
+                    cell_instances.push(Vec::new());
+                }
+            },
+        );
 
         // Phase 2 (parallel): statuses of the batch's own points, one
         // task per target cell (dense cells need no count queries; see
         // `batch::promote_dense_cell`). Workers only read the grid and
         // the arena.
-        let (outcomes, workers) = {
+        let outcomes = {
             let (grid, points, params) = (&self.grid, &self.points, &self.params);
             let (ids, groups) = (&ids, &groups);
-            crate::parallel::run_tasks(self.threads, groups.len(), |gi| {
-                let (cell, members) = &groups[gi];
-                let mut promotions: Vec<PointId> = Vec::new();
-                let mut count_queries = 0u64;
-                let dense = crate::batch::promote_dense_cell(
-                    grid,
-                    points,
-                    *cell,
-                    members,
-                    ids,
-                    min_pts,
-                    &mut promotions,
-                );
-                if !dense {
-                    for &k in members {
-                        count_queries += 1;
-                        let p = &pts[k as usize];
-                        if grid.count_ball_from(*cell, p, params.eps, params.eps_hi()) >= min_pts {
-                            promotions.push(ids[k as usize]);
+            self.pipeline
+                .run(crate::batch::FlushPhase::Scan, groups.len(), |gi| {
+                    let (cell, members) = &groups[gi];
+                    let mut promotions: Vec<PointId> = Vec::new();
+                    let mut count_queries = 0u64;
+                    let dense = crate::batch::promote_dense_cell(
+                        grid,
+                        points,
+                        *cell,
+                        members,
+                        ids,
+                        min_pts,
+                        &mut promotions,
+                    );
+                    if !dense {
+                        for &k in members {
+                            count_queries += 1;
+                            let p = &pts[k as usize];
+                            if grid.count_ball_from(*cell, p, params.eps, params.eps_hi())
+                                >= min_pts
+                            {
+                                promotions.push(ids[k as usize]);
+                            }
                         }
                     }
-                }
-                (promotions, count_queries)
-            })
+                    (promotions, count_queries)
+                })
         };
-        self.note_parallel(workers, groups.len());
         let mut promotions: Vec<PointId> = Vec::new();
         for (promos, queries) in outcomes {
             self.stats.count_queries += queries;
@@ -381,97 +387,155 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             |c| c.count() < min_pts, // dense cells: residents already core
         );
         let hi_sq = self.params.eps_hi_sq();
-        let (outcomes, workers) = {
+        let outcomes = {
             let (grid, points, params, buckets) =
                 (&self.grid, &self.points, &self.params, &buckets);
-            crate::parallel::run_tasks(self.threads, buckets.len(), |bi| {
-                let cell_id = buckets.cell(bi);
-                let cell_obj = grid.cell(cell_id);
-                let mut promotions: Vec<PointId> = Vec::new();
-                let mut count_queries = 0u64;
-                for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
-                    if q >= batch_start || points.is_core(q) {
-                        continue; // batch points handled in phase 2
-                    }
-                    if buckets.any_within_sq(bi, qp, hi_sq) {
-                        count_queries += 1;
-                        if grid.count_ball_from(cell_id, qp, params.eps, params.eps_hi()) >= min_pts
-                        {
-                            promotions.push(q);
+            self.pipeline
+                .run(crate::batch::FlushPhase::Scan, buckets.len(), |bi| {
+                    let cell_id = buckets.cell(bi);
+                    let cell_obj = grid.cell(cell_id);
+                    let mut promotions: Vec<PointId> = Vec::new();
+                    let mut count_queries = 0u64;
+                    for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
+                        if q >= batch_start || points.is_core(q) {
+                            continue; // batch points handled in phase 2
+                        }
+                        if buckets.any_within_sq(bi, qp, hi_sq) {
+                            count_queries += 1;
+                            if grid.count_ball_from(cell_id, qp, params.eps, params.eps_hi())
+                                >= min_pts
+                            {
+                                promotions.push(q);
+                            }
                         }
                     }
-                }
-                (promotions, count_queries)
-            })
+                    (promotions, count_queries)
+                })
         };
-        self.stats.batch_cell_scans += buckets.len() as u64;
-        self.note_parallel(workers, buckets.len());
+        self.pipeline.note_cell_scans(buckets.len());
         for (promos, queries) in outcomes {
             self.stats.count_queries += queries;
             promotions.extend(promos);
         }
 
-        // Phase 4 (sequential): flush all promotions (GUM + connectivity)
-        // in one pass.
+        // Phase 4: flush all promotions (GUM + connectivity) in one
+        // pass; the read-only halves of the per-cell GUM rounds run on
+        // the pool.
         self.flush_promotions(&promotions);
         ids
     }
 
-    /// Registers a block of promoted points cell-at-a-time: each cell's
-    /// core block is extended in one shot, and its aBCP instances are
-    /// updated **once per instance** for the whole block instead of once
-    /// per point — the "single pass" edge-churn flush of the batch
-    /// pipeline. Produces the same final grid graph as per-point
+    /// Flushes a block of promotions: the shared preamble
+    /// ([`crate::batch::extend_core_blocks`]) extends each cell's core
+    /// block in one shot, then this engine's GUM hook updates the aBCP
+    /// instances **once per instance** for the whole flush instead of
+    /// once per point. The read-only halves of those rounds — the
+    /// de-listing loops of pre-existing instances and the initial
+    /// witness searches of cells that just joined `V` (Lemma 3) — run on
+    /// the pool; instance state, edge churn and connectivity mutations
+    /// are applied sequentially in task order, so the outcome is
+    /// bit-identical at every thread count and matches per-point
     /// [`on_became_core`](Self::on_became_core) at `rho = 0`.
     fn flush_promotions(&mut self, promotions: &[PointId]) {
         if promotions.is_empty() {
             return;
         }
-        let cells_of: Vec<CellId> = promotions
-            .iter()
-            .map(|&q| self.points.get(q).cell)
-            .collect();
-        let groups = crate::batch::group_by_cell(&cells_of);
-        for (cell, members) in &groups {
-            let was_core_cell = self.grid.cell(*cell).is_core_cell();
-            let entries: Vec<(Point<D>, PointId)> = members
-                .iter()
-                .map(|&k| {
-                    let q = promotions[k as usize];
-                    let r = self.points.get(q);
-                    (*self.grid.cell(r.cell).all.point(r.slot), q)
+        let blocks =
+            crate::batch::extend_core_blocks(&mut self.grid, &mut self.points, promotions, true);
+        self.stats.promotions += promotions.len() as u64;
+
+        // One de-listing round per pre-existing instance of the cells
+        // that were already core (deduped: an instance whose both sides
+        // gained cores needs a single round). Rounds on distinct
+        // instances are independent, so each task runs on a clone and
+        // the results are written back in task order.
+        let mut round_iids: Vec<AbcpId> = Vec::new();
+        {
+            let mut seen: FxHashSet<AbcpId> = FxHashSet::default();
+            for b in &blocks {
+                if !b.was_core_cell {
+                    continue;
+                }
+                for &iid in &self.cell_instances[b.cell as usize] {
+                    if seen.insert(iid) {
+                        round_iids.push(iid);
+                    }
+                }
+            }
+        }
+        let outcomes = {
+            let (grid, points, instances) = (&self.grid, &self.points, &self.instances);
+            let round_iids = &round_iids;
+            self.pipeline
+                .run(crate::batch::FlushPhase::Gum, round_iids.len(), |ti| {
+                    let coords = |pid: PointId| {
+                        let r = points.get(pid);
+                        *grid.cell(r.cell).all.point(r.slot)
+                    };
+                    let mut inst = instances[round_iids[ti] as usize].clone();
+                    let change = abcp::insert_core(&mut inst, grid, &coords);
+                    (inst, change)
                 })
-                .collect();
-            let first_slot = self
-                .grid
-                .cell_mut(*cell)
-                .core
-                .insert_block(entries.iter().copied());
-            for (i, &(_, q)) in entries.iter().enumerate() {
-                debug_assert!(!self.points.is_core(q));
-                let log_pos = self.grid.cell_mut(*cell).core_log.push(q);
-                self.points.set_core(q, true);
-                let rec = self.points.get_mut(q);
-                rec.core_slot = first_slot + i as u32;
-                rec.log_pos = log_pos;
-                self.stats.promotions += 1;
+        };
+        for (ti, (inst, change)) in outcomes.into_iter().enumerate() {
+            let (c1, c2) = (inst.c1, inst.c2);
+            self.instances[round_iids[ti] as usize] = inst;
+            match change {
+                EdgeChange::Inserted => {
+                    self.stats.edge_inserts += 1;
+                    self.conn.insert_edge(c1, c2);
+                }
+                EdgeChange::Removed => unreachable!("insertion cannot remove a witness"),
+                EdgeChange::None => {}
             }
-            if !was_core_cell {
-                // Initial witness searches cover the whole block (Lemma 3).
-                self.gum_cell_joins_v(*cell);
-            } else {
-                // One de-listing round per instance for the whole block.
-                self.abcp_insert_round(*cell);
+        }
+
+        // Cells that just joined V: one new instance per eps-close core
+        // cell (Lemma 3 initial witness search, covering everything in
+        // both — already fully extended — core blocks). Every extension
+        // happened above, so two cells joining V in one flush see each
+        // other from both sides; the pair list is deduped before the
+        // searches fan out.
+        for b in &blocks {
+            if !b.was_core_cell {
+                self.conn.ensure_vertex(b.cell);
             }
+        }
+        let mut pairs: Vec<(CellId, CellId)> = Vec::new();
+        {
+            let mut seen: FxHashSet<(CellId, CellId)> = FxHashSet::default();
+            for b in &blocks {
+                if b.was_core_cell {
+                    continue;
+                }
+                let instance_ids = &self.instance_ids;
+                self.grid
+                    .visit_neighbor_cells(b.cell, NeighborScope::Eps, |c, cell_obj| {
+                        if c != b.cell && cell_obj.is_core_cell() {
+                            let key = crate::batch::norm_pair(b.cell, c);
+                            if !instance_ids.contains_key(&key) && seen.insert(key) {
+                                pairs.push(key);
+                            }
+                        }
+                    });
+            }
+        }
+        let created = {
+            let (grid, pairs) = (&self.grid, &pairs);
+            self.pipeline
+                .run(crate::batch::FlushPhase::Gum, pairs.len(), |ti| {
+                    abcp::create(grid, pairs[ti].0, pairs[ti].1)
+                })
+        };
+        for inst in created {
+            self.register_instance(inst);
         }
     }
 
-    /// The removal prologue shared by `delete` and `delete_batch`: pulls
-    /// `id` out of the grid (patching the slots the swap-remove
-    /// relocated), runs GUM if it was core, and kills the arena record.
-    /// The grid is updated first so all subsequent counts see `P \ {p}`.
-    /// Returns the cell the point lived in and its coordinates.
-    fn remove_from_grid(&mut self, id: PointId) -> (CellId, Point<D>) {
+    /// Pulls `id` out of the grid's `all` block (patching the slots the
+    /// swap-remove relocated) without touching GUM or the arena's alive
+    /// flag. Returns the cell the point lived in and its coordinates.
+    fn detach_from_grid(&mut self, id: PointId) -> (CellId, Point<D>) {
         assert!(
             self.points.is_alive(id),
             "delete of unknown or already-deleted point id {id}"
@@ -484,6 +548,15 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         for (moved, new_slot) in self.grid.remove_point_at(cell, slot).iter() {
             self.points.get_mut(moved).slot = new_slot;
         }
+        (cell, p)
+    }
+
+    /// The removal prologue of the per-op `delete`: pulls `id` out of
+    /// the grid, runs GUM if it was core, and kills the arena record.
+    /// The grid is updated first so all subsequent counts see `P \ {p}`.
+    /// Returns the cell the point lived in and its coordinates.
+    fn remove_from_grid(&mut self, id: PointId) -> (CellId, Point<D>) {
+        let (cell, p) = self.detach_from_grid(id);
         if self.points.is_core(id) {
             self.on_lost_core(id, p);
         }
@@ -545,20 +618,31 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             }
             return;
         }
-        self.stats.batch_flushes += 1;
-        self.stats.batched_updates += del_ids.len() as u64;
+        self.pipeline.begin_flush(del_ids.len());
         let min_pts = self.params.min_pts;
 
-        // Phase 1 (sequential): pull every point out of the grid (and,
-        // for core points, out of GUM), recording coordinates per source
-        // cell.
+        // Phase 1 (sequential): pull every point out of the grid,
+        // recording coordinates per source cell; the GUM work of the
+        // departing core points is flushed in one batched pass — one
+        // witness re-anchoring round per aBCP instance per touched cell,
+        // instead of one per departed point.
         let mut coords = Vec::with_capacity(del_ids.len());
         let mut cells = Vec::with_capacity(del_ids.len());
+        let mut core_removals: Vec<PointId> = Vec::new();
         for &id in del_ids {
-            let (cell, p) = self.remove_from_grid(id);
+            let (cell, p) = self.detach_from_grid(id);
             coords.push(p);
             cells.push(cell);
+            if self.points.is_core(id) {
+                core_removals.push(id);
+            }
+            // Killed here (not after the flush) so a duplicate id in the
+            // batch hits `detach_from_grid`'s alive assert before any
+            // state is touched; the record's location fields survive the
+            // kill for the GUM flush below.
+            self.points.kill(id);
         }
+        self.flush_core_removals(&core_removals);
         let groups = crate::batch::group_by_cell(&cells);
 
         // Phases 2-3 (parallel): re-check surviving core points near the
@@ -576,34 +660,103 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             |c| c.count() < min_pts, // still-dense cells keep their cores
         );
         let hi_sq = self.params.eps_hi_sq();
-        let (outcomes, workers) = {
+        let outcomes = {
             let (grid, points, params, buckets) =
                 (&self.grid, &self.points, &self.params, &buckets);
-            crate::parallel::run_tasks(self.threads, buckets.len(), |bi| {
-                let cell_id = buckets.cell(bi);
-                let cell_obj = grid.cell(cell_id);
-                let mut demotions: Vec<(PointId, Point<D>)> = Vec::new();
-                let mut count_queries = 0u64;
-                for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
-                    if points.is_core(q) && buckets.any_within_sq(bi, qp, hi_sq) {
-                        count_queries += 1;
-                        if grid.count_ball_from(cell_id, qp, params.eps, params.eps_hi()) < min_pts
-                        {
-                            demotions.push((q, *qp));
+            self.pipeline
+                .run(crate::batch::FlushPhase::Scan, buckets.len(), |bi| {
+                    let cell_id = buckets.cell(bi);
+                    let cell_obj = grid.cell(cell_id);
+                    let mut demotions: Vec<PointId> = Vec::new();
+                    let mut count_queries = 0u64;
+                    for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
+                        if points.is_core(q) && buckets.any_within_sq(bi, qp, hi_sq) {
+                            count_queries += 1;
+                            if grid.count_ball_from(cell_id, qp, params.eps, params.eps_hi())
+                                < min_pts
+                            {
+                                demotions.push(q);
+                            }
                         }
                     }
-                }
-                (demotions, count_queries)
-            })
+                    (demotions, count_queries)
+                })
         };
-        self.stats.batch_cell_scans += buckets.len() as u64;
-        self.note_parallel(workers, buckets.len());
+        self.pipeline.note_cell_scans(buckets.len());
         // Phase 4 (sequential): flush demotions through GUM and the CC
-        // structure in merged (cell-id, slot) order.
-        for (demotions, queries) in outcomes {
+        // structure in merged (cell-id, slot) order — again one witness
+        // re-anchoring round per aBCP instance per demoted cell.
+        let mut demotions: Vec<PointId> = Vec::new();
+        for (demoted, queries) in outcomes {
             self.stats.count_queries += queries;
-            for (q, qp) in demotions {
-                self.on_lost_core(q, qp);
+            demotions.extend(demoted);
+        }
+        self.flush_core_removals(&demotions);
+    }
+
+    /// Unregisters a block of core points (departing or demoted) from
+    /// GUM cell-at-a-time: each cell's removals are applied to its core
+    /// block and log first, then every aBCP instance of the cell gets
+    /// **one** witness re-anchoring round ([`abcp::delete_cores`]) for
+    /// the whole block — the delete-side mirror of the insert flush,
+    /// which previously updated instances once per demoted point. Each
+    /// id's arena record must still hold its core-block location
+    /// (`cell`/`core_slot`/`log_pos`); the record may be alive (a
+    /// demoted survivor) or freshly killed (a departing batch point —
+    /// location fields survive the kill).
+    fn flush_core_removals(&mut self, removals: &[PointId]) {
+        if removals.is_empty() {
+            return;
+        }
+        let cells_of: Vec<CellId> = removals.iter().map(|&q| self.points.get(q).cell).collect();
+        let groups = crate::batch::group_by_cell(&cells_of);
+        for (cell, members) in &groups {
+            let removed: Vec<PointId> = members.iter().map(|&k| removals[k as usize]).collect();
+            for &q in &removed {
+                // Departing points are already killed (which clears the
+                // core flag); demoted survivors are still flagged core.
+                debug_assert!(!self.points.is_alive(q) || self.points.is_core(q));
+                self.stats.demotions += 1;
+                self.points.set_core(q, false);
+                let (core_slot, log_pos) = {
+                    let r = self.points.get(q);
+                    (r.core_slot, r.log_pos)
+                };
+                let cell_obj = self.grid.cell_mut(*cell);
+                debug_assert_eq!(cell_obj.core.item(core_slot), q);
+                let moves = cell_obj.core.swap_remove(core_slot);
+                for (moved, new_slot) in moves.iter() {
+                    self.points.get_mut(moved).core_slot = new_slot;
+                }
+                self.grid.cell_mut(*cell).core_log.kill(log_pos);
+            }
+            if !self.grid.cell(*cell).is_core_cell() {
+                self.destroy_cell_instances(*cell);
+            } else {
+                // One re-anchoring round per instance for the block.
+                // Coordinates are read from core blocks: points whose
+                // removal is still pending in a later group keep their
+                // core-block entry until their own round runs.
+                let points = &self.points;
+                let grid = &self.grid;
+                let coords = |pid: PointId| {
+                    let r = points.get(pid);
+                    *grid.cell(r.cell).core.point(r.core_slot)
+                };
+                for idx in 0..self.cell_instances[*cell as usize].len() {
+                    let iid = self.cell_instances[*cell as usize][idx];
+                    let inst = &mut self.instances[iid as usize];
+                    let change = abcp::delete_cores(inst, grid, *cell, &removed, &coords);
+                    let (c1, c2) = (inst.c1, inst.c2);
+                    match change {
+                        EdgeChange::Removed => {
+                            self.stats.edge_removes += 1;
+                            self.conn.delete_edge(c1, c2);
+                        }
+                        EdgeChange::Inserted => unreachable!("deletion cannot create a witness"),
+                        EdgeChange::None => {}
+                    }
+                }
             }
         }
     }
@@ -700,26 +853,7 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         self.grid.cell_mut(cell).core_log.kill(log_pos);
 
         if !self.grid.cell(cell).is_core_cell() {
-            // The cell leaves V: destroy all of its aBCP instances.
-            let mine = std::mem::take(&mut self.cell_instances[cell as usize]);
-            for iid in mine {
-                let inst = &self.instances[iid as usize];
-                let (c1, c2) = (inst.c1, inst.c2);
-                if inst.has_edge() {
-                    self.stats.edge_removes += 1;
-                    self.conn.delete_edge(c1, c2);
-                }
-                let other = if c1 == cell { c2 } else { c1 };
-                let olist = &mut self.cell_instances[other as usize];
-                let pos = olist
-                    .iter()
-                    .position(|&x| x == iid)
-                    .expect("instance missing from other cell");
-                olist.swap_remove(pos);
-                self.instance_ids.remove(&(c1, c2));
-                self.free_instances.push(iid);
-                self.stats.instances_destroyed += 1;
-            }
+            self.destroy_cell_instances(cell);
         } else {
             // Update every instance of the (still core) cell.
             let points = &self.points;
@@ -745,10 +879,41 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         }
     }
 
+    /// Destroys every aBCP instance of a cell that left `V`, forwarding
+    /// the edge removals to the CC structure.
+    fn destroy_cell_instances(&mut self, cell: CellId) {
+        let mine = std::mem::take(&mut self.cell_instances[cell as usize]);
+        for iid in mine {
+            let inst = &self.instances[iid as usize];
+            let (c1, c2) = (inst.c1, inst.c2);
+            if inst.has_edge() {
+                self.stats.edge_removes += 1;
+                self.conn.delete_edge(c1, c2);
+            }
+            let other = if c1 == cell { c2 } else { c1 };
+            let olist = &mut self.cell_instances[other as usize];
+            let pos = olist
+                .iter()
+                .position(|&x| x == iid)
+                .expect("instance missing from other cell");
+            olist.swap_remove(pos);
+            self.instance_ids.remove(&(c1, c2));
+            self.free_instances.push(iid);
+            self.stats.instances_destroyed += 1;
+        }
+    }
+
     /// Creates the aBCP instance for core cells `(a, b)` and forwards the
     /// edge if an initial witness exists.
     fn create_instance(&mut self, a: CellId, b: CellId) {
         let inst = abcp::create(&self.grid, a, b);
+        self.register_instance(inst);
+    }
+
+    /// Registers an already-searched aBCP instance (the bookkeeping half
+    /// of instance creation — the batch flush runs the initial witness
+    /// searches on the pool and registers the results in task order).
+    fn register_instance(&mut self, inst: AbcpInstance) {
         let key = (inst.c1, inst.c2);
         debug_assert!(
             !self.instance_ids.contains_key(&key),
@@ -917,13 +1082,9 @@ impl<const D: usize, C: DynConnectivity> DynamicClusterer<D> for FullDynDbscan<D
             demotions: s.demotions,
             edge_inserts: s.edge_inserts,
             edge_removes: s.edge_removes,
-            splits: 0,
-            batched_updates: s.batched_updates,
-            batch_flushes: s.batch_flushes,
-            batch_cell_scans: s.batch_cell_scans,
-            parallel_workers: s.parallel_workers,
-            parallel_cell_tasks: s.parallel_cell_tasks,
+            ..ClustererStats::default()
         }
+        .with_flush(self.pipeline.stats())
     }
 }
 
@@ -1134,6 +1295,19 @@ mod tests {
         let id = algo.insert([0.0, 0.0]);
         algo.delete(id);
         algo.delete(id);
+    }
+
+    #[test]
+    #[should_panic(expected = "already-deleted")]
+    fn duplicate_id_in_delete_batch_panics_before_corrupting() {
+        // A duplicate must hit the alive assert on its second occurrence
+        // (ids are killed as they detach), not silently detach whatever
+        // point swap-remove moved into the stale slot.
+        let mut algo = FullDynDbscan::<2>::new(Params::new(1.0, 2));
+        let a = algo.insert([0.0, 0.0]);
+        let _b = algo.insert([0.1, 0.0]);
+        let _c = algo.insert([0.2, 0.0]);
+        algo.delete_batch(&[a, a]);
     }
 
     #[test]

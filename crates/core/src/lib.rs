@@ -65,7 +65,7 @@
 
 pub mod abcp;
 pub mod api;
-mod batch;
+pub mod batch;
 pub mod full;
 pub mod groups;
 pub mod ops;
@@ -79,6 +79,7 @@ pub mod usec;
 pub mod verify;
 
 pub use api::{ClustererStats, DynamicClusterer};
+pub use batch::{FlushPhase, FlushPipeline, FlushStats};
 pub use full::{FullDynDbscan, FullStats};
 pub use groups::{Clustering, GroupBy};
 pub use ops::Op;

@@ -1,27 +1,40 @@
-//! Dependency-free scoped worker pool for the batch flush.
+//! Dependency-free **persistent** worker pool for the batch flush.
 //!
-//! The batch pipelines' expensive middle phases — the per-touched-cell
-//! neighbor scans and core-status recounts — are embarrassingly parallel:
-//! every task reads the grid and the point arena and writes only its own
-//! result. [`run_tasks`] fans a task range out over a small
-//! [`std::thread::scope`] crew that *work-steals* indices from one shared
-//! atomic cursor (no per-worker queues, no channels), then hands the
-//! results back **in task order**: each worker tags what it produced with
-//! the task index it claimed, and the merge slots everything back into
-//! `0..tasks` order. Callers that enumerate their tasks deterministically
-//! (the flushes sort touched cells by cell id) therefore observe results
-//! that are *bit-identical* to the sequential path, regardless of the
-//! thread count or the interleaving the scheduler picked.
+//! The batch pipelines' expensive phases — per-touched-cell neighbor
+//! scans, core-status recounts, cell-coordinate placement, and the
+//! read-only half of the GUM rounds — are embarrassingly parallel: every
+//! task reads the grid and the point arena and writes only its own
+//! result. [`WorkerPool::run`] fans a task range out over a small crew
+//! that *work-steals* indices from one shared atomic cursor (no
+//! per-worker queues, no channels), then hands the results back **in
+//! task order**: each task writes the slot matching the index it
+//! claimed. Callers that enumerate their tasks deterministically (the
+//! flushes sort touched cells by cell id) therefore observe results that
+//! are *bit-identical* to the sequential path, regardless of the thread
+//! count or the interleaving the scheduler picked.
+//!
+//! Unlike the per-flush `std::thread::scope` crew this replaced, the
+//! crew is **persistent**: it is lazily spawned by the first flush phase
+//! that goes parallel, owned by the clusterer (through
+//! [`crate::batch::FlushPipeline`]), *parked* on a condvar between
+//! flushes, and joined cleanly on drop. Changing the thread budget
+//! ([`WorkerPool::set_budget`]) tears the crew down and respawns it
+//! lazily at the new size. Steady-state flushes therefore pay zero
+//! thread-spawn latency — only a wake/park round-trip.
 //!
 //! `threads <= 1` never spawns: the tasks run inline on the caller's
 //! thread — the exact sequential path. Small task counts also stay
 //! inline (`MIN_TASKS_PER_WORKER`), so per-op-sized flushes do not pay
-//! thread-spawn latency for microscopic wins.
+//! wake latency for microscopic wins.
 
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
-/// A worker is only worth spawning if it has at least this many tasks to
-/// chew on; below that, spawn latency dominates the stolen work.
+/// A worker is only worth engaging if it has at least this many tasks to
+/// chew on; below that, wake latency dominates the stolen work.
 const MIN_TASKS_PER_WORKER: usize = 4;
 
 /// The default thread budget: one worker per logical CPU.
@@ -31,58 +44,300 @@ pub(crate) fn default_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Runs `run(i)` for every task index `i in 0..tasks` on up to `threads`
-/// scoped workers and returns `(results, workers_engaged)`, with
-/// `results[i] == run(i)` — task order, independent of scheduling.
-/// `workers_engaged == 1` means the tasks ran inline (the exact
-/// sequential path); `run` must be pure with respect to shared state for
-/// the parallel path to be equivalent.
-pub(crate) fn run_tasks<R: Send>(
-    threads: usize,
+/// Result slots written directly by whichever worker claims each task
+/// index; every index is claimed exactly once, so no two writers alias.
+struct Slots<R>(Vec<UnsafeCell<MaybeUninit<R>>>);
+
+// SAFETY: distinct tasks write distinct slots (the atomic cursor hands
+// each index out once), and reads happen only after the completion
+// barrier in `WorkerPool::run`.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+/// The type-erased unit of work published to the crew: a trampoline to
+/// the caller's stack-held closure plus the shared cursor. Only valid
+/// while the publishing [`WorkerPool::run`] call is blocked on the
+/// completion barrier.
+#[derive(Clone, Copy)]
+struct Job {
+    run: unsafe fn(*const (), usize),
+    ctx: *const (),
     tasks: usize,
-    run: impl Fn(usize) -> R + Sync,
-) -> (Vec<R>, usize) {
-    let workers = threads.min(tasks / MIN_TASKS_PER_WORKER);
-    if workers <= 1 {
-        return ((0..tasks).map(run).collect(), 1);
-    }
-    let cursor = AtomicUsize::new(0);
-    let mut per_worker: Vec<Vec<(u32, R)>> = Vec::with_capacity(workers);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
+    cursor: *const AtomicUsize,
+    /// Pool workers allowed to check in (the coordinator is extra).
+    max_workers: usize,
+}
+
+// SAFETY: the raw pointers target the coordinator's stack frame, which
+// outlives every access — `run` does not return until all checked-in
+// workers have checked out, and workers that never checked in never
+// copied the job.
+unsafe impl Send for Job {}
+
+struct State {
+    /// Bumped once per published job; lets parked workers tell a fresh
+    /// job from a spurious wakeup or one they already drained.
+    epoch: u64,
+    job: Option<Job>,
+    /// Pool workers currently holding (a copy of) the published job.
+    checked_in: usize,
+    active: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Workers park here between flushes.
+    work: Condvar,
+    /// The coordinator blocks here until the crew drains the epoch.
+    done: Condvar,
+}
+
+/// The spawned crew: `budget - 1` parked threads (the coordinator
+/// participates in every job, so the crew totals `budget`).
+struct PoolInner {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl PoolInner {
+    fn spawn(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                epoch: 0,
+                job: None,
+                checked_in: 0,
+                active: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..workers)
             .map(|_| {
-                s.spawn(|| {
-                    let mut local: Vec<(u32, R)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= tasks {
-                            break;
-                        }
-                        local.push((i as u32, run(i)));
-                    }
-                    local
-                })
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
             })
             .collect();
-        for h in handles {
-            match h.join() {
-                Ok(local) => per_worker.push(local),
-                Err(payload) => std::panic::resume_unwind(payload),
-            }
+        Self { shared, handles }
+    }
+
+    fn shutdown(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
         }
-    });
-    let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(tasks).collect();
-    for local in per_worker {
-        for (i, r) in local {
-            debug_assert!(slots[i as usize].is_none(), "task {i} claimed twice");
-            slots[i as usize] = Some(r);
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join(); // a worker never panics outside a task
         }
     }
-    let results = slots
-        .into_iter()
-        .map(|r| r.expect("every task index claimed exactly once"))
-        .collect();
-    (results, workers)
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut seen_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.epoch != seen_epoch {
+                    seen_epoch = st.epoch;
+                    if let Some(job) = st.job {
+                        if st.checked_in < job.max_workers {
+                            st.checked_in += 1;
+                            st.active += 1;
+                            break job;
+                        }
+                    }
+                    // Job already drained/cleared or crew full: not ours.
+                }
+                st = shared.work.wait(st).unwrap();
+            }
+        };
+        loop {
+            // SAFETY: checked in under the state lock, so the
+            // coordinator waits for our checkout before invalidating
+            // the job's pointers.
+            let i = unsafe { &*job.cursor }.fetch_add(1, Ordering::Relaxed);
+            if i >= job.tasks {
+                break;
+            }
+            unsafe { (job.run)(job.ctx, i) };
+        }
+        let mut st = shared.state.lock().unwrap();
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+/// A persistent work-stealing crew with a thread *budget*. Nothing is
+/// spawned until the first [`run`](Self::run) that actually goes
+/// parallel; between runs the crew parks; dropping the pool joins it.
+pub(crate) struct WorkerPool {
+    budget: usize,
+    inner: Option<PoolInner>,
+    /// Parallel runs that found the crew already spawned and parked.
+    reuse_count: u64,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("budget", &self.budget)
+            .field("spawned", &self.inner.is_some())
+            .field("reuse_count", &self.reuse_count)
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// A pool with the given thread budget (`0` is treated as `1`).
+    pub(crate) fn new(budget: usize) -> Self {
+        Self {
+            budget: budget.max(1),
+            inner: None,
+            reuse_count: 0,
+        }
+    }
+
+    /// The thread budget (crew size ceiling, coordinator included).
+    pub(crate) fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Whether the crew threads are currently spawned (and parked).
+    pub(crate) fn is_spawned(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Parallel runs that reused the already-spawned, parked crew
+    /// instead of paying a spawn.
+    pub(crate) fn reuse_count(&self) -> u64 {
+        self.reuse_count
+    }
+
+    /// Changes the thread budget. A live crew of the wrong size is torn
+    /// down (joined) and respawned lazily by the next parallel run.
+    pub(crate) fn set_budget(&mut self, budget: usize) {
+        let budget = budget.max(1);
+        if budget != self.budget {
+            self.budget = budget;
+            self.inner = None; // PoolInner::drop joins the old crew
+        }
+    }
+
+    /// Runs `run(i)` for every task index `i in 0..tasks` on the crew
+    /// and returns `(results, workers_engaged)`, with
+    /// `results[i] == run(i)` — task order, independent of scheduling.
+    /// `workers_engaged == 1` means the tasks ran inline (the exact
+    /// sequential path); `run` must be pure with respect to shared state
+    /// for the parallel path to be equivalent.
+    pub(crate) fn run<R: Send>(
+        &mut self,
+        tasks: usize,
+        run: impl Fn(usize) -> R + Sync,
+    ) -> (Vec<R>, usize) {
+        let crew = self.budget.min(tasks / MIN_TASKS_PER_WORKER);
+        if crew <= 1 {
+            return ((0..tasks).map(run).collect(), 1);
+        }
+        if self.inner.is_some() {
+            self.reuse_count += 1;
+        } else {
+            self.inner = Some(PoolInner::spawn(self.budget - 1));
+        }
+        let shared = Arc::clone(&self.inner.as_ref().unwrap().shared);
+
+        let slots = Slots(
+            (0..tasks)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        );
+        let cursor = AtomicUsize::new(0);
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let body = |i: usize| match catch_unwind(AssertUnwindSafe(|| run(i))) {
+            // SAFETY: index `i` was handed out by the cursor exactly once.
+            Ok(r) => {
+                unsafe { (*slots.0[i].get()).write(r) };
+            }
+            Err(payload) => {
+                *panic_slot.lock().unwrap() = Some(payload);
+                // Stop handing out work; claimed tasks still finish.
+                cursor.store(tasks, Ordering::Relaxed);
+            }
+        };
+        let (run_erased, ctx) = erase(&body);
+        let job = Job {
+            run: run_erased,
+            ctx,
+            tasks,
+            cursor: &cursor,
+            max_workers: crew - 1,
+        };
+        {
+            let mut st = shared.state.lock().unwrap();
+            st.job = Some(job);
+            st.epoch += 1;
+            st.checked_in = 0;
+        }
+        shared.work.notify_all();
+        // The coordinator is part of the crew: steal until exhausted.
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= tasks {
+                break;
+            }
+            body(i);
+        }
+        // Completion barrier: wait for every checked-in worker to check
+        // out, then retract the job so late wakers never see it.
+        {
+            let mut st = shared.state.lock().unwrap();
+            while st.active > 0 {
+                st = shared.done.wait(st).unwrap();
+            }
+            st.job = None;
+        }
+        if let Some(payload) = panic_slot.into_inner().unwrap() {
+            // Written slots leak their R (MaybeUninit never drops), which
+            // is acceptable on the propagation path.
+            std::panic::resume_unwind(payload);
+        }
+        let results = slots
+            .0
+            .into_iter()
+            // SAFETY: no panic was recorded, so the cursor handed out —
+            // and `body` completed — every index in 0..tasks.
+            .map(|c| unsafe { c.into_inner().assume_init() })
+            .collect();
+        (results, crew)
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // PoolInner::drop parks nothing: it flags shutdown and joins.
+        self.inner = None;
+    }
+}
+
+/// Erases a task closure into a `(trampoline, context)` pair the crew
+/// can carry across threads.
+fn erase<F: Fn(usize)>(f: &F) -> (unsafe fn(*const (), usize), *const ()) {
+    unsafe fn trampoline<F: Fn(usize)>(ctx: *const (), i: usize) {
+        unsafe { (*(ctx as *const F))(i) }
+    }
+    (trampoline::<F>, f as *const F as *const ())
 }
 
 #[cfg(test)]
@@ -92,7 +347,8 @@ mod tests {
     #[test]
     fn results_come_back_in_task_order() {
         for threads in [1usize, 2, 4, 8] {
-            let (out, workers) = run_tasks(threads, 257, |i| i * i);
+            let mut pool = WorkerPool::new(threads);
+            let (out, workers) = pool.run(257, |i| i * i);
             assert_eq!(out.len(), 257);
             for (i, v) in out.iter().enumerate() {
                 assert_eq!(*v, i * i, "threads={threads}");
@@ -103,27 +359,80 @@ mod tests {
 
     #[test]
     fn small_task_counts_run_inline() {
-        let (out, workers) = run_tasks(8, 3, |i| i);
+        let mut pool = WorkerPool::new(8);
+        let (out, workers) = pool.run(3, |i| i);
         assert_eq!(out, vec![0, 1, 2]);
-        assert_eq!(workers, 1, "3 tasks must not spawn 8 threads");
-        let (out, workers) = run_tasks(1, 100, |i| i + 1);
+        assert_eq!(workers, 1, "3 tasks must not wake 8 threads");
+        assert!(!pool.is_spawned(), "inline runs never spawn the crew");
+        let mut pool = WorkerPool::new(1);
+        let (out, workers) = pool.run(100, |i| i + 1);
         assert_eq!(out[99], 100);
-        assert_eq!(workers, 1, "threads = 1 is the exact sequential path");
+        assert_eq!(workers, 1, "budget 1 is the exact sequential path");
+        assert!(!pool.is_spawned(), "budget 1 never spawns");
     }
 
     #[test]
     fn zero_tasks_yield_empty() {
-        let (out, workers) = run_tasks(4, 0, |_| 0u8);
+        let mut pool = WorkerPool::new(4);
+        let (out, workers) = pool.run(0, |_| 0u8);
         assert!(out.is_empty());
         assert_eq!(workers, 1);
     }
 
     #[test]
-    fn workers_actually_share_the_range() {
-        // With enough tasks the crew engages; every index appears once.
-        let (out, workers) = run_tasks(4, 1000, |i| i as u64);
+    fn crew_persists_and_is_reused_across_runs() {
+        let mut pool = WorkerPool::new(4);
+        assert!(!pool.is_spawned(), "spawn is lazy");
+        let (out, workers) = pool.run(1000, |i| i as u64);
         assert_eq!(workers, 4);
+        assert!(pool.is_spawned());
+        assert_eq!(pool.reuse_count(), 0, "first run spawns, not reuses");
         let sum: u64 = out.iter().sum();
         assert_eq!(sum, 999 * 1000 / 2);
+        for round in 1..=5u64 {
+            let (out, _) = pool.run(500, |i| i);
+            assert_eq!(out[499], 499);
+            assert_eq!(pool.reuse_count(), round, "round {round} reuses");
+        }
+    }
+
+    #[test]
+    fn set_budget_rebuilds_the_crew() {
+        let mut pool = WorkerPool::new(2);
+        let (_, workers) = pool.run(1000, |i| i);
+        assert_eq!(workers, 2);
+        pool.set_budget(4);
+        assert!(!pool.is_spawned(), "budget change tears the crew down");
+        let (out, workers) = pool.run(1000, |i| i + 1);
+        assert_eq!(workers, 4);
+        assert_eq!(out[0], 1);
+        // same budget: no teardown
+        pool.set_budget(4);
+        assert!(pool.is_spawned());
+    }
+
+    #[test]
+    fn drop_while_parked_joins_cleanly() {
+        let mut pool = WorkerPool::new(4);
+        let (out, _) = pool.run(1000, |i| i);
+        assert_eq!(out.len(), 1000);
+        drop(pool); // must not hang or leak threads
+    }
+
+    #[test]
+    fn task_panics_propagate_to_the_caller() {
+        let mut pool = WorkerPool::new(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.run(1000, |i| {
+                if i == 137 {
+                    panic!("boom in task 137");
+                }
+                i
+            })
+        }));
+        assert!(caught.is_err(), "the task panic must surface");
+        // The crew survives a panicked job and keeps serving.
+        let (out, _) = pool.run(1000, |i| i * 2);
+        assert_eq!(out[500], 1000);
     }
 }

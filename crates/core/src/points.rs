@@ -6,7 +6,7 @@
 //! message naming the id and the operation rather than a bare index panic.
 //!
 //! Coordinates are *not* stored here: the grid owns them, cell-major, in
-//! each cell's structure-of-arrays block ([`dydbscan_spatial::CellSet`]).
+//! each cell’s structure-of-arrays block (`dydbscan_spatial::CellSet`).
 //! A [`PointRec`] is pure id↔location bookkeeping — which cell the point
 //! lives in and its slots inside that cell's `all`/`core` blocks — plus
 //! the per-point counters the engines maintain. Hot-path neighborhood

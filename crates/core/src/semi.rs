@@ -34,7 +34,10 @@ use dydbscan_conn::UnionFind;
 use dydbscan_geom::{dist_sq, FxHashSet, Point};
 use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 
-/// Operation counters for cost provenance (semi-dynamic regime).
+/// Operation counters for cost provenance (semi-dynamic regime). The
+/// shared batch/parallelism counters live in the engine's
+/// [`FlushPipeline`](crate::batch::FlushPipeline) — see
+/// [`SemiDynDbscan::flush_stats`].
 #[derive(Debug, Default, Clone, Copy)]
 pub struct SemiStats {
     /// Exact vicinity counts computed for newly inserted points.
@@ -43,17 +46,6 @@ pub struct SemiStats {
     pub promotions: u64,
     /// Emptiness probes issued by GUM.
     pub emptiness_probes: u64,
-    /// Updates applied through the batched entry points.
-    pub batched_updates: u64,
-    /// Batch flushes executed (grouped `insert_batch` calls).
-    pub batch_flushes: u64,
-    /// Neighbor-cell scans performed by batch flushes — each one covers a
-    /// whole batch where per-op updates would rescan the cell per point.
-    pub batch_cell_scans: u64,
-    /// Workers engaged by flush phases that went parallel.
-    pub parallel_workers: u64,
-    /// Cell tasks dispatched through the parallel flush pool.
-    pub parallel_cell_tasks: u64,
 }
 
 /// Semi-dynamic ρ-approximate DBSCAN (exact when `rho = 0`).
@@ -84,8 +76,9 @@ pub struct SemiDynDbscan<const D: usize> {
     /// Scratch buffers reused across operations.
     promo_scratch: Vec<PointId>,
     cell_scratch: Vec<CellId>,
-    /// Thread budget of the parallel batch flush (`1` = sequential).
-    threads: usize,
+    /// The batch flush pipeline: thread budget, persistent worker pool,
+    /// shared flush counters.
+    pipeline: crate::batch::FlushPipeline,
     stats: SemiStats,
 }
 
@@ -101,27 +94,41 @@ impl<const D: usize> SemiDynDbscan<D> {
             edges: FxHashSet::default(),
             promo_scratch: Vec::new(),
             cell_scratch: Vec::new(),
-            threads: crate::parallel::default_threads(),
+            pipeline: crate::batch::FlushPipeline::new(),
             stats: SemiStats::default(),
         }
     }
 
     /// Sets the thread budget of the parallel batch flush (default: one
     /// worker per logical CPU; `1` = the exact sequential path). The
-    /// clustering is bit-identical at every thread count.
+    /// clustering is bit-identical at every thread count. The persistent
+    /// crew (if already spawned) is rebuilt at the new size by the next
+    /// parallel flush.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.pipeline.set_threads(threads);
         self
     }
 
     /// The thread budget of the parallel batch flush.
     pub fn threads(&self) -> usize {
-        self.threads
+        self.pipeline.threads()
     }
 
     /// Operation counters.
     pub fn stats(&self) -> SemiStats {
         self.stats
+    }
+
+    /// The shared flush-pipeline counters (batching + parallelism).
+    pub fn flush_stats(&self) -> crate::batch::FlushStats {
+        self.pipeline.stats()
+    }
+
+    /// Whether the persistent flush crew is currently spawned (it is
+    /// lazily spawned by the first flush phase that goes parallel and
+    /// parked between flushes).
+    pub fn pool_spawned(&self) -> bool {
+        self.pipeline.pool_spawned()
     }
 
     /// The clustering parameters.
@@ -242,7 +249,7 @@ impl<const D: usize> SemiDynDbscan<D> {
     /// is grouped by target cell, every touched neighbor cell is swept
     /// once against the batch's coordinate block, and all promotions are
     /// flushed through GUM in a single pass. The per-cell status phases
-    /// run on the parallel flush pool (see [`crate::parallel`]); results
+    /// run on the parallel flush pool (see `core::parallel`); results
     /// are merged in cell-id order, so the final clustering is
     /// bit-identical at every thread count, identical to inserting the
     /// points one at a time at `rho = 0`, and sandwich-valid at
@@ -252,17 +259,22 @@ impl<const D: usize> SemiDynDbscan<D> {
             return pts.iter().map(|p| self.insert(*p)).collect();
         }
         crate::params::validate_points(pts).unwrap_or_else(|e| panic!("{e}"));
-        self.stats.batch_flushes += 1;
-        self.stats.batched_updates += pts.len() as u64;
+        self.pipeline.begin_flush(pts.len());
         let batch_start = self.points.capacity_ids() as PointId;
         let min_pts = self.params.min_pts;
 
-        // Phase 1 (sequential): place the whole batch cell-major (tree
-        // maintenance is deferred to amortized doubling rebuilds inside
-        // `CellSet`).
+        // Phase 1: place the whole batch cell-major (the pure
+        // coordinate mapping runs on the pool; materialization and
+        // grouping stay sequential; tree maintenance is deferred to
+        // amortized doubling rebuilds inside `CellSet`).
         let uf = &mut self.uf;
-        let (ids, groups) =
-            crate::batch::place_batch(&mut self.grid, &mut self.points, pts, |c| uf.ensure(c));
+        let (ids, groups) = crate::batch::place_batch(
+            &mut self.pipeline,
+            &mut self.grid,
+            &mut self.points,
+            pts,
+            |c| uf.ensure(c),
+        );
 
         // Phase 2 (parallel): statuses of the batch's own points, one
         // task per target cell (dense cells need no count queries; see
@@ -273,40 +285,40 @@ impl<const D: usize> SemiDynDbscan<D> {
             vincnts: Vec<(PointId, u32)>,
             count_queries: u64,
         }
-        let (outcomes, workers) = {
+        let outcomes = {
             let (grid, points, params) = (&self.grid, &self.points, &self.params);
             let (ids, groups) = (&ids, &groups);
-            crate::parallel::run_tasks(self.threads, groups.len(), |gi| {
-                let (cell, members) = &groups[gi];
-                let mut out = GroupOutcome {
-                    promotions: Vec::new(),
-                    vincnts: Vec::new(),
-                    count_queries: 0,
-                };
-                let dense = crate::batch::promote_dense_cell(
-                    grid,
-                    points,
-                    *cell,
-                    members,
-                    ids,
-                    min_pts,
-                    &mut out.promotions,
-                );
-                if !dense {
-                    for &k in members {
-                        out.count_queries += 1;
-                        let p = &pts[k as usize];
-                        let kct = grid.count_ball_from(*cell, p, params.eps, params.eps);
-                        out.vincnts.push((ids[k as usize], kct as u32));
-                        if kct >= min_pts {
-                            out.promotions.push(ids[k as usize]);
+            self.pipeline
+                .run(crate::batch::FlushPhase::Scan, groups.len(), |gi| {
+                    let (cell, members) = &groups[gi];
+                    let mut out = GroupOutcome {
+                        promotions: Vec::new(),
+                        vincnts: Vec::new(),
+                        count_queries: 0,
+                    };
+                    let dense = crate::batch::promote_dense_cell(
+                        grid,
+                        points,
+                        *cell,
+                        members,
+                        ids,
+                        min_pts,
+                        &mut out.promotions,
+                    );
+                    if !dense {
+                        for &k in members {
+                            out.count_queries += 1;
+                            let p = &pts[k as usize];
+                            let kct = grid.count_ball_from(*cell, p, params.eps, params.eps);
+                            out.vincnts.push((ids[k as usize], kct as u32));
+                            if kct >= min_pts {
+                                out.promotions.push(ids[k as usize]);
+                            }
                         }
                     }
-                }
-                out
-            })
+                    out
+                })
         };
-        self.note_parallel(workers, groups.len());
         let mut promotions: Vec<PointId> = Vec::new();
         for out in outcomes {
             self.stats.count_queries += out.count_queries;
@@ -328,25 +340,25 @@ impl<const D: usize> SemiDynDbscan<D> {
             |c| c.count() < min_pts, // dense: all residents already core
         );
         let eps_sq = self.params.eps_sq();
-        let (bumped_lists, workers) = {
+        let bumped_lists = {
             let (grid, points, buckets) = (&self.grid, &self.points, &buckets);
-            crate::parallel::run_tasks(self.threads, buckets.len(), |bi| {
-                let cell_obj = grid.cell(buckets.cell(bi));
-                let mut bumped: Vec<(PointId, u32)> = Vec::new();
-                for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
-                    if q >= batch_start || points.is_core(q) {
-                        continue; // batch points handled in phase 2
+            self.pipeline
+                .run(crate::batch::FlushPhase::Scan, buckets.len(), |bi| {
+                    let cell_obj = grid.cell(buckets.cell(bi));
+                    let mut bumped: Vec<(PointId, u32)> = Vec::new();
+                    for (qp, &q) in cell_obj.all.points().iter().zip(cell_obj.all.items()) {
+                        if q >= batch_start || points.is_core(q) {
+                            continue; // batch points handled in phase 2
+                        }
+                        let delta = buckets.count_within_sq(bi, qp, eps_sq);
+                        if delta > 0 {
+                            bumped.push((q, delta as u32));
+                        }
                     }
-                    let delta = buckets.count_within_sq(bi, qp, eps_sq);
-                    if delta > 0 {
-                        bumped.push((q, delta as u32));
-                    }
-                }
-                bumped
-            })
+                    bumped
+                })
         };
-        self.stats.batch_cell_scans += buckets.len() as u64;
-        self.note_parallel(workers, buckets.len());
+        self.pipeline.note_cell_scans(buckets.len());
         for (q, delta) in bumped_lists.into_iter().flatten() {
             let rec = self.points.get_mut(q);
             rec.vincnt += delta;
@@ -355,59 +367,78 @@ impl<const D: usize> SemiDynDbscan<D> {
             }
         }
 
-        // Phase 4 (sequential): flush all promotions (GUM + union-find)
-        // in one pass — each cell's core block is extended in one shot,
-        // then GUM probes run per point with already-connected cell pairs
-        // skipped.
+        // Phase 4: flush all promotions (GUM + union-find) in one pass —
+        // each cell's core block is extended in one shot, the read-only
+        // emptiness probes of the per-cell GUM rounds run on the pool,
+        // and the edge/union mutations are applied in task order.
         self.flush_promotions(&promotions);
         ids
     }
 
-    /// Records pool engagement in the stats (phases that stayed inline
-    /// do not count as parallel work).
-    fn note_parallel(&mut self, workers: usize, tasks: usize) {
-        if workers > 1 {
-            self.stats.parallel_workers += workers as u64;
-            self.stats.parallel_cell_tasks += tasks as u64;
-        }
-    }
-
-    /// Registers a block of promoted points cell-at-a-time and runs GUM
-    /// over the block. Same final grid graph as per-point
-    /// [`on_became_core`](Self::on_became_core) at `rho = 0`.
+    /// Flushes a block of promotions: the shared preamble
+    /// ([`crate::batch::extend_core_blocks`]) registers every point
+    /// cell-at-a-time, then this engine's GUM hook probes each block's
+    /// candidate cells — the probes (pure reads of the grid and the
+    /// pre-flush edge set) run on the pool, one task per promoted cell,
+    /// and the resulting edges are applied sequentially in task order.
+    /// Same final grid graph as per-point
+    /// [`on_became_core`](Self::on_became_core) at `rho = 0`,
+    /// bit-identical at every thread count.
     fn flush_promotions(&mut self, promotions: &[PointId]) {
         if promotions.is_empty() {
             return;
         }
-        let cells_of: Vec<CellId> = promotions
+        let blocks =
+            crate::batch::extend_core_blocks(&mut self.grid, &mut self.points, promotions, false);
+        self.stats.promotions += promotions.len() as u64;
+        // Candidate eps-close core cells per block. Computed after every
+        // extension, so two cells promoted in one flush see each other —
+        // their pair is probed from both sides and deduped on apply.
+        let candidates: Vec<Vec<CellId>> = blocks
             .iter()
-            .map(|&q| self.points.get(q).cell)
+            .map(|b| {
+                let mut cs = Vec::new();
+                self.grid
+                    .visit_neighbor_cells(b.cell, NeighborScope::Eps, |c, cell_obj| {
+                        if c != b.cell && cell_obj.is_core_cell() {
+                            cs.push(c);
+                        }
+                    });
+                cs
+            })
             .collect();
-        let groups = crate::batch::group_by_cell(&cells_of);
-        for (cell, members) in &groups {
-            let entries: Vec<(Point<D>, PointId)> = members
-                .iter()
-                .map(|&k| {
-                    let q = promotions[k as usize];
-                    let r = self.points.get(q);
-                    (*self.grid.cell(r.cell).all.point(r.slot), q)
+        let outcomes = {
+            let (grid, edges) = (&self.grid, &self.edges);
+            let (blocks, candidates) = (&blocks, &candidates);
+            self.pipeline
+                .run(crate::batch::FlushPhase::Gum, blocks.len(), |bi| {
+                    let b = &blocks[bi];
+                    let mut found: Vec<(CellId, CellId)> = Vec::new();
+                    let mut probes = 0u64;
+                    for &c in &candidates[bi] {
+                        let key = crate::batch::norm_pair(b.cell, c);
+                        if edges.contains(&key) {
+                            continue; // connected before this flush
+                        }
+                        for &(qp, _) in &b.entries {
+                            probes += 1;
+                            if grid.emptiness(&qp, c).is_some() {
+                                found.push(key);
+                                break;
+                            }
+                        }
+                    }
+                    (found, probes)
                 })
-                .collect();
-            let first_slot = self
-                .grid
-                .cell_mut(*cell)
-                .core
-                .insert_block(entries.iter().copied());
-            for (i, &(_, q)) in entries.iter().enumerate() {
-                debug_assert!(!self.points.is_core(q));
-                self.points.set_core(q, true);
-                self.points.get_mut(q).core_slot = first_slot + i as u32;
-                self.stats.promotions += 1;
+        };
+        for (found, probes) in outcomes {
+            self.stats.emptiness_probes += probes;
+            for key in found {
+                if self.edges.insert(key) {
+                    self.uf.ensure(key.0.max(key.1));
+                    self.uf.union(key.0, key.1);
+                }
             }
-            // GUM for the block: the `edges` set already dedups pairs, so
-            // a pair connected by an earlier block member skips its
-            // probes.
-            self.gum_probes(*cell, entries.iter().map(|&(qp, _)| qp));
         }
     }
 
@@ -442,7 +473,7 @@ impl<const D: usize> SemiDynDbscan<D> {
             });
         for qp in new_cores {
             for &c in &candidates {
-                let key = norm_pair(cell, c);
+                let key = crate::batch::norm_pair(cell, c);
                 if self.edges.contains(&key) {
                     continue;
                 }
@@ -546,25 +577,10 @@ impl<const D: usize> DynamicClusterer<D> for SemiDynDbscan<D> {
         ClustererStats {
             range_queries: self.stats.count_queries + self.stats.emptiness_probes,
             promotions: self.stats.promotions,
-            demotions: 0,
             edge_inserts: self.edges.len() as u64,
-            edge_removes: 0,
-            splits: 0,
-            batched_updates: self.stats.batched_updates,
-            batch_flushes: self.stats.batch_flushes,
-            batch_cell_scans: self.stats.batch_cell_scans,
-            parallel_workers: self.stats.parallel_workers,
-            parallel_cell_tasks: self.stats.parallel_cell_tasks,
+            ..ClustererStats::default()
         }
-    }
-}
-
-#[inline]
-fn norm_pair(a: CellId, b: CellId) -> (CellId, CellId) {
-    if a <= b {
-        (a, b)
-    } else {
-        (b, a)
+        .with_flush(self.pipeline.stats())
     }
 }
 

@@ -219,7 +219,13 @@ impl<const D: usize> GridIndex<D> {
     /// their neighbors' lists; in high dimensions whole offset groups are
     /// skipped when no live cell shares the target coordinate prefix.
     pub fn ensure_cell(&mut self, p: &Point<D>) -> CellId {
-        let coord = cell_of(p, self.side);
+        self.ensure_cell_at(cell_of(p, self.side))
+    }
+
+    /// [`ensure_cell`](Self::ensure_cell) for a precomputed coordinate
+    /// (the batch pipelines map coordinates in parallel, then
+    /// materialize sequentially).
+    pub fn ensure_cell_at(&mut self, coord: CellCoord<D>) -> CellId {
         if let Some(&id) = self.map.get(&coord) {
             return id;
         }

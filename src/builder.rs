@@ -168,11 +168,14 @@ impl DbscanBuilder {
         self
     }
 
-    /// Sets the thread budget of the grid engines' parallel batch flush
+    /// Sets the thread budget of the engines' parallel batch flush
     /// (default: one worker per logical CPU; `1` = the exact sequential
     /// path; `0` is treated as `1`). The clustering is bit-identical at
-    /// every thread count — threads only buy wall-clock. IncDBSCAN is
-    /// inherently per-update and ignores the setting.
+    /// every thread count — threads only buy wall-clock. Every engine
+    /// owns one persistent worker pool: lazily spawned by the first
+    /// flush that goes parallel, parked between flushes, joined on
+    /// drop. IncDBSCAN uses it for its per-point range-query phases;
+    /// the grid engines for placement, per-cell scans and GUM rounds.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
         self
@@ -283,8 +286,20 @@ impl DbscanBuilder {
                 }
             },
             Algorithm::IncDbscan => match self.index {
-                IndexBackend::Auto | IndexBackend::RTree => Box::new(IncDbscan::<D>::new(params)),
-                IndexBackend::Grid => Box::new(IncDbscan::<D, GridRangeIndex<D>>::new_grid(params)),
+                IndexBackend::Auto | IndexBackend::RTree => {
+                    let mut c = IncDbscan::<D>::new(params);
+                    if let Some(t) = self.threads {
+                        c = c.with_threads(t);
+                    }
+                    Box::new(c)
+                }
+                IndexBackend::Grid => {
+                    let mut c = IncDbscan::<D, GridRangeIndex<D>>::new_grid(params);
+                    if let Some(t) = self.threads {
+                        c = c.with_threads(t);
+                    }
+                    Box::new(c)
+                }
             },
         })
     }
@@ -352,7 +367,7 @@ mod tests {
         for algo in [
             Algorithm::SemiDynamic,
             Algorithm::FullyDynamic,
-            Algorithm::IncDbscan, // single-threaded: setting is a no-op
+            Algorithm::IncDbscan, // pools its batched range-query phases
         ] {
             for threads in [0usize, 1, 2, 8] {
                 let mut c = DbscanBuilder::new(1.0, 2)

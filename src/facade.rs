@@ -146,7 +146,7 @@ impl DynDbscan {
     /// [`dim`](DynDbscan::dim)); returns the new ids in order.
     pub fn insert_batch(&mut self, rows: &[f64]) -> Vec<PointId> {
         assert!(
-            rows.len().is_multiple_of(self.dim),
+            rows.len() % self.dim == 0,
             "flat buffer of {} values is not a multiple of dimension {}",
             rows.len(),
             self.dim
@@ -172,7 +172,7 @@ impl DynDbscan {
         // as documented, not be masked as a data error naming a row
         // that does not fully exist.
         assert!(
-            rows.len().is_multiple_of(self.dim),
+            rows.len() % self.dim == 0,
             "flat buffer of {} values is not a multiple of dimension {}",
             rows.len(),
             self.dim

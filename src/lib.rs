@@ -78,6 +78,16 @@
 pub mod builder;
 pub mod facade;
 
+// Compile the README's and DESIGN.md's code blocks as doctests so the
+// documented examples cannot rot (CI runs `cargo test --doc`).
+#[doc = include_str!("../README.md")]
+#[cfg(doctest)]
+pub struct ReadmeDoctests;
+
+#[doc = include_str!("../DESIGN.md")]
+#[cfg(doctest)]
+pub struct DesignDoctests;
+
 pub use dydbscan_baseline as baseline;
 pub use dydbscan_conn as conn;
 pub use dydbscan_core as core;
@@ -92,7 +102,7 @@ pub use facade::DynDbscan;
 pub use dydbscan_baseline::{IncDbscan, IncStats};
 pub use dydbscan_core::{
     brute_force_exact, check_containment, check_sandwich, relabel, static_cluster, ClustererStats,
-    Clustering, DynamicClusterer, FullDynDbscan, FullStats, GroupBy, Op, ParamError, Params,
-    PointId, SemiDynDbscan, SemiStats,
+    Clustering, DynamicClusterer, FlushStats, FullDynDbscan, FullStats, GroupBy, Op, ParamError,
+    Params, PointId, SemiDynDbscan, SemiStats,
 };
 pub use dydbscan_workload::{seed_spreader, Workload, WorkloadSpec};

@@ -1,12 +1,13 @@
-//! Parallel-vs-sequential equivalence: the batch flush's worker pool
-//! must be invisible in the results, not just statistically but
-//! **bit-identically** — the flush enumerates touched cells in cell-id
-//! order and merges worker results back in task order, so every thread
-//! count resolves every don't-care point the same way. Checked through
-//! `Box<dyn DynamicClusterer>` for all three engines (the baseline is
-//! single-threaded; its equivalence is trivial but keeps the builder
-//! path honest), at `rho = 0` *and* at an aggressive `rho`, after every
-//! flush, for clusterings and per-point core statuses alike.
+//! Parallel-vs-sequential equivalence: the batch flush's **persistent**
+//! worker pool must be invisible in the results, not just statistically
+//! but **bit-identically** — the flush enumerates touched cells in
+//! cell-id order and merges worker results back in task order, so every
+//! thread count resolves every don't-care point the same way. Checked
+//! through `Box<dyn DynamicClusterer>` for all three engines (the
+//! baseline pools its per-point range queries; the grid engines pool
+//! placement, per-cell scans and the read-only half of the GUM rounds),
+//! at `rho = 0` *and* at an aggressive `rho`, after every flush, for
+//! clusterings and per-point core statuses alike.
 
 use dydbscan::geom::{Point, SplitMix64};
 use dydbscan::{seed_spreader, Algorithm, DbscanBuilder, DynamicClusterer, PointId};
@@ -91,7 +92,11 @@ fn parallel_flush_reports_engagement_in_stats() {
     // Big flushes on many cells must actually engage the pool — and the
     // sequential configuration must never report parallel work.
     let pts = seed_spreader::<2>(6_000, 5);
-    for algo in [Algorithm::SemiDynamic, Algorithm::FullyDynamic] {
+    for algo in [
+        Algorithm::SemiDynamic,
+        Algorithm::FullyDynamic,
+        Algorithm::IncDbscan,
+    ] {
         let mut par = build(algo, 0.0, 4);
         par.insert_batch(&pts);
         let s = par.stats();
