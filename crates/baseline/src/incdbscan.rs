@@ -31,12 +31,14 @@
 
 use crate::index::RangeIndex;
 use dydbscan_conn::UnionFind;
+use dydbscan_core::snapshot::{Anchors, SnapshotState};
 use dydbscan_core::{
-    ClustererStats, Clustering, DynamicClusterer, FlushPhase, FlushPipeline, GroupBy, Params,
-    PointId,
+    ClusterSnapshot, ClustererStats, Clustering, DynamicClusterer, FlushPhase, FlushPipeline,
+    GroupBy, Params, PointId, QueryError,
 };
 use dydbscan_geom::{FxHashMap, Point};
 use dydbscan_spatial::RTree;
+use std::sync::Arc;
 
 const NO_LABEL: u32 = u32::MAX;
 
@@ -98,6 +100,12 @@ pub struct IncDbscan<const D: usize, I: RangeIndex<D> = RTree<D>> {
     /// shared flush counters. The baseline fans its per-point range
     /// queries out over it; everything else stays per-update.
     pipeline: FlushPipeline,
+    /// The epoch-snapshot state behind the `&self` read path. The
+    /// baseline's vertex space is *point ids*: a core point anchors to
+    /// itself, a border point to the core points in its ball, and the
+    /// label table resolves each core point's label through the
+    /// merge-history union-find without path compression.
+    snap: SnapshotState,
 }
 
 impl<const D: usize> IncDbscan<D, RTree<D>> {
@@ -132,6 +140,7 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             stats: IncStats::default(),
             scratch: Vec::new(),
             pipeline: FlushPipeline::new(),
+            snap: SnapshotState::new(),
         }
     }
 
@@ -223,6 +232,10 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
         let min_pts = self.params.min_pts as u32;
         let mut new_cores: Vec<u32> = Vec::new();
         self.recs[id as usize].count = seeds.len() as u32;
+        // Read-path dirt: the new point needs anchors; promotions below
+        // additionally dirty every point in the promoted ball (their
+        // anchor sets gain a core point).
+        self.snap.mark(id);
         if seeds.len() as u32 >= min_pts {
             new_cores.push(id);
         }
@@ -253,6 +266,9 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
                 self.range(&qp, &mut tmp);
                 ball.clear();
                 ball.extend_from_slice(&tmp);
+            }
+            for &(r, _) in &ball {
+                self.snap.mark(r);
             }
             let mut label = self.recs[q as usize].label;
             for &(r, _) in &ball {
@@ -297,6 +313,9 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             r.label = NO_LABEL;
         }
         self.alive -= 1;
+        // Read-path dirt: the departing point's ball loses it (and may
+        // lose a core anchor); demotions below dirty their balls too.
+        self.snap.mark_dead(id);
         let min_pts = self.params.min_pts as u32;
         // Decrement counts; collect demotions.
         let mut demoted: Vec<u32> = Vec::new();
@@ -304,6 +323,7 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             if q == id {
                 continue;
             }
+            self.snap.mark(q);
             let r = &mut self.recs[q as usize];
             r.count -= 1;
             if r.core && r.count < min_pts {
@@ -326,6 +346,7 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             let qp = self.recs[q as usize].coords;
             self.range(&qp, &mut tmp);
             for &(r, _) in &tmp {
+                self.snap.mark(r);
                 if self.recs[r as usize].core {
                     bfs_seeds.push(r);
                 }
@@ -364,7 +385,10 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
         let batch_start = self.recs.len() as u32;
         let min_pts = self.params.min_pts as u32;
 
-        // Phase 1: index the whole batch.
+        // Phase 1: index the whole batch in one block — the R-tree
+        // bulk-loads it by sort-tile packing instead of paying one
+        // choose-leaf/split walk per point.
+        let mut block: Vec<(Point<D>, u32)> = Vec::with_capacity(pts.len());
         let ids: Vec<u32> = pts
             .iter()
             .map(|p| {
@@ -377,10 +401,12 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
                     core: false,
                 });
                 self.alive += 1;
-                self.index.insert(*p, id);
+                self.snap.mark(id);
+                block.push((*p, id));
                 id
             })
             .collect();
+        self.index.insert_block(&block);
 
         // Phase 2 (parallel): one range query per batch point against
         // the final, now-stable index, retained for reuse. Queries only
@@ -439,6 +465,11 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             } else {
                 &ball
             };
+            // Read-path dirt: every point in a promoted ball gains a
+            // core anchor candidate.
+            for &(r, _) in b {
+                self.snap.mark(r);
+            }
             let mut label = self.recs[q as usize].label;
             for &(r, _) in b {
                 if r == q || !self.recs[r as usize].core {
@@ -495,6 +526,7 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             r.core = false;
             r.label = NO_LABEL;
             self.alive -= 1;
+            self.snap.mark_dead(id);
             dead.push((p, was_core));
         }
 
@@ -517,6 +549,9 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
         let mut bfs_seeds: Vec<u32> = Vec::new();
         for (ball, &(_, was_core)) in balls.iter().zip(&dead) {
             for &(q, _) in ball {
+                // Read-path dirt: a survivor near a departed (possibly
+                // core) point may lose an anchor.
+                self.snap.mark(q);
                 let r = &mut self.recs[q as usize];
                 r.count -= 1;
                 if r.core && r.count < min_pts {
@@ -540,7 +575,12 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
         self.stats.range_queries += demoted_balls.len() as u64;
         self.stats.points_touched += demoted_balls.iter().map(|b| b.len() as u64).sum::<u64>();
         for ball in &demoted_balls {
-            bfs_seeds.extend(ball.iter().map(|&(r, _)| r));
+            for &(r, _) in ball {
+                // Read-path dirt: a demotion removes an anchor from its
+                // whole ball.
+                self.snap.mark(r);
+                bfs_seeds.push(r);
+            }
         }
         bfs_seeds.retain(|&q| self.recs[q as usize].core);
         bfs_seeds.sort_unstable();
@@ -694,9 +734,83 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
         }
     }
 
+    /// Refreshes (if dirty) and returns the current epoch snapshot: core
+    /// points' labels are resolved through the merge-history union-find
+    /// without path compression, and only points near the updates since
+    /// the last read boundary get their anchors (in-ball core points)
+    /// re-queried.
+    fn refresh(&self) -> Arc<ClusterSnapshot> {
+        let eps = self.params.eps;
+        self.snap.read_with(
+            self.recs.len(),
+            || {
+                self.recs
+                    .iter()
+                    .map(|r| {
+                        if r.core {
+                            self.labels.root_of(r.label) as u64
+                        } else {
+                            0 // never anchored to: only core ids are anchors
+                        }
+                    })
+                    .collect()
+            },
+            |pid, emit| {
+                let r = &self.recs[pid as usize];
+                if !r.alive {
+                    return; // died after it was marked dirty
+                }
+                if r.core {
+                    emit(pid, true, Anchors::One(pid));
+                } else {
+                    let mut ball = Vec::new();
+                    self.index.collect_within(&r.coords, eps, &mut ball);
+                    let mut cores: Vec<u32> = ball
+                        .into_iter()
+                        .filter(|&(q, _)| self.recs[q as usize].core)
+                        .map(|(q, _)| q)
+                        .collect();
+                    cores.sort_unstable();
+                    cores.dedup();
+                    emit(pid, false, Anchors::from_sorted(&cores));
+                }
+            },
+        )
+    }
+
+    /// The current epoch snapshot — `Arc`-share it with reader threads
+    /// and keep applying updates; their answers stay frozen at this
+    /// epoch.
+    pub fn snapshot(&self) -> Arc<ClusterSnapshot> {
+        self.refresh()
+    }
+
     /// Answers a C-group-by query (grouping by resolved cluster labels;
-    /// border points resolved by a range query).
-    pub fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+    /// border points honor DBSCAN's multi-membership semantics). Panics
+    /// on dead ids; see [`try_group_by`](Self::try_group_by).
+    pub fn group_by(&self, q: &[PointId]) -> GroupBy {
+        self.refresh().group_by(q)
+    }
+
+    /// Fallible [`group_by`](Self::group_by): dead/unknown ids return
+    /// [`QueryError::DeadPoint`] naming the id instead of panicking.
+    pub fn try_group_by(&self, q: &[PointId]) -> Result<GroupBy, QueryError> {
+        self.refresh().try_group_by(q)
+    }
+
+    /// The full clustering (`Q = P`), fanned across the persistent
+    /// worker pool in id-range chunks — bit-identical to the sequential
+    /// scan at every thread count.
+    pub fn group_all(&self) -> Clustering {
+        let snap = self.refresh();
+        dydbscan_core::snapshot::group_all_pooled(&snap, &self.snap, &self.pipeline)
+    }
+
+    /// The pre-snapshot query walk (label resolution through the
+    /// mutating union-find, border points by live range query): the
+    /// differential-testing oracle the snapshot path is checked against.
+    #[doc(hidden)]
+    pub fn direct_group_by(&mut self, q: &[PointId]) -> GroupBy {
         let mut by_label: FxHashMap<u32, Vec<PointId>> = FxHashMap::default();
         let mut noise = Vec::new();
         let mut ball = Vec::new();
@@ -732,10 +846,11 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
         out
     }
 
-    /// The full clustering (`Q = P`).
-    pub fn group_all(&mut self) -> Clustering {
+    /// `Q = P` through [`direct_group_by`](Self::direct_group_by).
+    #[doc(hidden)]
+    pub fn direct_group_all(&mut self) -> Clustering {
         let ids = self.alive_ids();
-        self.group_by(&ids)
+        self.direct_group_by(&ids)
     }
 }
 
@@ -772,11 +887,19 @@ impl<const D: usize, I: RangeIndex<D>> DynamicClusterer<D> for IncDbscan<D, I> {
         IncDbscan::alive_ids(self)
     }
 
-    fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+    fn snapshot(&self) -> Arc<ClusterSnapshot> {
+        IncDbscan::snapshot(self)
+    }
+
+    fn group_by(&self, q: &[PointId]) -> GroupBy {
         IncDbscan::group_by(self, q)
     }
 
-    fn group_all(&mut self) -> Clustering {
+    fn try_group_by(&self, q: &[PointId]) -> Result<GroupBy, QueryError> {
+        IncDbscan::try_group_by(self, q)
+    }
+
+    fn group_all(&self) -> Clustering {
         IncDbscan::group_all(self)
     }
 
@@ -805,6 +928,7 @@ impl<const D: usize, I: RangeIndex<D>> DynamicClusterer<D> for IncDbscan<D, I> {
             ..ClustererStats::default()
         }
         .with_flush(self.pipeline.stats())
+        .with_snapshot(&self.snap)
     }
 }
 

@@ -17,6 +17,15 @@ use dydbscan_spatial::RTree;
 pub trait RangeIndex<const D: usize>: Default + Sync {
     /// Inserts `(p, id)`; pairs must be unique.
     fn insert(&mut self, p: Point<D>, id: u32);
+    /// Inserts a block of entries. The default loops over
+    /// [`insert`](Self::insert); backends with a cheaper bulk path (the
+    /// R-tree's sort-tile packing) override it. `IncDbscan`'s batched
+    /// insert pipeline indexes each batch through this.
+    fn insert_block(&mut self, entries: &[(Point<D>, u32)]) {
+        for &(p, id) in entries {
+            self.insert(p, id);
+        }
+    }
     /// Removes `(p, id)`; returns `true` if present.
     fn remove(&mut self, p: &Point<D>, id: u32) -> bool;
     /// Pushes every `(id, dist_sq)` within distance `r` of `q` onto `out`.
@@ -28,6 +37,10 @@ pub trait RangeIndex<const D: usize>: Default + Sync {
 impl<const D: usize> RangeIndex<D> for RTree<D> {
     fn insert(&mut self, p: Point<D>, id: u32) {
         RTree::insert(self, p, id);
+    }
+
+    fn insert_block(&mut self, entries: &[(Point<D>, u32)]) {
+        RTree::insert_block(self, entries);
     }
 
     fn remove(&mut self, p: &Point<D>, id: u32) -> bool {

@@ -13,6 +13,8 @@
 //!   table1                    measured costs per variant (Table 1 counterpart)
 //!   verify                    Section 8 correctness gates
 //!   batch                     batched vs looped update microbench
+//!   query                     snapshot read path: group_by / group_all /
+//!                             multi-reader throughput
 //!   all                       everything above
 //! ```
 //!
@@ -96,12 +98,12 @@ fn main() {
 
     let known = [
         "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "verify",
-        "batch",
+        "batch", "query",
     ];
     let selected: Vec<&str> = if command == "all" {
         vec![
             "verify", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "batch",
+            "fig15", "batch", "query",
         ]
     } else if known.contains(&command.as_str()) {
         vec![command.as_str()]
@@ -122,6 +124,7 @@ fn main() {
             "fig14" => report.add_figure("fig14", figures::fig14(&cfg)),
             "fig15" => report.add_figure("fig15", figures::fig15(&cfg)),
             "table1" => report.add_figure("table1", figures::table1(&cfg)),
+            "query" => report.add_figure("query", figures::query(&cfg, threads)),
             "verify" => {
                 let checks = figures::verify(&cfg);
                 checks_failed |= checks.iter().any(|(_, pass)| !pass);
@@ -177,7 +180,7 @@ fn parse<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|batch|all> \
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|batch|query|all> \
          [--n N] [--seed S] [--budget-secs B] [--samples K] [--batch-size B] [--threads T] \
          [--out PATH]\n\
          --out defaults to BENCH_scratch.json; pass --out BENCH_repro.json explicitly to \

@@ -443,6 +443,137 @@ pub fn table1(cfg: &ReproConfig) -> Vec<SeriesRecord> {
     records
 }
 
+/// Query-path throughput (new with the epoch-snapshot read path, not a
+/// paper figure): C-group-by op/sec at several `|Q|` sizes, full
+/// `group_all` at thread budgets `{1, threads}` (the pool-parallel
+/// id-range fan-out), and aggregate throughput of 4 reader threads
+/// hammering one published `Arc<ClusterSnapshot>` — the
+/// "serve queries while the owner updates" capability, measured.
+///
+/// Every series runs to a fixed repetition target (time-boxed, but
+/// always marked `finished`), so `BENCH_repro.json` op/sec is
+/// comparable across runs and the perf gate can band it.
+pub fn query(cfg: &ReproConfig, threads: usize) -> Vec<SeriesRecord> {
+    use dydbscan::geom::SplitMix64;
+    use std::hint::black_box;
+    use std::time::Instant;
+
+    let params = Params::new(PaperGrid::default_eps(2), MIN_PTS).with_rho(PaperGrid::RHO);
+    let threads = threads.max(1);
+    println!(
+        "\n== Query throughput (epoch snapshots), N = {}, threads = {threads}",
+        cfg.n
+    );
+    let slice = cfg
+        .budget
+        .map(|b| b / 8)
+        .unwrap_or_else(|| Duration::from_secs(2))
+        .min(Duration::from_secs(2));
+    let build = |t: usize| {
+        let mut c = dydbscan::FullDynDbscan::<2>::new(params).with_threads(t);
+        c.insert_batch(&dydbscan::seed_spreader::<2>(cfg.n, cfg.seed));
+        // Warm the snapshot: steady-state read throughput is the target,
+        // not the one-off refresh after the build.
+        black_box(c.snapshot().epoch());
+        c
+    };
+    let mut records = Vec::new();
+    let mut record = |series: String, ops: usize, total: Duration| {
+        let total_ns = total.as_nanos().max(1);
+        let r = SeriesRecord {
+            series: series.clone(),
+            ops,
+            finished: true,
+            total_ns,
+            avg_cost_us: total_ns as f64 / ops.max(1) as f64 / 1_000.0,
+            max_update_us: 0.0,
+        };
+        println!("  {series:<28} {:>12.0} op/s", r.ops_per_sec());
+        records.push(r);
+    };
+
+    let algo = build(threads);
+    let ids = algo.alive_ids();
+    let mut rng = SplitMix64::new(cfg.seed ^ 0x51AB);
+    // One sampling rule for every series: 64 query sets of `q_size`
+    // random alive ids.
+    let query_sets = |rng: &mut SplitMix64, q_size: usize| -> Vec<Vec<dydbscan::PointId>> {
+        let q_size = q_size.min(ids.len().max(1));
+        (0..64)
+            .map(|_| {
+                (0..q_size)
+                    .map(|_| ids[rng.next_below(ids.len() as u64) as usize])
+                    .collect()
+            })
+            .collect()
+    };
+
+    // group_by at several |Q| sizes
+    for q_size in [1usize, 64, 4096] {
+        let sets = query_sets(&mut rng, q_size);
+        let q_size = sets[0].len();
+        let t0 = Instant::now();
+        let mut ops = 0usize;
+        'outer: loop {
+            for set in &sets {
+                black_box(algo.group_by(set).num_groups());
+                ops += 1;
+                if ops >= 20_000 || (ops % 64 == 0 && t0.elapsed() >= slice) {
+                    break 'outer;
+                }
+            }
+        }
+        record(format!("group_by/q={q_size}"), ops, t0.elapsed());
+    }
+
+    // group_all: sequential scan vs the pool-parallel fan-out
+    for t in if threads > 1 {
+        vec![1usize, threads]
+    } else {
+        vec![1usize]
+    } {
+        let algo = build(t);
+        let t0 = Instant::now();
+        let mut ops = 0usize;
+        while ops < 50 && t0.elapsed() < slice {
+            black_box(algo.group_all().num_groups());
+            ops += 1;
+        }
+        record(format!("group_all/threads={t}"), ops, t0.elapsed());
+    }
+
+    // 4 reader threads over one published snapshot (aggregate op/sec)
+    {
+        let snap = algo.snapshot();
+        let sets = query_sets(&mut rng, 64);
+        let t0 = Instant::now();
+        let total: usize = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (snap, sets) = (&snap, &sets);
+                    s.spawn(move || {
+                        let started = Instant::now();
+                        let mut ops = 0usize;
+                        'outer: loop {
+                            for set in sets {
+                                black_box(snap.group_by(set).num_groups());
+                                ops += 1;
+                                if ops >= 5_000 || (ops % 64 == 0 && started.elapsed() >= slice) {
+                                    break 'outer;
+                                }
+                            }
+                        }
+                        ops
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        record("snapshot/readers=4/q=64".into(), total, t0.elapsed());
+    }
+    records
+}
+
 /// Section 8 correctness gate: (1) at `rho = 0.001`, Double-Approx must
 /// return the same clusters as static ρ-approximate DBSCAN (the paper's
 /// stringent requirement); (2) at aggressive `rho`, the sandwich guarantee

@@ -435,6 +435,24 @@ impl DynConnectivity for HdtConnectivity {
     fn num_vertices(&self) -> usize {
         self.loops.len()
     }
+
+    /// Labels come from level-0 Euler-tour roots via a pure
+    /// parent-pointer walk — `EulerForest::root_of` performs no treap
+    /// rotations, so the export never perturbs the structure. A vertex
+    /// whose level-0 loop was never materialized is necessarily isolated
+    /// (every edge materializes both endpoints in `F_0`) and labels as
+    /// its own singleton; the two namespaces are kept disjoint by
+    /// tagging root-derived labels with a high bit vertex ids (`u32`)
+    /// cannot carry.
+    fn export_labels(&self) -> Vec<CompId> {
+        const ROOT_TAG: CompId = 1 << 32;
+        (0..self.loops.len())
+            .map(|v| match self.loops[v].first() {
+                Some(&lv) if lv != NIL => ROOT_TAG | self.forests[0].root_of(lv) as CompId,
+                _ => v as CompId,
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -595,6 +613,30 @@ mod tests {
                     assert_eq!(h.component_id(u) == h.component_id(v), same_naive);
                 }
             }
+            // the non-mutating export must agree with the mutating CC-Id
+            let labels = h.export_labels();
+            assert_eq!(labels.len(), h.num_vertices());
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    assert_eq!(
+                        labels[u as usize] == labels[v as usize],
+                        naive[u as usize] == naive[v as usize],
+                        "seed {seed} export mismatch ({u},{v})"
+                    );
+                }
+            }
         }
+    }
+
+    #[test]
+    fn export_labels_handles_isolated_and_connected_vertices() {
+        let mut h = HdtConnectivity::new();
+        h.insert_edge(0, 1);
+        h.ensure_vertex(4); // 2 and 3 exist but never got level-0 loops
+        let labels = h.export_labels();
+        assert_eq!(labels.len(), 5);
+        assert_eq!(labels[0], labels[1]);
+        let distinct: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(distinct.len(), 4, "{{0,1}}, {{2}}, {{3}}, {{4}}");
     }
 }

@@ -55,4 +55,17 @@ pub trait DynConnectivity {
 
     /// Number of vertices currently known.
     fn num_vertices(&self) -> usize;
+
+    /// Exports one component label per known vertex (index = vertex id)
+    /// **without mutating the structure** — no union-find path
+    /// compression, no treap rotations, no lazy rebuild committed back.
+    ///
+    /// This is the read-path export the clusterers' epoch snapshots are
+    /// built from: a snapshot refresh runs under `&self` (possibly while
+    /// other threads hold older snapshots), so `CC-Id` lookups that
+    /// mutate on read cannot be used there. Labels follow the same
+    /// contract as [`component_id`](Self::component_id) — two vertices
+    /// share a label iff they are connected — but the two namespaces are
+    /// independent: only compare labels from one `export_labels` call.
+    fn export_labels(&self) -> Vec<CompId>;
 }

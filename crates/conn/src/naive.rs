@@ -29,27 +29,35 @@ impl NaiveConnectivity {
         self.edge_count
     }
 
-    fn rebuild(&mut self) {
-        let n = self.adj.len();
-        self.labels = vec![u32::MAX; n];
+    /// BFS component labels of an adjacency structure, into a fresh
+    /// vector (shared by the committing [`rebuild`](Self::rebuild) and
+    /// the non-mutating `export_labels`).
+    fn compute_labels(adj: &[FxHashSet<u32>]) -> Vec<u32> {
+        let n = adj.len();
+        let mut labels = vec![u32::MAX; n];
         let mut next = 0u32;
         let mut stack = Vec::new();
         for s in 0..n {
-            if self.labels[s] != u32::MAX {
+            if labels[s] != u32::MAX {
                 continue;
             }
-            self.labels[s] = next;
+            labels[s] = next;
             stack.push(s as u32);
             while let Some(x) = stack.pop() {
-                for &y in &self.adj[x as usize] {
-                    if self.labels[y as usize] == u32::MAX {
-                        self.labels[y as usize] = next;
+                for &y in &adj[x as usize] {
+                    if labels[y as usize] == u32::MAX {
+                        labels[y as usize] = next;
                         stack.push(y);
                     }
                 }
             }
             next += 1;
         }
+        labels
+    }
+
+    fn rebuild(&mut self) {
+        self.labels = Self::compute_labels(&self.adj);
         self.dirty = false;
     }
 
@@ -117,6 +125,18 @@ impl DynConnectivity for NaiveConnectivity {
     fn num_vertices(&self) -> usize {
         self.adj.len()
     }
+
+    /// Reuses the cached labels when clean; when dirty, recomputes into a
+    /// fresh vector without committing it (the lazily-rebuilt cache stays
+    /// untouched, as the non-mutating contract requires).
+    fn export_labels(&self) -> Vec<CompId> {
+        let labels = if !self.dirty && self.labels.len() == self.adj.len() {
+            self.labels.clone()
+        } else {
+            Self::compute_labels(&self.adj)
+        };
+        labels.into_iter().map(|l| l as CompId).collect()
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +163,22 @@ mod tests {
         c.insert_edge(2, 3);
         assert_eq!(c.component_id(0), c.component_id(1));
         assert_ne!(c.component_id(0), c.component_id(2));
+    }
+
+    #[test]
+    fn export_labels_works_while_dirty() {
+        let mut c = NaiveConnectivity::new();
+        c.insert_edge(0, 1);
+        c.insert_edge(2, 3);
+        // still dirty: no query ran since the last edge insert
+        let labels = c.export_labels();
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert!(c.dirty, "export must not commit the lazy rebuild");
+        // clean path reuses the cache and agrees
+        assert!(c.connected(0, 1));
+        let clean = c.export_labels();
+        assert_eq!(clean[2], clean[3]);
     }
 }

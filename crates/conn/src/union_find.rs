@@ -88,6 +88,55 @@ impl UnionFind {
         true
     }
 
+    /// Representative of `v`'s set **without path compression** — a pure
+    /// parent-chain walk usable under `&self` (snapshot refreshes read
+    /// labels while other threads may hold references). With union by
+    /// size the chain is `O(log n)` even if `find` never ran.
+    pub fn root_of(&self, mut v: u32) -> u32 {
+        loop {
+            let p = self.parent[v as usize];
+            if p == v {
+                return v;
+            }
+            v = p;
+        }
+    }
+
+    /// One label per element (index = element), computed without mutating
+    /// the structure (see [`root_of`](Self::root_of)). Memoizes along
+    /// each walked chain locally, so the export is near-linear.
+    pub fn export_labels(&self) -> Vec<crate::CompId> {
+        const UNSET: u32 = u32::MAX;
+        let n = self.parent.len();
+        let mut roots: Vec<u32> = vec![UNSET; n];
+        let mut chain: Vec<u32> = Vec::new();
+        for v in 0..n as u32 {
+            if roots[v as usize] != UNSET {
+                continue;
+            }
+            chain.clear();
+            let mut x = v;
+            loop {
+                let p = self.parent[x as usize];
+                if p == x || roots[x as usize] != UNSET {
+                    break;
+                }
+                chain.push(x);
+                x = p;
+            }
+            let root = if roots[x as usize] != UNSET {
+                roots[x as usize]
+            } else {
+                x
+            };
+            roots[x as usize] = root;
+            for &c in &chain {
+                roots[c as usize] = root;
+            }
+        }
+        roots.into_iter().map(|r| r as crate::CompId).collect()
+    }
+
     /// Whether `a` and `b` are in the same set.
     pub fn same(&mut self, a: u32, b: u32) -> bool {
         self.find(a) == self.find(b)
@@ -129,6 +178,10 @@ impl crate::DynConnectivity for UnionFind {
 
     fn num_vertices(&self) -> usize {
         self.len()
+    }
+
+    fn export_labels(&self) -> Vec<crate::CompId> {
+        UnionFind::export_labels(self)
     }
 }
 
@@ -181,6 +234,35 @@ mod tests {
             assert_eq!(uf.find(i), r);
         }
         assert_eq!(uf.num_sets(), 1);
+    }
+
+    #[test]
+    fn export_labels_matches_find_and_does_not_mutate() {
+        use dydbscan_geom::SplitMix64;
+        let mut rng = SplitMix64::new(0xF00D);
+        let n = 96u32;
+        let mut uf = UnionFind::with_len(n as usize);
+        for _ in 0..150 {
+            uf.union(
+                rng.next_below(n as u64) as u32,
+                rng.next_below(n as u64) as u32,
+            );
+        }
+        let parents_before = uf.parent.clone();
+        let labels = uf.export_labels();
+        assert_eq!(
+            uf.parent, parents_before,
+            "export_labels must not path-compress"
+        );
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(
+                    labels[a as usize] == labels[b as usize],
+                    uf.same(a, b),
+                    "labels must mirror connectivity ({a},{b})"
+                );
+            }
+        }
     }
 
     #[test]

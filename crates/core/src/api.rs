@@ -17,7 +17,9 @@ use crate::groups::{Clustering, GroupBy};
 use crate::ops::Op;
 use crate::params::{validate_point, validate_points, ParamError, Params};
 use crate::points::PointId;
+use crate::snapshot::{ClusterSnapshot, QueryError, SnapshotState};
 use dydbscan_geom::Point;
+use std::sync::Arc;
 
 /// Operation counters common to every clusterer, for cost provenance.
 ///
@@ -73,6 +75,18 @@ pub struct ClustererStats {
     /// the pool (only counted when the phase engaged more than one
     /// worker).
     pub gum_parallel_rounds: u64,
+    /// Snapshot refreshes performed — epochs the read path advanced
+    /// through. Refreshes are dirty-driven: back-to-back queries with no
+    /// updates in between share one epoch.
+    pub snapshot_refreshes: u64,
+    /// Dirty keys (grid cells, or points for IncDBSCAN) whose anchor
+    /// sets were recomputed, summed over every refresh. Against
+    /// `snapshot_refreshes` this exposes how well the dirty tracking
+    /// amortizes: only *changed* cells pay geometric re-snapping.
+    pub snapshot_cells_relabeled: u64,
+    /// Id-range chunks dispatched by pool-parallel `group_all` runs
+    /// (only counted when the fan-out engaged more than one worker).
+    pub query_parallel_tasks: u64,
 }
 
 impl ClustererStats {
@@ -87,6 +101,16 @@ impl ClustererStats {
         self.pool_reuse_count = f.pool_reuse_count;
         self.phase1_parallel_tasks = f.phase1_parallel_tasks;
         self.gum_parallel_rounds = f.gum_parallel_rounds;
+        self
+    }
+
+    /// Folds the shared snapshot/read-path counters into the stats
+    /// (every engine reports them identically).
+    pub fn with_snapshot(mut self, state: &SnapshotState) -> Self {
+        let (refreshes, relabeled, query_tasks) = state.counter_values();
+        self.snapshot_refreshes = refreshes;
+        self.snapshot_cells_relabeled = relabeled;
+        self.query_parallel_tasks = query_tasks;
         self
     }
 }
@@ -176,13 +200,51 @@ pub trait DynamicClusterer<const D: usize> {
     /// Ids of all alive points, in insertion order.
     fn alive_ids(&self) -> Vec<PointId>;
 
-    /// Answers a C-group-by query over `q`.
-    fn group_by(&mut self, q: &[PointId]) -> GroupBy;
+    /// The current epoch snapshot — an immutable, `Arc`-publishable view
+    /// of the clustering (see [`ClusterSnapshot`]). If updates dirtied
+    /// the read path since the last read boundary, this refreshes it
+    /// first (amortized over the changed cells only). Hand clones of the
+    /// `Arc` to as many reader threads as you like: they keep answering
+    /// group-by queries at this epoch while the owner applies the next
+    /// batch.
+    fn snapshot(&self) -> Arc<ClusterSnapshot>;
 
-    /// The full clustering (`Q = P`).
-    fn group_all(&mut self) -> Clustering {
-        let ids = self.alive_ids();
-        self.group_by(&ids)
+    /// Answers a C-group-by query over `q`.
+    ///
+    /// # Panics
+    ///
+    /// On deleted or unknown ids (see
+    /// [`try_group_by`](Self::try_group_by) for the typed boundary).
+    fn group_by(&self, q: &[PointId]) -> GroupBy {
+        self.snapshot().group_by(q)
+    }
+
+    /// Fallible [`group_by`](Self::group_by): a dead or unknown id
+    /// rejects the query with [`QueryError::DeadPoint`] naming the id
+    /// instead of panicking — the query boundary for id sets of
+    /// uncertain provenance (mirrors `try_insert` on the write side).
+    fn try_group_by(&self, q: &[PointId]) -> Result<GroupBy, QueryError> {
+        self.snapshot().try_group_by(q)
+    }
+
+    /// The full clustering (`Q = P`). Engines override this to fan the
+    /// point ranges across their persistent worker pool; the result is
+    /// bit-identical to the sequential scan at every thread count.
+    fn group_all(&self) -> Clustering {
+        self.snapshot().group_all()
+    }
+
+    /// The pre-snapshot `&mut` query signature, kept for one release.
+    #[deprecated(since = "0.3.0", note = "group_by takes &self now; call it directly")]
+    fn group_by_mut(&mut self, q: &[PointId]) -> GroupBy {
+        self.group_by(q)
+    }
+
+    /// The pre-snapshot `&mut` full-clustering signature, kept for one
+    /// release.
+    #[deprecated(since = "0.3.0", note = "group_all takes &self now; call it directly")]
+    fn group_all_mut(&mut self) -> Clustering {
+        self.group_all()
     }
 
     /// Common operation counters (see [`ClustererStats`]).

@@ -68,10 +68,13 @@ pub enum FlushPhase {
 ///
 /// All three engines — `SemiDynDbscan`, `FullDynDbscan`, and the
 /// `IncDbscan` baseline — drive their batched entry points through one
-/// of these.
+/// of these. The pool sits behind a [`Mutex`](std::sync::Mutex) so the
+/// `&self` read path ([`run_query`](Self::run_query) — the
+/// `group_all` fan-out) can borrow the same crew the flushes use;
+/// flush phases hold `&mut self` and reach it lock-free via `get_mut`.
 #[derive(Debug)]
 pub struct FlushPipeline {
-    pool: WorkerPool,
+    pool: std::sync::Mutex<WorkerPool>,
     stats: FlushStats,
 }
 
@@ -86,7 +89,7 @@ impl FlushPipeline {
     /// logical CPU).
     pub fn new() -> Self {
         Self {
-            pool: WorkerPool::new(crate::parallel::default_threads()),
+            pool: std::sync::Mutex::new(WorkerPool::new(crate::parallel::default_threads())),
             stats: FlushStats::default(),
         }
     }
@@ -95,25 +98,25 @@ impl FlushPipeline {
     /// sequential path). A live crew of the wrong size is torn down and
     /// respawned lazily by the next parallel flush.
     pub fn set_threads(&mut self, threads: usize) {
-        self.pool.set_budget(threads);
+        self.pool.get_mut().unwrap().set_budget(threads);
     }
 
     /// The thread budget.
     pub fn threads(&self) -> usize {
-        self.pool.budget()
+        self.pool.lock().unwrap().budget()
     }
 
     /// Whether the crew threads are currently spawned (and parked
     /// between flushes). Spawning is lazy: `false` until the first
     /// flush phase that actually goes parallel.
     pub fn pool_spawned(&self) -> bool {
-        self.pool.is_spawned()
+        self.pool.lock().unwrap().is_spawned()
     }
 
     /// The flush counters (with the pool-reuse count folded in).
     pub fn stats(&self) -> FlushStats {
         let mut s = self.stats;
-        s.pool_reuse_count = self.pool.reuse_count();
+        s.pool_reuse_count = self.pool.lock().unwrap().reuse_count();
         s
     }
 
@@ -138,7 +141,7 @@ impl FlushPipeline {
         tasks: usize,
         run: impl Fn(usize) -> R + Sync,
     ) -> Vec<R> {
-        let (results, workers) = self.pool.run(tasks, run);
+        let (results, workers) = self.pool.get_mut().unwrap().run(tasks, run);
         if workers > 1 {
             self.stats.parallel_workers += workers as u64;
             match phase {
@@ -151,6 +154,22 @@ impl FlushPipeline {
             }
         }
         results
+    }
+
+    /// The `&self` twin of [`run`](Self::run), for the read path: fans
+    /// `run(i)` for `i in 0..tasks` across the same persistent crew and
+    /// returns `(results, workers_engaged)` in task order. Concurrent
+    /// `&self` callers (several reader threads driving `group_all` on
+    /// one engine) serialize on the pool lock; results stay
+    /// bit-identical to the inline path at every thread count. Query
+    /// fan-outs are counted by the engines' snapshot counters, not the
+    /// flush counters.
+    pub fn run_query<R: Send>(
+        &self,
+        tasks: usize,
+        run: impl Fn(usize) -> R + Sync,
+    ) -> (Vec<R>, usize) {
+        self.pool.lock().unwrap().run(tasks, run)
     }
 }
 

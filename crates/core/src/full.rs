@@ -29,9 +29,11 @@ use crate::groups::{Clustering, GroupBy};
 use crate::params::Params;
 use crate::points::{PointArena, PointId};
 use crate::query::c_group_by;
+use crate::snapshot::{Anchors, ClusterSnapshot, QueryError, SnapshotState};
 use dydbscan_conn::{DynConnectivity, HdtConnectivity};
 use dydbscan_geom::{dist_sq, FxHashMap, FxHashSet, Point};
 use dydbscan_grid::{CellId, GridIndex, NeighborScope};
+use std::sync::Arc;
 
 /// Operation counters for provenance analysis in the benchmarks. The
 /// shared batch/parallelism counters live in the engine's
@@ -89,6 +91,10 @@ pub struct FullDynDbscan<const D: usize, C: DynConnectivity = HdtConnectivity> {
     /// The batch flush pipeline: thread budget, persistent worker pool,
     /// shared flush counters.
     pipeline: crate::batch::FlushPipeline,
+    /// The epoch-snapshot state behind the `&self` read path: updates
+    /// mark the cells they touch dirty; queries refresh amortized over
+    /// those cells only.
+    snap: SnapshotState,
     stats: FullStats,
 }
 
@@ -113,6 +119,7 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             instance_ids: FxHashMap::default(),
             cell_instances: Vec::new(),
             pipeline: crate::batch::FlushPipeline::new(),
+            snap: SnapshotState::new(),
             stats: FullStats::default(),
         }
     }
@@ -206,12 +213,17 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
 
     /// Number of (preliminary) clusters: connected components of the grid
     /// graph over core cells. `O(#cells)` — a monitoring helper, not part
-    /// of the paper's query interface.
-    pub fn num_clusters(&mut self) -> usize {
+    /// of the paper's query interface. Reads labels through the
+    /// non-mutating export, so it shares the read path's `&self`
+    /// contract.
+    pub fn num_clusters(&self) -> usize {
+        let labels = self.conn.export_labels();
         let mut roots: FxHashMap<u64, ()> = FxHashMap::default();
         for c in 0..self.grid.num_cells() as CellId {
             if self.grid.cell(c).is_core_cell() {
-                roots.insert(self.conn.component_id(c), ());
+                // Core cells are always in V (ensured on joining), so the
+                // export covers them.
+                roots.insert(labels[c as usize], ());
             }
         }
         roots.len()
@@ -236,6 +248,7 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         while self.cell_instances.len() <= cell as usize {
             self.cell_instances.push(Vec::new());
         }
+        self.snap.mark(cell);
 
         let min_pts = self.params.min_pts;
         let count = self.grid.cell(cell).count();
@@ -320,7 +333,7 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         // coordinate mapping runs on the pool; materialization and
         // grouping stay sequential; tree maintenance is deferred to
         // amortized doubling rebuilds inside `CellSet`).
-        let cell_instances = &mut self.cell_instances;
+        let (cell_instances, snap) = (&mut self.cell_instances, &mut self.snap);
         let (ids, groups) = crate::batch::place_batch(
             &mut self.pipeline,
             &mut self.grid,
@@ -330,6 +343,7 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
                 while cell_instances.len() <= c as usize {
                     cell_instances.push(Vec::new());
                 }
+                snap.mark(c);
             },
         );
 
@@ -443,6 +457,11 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         let blocks =
             crate::batch::extend_core_blocks(&mut self.grid, &mut self.points, promotions, true);
         self.stats.promotions += promotions.len() as u64;
+        // A grown core block changes emptiness answers for every
+        // eps-close cell's non-core residents: dirty the whole scope.
+        for b in &blocks {
+            crate::snapshot::mark_eps_scope(&mut self.snap, &self.grid, b.cell);
+        }
 
         // One de-listing round per pre-existing instance of the cells
         // that were already core (deduped: an instance whose both sides
@@ -548,6 +567,7 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         for (moved, new_slot) in self.grid.remove_point_at(cell, slot).iter() {
             self.points.get_mut(moved).slot = new_slot;
         }
+        self.snap.mark(cell);
         (cell, p)
     }
 
@@ -561,6 +581,7 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             self.on_lost_core(id, p);
         }
         self.points.kill(id);
+        self.snap.mark_dead(id);
         (cell, p)
     }
 
@@ -641,6 +662,7 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             // state is touched; the record's location fields survive the
             // kill for the GUM flush below.
             self.points.kill(id);
+            self.snap.mark_dead(id);
         }
         self.flush_core_removals(&core_removals);
         let groups = crate::batch::group_by_cell(&cells);
@@ -711,6 +733,9 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         let cells_of: Vec<CellId> = removals.iter().map(|&q| self.points.get(q).cell).collect();
         let groups = crate::batch::group_by_cell(&cells_of);
         for (cell, members) in &groups {
+            // A shrunken core block changes emptiness answers for
+            // every eps-close cell's non-core residents.
+            crate::snapshot::mark_eps_scope(&mut self.snap, &self.grid, *cell);
             let removed: Vec<PointId> = members.iter().map(|&k| removals[k as usize]).collect();
             for &q in &removed {
                 // Departing points are already killed (which clears the
@@ -779,6 +804,9 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             rec.core_slot = core_slot;
             rec.log_pos = log_pos;
         }
+        // Core-block growth dirties the whole eps scope (see
+        // `flush_promotions`).
+        crate::snapshot::mark_eps_scope(&mut self.snap, &self.grid, cell);
 
         if !was_core_cell {
             self.gum_cell_joins_v(cell);
@@ -851,6 +879,9 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             self.points.get_mut(moved).core_slot = new_slot;
         }
         self.grid.cell_mut(cell).core_log.kill(log_pos);
+        // A shrunken core block changes emptiness answers across the
+        // eps scope.
+        crate::snapshot::mark_eps_scope(&mut self.snap, &self.grid, cell);
 
         if !self.grid.cell(cell).is_core_cell() {
             self.destroy_cell_instances(cell);
@@ -949,16 +980,74 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
     // Queries
     // ------------------------------------------------------------------
 
-    /// Answers a C-group-by query over `q` in `O~(|Q|)` time.
-    pub fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+    /// Refreshes (if dirty) and returns the current epoch snapshot: the
+    /// CC labels are exported without treap rotations
+    /// ([`DynConnectivity::export_labels`]), and only the cells updates
+    /// touched get their anchors re-snapped.
+    fn refresh(&self) -> Arc<ClusterSnapshot> {
+        self.snap.read_with(
+            self.points.capacity_ids(),
+            || self.conn.export_labels(),
+            |cell, emit| {
+                let cell_obj = self.grid.cell(cell);
+                for (slot, &pid) in cell_obj.all.items().iter().enumerate() {
+                    if self.points.is_core(pid) {
+                        emit(pid, true, Anchors::One(cell));
+                    } else {
+                        let qp = cell_obj.all.point(slot as u32);
+                        emit(
+                            pid,
+                            false,
+                            crate::query::non_core_anchors(&self.grid, cell, qp),
+                        );
+                    }
+                }
+            },
+        )
+    }
+
+    /// The current epoch snapshot — `Arc`-share it with reader threads
+    /// and keep applying updates; their answers stay frozen at this
+    /// epoch while the next one is built copy-on-write.
+    pub fn snapshot(&self) -> Arc<ClusterSnapshot> {
+        self.refresh()
+    }
+
+    /// Answers a C-group-by query over `q` in `O~(|Q|)` time (plus a
+    /// dirty-amortized snapshot refresh if updates preceded it). Panics
+    /// on dead ids; see [`try_group_by`](Self::try_group_by).
+    pub fn group_by(&self, q: &[PointId]) -> GroupBy {
+        self.refresh().group_by(q)
+    }
+
+    /// Fallible [`group_by`](Self::group_by): dead/unknown ids return
+    /// [`QueryError::DeadPoint`] naming the id instead of panicking.
+    pub fn try_group_by(&self, q: &[PointId]) -> Result<GroupBy, QueryError> {
+        self.refresh().try_group_by(q)
+    }
+
+    /// The full clustering (`Q = P`), fanned across the persistent
+    /// worker pool in id-range chunks — bit-identical to the sequential
+    /// scan at every thread count.
+    pub fn group_all(&self) -> Clustering {
+        let snap = self.refresh();
+        crate::snapshot::group_all_pooled(&snap, &self.snap, &self.pipeline)
+    }
+
+    /// The pre-snapshot query walk (`CC-Id` lookups through the live —
+    /// mutating — connectivity structure): the differential-testing
+    /// oracle the snapshot path is checked against.
+    #[doc(hidden)]
+    pub fn direct_group_by(&mut self, q: &[PointId]) -> GroupBy {
         let conn = &mut self.conn;
         c_group_by(q, &self.points, &self.grid, |cell| conn.component_id(cell))
     }
 
-    /// The full clustering (`Q = P`).
-    pub fn group_all(&mut self) -> Clustering {
+    /// `Q = P` through [`direct_group_by`](Self::direct_group_by).
+    #[doc(hidden)]
+    pub fn direct_group_all(&mut self) -> Clustering {
         let ids: Vec<PointId> = self.points.iter_alive().map(|(i, _)| i).collect();
-        self.group_by(&ids)
+        self.direct_group_by(&ids)
     }
 
     /// Validates internal cross-structure invariants (test support; cost
@@ -1058,11 +1147,19 @@ impl<const D: usize, C: DynConnectivity> DynamicClusterer<D> for FullDynDbscan<D
         FullDynDbscan::alive_ids(self)
     }
 
-    fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+    fn snapshot(&self) -> Arc<ClusterSnapshot> {
+        FullDynDbscan::snapshot(self)
+    }
+
+    fn group_by(&self, q: &[PointId]) -> GroupBy {
         FullDynDbscan::group_by(self, q)
     }
 
-    fn group_all(&mut self) -> Clustering {
+    fn try_group_by(&self, q: &[PointId]) -> Result<GroupBy, QueryError> {
+        FullDynDbscan::try_group_by(self, q)
+    }
+
+    fn group_all(&self) -> Clustering {
         FullDynDbscan::group_all(self)
     }
 
@@ -1085,6 +1182,7 @@ impl<const D: usize, C: DynConnectivity> DynamicClusterer<D> for FullDynDbscan<D
             ..ClustererStats::default()
         }
         .with_flush(self.pipeline.stats())
+        .with_snapshot(&self.snap)
     }
 }
 

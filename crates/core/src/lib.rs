@@ -74,6 +74,7 @@ pub mod params;
 pub mod points;
 pub mod query;
 pub mod semi;
+pub mod snapshot;
 pub mod static_dbscan;
 pub mod usec;
 pub mod verify;
@@ -86,6 +87,7 @@ pub use ops::Op;
 pub use params::{validate_point, validate_points, ParamError, Params};
 pub use points::{PointArena, PointId, PointRec};
 pub use semi::{SemiDynDbscan, SemiStats};
+pub use snapshot::{ClusterSnapshot, QueryError};
 pub use static_dbscan::{brute_force_exact, static_cluster};
 pub use usec::{solve_usec, solve_usec_ls_via_clustering, UsecInstance};
 pub use verify::{check_containment, check_sandwich, relabel};

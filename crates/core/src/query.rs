@@ -1,34 +1,73 @@
-//! The C-group-by query algorithm (paper Section 4.2).
+//! The C-group-by query algorithm (paper Section 4.2) — now split into
+//! a *refresh-time* half and a *query-time* half.
 //!
-//! All our solutions answer C-group-by queries identically, on top of three
-//! structures: the core-status labels (stored per point), the per-core-cell
-//! emptiness structures, and the CC structure over the grid graph.
-//!
-//! For a query set `Q`:
+//! All our solutions answer C-group-by queries identically, on top of
+//! three structures: the core-status labels (stored per point), the
+//! per-core-cell emptiness structures, and the CC structure over the
+//! grid graph. For a query set `Q`:
 //!
 //! * A **core** point `q` gets the single cluster id `CC-Id(cell(q))`.
 //! * A **non-core** point `q` is *snapped* to nearby core cells: its own
 //!   cell (if core) contributes its CC id (any core point of the cell is
-//!   within `eps` since the cell diameter is `eps`); each `eps`-close core
-//!   cell `c'` contributes `CC-Id(c')` iff the emptiness query
-//!   `empty(q, c')` returns a proof point. A non-core point with no ids is
-//!   noise.
+//!   within `eps` since the cell diameter is `eps`); each `eps`-close
+//!   core cell `c'` contributes `CC-Id(c')` iff the emptiness query
+//!   `empty(q, c')` returns a proof point. A non-core point with no ids
+//!   is noise.
 //!
-//! The query runs in `O~(|Q|)` time: `O(1)` cells are inspected per point,
-//! each with one logarithmic emptiness query.
+//! Since the epoch-snapshot refactor, the geometric half of that walk —
+//! *which core cells claim a point* — runs at snapshot-refresh time
+//! (`non_core_anchors`, invoked per dirty cell), and the query itself
+//! is a pure `anchors -> labels` lookup against the immutable
+//! [`ClusterSnapshot`](crate::snapshot::ClusterSnapshot). The query
+//! still costs `O~(|Q|)`; the snapping work moved off the query path and
+//! is amortized over the cells each update actually touched.
+//!
+//! [`c_group_by`] — the original single-pass walk that resolves CC ids
+//! through the (mutating) connectivity structures — is retained
+//! verbatim: it is the **differential-testing oracle** the snapshot path
+//! is checked against (`direct_group_by` on the engines), and the
+//! implementation behind their deprecated `&mut` query shims.
 
 use crate::groups::GroupBy;
 use crate::points::{PointArena, PointId};
-use dydbscan_geom::FxHashMap;
-use dydbscan_grid::{CellId, GridIndex};
+use crate::snapshot::Anchors;
+use dydbscan_geom::{FxHashMap, Point};
+use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 
-/// Answers a C-group-by query.
+/// Anchor cells of a non-core point at `qp` in `home`: `home` itself if
+/// it is a core cell, plus every `eps`-close core cell with an emptiness
+/// proof for `qp`. This is the snapping step of the paper's query,
+/// evaluated at snapshot-refresh time.
+pub(crate) fn non_core_anchors<const D: usize>(
+    grid: &GridIndex<D>,
+    home: CellId,
+    qp: &Point<D>,
+) -> Anchors {
+    let mut ids: Vec<u32> = Vec::new();
+    if grid.cell(home).is_core_cell() {
+        ids.push(home);
+    }
+    grid.visit_neighbor_cells(home, NeighborScope::Eps, |c, cell| {
+        if c != home && cell.is_core_cell() && grid.emptiness(qp, c).is_some() {
+            ids.push(c);
+        }
+    });
+    ids.sort_unstable();
+    ids.dedup();
+    Anchors::from_sorted(&ids)
+}
+
+/// Answers a C-group-by query by walking the live structures directly.
 ///
-/// `cc_id` must map a **core cell** to its current component id in the grid
-/// graph (the `CC-Id` operation of the CC structure). Panics if a queried
-/// id is not alive — querying deleted points is a caller bug worth
-/// surfacing loudly. Query coordinates are read from the grid's cell-major
-/// blocks through each record's `(cell, slot)` bookkeeping.
+/// `cc_id` must map a **core cell** to its current component id in the
+/// grid graph (the `CC-Id` operation of the CC structure — typically
+/// mutating, which is why this path needs `&mut` engines). Panics if a
+/// queried id is not alive. Query coordinates are read from the grid's
+/// cell-major blocks through each record's `(cell, slot)` bookkeeping.
+///
+/// Production queries go through the snapshot instead; this walk backs
+/// the engines' `direct_group_by` differential oracles and their
+/// deprecated `&mut` shims.
 pub fn c_group_by<const D: usize>(
     q: &[PointId],
     points: &PointArena,

@@ -30,9 +30,11 @@ use crate::groups::{Clustering, GroupBy};
 use crate::params::Params;
 use crate::points::{PointArena, PointId};
 use crate::query::c_group_by;
+use crate::snapshot::{Anchors, ClusterSnapshot, QueryError, SnapshotState};
 use dydbscan_conn::UnionFind;
 use dydbscan_geom::{dist_sq, FxHashSet, Point};
 use dydbscan_grid::{CellId, GridIndex, NeighborScope};
+use std::sync::Arc;
 
 /// Operation counters for cost provenance (semi-dynamic regime). The
 /// shared batch/parallelism counters live in the engine's
@@ -79,6 +81,10 @@ pub struct SemiDynDbscan<const D: usize> {
     /// The batch flush pipeline: thread budget, persistent worker pool,
     /// shared flush counters.
     pipeline: crate::batch::FlushPipeline,
+    /// The epoch-snapshot state behind the `&self` read path: updates
+    /// mark the cells they touch dirty; queries refresh amortized over
+    /// those cells only.
+    snap: SnapshotState,
     stats: SemiStats,
 }
 
@@ -95,6 +101,7 @@ impl<const D: usize> SemiDynDbscan<D> {
             promo_scratch: Vec::new(),
             cell_scratch: Vec::new(),
             pipeline: crate::batch::FlushPipeline::new(),
+            snap: SnapshotState::new(),
             stats: SemiStats::default(),
         }
     }
@@ -180,6 +187,7 @@ impl<const D: usize> SemiDynDbscan<D> {
             rec.slot = slot;
         }
         self.uf.ensure(cell);
+        self.snap.mark(cell);
 
         let count = self.grid.cell(cell).count();
         let min_pts = self.params.min_pts;
@@ -267,13 +275,16 @@ impl<const D: usize> SemiDynDbscan<D> {
         // coordinate mapping runs on the pool; materialization and
         // grouping stay sequential; tree maintenance is deferred to
         // amortized doubling rebuilds inside `CellSet`).
-        let uf = &mut self.uf;
+        let (uf, snap) = (&mut self.uf, &mut self.snap);
         let (ids, groups) = crate::batch::place_batch(
             &mut self.pipeline,
             &mut self.grid,
             &mut self.points,
             pts,
-            |c| uf.ensure(c),
+            |c| {
+                uf.ensure(c);
+                snap.mark(c);
+            },
         );
 
         // Phase 2 (parallel): statuses of the batch's own points, one
@@ -391,6 +402,11 @@ impl<const D: usize> SemiDynDbscan<D> {
         let blocks =
             crate::batch::extend_core_blocks(&mut self.grid, &mut self.points, promotions, false);
         self.stats.promotions += promotions.len() as u64;
+        // A grown core block changes emptiness answers for every
+        // eps-close cell's non-core residents: dirty the whole scope.
+        for b in &blocks {
+            crate::snapshot::mark_eps_scope(&mut self.snap, &self.grid, b.cell);
+        }
         // Candidate eps-close core cells per block. Computed after every
         // extension, so two cells promoted in one flush see each other —
         // their pair is probed from both sides and deduped on apply.
@@ -456,6 +472,9 @@ impl<const D: usize> SemiDynDbscan<D> {
         };
         let core_slot = self.grid.cell_mut(cell).core.insert(qp, q);
         self.points.get_mut(q).core_slot = core_slot;
+        // Core-block growth dirties the whole eps scope (see
+        // `flush_promotions`).
+        crate::snapshot::mark_eps_scope(&mut self.snap, &self.grid, cell);
         self.gum_probes(cell, std::iter::once(qp));
     }
 
@@ -489,16 +508,72 @@ impl<const D: usize> SemiDynDbscan<D> {
         self.cell_scratch = candidates;
     }
 
-    /// Answers a C-group-by query over `q` in `O~(|Q|)` time.
-    pub fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+    /// Refreshes (if dirty) and returns the current epoch snapshot: the
+    /// union-find labels are exported without path compression, and only
+    /// the cells updates touched get their anchors re-snapped.
+    fn refresh(&self) -> Arc<ClusterSnapshot> {
+        self.snap.read_with(
+            self.points.capacity_ids(),
+            || self.uf.export_labels(),
+            |cell, emit| {
+                let cell_obj = self.grid.cell(cell);
+                for (slot, &pid) in cell_obj.all.items().iter().enumerate() {
+                    if self.points.is_core(pid) {
+                        emit(pid, true, Anchors::One(cell));
+                    } else {
+                        let qp = cell_obj.all.point(slot as u32);
+                        emit(
+                            pid,
+                            false,
+                            crate::query::non_core_anchors(&self.grid, cell, qp),
+                        );
+                    }
+                }
+            },
+        )
+    }
+
+    /// The current epoch snapshot — `Arc`-share it with reader threads
+    /// and keep inserting; their answers stay frozen at this epoch.
+    pub fn snapshot(&self) -> Arc<ClusterSnapshot> {
+        self.refresh()
+    }
+
+    /// Answers a C-group-by query over `q` in `O~(|Q|)` time (plus a
+    /// dirty-amortized snapshot refresh if updates preceded it). Panics
+    /// on dead ids; see [`try_group_by`](Self::try_group_by).
+    pub fn group_by(&self, q: &[PointId]) -> GroupBy {
+        self.refresh().group_by(q)
+    }
+
+    /// Fallible [`group_by`](Self::group_by): dead/unknown ids return
+    /// [`QueryError::DeadPoint`] naming the id instead of panicking.
+    pub fn try_group_by(&self, q: &[PointId]) -> Result<GroupBy, QueryError> {
+        self.refresh().try_group_by(q)
+    }
+
+    /// The full clustering (`Q = P`), fanned across the persistent
+    /// worker pool in id-range chunks — bit-identical to the sequential
+    /// scan at every thread count.
+    pub fn group_all(&self) -> Clustering {
+        let snap = self.refresh();
+        crate::snapshot::group_all_pooled(&snap, &self.snap, &self.pipeline)
+    }
+
+    /// The pre-snapshot query walk (union-find `CC-Id` lookups, with
+    /// path compression): the differential-testing oracle the snapshot
+    /// path is checked against.
+    #[doc(hidden)]
+    pub fn direct_group_by(&mut self, q: &[PointId]) -> GroupBy {
         let uf = &mut self.uf;
         c_group_by(q, &self.points, &self.grid, |cell| uf.find(cell) as u64)
     }
 
-    /// The full clustering (`Q = P`).
-    pub fn group_all(&mut self) -> Clustering {
+    /// `Q = P` through [`direct_group_by`](Self::direct_group_by).
+    #[doc(hidden)]
+    pub fn direct_group_all(&mut self) -> Clustering {
         let ids: Vec<PointId> = self.points.iter_alive().map(|(i, _)| i).collect();
-        self.group_by(&ids)
+        self.direct_group_by(&ids)
     }
 
     /// Ids of all alive points (insertion order).
@@ -516,12 +591,13 @@ impl<const D: usize> SemiDynDbscan<D> {
 
     /// Number of (preliminary) clusters: connected components of the grid
     /// graph over core cells. `O(#cells)` — a monitoring helper, not part
-    /// of the paper's query interface.
-    pub fn num_clusters(&mut self) -> usize {
+    /// of the paper's query interface. Reads union-find roots without
+    /// path compression, so it shares the read path's `&self` contract.
+    pub fn num_clusters(&self) -> usize {
         let mut roots = FxHashSet::default();
         for c in 0..self.grid.num_cells() as CellId {
             if self.grid.cell(c).is_core_cell() {
-                roots.insert(self.uf.find(c));
+                roots.insert(self.uf.root_of(c));
             }
         }
         roots.len()
@@ -561,11 +637,19 @@ impl<const D: usize> DynamicClusterer<D> for SemiDynDbscan<D> {
         SemiDynDbscan::alive_ids(self)
     }
 
-    fn group_by(&mut self, q: &[PointId]) -> GroupBy {
+    fn snapshot(&self) -> Arc<ClusterSnapshot> {
+        SemiDynDbscan::snapshot(self)
+    }
+
+    fn group_by(&self, q: &[PointId]) -> GroupBy {
         SemiDynDbscan::group_by(self, q)
     }
 
-    fn group_all(&mut self) -> Clustering {
+    fn try_group_by(&self, q: &[PointId]) -> Result<GroupBy, QueryError> {
+        SemiDynDbscan::try_group_by(self, q)
+    }
+
+    fn group_all(&self) -> Clustering {
         SemiDynDbscan::group_all(self)
     }
 
@@ -581,6 +665,7 @@ impl<const D: usize> DynamicClusterer<D> for SemiDynDbscan<D> {
             ..ClustererStats::default()
         }
         .with_flush(self.pipeline.stats())
+        .with_snapshot(&self.snap)
     }
 }
 

@@ -1,0 +1,625 @@
+//! Epoch-versioned, shared-nothing read path: [`ClusterSnapshot`].
+//!
+//! The C-group-by query (paper Section 4.2) is a pure read, yet the
+//! structures it used to walk answer lookups by *mutating* — union-find
+//! compresses paths, HDT queries may touch treaps, IncDBSCAN resolves
+//! border points through its mutating range counter. That made every
+//! query `&mut self`: one reader, zero writers.
+//!
+//! This module materializes the query into an immutable artifact instead.
+//! After updates dirty it, each engine refreshes (at the next read
+//! boundary, amortized over the **changed cells only**) a
+//! [`ClusterSnapshot`] holding everything a C-group-by query needs:
+//!
+//! * a **label table** over the engine's *vertex space* (grid cells for
+//!   the grid engines, point ids for IncDBSCAN), exported from the CC
+//!   structure via the non-mutating
+//!   [`DynConnectivity::export_labels`](dydbscan_conn::DynConnectivity::export_labels);
+//! * per-point **alive/core flags**;
+//! * per-point **anchors** — the vertices whose labels the point maps
+//!   to. A core point anchors to its own vertex; a non-core point
+//!   anchors to every core vertex that would have claimed it under the
+//!   old query walk (emptiness-snapped `eps`-close core cells for the
+//!   grid engines, in-ball core points for IncDBSCAN). Anchors are
+//!   geometry; labels are connectivity — splitting them means cluster
+//!   merges/splits never force geometric re-snapping, and geometric
+//!   churn never forces more than a label-table export.
+//!
+//! Queries against the snapshot are pure lookups: `anchors -> labels ->
+//! dedup`. That makes `group_by`/`group_all` `&self` on every engine,
+//! lets `group_all` fan point-range chunks across the persistent
+//! [`WorkerPool`](crate::batch::FlushPipeline) (bit-identical to the
+//! sequential path at every thread count — a range partition followed by
+//! an order-preserving merge and the usual normalization), and — because
+//! a snapshot is `Arc`-publishable and owns all of its data — lets N
+//! reader threads keep answering group-by queries *at their epoch* while
+//! the owner applies the next batch: the engine's refresh goes through
+//! `Arc::make_mut`, so a published snapshot is never written through.
+//!
+//! [`SnapshotState`] is the engine-owned half: the current `Arc`, the
+//! dirty key set, the dead list, and the query counters surfaced in
+//! [`ClustererStats`](crate::ClustererStats).
+
+use crate::groups::{Clustering, GroupBy};
+use crate::points::PointId;
+use dydbscan_conn::CompId;
+use dydbscan_geom::{FxHashMap, FxHashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const F_ALIVE: u8 = 1;
+const F_CORE: u8 = 2;
+
+/// A typed C-group-by rejection (see `try_group_by` on the engines, the
+/// [`DynamicClusterer`](crate::DynamicClusterer) trait and the
+/// `dydbscan::DynDbscan` facade). The infallible `group_by` keeps its
+/// loud panic; this is the boundary for query sets of uncertain
+/// provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query set contained an id that is deleted, was never issued,
+    /// or post-dates the snapshot being queried.
+    DeadPoint {
+        /// The offending id.
+        id: PointId,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::DeadPoint { id } => {
+                write!(
+                    f,
+                    "C-group-by query contains deleted or unknown point id {id}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// The vertices a point's cluster membership maps through (see the
+/// module docs). Sized for the common cases: most points are core (one
+/// anchor — their own vertex) or noise (none); only non-core points near
+/// several core vertices spill to the boxed form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum Anchors {
+    /// No core vertex claims the point: noise at this epoch.
+    #[default]
+    None,
+    /// Exactly one anchor vertex.
+    One(u32),
+    /// Several anchor vertices (sorted, deduped).
+    Many(Box<[u32]>),
+}
+
+impl Anchors {
+    /// Builds from a sorted, deduped vertex list.
+    pub fn from_sorted(ids: &[u32]) -> Self {
+        match ids {
+            [] => Anchors::None,
+            [v] => Anchors::One(*v),
+            many => Anchors::Many(many.into()),
+        }
+    }
+
+    #[inline]
+    fn as_slice(&self) -> &[u32] {
+        match self {
+            Anchors::None => &[],
+            Anchors::One(v) => std::slice::from_ref(v),
+            Anchors::Many(vs) => vs,
+        }
+    }
+}
+
+/// An immutable, epoch-stamped view of the clustering — everything a
+/// C-group-by query reads, owned (no borrows into the engine), `Send +
+/// Sync`, and cheap to share via [`Arc`].
+///
+/// Obtain one from `snapshot()` on any engine (or the
+/// [`DynamicClusterer`](crate::DynamicClusterer) trait / `DynDbscan`
+/// facade) and query it from as many threads as you like while the
+/// owning engine keeps applying updates; the answers stay internally
+/// consistent *at this epoch*.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterSnapshot {
+    epoch: u64,
+    /// Component label per vertex (cell id or point id, engine-defined).
+    labels: Vec<CompId>,
+    /// `F_ALIVE | F_CORE` per point id ever issued up to this epoch.
+    flags: Vec<u8>,
+    /// Anchor vertices per point id.
+    anchors: Vec<Anchors>,
+    /// Alive points at this epoch (maintained by the refresh so `len`
+    /// stays O(1)).
+    alive: usize,
+}
+
+/// A partial grouping of one id range — the unit the pool-parallel
+/// `group_all` fans out and merges (see
+/// [`ClusterSnapshot::group_ids_range`]).
+#[derive(Debug)]
+pub struct GroupByPart {
+    groups: FxHashMap<CompId, Vec<PointId>>,
+    noise: Vec<PointId>,
+}
+
+impl ClusterSnapshot {
+    /// The epoch this snapshot was refreshed at. Strictly increasing per
+    /// engine; comparable only between snapshots of the same engine.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Ids ever issued up to this epoch (the exclusive upper bound of
+    /// valid query ids).
+    pub fn num_ids(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Whether `id` is alive at this epoch.
+    pub fn is_alive(&self, id: PointId) -> bool {
+        self.flags
+            .get(id as usize)
+            .is_some_and(|&f| f & F_ALIVE != 0)
+    }
+
+    /// Whether `id` is a core point at this epoch.
+    pub fn is_core(&self, id: PointId) -> bool {
+        self.flags
+            .get(id as usize)
+            .is_some_and(|&f| f & F_CORE != 0)
+    }
+
+    /// Number of alive points at this epoch (`O(1)` — maintained by the
+    /// refresh).
+    pub fn len(&self) -> usize {
+        self.alive
+    }
+
+    /// True if no point is alive at this epoch.
+    pub fn is_empty(&self) -> bool {
+        self.alive == 0
+    }
+
+    /// Answers a C-group-by query over `q` at this epoch.
+    ///
+    /// # Panics
+    ///
+    /// On deleted/unknown ids — querying dead points is a caller bug
+    /// worth surfacing loudly; [`try_group_by`](Self::try_group_by) is
+    /// the non-panicking boundary.
+    pub fn group_by(&self, q: &[PointId]) -> GroupBy {
+        self.try_group_by(q).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`group_by`](Self::group_by): a dead or unknown id
+    /// rejects the query with [`QueryError::DeadPoint`] naming it.
+    pub fn try_group_by(&self, q: &[PointId]) -> Result<GroupBy, QueryError> {
+        let mut part = GroupByPart {
+            groups: FxHashMap::default(),
+            noise: Vec::new(),
+        };
+        let mut scratch: Vec<CompId> = Vec::new();
+        for &pid in q {
+            self.group_one(pid, &mut part, &mut scratch)?;
+        }
+        Ok(Self::merge_parts([part]))
+    }
+
+    /// The full clustering at this epoch (`Q =` every alive point).
+    pub fn group_all(&self) -> Clustering {
+        let part = self
+            .group_ids_range(0, self.flags.len() as u32)
+            .expect("alive ids cannot be dead");
+        Self::merge_parts([part])
+    }
+
+    /// Groups every alive id in `[lo, hi)` into a mergeable part — the
+    /// task body of the pool-parallel `group_all`. Dead ids inside the
+    /// range are skipped (unlike explicit query sets, the full-clustering
+    /// scan filters rather than rejects); an explicit id in a
+    /// [`try_group_by`](Self::try_group_by) set still errors.
+    pub fn group_ids_range(&self, lo: u32, hi: u32) -> Result<GroupByPart, QueryError> {
+        let mut part = GroupByPart {
+            groups: FxHashMap::default(),
+            noise: Vec::new(),
+        };
+        let mut scratch: Vec<CompId> = Vec::new();
+        let hi = (hi as usize).min(self.flags.len());
+        for pid in lo as usize..hi {
+            if self.flags[pid] & F_ALIVE != 0 {
+                self.group_one(pid as PointId, &mut part, &mut scratch)?;
+            }
+        }
+        Ok(part)
+    }
+
+    /// Merges range parts (in range order) into a normalized clustering.
+    /// Normalization makes the result independent of the chunking, so
+    /// the pooled fan-out is bit-identical to the sequential scan at
+    /// every thread count.
+    pub fn merge_parts(parts: impl IntoIterator<Item = GroupByPart>) -> Clustering {
+        let mut groups: FxHashMap<CompId, Vec<PointId>> = FxHashMap::default();
+        let mut noise = Vec::new();
+        for part in parts {
+            for (label, ids) in part.groups {
+                groups.entry(label).or_default().extend(ids);
+            }
+            noise.extend(part.noise);
+        }
+        let mut out = GroupBy {
+            groups: groups.into_values().collect(),
+            noise,
+        };
+        out.normalize();
+        out
+    }
+
+    #[inline]
+    fn group_one(
+        &self,
+        pid: PointId,
+        part: &mut GroupByPart,
+        scratch: &mut Vec<CompId>,
+    ) -> Result<(), QueryError> {
+        if !self.is_alive(pid) {
+            return Err(QueryError::DeadPoint { id: pid });
+        }
+        let anchors = self.anchors[pid as usize].as_slice();
+        match anchors {
+            [] => part.noise.push(pid),
+            [v] => part
+                .groups
+                .entry(self.labels[*v as usize])
+                .or_default()
+                .push(pid),
+            many => {
+                // Distinct anchors may share a label; dedup so the point
+                // lands once per cluster (the old walk deduped CC ids).
+                scratch.clear();
+                scratch.extend(many.iter().map(|&v| self.labels[v as usize]));
+                scratch.sort_unstable();
+                scratch.dedup();
+                for &label in scratch.iter() {
+                    part.groups.entry(label).or_default().push(pid);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// What one refresh pass observed, folded into
+/// [`ClustererStats`](crate::ClustererStats) by the engines.
+struct SnapCounters {
+    /// Snapshot refreshes performed (= epochs advanced).
+    refreshes: AtomicU64,
+    /// Dirty keys (cells / points) whose anchors were recomputed, summed
+    /// over every refresh.
+    keys_relabeled: AtomicU64,
+    /// Range chunks dispatched by pool-parallel `group_all` runs that
+    /// engaged more than one worker.
+    query_parallel_tasks: AtomicU64,
+}
+
+struct SnapInner {
+    snap: Arc<ClusterSnapshot>,
+    /// Vertex-space keys whose points need re-anchoring: grid cells for
+    /// the grid engines, point ids for IncDBSCAN.
+    dirty: FxHashSet<u32>,
+    /// Points that died since the last refresh.
+    dead: Vec<PointId>,
+}
+
+/// The engine-owned refresh state behind the `&self` read path: the
+/// current snapshot [`Arc`], the dirty key set updates feed (cheaply,
+/// under `&mut self`), and the machinery that turns both into a fresh
+/// epoch at the next read boundary.
+///
+/// Refreshes run under `&self` (a [`Mutex`] serializes concurrent
+/// readers racing to refresh; once clean, reads only clone the `Arc`),
+/// which is exactly why the label export of the CC structures must not
+/// mutate.
+pub struct SnapshotState {
+    inner: Mutex<SnapInner>,
+    counters: SnapCounters,
+}
+
+impl fmt::Debug for SnapshotState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.lock().unwrap();
+        f.debug_struct("SnapshotState")
+            .field("epoch", &inner.snap.epoch)
+            .field("dirty_keys", &inner.dirty.len())
+            .field("dead_pending", &inner.dead.len())
+            .finish()
+    }
+}
+
+impl Default for SnapshotState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SnapshotState {
+    /// Clean state at epoch 0 (an empty snapshot).
+    pub fn new() -> Self {
+        Self {
+            inner: Mutex::new(SnapInner {
+                snap: Arc::new(ClusterSnapshot::default()),
+                dirty: FxHashSet::default(),
+                dead: Vec::new(),
+            }),
+            counters: SnapCounters {
+                refreshes: AtomicU64::new(0),
+                keys_relabeled: AtomicU64::new(0),
+                query_parallel_tasks: AtomicU64::new(0),
+            },
+        }
+    }
+
+    /// Marks one key (cell / point) dirty. Called from update paths,
+    /// which hold `&mut self` — `Mutex::get_mut` makes this lock-free.
+    #[inline]
+    pub fn mark(&mut self, key: u32) {
+        self.inner.get_mut().unwrap().dirty.insert(key);
+    }
+
+    /// Records a point death (its snapshot slot is cleared on refresh).
+    #[inline]
+    pub fn mark_dead(&mut self, id: PointId) {
+        self.inner.get_mut().unwrap().dead.push(id);
+    }
+
+    /// Records `chunks` range tasks dispatched by a `group_all` fan-out
+    /// that engaged more than one worker.
+    pub fn note_query_tasks(&self, chunks: usize) {
+        self.counters
+            .query_parallel_tasks
+            .fetch_add(chunks as u64, Ordering::Relaxed);
+    }
+
+    /// `(snapshot_refreshes, snapshot_cells_relabeled,
+    /// query_parallel_tasks)` for the engine's stats surface.
+    pub fn counter_values(&self) -> (u64, u64, u64) {
+        (
+            self.counters.refreshes.load(Ordering::Relaxed),
+            self.counters.keys_relabeled.load(Ordering::Relaxed),
+            self.counters.query_parallel_tasks.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Returns the current snapshot, refreshing it first if any update
+    /// dirtied it since the last read boundary.
+    ///
+    /// * `total_ids` — ids ever issued (sizes the per-point tables).
+    /// * `export_labels` — the engine's non-mutating label export; only
+    ///   invoked when a refresh actually runs.
+    /// * `reanchor` — called once per dirty key; must `emit(point,
+    ///   is_core, anchors)` for every alive point the key owns. Keys own
+    ///   disjoint point sets (a cell's residents / the point itself), so
+    ///   processing order cannot matter.
+    ///
+    /// Refresh cost is `O(dirty keys · anchor work)` plus one label
+    /// export — connectivity churn alone (merges, splits) never triggers
+    /// geometric re-snapping. The published `Arc` is never written
+    /// through: if readers still hold it, `Arc::make_mut` clones.
+    pub fn read_with(
+        &self,
+        total_ids: usize,
+        export_labels: impl FnOnce() -> Vec<CompId>,
+        mut reanchor: impl FnMut(u32, &mut dyn FnMut(PointId, bool, Anchors)),
+    ) -> Arc<ClusterSnapshot> {
+        let mut inner = self.inner.lock().unwrap();
+        let SnapInner { snap, dirty, dead } = &mut *inner;
+        if dirty.is_empty() && dead.is_empty() {
+            return Arc::clone(snap);
+        }
+        let s = Arc::make_mut(snap);
+        s.epoch += 1;
+        s.flags.resize(total_ids, 0);
+        s.anchors.resize(total_ids, Anchors::None);
+        s.labels = export_labels();
+        for id in dead.drain(..) {
+            if s.flags[id as usize] & F_ALIVE != 0 {
+                s.alive -= 1;
+            }
+            s.flags[id as usize] = 0;
+            s.anchors[id as usize] = Anchors::None;
+        }
+        let mut relabeled = 0u64;
+        for &key in dirty.iter() {
+            relabeled += 1;
+            reanchor(key, &mut |pid, core, anchors| {
+                if s.flags[pid as usize] & F_ALIVE == 0 {
+                    s.alive += 1; // first time this id is seen alive
+                }
+                s.flags[pid as usize] = F_ALIVE | if core { F_CORE } else { 0 };
+                s.anchors[pid as usize] = anchors;
+            });
+        }
+        dirty.clear();
+        self.counters.refreshes.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .keys_relabeled
+            .fetch_add(relabeled, Ordering::Relaxed);
+        Arc::clone(snap)
+    }
+}
+
+/// Marks `cell` and every materialized `eps`-close neighbor dirty — the
+/// scope whose non-core residents' emptiness answers may flip when
+/// `cell`'s core block grows or shrinks. One definition of the rule for
+/// every promotion/demotion site of the grid engines
+/// (`for_each_eps_neighbor` includes the cell itself).
+pub(crate) fn mark_eps_scope<const D: usize>(
+    snap: &mut SnapshotState,
+    grid: &dydbscan_grid::GridIndex<D>,
+    cell: dydbscan_grid::CellId,
+) {
+    grid.for_each_eps_neighbor(cell, |n| snap.mark(n));
+}
+
+/// Chunk width of the pool-parallel `group_all` fan-out: wide enough
+/// that a task amortizes its wake, narrow enough that big clusterings
+/// spread over the whole crew.
+pub(crate) const QUERY_CHUNK: usize = 4096;
+
+/// The shared pool-parallel `group_all` driver: partitions the
+/// snapshot's id space into `QUERY_CHUNK`-wide ranges, runs them through
+/// the engine's persistent pool
+/// ([`FlushPipeline::run_query`](crate::batch::FlushPipeline::run_query)),
+/// and merges in range order. Every engine's `group_all` is this
+/// function over its own refresh.
+pub fn group_all_pooled(
+    snap: &ClusterSnapshot,
+    state: &SnapshotState,
+    run: &crate::batch::FlushPipeline,
+) -> Clustering {
+    let ids = snap.num_ids();
+    let chunks = ids.div_ceil(QUERY_CHUNK).max(1);
+    let (parts, workers) = run.run_query(chunks, |ci| {
+        let lo = (ci * QUERY_CHUNK) as u32;
+        let hi = ((ci + 1) * QUERY_CHUNK).min(ids) as u32;
+        snap.group_ids_range(lo, hi)
+            .expect("alive ids cannot be dead")
+    });
+    if workers > 1 {
+        state.note_query_tasks(chunks);
+    }
+    ClusterSnapshot::merge_parts(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap_with(labels: Vec<CompId>, pts: Vec<(bool, bool, Anchors)>) -> ClusterSnapshot {
+        ClusterSnapshot {
+            epoch: 1,
+            labels,
+            flags: pts
+                .iter()
+                .map(|&(alive, core, _)| {
+                    (if alive { F_ALIVE } else { 0 }) | (if core { F_CORE } else { 0 })
+                })
+                .collect(),
+            alive: pts.iter().filter(|&&(alive, _, _)| alive).count(),
+            anchors: pts.into_iter().map(|(_, _, a)| a).collect(),
+        }
+    }
+
+    #[test]
+    fn lookups_and_grouping() {
+        // vertices 0,1 share label 7; vertex 2 is label 9
+        let s = snap_with(
+            vec![7, 7, 9],
+            vec![
+                (true, true, Anchors::One(0)),                  // point 0: core in v0
+                (true, true, Anchors::One(1)),                  // point 1: core in v1
+                (true, false, Anchors::Many(Box::new([0, 2]))), // border of both clusters
+                (true, false, Anchors::None),                   // noise
+                (false, false, Anchors::None),                  // dead
+            ],
+        );
+        assert!(s.is_core(0) && !s.is_core(2));
+        assert!(s.is_alive(3) && !s.is_alive(4));
+        assert_eq!(s.len(), 4);
+        let g = s.group_by(&[0, 1, 2, 3]);
+        assert_eq!(g.groups, vec![vec![0, 1, 2], vec![2]]);
+        assert_eq!(g.noise, vec![3]);
+        assert!(g.same_cluster(0, 2));
+    }
+
+    #[test]
+    fn duplicate_labels_across_anchors_dedup() {
+        let s = snap_with(
+            vec![5, 5],
+            vec![(true, false, Anchors::Many(Box::new([0, 1])))],
+        );
+        let g = s.group_by(&[0]);
+        assert_eq!(
+            g.groups,
+            vec![vec![0]],
+            "one membership despite two anchors"
+        );
+    }
+
+    #[test]
+    fn try_group_by_names_the_dead_id() {
+        let s = snap_with(vec![], vec![(false, false, Anchors::None)]);
+        let err = s.try_group_by(&[0]).unwrap_err();
+        assert_eq!(err, QueryError::DeadPoint { id: 0 });
+        assert!(err.to_string().contains("point id 0"));
+        let err = s.try_group_by(&[42]).unwrap_err();
+        assert_eq!(err, QueryError::DeadPoint { id: 42 });
+    }
+
+    #[test]
+    #[should_panic(expected = "deleted or unknown point id 9")]
+    fn group_by_panics_loudly() {
+        let s = snap_with(vec![], vec![]);
+        let _ = s.group_by(&[9]);
+    }
+
+    #[test]
+    fn range_parts_merge_to_group_all() {
+        let s = snap_with(
+            vec![1, 2],
+            (0..10)
+                .map(|i| (i % 3 != 0, true, Anchors::One((i % 2) as u32)))
+                .collect(),
+        );
+        let whole = s.group_all();
+        for width in [1u32, 3, 4, 100] {
+            let mut parts = Vec::new();
+            let mut lo = 0u32;
+            while lo < s.num_ids() as u32 {
+                parts.push(s.group_ids_range(lo, lo + width).unwrap());
+                lo += width;
+            }
+            assert_eq!(ClusterSnapshot::merge_parts(parts), whole, "width {width}");
+        }
+    }
+
+    #[test]
+    fn state_refresh_is_dirty_driven_and_publishes_cow() {
+        let mut st = SnapshotState::new();
+        let a = st.read_with(0, Vec::new, |_, _| {});
+        assert_eq!(a.epoch(), 0, "clean state does not advance the epoch");
+        st.mark(0);
+        let b = st.read_with(
+            2,
+            || vec![3, 4],
+            |key, emit| {
+                assert_eq!(key, 0);
+                emit(0, true, Anchors::One(0));
+                emit(1, false, Anchors::One(1));
+            },
+        );
+        assert_eq!(b.epoch(), 1);
+        assert!(b.is_core(0) && b.is_alive(1));
+        // reader keeps `b`; the next refresh must not write through it
+        st.mark(0);
+        st.mark_dead(1);
+        let c = st.read_with(
+            2,
+            || vec![3, 4],
+            |_, emit| {
+                emit(0, true, Anchors::One(0));
+            },
+        );
+        assert_eq!(c.epoch(), 2);
+        assert!(b.is_alive(1), "published snapshot b is frozen at its epoch");
+        assert!(!c.is_alive(1));
+        let (refreshes, keys, _) = st.counter_values();
+        assert_eq!(refreshes, 2);
+        assert_eq!(keys, 2);
+    }
+}

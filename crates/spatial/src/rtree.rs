@@ -150,6 +150,94 @@ impl<const D: usize> RTree<D> {
         self.handle_overflow_and_adjust(leaf);
     }
 
+    /// Inserts a block of entries, bulk-loading where that beats one
+    /// `choose_leaf`+split walk per entry (mirroring the deferred-block
+    /// insertion path of the cell sets' kd-trees): an empty tree — and a
+    /// tree the block outweighs, via collect-and-repack — is built by
+    /// top-down sort-tile packing (near-full nodes, no splits); a small
+    /// block into a big tree falls back to per-entry insertion, which
+    /// already touches only `O(log n)` nodes each. `IncDbscan`'s batched
+    /// pipeline drives its phase-1 indexing through this.
+    pub fn insert_block(&mut self, entries: &[(Point<D>, u32)]) {
+        if entries.is_empty() {
+            return;
+        }
+        if self.len == 0 {
+            self.rebuild_packed(entries.to_vec());
+        } else if entries.len() >= self.len {
+            let mut all = Vec::with_capacity(self.len + entries.len());
+            self.collect_entries(self.root, &mut all);
+            all.extend_from_slice(entries);
+            self.rebuild_packed(all);
+        } else {
+            for &(p, id) in entries {
+                self.insert(p, id);
+            }
+        }
+    }
+
+    /// Replaces the tree with a sort-tile-packed one over `entries`.
+    fn rebuild_packed(&mut self, entries: Vec<(Point<D>, u32)>) {
+        self.nodes.clear();
+        self.free.clear();
+        self.len = entries.len();
+        // Height of the packed tree: smallest h with MAX_FILL^(h+1)
+        // holding every entry.
+        let mut height = 0usize;
+        let mut cap = MAX_FILL;
+        while cap < entries.len() {
+            height += 1;
+            cap = cap.saturating_mul(MAX_FILL);
+        }
+        self.root = self.pack_subtree(entries, height);
+        self.nodes[self.root as usize].parent = NIL;
+    }
+
+    /// Packs `entries` into a subtree of the given height and returns
+    /// its node. Recursion splits along the widest-spread axis into
+    /// nearly equal runs, so every non-root node ends up at least half
+    /// full — above `MIN_FILL` for the fill constants used here.
+    fn pack_subtree(&mut self, mut entries: Vec<(Point<D>, u32)>, height: usize) -> u32 {
+        if height == 0 {
+            debug_assert!(entries.len() <= MAX_FILL);
+            let leaf = self.alloc(RNode::new_leaf());
+            self.nodes[leaf as usize].entries = entries;
+            self.recompute_bbox(leaf);
+            return leaf;
+        }
+        let child_cap = MAX_FILL.pow(height as u32);
+        let fan = entries.len().div_ceil(child_cap).max(1);
+        // Sort along the axis with the widest spread, then cut into
+        // `fan` nearly equal runs.
+        let mut best_axis = 0;
+        let mut best_spread = f64::NEG_INFINITY;
+        for axis in 0..D {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for (p, _) in &entries {
+                lo = lo.min(p[axis]);
+                hi = hi.max(p[axis]);
+            }
+            if hi - lo > best_spread {
+                best_spread = hi - lo;
+                best_axis = axis;
+            }
+        }
+        entries.sort_unstable_by(|a, b| a.0[best_axis].total_cmp(&b.0[best_axis]));
+        let n = entries.len();
+        let node = self.alloc(RNode::new_internal());
+        let mut children = Vec::with_capacity(fan);
+        for k in 0..fan {
+            let lo = k * n / fan;
+            let hi = (k + 1) * n / fan;
+            let child = self.pack_subtree(entries[lo..hi].to_vec(), height - 1);
+            self.nodes[child as usize].parent = node;
+            children.push(child);
+        }
+        self.nodes[node as usize].children = children;
+        self.recompute_bbox(node);
+        node
+    }
+
     fn choose_leaf(&self, point: Point<D>) -> u32 {
         let mut cur = self.root;
         loop {
@@ -593,6 +681,56 @@ mod tests {
             }
             t.validate();
             assert_eq!(t.len(), live.len());
+        }
+    }
+
+    #[test]
+    fn insert_block_bulk_load_matches_looped() {
+        for seed in 0..3u64 {
+            let mut rng = SplitMix64::new(seed + 77);
+            // three regimes: pack-from-empty, repack (block >= tree),
+            // and per-entry fallback (small block into a big tree)
+            for (first, second) in [(500usize, 600usize), (40, 30), (300, 20)] {
+                let gen = |rng: &mut SplitMix64, base: u32, n: usize| {
+                    (0..n)
+                        .map(|i| {
+                            (
+                                [rng.next_f64() * 40.0, rng.next_f64() * 40.0],
+                                base + i as u32,
+                            )
+                        })
+                        .collect::<Vec<(Point<2>, u32)>>()
+                };
+                let a = gen(&mut rng, 0, first);
+                let b = gen(&mut rng, first as u32, second);
+                let mut bulk = RTree::<2>::new();
+                bulk.insert_block(&a);
+                bulk.validate();
+                bulk.insert_block(&b);
+                bulk.validate();
+                let mut looped = RTree::<2>::new();
+                for &(p, id) in a.iter().chain(&b) {
+                    looped.insert(p, id);
+                }
+                assert_eq!(bulk.len(), looped.len());
+                for _ in 0..40 {
+                    let q = [rng.next_f64() * 40.0, rng.next_f64() * 40.0];
+                    let r = rng.next_f64() * 6.0;
+                    let (mut x, mut y) = (Vec::new(), Vec::new());
+                    bulk.collect_within(&q, r, &mut x);
+                    looped.collect_within(&q, r, &mut y);
+                    let mut x: Vec<u32> = x.into_iter().map(|e| e.0).collect();
+                    let mut y: Vec<u32> = y.into_iter().map(|e| e.0).collect();
+                    x.sort_unstable();
+                    y.sort_unstable();
+                    assert_eq!(x, y, "seed {seed} sizes ({first},{second})");
+                }
+                // the packed tree keeps supporting removals
+                for &(p, id) in a.iter().take(10) {
+                    assert!(bulk.remove(&p, id));
+                }
+                bulk.validate();
+            }
         }
     }
 

@@ -23,8 +23,10 @@
 
 use crate::builder::{BuildError, DbscanBuilder};
 use dydbscan_core::{
-    ClustererStats, Clustering, DynamicClusterer, GroupBy, ParamError, Params, PointId,
+    ClusterSnapshot, ClustererStats, Clustering, DynamicClusterer, GroupBy, ParamError, Params,
+    PointId, QueryError,
 };
+use std::sync::Arc;
 
 enum Inner {
     D2(Box<dyn DynamicClusterer<2>>),
@@ -214,14 +216,45 @@ impl DynDbscan {
         dispatch!(&self.inner, c => c.alive_ids())
     }
 
-    /// Answers a C-group-by query over `q`.
-    pub fn group_by(&mut self, q: &[PointId]) -> GroupBy {
-        dispatch!(&mut self.inner, c => c.group_by(q))
+    /// The current epoch snapshot — an immutable, `Arc`-publishable view
+    /// of the clustering. Share clones with reader threads and keep
+    /// inserting/deleting; their group-by answers stay frozen at this
+    /// epoch (see [`ClusterSnapshot`]).
+    pub fn snapshot(&self) -> Arc<ClusterSnapshot> {
+        dispatch!(&self.inner, c => c.snapshot())
     }
 
-    /// The full clustering (`Q = P`).
-    pub fn group_all(&mut self) -> Clustering {
-        dispatch!(&mut self.inner, c => c.group_all())
+    /// Answers a C-group-by query over `q`. Panics on deleted or unknown
+    /// ids; see [`try_group_by`](DynDbscan::try_group_by).
+    pub fn group_by(&self, q: &[PointId]) -> GroupBy {
+        dispatch!(&self.inner, c => c.group_by(q))
+    }
+
+    /// Fallible [`group_by`](DynDbscan::group_by): a deleted or unknown
+    /// id rejects the query with [`QueryError::DeadPoint`] naming it —
+    /// the query boundary for id sets of uncertain provenance (mirrors
+    /// [`try_insert`](DynDbscan::try_insert) on the write side).
+    pub fn try_group_by(&self, q: &[PointId]) -> Result<GroupBy, QueryError> {
+        dispatch!(&self.inner, c => c.try_group_by(q))
+    }
+
+    /// The full clustering (`Q = P`), fanned across the engine's
+    /// persistent worker pool.
+    pub fn group_all(&self) -> Clustering {
+        dispatch!(&self.inner, c => c.group_all())
+    }
+
+    /// The pre-snapshot `&mut` query signature, kept for one release.
+    #[deprecated(since = "0.3.0", note = "group_by takes &self now; call it directly")]
+    pub fn group_by_mut(&mut self, q: &[PointId]) -> GroupBy {
+        self.group_by(q)
+    }
+
+    /// The pre-snapshot `&mut` full-clustering signature, kept for one
+    /// release.
+    #[deprecated(since = "0.3.0", note = "group_all takes &self now; call it directly")]
+    pub fn group_all_mut(&mut self) -> Clustering {
+        self.group_all()
     }
 
     /// Common operation counters.

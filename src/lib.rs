@@ -101,8 +101,8 @@ pub use facade::DynDbscan;
 
 pub use dydbscan_baseline::{IncDbscan, IncStats};
 pub use dydbscan_core::{
-    brute_force_exact, check_containment, check_sandwich, relabel, static_cluster, ClustererStats,
-    Clustering, DynamicClusterer, FlushStats, FullDynDbscan, FullStats, GroupBy, Op, ParamError,
-    Params, PointId, SemiDynDbscan, SemiStats,
+    brute_force_exact, check_containment, check_sandwich, relabel, static_cluster, ClusterSnapshot,
+    ClustererStats, Clustering, DynamicClusterer, FlushStats, FullDynDbscan, FullStats, GroupBy,
+    Op, ParamError, Params, PointId, QueryError, SemiDynDbscan, SemiStats,
 };
 pub use dydbscan_workload::{seed_spreader, Workload, WorkloadSpec};

@@ -1,0 +1,359 @@
+//! The epoch-snapshot read path under fire.
+//!
+//! Two families of guarantees:
+//!
+//! 1. **Differential**: snapshot-path `group_by` / `group_all` must
+//!    equal the pre-refactor mutable walk (`direct_group_by`, retained
+//!    on every engine as the oracle) on all three engines, at `rho = 0`
+//!    and `rho = 0.25`, after every churn checkpoint.
+//! 2. **Concurrent**: N reader threads hammering `Arc<ClusterSnapshot>`s
+//!    while the owner flushes insert/delete batches must see answers
+//!    that are internally consistent (subset queries equal restrictions
+//!    of the full clustering) and equal to a sequential replay frozen at
+//!    each snapshot's epoch — the published artifact is never written
+//!    through.
+//!
+//! The suite sweeps its own thread budgets {1, 2, 4}, so the CI
+//! `test-threads` matrix exercises the pool-parallel `group_all` merge
+//! at every crew size.
+
+use dydbscan::geom::Point;
+use dydbscan::{
+    Clustering, DynamicClusterer, FullDynDbscan, IncDbscan, Params, PointId, SemiDynDbscan,
+};
+use dydbscan_geom::SplitMix64;
+use std::sync::Arc;
+
+fn spray<const D: usize>(rng: &mut SplitMix64, n: usize, extent: f64) -> Vec<Point<D>> {
+    (0..n)
+        .map(|_| std::array::from_fn(|_| rng.next_f64() * extent))
+        .collect()
+}
+
+/// Random subset of the alive ids for restriction checks.
+fn subset(rng: &mut SplitMix64, ids: &[PointId]) -> Vec<PointId> {
+    ids.iter()
+        .copied()
+        .filter(|_| rng.next_below(3) == 0)
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// 1. Differential: snapshot path == old mutable path
+// ---------------------------------------------------------------------
+
+#[test]
+fn semi_snapshot_path_equals_direct_path() {
+    for rho in [0.0, 0.25] {
+        let mut rng = SplitMix64::new(0x5E111 + (rho * 100.0) as u64);
+        let params = Params::new(1.0, 3).with_rho(rho);
+        let mut algo = SemiDynDbscan::<2>::new(params).with_threads(2);
+        let mut ids = Vec::new();
+        for round in 0..8 {
+            if round % 2 == 0 {
+                let pts = spray::<2>(&mut rng, 120, 10.0);
+                ids.extend(algo.insert_batch(&pts));
+            } else {
+                for p in spray::<2>(&mut rng, 40, 10.0) {
+                    ids.push(algo.insert(p));
+                }
+            }
+            let snap_all = algo.group_all();
+            assert_eq!(snap_all, algo.direct_group_all(), "rho {rho} round {round}");
+            let q = subset(&mut rng, &ids);
+            assert_eq!(
+                algo.group_by(&q),
+                algo.direct_group_by(&q),
+                "rho {rho} round {round} subset"
+            );
+            assert_eq!(algo.group_by(&q), snap_all.restrict(&q));
+        }
+    }
+}
+
+#[test]
+fn full_snapshot_path_equals_direct_path() {
+    for rho in [0.0, 0.25] {
+        let mut rng = SplitMix64::new(0xF011 + (rho * 100.0) as u64);
+        let params = Params::new(1.0, 3).with_rho(rho);
+        let mut algo = FullDynDbscan::<2>::new(params).with_threads(2);
+        let mut live: Vec<PointId> = Vec::new();
+        for round in 0..10 {
+            if live.len() > 60 && round % 3 == 2 {
+                let mut chunk = Vec::new();
+                for _ in 0..40 {
+                    let i = rng.next_below(live.len() as u64) as usize;
+                    chunk.push(live.swap_remove(i));
+                }
+                algo.delete_batch(&chunk);
+            } else if round % 2 == 0 {
+                live.extend(algo.insert_batch(&spray::<2>(&mut rng, 90, 9.0)));
+            } else {
+                for p in spray::<2>(&mut rng, 30, 9.0) {
+                    live.push(algo.insert(p));
+                }
+                if !live.is_empty() {
+                    let i = rng.next_below(live.len() as u64) as usize;
+                    algo.delete(live.swap_remove(i));
+                }
+            }
+            let snap_all = algo.group_all();
+            assert_eq!(snap_all, algo.direct_group_all(), "rho {rho} round {round}");
+            let q = subset(&mut rng, &live);
+            assert_eq!(
+                algo.group_by(&q),
+                algo.direct_group_by(&q),
+                "rho {rho} round {round} subset"
+            );
+        }
+    }
+}
+
+#[test]
+fn inc_snapshot_path_equals_direct_path() {
+    // IncDBSCAN is exact-only: rho = 0 by contract.
+    let mut rng = SplitMix64::new(0x1C0);
+    let params = Params::new(1.0, 3);
+    let mut algo = IncDbscan::<2>::new(params).with_threads(2);
+    let mut live: Vec<PointId> = Vec::new();
+    for round in 0..10 {
+        if live.len() > 50 && round % 3 == 2 {
+            let mut chunk = Vec::new();
+            for _ in 0..25 {
+                let i = rng.next_below(live.len() as u64) as usize;
+                chunk.push(live.swap_remove(i));
+            }
+            algo.delete_batch(&chunk);
+        } else if round % 2 == 0 {
+            live.extend(algo.insert_batch(&spray::<2>(&mut rng, 70, 8.0)));
+        } else {
+            for p in spray::<2>(&mut rng, 25, 8.0) {
+                live.push(algo.insert(p));
+            }
+            if live.len() > 5 {
+                let i = rng.next_below(live.len() as u64) as usize;
+                algo.delete(live.swap_remove(i));
+            }
+        }
+        let snap_all = algo.group_all();
+        assert_eq!(snap_all, algo.direct_group_all(), "round {round}");
+        let q = subset(&mut rng, &live);
+        assert_eq!(algo.group_by(&q), algo.direct_group_by(&q), "round {round}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 2. try_group_by: typed errors instead of panics
+// ---------------------------------------------------------------------
+
+#[test]
+fn try_group_by_rejects_dead_and_unknown_ids_on_every_engine() {
+    use dydbscan::QueryError;
+    let engines: Vec<(&str, Box<dyn DynamicClusterer<2>>)> = vec![
+        (
+            "semi",
+            Box::new(SemiDynDbscan::<2>::new(Params::new(1.0, 2))),
+        ),
+        (
+            "full",
+            Box::new(FullDynDbscan::<2>::new(Params::new(1.0, 2))),
+        ),
+        ("inc", Box::new(IncDbscan::<2>::new(Params::new(1.0, 2)))),
+    ];
+    for (name, mut c) in engines {
+        let a = c.insert([0.0, 0.0]);
+        let b = c.insert([0.3, 0.0]);
+        assert!(c.try_group_by(&[a, b]).is_ok(), "{name}");
+        // an id that was never issued
+        assert_eq!(
+            c.try_group_by(&[a, 999]),
+            Err(QueryError::DeadPoint { id: 999 }),
+            "{name}"
+        );
+        if c.supports_deletion() {
+            c.delete(b);
+            assert_eq!(
+                c.try_group_by(&[b]),
+                Err(QueryError::DeadPoint { id: b }),
+                "{name}: deleted id must be a typed error"
+            );
+            assert!(c.try_group_by(&[a]).is_ok(), "{name}");
+        }
+        // the error names the id
+        let msg = c.try_group_by(&[777]).unwrap_err().to_string();
+        assert!(msg.contains("777"), "{name}: {msg}");
+    }
+}
+
+#[test]
+fn facade_exposes_try_group_by_and_snapshot() {
+    let mut c = dydbscan::DbscanBuilder::new(1.0, 2).build_dyn(3).unwrap();
+    let a = c.insert(&[0.0, 0.0, 0.0]);
+    let b = c.insert(&[0.4, 0.0, 0.0]);
+    assert!(c.try_group_by(&[a, b]).is_ok());
+    assert!(c.try_group_by(&[a, 5000]).is_err());
+    let snap = c.snapshot();
+    c.delete(b);
+    // the published snapshot stays frozen at its epoch
+    assert!(snap.is_alive(b));
+    assert!(snap.try_group_by(&[a, b]).is_ok());
+    assert!(c.try_group_by(&[b]).is_err());
+}
+
+// ---------------------------------------------------------------------
+// 3. Concurrent readers vs a flushing writer
+// ---------------------------------------------------------------------
+
+/// The writer publishes `(snapshot, expected clustering at that epoch)`
+/// pairs; readers pull them concurrently and verify every answer.
+#[test]
+fn readers_hammer_snapshots_while_writer_flushes() {
+    for threads in [1usize, 2, 4] {
+        let params = Params::new(1.0, 3).with_rho(0.001);
+        let mut algo = FullDynDbscan::<2>::new(params).with_threads(threads);
+        // Shadow replay: the same op sequence through a second engine,
+        // queried through the *direct* (pre-snapshot) walk — the
+        // sequential-replay reference for each epoch.
+        let mut replay = FullDynDbscan::<2>::new(params);
+        let mut rng = SplitMix64::new(0xC0FFEE + threads as u64);
+        let mut live: Vec<PointId> = Vec::new();
+
+        type Published = (Arc<dydbscan::ClusterSnapshot>, Clustering, Vec<PointId>);
+        let published: std::sync::Mutex<Vec<Published>> = std::sync::Mutex::new(Vec::new());
+        let done = std::sync::atomic::AtomicBool::new(false);
+
+        std::thread::scope(|s| {
+            // N readers: grab whatever epochs exist and verify them.
+            for r in 0..4 {
+                let published = &published;
+                let done = &done;
+                s.spawn(move || {
+                    let mut rng = SplitMix64::new(0xBEEF + r);
+                    let mut checked = 0usize;
+                    loop {
+                        let batch: Vec<Published> = {
+                            let guard = published.lock().unwrap();
+                            guard.clone()
+                        };
+                        for (snap, expected, ids) in &batch {
+                            // full clustering at the frozen epoch
+                            assert_eq!(
+                                &snap.group_all(),
+                                expected,
+                                "reader {r}: snapshot diverged from its epoch's replay"
+                            );
+                            // internal consistency: subsets restrict
+                            let q = subset(&mut rng, ids);
+                            assert_eq!(
+                                snap.group_by(&q),
+                                expected.restrict(&q),
+                                "reader {r}: subset inconsistent with the epoch clustering"
+                            );
+                            checked += 1;
+                        }
+                        if done.load(std::sync::atomic::Ordering::Acquire) && !batch.is_empty() {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    assert!(checked > 0, "reader {r} never verified an epoch");
+                });
+            }
+
+            // The writer: flush batches, publish an epoch after each.
+            for round in 0..12 {
+                if live.len() > 80 && round % 3 == 2 {
+                    let mut chunk = Vec::new();
+                    for _ in 0..50 {
+                        let i = rng.next_below(live.len() as u64) as usize;
+                        chunk.push(live.swap_remove(i));
+                    }
+                    algo.delete_batch(&chunk);
+                    replay.delete_batch(&chunk);
+                } else {
+                    let pts = spray::<2>(&mut rng, 100, 9.0);
+                    live.extend(algo.insert_batch(&pts));
+                    replay.insert_batch(&pts);
+                }
+                let snap = algo.snapshot();
+                let expected = replay.direct_group_all();
+                assert_eq!(
+                    snap.group_all(),
+                    expected,
+                    "threads {threads} round {round}: epoch must equal its sequential replay"
+                );
+                published
+                    .lock()
+                    .unwrap()
+                    .push((snap, expected, live.clone()));
+            }
+            done.store(true, std::sync::atomic::Ordering::Release);
+        });
+
+        // Epochs must be strictly increasing across publishes.
+        let guard = published.lock().unwrap();
+        for w in guard.windows(2) {
+            assert!(
+                w[0].0.epoch() < w[1].0.epoch(),
+                "threads {threads}: epochs must advance"
+            );
+        }
+    }
+}
+
+/// The owner keeps updating between `snapshot()` and the readers'
+/// queries; published snapshots must never observe those updates.
+#[test]
+fn published_snapshot_is_immune_to_later_updates() {
+    let params = Params::new(1.0, 3);
+    let mut algo = FullDynDbscan::<2>::new(params);
+    let mut rng = SplitMix64::new(42);
+    let ids = algo.insert_batch(&spray::<2>(&mut rng, 200, 8.0));
+    let snap = algo.snapshot();
+    let frozen = snap.group_all();
+    let frozen_len = snap.len();
+    // mutate heavily
+    algo.delete_batch(&ids[..100]);
+    algo.insert_batch(&spray::<2>(&mut rng, 150, 8.0));
+    assert_eq!(snap.group_all(), frozen, "snapshot changed under the owner");
+    assert_eq!(snap.len(), frozen_len);
+    for &id in &ids[..100] {
+        assert!(snap.is_alive(id), "deleted later, alive at this epoch");
+    }
+    // and the engine's *current* view moved on
+    assert_ne!(algo.snapshot().epoch(), snap.epoch());
+}
+
+/// `group_all` through the pool must be bit-identical to the sequential
+/// scan at every thread count (and to the snapshot's own sequential
+/// `group_all`).
+#[test]
+fn pooled_group_all_is_bit_identical_across_thread_counts() {
+    let mut reference: Option<Clustering> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let params = Params::new(1.0, 3).with_rho(0.001);
+        let mut algo = FullDynDbscan::<2>::new(params).with_threads(threads);
+        let mut rng = SplitMix64::new(777);
+        let ids = algo.insert_batch(&spray::<2>(&mut rng, 3000, 25.0));
+        algo.delete_batch(&ids[..500]);
+        let got = algo.group_all();
+        assert_eq!(got, algo.snapshot().group_all(), "threads {threads}");
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => assert_eq!(&got, want, "threads {threads}"),
+        }
+    }
+}
+
+/// The deprecated `&mut` shims still answer (compatibility cover until
+/// they are removed).
+#[test]
+#[allow(deprecated)]
+fn deprecated_mut_shims_still_answer() {
+    let mut c: Box<dyn DynamicClusterer<2>> =
+        Box::new(SemiDynDbscan::<2>::new(Params::new(1.0, 2)));
+    let a = c.insert([0.0, 0.0]);
+    let b = c.insert([0.5, 0.0]);
+    assert_eq!(c.group_by_mut(&[a, b]), c.group_by(&[a, b]));
+    assert_eq!(c.group_all_mut(), c.group_all());
+}
