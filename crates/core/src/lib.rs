@@ -84,6 +84,7 @@ pub use batch::{FlushPhase, FlushPipeline, FlushStats};
 pub use full::{FullDynDbscan, FullStats};
 pub use groups::{Clustering, GroupBy};
 pub use ops::Op;
+pub use parallel::sched;
 pub use params::{validate_point, validate_points, ParamError, Params};
 pub use points::{PointArena, PointId, PointRec};
 pub use semi::{SemiDynDbscan, SemiStats};

@@ -26,11 +26,27 @@
 //! thread — the exact sequential path. Small task counts also stay
 //! inline (`MIN_TASKS_PER_WORKER`), so per-op-sized flushes do not pay
 //! wake latency for microscopic wins.
+//!
+//! ## Correctness tooling
+//!
+//! The claim/park/panic protocol below is deliberately factored into
+//! small steps ([`claim`], [`poison`], [`try_pickup`], [`checkout`])
+//! shared with the deterministic schedule-exploration harness in
+//! [`sched`], which replays thousands of seeded interleavings of the
+//! protocol and asserts its invariants (each index claimed exactly
+//! once, no result leaked on panic, `active` drains to zero). CI
+//! additionally runs this module's unit suite under Miri and the
+//! concurrency integration suites under ThreadSanitizer/AddressSanitizer
+//! (see `.github/workflows/ci.yml`), and every `unsafe` site here is
+//! registered in `xtask/unsafe_registry.toml` — `cargo xtask lint`
+//! fails if one is added without updating the registry.
+
+pub mod sched;
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 /// A worker is only worth engaging if it has at least this many tasks to
@@ -46,19 +62,99 @@ pub(crate) fn default_threads() -> usize {
 
 /// Result slots written directly by whichever worker claims each task
 /// index; every index is claimed exactly once, so no two writers alias.
-struct Slots<R>(Vec<UnsafeCell<MaybeUninit<R>>>);
+/// `written[i]` records that `cells[i]` was initialized — it is what
+/// lets [`Drop`] reclaim results that were already produced when a
+/// sibling task panicked (instead of leaking them, which Miri's leak
+/// checker and the `Drop`-counting regression test below would flag).
+struct Slots<R> {
+    cells: Vec<UnsafeCell<MaybeUninit<R>>>,
+    written: Vec<AtomicBool>,
+}
 
 // SAFETY: distinct tasks write distinct slots (the atomic cursor hands
-// each index out once), and reads happen only after the completion
-// barrier in `WorkerPool::run`.
+// each index out once, see `claim`), the per-slot `written` flag is an
+// atomic, and non-atomic reads of `cells` happen only after the
+// completion barrier in `WorkerPool::run` — `R: Send` because result
+// values produced on worker threads are moved to the coordinator.
 unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(tasks: usize) -> Self {
+        Self {
+            cells: (0..tasks)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+            written: (0..tasks).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+
+    /// Stores task `i`'s result and marks the slot initialized.
+    ///
+    /// # Safety
+    ///
+    /// `i` must have been claimed from the job's cursor (which hands
+    /// each index out exactly once), so no other thread reads or writes
+    /// slot `i` while this call runs.
+    unsafe fn write(&self, i: usize, r: R) {
+        // SAFETY: per the contract above, this thread is the unique
+        // owner of slot `i` until the flag below is set.
+        unsafe { (*self.cells[i].get()).write(r) };
+        // ORDERING: Release orders the value write above before the
+        // flag; the matching reads happen after the completion barrier
+        // (a Mutex/Condvar round-trip that already gives happens-before)
+        // so Relaxed would be sound too — Release keeps the slot
+        // invariant locally checkable instead of leaning on the barrier.
+        self.written[i].store(true, Ordering::Release);
+    }
+
+    /// Consumes the slots into the in-task-order result vector. Only
+    /// called on the no-panic path, after the completion barrier: every
+    /// slot must have been written.
+    fn into_results(mut self) -> Vec<R> {
+        let cells = std::mem::take(&mut self.cells);
+        let written = std::mem::take(&mut self.written);
+        // `self` now drops with empty vectors, so `Drop` below cannot
+        // double-free what this loop moves out.
+        cells
+            .into_iter()
+            .zip(written)
+            .map(|(cell, written)| {
+                assert!(
+                    written.into_inner(),
+                    "no panic was recorded, so every slot must be initialized"
+                );
+                // SAFETY: the `written` flag just confirmed this slot
+                // was initialized, and the completion barrier ordered
+                // that write before this read.
+                unsafe { cell.into_inner().assume_init() }
+            })
+            .collect()
+    }
+}
+
+impl<R> Drop for Slots<R> {
+    fn drop(&mut self) {
+        // The panic-propagation path drops `Slots` without draining it;
+        // results that sibling tasks already produced must be dropped,
+        // not leaked (regression: `panic_drops_already_written_results`).
+        for (cell, written) in self.cells.iter_mut().zip(self.written.iter_mut()) {
+            if *written.get_mut() {
+                // SAFETY: `written[i]` is set only after `cells[i]` was
+                // fully initialized, and `&mut self` proves no worker
+                // still aliases the slot (the completion barrier in
+                // `run` precedes every drop site).
+                unsafe { cell.get_mut().assume_init_drop() };
+            }
+        }
+    }
+}
 
 /// The type-erased unit of work published to the crew: a trampoline to
 /// the caller's stack-held closure plus the shared cursor. Only valid
 /// while the publishing [`WorkerPool::run`] call is blocked on the
 /// completion barrier.
 #[derive(Clone, Copy)]
-struct Job {
+pub(crate) struct Job {
     run: unsafe fn(*const (), usize),
     ctx: *const (),
     tasks: usize,
@@ -73,7 +169,8 @@ struct Job {
 // copied the job.
 unsafe impl Send for Job {}
 
-struct State {
+/// The park-protocol state guarded by [`Shared::state`].
+pub(crate) struct State {
     /// Bumped once per published job; lets parked workers tell a fresh
     /// job from a spurious wakeup or one they already drained.
     epoch: u64,
@@ -84,7 +181,111 @@ struct State {
     shutdown: bool,
 }
 
-struct Shared {
+impl State {
+    pub(crate) fn idle() -> Self {
+        Self {
+            epoch: 0,
+            job: None,
+            checked_in: 0,
+            active: 0,
+            shutdown: false,
+        }
+    }
+
+    /// Publishes `job` as a fresh epoch (the coordinator's half of the
+    /// park protocol; the caller then wakes the crew).
+    pub(crate) fn publish(&mut self, job: Job) {
+        self.job = Some(job);
+        self.epoch += 1;
+        self.checked_in = 0;
+    }
+
+    /// Retracts the drained job so late wakers never see it.
+    pub(crate) fn retract(&mut self) {
+        self.job = None;
+    }
+
+    pub(crate) fn active(&self) -> usize {
+        self.active
+    }
+
+    pub(crate) fn checked_in(&self) -> usize {
+        self.checked_in
+    }
+
+    pub(crate) fn request_shutdown(&mut self) {
+        self.shutdown = true;
+    }
+}
+
+/// What one pass of the worker park loop decided (see [`try_pickup`]).
+pub(crate) enum Pickup {
+    /// The worker checked in on a fresh job and must drain it.
+    Work(Job),
+    /// Nothing to do: park (wait on the `work` condvar) and retry.
+    Park,
+    /// The pool is shutting down: exit the worker loop.
+    Exit,
+}
+
+/// One pass of the worker park protocol: under the state lock, decide
+/// whether to exit, pick up a freshly published job (checking in, so
+/// the coordinator's completion barrier waits for this worker), or park.
+/// Factored out of [`worker_loop`] so the schedule-exploration harness
+/// ([`sched`]) can replay it step by step under permuted interleavings.
+pub(crate) fn try_pickup(st: &mut State, seen_epoch: &mut u64) -> Pickup {
+    if st.shutdown {
+        return Pickup::Exit;
+    }
+    if st.epoch != *seen_epoch {
+        *seen_epoch = st.epoch;
+        if let Some(job) = st.job {
+            if st.checked_in < job.max_workers {
+                st.checked_in += 1;
+                st.active += 1;
+                return Pickup::Work(job);
+            }
+        }
+        // Job already drained/cleared or crew full: not ours.
+    }
+    Pickup::Park
+}
+
+/// The check-out half of the park protocol: returns `true` when this
+/// worker was the last active one, in which case the caller must notify
+/// the `done` condvar to release the coordinator's completion barrier.
+pub(crate) fn checkout(st: &mut State) -> bool {
+    st.active -= 1;
+    st.active == 0
+}
+
+/// Claims the next task index from the shared cursor, or `None` once the
+/// range is drained (or poisoned).
+///
+/// ORDERING: Relaxed — exactly-once claiming needs only the atomicity of
+/// `fetch_add`; the *results* a claimed task writes are published to the
+/// coordinator by the completion barrier (a Mutex acquire/release pair),
+/// not by this counter, so no stronger ordering is required here.
+pub(crate) fn claim(cursor: &AtomicUsize, tasks: usize) -> Option<usize> {
+    // ORDERING: Relaxed — see above: atomicity alone hands out unique
+    // indices; publication happens at the completion barrier.
+    let i = cursor.fetch_add(1, Ordering::Relaxed);
+    (i < tasks).then_some(i)
+}
+
+/// Poisons the cursor so no *further* tasks are handed out (tasks already
+/// claimed still finish). Used by the panic-propagation path.
+///
+/// ORDERING: Relaxed — this is a best-effort brake, not a publication:
+/// a racing `claim` that observes the old value merely runs one more
+/// task, which is harmless (its result is dropped with the slots).
+pub(crate) fn poison(cursor: &AtomicUsize, tasks: usize) {
+    // ORDERING: Relaxed — see above: a best-effort brake, losing the
+    // race costs one harmless extra task.
+    cursor.store(tasks, Ordering::Relaxed);
+}
+
+pub(crate) struct Shared {
     state: Mutex<State>,
     /// Workers park here between flushes.
     work: Condvar,
@@ -102,13 +303,7 @@ struct PoolInner {
 impl PoolInner {
     fn spawn(workers: usize) -> Self {
         let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                epoch: 0,
-                job: None,
-                checked_in: 0,
-                active: 0,
-                shutdown: false,
-            }),
+            state: Mutex::new(State::idle()),
             work: Condvar::new(),
             done: Condvar::new(),
         });
@@ -124,7 +319,7 @@ impl PoolInner {
     fn shutdown(&mut self) {
         {
             let mut st = self.shared.state.lock().unwrap();
-            st.shutdown = true;
+            st.request_shutdown();
         }
         self.shared.work.notify_all();
         for h in self.handles.drain(..) {
@@ -145,36 +340,22 @@ fn worker_loop(shared: &Shared) {
         let job = {
             let mut st = shared.state.lock().unwrap();
             loop {
-                if st.shutdown {
-                    return;
+                match try_pickup(&mut st, &mut seen_epoch) {
+                    Pickup::Exit => return,
+                    Pickup::Work(job) => break job,
+                    Pickup::Park => st = shared.work.wait(st).unwrap(),
                 }
-                if st.epoch != seen_epoch {
-                    seen_epoch = st.epoch;
-                    if let Some(job) = st.job {
-                        if st.checked_in < job.max_workers {
-                            st.checked_in += 1;
-                            st.active += 1;
-                            break job;
-                        }
-                    }
-                    // Job already drained/cleared or crew full: not ours.
-                }
-                st = shared.work.wait(st).unwrap();
             }
         };
-        loop {
-            // SAFETY: checked in under the state lock, so the
-            // coordinator waits for our checkout before invalidating
-            // the job's pointers.
-            let i = unsafe { &*job.cursor }.fetch_add(1, Ordering::Relaxed);
-            if i >= job.tasks {
-                break;
-            }
+        // SAFETY: checked in under the state lock, so the coordinator
+        // waits for our checkout before invalidating the job's pointers.
+        while let Some(i) = claim(unsafe { &*job.cursor }, job.tasks) {
+            // SAFETY: same pointer-validity argument; `i` was claimed
+            // exactly once so the task body owns its result slot.
             unsafe { (job.run)(job.ctx, i) };
         }
         let mut st = shared.state.lock().unwrap();
-        st.active -= 1;
-        if st.active == 0 {
+        if checkout(&mut st) {
             shared.done.notify_all();
         }
     }
@@ -256,24 +437,19 @@ impl WorkerPool {
         } else {
             self.inner = Some(PoolInner::spawn(self.budget - 1));
         }
+        // ALLOW(no-unwrap): `inner` was re-spawned just above if empty.
         let shared = Arc::clone(&self.inner.as_ref().unwrap().shared);
 
-        let slots = Slots(
-            (0..tasks)
-                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
-                .collect(),
-        );
+        let slots = Slots::new(tasks);
         let cursor = AtomicUsize::new(0);
         let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let body = |i: usize| match catch_unwind(AssertUnwindSafe(|| run(i))) {
             // SAFETY: index `i` was handed out by the cursor exactly once.
-            Ok(r) => {
-                unsafe { (*slots.0[i].get()).write(r) };
-            }
+            Ok(r) => unsafe { slots.write(i, r) },
             Err(payload) => {
                 *panic_slot.lock().unwrap() = Some(payload);
                 // Stop handing out work; claimed tasks still finish.
-                cursor.store(tasks, Ordering::Relaxed);
+                poison(&cursor, tasks);
             }
         };
         let (run_erased, ctx) = erase(&body);
@@ -286,41 +462,28 @@ impl WorkerPool {
         };
         {
             let mut st = shared.state.lock().unwrap();
-            st.job = Some(job);
-            st.epoch += 1;
-            st.checked_in = 0;
+            st.publish(job);
         }
         shared.work.notify_all();
         // The coordinator is part of the crew: steal until exhausted.
-        loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= tasks {
-                break;
-            }
+        while let Some(i) = claim(&cursor, tasks) {
             body(i);
         }
         // Completion barrier: wait for every checked-in worker to check
         // out, then retract the job so late wakers never see it.
         {
             let mut st = shared.state.lock().unwrap();
-            while st.active > 0 {
+            while st.active() > 0 {
                 st = shared.done.wait(st).unwrap();
             }
-            st.job = None;
+            st.retract();
         }
         if let Some(payload) = panic_slot.into_inner().unwrap() {
-            // Written slots leak their R (MaybeUninit never drops), which
-            // is acceptable on the propagation path.
+            // `slots` drops here: results that sibling tasks already
+            // wrote are dropped by `Slots::drop`, not leaked.
             std::panic::resume_unwind(payload);
         }
-        let results = slots
-            .0
-            .into_iter()
-            // SAFETY: no panic was recorded, so the cursor handed out —
-            // and `body` completed — every index in 0..tasks.
-            .map(|c| unsafe { c.into_inner().assume_init() })
-            .collect();
-        (results, crew)
+        (slots.into_results(), crew)
     }
 }
 
@@ -334,7 +497,12 @@ impl Drop for WorkerPool {
 /// Erases a task closure into a `(trampoline, context)` pair the crew
 /// can carry across threads.
 fn erase<F: Fn(usize)>(f: &F) -> (unsafe fn(*const (), usize), *const ()) {
+    /// # Safety
+    ///
+    /// `ctx` must point to a live `F` for the duration of the call.
     unsafe fn trampoline<F: Fn(usize)>(ctx: *const (), i: usize) {
+        // SAFETY: `ctx` was produced from `&F` by `erase` and the caller
+        // guarantees the referent is still live.
         unsafe { (*(ctx as *const F))(i) }
     }
     (trampoline::<F>, f as *const F as *const ())
@@ -343,6 +511,7 @@ fn erase<F: Fn(usize)>(f: &F) -> (unsafe fn(*const (), usize), *const ()) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicIsize;
 
     #[test]
     fn results_come_back_in_task_order() {
@@ -434,5 +603,77 @@ mod tests {
         // The crew survives a panicked job and keeps serving.
         let (out, _) = pool.run(1000, |i| i * 2);
         assert_eq!(out[500], 1000);
+    }
+
+    /// Net live count of `Counted` values: +1 on construction, -1 on
+    /// drop. Balanced ⇔ nothing leaked and nothing double-dropped.
+    static LIVE: AtomicIsize = AtomicIsize::new(0);
+
+    struct Counted(#[allow(dead_code)] usize);
+
+    impl Counted {
+        fn new(i: usize) -> Self {
+            // ORDERING: Relaxed — the test only reads the counter after
+            // the pool run returned (happens-before via join/barrier).
+            LIVE.fetch_add(1, Ordering::Relaxed);
+            Counted(i)
+        }
+    }
+
+    impl Drop for Counted {
+        fn drop(&mut self) {
+            // ORDERING: Relaxed — see `Counted::new`.
+            LIVE.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Regression (ISSUE 6 satellite): results already written into the
+    /// `MaybeUninit` slots used to be *leaked* when a sibling task
+    /// panicked — the panic path dropped `Slots` without dropping the
+    /// initialized entries. `Slots` now tracks written flags and drops
+    /// them; this test fails (LIVE > 0 after the run) on the old code.
+    #[test]
+    fn panic_drops_already_written_results() {
+        for threads in [2usize, 4, 8] {
+            // ORDERING: Relaxed — drop-balance counter, only asserted
+            // here while no worker is running (before `run`, and after
+            // the pool and results have been dropped).
+            let before = LIVE.load(Ordering::Relaxed);
+            let mut pool = WorkerPool::new(threads);
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run(512, |i| {
+                    if i == 300 {
+                        panic!("boom in task 300");
+                    }
+                    Counted::new(i)
+                })
+            }));
+            assert!(caught.is_err(), "threads={threads}: panic must surface");
+            drop(pool);
+            assert_eq!(
+                // ORDERING: Relaxed — read after `drop(pool)` joined the
+                // workers; no concurrent writers remain.
+                LIVE.load(Ordering::Relaxed),
+                before,
+                "threads={threads}: every result produced before the panic \
+                 must be dropped, not leaked"
+            );
+        }
+    }
+
+    /// The no-panic path must drop every result exactly once, too
+    /// (guards `into_results` against double-drop with `Slots::drop`).
+    #[test]
+    fn success_path_drop_balance() {
+        // ORDERING: Relaxed — drop-balance counter, asserted only while
+        // no worker is running (before `run` / after results dropped).
+        let before = LIVE.load(Ordering::Relaxed);
+        let mut pool = WorkerPool::new(4);
+        let (out, _) = pool.run(512, Counted::new);
+        assert_eq!(out.len(), 512);
+        drop(out);
+        // ORDERING: Relaxed — `run` returned, so the completion barrier
+        // already ordered every task's increment before this read.
+        assert_eq!(LIVE.load(Ordering::Relaxed), before);
     }
 }

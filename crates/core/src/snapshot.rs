@@ -186,6 +186,44 @@ impl ClusterSnapshot {
         self.alive == 0
     }
 
+    /// A content fingerprint over everything the snapshot holds (epoch,
+    /// label table, flags, anchors, alive count). Two snapshots with
+    /// the same checksum answer every query identically.
+    ///
+    /// Used by the schedule-exploration harness
+    /// (`dydbscan_core::sched`) and the concurrency suites to prove
+    /// published snapshots are never written through: a reader hashes
+    /// the `Arc` it holds, lets the writer refresh, and re-verifies.
+    pub fn checksum(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut z = h ^ v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = mix(0x5EED_0C5E_C55E_ED00, self.epoch);
+        h = mix(h, self.alive as u64);
+        for &l in &self.labels {
+            h = mix(h, l);
+        }
+        for &f in &self.flags {
+            h = mix(h, u64::from(f));
+        }
+        for a in &self.anchors {
+            match a {
+                Anchors::None => h = mix(h, 1),
+                Anchors::One(v) => h = mix(mix(h, 2), u64::from(*v)),
+                Anchors::Many(vs) => {
+                    h = mix(h, 3);
+                    for &v in vs.iter() {
+                        h = mix(h, u64::from(v));
+                    }
+                }
+            }
+        }
+        h
+    }
+
     /// Answers a C-group-by query over `q` at this epoch.
     ///
     /// # Panics
@@ -296,6 +334,12 @@ impl ClusterSnapshot {
 
 /// What one refresh pass observed, folded into
 /// [`ClustererStats`](crate::ClustererStats) by the engines.
+///
+/// All three are *monotonic statistics*, never used for
+/// synchronization: nothing is published through them and no invariant
+/// reads them together atomically, so every access below is
+/// `Ordering::Relaxed` (each justified at its site — `cargo xtask
+/// lint` enforces the `// ORDERING:` comments).
 struct SnapCounters {
     /// Snapshot refreshes performed (= epochs advanced).
     refreshes: AtomicU64,
@@ -380,6 +424,9 @@ impl SnapshotState {
     /// Records `chunks` range tasks dispatched by a `group_all` fan-out
     /// that engaged more than one worker.
     pub fn note_query_tasks(&self, chunks: usize) {
+        // ORDERING: Relaxed — a monotonic stat counter; readers only
+        // want an eventually-consistent total, nothing is published
+        // through it.
         self.counters
             .query_parallel_tasks
             .fetch_add(chunks as u64, Ordering::Relaxed);
@@ -388,6 +435,10 @@ impl SnapshotState {
     /// `(snapshot_refreshes, snapshot_cells_relabeled,
     /// query_parallel_tasks)` for the engine's stats surface.
     pub fn counter_values(&self) -> (u64, u64, u64) {
+        // ORDERING: Relaxed — stat reads; the three values need not
+        // form a consistent cut (they are reported, not acted on), and
+        // callers that need exactness hold `&mut` over the engine
+        // anyway.
         (
             self.counters.refreshes.load(Ordering::Relaxed),
             self.counters.keys_relabeled.load(Ordering::Relaxed),
@@ -445,7 +496,15 @@ impl SnapshotState {
             });
         }
         dirty.clear();
+        // ORDERING: Relaxed (both) — stat counters. The *snapshot*
+        // itself is published by the `inner` mutex release (and the
+        // `Arc` handed to the caller), which already gives every reader
+        // a happens-before edge; the counters ride along without
+        // ordering duties. The epoch lives inside the snapshot, not in
+        // an atomic: it is only ever written under this mutex, which is
+        // what makes "strictly increasing" trivially sound.
         self.counters.refreshes.fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Relaxed — same stats-only contract as the line above.
         self.counters
             .keys_relabeled
             .fetch_add(relabeled, Ordering::Relaxed);

@@ -35,6 +35,7 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
+            // ALLOW(no-unwrap): chunks_exact(8) yields exactly 8 bytes.
             self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
         }
         let rem = chunks.remainder();

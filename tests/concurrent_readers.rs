@@ -251,6 +251,11 @@ fn readers_hammer_snapshots_while_writer_flushes() {
                             );
                             checked += 1;
                         }
+                        // ORDERING: Acquire — pairs with the writer's
+                        // Release store: a reader that observes the
+                        // shutdown flag also observes every snapshot
+                        // published before it (belt and braces; the
+                        // `published` mutex orders those on its own).
                         if done.load(std::sync::atomic::Ordering::Acquire) && !batch.is_empty() {
                             break;
                         }
@@ -287,6 +292,8 @@ fn readers_hammer_snapshots_while_writer_flushes() {
                     .unwrap()
                     .push((snap, expected, live.clone()));
             }
+            // ORDERING: Release — pairs with the readers' Acquire load
+            // of the shutdown flag (see above).
             done.store(true, std::sync::atomic::Ordering::Release);
         });
 

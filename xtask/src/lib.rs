@@ -1,0 +1,849 @@
+//! The `cargo xtask lint` engine: a dependency-free, source-level
+//! linter for the concurrency-correctness rules this workspace commits
+//! to (ISSUE 6).
+//!
+//! Rules:
+//!
+//! * **unsafe-safety** — every `unsafe` block / `unsafe fn` declaration /
+//!   `unsafe impl` must carry a `// SAFETY:` comment (or a `# Safety`
+//!   doc section for `unsafe fn`) on the same line or in the contiguous
+//!   comment/attribute block immediately above. `unsafe fn(..)` *type*
+//!   positions (fn-pointer types) are exempt: they impose the obligation
+//!   at the call site, not the declaration site.
+//! * **unsafe-registry** — the per-file count of unsafe sites must match
+//!   `xtask/unsafe_registry.toml` exactly, so adding (or removing)
+//!   unsafe code is always a visible, reviewed diff to a checked-in
+//!   inventory.
+//! * **ordering-justified** — every `Ordering::{Relaxed, Acquire,
+//!   Release, AcqRel, SeqCst}` use needs an `// ORDERING:` comment
+//!   explaining why that memory ordering is sufficient.
+//!   `std::cmp::Ordering` (Less/Equal/Greater) never matches.
+//! * **no-partial-cmp-unwrap** — bans `partial_cmp(..).unwrap()`:
+//!   NaN-poisoned comparisons must go through `total_cmp` or an explicit
+//!   NaN policy.
+//! * **no-thread-spawn** — bans `thread::spawn` outside
+//!   `crates/core/src/parallel`: ad-hoc threads bypass the pool's
+//!   park/panic protocol and its schedule-exploration coverage.
+//! * **no-unwrap** — bans `.unwrap()` / `.expect(` in non-test library
+//!   code, with an explicit allowlist (`xtask/lint_allow.toml`) and
+//!   in-source `// ALLOW(rule): reason` escapes.
+//!
+//! The scanner is deliberately token-level, not a full parser: it strips
+//! comments and string/char literals first (so prose never triggers a
+//! rule), tracks `#[cfg(test)]` brace-balanced regions, and otherwise
+//! matches words. That keeps it dependency-free and fast, at the price
+//! of being a *policy* check, not a soundness proof — Miri and the
+//! sanitizer CI jobs cover the semantic side.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The atomic-ordering variants that require an `// ORDERING:` comment.
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// One lint finding, addressable as `file:line`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.msg
+        )
+    }
+}
+
+/// One `[[allow]]` entry from `xtask/lint_allow.toml`. A grant matches a
+/// finding when the rule name matches and every present scope key
+/// (path prefix, line substring) matches too.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub rule: String,
+    pub path: Option<String>,
+    pub contains: Option<String>,
+    pub reason: String,
+}
+
+/// Replace comments and string/char-literal contents with spaces,
+/// preserving newlines (and therefore line numbers), so rule matching
+/// never fires on prose. Handles line comments, nested block comments,
+/// plain/raw/byte strings, char literals, and leaves lifetimes intact.
+pub fn mask_source(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out: Vec<char> = Vec::with_capacity(n);
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let mut i = 0;
+    while i < n {
+        let c = chars[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment; Rust block comments nest.
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 1usize;
+            out.push(' ');
+            out.push(' ');
+            i += 2;
+            while i < n && depth > 0 {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else {
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (byte) string: r"..", r#".."#, br".." — only when `r`
+        // starts a token (not the tail of an identifier).
+        if (c == 'r' || (c == 'b' && i + 1 < n && chars[i + 1] == 'r'))
+            && (i == 0 || !is_ident(chars[i - 1]))
+        {
+            let r_at = if c == 'b' { i + 1 } else { i };
+            let mut j = r_at + 1;
+            let mut hashes = 0usize;
+            while j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && chars[j] == '"' {
+                for &p in &chars[i..=j] {
+                    out.push(p);
+                }
+                i = j + 1;
+                while i < n {
+                    if chars[i] == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && i + 1 + h < n && chars[i + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            out.push('"');
+                            out.extend(std::iter::repeat_n('#', h));
+                            i += 1 + h;
+                            break;
+                        }
+                    }
+                    out.push(blank(chars[i]));
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        // Plain string literal (escapes respected).
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    // An escaped newline (line continuation) must stay a
+                    // newline, or every later line number shifts.
+                    out.push(' ');
+                    out.push(blank(chars[i + 1]));
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                }
+                out.push(blank(chars[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime: 'x' and '\..' are literals;
+        // 'ident (no closing quote right after one char) is a lifetime.
+        if c == '\'' {
+            if i + 1 < n && chars[i + 1] == '\\' {
+                out.push('\'');
+                i += 1;
+                while i < n && chars[i] != '\'' {
+                    out.push(' ');
+                    i += 1;
+                }
+                if i < n {
+                    out.push('\'');
+                    i += 1;
+                }
+                continue;
+            }
+            if i + 2 < n && chars[i + 2] == '\'' && chars[i + 1] != '\'' {
+                out.push('\'');
+                out.push(' ');
+                out.push('\'');
+                i += 3;
+                continue;
+            }
+            // Lifetime: fall through as code.
+        }
+        out.push(c);
+        i += 1;
+    }
+    out.into_iter().collect()
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Per-line flags for `#[cfg(test)]` brace-balanced regions of the
+/// masked source (1-based indexing not used here: index 0 = line 1 - 1).
+pub fn test_region_lines(masked: &str) -> Vec<bool> {
+    let line_count = masked.lines().count();
+    let mut flags = vec![false; line_count];
+    let bytes = masked.as_bytes();
+    let line_of = |pos: usize| bytes[..pos].iter().filter(|&&b| b == b'\n').count();
+    for (start, _) in masked.match_indices("#[cfg(test)]") {
+        // Walk forward to the region's opening brace, then balance.
+        let mut i = start + "#[cfg(test)]".len();
+        while i < bytes.len() && bytes[i] != b'{' {
+            i += 1;
+        }
+        if i == bytes.len() {
+            continue;
+        }
+        let open_line = line_of(start);
+        let mut depth = 0isize;
+        let mut end = i;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let close_line = line_of(end.min(bytes.len() - 1));
+        for flag in flags
+            .iter_mut()
+            .take((close_line + 1).min(line_count))
+            .skip(open_line)
+        {
+            *flag = true;
+        }
+    }
+    flags
+}
+
+/// True when the original line — or a comment above it within the same
+/// statement / contiguous comment block — contains one of `needles`.
+/// The upward scan passes over earlier lines of a multi-line statement
+/// (builder chains, tuple literals) and stops at the end of the
+/// *previous* statement or block (`;`, `{`, `}`), so a justification
+/// must sit with the code it justifies, not merely in the same fn.
+fn has_justification(orig_lines: &[&str], line_idx: usize, needles: &[&str]) -> bool {
+    if needles.iter().any(|nd| orig_lines[line_idx].contains(nd)) {
+        return true;
+    }
+    let mut l = line_idx;
+    while l > 0 {
+        l -= 1;
+        let t = orig_lines[l].trim();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") || t.is_empty() {
+            if needles.iter().any(|nd| t.contains(nd)) {
+                return true;
+            }
+            continue;
+        }
+        if t.ends_with(';') || t.ends_with('{') || t.ends_with('}') {
+            return false;
+        }
+    }
+    false
+}
+
+/// True when the line (or the line above) carries an in-source
+/// `// ALLOW(rule): reason` escape for this rule.
+fn inline_allowed(orig_lines: &[&str], line_idx: usize, rule: &str) -> bool {
+    let marker = format!("ALLOW({rule})");
+    if orig_lines[line_idx].contains(&marker) {
+        return true;
+    }
+    line_idx > 0 && orig_lines[line_idx - 1].contains(&marker)
+}
+
+/// True when some `[[allow]]` grant covers this finding.
+fn grant_allowed(allows: &[Allow], rule: &str, rel: &str, line_text: &str) -> bool {
+    allows.iter().any(|a| {
+        a.rule == rule
+            && a.path.as_ref().is_none_or(|p| rel.starts_with(p.as_str()))
+            && a.contains
+                .as_ref()
+                .is_none_or(|c| line_text.contains(c.as_str()))
+    })
+}
+
+/// Find word-boundary occurrences of `word` in `masked`, returning byte
+/// offsets.
+fn word_occurrences(masked: &str, word: &str) -> Vec<usize> {
+    let bytes = masked.as_bytes();
+    masked
+        .match_indices(word)
+        .filter(|&(pos, _)| {
+            let before_ok = pos == 0 || !is_ident(bytes[pos - 1] as char);
+            let after = pos + word.len();
+            let after_ok = after >= bytes.len() || !is_ident(bytes[after] as char);
+            before_ok && after_ok
+        })
+        .map(|(pos, _)| pos)
+        .collect()
+}
+
+/// Classify an `unsafe` occurrence: `unsafe fn(` in type position does
+/// not create an obligation site; everything else (block, fn decl,
+/// impl, trait) does.
+fn is_unsafe_site(masked: &str, pos: usize) -> bool {
+    let rest = &masked[pos + "unsafe".len()..];
+    let trimmed = rest.trim_start();
+    if let Some(after_fn) = trimmed.strip_prefix("fn") {
+        // `unsafe fn(` = fn-pointer type; `unsafe fn name` = declaration.
+        let t = after_fn.trim_start();
+        return !t.starts_with('(');
+    }
+    true
+}
+
+/// Lint one file. `rel` is the workspace-relative path with forward
+/// slashes; returns findings plus this file's unsafe-site count (the
+/// registry cross-check happens over the whole file set in
+/// [`lint_sources`]).
+pub fn lint_file(rel: &str, src: &str, allows: &[Allow]) -> (Vec<Violation>, usize) {
+    let masked = mask_source(src);
+    let orig_lines: Vec<&str> = src.lines().collect();
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let test_lines = test_region_lines(&masked);
+    let bytes = masked.as_bytes();
+    let line_of = |pos: usize| bytes[..pos].iter().filter(|&&b| b == b'\n').count();
+    let test_path = rel.contains("/tests/")
+        || rel.starts_with("tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("examples/");
+    let mut out = Vec::new();
+    let mut unsafe_sites = 0usize;
+
+    let push = |out: &mut Vec<Violation>, rule: &'static str, li: usize, msg: String| {
+        let text = orig_lines.get(li).copied().unwrap_or("");
+        if inline_allowed(&orig_lines, li, rule) || grant_allowed(allows, rule, rel, text) {
+            return;
+        }
+        out.push(Violation {
+            file: rel.to_string(),
+            line: li + 1,
+            rule,
+            msg,
+        });
+    };
+
+    // unsafe-safety (+ count sites for unsafe-registry).
+    for pos in word_occurrences(&masked, "unsafe") {
+        if !is_unsafe_site(&masked, pos) {
+            continue;
+        }
+        unsafe_sites += 1;
+        let li = line_of(pos);
+        if !has_justification(&orig_lines, li, &["SAFETY:", "# Safety"]) {
+            push(
+                &mut out,
+                "unsafe-safety",
+                li,
+                "unsafe site without a `// SAFETY:` comment (or `# Safety` doc section)"
+                    .to_string(),
+            );
+        }
+    }
+
+    // ordering-justified.
+    for (pos, _) in masked.match_indices("Ordering::") {
+        let rest = &masked[pos + "Ordering::".len()..];
+        let variant_matches = ATOMIC_ORDERINGS.iter().any(|v| {
+            rest.strip_prefix(v)
+                .is_some_and(|after| after.chars().next().is_none_or(|c| !is_ident(c)))
+        });
+        if !variant_matches {
+            continue;
+        }
+        let li = line_of(pos);
+        if !has_justification(&orig_lines, li, &["ORDERING:"]) {
+            push(
+                &mut out,
+                "ordering-justified",
+                li,
+                "atomic memory ordering without an `// ORDERING:` justification".to_string(),
+            );
+        }
+    }
+
+    // Line-scoped bans.
+    for (li, mline) in masked_lines.iter().enumerate() {
+        if mline.contains("partial_cmp") && mline.contains("unwrap") {
+            push(
+                &mut out,
+                "no-partial-cmp-unwrap",
+                li,
+                "`partial_cmp(..).unwrap()` panics on NaN; use `total_cmp` or handle None"
+                    .to_string(),
+            );
+        }
+        if mline.contains("thread::spawn") && !rel.starts_with("crates/core/src/parallel") {
+            push(
+                &mut out,
+                "no-thread-spawn",
+                li,
+                "spawn threads through `core::parallel`, not `thread::spawn`".to_string(),
+            );
+        }
+        if !test_path
+            && !test_lines.get(li).copied().unwrap_or(false)
+            && (mline.contains(".unwrap()") || mline.contains(".expect("))
+        {
+            push(
+                &mut out,
+                "no-unwrap",
+                li,
+                "`.unwrap()` / `.expect(` in library code; return an error or add an allow"
+                    .to_string(),
+            );
+        }
+    }
+
+    (out, unsafe_sites)
+}
+
+/// Lint a set of `(relative_path, source)` pairs and cross-check the
+/// unsafe registry. This is the pure core `run_lint` wraps; tests feed
+/// it fixture sources directly.
+pub fn lint_sources(
+    files: &[(String, String)],
+    registry: &BTreeMap<String, usize>,
+    allows: &[Allow],
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for (rel, src) in files {
+        let (violations, sites) = lint_file(rel, src, allows);
+        out.extend(violations);
+        if sites > 0 {
+            counts.insert(rel.clone(), sites);
+        }
+    }
+    for (rel, &found) in &counts {
+        match registry.get(rel) {
+            None => out.push(Violation {
+                file: rel.clone(),
+                line: 1,
+                rule: "unsafe-registry",
+                msg: format!("{found} unsafe site(s) but no entry in xtask/unsafe_registry.toml"),
+            }),
+            Some(&expected) if expected != found => out.push(Violation {
+                file: rel.clone(),
+                line: 1,
+                rule: "unsafe-registry",
+                msg: format!(
+                    "unsafe_registry.toml records {expected} unsafe site(s), found {found}"
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (rel, &expected) in registry {
+        if !counts.contains_key(rel) {
+            out.push(Violation {
+                file: rel.clone(),
+                line: 1,
+                rule: "unsafe-registry",
+                msg: format!(
+                    "unsafe_registry.toml records {expected} unsafe site(s), found 0 (stale entry?)"
+                ),
+            });
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    out
+}
+
+/// Count unsafe sites per file (the `--counts` helper for updating the
+/// registry).
+pub fn unsafe_counts(files: &[(String, String)]) -> BTreeMap<String, usize> {
+    let mut counts = BTreeMap::new();
+    for (rel, src) in files {
+        let (_, sites) = lint_file(rel, src, &[]);
+        if sites > 0 {
+            counts.insert(rel.clone(), sites);
+        }
+    }
+    counts
+}
+
+// ---------------------------------------------------------------------
+// Config loading: a hand-rolled parser for the tiny TOML subset the two
+// config files use (`[table]` / `[[array-of-tables]]` headers and
+// `key = "string" | integer` pairs). No dependencies, loud errors.
+// ---------------------------------------------------------------------
+
+fn unquote(raw: &str, file: &str, lineno: usize) -> Result<String, String> {
+    let t = raw.trim();
+    if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
+        Ok(t[1..t.len() - 1].to_string())
+    } else {
+        Err(format!(
+            "{file}:{lineno}: expected a quoted string, got `{t}`"
+        ))
+    }
+}
+
+/// Strip a `#` comment (the configs never put `#` inside strings after
+/// values we care about — keys and values are parsed before this for
+/// quoted content).
+fn strip_comment(line: &str) -> &str {
+    // Respect `#` inside quotes.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// Parse `xtask/unsafe_registry.toml`: a single `[files]` table mapping
+/// quoted workspace-relative paths to unsafe-site counts.
+pub fn parse_registry(text: &str, file: &str) -> Result<BTreeMap<String, usize>, String> {
+    let mut map = BTreeMap::new();
+    let mut in_files = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_files = line == "[files]";
+            if !in_files {
+                return Err(format!("{file}:{lineno}: unknown section `{line}`"));
+            }
+            continue;
+        }
+        if !in_files {
+            return Err(format!("{file}:{lineno}: entry outside [files]"));
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| format!("{file}:{lineno}: expected `\"path\" = count`"))?;
+        let key = unquote(k, file, lineno)?;
+        let count: usize = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("{file}:{lineno}: count must be an integer"))?;
+        if map.insert(key.clone(), count).is_some() {
+            return Err(format!("{file}:{lineno}: duplicate entry for `{key}`"));
+        }
+    }
+    Ok(map)
+}
+
+/// Parse `xtask/lint_allow.toml`: `[[allow]]` entries with `rule`,
+/// `reason`, and at least one of `path` / `contains`.
+pub fn parse_allows(text: &str, file: &str) -> Result<Vec<Allow>, String> {
+    let mut out: Vec<Allow> = Vec::new();
+    let mut open = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == "[[allow]]" {
+            out.push(Allow {
+                rule: String::new(),
+                path: None,
+                contains: None,
+                reason: String::new(),
+            });
+            open = true;
+            continue;
+        }
+        if line.starts_with('[') {
+            return Err(format!("{file}:{lineno}: unknown section `{line}`"));
+        }
+        if !open {
+            return Err(format!("{file}:{lineno}: entry outside [[allow]]"));
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| format!("{file}:{lineno}: expected `key = \"value\"`"))?;
+        let value = unquote(v, file, lineno)?;
+        let Some(entry) = out.last_mut() else {
+            return Err(format!("{file}:{lineno}: entry outside [[allow]]"));
+        };
+        match k.trim() {
+            "rule" => entry.rule = value,
+            "path" => entry.path = Some(value),
+            "contains" => entry.contains = Some(value),
+            "reason" => entry.reason = value,
+            other => return Err(format!("{file}:{lineno}: unknown key `{other}`")),
+        }
+    }
+    for (i, a) in out.iter().enumerate() {
+        if a.rule.is_empty() {
+            return Err(format!("{file}: [[allow]] #{} is missing `rule`", i + 1));
+        }
+        if a.reason.is_empty() {
+            return Err(format!("{file}: [[allow]] #{} is missing `reason`", i + 1));
+        }
+        if a.path.is_none() && a.contains.is_none() {
+            return Err(format!(
+                "{file}: [[allow]] #{} needs `path` and/or `contains` to scope the grant",
+                i + 1
+            ));
+        }
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------
+// Workspace walking + the end-to-end entry point.
+// ---------------------------------------------------------------------
+
+/// Collect every workspace `.rs` file, workspace-relative with forward
+/// slashes, skipping build output, VCS metadata, and the linter's own
+/// negative fixtures (those are *supposed* to fail).
+pub fn collect_rs_files(root: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries =
+            std::fs::read_dir(&dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == "target" || name == ".git" || name == "fixtures" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Read every workspace source file into `(relative_path, contents)`
+/// pairs.
+pub fn read_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let mut files = Vec::new();
+    for path in collect_rs_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|e| format!("strip_prefix {}: {e}", path.display()))?
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        files.push((rel, src));
+    }
+    Ok(files)
+}
+
+/// End-to-end lint of the workspace rooted at `root`: loads the registry
+/// and allowlist from `root/xtask/`, walks the sources, returns the
+/// findings.
+pub fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
+    let reg_path = root.join("xtask/unsafe_registry.toml");
+    let allow_path = root.join("xtask/lint_allow.toml");
+    let reg_text = std::fs::read_to_string(&reg_path)
+        .map_err(|e| format!("read {}: {e}", reg_path.display()))?;
+    let allow_text = std::fs::read_to_string(&allow_path)
+        .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
+    let registry = parse_registry(&reg_text, "xtask/unsafe_registry.toml")?;
+    let allows = parse_allows(&allow_text, "xtask/lint_allow.toml")?;
+    let files = read_sources(root)?;
+    Ok(lint_sources(&files, &registry, &allows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_strips_comments_and_strings() {
+        let src = "let x = \"unsafe Ordering::Relaxed\"; // unsafe here\nlet c = 'u';\n";
+        let masked = mask_source(src);
+        assert!(!masked.contains("unsafe"));
+        assert!(!masked.contains("Relaxed"));
+        assert_eq!(masked.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn masking_keeps_lifetimes_and_raw_strings_balanced() {
+        let src = "fn f<'a>(s: &'a str) -> &'a str { s }\nlet r = r#\"unsafe \"#;\n";
+        let masked = mask_source(src);
+        assert!(masked.contains("<'a>"));
+        assert!(!masked.contains("unsafe"));
+    }
+
+    #[test]
+    fn unsafe_fn_pointer_type_is_not_a_site() {
+        let src = "struct J { run: unsafe fn(*const (), usize) }\n";
+        let (v, sites) = lint_file("crates/x/src/lib.rs", src, &[]);
+        assert_eq!(sites, 0);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unsafe_block_needs_safety_comment() {
+        let bad = "fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let (v, sites) = lint_file("crates/x/src/lib.rs", bad, &[]);
+        assert_eq!(sites, 1);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unsafe-safety");
+
+        let good = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+        let (v, sites) = lint_file("crates/x/src/lib.rs", good, &[]);
+        assert_eq!(sites, 1);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cmp_ordering_is_exempt_atomic_is_not() {
+        let cmp =
+            "fn f(a: u32, b: u32) -> std::cmp::Ordering { a.cmp(&b) }\nlet o = Ordering::Less;\n";
+        let (v, _) = lint_file("crates/x/src/lib.rs", cmp, &[]);
+        assert!(v.is_empty(), "{v:?}");
+
+        let atomic = "fn g(a: &AtomicUsize) -> usize { a.load(Ordering::Relaxed) }\n";
+        let (v, _) = lint_file("crates/x/src/lib.rs", atomic, &[]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "ordering-justified");
+
+        let justified = "// ORDERING: Relaxed — monotonic counter, no synchronization.\nfn g(a: &AtomicUsize) -> usize { a.load(Ordering::Relaxed) }\n";
+        let (v, _) = lint_file("crates/x/src/lib.rs", justified, &[]);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_flagged_in_lib_code_but_not_in_cfg_test() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() }\n#[cfg(test)]\nmod tests {\n    fn g(v: Option<u32>) -> u32 { v.unwrap() }\n}\n";
+        let (v, _) = lint_file("crates/x/src/lib.rs", src, &[]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-unwrap");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn inline_allow_and_grants_suppress() {
+        let src = "fn f(v: Option<u32>) -> u32 { v.unwrap() } // ALLOW(no-unwrap): infallible by construction\n";
+        let (v, _) = lint_file("crates/x/src/lib.rs", src, &[]);
+        assert!(v.is_empty(), "{v:?}");
+
+        let src = "fn f(m: &std::sync::Mutex<u32>) -> u32 { *m.lock().unwrap() }\n";
+        let allows = vec![Allow {
+            rule: "no-unwrap".to_string(),
+            path: None,
+            contains: Some(".lock().unwrap()".to_string()),
+            reason: "mutex poisoning propagates a sibling panic".to_string(),
+        }];
+        let (v, _) = lint_file("crates/x/src/lib.rs", src, &allows);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn banned_patterns_fire() {
+        let src = "fn f(a: f64, b: f64) { let _ = a.partial_cmp(&b).unwrap(); }\n";
+        let (v, _) = lint_file("tests/x.rs", src, &[]);
+        assert!(v.iter().any(|v| v.rule == "no-partial-cmp-unwrap"));
+
+        let src = "fn f() { std::thread::spawn(|| {}); }\n";
+        let (v, _) = lint_file("crates/x/src/lib.rs", src, &[]);
+        assert!(v.iter().any(|v| v.rule == "no-thread-spawn"));
+        let (v, _) = lint_file("crates/core/src/parallel.rs", src, &[]);
+        assert!(!v.iter().any(|v| v.rule == "no-thread-spawn"));
+    }
+
+    #[test]
+    fn registry_mismatches_are_reported() {
+        let files = vec![(
+            "crates/x/src/lib.rs".to_string(),
+            "// SAFETY: p valid.\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n".to_string(),
+        )];
+        // Unregistered.
+        let v = lint_sources(&files, &BTreeMap::new(), &[]);
+        assert!(v.iter().any(|v| v.rule == "unsafe-registry"));
+        // Wrong count.
+        let mut reg = BTreeMap::new();
+        reg.insert("crates/x/src/lib.rs".to_string(), 3usize);
+        let v = lint_sources(&files, &reg, &[]);
+        assert!(v.iter().any(|v| v.rule == "unsafe-registry"));
+        // Exact.
+        let mut reg = BTreeMap::new();
+        reg.insert("crates/x/src/lib.rs".to_string(), 1usize);
+        let v = lint_sources(&files, &reg, &[]);
+        assert!(v.is_empty(), "{v:?}");
+        // Stale entry for a file with no unsafe.
+        let clean = vec![("crates/y/src/lib.rs".to_string(), "fn f() {}\n".to_string())];
+        let v = lint_sources(&clean, &reg, &[]);
+        assert!(v.iter().any(|v| v.rule == "unsafe-registry"));
+    }
+
+    #[test]
+    fn toml_subset_parsers_round_trip() {
+        let reg = parse_registry(
+            "# registry\n[files]\n\"a/b.rs\" = 3\n\"c.rs\" = 1\n",
+            "r.toml",
+        )
+        .expect("registry parses");
+        assert_eq!(reg.get("a/b.rs"), Some(&3));
+        assert!(parse_registry("[nope]\n", "r.toml").is_err());
+        assert!(parse_registry("[files]\n\"a\" = x\n", "r.toml").is_err());
+
+        let allows = parse_allows(
+            "[[allow]]\nrule = \"no-unwrap\"\ncontains = \".lock().unwrap()\"\nreason = \"poisoning\"\n",
+            "a.toml",
+        )
+        .expect("allows parse");
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "no-unwrap");
+        assert!(parse_allows("[[allow]]\nrule = \"x\"\n", "a.toml").is_err());
+        assert!(
+            parse_allows("[[allow]]\nrule = \"x\"\nreason = \"y\"\n", "a.toml").is_err(),
+            "grants must be scoped by path or contains"
+        );
+    }
+}

@@ -1,0 +1,61 @@
+//! `cargo xtask` — workspace automation. The only subcommand today is
+//! `lint`, the concurrency-correctness linter (see `xtask/src/lib.rs`
+//! for the rules). Wired as a cargo alias in `.cargo/config.toml`:
+//!
+//! ```text
+//! cargo xtask lint            # lint the workspace, exit 1 on findings
+//! cargo xtask lint --counts   # print per-file unsafe-site counts
+//! ```
+
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(args.iter().any(|a| a == "--counts")),
+        _ => {
+            eprintln!("usage: cargo xtask lint [--counts]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint(print_counts: bool) -> ExitCode {
+    // The xtask crate lives one level under the workspace root.
+    let Some(root) = Path::new(env!("CARGO_MANIFEST_DIR")).parent() else {
+        eprintln!("xtask: cannot locate the workspace root");
+        return ExitCode::FAILURE;
+    };
+    if print_counts {
+        let files = match xtask::read_sources(root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("xtask: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("[files]");
+        for (rel, count) in xtask::unsafe_counts(&files) {
+            println!("\"{rel}\" = {count}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    match xtask::run_lint(root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("xtask lint: {} finding(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,21 @@
+// Negative fixture for `cargo xtask lint`: all three banned patterns —
+// `partial_cmp(..).unwrap()`, `thread::spawn` outside core::parallel,
+// and a bare `.unwrap()` in library code.
+
+pub fn max_f64(xs: &[f64]) -> f64 {
+    let mut best = f64::MIN;
+    for &x in xs {
+        if x.partial_cmp(&best).unwrap() == std::cmp::Ordering::Greater {
+            best = x;
+        }
+    }
+    best
+}
+
+pub fn fire_and_forget() {
+    std::thread::spawn(|| {});
+}
+
+pub fn head(v: &[u32]) -> u32 {
+    v.first().copied().unwrap()
+}

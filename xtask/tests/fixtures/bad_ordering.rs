@@ -1,0 +1,9 @@
+// Negative fixture for `cargo xtask lint`: an atomic load whose memory
+// ordering carries no `// ORDERING:` justification. The lint must
+// report `ordering-justified`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn peek(counter: &AtomicUsize) -> usize {
+    counter.load(Ordering::Acquire)
+}

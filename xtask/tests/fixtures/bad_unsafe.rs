@@ -1,0 +1,7 @@
+// Negative fixture for `cargo xtask lint`: an unsafe block with no
+// `// SAFETY:` comment, in a file with no unsafe_registry.toml entry.
+// The lint must report both `unsafe-safety` and `unsafe-registry`.
+
+pub fn read_raw(p: *const u8) -> u8 {
+    unsafe { *p }
+}

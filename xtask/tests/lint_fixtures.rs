@@ -1,0 +1,91 @@
+//! Integration tests for `cargo xtask lint`: the seeded negative
+//! fixtures under `tests/fixtures/` must FAIL the lint with the
+//! expected rules, and the real workspace must PASS it (which makes the
+//! lint part of tier-1 `cargo test`, not just a CI step).
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use xtask::{lint_sources, run_lint, Violation};
+
+fn fixture(name: &str) -> Vec<(String, String)> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read fixture {}: {e}", path.display()));
+    // Present the fixture as ordinary library code so every rule applies.
+    vec![(format!("crates/fixture/src/{name}"), src)]
+}
+
+fn rules(violations: &[Violation]) -> Vec<&'static str> {
+    violations.iter().map(|v| v.rule).collect()
+}
+
+#[test]
+fn unregistered_undocumented_unsafe_fails_the_lint() {
+    let v = lint_sources(&fixture("bad_unsafe.rs"), &BTreeMap::new(), &[]);
+    let rules = rules(&v);
+    assert!(
+        rules.contains(&"unsafe-safety"),
+        "missing SAFETY comment must be reported: {v:?}"
+    );
+    assert!(
+        rules.contains(&"unsafe-registry"),
+        "unregistered unsafe site must be reported: {v:?}"
+    );
+}
+
+#[test]
+fn unjustified_atomic_ordering_fails_the_lint() {
+    let v = lint_sources(&fixture("bad_ordering.rs"), &BTreeMap::new(), &[]);
+    assert!(
+        rules(&v).contains(&"ordering-justified"),
+        "missing ORDERING justification must be reported: {v:?}"
+    );
+}
+
+#[test]
+fn banned_patterns_fail_the_lint() {
+    let v = lint_sources(&fixture("bad_banned.rs"), &BTreeMap::new(), &[]);
+    let rules = rules(&v);
+    for expected in ["no-partial-cmp-unwrap", "no-thread-spawn", "no-unwrap"] {
+        assert!(
+            rules.contains(&expected),
+            "{expected} must fire on the fixture: {v:?}"
+        );
+    }
+}
+
+#[test]
+fn registry_count_mismatch_fails_even_with_safety_comments() {
+    // A documented unsafe site still fails when the registry disagrees:
+    // the inventory must be updated in the same diff.
+    let files = vec![(
+        "crates/fixture/src/lib.rs".to_string(),
+        "pub fn read_raw(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n"
+            .to_string(),
+    )];
+    let mut registry = BTreeMap::new();
+    registry.insert("crates/fixture/src/lib.rs".to_string(), 2usize);
+    let v = lint_sources(&files, &registry, &[]);
+    assert!(
+        rules(&v).contains(&"unsafe-registry"),
+        "stale registry count must be reported: {v:?}"
+    );
+}
+
+#[test]
+fn the_workspace_itself_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits one level under the workspace root");
+    let v = run_lint(root).expect("lint configuration loads");
+    assert!(
+        v.is_empty(),
+        "workspace lint findings:\n{}",
+        v.iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
