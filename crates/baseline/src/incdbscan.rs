@@ -352,7 +352,7 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
                 }
             }
         }
-        bfs_seeds.sort_unstable();
+        dydbscan_geom::radix_sort_u32(&mut bfs_seeds);
         bfs_seeds.dedup();
         seeds.clear();
         self.scratch = seeds;
@@ -583,7 +583,7 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
             }
         }
         bfs_seeds.retain(|&q| self.recs[q as usize].core);
-        bfs_seeds.sort_unstable();
+        dydbscan_geom::radix_sort_u32(&mut bfs_seeds);
         bfs_seeds.dedup();
 
         // Phase 3: one split adjudication per affected *cluster*. A
@@ -593,20 +593,29 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
         // against each other, or every intact cluster would read as a
         // "split", be BFS-enumerated wholesale, and bump the splits
         // counter that looped deletion leaves at zero.
-        let mut by_label: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
-        for &q in &bfs_seeds {
-            let l = self.labels.find(self.recs[q as usize].label);
-            by_label.entry(l).or_default().push(q);
-        }
-        let mut labeled: Vec<(u32, Vec<u32>)> = by_label.into_iter().collect();
-        labeled.sort_unstable_by_key(|&(l, _)| l); // deterministic order
-        for (_, seeds) in labeled {
-            if seeds.len() > 1 {
+        //
+        // One stable radix pass by label does the scoping: labels come
+        // out ascending (the determinism the old hash-map + comparison
+        // re-sort bought), and seed ids stay ascending within each label
+        // because `bfs_seeds` is already sorted and the pass is stable —
+        // no per-group re-sort needed.
+        let mut by_label: Vec<(u32, u32)> = bfs_seeds
+            .iter()
+            .map(|&q| (self.labels.find(self.recs[q as usize].label), q))
+            .collect();
+        dydbscan_geom::radix_sort_by_key(&mut by_label, |&(l, _)| u64::from(l));
+        let mut i = 0;
+        while i < by_label.len() {
+            let label = by_label[i].0;
+            let j = i + by_label[i..].partition_point(|&(l, _)| l == label);
+            if j - i > 1 {
+                let seeds: Vec<u32> = by_label[i..j].iter().map(|&(_, q)| q).collect();
                 let groups = self.seed_components(&seeds);
                 if groups.len() > 1 {
                     self.split_check(&groups);
                 }
             }
+            i = j;
         }
     }
 
@@ -738,10 +747,15 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
     /// points' labels are resolved through the merge-history union-find
     /// without path compression, and only points near the updates since
     /// the last read boundary get their anchors (in-ball core points)
-    /// re-queried.
+    /// re-queried — fanned over the persistent worker pool when enough
+    /// points are dirty.
     fn refresh(&self) -> Arc<ClusterSnapshot> {
         let eps = self.params.eps;
-        self.snap.read_with(
+        // Field borrows (not `&self`) so the closure's captures are the
+        // plain-data structures the workers actually read.
+        let recs = &self.recs;
+        let index = &self.index;
+        self.snap.read_with_pool(
             self.recs.len(),
             || {
                 self.recs
@@ -756,7 +770,7 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
                     .collect()
             },
             |pid, emit| {
-                let r = &self.recs[pid as usize];
+                let r = &recs[pid as usize];
                 if !r.alive {
                     return; // died after it was marked dirty
                 }
@@ -764,17 +778,18 @@ impl<const D: usize, I: RangeIndex<D>> IncDbscan<D, I> {
                     emit(pid, true, Anchors::One(pid));
                 } else {
                     let mut ball = Vec::new();
-                    self.index.collect_within(&r.coords, eps, &mut ball);
+                    index.collect_within(&r.coords, eps, &mut ball);
                     let mut cores: Vec<u32> = ball
                         .into_iter()
-                        .filter(|&(q, _)| self.recs[q as usize].core)
+                        .filter(|&(q, _)| recs[q as usize].core)
                         .map(|(q, _)| q)
                         .collect();
-                    cores.sort_unstable();
+                    dydbscan_geom::radix_sort_u32(&mut cores);
                     cores.dedup();
                     emit(pid, false, Anchors::from_sorted(&cores));
                 }
             },
+            &self.pipeline,
         )
     }
 

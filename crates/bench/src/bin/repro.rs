@@ -15,6 +15,8 @@
 //!   batch                     batched vs looped update microbench
 //!   query                     snapshot read path: group_by / group_all /
 //!                             multi-reader throughput
+//!   kernel                    hot kernels: chunked vs scalar distance
+//!                             counting, radix vs comparison sorts
 //!   all                       everything above
 //! ```
 //!
@@ -98,12 +100,12 @@ fn main() {
 
     let known = [
         "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "verify",
-        "batch", "query",
+        "batch", "query", "kernel",
     ];
     let selected: Vec<&str> = if command == "all" {
         vec![
             "verify", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "batch", "query",
+            "fig15", "batch", "query", "kernel",
         ]
     } else if known.contains(&command.as_str()) {
         vec![command.as_str()]
@@ -125,6 +127,7 @@ fn main() {
             "fig15" => report.add_figure("fig15", figures::fig15(&cfg)),
             "table1" => report.add_figure("table1", figures::table1(&cfg)),
             "query" => report.add_figure("query", figures::query(&cfg, threads)),
+            "kernel" => report.add_figure("kernel", figures::kernel(&cfg)),
             "verify" => {
                 let checks = figures::verify(&cfg);
                 checks_failed |= checks.iter().any(|(_, pass)| !pass);
@@ -180,7 +183,7 @@ fn parse<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|batch|query|all> \
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|batch|query|kernel|all> \
          [--n N] [--seed S] [--budget-secs B] [--samples K] [--batch-size B] [--threads T] \
          [--out PATH]\n\
          --out defaults to BENCH_scratch.json; pass --out BENCH_repro.json explicitly to \

@@ -574,6 +574,50 @@ pub fn query(cfg: &ReproConfig, threads: usize) -> Vec<SeriesRecord> {
     records
 }
 
+/// Hot-kernel throughput (not a paper figure): the branch-free distance
+/// kernels against their scalar references per dimension — ball
+/// counting at ~50% hit rate plus the miss-heavy emptiness probe that
+/// dominates real traffic — and the radix bulk-load sorts against the
+/// standard-library comparison sorts at two block sizes and three key
+/// distributions. The acceptance targets of the kernel work are chunked
+/// ≥ 1.3x scalar on the miss-heavy probes and radix ≥ 1.5x on the
+/// clustered cell-key bulk load; the recorded op/sec (elements
+/// processed per second) makes both ratios auditable straight from
+/// `BENCH_repro.json`.
+pub fn kernel(cfg: &ReproConfig) -> Vec<SeriesRecord> {
+    use crate::kernelbench::{print_measure, print_speedups, standard_suite, COUNT_SLAB};
+    println!(
+        "\n== Hot kernels (branch-free vs scalar distance sweeps, radix vs std sorts), \
+         slab = {COUNT_SLAB}, seed = {}",
+        cfg.seed
+    );
+    let slice = cfg
+        .budget
+        .map(|b| b / 64)
+        .unwrap_or_else(|| Duration::from_millis(300))
+        .clamp(Duration::from_millis(100), Duration::from_millis(500));
+    let measures = standard_suite(cfg.seed, slice);
+    for m in &measures {
+        print_measure(m);
+    }
+    println!("\n== Kernel speedups");
+    print_speedups(&measures);
+    measures
+        .iter()
+        .map(|m| {
+            let total_ns = m.total.as_nanos().max(1);
+            SeriesRecord {
+                series: m.series.clone(),
+                ops: m.ops,
+                finished: true,
+                total_ns,
+                avg_cost_us: total_ns as f64 / m.ops.max(1) as f64 / 1_000.0,
+                max_update_us: 0.0,
+            }
+        })
+        .collect()
+}
+
 /// Section 8 correctness gate: (1) at `rho = 0.001`, Double-Approx must
 /// return the same clusters as static ρ-approximate DBSCAN (the paper's
 /// stringent requirement); (2) at aggressive `rho`, the sandwich guarantee

@@ -1,0 +1,236 @@
+//! Hot-kernel microbench workloads: the branch-free distance kernels
+//! against their scalar references, and the radix bulk-load sorts
+//! against the standard-library comparison sorts. Shared by the
+//! `kernels` bench target and `repro -- kernel`, so the numbers the
+//! acceptance gate bands (`BENCH_repro.json`) and the numbers a
+//! developer eyeballs come from the same measurement loop.
+//!
+//! The workloads mirror where each kernel actually wins (see the
+//! `dydbscan-geom` kernel module docs): `count/*` races the branch-free
+//! counting reduction against the branchy filter-count (both
+//! autovectorize — parity is the expected, honest result); `probe/*`
+//! races the chunked emptiness probe on miss-heavy queries, the shape
+//! where chunking genuinely beats scalar early-exit; `sort/cell/*` uses
+//! clustered duplicate-heavy keys like real grid-cell ids, where
+//! skip-trivial-byte radix shines; `sort/u64` (uniform random keys) and
+//! `sort/tile` (float keys through the gather path) are kept as the
+//! adversarial distributions so regressions there stay visible too.
+
+use dydbscan::geom::{
+    f64_key, kernel, radix_sort_by_key, radix_sort_u32, radix_sort_u64, Point, SplitMix64,
+};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// One measured series: `ops` is *elements processed* (candidate points
+/// scanned, or keys sorted), so op/sec compares fairly across variants.
+pub struct KernelMeasure {
+    /// Series name, e.g. `count/d=3/chunked` or `sort/u64/64k/radix`.
+    pub series: String,
+    /// Elements processed across all timed calls.
+    pub ops: usize,
+    /// Wall-clock across all timed calls.
+    pub total: Duration,
+}
+
+impl KernelMeasure {
+    /// Elements per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.total.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Candidate points per distance-kernel call — sized like a busy cell
+/// neighborhood, big enough that the loop body dominates the call.
+pub const COUNT_SLAB: usize = 4096;
+
+/// Key counts for the sort comparison: a flush-sized block and a
+/// bulk-load-sized block.
+pub const SORT_SIZES: [(&str, usize); 2] = [("1k", 1_000), ("64k", 65_536)];
+
+fn random_points<const D: usize>(n: usize, rng: &mut SplitMix64) -> Vec<Point<D>> {
+    (0..n)
+        .map(|_| std::array::from_fn(|_| rng.next_f64()))
+        .collect()
+}
+
+/// Repeats `f` until `slice` elapses (at least one call), crediting
+/// `per_op` elements per call.
+fn time_loop(per_op: usize, slice: Duration, mut f: impl FnMut(usize)) -> (usize, Duration) {
+    let t0 = Instant::now();
+    let mut calls = 0usize;
+    loop {
+        f(calls);
+        calls += 1;
+        if t0.elapsed() >= slice {
+            break;
+        }
+    }
+    (calls * per_op, t0.elapsed())
+}
+
+/// Scalar vs branch-free `count_within_sq` over a `COUNT_SLAB`-point
+/// slab in dimension `D`; `ops` counts candidate points scanned.
+pub fn count_measures<const D: usize>(seed: u64, slice: Duration) -> Vec<KernelMeasure> {
+    let mut rng = SplitMix64::new(seed ^ ((D as u64) << 8));
+    let pts = random_points::<D>(COUNT_SLAB, &mut rng);
+    let queries = random_points::<D>(64, &mut rng);
+    // Mean distance-squared between uniform points in the unit cube is
+    // D/6; this radius keeps the hit rate near one half, so neither
+    // branch of a branchy implementation would dominate.
+    let r_sq = D as f64 / 6.0;
+    let run = |name: &str, f: &dyn Fn(&Point<D>) -> usize| {
+        let (ops, total) = time_loop(COUNT_SLAB, slice, |call| {
+            black_box(f(&queries[call % queries.len()]));
+        });
+        KernelMeasure {
+            series: format!("count/d={D}/{name}"),
+            ops,
+            total,
+        }
+    };
+    vec![
+        run("scalar", &|q| kernel::count_within_sq_scalar(&pts, q, r_sq)),
+        run("branchfree", &|q| kernel::count_within_sq(&pts, q, r_sq)),
+    ]
+}
+
+/// Scalar vs chunked `any_within_sq` on miss-heavy probes: the queries
+/// sit far outside the slab, so every probe sweeps the whole block —
+/// the dominant shape in practice, where most candidate cells hold
+/// nothing in range and the early exit never fires. `ops` counts
+/// candidate points scanned.
+pub fn probe_measures<const D: usize>(seed: u64, slice: Duration) -> Vec<KernelMeasure> {
+    let mut rng = SplitMix64::new(seed ^ ((D as u64) << 16));
+    let pts = random_points::<D>(COUNT_SLAB, &mut rng);
+    // Slab lives in the unit cube; offsetting each query coordinate by
+    // +3 guarantees a miss at this radius, in every dimension.
+    let queries: Vec<Point<D>> = random_points::<D>(64, &mut rng)
+        .into_iter()
+        .map(|p| std::array::from_fn(|i| p[i] + 3.0))
+        .collect();
+    let r_sq = 0.01;
+    let run = |name: &str, f: &dyn Fn(&Point<D>) -> bool| {
+        let (ops, total) = time_loop(COUNT_SLAB, slice, |call| {
+            black_box(f(&queries[call % queries.len()]));
+        });
+        KernelMeasure {
+            series: format!("probe/d={D}/{name}"),
+            ops,
+            total,
+        }
+    };
+    vec![
+        run("scalar", &|q| kernel::any_within_sq_scalar(&pts, q, r_sq)),
+        run("chunked", &|q| kernel::any_within_sq(&pts, q, r_sq)),
+    ]
+}
+
+/// Comparison sorts vs the radix bulk loads, on the three key shapes
+/// the hot paths use: clustered duplicate-heavy cell ids (the group-by
+/// workload — `size/8` distinct keys, like points packed into grid
+/// cells), uniform random `u64` keys (the adversarial distribution
+/// where every byte is live), and float-keyed records through the
+/// gather path (sort-tile packing, KD rebuild axes). `ops` counts keys
+/// sorted; each timed call clones a pristine unsorted block, on both
+/// sides, so the clone cost cancels out of the ratio.
+pub fn sort_measures(seed: u64, slice: Duration) -> Vec<KernelMeasure> {
+    let mut out = Vec::new();
+    for (label, size) in SORT_SIZES {
+        let mut rng = SplitMix64::new(seed ^ size as u64);
+        // Cell ids are u32 in every product call site (grid keys, point
+        // ids, BFS seeds): `size/8` distinct values model points packed
+        // into occupied grid cells.
+        let cells: Vec<u32> = (0..size)
+            .map(|_| rng.next_below(size as u64 / 8) as u32)
+            .collect();
+        let ints: Vec<u64> = (0..size).map(|_| rng.next_u64()).collect();
+        let mut run = |name: String, f: &mut dyn FnMut()| {
+            let (ops, total) = time_loop(size, slice, |_| f());
+            out.push(KernelMeasure {
+                series: name,
+                ops,
+                total,
+            });
+        };
+        run(format!("sort/cell/{label}/std"), &mut || {
+            let mut data = cells.clone();
+            data.sort_unstable();
+            black_box(data.last().copied());
+        });
+        run(format!("sort/cell/{label}/radix"), &mut || {
+            let mut data = cells.clone();
+            radix_sort_u32(&mut data);
+            black_box(data.last().copied());
+        });
+        run(format!("sort/u64/{label}/std"), &mut || {
+            let mut data = ints.clone();
+            data.sort_unstable();
+            black_box(data.last().copied());
+        });
+        run(format!("sort/u64/{label}/radix"), &mut || {
+            let mut data = ints.clone();
+            radix_sort_u64(&mut data);
+            black_box(data.last().copied());
+        });
+        let tiles: Vec<(f64, u32)> = (0..size)
+            .map(|i| (rng.next_f64() * 2.0 - 1.0, i as u32))
+            .collect();
+        run(format!("sort/tile/{label}/std"), &mut || {
+            let mut data = tiles.clone();
+            data.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+            black_box(data.last().copied());
+        });
+        run(format!("sort/tile/{label}/radix"), &mut || {
+            let mut data = tiles.clone();
+            radix_sort_by_key(&mut data, |&(x, _)| f64_key(x));
+            black_box(data.last().copied());
+        });
+    }
+    out
+}
+
+/// The full suite at one time-slice per series.
+pub fn standard_suite(seed: u64, slice: Duration) -> Vec<KernelMeasure> {
+    let mut out = count_measures::<2>(seed, slice);
+    out.extend(count_measures::<3>(seed, slice));
+    out.extend(count_measures::<5>(seed, slice));
+    out.extend(count_measures::<7>(seed, slice));
+    out.extend(probe_measures::<2>(seed, slice));
+    out.extend(probe_measures::<3>(seed, slice));
+    out.extend(probe_measures::<5>(seed, slice));
+    out.extend(probe_measures::<7>(seed, slice));
+    out.extend(sort_measures(seed, slice));
+    out
+}
+
+/// Prints one measurement line.
+pub fn print_measure(m: &KernelMeasure) {
+    println!("  {:<24} {:>14.0} elems/s", m.series, m.ops_per_sec());
+}
+
+/// Prints `fast vs slow` speedup lines for every series pair that
+/// differs only in its last `/`-segment (`branchfree`/`chunked` vs
+/// `scalar`, `radix` vs `std`).
+pub fn print_speedups(measures: &[KernelMeasure]) {
+    for m in measures {
+        let Some((stem, variant)) = m.series.rsplit_once('/') else {
+            continue;
+        };
+        let baseline = match variant {
+            "branchfree" | "chunked" => "scalar",
+            "radix" => "std",
+            _ => continue,
+        };
+        if let Some(base) = measures
+            .iter()
+            .find(|b| b.series == format!("{stem}/{baseline}"))
+        {
+            println!(
+                "  {:<24} {:>13.2}x over {baseline}",
+                m.series,
+                m.ops_per_sec() / base.ops_per_sec().max(1e-9)
+            );
+        }
+    }
+}

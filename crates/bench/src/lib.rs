@@ -19,6 +19,9 @@
 //! * [`batchbench`] — batched-vs-looped update comparisons (swept over
 //!   the flush thread budget) shared by the `batching` bench target and
 //!   `repro -- batch`.
+//! * [`kernelbench`] — hot-kernel comparisons (chunked vs scalar distance
+//!   counting, radix vs comparison sorts) shared by the `kernels` bench
+//!   target and `repro -- kernel`.
 //!
 //! The `repro` binary regenerates everything:
 //!
@@ -32,6 +35,7 @@ pub mod driver;
 pub mod figures;
 pub mod json;
 pub mod jsonread;
+pub mod kernelbench;
 pub mod metrics;
 pub mod microbench;
 pub mod report;

@@ -18,7 +18,7 @@
 
 use crate::parallel::WorkerPool;
 use crate::points::{PointArena, PointId};
-use dydbscan_geom::{any_within_sq, cell_of, count_within_sq, FxHashMap, Point};
+use dydbscan_geom::{any_within_sq, cell_of, count_within_sq, radix_sort_by_key, FxHashMap, Point};
 use dydbscan_grid::{CellId, GridIndex, NeighborScope};
 
 /// Flush counters shared by every engine that drives the
@@ -332,17 +332,26 @@ pub(crate) fn promote_dense_cell<const D: usize>(
     true
 }
 
-/// Groups batch members (indices `0..cells.len()`) by their target cell,
-/// in first-touch order (deterministic regardless of hash-map internals).
+/// Groups batch members (indices `0..cells.len()`) by their target cell:
+/// one stable radix sort of `(cell, member)` pairs, then a run-length
+/// scan — no hash map on the flush's critical path. Groups come back in
+/// ascending cell-id order (deterministic regardless of batch order);
+/// members keep their batch order within each group (the radix sort is
+/// stable), which is what keeps slot assignment and id allocation
+/// bit-identical run over run.
 pub(crate) fn group_by_cell(cells: &[CellId]) -> Vec<(CellId, Vec<u32>)> {
-    let mut index: FxHashMap<CellId, u32> = FxHashMap::default();
+    let mut pairs: Vec<(CellId, u32)> = cells
+        .iter()
+        .enumerate()
+        .map(|(k, &c)| (c, k as u32))
+        .collect();
+    radix_sort_by_key(&mut pairs, |&(c, _)| u64::from(c));
     let mut groups: Vec<(CellId, Vec<u32>)> = Vec::new();
-    for (k, &c) in cells.iter().enumerate() {
-        let gi = *index.entry(c).or_insert_with(|| {
-            groups.push((c, Vec::new()));
-            (groups.len() - 1) as u32
-        });
-        groups[gi as usize].1.push(k as u32);
+    for (c, k) in pairs {
+        match groups.last_mut() {
+            Some((cell, members)) if *cell == c => members.push(k),
+            _ => groups.push((c, vec![k])),
+        }
     }
     groups
 }
@@ -448,12 +457,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn groups_preserve_first_touch_order() {
+    fn groups_sorted_by_cell_members_in_batch_order() {
         let groups = group_by_cell(&[5, 3, 5, 5, 3, 9]);
         assert_eq!(
             groups,
-            vec![(5, vec![0, 2, 3]), (3, vec![1, 4]), (9, vec![5])]
+            vec![(3, vec![1, 4]), (5, vec![0, 2, 3]), (9, vec![5])],
+            "groups ascend by cell id; members keep batch order"
         );
+        assert!(group_by_cell(&[]).is_empty());
     }
 
     #[test]

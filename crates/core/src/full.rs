@@ -983,26 +983,29 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
     /// Refreshes (if dirty) and returns the current epoch snapshot: the
     /// CC labels are exported without treap rotations
     /// ([`DynConnectivity::export_labels`]), and only the cells updates
-    /// touched get their anchors re-snapped.
+    /// touched get their anchors re-snapped — fanned over the persistent
+    /// worker pool when enough cells are dirty.
     fn refresh(&self) -> Arc<ClusterSnapshot> {
-        self.snap.read_with(
+        // Borrow the two read-only structures the re-anchoring walk
+        // touches, so the closure is `Sync` without demanding it of the
+        // connectivity plugin `C` (which workers never see).
+        let grid = &self.grid;
+        let points = &self.points;
+        self.snap.read_with_pool(
             self.points.capacity_ids(),
             || self.conn.export_labels(),
             |cell, emit| {
-                let cell_obj = self.grid.cell(cell);
+                let cell_obj = grid.cell(cell);
                 for (slot, &pid) in cell_obj.all.items().iter().enumerate() {
-                    if self.points.is_core(pid) {
+                    if points.is_core(pid) {
                         emit(pid, true, Anchors::One(cell));
                     } else {
                         let qp = cell_obj.all.point(slot as u32);
-                        emit(
-                            pid,
-                            false,
-                            crate::query::non_core_anchors(&self.grid, cell, qp),
-                        );
+                        emit(pid, false, crate::query::non_core_anchors(grid, cell, qp));
                     }
                 }
             },
+            &self.pipeline,
         )
     }
 

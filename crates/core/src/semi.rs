@@ -510,26 +510,28 @@ impl<const D: usize> SemiDynDbscan<D> {
 
     /// Refreshes (if dirty) and returns the current epoch snapshot: the
     /// union-find labels are exported without path compression, and only
-    /// the cells updates touched get their anchors re-snapped.
+    /// the cells updates touched get their anchors re-snapped — fanned
+    /// over the persistent worker pool when enough cells are dirty.
     fn refresh(&self) -> Arc<ClusterSnapshot> {
-        self.snap.read_with(
+        // Field borrows (not `&self`) so the closure's captures are the
+        // plain-data structures the workers actually read.
+        let grid = &self.grid;
+        let points = &self.points;
+        self.snap.read_with_pool(
             self.points.capacity_ids(),
             || self.uf.export_labels(),
             |cell, emit| {
-                let cell_obj = self.grid.cell(cell);
+                let cell_obj = grid.cell(cell);
                 for (slot, &pid) in cell_obj.all.items().iter().enumerate() {
-                    if self.points.is_core(pid) {
+                    if points.is_core(pid) {
                         emit(pid, true, Anchors::One(cell));
                     } else {
                         let qp = cell_obj.all.point(slot as u32);
-                        emit(
-                            pid,
-                            false,
-                            crate::query::non_core_anchors(&self.grid, cell, qp),
-                        );
+                        emit(pid, false, crate::query::non_core_anchors(grid, cell, qp));
                     }
                 }
             },
+            &self.pipeline,
         )
     }
 

@@ -461,6 +461,10 @@ impl SnapshotState {
     /// export — connectivity churn alone (merges, splits) never triggers
     /// geometric re-snapping. The published `Arc` is never written
     /// through: if readers still hold it, `Arc::make_mut` clones.
+    ///
+    /// This is the serial entry point; [`read_with_pool`]
+    /// (Self::read_with_pool) is the identical-result twin that fans the
+    /// per-key re-anchoring over the engine's persistent worker pool.
     pub fn read_with(
         &self,
         total_ids: usize,
@@ -472,6 +476,88 @@ impl SnapshotState {
         if dirty.is_empty() && dead.is_empty() {
             return Arc::clone(snap);
         }
+        let s = Self::begin_refresh(snap, dead, total_ids, export_labels);
+        let mut relabeled = 0u64;
+        for &key in dirty.iter() {
+            relabeled += 1;
+            reanchor(key, &mut |pid, core, anchors| {
+                apply_emit(s, pid, core, anchors);
+            });
+        }
+        dirty.clear();
+        self.note_refresh(relabeled);
+        Arc::clone(snap)
+    }
+
+    /// The pool-parallel twin of [`read_with`](Self::read_with): when the
+    /// dirty set reaches [`PARALLEL_REFRESH_MIN_KEYS`], the per-key
+    /// re-anchoring — the geometric part of the refresh, and the only
+    /// part whose cost scales with update churn — fans out over `pool`'s
+    /// persistent crew, one task per dirty key in ascending key order.
+    /// Workers only *read* (the `reanchor` closure sees `&engine` state)
+    /// and return their emissions as data; the single refreshing thread
+    /// applies them to the copy-on-write snapshot in key order. Dirty
+    /// keys own disjoint point sets, each task's emissions are applied
+    /// in emission order, and tasks come back in task order, so the
+    /// published snapshot is **bit-identical** to the serial path at
+    /// every thread count (the concurrency suites assert checksum
+    /// equality across thread budgets). Below the threshold — the common
+    /// steady-state case of a handful of touched cells — the keys are
+    /// re-anchored inline, still in sorted order, without touching the
+    /// pool lock.
+    pub fn read_with_pool(
+        &self,
+        total_ids: usize,
+        export_labels: impl FnOnce() -> Vec<CompId>,
+        reanchor: impl Fn(u32, &mut dyn FnMut(PointId, bool, Anchors)) + Sync,
+        pool: &crate::batch::FlushPipeline,
+    ) -> Arc<ClusterSnapshot> {
+        let mut inner = self.inner.lock().unwrap();
+        let SnapInner { snap, dirty, dead } = &mut *inner;
+        if dirty.is_empty() && dead.is_empty() {
+            return Arc::clone(snap);
+        }
+        let mut keys: Vec<u32> = dirty.iter().copied().collect();
+        dydbscan_geom::radix_sort_u32(&mut keys);
+        let s = Self::begin_refresh(snap, dead, total_ids, export_labels);
+        if keys.len() >= PARALLEL_REFRESH_MIN_KEYS {
+            let (parts, workers) = pool.run_query(keys.len(), |i| {
+                let mut out: Vec<(PointId, bool, Anchors)> = Vec::new();
+                reanchor(keys[i], &mut |pid, core, anchors| {
+                    out.push((pid, core, anchors));
+                });
+                out
+            });
+            for part in parts {
+                for (pid, core, anchors) in part {
+                    apply_emit(s, pid, core, anchors);
+                }
+            }
+            if workers > 1 {
+                self.note_query_tasks(keys.len());
+            }
+        } else {
+            for &key in &keys {
+                reanchor(key, &mut |pid, core, anchors| {
+                    apply_emit(s, pid, core, anchors);
+                });
+            }
+        }
+        let relabeled = keys.len() as u64;
+        dirty.clear();
+        self.note_refresh(relabeled);
+        Arc::clone(snap)
+    }
+
+    /// Opens a refresh epoch on the copy-on-write snapshot: bumps the
+    /// epoch, resizes the per-point tables, exports labels, and clears
+    /// the dead list. Shared by the serial and pooled refresh paths.
+    fn begin_refresh<'a>(
+        snap: &'a mut Arc<ClusterSnapshot>,
+        dead: &mut Vec<PointId>,
+        total_ids: usize,
+        export_labels: impl FnOnce() -> Vec<CompId>,
+    ) -> &'a mut ClusterSnapshot {
         let s = Arc::make_mut(snap);
         s.epoch += 1;
         s.flags.resize(total_ids, 0);
@@ -484,18 +570,11 @@ impl SnapshotState {
             s.flags[id as usize] = 0;
             s.anchors[id as usize] = Anchors::None;
         }
-        let mut relabeled = 0u64;
-        for &key in dirty.iter() {
-            relabeled += 1;
-            reanchor(key, &mut |pid, core, anchors| {
-                if s.flags[pid as usize] & F_ALIVE == 0 {
-                    s.alive += 1; // first time this id is seen alive
-                }
-                s.flags[pid as usize] = F_ALIVE | if core { F_CORE } else { 0 };
-                s.anchors[pid as usize] = anchors;
-            });
-        }
-        dirty.clear();
+        s
+    }
+
+    /// Folds one completed refresh into the stat counters.
+    fn note_refresh(&self, relabeled: u64) {
         // ORDERING: Relaxed (both) — stat counters. The *snapshot*
         // itself is published by the `inner` mutex release (and the
         // `Arc` handed to the caller), which already gives every reader
@@ -508,8 +587,26 @@ impl SnapshotState {
         self.counters
             .keys_relabeled
             .fetch_add(relabeled, Ordering::Relaxed);
-        Arc::clone(snap)
     }
+}
+
+/// Dirty-key count at which [`SnapshotState::read_with_pool`] fans the
+/// re-anchoring over the worker pool. Re-anchoring a key costs at least
+/// one cell sweep (often several emptiness probes), so a few dozen keys
+/// amortize the pool wake; below that, inline is faster *and* skips the
+/// pool lock the concurrent `group_all` readers share.
+pub(crate) const PARALLEL_REFRESH_MIN_KEYS: usize = 32;
+
+/// Applies one re-anchoring emission to the epoch under construction —
+/// the single definition both refresh paths funnel through, which is
+/// what makes "pooled ≡ serial" a matter of emission order alone.
+#[inline]
+fn apply_emit(s: &mut ClusterSnapshot, pid: PointId, core: bool, anchors: Anchors) {
+    if s.flags[pid as usize] & F_ALIVE == 0 {
+        s.alive += 1; // first time this id is seen alive
+    }
+    s.flags[pid as usize] = F_ALIVE | if core { F_CORE } else { 0 };
+    s.anchors[pid as usize] = anchors;
 }
 
 /// Marks `cell` and every materialized `eps`-close neighbor dirty — the
@@ -571,6 +668,46 @@ mod tests {
                 .collect(),
             alive: pts.iter().filter(|&&(alive, _, _)| alive).count(),
             anchors: pts.into_iter().map(|(_, _, a)| a).collect(),
+        }
+    }
+
+    /// The pooled refresh must publish a snapshot *bit-identical* to the
+    /// serial one at every thread budget — same checksum, same fields —
+    /// with a dirty set large enough (≥ [`PARALLEL_REFRESH_MIN_KEYS`])
+    /// to actually cross the fan-out threshold.
+    #[test]
+    fn pooled_refresh_matches_serial_at_every_thread_count() {
+        // 96 dirty keys: comfortably past the fan-out threshold.
+        const KEYS: u32 = 3 * PARALLEL_REFRESH_MIN_KEYS as u32;
+        // Synthetic engine: key k owns points {2k, 2k+1}; even points are
+        // core anchored to their key, odd ones border on keys {k, k+1}.
+        let reanchor = |key: u32, emit: &mut dyn FnMut(PointId, bool, Anchors)| {
+            emit(2 * key, true, Anchors::One(key));
+            emit(2 * key + 1, false, Anchors::Many(Box::new([key, key + 1])));
+        };
+        let total = 2 * KEYS as usize;
+        let labels = || (0..KEYS as u64).flat_map(|k| [k, k]).collect::<Vec<_>>();
+        let dirty_state = || {
+            let mut st = SnapshotState::new();
+            for k in 0..KEYS {
+                st.mark(k);
+            }
+            st.mark_dead(0); // exercise the dead-list drain on both paths
+            st
+        };
+        let serial = dirty_state().read_with(total, labels, reanchor);
+        for threads in [1usize, 2, 4, 8] {
+            let mut pipeline = crate::batch::FlushPipeline::new();
+            pipeline.set_threads(threads);
+            let pooled = dirty_state().read_with_pool(total, labels, reanchor, &pipeline);
+            assert_eq!(
+                pooled.checksum(),
+                serial.checksum(),
+                "pooled refresh diverged from serial at {threads} threads"
+            );
+            assert_eq!(pooled.labels, serial.labels);
+            assert_eq!(pooled.flags, serial.flags);
+            assert_eq!(pooled.alive, serial.alive);
         }
     }
 

@@ -17,6 +17,12 @@
 //!   cell (its bounding box).
 //! * [`offsets`] — precomputed tables of integer cell offsets within a given
 //!   distance (the "eps-close" and "(1+rho)*eps-close" neighborhoods).
+//! * [`kernel`] — the chunk-of-8 structure-of-arrays distance kernels the
+//!   block sweeps (range counting, emptiness probes, range reports)
+//!   compile down to; bit-identical to their scalar references.
+//! * [`sort`] — stable LSD radix sorting (base 256) for the bulk-load
+//!   paths, with an order-preserving `f64 -> u64` key transform for
+//!   float tile axes.
 //! * [`fxhash`] — a fast, non-cryptographic hasher for integer-keyed hash
 //!   maps (cell coordinate -> cell id). The standard library's SipHash is
 //!   needlessly slow for this workload.
@@ -26,9 +32,11 @@
 pub mod aabb;
 pub mod cell;
 pub mod fxhash;
+pub mod kernel;
 pub mod offsets;
 pub mod point;
 pub mod rng;
+pub mod sort;
 
 pub use aabb::Aabb;
 pub use cell::{cell_box, cell_gap_sq, cell_of, side_for_eps, CellCoord};
@@ -36,3 +44,4 @@ pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use offsets::OffsetTable;
 pub use point::{any_within_sq, count_within_sq, dist, dist_sq, mid_point, within, Point};
 pub use rng::SplitMix64;
+pub use sort::{f64_key, radix_sort_by_key, radix_sort_u32, radix_sort_u64};

@@ -49,18 +49,20 @@ pub fn within<const D: usize>(a: &Point<D>, b: &Point<D>, r: f64) -> bool {
 /// squared distance `r_sq` of `q`.
 ///
 /// The batch update pipelines probe each touched cell's residents against
-/// the batch's coordinate block with this kernel; keeping it a straight
-/// sweep over a slice lets the compiler vectorize the distance loop.
+/// the batch's coordinate block with this kernel; it runs the chunked
+/// structure-of-arrays sweep of [`crate::kernel`] (bit-identical to the
+/// scalar reference, per-chunk early exit preserved).
 #[inline]
 pub fn any_within_sq<const D: usize>(pts: &[Point<D>], q: &Point<D>, r_sq: f64) -> bool {
-    pts.iter().any(|p| dist_sq(p, q) <= r_sq)
+    crate::kernel::any_within_sq(pts, q, r_sq)
 }
 
 /// Counts the points of the contiguous block `pts` within squared distance
-/// `r_sq` of `q` (the batched counterpart of per-point `within` checks).
+/// `r_sq` of `q` (the batched counterpart of per-point `within` checks),
+/// via the chunked kernel of [`crate::kernel`].
 #[inline]
 pub fn count_within_sq<const D: usize>(pts: &[Point<D>], q: &Point<D>, r_sq: f64) -> usize {
-    pts.iter().filter(|p| dist_sq(p, q) <= r_sq).count()
+    crate::kernel::count_within_sq(pts, q, r_sq)
 }
 
 #[cfg(test)]

@@ -33,7 +33,7 @@
 //! and the tail-rebuild trigger.
 
 use crate::kdtree::KdTree;
-use dydbscan_geom::{dist_sq, Point};
+use dydbscan_geom::{kernel, Point};
 
 /// Slot relocations performed by one [`CellSet::swap_remove`]: up to two
 /// `(id, new_slot)` pairs (removing from the tree-indexed prefix plugs
@@ -334,7 +334,12 @@ impl<const D: usize> CellSet<D> {
 
     /// Approximate emptiness with proof point: returns an entry within `hi`
     /// of `q`, guaranteed when some entry is within `lo`. See
-    /// [`KdTree::find_within`].
+    /// [`KdTree::find_within`]. The linear sweep (whole block in the
+    /// small-cell regime, the deferred tail in tree mode) runs the
+    /// chunked kernel of [`dydbscan_geom::kernel`] — grid emptiness
+    /// probes, GUM witness searches, and the static pipeline all route
+    /// through here.
+    #[inline]
     pub fn find_within(&self, q: &Point<D>, lo: f64, hi: f64) -> Option<(u32, f64)> {
         if let Some(t) = &self.tree {
             if let Some(hit) = t.find_within(q, lo, hi) {
@@ -345,28 +350,26 @@ impl<const D: usize> CellSet<D> {
             Some(_) => self.tail(),
             None => (&self.pts[..], &self.ids[..]),
         };
-        let hi_sq = hi * hi;
-        for (p, item) in pts.iter().zip(ids) {
-            let d = dist_sq(p, q);
-            if d <= hi_sq {
-                return Some((*item, d));
-            }
-        }
-        None
+        kernel::find_within_sq(pts, q, hi * hi).map(|(slot, d)| (ids[slot], d))
     }
 
-    /// Sandwiched count: `|B(q,lo)| <= result <= |B(q,hi)|`.
+    /// Sandwiched count: `|B(q,lo)| <= result <= |B(q,hi)|`. The linear
+    /// part is the chunked counting kernel
+    /// ([`dydbscan_geom::kernel::count_within_sq`]); `GridIndex`'s ball
+    /// counts are sums of these per neighbor cell.
+    #[inline]
     pub fn count_within_sandwich(&self, q: &Point<D>, lo: f64, hi: f64) -> usize {
         let (mut k, pts) = match &self.tree {
             Some(t) => (t.count_within_sandwich(q, lo, hi), self.tail().0),
             None => (0, &self.pts[..]),
         };
-        let lo_sq = lo * lo;
-        k += pts.iter().filter(|p| dist_sq(p, q) <= lo_sq).count();
+        k += kernel::count_within_sq(pts, q, lo * lo);
         k
     }
 
-    /// Exact range report of `(item, dist_sq)` within `r` of `q`.
+    /// Exact range report of `(item, dist_sq)` within `r` of `q`, swept
+    /// with the chunked kernel (slot order preserved).
+    #[inline]
     pub fn collect_within(&self, q: &Point<D>, r: f64, out: &mut Vec<(u32, f64)>) {
         let (pts, ids) = match &self.tree {
             Some(t) => {
@@ -375,13 +378,7 @@ impl<const D: usize> CellSet<D> {
             }
             None => (&self.pts[..], &self.ids[..]),
         };
-        let r_sq = r * r;
-        for (p, item) in pts.iter().zip(ids) {
-            let d = dist_sq(p, q);
-            if d <= r_sq {
-                out.push((*item, d));
-            }
-        }
+        kernel::for_each_within_sq(pts, q, r * r, |slot, d| out.push((ids[slot], d)));
     }
 
     /// Iterates all `(point, item)` entries in slot order.
@@ -395,7 +392,7 @@ impl<const D: usize> CellSet<D> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dydbscan_geom::SplitMix64;
+    use dydbscan_geom::{dist_sq, SplitMix64};
 
     #[test]
     fn linear_mode_basics() {

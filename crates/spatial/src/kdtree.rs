@@ -27,7 +27,7 @@
 //! `O(log n)` height, hence logarithmic emptiness queries plus output-
 //! bounded counting descents.
 
-use dydbscan_geom::{dist_sq, Aabb, Point};
+use dydbscan_geom::{dist_sq, f64_key, radix_sort_by_key, Aabb, Point};
 
 const NIL: u32 = u32::MAX;
 /// Weight-balance factor: a child may hold at most this fraction of its
@@ -376,6 +376,15 @@ impl<const D: usize> KdTree<D> {
 
     /// Builds a balanced subtree over `entries`, splitting each level on
     /// the axis with the widest spread at the median.
+    ///
+    /// The per-level ordering step is a stable LSD radix sort on the
+    /// order-preserving [`f64_key`] of the split axis (the bulk-load
+    /// replacement for a comparison `select_nth`): the cell sets'
+    /// deferred-tail rebuilds funnel whole blocks through here, and on
+    /// their clustered coordinate distributions most key bytes are
+    /// shared and skipped. A fully sorted level also makes the
+    /// tie-to-the-right routing rule a single `partition_point` instead
+    /// of a partition-and-merge pass.
     fn build(&mut self, entries: &mut [(Point<D>, u32)]) -> u32 {
         if entries.is_empty() {
             return NIL;
@@ -398,31 +407,19 @@ impl<const D: usize> KdTree<D> {
                 axis = i;
             }
         }
+        radix_sort_by_key(entries, |e| f64_key(e.0[axis]));
         let mid = entries.len() / 2;
-        entries.select_nth_unstable_by(mid, |a, b| a.0[axis].total_cmp(&b.0[axis]));
-        let (point, item) = entries[mid];
-        let node = self.alloc(point, item, axis as u8);
+        let split = entries[mid].0[axis];
         // Routing invariant requires: left side strictly < split value.
-        // select_nth guarantees left <= split <= right, but equal values may
-        // remain on the left; move them right of the median.
-        let split = point[axis];
-        let (left_part, rest) = entries.split_at_mut(mid);
-        let right_part = &mut rest[1..];
-        // Partition left_part so that values equal to split go to its end;
-        // they belong logically to the right subtree. We handle them by
-        // building them into the right subtree instead.
-        let eq_start = itertools_partition(left_part, |e| e.0[axis] < split);
-        let l = self.build(&mut left_part[..eq_start]);
-        let r = if eq_start < left_part.len() {
-            // A few ties crossed the median: merge them with the right part.
-            let mut merged: Vec<(Point<D>, u32)> =
-                Vec::with_capacity(left_part.len() - eq_start + right_part.len());
-            merged.extend_from_slice(&left_part[eq_start..]);
-            merged.extend_from_slice(right_part);
-            self.build(&mut merged[..])
-        } else {
-            self.build(right_part)
-        };
+        // The slice is fully sorted, so the run of split-valued entries
+        // starts at a partition point at or before the median; everything
+        // from there on (minus the routing node itself) goes right.
+        let eq_start = entries[..mid].partition_point(|e| e.0[axis] < split);
+        let (point, item) = entries[eq_start];
+        let node = self.alloc(point, item, axis as u8);
+        let (left_part, rest) = entries.split_at_mut(eq_start);
+        let l = self.build(left_part);
+        let r = self.build(&mut rest[1..]);
         let n = &mut self.nodes[node as usize];
         n.left = l;
         n.right = r;
@@ -650,19 +647,6 @@ fn child_min_dist<const D: usize>(t: &KdTree<D>, c: u32, q: &Point<D>) -> f64 {
             n.bbox.min_dist_sq(q)
         }
     }
-}
-
-/// Stable-ish partition: moves elements satisfying `pred` to the front,
-/// returning the boundary index. (Order within halves is unspecified.)
-fn itertools_partition<T>(xs: &mut [T], mut pred: impl FnMut(&T) -> bool) -> usize {
-    let mut i = 0;
-    for j in 0..xs.len() {
-        if pred(&xs[j]) {
-            xs.swap(i, j);
-            i += 1;
-        }
-    }
-    i
 }
 
 #[cfg(test)]
