@@ -18,6 +18,10 @@
 //!   so it transfers between runners better than absolute op/sec.
 //! * Improvements are reported but never fail the gate; the tolerance
 //!   band absorbs runner-to-runner noise in both directions.
+//! * Update-latency tail bands (`p99_update_us` / `p999_update_us`,
+//!   when both reports carry them) are printed for inspection but never
+//!   gate: tail latency is far noisier across runners than throughput,
+//!   so the bands inform the reviewer rather than fail CI.
 //!
 //! The gate refuses to compare reports measured under different
 //! configurations (every key in `CONFIG_KEYS`: command, n, seed,
@@ -91,10 +95,14 @@ fn main() {
             println!("  {name:<48} skipped (budget-capped baseline)");
             continue;
         }
-        let Some(fresh_ops) = lookup_series(&fresh, &figure, &name) else {
+        let Some(fresh_series) = lookup_series(&fresh, &figure, &name) else {
             regressions.push(format!("{name}: series missing from the fresh report"));
             continue;
         };
+        let fresh_ops = fresh_series
+            .get("ops_per_sec")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
         compared += 1;
         let ratio = fresh_ops / base_ops;
         let verdict = if ratio < 1.0 - tolerance {
@@ -113,6 +121,7 @@ fn main() {
             "  {name:<48} {base_ops:>12.0} -> {fresh_ops:>12.0} op/s  {:+7.1}%  {verdict}",
             (ratio - 1.0) * 100.0
         );
+        print_tail_bands(series, fresh_series);
     }
 
     // Batch records: grouped-pipeline speedups within the band.
@@ -210,14 +219,36 @@ fn figure_series(report: &Json) -> Vec<(String, &Json)> {
     out
 }
 
-/// Finds `figure/series` in a report; returns its op/sec.
-fn lookup_series(report: &Json, figure: &str, full_name: &str) -> Option<f64> {
+/// Finds `figure/series` in a report; returns the series object.
+fn lookup_series<'a>(report: &'a Json, figure: &str, full_name: &str) -> Option<&'a Json> {
     figure_series(report).into_iter().find_map(|(f, s)| {
         let name = format!("{}/{}", f, s.get("series").and_then(Json::as_str)?);
-        (f == figure && name == full_name)
-            .then(|| s.get("ops_per_sec").and_then(Json::as_f64))
-            .flatten()
+        (f == figure && name == full_name).then_some(s)
     })
+}
+
+/// Prints the informational p99/p999/max update-latency bands when both
+/// reports carry non-zero tails (older baselines predate the fields;
+/// query-only series record no updates).
+fn print_tail_bands(base: &Json, fresh: &Json) {
+    let band = |s: &Json, key: &str| s.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+    let keys = ["p99_update_us", "p999_update_us", "max_update_us"];
+    if keys
+        .iter()
+        .any(|k| band(base, k) <= 0.0 || band(fresh, k) <= 0.0)
+    {
+        return;
+    }
+    println!(
+        "    update tail (info only): p99 {:.0} -> {:.0} µs, p999 {:.0} -> {:.0} µs, \
+         max {:.0} -> {:.0} µs",
+        band(base, keys[0]),
+        band(fresh, keys[0]),
+        band(base, keys[1]),
+        band(fresh, keys[1]),
+        band(base, keys[2]),
+        band(fresh, keys[2]),
+    );
 }
 
 fn batch_records(report: &Json) -> Vec<&Json> {

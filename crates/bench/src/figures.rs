@@ -487,6 +487,8 @@ pub fn query(cfg: &ReproConfig, threads: usize) -> Vec<SeriesRecord> {
             total_ns,
             avg_cost_us: total_ns as f64 / ops.max(1) as f64 / 1_000.0,
             max_update_us: 0.0,
+            p99_update_us: 0.0,
+            p999_update_us: 0.0,
         };
         println!("  {series:<28} {:>12.0} op/s", r.ops_per_sec());
         records.push(r);
@@ -613,6 +615,8 @@ pub fn kernel(cfg: &ReproConfig) -> Vec<SeriesRecord> {
                 total_ns,
                 avg_cost_us: total_ns as f64 / m.ops.max(1) as f64 / 1_000.0,
                 max_update_us: 0.0,
+                p99_update_us: 0.0,
+                p999_update_us: 0.0,
             }
         })
         .collect()

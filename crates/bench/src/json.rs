@@ -24,6 +24,10 @@ pub struct SeriesRecord {
     pub avg_cost_us: f64,
     /// Maximum single-update cost, microseconds.
     pub max_update_us: f64,
+    /// 99th-percentile single-update cost, microseconds.
+    pub p99_update_us: f64,
+    /// 99.9th-percentile single-update cost, microseconds.
+    pub p999_update_us: f64,
 }
 
 impl SeriesRecord {
@@ -36,6 +40,8 @@ impl SeriesRecord {
             total_ns: m.total_ns,
             avg_cost_us: m.avg_cost_us(),
             max_update_us: m.max_update_us(),
+            p99_update_us: m.p99_update_us(),
+            p999_update_us: m.p999_update_us(),
         }
     }
 
@@ -150,7 +156,8 @@ impl JsonReport {
                 let _ = writeln!(
                     s,
                     "      {{\"series\": {}, \"ops\": {}, \"finished\": {}, \"total_ns\": {}, \
-                     \"ops_per_sec\": {:.1}, \"avg_cost_us\": {:.3}, \"max_update_us\": {:.1}}}{}",
+                     \"ops_per_sec\": {:.1}, \"avg_cost_us\": {:.3}, \"max_update_us\": {:.1}, \
+                     \"p99_update_us\": {:.1}, \"p999_update_us\": {:.1}}}{}",
                     quote(&r.series),
                     r.ops,
                     r.finished,
@@ -158,6 +165,8 @@ impl JsonReport {
                     r.ops_per_sec(),
                     r.avg_cost_us,
                     r.max_update_us,
+                    r.p99_update_us,
+                    r.p999_update_us,
                     comma(j, f.series.len()),
                 );
             }
@@ -275,6 +284,8 @@ mod tests {
                 total_ns: 2_000_000,
                 avg_cost_us: 200.0,
                 max_update_us: 400.0,
+                p99_update_us: 350.0,
+                p999_update_us: 390.0,
             }],
         );
         rep.add_checks(vec![("sandwich".into(), true)]);
@@ -290,6 +301,8 @@ mod tests {
         assert!(j.contains("\"figures\""));
         assert!(j.contains("\"Semi-Exact\""));
         assert!(j.contains("\"ops_per_sec\": 5000.0"));
+        assert!(j.contains("\"p99_update_us\": 350.0"));
+        assert!(j.contains("\"p999_update_us\": 390.0"));
         assert!(j.contains("\"speedup\": 3.000"));
         assert!(j.contains("\"threads\": 4"));
         assert!(j.contains("\"command\": \"all\""));
@@ -327,6 +340,8 @@ mod tests {
             total_ns: 0,
             avg_cost_us: 0.0,
             max_update_us: 0.0,
+            p99_update_us: 0.0,
+            p999_update_us: 0.0,
         };
         assert_eq!(r.ops_per_sec(), 0.0);
     }

@@ -280,6 +280,8 @@ mod tests {
                 total_ns: 2_000_000,
                 avg_cost_us: 200.0,
                 max_update_us: 400.0,
+                p99_update_us: 350.0,
+                p999_update_us: 390.0,
             }],
         );
         rep.add_checks(vec![("sandwich".into(), true)]);

@@ -43,6 +43,10 @@ pub struct RunMetrics {
     pub n_queries: usize,
     /// Maximum single-update cost, nanoseconds.
     pub max_update_ns: u128,
+    /// 99th-percentile single-update cost (nearest-rank), nanoseconds.
+    pub p99_update_ns: u128,
+    /// 99.9th-percentile single-update cost (nearest-rank), nanoseconds.
+    pub p999_update_ns: u128,
 }
 
 impl RunMetrics {
@@ -74,6 +78,16 @@ impl RunMetrics {
     pub fn max_update_us(&self) -> f64 {
         self.max_update_ns as f64 / 1_000.0
     }
+
+    /// 99th-percentile update cost, microseconds.
+    pub fn p99_update_us(&self) -> f64 {
+        self.p99_update_ns as f64 / 1_000.0
+    }
+
+    /// 99.9th-percentile update cost, microseconds.
+    pub fn p999_update_us(&self) -> f64 {
+        self.p999_update_ns as f64 / 1_000.0
+    }
 }
 
 /// Accumulates metrics while a workload executes.
@@ -89,6 +103,7 @@ pub struct MetricsBuilder {
     query_ns: u128,
     n_queries: usize,
     max_update_ns: u128,
+    update_samples: Vec<u64>,
     ops_done: usize,
 }
 
@@ -106,6 +121,7 @@ impl MetricsBuilder {
             query_ns: 0,
             n_queries: 0,
             max_update_ns: 0,
+            update_samples: Vec::new(),
             ops_done: 0,
         }
     }
@@ -121,6 +137,7 @@ impl MetricsBuilder {
             if ns > self.max_update_ns {
                 self.max_update_ns = ns;
             }
+            self.update_samples.push(ns.min(u64::MAX as u128) as u64);
         } else {
             self.n_queries += 1;
             self.query_ns += ns;
@@ -143,6 +160,9 @@ impl MetricsBuilder {
         if self.chunks.last().is_none_or(|c| c.ops != self.ops_done) && self.ops_done > 0 {
             self.sample();
         }
+        self.update_samples.sort_unstable();
+        let p99_update_ns = percentile(&self.update_samples, 0.99);
+        let p999_update_ns = percentile(&self.update_samples, 0.999);
         RunMetrics {
             name: self.name,
             ops_done: self.ops_done,
@@ -154,8 +174,20 @@ impl MetricsBuilder {
             query_ns: self.query_ns,
             n_queries: self.n_queries,
             max_update_ns: self.max_update_ns,
+            p99_update_ns,
+            p999_update_ns,
         }
     }
+}
+
+/// Nearest-rank percentile of a sorted sample set: the smallest value
+/// with at least `q` of the samples at or below it (`0` when empty).
+fn percentile(sorted: &[u64], q: f64) -> u128 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1] as u128
 }
 
 #[cfg(test)]
@@ -180,6 +212,31 @@ mod tests {
         // samples at op 2 and op 4
         assert_eq!(m.chunks.len(), 2);
         assert_eq!(m.chunks[1].ops, 4);
+    }
+
+    #[test]
+    fn percentile_bands_use_nearest_rank() {
+        let mut b = MetricsBuilder::new("x", 1000, 1);
+        // updates 1..=1000 µs-scale costs, shuffled order is irrelevant
+        for i in (1..=1000u128).rev() {
+            b.record(true, i * 1_000);
+        }
+        let m = b.finish(true);
+        // nearest-rank: ceil(0.99 * 1000) = 990, ceil(0.999 * 1000) = 999
+        assert!((m.p99_update_us() - 990.0).abs() < 1e-9);
+        assert!((m.p999_update_us() - 999.0).abs() < 1e-9);
+        assert!((m.max_update_us() - 1000.0).abs() < 1e-9);
+        assert!(m.p99_update_ns <= m.p999_update_ns);
+        assert!(m.p999_update_ns <= m.max_update_ns);
+    }
+
+    #[test]
+    fn no_updates_yields_zero_bands() {
+        let mut b = MetricsBuilder::new("x", 2, 1);
+        b.record(false, 5_000);
+        let m = b.finish(true);
+        assert_eq!(m.p99_update_ns, 0);
+        assert_eq!(m.p999_update_ns, 0);
     }
 
     #[test]

@@ -234,19 +234,6 @@ pub trait DynamicClusterer<const D: usize> {
         self.snapshot().group_all()
     }
 
-    /// The pre-snapshot `&mut` query signature, kept for one release.
-    #[deprecated(since = "0.3.0", note = "group_by takes &self now; call it directly")]
-    fn group_by_mut(&mut self, q: &[PointId]) -> GroupBy {
-        self.group_by(q)
-    }
-
-    /// The pre-snapshot `&mut` full-clustering signature, kept for one
-    /// release.
-    #[deprecated(since = "0.3.0", note = "group_all takes &self now; call it directly")]
-    fn group_all_mut(&mut self) -> Clustering {
-        self.group_all()
-    }
-
     /// Common operation counters (see [`ClustererStats`]).
     fn stats(&self) -> ClustererStats;
 

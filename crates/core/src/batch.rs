@@ -74,8 +74,25 @@ pub enum FlushPhase {
 /// flush phases hold `&mut self` and reach it lock-free via `get_mut`.
 #[derive(Debug)]
 pub struct FlushPipeline {
+    // LOCK: 15 — leaf on the read path: acquired with `SnapshotState.inner`
+    // released (the pooled refresh drains under `inner`, then fans out under
+    // `pool` alone); never held across another registered lock.
     pool: std::sync::Mutex<WorkerPool>,
     stats: FlushStats,
+}
+
+/// One-acquisition view of the pool behind [`FlushPipeline`]'s mutex:
+/// the stats path used to take the lock three separate times (budget,
+/// spawned flag, reuse count); probing once keeps the values coherent
+/// with each other and the guard scope minimal.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolProbe {
+    /// The thread budget.
+    pub budget: usize,
+    /// Whether the crew threads are currently spawned.
+    pub spawned: bool,
+    /// How many flushes reused the already-spawned crew.
+    pub reuse_count: u64,
 }
 
 impl Default for FlushPipeline {
@@ -101,22 +118,35 @@ impl FlushPipeline {
         self.pool.get_mut().unwrap().set_budget(threads);
     }
 
+    /// Samples budget, spawned flag, and reuse count under a single
+    /// acquisition of the pool mutex — the one sanctioned way to read
+    /// several pool facts (three back-to-back acquisitions would each
+    /// observe a potentially different pool).
+    pub fn pool_probe(&self) -> PoolProbe {
+        let pool = self.pool.lock().unwrap();
+        PoolProbe {
+            budget: pool.budget(),
+            spawned: pool.is_spawned(),
+            reuse_count: pool.reuse_count(),
+        }
+    }
+
     /// The thread budget.
     pub fn threads(&self) -> usize {
-        self.pool.lock().unwrap().budget()
+        self.pool_probe().budget
     }
 
     /// Whether the crew threads are currently spawned (and parked
     /// between flushes). Spawning is lazy: `false` until the first
     /// flush phase that actually goes parallel.
     pub fn pool_spawned(&self) -> bool {
-        self.pool.lock().unwrap().is_spawned()
+        self.pool_probe().spawned
     }
 
     /// The flush counters (with the pool-reuse count folded in).
     pub fn stats(&self) -> FlushStats {
         let mut s = self.stats;
-        s.pool_reuse_count = self.pool.lock().unwrap().reuse_count();
+        s.pool_reuse_count = self.pool_probe().reuse_count;
         s
     }
 

@@ -286,10 +286,15 @@ pub(crate) fn poison(cursor: &AtomicUsize, tasks: usize) {
 }
 
 pub(crate) struct Shared {
+    // LOCK: 10 — the innermost lock in the workspace: protects only the
+    // pool's own check-in/checkout protocol state and is never held
+    // across task bodies, waits (waits consume it), or any other lock.
     state: Mutex<State>,
     /// Workers park here between flushes.
+    // LOCK: 10 — gates `state`; a wait releases it while parked.
     work: Condvar,
     /// The coordinator blocks here until the crew drains the epoch.
+    // LOCK: 10 — gates `state`; a wait releases it while parked.
     done: Condvar,
 }
 
@@ -354,6 +359,10 @@ fn worker_loop(shared: &Shared) {
             // exactly once so the task body owns its result slot.
             unsafe { (job.run)(job.ctx, i) };
         }
+        // Pickup and checkout are separate protocol steps by design —
+        // the task bodies between them must run with `state` unlocked
+        // or the crew serializes.
+        // ALLOW(lock-consolidate): deliberately split critical section.
         let mut st = shared.state.lock().unwrap();
         if checkout(&mut st) {
             shared.done.notify_all();
@@ -472,6 +481,10 @@ impl WorkerPool {
         // Completion barrier: wait for every checked-in worker to check
         // out, then retract the job so late wakers never see it.
         {
+            // Publish and barrier are separate protocol steps by design
+            // — the coordinator steals tasks between them with `state`
+            // unlocked.
+            // ALLOW(lock-consolidate): deliberately split critical section.
             let mut st = shared.state.lock().unwrap();
             while st.active() > 0 {
                 st = shared.done.wait(st).unwrap();

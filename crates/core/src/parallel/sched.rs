@@ -84,7 +84,11 @@ struct TurnState {
 /// points exactly one actor makes progress, so the run is a pure
 /// function of the seed (and the actors' own determinism).
 struct Turnstile {
+    // LOCK: 60 — the outermost lock: the harness scheduler may hold it
+    // while an actor is parked, but actors themselves only touch it at
+    // yield points with every replayed lock released.
     st: Mutex<TurnState>,
+    // LOCK: 60 — gates `st`; a wait releases it while parked.
     gate: Condvar,
 }
 
@@ -554,9 +558,13 @@ struct SnapModel {
 /// engine's update path); every lock region is a single scheduling
 /// step, so the turnstile never parks a lock holder.
 struct SnapWorld {
+    // LOCK: 50 — acquired first by every replay actor; `model` nests
+    // under it so snapshot and model advance atomically together.
     state: Mutex<SnapshotState>,
+    // LOCK: 40 — nests strictly under `state`.
     model: Mutex<SnapModel>,
     /// epoch → checksum: all observers of an epoch must agree.
+    // LOCK: 30 — recorded after `state`/`model` are released (leaf).
     seen: Mutex<std::collections::BTreeMap<u64, u64>>,
     acquisitions: AtomicUsize,
 }

@@ -25,8 +25,7 @@
 //! [`c_group_by`] — the original single-pass walk that resolves CC ids
 //! through the (mutating) connectivity structures — is retained
 //! verbatim: it is the **differential-testing oracle** the snapshot path
-//! is checked against (`direct_group_by` on the engines), and the
-//! implementation behind their deprecated `&mut` query shims.
+//! is checked against (`direct_group_by` on the engines).
 
 use crate::groups::GroupBy;
 use crate::points::{PointArena, PointId};
@@ -66,8 +65,7 @@ pub(crate) fn non_core_anchors<const D: usize>(
 /// cell-major blocks through each record's `(cell, slot)` bookkeeping.
 ///
 /// Production queries go through the snapshot instead; this walk backs
-/// the engines' `direct_group_by` differential oracles and their
-/// deprecated `&mut` shims.
+/// the engines' `direct_group_by` differential oracles.
 pub fn c_group_by<const D: usize>(
     q: &[PointId],
     points: &PointArena,

@@ -46,7 +46,7 @@ use dydbscan_conn::CompId;
 use dydbscan_geom::{FxHashMap, FxHashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 const F_ALIVE: u8 = 1;
 const F_CORE: u8 = 2;
@@ -358,6 +358,14 @@ struct SnapInner {
     dirty: FxHashSet<u32>,
     /// Points that died since the last refresh.
     dead: Vec<PointId>,
+    /// A refresh is computing off-lock (drained, not yet published);
+    /// readers wait on [`SnapshotState::refreshed`] instead of piling up
+    /// on the mutex for the whole re-anchoring pass.
+    refreshing: bool,
+    /// A refresh panicked mid-compute. The drained dirt is lost, so the
+    /// state is terminally broken: every later reader panics, exactly as
+    /// if the mutex itself had been poisoned.
+    poisoned: bool,
 }
 
 /// The engine-owned refresh state behind the `&self` read path: the
@@ -365,12 +373,27 @@ struct SnapInner {
 /// under `&mut self`), and the machinery that turns both into a fresh
 /// epoch at the next read boundary.
 ///
-/// Refreshes run under `&self` (a [`Mutex`] serializes concurrent
-/// readers racing to refresh; once clean, reads only clone the `Arc`),
-/// which is exactly why the label export of the CC structures must not
-/// mutate.
+/// Refreshes run under `&self` (concurrent readers racing to refresh are
+/// serialized by the `refreshing` flag under the [`Mutex`]; once clean,
+/// reads only clone the `Arc`), which is exactly why the label export of
+/// the CC structures must not mutate.
+///
+/// The critical section is deliberately narrow — drain + publish. The
+/// re-anchoring and label export, the only parts whose cost scales with
+/// churn, run on a drained local working set with `inner` *released*
+/// (`cargo xtask lint` enforces that no guard is held across the pool
+/// fan-out). Followers wait on the `refreshed` condvar meanwhile, which
+/// preserves the old block-until-fresh semantics without a guard held
+/// across the compute.
 pub struct SnapshotState {
+    // LOCK: 25 — held only for drain and publish (never across the
+    // re-anchoring compute, the pool fan-out, or `FlushPipeline.pool`);
+    // nests under the sched harness's replay locks.
     inner: Mutex<SnapInner>,
+    /// Readers park here while another reader runs the off-lock refresh
+    /// compute; signaled on publish (and on a poisoning unwind).
+    // LOCK: 25 — gates `inner`; a wait releases it while parked.
+    refreshed: Condvar,
     counters: SnapCounters,
 }
 
@@ -381,6 +404,7 @@ impl fmt::Debug for SnapshotState {
             .field("epoch", &inner.snap.epoch)
             .field("dirty_keys", &inner.dirty.len())
             .field("dead_pending", &inner.dead.len())
+            .field("refreshing", &inner.refreshing)
             .finish()
     }
 }
@@ -399,7 +423,10 @@ impl SnapshotState {
                 snap: Arc::new(ClusterSnapshot::default()),
                 dirty: FxHashSet::default(),
                 dead: Vec::new(),
+                refreshing: false,
+                poisoned: false,
             }),
+            refreshed: Condvar::new(),
             counters: SnapCounters {
                 refreshes: AtomicU64::new(0),
                 keys_relabeled: AtomicU64::new(0),
@@ -471,22 +498,19 @@ impl SnapshotState {
         export_labels: impl FnOnce() -> Vec<CompId>,
         mut reanchor: impl FnMut(u32, &mut dyn FnMut(PointId, bool, Anchors)),
     ) -> Arc<ClusterSnapshot> {
-        let mut inner = self.inner.lock().unwrap();
-        let SnapInner { snap, dirty, dead } = &mut *inner;
-        if dirty.is_empty() && dead.is_empty() {
-            return Arc::clone(snap);
-        }
-        let s = Self::begin_refresh(snap, dead, total_ids, export_labels);
-        let mut relabeled = 0u64;
-        for &key in dirty.iter() {
-            relabeled += 1;
+        let mut work = match self.begin_read() {
+            ReadPath::Clean(snap) => return snap,
+            ReadPath::Refresh(work) => work,
+        };
+        let relabeled = work.keys.len() as u64;
+        let s = Self::begin_refresh(&mut work.snap, &mut work.dead, total_ids, export_labels);
+        for &key in &work.keys {
             reanchor(key, &mut |pid, core, anchors| {
                 apply_emit(s, pid, core, anchors);
             });
         }
-        dirty.clear();
         self.note_refresh(relabeled);
-        Arc::clone(snap)
+        work.publish()
     }
 
     /// The pool-parallel twin of [`read_with`](Self::read_with): when the
@@ -512,15 +536,17 @@ impl SnapshotState {
         reanchor: impl Fn(u32, &mut dyn FnMut(PointId, bool, Anchors)) + Sync,
         pool: &crate::batch::FlushPipeline,
     ) -> Arc<ClusterSnapshot> {
-        let mut inner = self.inner.lock().unwrap();
-        let SnapInner { snap, dirty, dead } = &mut *inner;
-        if dirty.is_empty() && dead.is_empty() {
-            return Arc::clone(snap);
-        }
-        let mut keys: Vec<u32> = dirty.iter().copied().collect();
-        dydbscan_geom::radix_sort_u32(&mut keys);
-        let s = Self::begin_refresh(snap, dead, total_ids, export_labels);
+        let mut work = match self.begin_read() {
+            ReadPath::Clean(snap) => return snap,
+            ReadPath::Refresh(work) => work,
+        };
+        let relabeled = work.keys.len() as u64;
+        let s = Self::begin_refresh(&mut work.snap, &mut work.dead, total_ids, export_labels);
+        let keys = &work.keys;
         if keys.len() >= PARALLEL_REFRESH_MIN_KEYS {
+            // `inner` is released here: the fan-out runs on the drained
+            // working set, so concurrent clean readers of *other* states
+            // sharing the pool only contend on the pool lock itself.
             let (parts, workers) = pool.run_query(keys.len(), |i| {
                 let mut out: Vec<(PointId, bool, Anchors)> = Vec::new();
                 reanchor(keys[i], &mut |pid, core, anchors| {
@@ -537,16 +563,56 @@ impl SnapshotState {
                 self.note_query_tasks(keys.len());
             }
         } else {
-            for &key in &keys {
+            for &key in keys {
                 reanchor(key, &mut |pid, core, anchors| {
                     apply_emit(s, pid, core, anchors);
                 });
             }
         }
-        let relabeled = keys.len() as u64;
-        dirty.clear();
         self.note_refresh(relabeled);
-        Arc::clone(snap)
+        work.publish()
+    }
+
+    /// Opens the read path: waits out a concurrent off-lock refresh,
+    /// then either returns the clean snapshot or drains the dirt into a
+    /// local [`RefreshWork`] working set (flagging `refreshing` so
+    /// followers park on the condvar) — all under a single acquisition
+    /// of `inner`. The caller computes the new epoch off-lock and
+    /// [`RefreshWork::publish`]es it.
+    fn begin_read(&self) -> ReadPath<'_> {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.refreshing {
+            inner = self.refreshed.wait(inner).unwrap();
+        }
+        if inner.poisoned {
+            // A previous refresh panicked after draining the dirt, so
+            // no later epoch can be trusted; mirror mutex poisoning.
+            // ALLOW(poison): deliberate re-raise, fail every reader.
+            panic!("SnapshotState: a previous snapshot refresh panicked; state is poisoned");
+        }
+        if inner.dirty.is_empty() && inner.dead.is_empty() {
+            return ReadPath::Clean(Arc::clone(&inner.snap));
+        }
+        inner.refreshing = true;
+        // Sorted drain order on *both* refresh paths: keys own disjoint
+        // point sets, so order cannot change the result, but determinism
+        // keeps the serial and pooled paths trivially comparable.
+        let mut keys: Vec<u32> = inner.dirty.drain().collect();
+        dydbscan_geom::radix_sort_u32(&mut keys);
+        let dead = std::mem::take(&mut inner.dead);
+        // Take the Arc itself (leaving a placeholder): its refcount
+        // stays "us + external readers", exactly as when refreshing
+        // under the lock, so `Arc::make_mut` keeps its in-place fast
+        // path once old readers retire. Nobody reads the placeholder —
+        // readers park on `refreshed` until publish.
+        let snap = std::mem::replace(&mut inner.snap, Arc::new(ClusterSnapshot::default()));
+        ReadPath::Refresh(RefreshWork {
+            state: self,
+            keys,
+            dead,
+            snap,
+            published: false,
+        })
     }
 
     /// Opens a refresh epoch on the copy-on-write snapshot: bumps the
@@ -587,6 +653,66 @@ impl SnapshotState {
         self.counters
             .keys_relabeled
             .fetch_add(relabeled, Ordering::Relaxed);
+    }
+}
+
+/// What [`SnapshotState::begin_read`] found under the lock.
+enum ReadPath<'a> {
+    /// Nothing dirty: the current snapshot, ready to hand out.
+    Clean(Arc<ClusterSnapshot>),
+    /// Dirt drained into a local working set; compute off-lock, then
+    /// [`RefreshWork::publish`].
+    Refresh(RefreshWork<'a>),
+}
+
+/// A drained refresh in flight: the dirty keys (sorted), the pending
+/// deaths, and the snapshot `Arc` taken out of `inner` (which holds a
+/// placeholder until publish). Dropping this without publishing — an
+/// unwind out of `reanchor`/`export_labels` — marks the state poisoned
+/// and wakes the parked readers so they fail loudly instead of hanging.
+struct RefreshWork<'a> {
+    state: &'a SnapshotState,
+    keys: Vec<u32>,
+    dead: Vec<PointId>,
+    snap: Arc<ClusterSnapshot>,
+    published: bool,
+}
+
+impl RefreshWork<'_> {
+    /// Publishes the computed epoch: one acquisition of `inner` to store
+    /// the new `Arc` and clear `refreshing`, then wakes the readers
+    /// parked on `refreshed`.
+    fn publish(mut self) -> Arc<ClusterSnapshot> {
+        let snap = Arc::clone(&self.snap);
+        let mut inner = self.state.inner.lock().unwrap();
+        inner.snap = Arc::clone(&snap);
+        inner.refreshing = false;
+        drop(inner);
+        self.published = true;
+        self.state.refreshed.notify_all();
+        snap
+    }
+}
+
+impl Drop for RefreshWork<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        // Unwinding mid-refresh: the drained dirt is lost, so no later
+        // epoch can be trusted. Mark the state poisoned (readers panic,
+        // mirroring mutex poisoning) and wake the parked readers. A
+        // poisoned `inner` here means the sibling panicked *inside* the
+        // drain/publish critical section; recover the guard — we only
+        // ever make the state strictly more broken.
+        let mut inner = match self.state.inner.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        inner.poisoned = true;
+        inner.refreshing = false;
+        drop(inner);
+        self.state.refreshed.notify_all();
     }
 }
 

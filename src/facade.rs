@@ -244,19 +244,6 @@ impl DynDbscan {
         dispatch!(&self.inner, c => c.group_all())
     }
 
-    /// The pre-snapshot `&mut` query signature, kept for one release.
-    #[deprecated(since = "0.3.0", note = "group_by takes &self now; call it directly")]
-    pub fn group_by_mut(&mut self, q: &[PointId]) -> GroupBy {
-        self.group_by(q)
-    }
-
-    /// The pre-snapshot `&mut` full-clustering signature, kept for one
-    /// release.
-    #[deprecated(since = "0.3.0", note = "group_all takes &self now; call it directly")]
-    pub fn group_all_mut(&mut self) -> Clustering {
-        self.group_all()
-    }
-
     /// Common operation counters.
     pub fn stats(&self) -> ClustererStats {
         dispatch!(&self.inner, c => c.stats())

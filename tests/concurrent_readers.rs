@@ -351,16 +351,3 @@ fn pooled_group_all_is_bit_identical_across_thread_counts() {
         }
     }
 }
-
-/// The deprecated `&mut` shims still answer (compatibility cover until
-/// they are removed).
-#[test]
-#[allow(deprecated)]
-fn deprecated_mut_shims_still_answer() {
-    let mut c: Box<dyn DynamicClusterer<2>> =
-        Box::new(SemiDynDbscan::<2>::new(Params::new(1.0, 2)));
-    let a = c.insert([0.0, 0.0]);
-    let b = c.insert([0.5, 0.0]);
-    assert_eq!(c.group_by_mut(&[a, b]), c.group_by(&[a, b]));
-    assert_eq!(c.group_all_mut(), c.group_all());
-}

@@ -19,10 +19,12 @@
 //!   and deterministic (same seed ⇒ identical run).
 
 use dydbscan_core::sched::{
-    replay_pool_protocol, replay_snapshot_protocol, PoolScenario, SnapScenario,
+    replay_pool_protocol, replay_snapshot_protocol, run_schedule, Actor, PoolScenario,
+    SnapScenario, Yielder,
 };
 use dydbscan_geom::SplitMix64;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Master seed of the "random" sweeps — change deliberately, never
 /// per-run (a failing derived seed must stay reproducible).
@@ -161,6 +163,154 @@ fn pinned_seed_snapshot_published_arcs_are_frozen() {
         keys: 6,
     });
     assert!(report.acquisitions >= report.refreshes);
+}
+
+// ---------------------------------------------------------------------
+// Lock-order regression (ISSUE 8): the snapshot-refresh vs. pool-mutex
+// interleaving, replayed at the levels `xtask/lock_registry.toml`
+// assigns, must never acquire the two locks in inverted order under any
+// explored schedule.
+// ---------------------------------------------------------------------
+
+/// The checked-in registry, compiled into the test so the replayed
+/// levels can never drift from what the linter enforces.
+const LOCK_REGISTRY: &str = include_str!("../xtask/lock_registry.toml");
+
+/// Extracts `field`'s level from the registry TOML (same tiny subset the
+/// linter parses: `[[lock]]` blocks of `key = value` lines).
+fn registry_level(field: &str) -> i64 {
+    let mut matched = false;
+    for line in LOCK_REGISTRY.lines() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.starts_with("[[") {
+            matched = false;
+        } else if let Some((k, v)) = line.split_once('=') {
+            let (k, v) = (k.trim(), v.trim().trim_matches('"'));
+            if k == "field" {
+                matched = v == field;
+            } else if k == "level" && matched {
+                return v.parse().expect("registry level parses");
+            }
+        }
+    }
+    panic!("lock_registry.toml has no entry for `{field}`");
+}
+
+/// A replayed lock at a registry level: actors try-acquire (yielding
+/// between attempts, so a holder is never parked by the turnstile) and
+/// assert on every acquisition that each level already held is strictly
+/// greater — the registry's descent discipline, checked dynamically
+/// under every explored schedule.
+struct LevelLock {
+    level: i64,
+    name: &'static str,
+    busy: AtomicBool,
+}
+
+impl LevelLock {
+    fn new(name: &'static str, level: i64) -> Self {
+        Self {
+            level,
+            name,
+            busy: AtomicBool::new(false),
+        }
+    }
+
+    fn acquire(&self, y: &Yielder<'_>, held: &mut Vec<(i64, &'static str)>) {
+        for &(lvl, name) in held.iter() {
+            assert!(
+                lvl > self.level,
+                "acquiring `{}` (level {}) while holding `{name}` (level {lvl}): \
+                 nested acquisitions must descend strictly",
+                self.name,
+                self.level
+            );
+        }
+        // ORDERING: Relaxed — the turnstile serializes actor execution;
+        // the atomic only models occupancy, it synchronizes nothing.
+        while self.busy.swap(true, Ordering::Relaxed) {
+            y.point(); // never spin while scheduled: hand the CPU over
+        }
+        held.push((self.level, self.name));
+        y.point();
+    }
+
+    fn release(&self, held: &mut Vec<(i64, &'static str)>) {
+        let top = held.pop().expect("release without acquire");
+        assert_eq!(top.1, self.name, "locks must release in LIFO order");
+        // ORDERING: Relaxed — same as acquire: occupancy model only.
+        self.busy.store(false, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn registry_levels_keep_snapshot_refresh_above_pool_fanout() {
+    let inner_level = registry_level("SnapshotState.inner");
+    let pool_level = registry_level("FlushPipeline.pool");
+    assert!(
+        inner_level > pool_level,
+        "the registry must order the snapshot drain (inner, {inner_level}) \
+         above the pool fan-out (pool, {pool_level})"
+    );
+
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 0x10C8);
+    for round in 0..64 {
+        let seed = rng.next_u64();
+        let inner = LevelLock::new("SnapshotState.inner", inner_level);
+        let pool = LevelLock::new("FlushPipeline.pool", pool_level);
+        // The narrowed read_with_pool protocol: drain under `inner`
+        // alone, fan out under `pool` alone, publish under `inner`
+        // alone — plus two concurrent group_all readers on the pool.
+        let mut actors: Vec<Actor<'_>> = vec![Box::new(|y| {
+            let mut held = Vec::new();
+            for _ in 0..3 {
+                inner.acquire(y, &mut held); // drain the dirt
+                inner.release(&mut held);
+                pool.acquire(y, &mut held); // fan out, inner released
+                pool.release(&mut held);
+                inner.acquire(y, &mut held); // publish the new epoch
+                inner.release(&mut held);
+            }
+        })];
+        for _ in 0..2 {
+            actors.push(Box::new(|y| {
+                let mut held = Vec::new();
+                for _ in 0..3 {
+                    pool.acquire(y, &mut held);
+                    pool.release(&mut held);
+                }
+            }));
+        }
+        let outcome = run_schedule(seed, actors);
+        assert!(
+            outcome.panics.is_empty(),
+            "round {round}, seed {seed}: lock-order violation under an \
+             explored schedule: {:?}",
+            outcome.panics
+        );
+    }
+}
+
+/// Negative control: an actor that *does* invert the order (acquiring
+/// the snapshot lock while holding the pool lock) must be caught by the
+/// level assertion under every schedule — proving the regression test
+/// can actually fail.
+#[test]
+fn inverted_acquisition_is_caught_by_the_level_model() {
+    let inner = LevelLock::new("SnapshotState.inner", registry_level("SnapshotState.inner"));
+    let pool = LevelLock::new("FlushPipeline.pool", registry_level("FlushPipeline.pool"));
+    let inverted: Actor<'_> = Box::new(|y| {
+        let mut held = Vec::new();
+        pool.acquire(y, &mut held);
+        inner.acquire(y, &mut held); // climbs 15 -> 25: must panic
+        inner.release(&mut held);
+        pool.release(&mut held);
+    });
+    let outcome = run_schedule(MASTER_SEED, vec![inverted]);
+    assert!(
+        !outcome.panics.is_empty(),
+        "the level model failed to catch an inverted acquisition"
+    );
 }
 
 // ---------------------------------------------------------------------

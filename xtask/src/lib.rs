@@ -28,6 +28,11 @@
 //!   code, with an explicit allowlist (`xtask/lint_allow.toml`) and
 //!   in-source `// ALLOW(rule): reason` escapes.
 //!
+//! The lock-discipline rules (ISSUE 8) live in [`locks`]:
+//! `guard-across-blocking`, `guard-across-wait`, `lock-order`,
+//! `lock-consolidate`, `lock-registry`, `lock-comment`, and
+//! `poison-surface`, driven by `xtask/lock_registry.toml`.
+//!
 //! The scanner is deliberately token-level, not a full parser: it strips
 //! comments and string/char literals first (so prose never triggers a
 //! rule), tracks `#[cfg(test)]` brace-balanced regions, and otherwise
@@ -38,6 +43,10 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
+
+pub mod locks;
+
+pub use locks::{parse_lock_registry, LockRegistry};
 
 /// The atomic-ordering variants that require an `// ORDERING:` comment.
 const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
@@ -206,8 +215,20 @@ pub fn mask_source(src: &str) -> String {
     out.into_iter().collect()
 }
 
-fn is_ident(c: char) -> bool {
+pub(crate) fn is_ident(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
+}
+
+/// True for paths whose code is test/bench/example scaffolding — exempt
+/// from the library-only rules (`no-unwrap`, `poison-surface`, field
+/// coverage).
+pub fn is_test_path(rel: &str) -> bool {
+    rel.contains("/tests/")
+        || rel.starts_with("tests/")
+        || rel.contains("/benches/")
+        || rel.starts_with("benches/")
+        || rel.contains("/examples/")
+        || rel.starts_with("examples/")
 }
 
 /// Per-line flags for `#[cfg(test)]` brace-balanced regions of the
@@ -283,7 +304,7 @@ fn has_justification(orig_lines: &[&str], line_idx: usize, needles: &[&str]) -> 
 
 /// True when the line (or the line above) carries an in-source
 /// `// ALLOW(rule): reason` escape for this rule.
-fn inline_allowed(orig_lines: &[&str], line_idx: usize, rule: &str) -> bool {
+pub(crate) fn inline_allowed(orig_lines: &[&str], line_idx: usize, rule: &str) -> bool {
     let marker = format!("ALLOW({rule})");
     if orig_lines[line_idx].contains(&marker) {
         return true;
@@ -292,7 +313,7 @@ fn inline_allowed(orig_lines: &[&str], line_idx: usize, rule: &str) -> bool {
 }
 
 /// True when some `[[allow]]` grant covers this finding.
-fn grant_allowed(allows: &[Allow], rule: &str, rel: &str, line_text: &str) -> bool {
+pub(crate) fn grant_allowed(allows: &[Allow], rule: &str, rel: &str, line_text: &str) -> bool {
     allows.iter().any(|a| {
         a.rule == rule
             && a.path.as_ref().is_none_or(|p| rel.starts_with(p.as_str()))
@@ -304,7 +325,7 @@ fn grant_allowed(allows: &[Allow], rule: &str, rel: &str, line_text: &str) -> bo
 
 /// Find word-boundary occurrences of `word` in `masked`, returning byte
 /// offsets.
-fn word_occurrences(masked: &str, word: &str) -> Vec<usize> {
+pub(crate) fn word_occurrences(masked: &str, word: &str) -> Vec<usize> {
     let bytes = masked.as_bytes();
     masked
         .match_indices(word)
@@ -343,12 +364,7 @@ pub fn lint_file(rel: &str, src: &str, allows: &[Allow]) -> (Vec<Violation>, usi
     let test_lines = test_region_lines(&masked);
     let bytes = masked.as_bytes();
     let line_of = |pos: usize| bytes[..pos].iter().filter(|&&b| b == b'\n').count();
-    let test_path = rel.contains("/tests/")
-        || rel.starts_with("tests/")
-        || rel.contains("/benches/")
-        || rel.starts_with("benches/")
-        || rel.contains("/examples/")
-        || rel.starts_with("examples/");
+    let test_path = is_test_path(rel);
     let mut out = Vec::new();
     let mut unsafe_sites = 0usize;
 
@@ -447,14 +463,32 @@ pub fn lint_sources(
     files: &[(String, String)],
     registry: &BTreeMap<String, usize>,
     allows: &[Allow],
+    locks: &LockRegistry,
 ) -> Vec<Violation> {
     let mut out = Vec::new();
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut lock_fields: Vec<String> = Vec::new();
     for (rel, src) in files {
         let (violations, sites) = lint_file(rel, src, allows);
         out.extend(violations);
+        let (lock_violations, found) = locks::lint_locks_file(rel, src, allows, locks);
+        out.extend(lock_violations);
+        lock_fields.extend(found);
         if sites > 0 {
             counts.insert(rel.clone(), sites);
+        }
+    }
+    for entry in &locks.locks {
+        if !lock_fields.contains(&entry.field) {
+            out.push(Violation {
+                file: entry.file.clone(),
+                line: 1,
+                rule: "lock-registry",
+                msg: format!(
+                    "lock_registry.toml names `{}` but no such field exists (stale entry?)",
+                    entry.field
+                ),
+            });
         }
     }
     for (rel, &found) in &counts {
@@ -511,7 +545,7 @@ pub fn unsafe_counts(files: &[(String, String)]) -> BTreeMap<String, usize> {
 // `key = "string" | integer` pairs). No dependencies, loud errors.
 // ---------------------------------------------------------------------
 
-fn unquote(raw: &str, file: &str, lineno: usize) -> Result<String, String> {
+pub(crate) fn unquote(raw: &str, file: &str, lineno: usize) -> Result<String, String> {
     let t = raw.trim();
     if t.len() >= 2 && t.starts_with('"') && t.ends_with('"') {
         Ok(t[1..t.len() - 1].to_string())
@@ -525,7 +559,7 @@ fn unquote(raw: &str, file: &str, lineno: usize) -> Result<String, String> {
 /// Strip a `#` comment (the configs never put `#` inside strings after
 /// values we care about — keys and values are parsed before this for
 /// quoted content).
-fn strip_comment(line: &str) -> &str {
+pub(crate) fn strip_comment(line: &str) -> &str {
     // Respect `#` inside quotes.
     let mut in_str = false;
     for (i, c) in line.char_indices() {
@@ -688,14 +722,18 @@ pub fn read_sources(root: &Path) -> Result<Vec<(String, String)>, String> {
 pub fn run_lint(root: &Path) -> Result<Vec<Violation>, String> {
     let reg_path = root.join("xtask/unsafe_registry.toml");
     let allow_path = root.join("xtask/lint_allow.toml");
+    let lock_path = root.join("xtask/lock_registry.toml");
     let reg_text = std::fs::read_to_string(&reg_path)
         .map_err(|e| format!("read {}: {e}", reg_path.display()))?;
     let allow_text = std::fs::read_to_string(&allow_path)
         .map_err(|e| format!("read {}: {e}", allow_path.display()))?;
+    let lock_text = std::fs::read_to_string(&lock_path)
+        .map_err(|e| format!("read {}: {e}", lock_path.display()))?;
     let registry = parse_registry(&reg_text, "xtask/unsafe_registry.toml")?;
     let allows = parse_allows(&allow_text, "xtask/lint_allow.toml")?;
+    let locks = parse_lock_registry(&lock_text, "xtask/lock_registry.toml")?;
     let files = read_sources(root)?;
-    Ok(lint_sources(&files, &registry, &allows))
+    Ok(lint_sources(&files, &registry, &allows, &locks))
 }
 
 #[cfg(test)]
@@ -803,22 +841,23 @@ mod tests {
             "crates/x/src/lib.rs".to_string(),
             "// SAFETY: p valid.\nfn f(p: *const u8) -> u8 { unsafe { *p } }\n".to_string(),
         )];
+        let locks = LockRegistry::default();
         // Unregistered.
-        let v = lint_sources(&files, &BTreeMap::new(), &[]);
+        let v = lint_sources(&files, &BTreeMap::new(), &[], &locks);
         assert!(v.iter().any(|v| v.rule == "unsafe-registry"));
         // Wrong count.
         let mut reg = BTreeMap::new();
         reg.insert("crates/x/src/lib.rs".to_string(), 3usize);
-        let v = lint_sources(&files, &reg, &[]);
+        let v = lint_sources(&files, &reg, &[], &locks);
         assert!(v.iter().any(|v| v.rule == "unsafe-registry"));
         // Exact.
         let mut reg = BTreeMap::new();
         reg.insert("crates/x/src/lib.rs".to_string(), 1usize);
-        let v = lint_sources(&files, &reg, &[]);
+        let v = lint_sources(&files, &reg, &[], &locks);
         assert!(v.is_empty(), "{v:?}");
         // Stale entry for a file with no unsafe.
         let clean = vec![("crates/y/src/lib.rs".to_string(), "fn f() {}\n".to_string())];
-        let v = lint_sources(&clean, &reg, &[]);
+        let v = lint_sources(&clean, &reg, &[], &locks);
         assert!(v.iter().any(|v| v.rule == "unsafe-registry"));
     }
 

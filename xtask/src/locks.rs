@@ -1,0 +1,1179 @@
+//! Lock-discipline analysis (ISSUE 8): the three rule families layered
+//! on top of the masked-source scanner in `lib.rs`.
+//!
+//! * **Guard-scope tracker** — an intra-procedural, brace- and
+//!   statement-aware pass that finds every guard-producing call
+//!   (`.lock()`, plus `.read()`/`.write()` on registered `RwLock`
+//!   fields) and computes the live scope of the resulting binding:
+//!   a `let`-bound guard lives to the end of its enclosing block (or an
+//!   explicit `drop(guard)`); a temporary in expression position lives
+//!   to the end of its statement. Within a live scope the pass flags:
+//!   - `guard-across-blocking` — calls registered as blocking in
+//!     `lock_registry.toml` (`[[blocking]]`: the pool fan-outs
+//!     `WorkerPool::run` / `FlushPipeline::run_query` and friends). A
+//!     blocking entry may name `unless_guard`: the one lock that *is*
+//!     the call's own serialization point (the pool mutex across
+//!     `WorkerPool::run`) is exempt, every foreign guard is not.
+//!   - `guard-across-wait` — a `Condvar` wait that does not consume
+//!     this guard (waiting on lock A while still holding lock B).
+//!   - `lock-order` — acquiring another registered lock whose level
+//!     does not *strictly descend* from the held one.
+//!   - `lock-consolidate` — re-acquiring the same registered lock
+//!     several times in one function body: each re-acquisition observes
+//!     torn intermediate state; consolidate into one guarded block (or
+//!     annotate a deliberately split critical section).
+//! * **Lock-order registry** — `xtask/lock_registry.toml` names every
+//!   `Mutex`/`RwLock`/`Condvar`/`AtomicPtr` *field* in the workspace
+//!   with an integer level (`lock-registry` fires on unregistered or
+//!   stale fields; regenerate stubs with `cargo xtask lint --locks`),
+//!   and every lock field needs an adjacent `// LOCK: <level> — <why>`
+//!   comment whose level matches the registry (`lock-comment`),
+//!   mirroring the `// ORDERING:` rule. Condvars carry the level of the
+//!   mutex they gate and create no ordering edges of their own (a wait
+//!   *releases* that mutex).
+//! * **Poison-surface audit** — `panic!` / `.unwrap()` / `.expect(` /
+//!   `[idx]` indexing inside a guard's live scope is flagged
+//!   (`poison-surface`) unless granted in `lint_allow.toml` or via
+//!   `// ALLOW(poison): reason` — the static complement of the sched
+//!   harness's panic-propagation checks. The `.unwrap()`/`.expect(`
+//!   chained directly onto the guard-producing call is exempt: that is
+//!   the workspace's sanctioned poison *propagation*, already governed
+//!   by the `no-unwrap` grants.
+//!
+//! Like the rest of the linter this is a token-level policy check over
+//! masked source, not a borrow checker: closures count as part of their
+//! enclosing function, guards returned from functions are not tracked
+//! across calls, and tuple-struct lock fields are invisible (none
+//! exist; named fields are the workspace idiom). Miri, the sanitizers,
+//! and `core::parallel::sched` own the semantic side.
+
+use crate::{
+    grant_allowed, inline_allowed, is_ident, mask_source, test_region_lines, word_occurrences,
+    Allow, Violation,
+};
+
+/// The lock-shaped field types the registry must cover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockKind {
+    Mutex,
+    RwLock,
+    Condvar,
+    AtomicPtr,
+}
+
+impl LockKind {
+    /// The registry's `kind = "..."` spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LockKind::Mutex => "mutex",
+            LockKind::RwLock => "rwlock",
+            LockKind::Condvar => "condvar",
+            LockKind::AtomicPtr => "atomicptr",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "mutex" => Some(LockKind::Mutex),
+            "rwlock" => Some(LockKind::RwLock),
+            "condvar" => Some(LockKind::Condvar),
+            "atomicptr" => Some(LockKind::AtomicPtr),
+            _ => None,
+        }
+    }
+
+    /// The type word the field scanner matches.
+    fn type_word(self) -> &'static str {
+        match self {
+            LockKind::Mutex => "Mutex",
+            LockKind::RwLock => "RwLock",
+            LockKind::Condvar => "Condvar",
+            LockKind::AtomicPtr => "AtomicPtr",
+        }
+    }
+
+    const ALL: [LockKind; 4] = [
+        LockKind::Mutex,
+        LockKind::RwLock,
+        LockKind::Condvar,
+        LockKind::AtomicPtr,
+    ];
+}
+
+/// One `[[lock]]` entry of `xtask/lock_registry.toml`.
+#[derive(Debug, Clone)]
+pub struct LockEntry {
+    /// `Struct.field` key.
+    pub field: String,
+    /// Workspace-relative file declaring the field.
+    pub file: String,
+    pub kind: LockKind,
+    /// Ordering level: nested acquisitions must descend strictly
+    /// (acquire 50, then 40, then 15 — never back up).
+    pub level: i64,
+}
+
+impl LockEntry {
+    /// The bare field name (`pool` of `FlushPipeline.pool`) —
+    /// what an acquisition site's receiver chain ends in.
+    pub fn base(&self) -> &str {
+        self.field.rsplit('.').next().unwrap_or(&self.field)
+    }
+}
+
+/// One `[[blocking]]` entry: a call needle that parks the caller (pool
+/// fan-out, pipeline drain) and must never run under a foreign guard.
+#[derive(Debug, Clone)]
+pub struct BlockingCall {
+    /// Substring needle, e.g. `".run("` or `"run_query("`.
+    pub call: String,
+    /// Guard base name exempt from this needle: the lock that *is* the
+    /// call's serialization point.
+    pub unless_guard: Option<String>,
+    pub reason: String,
+}
+
+/// The parsed `xtask/lock_registry.toml`.
+#[derive(Debug, Clone, Default)]
+pub struct LockRegistry {
+    pub locks: Vec<LockEntry>,
+    pub blocking: Vec<BlockingCall>,
+}
+
+impl LockRegistry {
+    /// Maps an acquisition site to a registry entry: the receiver base
+    /// name must match an entry's field name, preferring an entry
+    /// declared in the same file; an ambiguous cross-file name maps to
+    /// nothing (no finding beats a wrong finding in a policy check).
+    fn entry_for(&self, rel: &str, base: &str) -> Option<&LockEntry> {
+        let all: Vec<&LockEntry> = self.locks.iter().filter(|e| e.base() == base).collect();
+        if let Some(same_file) = all.iter().find(|e| e.file == rel) {
+            return Some(same_file);
+        }
+        match all.as_slice() {
+            [one] => Some(one),
+            _ => None,
+        }
+    }
+}
+
+/// Parse `xtask/lock_registry.toml`: `[[lock]]` entries (`field`,
+/// `file`, `kind`, `level`) plus `[[blocking]]` entries (`call`,
+/// optional `unless_guard`, `reason`).
+pub fn parse_lock_registry(text: &str, file: &str) -> Result<LockRegistry, String> {
+    #[derive(PartialEq)]
+    enum Section {
+        None,
+        Lock,
+        Blocking,
+    }
+    let mut reg = LockRegistry::default();
+    let mut section = Section::None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = crate::strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "[[lock]]" => {
+                reg.locks.push(LockEntry {
+                    field: String::new(),
+                    file: String::new(),
+                    kind: LockKind::Mutex,
+                    level: i64::MIN,
+                });
+                section = Section::Lock;
+                continue;
+            }
+            "[[blocking]]" => {
+                reg.blocking.push(BlockingCall {
+                    call: String::new(),
+                    unless_guard: None,
+                    reason: String::new(),
+                });
+                section = Section::Blocking;
+                continue;
+            }
+            _ if line.starts_with('[') => {
+                return Err(format!("{file}:{lineno}: unknown section `{line}`"));
+            }
+            _ => {}
+        }
+        let (k, v) = line
+            .split_once('=')
+            .ok_or_else(|| format!("{file}:{lineno}: expected `key = value`"))?;
+        let key = k.trim();
+        match section {
+            Section::None => {
+                return Err(format!(
+                    "{file}:{lineno}: entry outside [[lock]]/[[blocking]]"
+                ))
+            }
+            Section::Lock => {
+                let entry = reg.locks.last_mut().expect("section implies an entry");
+                match key {
+                    "field" => entry.field = crate::unquote(v, file, lineno)?,
+                    "file" => entry.file = crate::unquote(v, file, lineno)?,
+                    "kind" => {
+                        let s = crate::unquote(v, file, lineno)?;
+                        entry.kind = LockKind::parse(&s).ok_or_else(|| {
+                            format!("{file}:{lineno}: unknown lock kind `{s}` (mutex | rwlock | condvar | atomicptr)")
+                        })?;
+                    }
+                    "level" => {
+                        entry.level = v
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("{file}:{lineno}: level must be an integer"))?;
+                    }
+                    other => return Err(format!("{file}:{lineno}: unknown key `{other}`")),
+                }
+            }
+            Section::Blocking => {
+                let entry = reg.blocking.last_mut().expect("section implies an entry");
+                match key {
+                    "call" => entry.call = crate::unquote(v, file, lineno)?,
+                    "unless_guard" => entry.unless_guard = Some(crate::unquote(v, file, lineno)?),
+                    "reason" => entry.reason = crate::unquote(v, file, lineno)?,
+                    other => return Err(format!("{file}:{lineno}: unknown key `{other}`")),
+                }
+            }
+        }
+    }
+    for (i, e) in reg.locks.iter().enumerate() {
+        if e.field.is_empty() || !e.field.contains('.') {
+            return Err(format!(
+                "{file}: [[lock]] #{} needs `field = \"Struct.name\"`",
+                i + 1
+            ));
+        }
+        if e.file.is_empty() {
+            return Err(format!("{file}: [[lock]] #{} is missing `file`", i + 1));
+        }
+        if e.level == i64::MIN {
+            return Err(format!("{file}: [[lock]] #{} is missing `level`", i + 1));
+        }
+    }
+    for (i, b) in reg.blocking.iter().enumerate() {
+        if b.call.is_empty() {
+            return Err(format!("{file}: [[blocking]] #{} is missing `call`", i + 1));
+        }
+        if b.reason.is_empty() {
+            return Err(format!(
+                "{file}: [[blocking]] #{} is missing `reason`",
+                i + 1
+            ));
+        }
+    }
+    Ok(reg)
+}
+
+/// A lock-shaped struct field found in masked source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockField {
+    /// 0-based line of the field declaration.
+    pub line: usize,
+    pub strukt: String,
+    pub name: String,
+    pub kind: LockKind,
+}
+
+impl LockField {
+    /// The registry key (`Struct.name`).
+    pub fn key(&self) -> String {
+        format!("{}.{}", self.strukt, self.name)
+    }
+}
+
+/// Finds every named struct field whose type mentions a lock-shaped
+/// type (`Mutex<`, `RwLock<`, `Condvar`, `AtomicPtr<`). Token-level:
+/// walks each `struct Name { ... }` body and matches the type words at
+/// field depth. Tuple structs and locals are out of scope by design.
+pub fn find_lock_fields(masked: &str) -> Vec<LockField> {
+    let bytes = masked.as_bytes();
+    let line_of = |pos: usize| bytes[..pos].iter().filter(|&&b| b == b'\n').count();
+    let mut out: Vec<LockField> = Vec::new();
+    for spos in word_occurrences(masked, "struct") {
+        // Struct name.
+        let mut i = spos + "struct".len();
+        while i < bytes.len() && (bytes[i] as char).is_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && is_ident(bytes[i] as char) {
+            i += 1;
+        }
+        if i == name_start {
+            continue; // `struct` in some odd position
+        }
+        let strukt = masked[name_start..i].to_string();
+        // Find the body `{`, skipping generics (`->` inside Fn bounds
+        // must not close an angle bracket).
+        let mut angle = 0isize;
+        let body_open = loop {
+            if i >= bytes.len() {
+                break None;
+            }
+            match bytes[i] {
+                b'<' => angle += 1,
+                b'>' if i > 0 && bytes[i - 1] != b'-' => angle -= 1,
+                b'{' if angle <= 0 => break Some(i),
+                b';' | b'(' if angle <= 0 => break None, // unit / tuple struct
+                _ => {}
+            }
+            i += 1;
+        };
+        let Some(open) = body_open else { continue };
+        // Brace-balance to the struct body's close.
+        let mut depth = 0isize;
+        let mut close = open;
+        while close < bytes.len() {
+            match bytes[close] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            close += 1;
+        }
+        let body = &masked[open..close.min(masked.len())];
+        for kind in LockKind::ALL {
+            for occ in word_occurrences(body, kind.type_word()) {
+                // Field depth only (a struct body has no nested braces
+                // except attribute-free edge cases; require depth 1).
+                let rel_depth = body[..occ].bytes().fold(0isize, |d, b| {
+                    d + i64::from(b == b'{') as isize - i64::from(b == b'}') as isize
+                });
+                if rel_depth != 1 {
+                    continue;
+                }
+                // Walk back to the previous field boundary.
+                let mut j = occ;
+                while j > 0 {
+                    let b = body.as_bytes()[j - 1];
+                    if b == b',' || b == b'{' {
+                        break;
+                    }
+                    j -= 1;
+                }
+                let segment = &body[j..occ];
+                // The field name is the last identifier before the first
+                // single (non-path) colon of the segment.
+                let seg = segment.as_bytes();
+                let mut colon = None;
+                let mut c = 0usize;
+                while c < seg.len() {
+                    if seg[c] == b':' {
+                        if c + 1 < seg.len() && seg[c + 1] == b':' {
+                            c += 2;
+                            continue;
+                        }
+                        colon = Some(c);
+                        break;
+                    }
+                    c += 1;
+                }
+                let Some(colon) = colon else { continue };
+                let before = segment[..colon].trim_end();
+                let name_end = before.len();
+                let mut name_begin = name_end;
+                while name_begin > 0 && is_ident(before.as_bytes()[name_begin - 1] as char) {
+                    name_begin -= 1;
+                }
+                if name_begin == name_end {
+                    continue;
+                }
+                let fname = before[name_begin..].to_string();
+                let field = LockField {
+                    line: line_of(open + j + (segment.len() - segment.trim_start().len())),
+                    strukt: strukt.clone(),
+                    name: fname,
+                    kind,
+                };
+                if !out
+                    .iter()
+                    .any(|f| f.strukt == field.strukt && f.name == field.name)
+                {
+                    out.push(field);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// One guard the scope tracker found.
+#[derive(Debug)]
+struct Guard {
+    /// Byte offset of the producing `.lock()` / `.read()` / `.write()`.
+    pos: usize,
+    /// End of the producing chain (past the sanctioned
+    /// `.unwrap()`/`.expect(..)` poison propagation).
+    producer_end: usize,
+    /// Receiver base name (`pool` of `self.pool.lock()`).
+    base: String,
+    /// `let`-binding name, if any (`None` = expression temporary).
+    binding: Option<String>,
+    /// Exclusive end of the guard's live scope.
+    scope_end: usize,
+}
+
+const WAIT_NEEDLES: [&str; 3] = [".wait(", ".wait_timeout(", ".wait_while("];
+
+/// The identifier immediately before the `.` opening the method call at
+/// `dot` (the receiver chain's last segment).
+fn base_before(masked: &str, dot: usize) -> String {
+    let bytes = masked.as_bytes();
+    let mut j = dot;
+    while j > 0 && is_ident(bytes[j - 1] as char) {
+        j -= 1;
+    }
+    masked[j..dot].to_string()
+}
+
+/// Backward scan to the start of the statement containing `pos`:
+/// the position just past the previous `;`, `{`, or `}` at brace
+/// balance zero (closures and blocks inside the statement are skipped).
+fn stmt_start(masked: &str, pos: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0isize;
+    let mut i = pos;
+    while i > 0 {
+        i -= 1;
+        match bytes[i] {
+            b'}' | b')' | b']' => depth += 1,
+            b'{' if depth == 0 => return i + 1,
+            b'{' | b'(' | b'[' => depth -= 1,
+            b';' if depth == 0 => return i + 1,
+            _ => {}
+        }
+    }
+    0
+}
+
+/// Forward scan to the end of the statement containing `pos`: the `;`
+/// at bracket balance zero, or the close of the enclosing block/call if
+/// the expression is in tail position.
+fn stmt_end(masked: &str, pos: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0isize;
+    let mut i = pos;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'(' | b'[' => depth += 1,
+            b'}' | b')' | b']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            b';' | b',' if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Forward scan from `pos` to the close of the enclosing block (the
+/// first unmatched `}`).
+fn block_end(masked: &str, pos: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0isize;
+    let mut i = pos;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// First explicit `drop(name)` between `from` and `to`, if any — an
+/// early end to a `let`-bound guard's scope.
+fn find_drop_of(masked: &str, name: &str, from: usize, to: usize) -> Option<usize> {
+    let region = &masked[from..to.min(masked.len())];
+    for occ in word_occurrences(region, "drop") {
+        let rest = region[occ + "drop".len()..].trim_start();
+        let Some(args) = rest.strip_prefix('(') else {
+            continue;
+        };
+        let inner: String = args
+            .chars()
+            .take_while(|&c| c != ')')
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        if inner == name {
+            return Some(from + occ);
+        }
+    }
+    None
+}
+
+/// The matching `)` for the `(` at `open`.
+fn paren_close(masked: &str, open: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0isize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Function bodies of the masked source (start and end byte offsets),
+/// for the per-function `lock-consolidate` grouping. Closures count as
+/// part of their enclosing `fn`.
+fn fn_bodies(masked: &str) -> Vec<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    for fpos in word_occurrences(masked, "fn") {
+        // Skip the signature to its body `{`; a `;` first means a trait
+        // method declaration or an `extern` item — no body.
+        let mut depth = 0isize;
+        let mut i = fpos + "fn".len();
+        let open = loop {
+            if i >= bytes.len() {
+                break None;
+            }
+            match bytes[i] {
+                b'(' | b'[' => depth += 1,
+                b')' | b']' => depth -= 1,
+                b'{' if depth == 0 => break Some(i),
+                b';' if depth == 0 => break None,
+                _ => {}
+            }
+            i += 1;
+        };
+        if let Some(open) = open {
+            out.push((open, block_end(masked, open + 1)));
+        }
+    }
+    out
+}
+
+/// The innermost function body containing `pos`.
+fn innermost_fn(bodies: &[(usize, usize)], pos: usize) -> Option<usize> {
+    bodies
+        .iter()
+        .enumerate()
+        .filter(|(_, &(s, e))| s <= pos && pos < e)
+        .min_by_key(|(_, &(s, e))| e - s)
+        .map(|(i, _)| i)
+}
+
+/// Extracts a `// LOCK: <level> — <why>` annotation on the field's line
+/// or in the contiguous comment/attribute block above it, returning the
+/// level. Mirrors the `ORDERING:` adjacency rule.
+fn lock_comment_level(orig_lines: &[&str], line_idx: usize) -> Option<i64> {
+    let parse = |t: &str| -> Option<i64> {
+        let after = &t[t.find("LOCK:")? + "LOCK:".len()..];
+        let trimmed = after.trim_start();
+        let digits: String = trimmed
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '-')
+            .collect();
+        digits.parse().ok()
+    };
+    if let Some(v) = parse(orig_lines[line_idx]) {
+        return Some(v);
+    }
+    let mut l = line_idx;
+    while l > 0 {
+        l -= 1;
+        let t = orig_lines[l].trim();
+        if t.starts_with("//") || t.starts_with("#[") || t.starts_with("#![") || t.is_empty() {
+            if let Some(v) = parse(t) {
+                return Some(v);
+            }
+            continue;
+        }
+        return None;
+    }
+    None
+}
+
+/// Collects the guards of one file: producers, bindings, scopes.
+fn find_guards(masked: &str, rel: &str, reg: &LockRegistry) -> Vec<Guard> {
+    let mut guards = Vec::new();
+    let mut producers: Vec<(usize, usize)> = Vec::new(); // (pos, len)
+    for (pos, m) in masked.match_indices(".lock()") {
+        producers.push((pos, m.len()));
+    }
+    for needle in [".read()", ".write()"] {
+        for (pos, m) in masked.match_indices(needle) {
+            // Only guard-producing when the receiver is a registered
+            // RwLock field — `.read()`/`.write()` are common io names.
+            let base = base_before(masked, pos);
+            if reg
+                .entry_for(rel, &base)
+                .is_some_and(|e| e.kind == LockKind::RwLock)
+            {
+                producers.push((pos, m.len()));
+            }
+        }
+    }
+    producers.sort_unstable();
+    for (pos, len) in producers {
+        let base = base_before(masked, pos);
+        // Skip past the chained poison propagation (`.unwrap()` /
+        // `.expect(..)`) — that chain is the producer, not the surface.
+        let mut producer_end = pos + len;
+        loop {
+            let rest = &masked[producer_end..];
+            if rest.starts_with(".unwrap()") {
+                producer_end += ".unwrap()".len();
+            } else if rest.starts_with(".expect(") {
+                let open = producer_end + ".expect".len();
+                producer_end = paren_close(masked, open) + 1;
+            } else {
+                break;
+            }
+        }
+        let start = stmt_start(masked, pos);
+        let stmt_text = masked[start..pos].trim_start();
+        // A `let` binds the *guard* only when the initializer is the
+        // producer chain itself and nothing more: `let g = m.lock()…;`.
+        // `let x = *m.lock().unwrap();` or `let n = m.lock().unwrap()
+        // .len();` copy a value out and drop the guard at the `;`.
+        let binding = stmt_text.strip_prefix("let ").and_then(|after_let| {
+            let after = after_let.trim_start();
+            let after = after.strip_prefix("mut ").unwrap_or(after).trim_start();
+            let end = after.find(|c: char| !is_ident(c)).unwrap_or(after.len());
+            let name = &after[..end];
+            let rest = after[end..].trim_start();
+            let init = rest.strip_prefix('=')?.trim_start();
+            let receiver_only = init
+                .chars()
+                .all(|c| is_ident(c) || c == '.' || c == ':' || c.is_whitespace());
+            let chain_is_whole_init = masked[producer_end..].trim_start().starts_with(';');
+            (receiver_only && chain_is_whole_init).then(|| name.to_string())
+        });
+        let scope_end = match &binding {
+            Some(name) if !name.is_empty() => {
+                let sem = stmt_end(masked, pos);
+                let blk = block_end(masked, sem);
+                find_drop_of(masked, name, sem, blk).unwrap_or(blk)
+            }
+            _ => stmt_end(masked, pos),
+        };
+        guards.push(Guard {
+            pos,
+            producer_end,
+            base,
+            binding: binding.filter(|b| !b.is_empty()),
+            scope_end,
+        });
+    }
+    guards
+}
+
+/// Runs the lock-discipline rules over one file. Returns the findings
+/// plus the registry keys of the lock fields found (for the global
+/// stale-entry cross-check in `lint_sources`).
+pub fn lint_locks_file(
+    rel: &str,
+    src: &str,
+    allows: &[Allow],
+    reg: &LockRegistry,
+) -> (Vec<Violation>, Vec<String>) {
+    let masked = mask_source(src);
+    let orig_lines: Vec<&str> = src.lines().collect();
+    let test_lines = test_region_lines(&masked);
+    let test_path = crate::is_test_path(rel);
+    let bytes = masked.as_bytes();
+    let line_of = |pos: usize| bytes[..pos].iter().filter(|&&b| b == b'\n').count();
+    let mut out: Vec<Violation> = Vec::new();
+
+    let push = |out: &mut Vec<Violation>, rule: &'static str, li: usize, msg: String| {
+        let text = orig_lines.get(li).copied().unwrap_or("");
+        let inline = inline_allowed(&orig_lines, li, rule)
+            || (rule == "poison-surface" && inline_allowed(&orig_lines, li, "poison"));
+        if inline || grant_allowed(allows, rule, rel, text) {
+            return;
+        }
+        out.push(Violation {
+            file: rel.to_string(),
+            line: li + 1,
+            rule,
+            msg,
+        });
+    };
+
+    // ---- lock-registry / lock-comment: field coverage ----
+    let mut found_keys = Vec::new();
+    if !test_path {
+        for field in find_lock_fields(&masked) {
+            if test_lines.get(field.line).copied().unwrap_or(false) {
+                continue;
+            }
+            let key = field.key();
+            match reg.locks.iter().find(|e| e.field == key) {
+                None => push(
+                    &mut out,
+                    "lock-registry",
+                    field.line,
+                    format!(
+                        "{} field `{key}` is not in xtask/lock_registry.toml \
+                         (regenerate stubs: cargo xtask lint --locks)",
+                        field.kind.as_str()
+                    ),
+                ),
+                Some(entry) => {
+                    if entry.file != rel {
+                        push(
+                            &mut out,
+                            "lock-registry",
+                            field.line,
+                            format!(
+                                "`{key}` is registered under `{}`, found in `{rel}`",
+                                entry.file
+                            ),
+                        );
+                    }
+                    match lock_comment_level(&orig_lines, field.line) {
+                        None => push(
+                            &mut out,
+                            "lock-comment",
+                            field.line,
+                            format!(
+                                "lock field `{key}` needs an adjacent \
+                                 `// LOCK: {} — <why>` comment",
+                                entry.level
+                            ),
+                        ),
+                        Some(level) if level != entry.level => push(
+                            &mut out,
+                            "lock-comment",
+                            field.line,
+                            format!(
+                                "`// LOCK: {level}` disagrees with the registry \
+                                 level {} for `{key}`",
+                                entry.level
+                            ),
+                        ),
+                        Some(_) => {}
+                    }
+                }
+            }
+            found_keys.push(key);
+        }
+    }
+
+    // ---- guard-scope rules ----
+    let guards = find_guards(&masked, rel, reg);
+    let bodies = fn_bodies(&masked);
+
+    // Byte ranges whose `.unwrap()`/`.expect(` are sanctioned poison
+    // *propagation*, not new surface: the chain on a guard producer and
+    // the chain on a `Condvar` wait (both return `LockResult`; the
+    // unwrap re-raises a sibling panic, governed by `no-unwrap` grants).
+    let mut propagation: Vec<(usize, usize)> =
+        guards.iter().map(|g| (g.pos, g.producer_end)).collect();
+    for needle in WAIT_NEEDLES {
+        for (occ, _) in masked.match_indices(needle) {
+            let open = occ + needle.len() - 1;
+            let mut end = paren_close(&masked, open) + 1;
+            loop {
+                let rest = &masked[end.min(masked.len())..];
+                if rest.starts_with(".unwrap()") {
+                    end += ".unwrap()".len();
+                } else if rest.starts_with(".expect(") {
+                    end = paren_close(&masked, end + ".expect".len()) + 1;
+                } else {
+                    break;
+                }
+            }
+            propagation.push((occ, end));
+        }
+    }
+
+    // lock-consolidate: repeated same-registered-lock acquisitions in
+    // one function body (skipped for tests: repeated acquisition is the
+    // natural shape of assertions).
+    if !test_path {
+        use std::collections::BTreeMap;
+        let mut per_fn: BTreeMap<(usize, String), Vec<usize>> = BTreeMap::new();
+        for g in &guards {
+            let li = line_of(g.pos);
+            if test_lines.get(li).copied().unwrap_or(false) {
+                continue;
+            }
+            if let (Some(entry), Some(f)) =
+                (reg.entry_for(rel, &g.base), innermost_fn(&bodies, g.pos))
+            {
+                per_fn
+                    .entry((f, entry.field.clone()))
+                    .or_default()
+                    .push(g.pos);
+            }
+        }
+        for ((_, field), positions) in per_fn {
+            for &pos in positions.iter().skip(1) {
+                push(
+                    &mut out,
+                    "lock-consolidate",
+                    line_of(pos),
+                    format!(
+                        "`{field}` acquired {} times in one function — each \
+                         re-acquisition observes torn intermediate state; \
+                         consolidate into a single guarded block",
+                        positions.len()
+                    ),
+                );
+            }
+        }
+    }
+
+    for g in &guards {
+        let region_start = g.producer_end;
+        let region_end = g.scope_end.min(masked.len());
+        if region_start >= region_end {
+            continue;
+        }
+        let region = &masked[region_start..region_end];
+        let held = reg.entry_for(rel, &g.base);
+
+        // guard-across-blocking.
+        for b in &reg.blocking {
+            if b.unless_guard.as_deref() == Some(g.base.as_str()) {
+                continue;
+            }
+            for (occ, _) in region.match_indices(b.call.as_str()) {
+                let abs = region_start + occ;
+                if b.call.chars().next().is_some_and(is_ident)
+                    && abs > 0
+                    && is_ident(bytes[abs - 1] as char)
+                {
+                    continue; // mid-identifier, not this call
+                }
+                push(
+                    &mut out,
+                    "guard-across-blocking",
+                    line_of(abs),
+                    format!(
+                        "guard of `{}` held across blocking call `{}` — {}",
+                        g.base,
+                        b.call.trim_matches(['.', '(']),
+                        b.reason
+                    ),
+                );
+            }
+        }
+
+        // guard-across-wait: a Condvar wait that does not consume this
+        // guard keeps it held while the caller sleeps.
+        for needle in WAIT_NEEDLES {
+            for (occ, _) in region.match_indices(needle) {
+                let abs = region_start + occ;
+                let open = abs + needle.len() - 1;
+                let close = paren_close(&masked, open);
+                let args = &masked[open..=close.min(masked.len() - 1)];
+                let consumed = match &g.binding {
+                    Some(name) => !word_occurrences(args, name).is_empty(),
+                    // A temporary passed straight into the wait call is
+                    // consumed by it.
+                    None => g.pos > open && g.pos < close,
+                };
+                if !consumed {
+                    push(
+                        &mut out,
+                        "guard-across-wait",
+                        line_of(abs),
+                        format!(
+                            "guard of `{}` held across a Condvar wait that does \
+                             not consume it — the wait parks with `{}` still locked",
+                            g.base, g.base
+                        ),
+                    );
+                }
+            }
+        }
+
+        // lock-order: nested acquisition must descend strictly in level.
+        if let Some(outer) = held {
+            for inner in &guards {
+                if std::ptr::eq(inner, g) || inner.pos < region_start || inner.pos >= region_end {
+                    continue;
+                }
+                if let Some(ie) = reg.entry_for(rel, &inner.base) {
+                    if ie.kind == LockKind::Condvar {
+                        continue;
+                    }
+                    if ie.level >= outer.level {
+                        push(
+                            &mut out,
+                            "lock-order",
+                            line_of(inner.pos),
+                            format!(
+                                "`{}` (level {}) acquired while holding `{}` \
+                                 (level {}) — nested acquisitions must descend \
+                                 strictly in registry level",
+                                ie.field, ie.level, outer.field, outer.level
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+
+        // poison-surface (library code only, like no-unwrap).
+        if !test_path {
+            let poison_exempt = |li: usize| test_lines.get(li).copied().unwrap_or(false);
+            for needle in ["panic!", ".unwrap()", ".expect("] {
+                for (occ, _) in region.match_indices(needle) {
+                    let abs = region_start + occ;
+                    if propagation.iter().any(|&(s, e)| s <= abs && abs < e) {
+                        continue;
+                    }
+                    let li = line_of(abs);
+                    if poison_exempt(li) {
+                        continue;
+                    }
+                    push(
+                        &mut out,
+                        "poison-surface",
+                        li,
+                        format!(
+                            "`{}` inside the live scope of guard `{}` — a panic \
+                             here poisons the lock for every other thread; \
+                             handle it, move it out of the critical section, or \
+                             grant `// ALLOW(poison): reason`",
+                            needle.trim_end_matches('('),
+                            g.base
+                        ),
+                    );
+                }
+            }
+            // `[idx]` indexing: `[` directly after an identifier, `)`,
+            // or `]` is an index expression (types/attributes are not).
+            let rb = region.as_bytes();
+            for (occ, b) in rb.iter().enumerate() {
+                if *b != b'[' || occ == 0 {
+                    continue;
+                }
+                let prev = rb[occ - 1] as char;
+                if !(is_ident(prev) || prev == ')' || prev == ']') {
+                    continue;
+                }
+                let li = line_of(region_start + occ);
+                if poison_exempt(li) {
+                    continue;
+                }
+                push(
+                    &mut out,
+                    "poison-surface",
+                    li,
+                    format!(
+                        "`[idx]` indexing inside the live scope of guard `{}` — \
+                         an out-of-bounds panic poisons the lock; bounds-check, \
+                         move it out, or grant `// ALLOW(poison): reason`",
+                        g.base
+                    ),
+                );
+            }
+        }
+    }
+
+    (out, found_keys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg(toml: &str) -> LockRegistry {
+        parse_lock_registry(toml, "test.toml").expect("registry parses")
+    }
+
+    const TWO_LOCKS: &str = r#"
+[[lock]]
+field = "W.high"
+file = "crates/x/src/lib.rs"
+kind = "mutex"
+level = 50
+[[lock]]
+field = "W.low"
+file = "crates/x/src/lib.rs"
+kind = "mutex"
+level = 10
+[[blocking]]
+call = "run_query("
+unless_guard = "low"
+reason = "fans out over the pool"
+"#;
+
+    fn lint(src: &str, registry: &LockRegistry) -> Vec<Violation> {
+        let (v, _) = lint_locks_file("crates/x/src/lib.rs", src, &[], registry);
+        v
+    }
+
+    #[test]
+    fn registry_parser_round_trips() {
+        let r = reg(TWO_LOCKS);
+        assert_eq!(r.locks.len(), 2);
+        assert_eq!(r.locks[0].base(), "high");
+        assert_eq!(r.locks[0].level, 50);
+        assert_eq!(r.blocking.len(), 1);
+        assert_eq!(r.blocking[0].unless_guard.as_deref(), Some("low"));
+        assert!(parse_lock_registry("[[lock]]\nfield = \"X.a\"\n", "t").is_err());
+        assert!(parse_lock_registry(
+            "[[lock]]\nfield = \"noDot\"\nfile = \"f\"\nlevel = 1\n",
+            "t"
+        )
+        .is_err());
+        assert!(parse_lock_registry("[nope]\n", "t").is_err());
+    }
+
+    #[test]
+    fn lock_fields_are_discovered_with_struct_context() {
+        let masked = mask_source(
+            "pub struct A<T> { pub m: std::sync::Mutex<T>, cv: Condvar }\n\
+             struct B(Mutex<u32>);\n\
+             fn f() { let local: Mutex<u32> = Mutex::new(0); }\n\
+             struct C { ptr: std::sync::atomic::AtomicPtr<u8> }\n",
+        );
+        let fields = find_lock_fields(&masked);
+        let keys: Vec<String> = fields.iter().map(LockField::key).collect();
+        assert!(keys.contains(&"A.m".to_string()), "{keys:?}");
+        assert!(keys.contains(&"A.cv".to_string()), "{keys:?}");
+        assert!(keys.contains(&"C.ptr".to_string()), "{keys:?}");
+        assert_eq!(
+            keys.len(),
+            3,
+            "tuple structs and locals are not fields: {keys:?}"
+        );
+    }
+
+    #[test]
+    fn unregistered_field_and_missing_comment_fire() {
+        let src = "pub struct W { high: std::sync::Mutex<u32> }\n";
+        let v = lint(src, &LockRegistry::default());
+        assert!(v.iter().any(|v| v.rule == "lock-registry"), "{v:?}");
+
+        let v = lint(src, &reg(TWO_LOCKS));
+        assert!(v.iter().any(|v| v.rule == "lock-comment"), "{v:?}");
+
+        let good =
+            "pub struct W {\n    // LOCK: 50 — outermost.\n    high: std::sync::Mutex<u32>,\n}\n";
+        let v = lint(good, &reg(TWO_LOCKS));
+        assert!(v.is_empty(), "{v:?}");
+
+        let wrong =
+            "pub struct W {\n    // LOCK: 7 — stale.\n    high: std::sync::Mutex<u32>,\n}\n";
+        let v = lint(wrong, &reg(TWO_LOCKS));
+        assert!(v.iter().any(|v| v.rule == "lock-comment"), "{v:?}");
+    }
+
+    #[test]
+    fn nested_acquisition_must_descend() {
+        let bad = "impl W { fn f(&self) {\n    let low = self.low.lock().unwrap();\n    let high = self.high.lock().unwrap();\n    drop(high); drop(low);\n} }\n";
+        let v = lint(bad, &reg(TWO_LOCKS));
+        assert!(v.iter().any(|v| v.rule == "lock-order"), "{v:?}");
+
+        let good = "impl W { fn f(&self) {\n    let high = self.high.lock().unwrap();\n    let low = self.low.lock().unwrap();\n    drop(low); drop(high);\n} }\n";
+        let v = lint(good, &reg(TWO_LOCKS));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn drop_ends_the_scope() {
+        let src = "impl W { fn f(&self) {\n    let low = self.low.lock().unwrap();\n    drop(low);\n    let high = self.high.lock().unwrap();\n    drop(high);\n} }\n";
+        let v = lint(src, &reg(TWO_LOCKS));
+        assert!(v.is_empty(), "dropped guard must not order-check: {v:?}");
+    }
+
+    #[test]
+    fn blocking_calls_and_the_self_lock_exemption() {
+        let bad = "impl W { fn f(&self) {\n    let high = self.high.lock().unwrap();\n    self.run_query(1);\n    drop(high);\n} }\n";
+        let v = lint(bad, &reg(TWO_LOCKS));
+        assert!(v.iter().any(|v| v.rule == "guard-across-blocking"), "{v:?}");
+
+        // `low` is the registered serialization point of run_query.
+        let own = "impl W { fn f(&self) {\n    let low = self.low.lock().unwrap();\n    self.run_query(1);\n    drop(low);\n} }\n";
+        let v = lint(own, &reg(TWO_LOCKS));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn waits_must_consume_the_guard() {
+        let toml = "[[lock]]\nfield = \"W.a\"\nfile = \"crates/x/src/lib.rs\"\nkind = \"mutex\"\nlevel = 50\n[[lock]]\nfield = \"W.b\"\nfile = \"crates/x/src/lib.rs\"\nkind = \"mutex\"\nlevel = 10\n";
+        let r = reg(toml);
+        let bad = "impl W { fn f(&self) {\n    let a = self.a.lock().unwrap();\n    let mut b = self.b.lock().unwrap();\n    b = self.cv.wait(b).unwrap();\n    drop(b); drop(a);\n} }\n";
+        let v = lint(bad, &r);
+        assert!(
+            v.iter().any(|v| v.rule == "guard-across-wait"),
+            "guard `a` held across the wait on `b`: {v:?}"
+        );
+
+        let good = "impl W { fn f(&self) {\n    let mut b = self.b.lock().unwrap();\n    b = self.cv.wait(b).unwrap();\n    drop(b);\n} }\n";
+        let v = lint(good, &r);
+        assert!(
+            v.is_empty(),
+            "a wait consuming its own guard is the idiom: {v:?}"
+        );
+    }
+
+    #[test]
+    fn poison_surface_in_guard_scope() {
+        let r = reg(TWO_LOCKS);
+        let bad = "impl W { fn f(&self, v: &[u32], i: usize) -> u32 {\n    let high = self.high.lock().unwrap();\n    let x = v[i];\n    let y = some().unwrap();\n    drop(high);\n    x + y\n} }\n";
+        let v = lint(bad, &r);
+        let n = v.iter().filter(|v| v.rule == "poison-surface").count();
+        assert!(n >= 2, "indexing and unwrap under the guard: {v:?}");
+
+        // The chained lock().unwrap() itself is sanctioned propagation.
+        let ok = "impl W { fn f(&self) -> u32 {\n    *self.high.lock().unwrap()\n} }\n";
+        let v = lint(ok, &r);
+        assert!(v.is_empty(), "{v:?}");
+
+        let allowed = "impl W { fn f(&self, v: &[u32], i: usize) -> u32 {\n    let high = self.high.lock().unwrap();\n    // ALLOW(poison): bounds proven by the caller.\n    let x = v[i];\n    drop(high);\n    x\n} }\n";
+        let v = lint(allowed, &r);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn reacquisition_in_one_fn_is_flagged() {
+        let r = reg(TWO_LOCKS);
+        let bad = "impl W { fn stats(&self) -> (u32, u32) {\n    let a = *self.high.lock().unwrap();\n    let b = *self.high.lock().unwrap();\n    (a, b)\n} }\n";
+        let v = lint(bad, &r);
+        assert!(v.iter().any(|v| v.rule == "lock-consolidate"), "{v:?}");
+
+        let two_fns = "impl W { fn a(&self) -> u32 { *self.high.lock().unwrap() }\n fn b(&self) -> u32 { *self.high.lock().unwrap() } }\n";
+        let v = lint(two_fns, &r);
+        assert!(v.is_empty(), "one acquisition per fn is fine: {v:?}");
+    }
+
+    #[test]
+    fn temporaries_scope_to_their_statement() {
+        let r = reg(TWO_LOCKS);
+        // The guard temporary dies at the end of the statement; the
+        // blocking call on the next line runs unguarded.
+        let src = "impl W { fn f(&self) -> u32 {\n    let x = *self.high.lock().unwrap();\n    self.run_query(x);\n    x\n} }\n";
+        let v = lint(src, &r);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

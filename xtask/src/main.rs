@@ -5,6 +5,7 @@
 //! ```text
 //! cargo xtask lint            # lint the workspace, exit 1 on findings
 //! cargo xtask lint --counts   # print per-file unsafe-site counts
+//! cargo xtask lint --locks    # print lock_registry.toml stubs
 //! ```
 
 use std::path::Path;
@@ -13,21 +14,24 @@ use std::process::ExitCode;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint(args.iter().any(|a| a == "--counts")),
+        Some("lint") => lint(
+            args.iter().any(|a| a == "--counts"),
+            args.iter().any(|a| a == "--locks"),
+        ),
         _ => {
-            eprintln!("usage: cargo xtask lint [--counts]");
+            eprintln!("usage: cargo xtask lint [--counts | --locks]");
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint(print_counts: bool) -> ExitCode {
+fn lint(print_counts: bool, print_locks: bool) -> ExitCode {
     // The xtask crate lives one level under the workspace root.
     let Some(root) = Path::new(env!("CARGO_MANIFEST_DIR")).parent() else {
         eprintln!("xtask: cannot locate the workspace root");
         return ExitCode::FAILURE;
     };
-    if print_counts {
+    if print_counts || print_locks {
         let files = match xtask::read_sources(root) {
             Ok(f) => f,
             Err(e) => {
@@ -35,9 +39,47 @@ fn lint(print_counts: bool) -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        println!("[files]");
-        for (rel, count) in xtask::unsafe_counts(&files) {
-            println!("\"{rel}\" = {count}");
+        if print_counts {
+            println!("[files]");
+            for (rel, count) in xtask::unsafe_counts(&files) {
+                println!("\"{rel}\" = {count}");
+            }
+        }
+        if print_locks {
+            // Registry stubs for every lock-shaped field in library
+            // code; existing registry levels carry over so the output
+            // can replace lock_registry.toml wholesale.
+            let existing = std::fs::read_to_string(root.join("xtask/lock_registry.toml"))
+                .ok()
+                .and_then(|t| xtask::parse_lock_registry(&t, "xtask/lock_registry.toml").ok())
+                .unwrap_or_default();
+            for (rel, src) in &files {
+                if xtask::is_test_path(rel) {
+                    continue;
+                }
+                let masked = xtask::mask_source(src);
+                let test_lines = xtask::test_region_lines(&masked);
+                for field in xtask::locks::find_lock_fields(&masked) {
+                    if test_lines.get(field.line).copied().unwrap_or(false) {
+                        continue;
+                    }
+                    let key = field.key();
+                    let level = existing
+                        .locks
+                        .iter()
+                        .find(|e| e.field == key)
+                        .map(|e| e.level);
+                    println!("[[lock]]");
+                    println!("field = \"{key}\"");
+                    println!("file = \"{rel}\"");
+                    println!("kind = \"{}\"", field.kind.as_str());
+                    match level {
+                        Some(l) => println!("level = {l}"),
+                        None => println!("level = 0 # TODO: assign an ordering level"),
+                    }
+                    println!();
+                }
+            }
         }
         return ExitCode::SUCCESS;
     }

@@ -1,0 +1,24 @@
+// Negative fixture: a guard held across the pool fan-out — the
+// tail-latency cliff the guard-scope tracker exists to catch. Must fail
+// `cargo xtask lint` with `guard-across-blocking`.
+
+pub struct Pipeline {
+    // LOCK: 15 — the pool handle.
+    pool: std::sync::Mutex<u32>,
+    // LOCK: 25 — refresh state.
+    inner: std::sync::Mutex<u32>,
+}
+
+impl Pipeline {
+    fn run_query(&self, n: usize) -> u32 {
+        n as u32
+    }
+
+    pub fn refresh(&self) -> u32 {
+        let guard = self.inner.lock().unwrap();
+        // Every concurrent reader now queues behind the whole fan-out.
+        let out = self.run_query(*guard as usize);
+        drop(guard);
+        out
+    }
+}

@@ -1,0 +1,25 @@
+// Negative fixture: a Condvar wait that parks while a *different* lock
+// is still held — the producer that would signal `ready` needs `items`
+// and never gets it. Must fail `cargo xtask lint` with
+// `guard-across-wait`.
+
+pub struct Queue {
+    // LOCK: 20 — produced items.
+    items: std::sync::Mutex<Vec<u32>>,
+    // LOCK: 10 — consumer cursor.
+    cursor: std::sync::Mutex<usize>,
+    // LOCK: 10 — gates `cursor`; a wait releases it while parked.
+    ready: std::sync::Condvar,
+}
+
+impl Queue {
+    pub fn pop(&self) -> u32 {
+        let items = self.items.lock().unwrap();
+        let mut cur = self.cursor.lock().unwrap();
+        // The wait releases `cursor` but sleeps with `items` locked.
+        cur = self.ready.wait(cur).unwrap();
+        let i = *cur;
+        drop(cur);
+        *items.get(i).unwrap_or(&0)
+    }
+}

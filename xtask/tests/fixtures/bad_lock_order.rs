@@ -1,0 +1,22 @@
+// Negative fixture: nested acquisition that climbs the registry levels
+// instead of descending — one inverted pair away from deadlock. Must
+// fail `cargo xtask lint` with `lock-order`.
+
+pub struct World {
+    // LOCK: 10 — leaf.
+    low: std::sync::Mutex<u32>,
+    // LOCK: 50 — outermost.
+    high: std::sync::Mutex<u32>,
+}
+
+impl World {
+    pub fn inverted(&self) -> u32 {
+        let low = self.low.lock().unwrap();
+        // Acquiring level 50 while holding level 10 inverts the order.
+        let high = self.high.lock().unwrap();
+        let v = *low + *high;
+        drop(high);
+        drop(low);
+        v
+    }
+}

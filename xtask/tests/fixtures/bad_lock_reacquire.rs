@@ -1,0 +1,25 @@
+// Negative fixture, pinned from a real finding: `FlushPipeline`'s
+// stats path used to take the pool mutex three separate times per pass,
+// each acquisition observing a possibly different pool (the fix is
+// `FlushPipeline::pool_probe`, one acquisition for all three facts).
+// Must fail `cargo xtask lint` with `lock-consolidate`.
+
+pub struct Pool {
+    pub budget: usize,
+    pub spawned: bool,
+    pub reuse: u64,
+}
+
+pub struct Pipeline {
+    // LOCK: 15 — the pool handle.
+    pool: std::sync::Mutex<Pool>,
+}
+
+impl Pipeline {
+    pub fn probe(&self) -> (usize, bool, u64) {
+        let budget = self.pool.lock().unwrap().budget;
+        let spawned = self.pool.lock().unwrap().spawned;
+        let reuse = self.pool.lock().unwrap().reuse;
+        (budget, spawned, reuse)
+    }
+}

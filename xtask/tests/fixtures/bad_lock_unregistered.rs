@@ -1,0 +1,14 @@
+// Negative fixture: a lock-shaped field missing from
+// `xtask/lock_registry.toml`. Must fail `cargo xtask lint` with
+// `lock-registry` (and, were it registered, would still need its
+// `// LOCK:` comment).
+
+pub struct Cache {
+    map: std::sync::Mutex<Vec<u32>>,
+}
+
+impl Cache {
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+}

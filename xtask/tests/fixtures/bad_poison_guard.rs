@@ -1,0 +1,18 @@
+// Negative fixture: a panicking operation (`[idx]` indexing) inside a
+// guard's live scope — an out-of-bounds access poisons the lock for
+// every other thread. Must fail `cargo xtask lint` with
+// `poison-surface`.
+
+pub struct Table {
+    // LOCK: 30 — row store.
+    rows: std::sync::Mutex<Vec<u32>>,
+}
+
+impl Table {
+    pub fn row(&self, i: usize) -> u32 {
+        let rows = self.rows.lock().unwrap();
+        let v = rows[i];
+        drop(rows);
+        v
+    }
+}

@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
-use xtask::{lint_sources, run_lint, Violation};
+use xtask::{lint_sources, parse_lock_registry, run_lint, LockRegistry, Violation};
 
 fn fixture(name: &str) -> Vec<(String, String)> {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -21,9 +21,32 @@ fn rules(violations: &[Violation]) -> Vec<&'static str> {
     violations.iter().map(|v| v.rule).collect()
 }
 
+/// Lint one fixture against an inline lock-registry TOML and assert the
+/// expected rule fires.
+fn assert_lock_rule(name: &str, registry_toml: &str, expected: &str) {
+    let locks = parse_lock_registry(registry_toml, "inline").expect("fixture registry parses");
+    let v = lint_sources(&fixture(name), &BTreeMap::new(), &[], &locks);
+    assert!(
+        rules(&v).contains(&expected),
+        "{expected} must fire on {name}: {v:?}"
+    );
+}
+
+/// Shorthand for a `[[lock]]` entry scoped to `name`'s fixture path.
+fn lock_entry(name: &str, field: &str, kind: &str, level: i64) -> String {
+    format!(
+        "[[lock]]\nfield = \"{field}\"\nfile = \"crates/fixture/src/{name}\"\nkind = \"{kind}\"\nlevel = {level}\n"
+    )
+}
+
 #[test]
 fn unregistered_undocumented_unsafe_fails_the_lint() {
-    let v = lint_sources(&fixture("bad_unsafe.rs"), &BTreeMap::new(), &[]);
+    let v = lint_sources(
+        &fixture("bad_unsafe.rs"),
+        &BTreeMap::new(),
+        &[],
+        &LockRegistry::default(),
+    );
     let rules = rules(&v);
     assert!(
         rules.contains(&"unsafe-safety"),
@@ -37,7 +60,12 @@ fn unregistered_undocumented_unsafe_fails_the_lint() {
 
 #[test]
 fn unjustified_atomic_ordering_fails_the_lint() {
-    let v = lint_sources(&fixture("bad_ordering.rs"), &BTreeMap::new(), &[]);
+    let v = lint_sources(
+        &fixture("bad_ordering.rs"),
+        &BTreeMap::new(),
+        &[],
+        &LockRegistry::default(),
+    );
     assert!(
         rules(&v).contains(&"ordering-justified"),
         "missing ORDERING justification must be reported: {v:?}"
@@ -46,7 +74,12 @@ fn unjustified_atomic_ordering_fails_the_lint() {
 
 #[test]
 fn banned_patterns_fail_the_lint() {
-    let v = lint_sources(&fixture("bad_banned.rs"), &BTreeMap::new(), &[]);
+    let v = lint_sources(
+        &fixture("bad_banned.rs"),
+        &BTreeMap::new(),
+        &[],
+        &LockRegistry::default(),
+    );
     let rules = rules(&v);
     for expected in ["no-partial-cmp-unwrap", "no-thread-spawn", "no-unwrap"] {
         assert!(
@@ -67,11 +100,103 @@ fn registry_count_mismatch_fails_even_with_safety_comments() {
     )];
     let mut registry = BTreeMap::new();
     registry.insert("crates/fixture/src/lib.rs".to_string(), 2usize);
-    let v = lint_sources(&files, &registry, &[]);
+    let v = lint_sources(&files, &registry, &[], &LockRegistry::default());
     assert!(
         rules(&v).contains(&"unsafe-registry"),
         "stale registry count must be reported: {v:?}"
     );
+}
+
+#[test]
+fn guard_held_across_pool_fanout_fails_the_lint() {
+    let name = "bad_guard_fanout.rs";
+    let toml = format!(
+        "{}{}[[blocking]]\ncall = \"run_query(\"\nunless_guard = \"pool\"\nreason = \"fans out over the pool\"\n",
+        lock_entry(name, "Pipeline.pool", "mutex", 15),
+        lock_entry(name, "Pipeline.inner", "mutex", 25),
+    );
+    assert_lock_rule(name, &toml, "guard-across-blocking");
+}
+
+#[test]
+fn guard_held_across_condvar_wait_fails_the_lint() {
+    let name = "bad_guard_wait.rs";
+    let toml = format!(
+        "{}{}{}",
+        lock_entry(name, "Queue.items", "mutex", 20),
+        lock_entry(name, "Queue.cursor", "mutex", 10),
+        lock_entry(name, "Queue.ready", "condvar", 10),
+    );
+    assert_lock_rule(name, &toml, "guard-across-wait");
+}
+
+#[test]
+fn unregistered_lock_field_fails_the_lint() {
+    // No registry at all: the Mutex field itself is the finding.
+    let locks = LockRegistry::default();
+    let v = lint_sources(
+        &fixture("bad_lock_unregistered.rs"),
+        &BTreeMap::new(),
+        &[],
+        &locks,
+    );
+    assert!(
+        rules(&v).contains(&"lock-registry"),
+        "unregistered lock field must be reported: {v:?}"
+    );
+}
+
+#[test]
+fn stale_lock_registry_entry_fails_the_lint() {
+    // The registry names a field no source file declares.
+    let toml = lock_entry("bad_lock_order.rs", "World.gone", "mutex", 5);
+    let locks = parse_lock_registry(&toml, "inline").expect("registry parses");
+    let v = lint_sources(
+        &fixture("bad_lock_unregistered.rs"),
+        &BTreeMap::new(),
+        &[],
+        &locks,
+    );
+    assert!(
+        v.iter()
+            .any(|v| v.rule == "lock-registry" && v.msg.contains("stale")),
+        "stale registry entry must be reported: {v:?}"
+    );
+}
+
+#[test]
+fn inverted_lock_order_fails_the_lint() {
+    let name = "bad_lock_order.rs";
+    let toml = format!(
+        "{}{}",
+        lock_entry(name, "World.low", "mutex", 10),
+        lock_entry(name, "World.high", "mutex", 50),
+    );
+    assert_lock_rule(name, &toml, "lock-order");
+}
+
+#[test]
+fn poison_surface_under_guard_fails_the_lint() {
+    let name = "bad_poison_guard.rs";
+    let toml = lock_entry(name, "Table.rows", "mutex", 30);
+    assert_lock_rule(name, &toml, "poison-surface");
+}
+
+#[test]
+fn repeated_lock_acquisition_fails_the_lint() {
+    // Pinned from the pre-consolidation FlushPipeline stats path.
+    let name = "bad_lock_reacquire.rs";
+    let toml = lock_entry(name, "Pipeline.pool", "mutex", 15);
+    assert_lock_rule(name, &toml, "lock-consolidate");
+}
+
+#[test]
+fn missing_lock_comment_fails_the_lint() {
+    // Same field as the unregistered fixture, but registered: what is
+    // missing now is the adjacent `// LOCK:` comment.
+    let name = "bad_lock_unregistered.rs";
+    let toml = lock_entry(name, "Cache.map", "mutex", 5);
+    assert_lock_rule(name, &toml, "lock-comment");
 }
 
 #[test]
