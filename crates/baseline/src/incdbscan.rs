@@ -33,8 +33,8 @@ use crate::index::RangeIndex;
 use dydbscan_conn::UnionFind;
 use dydbscan_core::snapshot::{Anchors, SnapshotState};
 use dydbscan_core::{
-    ClusterSnapshot, ClustererStats, Clustering, DynamicClusterer, FlushPhase, FlushPipeline,
-    GroupBy, Params, PointId, QueryError,
+    ClusterSnapshot, ClustererStats, Clustering, DynamicClusterer, EpochHandle, FlushPhase,
+    FlushPipeline, GroupBy, Params, PointId, QueryError,
 };
 use dydbscan_geom::{FxHashMap, Point};
 use dydbscan_spatial::RTree;
@@ -904,6 +904,14 @@ impl<const D: usize, I: RangeIndex<D>> DynamicClusterer<D> for IncDbscan<D, I> {
 
     fn snapshot(&self) -> Arc<ClusterSnapshot> {
         IncDbscan::snapshot(self)
+    }
+
+    fn epoch_handle(&self) -> EpochHandle {
+        self.snap.epoch_handle()
+    }
+
+    fn set_track_deltas(&mut self, on: bool) {
+        self.snap.set_track_deltas(on);
     }
 
     fn group_by(&self, q: &[PointId]) -> GroupBy {

@@ -3,7 +3,7 @@
 //! throughput than the tolerance band allows.
 //!
 //! ```text
-//! benchdiff <baseline.json> <fresh.json> [--tolerance 0.25]
+//! benchdiff <baseline.json> <fresh.json> [--tolerance 0.25] [--require-percentiles]
 //! ```
 //!
 //! * Figure series are matched by `(figure, series)` and compared on
@@ -22,6 +22,13 @@
 //!   when both reports carry them) are printed for inspection but never
 //!   gate: tail latency is far noisier across runners than throughput,
 //!   so the bands inform the reviewer rather than fail CI.
+//! * `--require-percentiles` gates on the *presence* of the tail
+//!   fields instead of their values: every series of the fresh report
+//!   must carry `p99_update_us`/`p999_update_us` and the serve-layer
+//!   `p99_query_us`/`p999_query_us` keys, and the fresh report must
+//!   include a `serve` figure. A report written by an older binary (or
+//!   a writer refactor that silently drops a field) fails loudly
+//!   instead of rotting the latency record.
 //!
 //! The gate refuses to compare reports measured under different
 //! configurations (every key in `CONFIG_KEYS`: command, n, seed,
@@ -45,9 +52,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut tolerance = 0.25f64;
+    let mut require_percentiles = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--require-percentiles" => require_percentiles = true,
             "--tolerance" => {
                 i += 1;
                 tolerance = args
@@ -158,6 +167,10 @@ fn main() {
         );
     }
 
+    if require_percentiles {
+        regressions.extend(missing_percentiles(&fresh));
+    }
+
     println!(
         "\nbenchdiff: {compared} series compared, {improvements} improved, {} regressed \
          (tolerance ±{:.0}%)",
@@ -251,6 +264,49 @@ fn print_tail_bands(base: &Json, fresh: &Json) {
     );
 }
 
+/// `--require-percentiles`: every fresh series must *carry* the four
+/// tail-latency keys (values may legitimately be `0.0` — a query-only
+/// series records no update tail and vice versa), and the fresh report
+/// must include a non-empty `serve` figure. Returns one failure line
+/// per violation.
+fn missing_percentiles(fresh: &Json) -> Vec<String> {
+    const REQUIRED: [&str; 4] = [
+        "p99_update_us",
+        "p999_update_us",
+        "p99_query_us",
+        "p999_query_us",
+    ];
+    let mut failures = Vec::new();
+    let mut serve_series = 0usize;
+    for (figure, series) in figure_series(fresh) {
+        if figure == "serve" {
+            serve_series += 1;
+        }
+        let name = format!(
+            "{}/{}",
+            figure,
+            series.get("series").and_then(Json::as_str).unwrap_or("?")
+        );
+        let missing: Vec<&str> = REQUIRED
+            .iter()
+            .filter(|k| series.get(k).and_then(Json::as_f64).is_none())
+            .copied()
+            .collect();
+        if !missing.is_empty() {
+            failures.push(format!(
+                "{name}: percentile field(s) missing from the fresh report: {}",
+                missing.join(", ")
+            ));
+        }
+    }
+    if serve_series == 0 {
+        failures.push(
+            "serve: figure missing from the fresh report (--require-percentiles)".to_string(),
+        );
+    }
+    failures
+}
+
 fn batch_records(report: &Json) -> Vec<&Json> {
     report
         .get("batch")
@@ -271,6 +327,8 @@ fn batch_key(rec: &Json) -> String {
 
 fn usage_and_exit(msg: &str) -> ! {
     eprintln!("benchdiff: {msg}");
-    eprintln!("usage: benchdiff <baseline.json> <fresh.json> [--tolerance 0.25]");
+    eprintln!(
+        "usage: benchdiff <baseline.json> <fresh.json> [--tolerance 0.25] [--require-percentiles]"
+    );
     std::process::exit(2)
 }

@@ -17,6 +17,9 @@
 //!                             multi-reader throughput
 //!   kernel                    hot kernels: chunked vs scalar distance
 //!                             counting, radix vs comparison sorts
+//!   serve                     loopback serving: qps under concurrent
+//!                             ingest at 1/4/16 clients, p99/p999 query
+//!                             latency (recorded, never perf-gated)
 //!   all                       everything above
 //! ```
 //!
@@ -100,12 +103,12 @@ fn main() {
 
     let known = [
         "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "verify",
-        "batch", "query", "kernel",
+        "batch", "query", "kernel", "serve",
     ];
     let selected: Vec<&str> = if command == "all" {
         vec![
             "verify", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "batch", "query", "kernel",
+            "fig15", "batch", "query", "kernel", "serve",
         ]
     } else if known.contains(&command.as_str()) {
         vec![command.as_str()]
@@ -128,6 +131,7 @@ fn main() {
             "table1" => report.add_figure("table1", figures::table1(&cfg)),
             "query" => report.add_figure("query", figures::query(&cfg, threads)),
             "kernel" => report.add_figure("kernel", figures::kernel(&cfg)),
+            "serve" => report.add_figure("serve", figures::serve(&cfg)),
             "verify" => {
                 let checks = figures::verify(&cfg);
                 checks_failed |= checks.iter().any(|(_, pass)| !pass);
@@ -183,7 +187,7 @@ fn parse<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|batch|query|kernel|all> \
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|batch|query|kernel|serve|all> \
          [--n N] [--seed S] [--budget-secs B] [--samples K] [--batch-size B] [--threads T] \
          [--out PATH]\n\
          --out defaults to BENCH_scratch.json; pass --out BENCH_repro.json explicitly to \

@@ -489,6 +489,8 @@ pub fn query(cfg: &ReproConfig, threads: usize) -> Vec<SeriesRecord> {
             max_update_us: 0.0,
             p99_update_us: 0.0,
             p999_update_us: 0.0,
+            p99_query_us: 0.0,
+            p999_query_us: 0.0,
         };
         println!("  {series:<28} {:>12.0} op/s", r.ops_per_sec());
         records.push(r);
@@ -584,6 +586,63 @@ pub fn query(cfg: &ReproConfig, threads: usize) -> Vec<SeriesRecord> {
 /// distributions. The acceptance targets of the kernel work are chunked
 /// ≥ 1.3x scalar on the miss-heavy probes and radix ≥ 1.5x on the
 /// clustered cell-key bulk load; the recorded op/sec (elements
+/// `repro -- serve`: aggregate query throughput under concurrent
+/// ingest at 1 / 4 / 16 loopback clients, answered off the wait-free
+/// epoch handles, with p99/p999 query round-trip latencies (ISSUE 9).
+///
+/// The series are recorded with `finished: false`: multi-client
+/// scaling is machine-dependent (a single-CPU dev container inverts
+/// it), so `benchdiff` records these series but never perf-gates them —
+/// the CI `serve-smoke` artifact on the 4-vCPU runner is the
+/// acceptance reference for the scaling ratio.
+pub fn serve(cfg: &ReproConfig) -> Vec<SeriesRecord> {
+    use dydbscan_serve::{run_phase, PhaseConfig};
+    let duration = cfg
+        .budget
+        .map(|b| b / 8)
+        .unwrap_or_else(|| Duration::from_secs(2))
+        .min(Duration::from_secs(2));
+    let preload = cfg.n.clamp(1_000, 20_000);
+    println!(
+        "\n== Serving under concurrent ingest (loopback TCP, preload = {preload}, \
+         window = {duration:?})"
+    );
+    let mut records = Vec::new();
+    for clients in [1usize, 4, 16] {
+        let phase = PhaseConfig {
+            clients,
+            preload,
+            duration,
+            seed: cfg.seed,
+            ..PhaseConfig::default()
+        };
+        let r = run_phase(&phase).unwrap_or_else(|e| panic!("serve phase clients={clients}: {e}"));
+        assert!(
+            r.epochs_monotone,
+            "serve phase clients={clients}: observed a non-monotone epoch"
+        );
+        println!(
+            "  clients={clients:<3} {:>10.0} q/s   p99 {:>7.0}us   p999 {:>7.0}us   \
+             ingest {:>5} batches",
+            r.qps, r.p99_query_us, r.p999_query_us, r.ingest_batches
+        );
+        let total_ns = r.elapsed.as_nanos().max(1);
+        records.push(SeriesRecord {
+            series: format!("clients={clients}"),
+            ops: r.queries as usize,
+            finished: false,
+            total_ns,
+            avg_cost_us: total_ns as f64 / (r.queries.max(1) as f64) / 1_000.0,
+            max_update_us: 0.0,
+            p99_update_us: 0.0,
+            p999_update_us: 0.0,
+            p99_query_us: r.p99_query_us,
+            p999_query_us: r.p999_query_us,
+        });
+    }
+    records
+}
+
 /// processed per second) makes both ratios auditable straight from
 /// `BENCH_repro.json`.
 pub fn kernel(cfg: &ReproConfig) -> Vec<SeriesRecord> {
@@ -617,6 +676,8 @@ pub fn kernel(cfg: &ReproConfig) -> Vec<SeriesRecord> {
                 max_update_us: 0.0,
                 p99_update_us: 0.0,
                 p999_update_us: 0.0,
+                p99_query_us: 0.0,
+                p999_query_us: 0.0,
             }
         })
         .collect()

@@ -28,6 +28,12 @@ pub struct SeriesRecord {
     pub p99_update_us: f64,
     /// 99.9th-percentile single-update cost, microseconds.
     pub p999_update_us: f64,
+    /// 99th-percentile *query* round-trip, microseconds (serve figures
+    /// only; `0.0` for pure-update figures).
+    pub p99_query_us: f64,
+    /// 99.9th-percentile *query* round-trip, microseconds (serve
+    /// figures only; `0.0` for pure-update figures).
+    pub p999_query_us: f64,
 }
 
 impl SeriesRecord {
@@ -42,6 +48,8 @@ impl SeriesRecord {
             max_update_us: m.max_update_us(),
             p99_update_us: m.p99_update_us(),
             p999_update_us: m.p999_update_us(),
+            p99_query_us: 0.0,
+            p999_query_us: 0.0,
         }
     }
 
@@ -157,7 +165,8 @@ impl JsonReport {
                     s,
                     "      {{\"series\": {}, \"ops\": {}, \"finished\": {}, \"total_ns\": {}, \
                      \"ops_per_sec\": {:.1}, \"avg_cost_us\": {:.3}, \"max_update_us\": {:.1}, \
-                     \"p99_update_us\": {:.1}, \"p999_update_us\": {:.1}}}{}",
+                     \"p99_update_us\": {:.1}, \"p999_update_us\": {:.1}, \
+                     \"p99_query_us\": {:.1}, \"p999_query_us\": {:.1}}}{}",
                     quote(&r.series),
                     r.ops,
                     r.finished,
@@ -167,6 +176,8 @@ impl JsonReport {
                     r.max_update_us,
                     r.p99_update_us,
                     r.p999_update_us,
+                    r.p99_query_us,
+                    r.p999_query_us,
                     comma(j, f.series.len()),
                 );
             }
@@ -286,6 +297,8 @@ mod tests {
                 max_update_us: 400.0,
                 p99_update_us: 350.0,
                 p999_update_us: 390.0,
+                p99_query_us: 0.0,
+                p999_query_us: 0.0,
             }],
         );
         rep.add_checks(vec![("sandwich".into(), true)]);
@@ -303,6 +316,8 @@ mod tests {
         assert!(j.contains("\"ops_per_sec\": 5000.0"));
         assert!(j.contains("\"p99_update_us\": 350.0"));
         assert!(j.contains("\"p999_update_us\": 390.0"));
+        assert!(j.contains("\"p99_query_us\": 0.0"));
+        assert!(j.contains("\"p999_query_us\": 0.0"));
         assert!(j.contains("\"speedup\": 3.000"));
         assert!(j.contains("\"threads\": 4"));
         assert!(j.contains("\"command\": \"all\""));
@@ -342,6 +357,8 @@ mod tests {
             max_update_us: 0.0,
             p99_update_us: 0.0,
             p999_update_us: 0.0,
+            p99_query_us: 0.0,
+            p999_query_us: 0.0,
         };
         assert_eq!(r.ops_per_sec(), 0.0);
     }

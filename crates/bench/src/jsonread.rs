@@ -282,6 +282,8 @@ mod tests {
                 max_update_us: 400.0,
                 p99_update_us: 350.0,
                 p999_update_us: 390.0,
+                p99_query_us: 0.0,
+                p999_query_us: 0.0,
             }],
         );
         rep.add_checks(vec![("sandwich".into(), true)]);

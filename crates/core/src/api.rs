@@ -17,7 +17,7 @@ use crate::groups::{Clustering, GroupBy};
 use crate::ops::Op;
 use crate::params::{validate_point, validate_points, ParamError, Params};
 use crate::points::PointId;
-use crate::snapshot::{ClusterSnapshot, QueryError, SnapshotState};
+use crate::snapshot::{ClusterSnapshot, EpochHandle, QueryError, SnapshotState};
 use dydbscan_geom::Point;
 use std::sync::Arc;
 
@@ -208,6 +208,22 @@ pub trait DynamicClusterer<const D: usize> {
     /// group-by queries at this epoch while the owner applies the next
     /// batch.
     fn snapshot(&self) -> Arc<ClusterSnapshot>;
+
+    /// A wait-free [`EpochHandle`] onto this engine's published
+    /// snapshots: handle readers never touch the refresh mutex, so
+    /// query threads keep answering while the owner flushes updates.
+    /// Vending (or cloning) handles is cheap; while any handle exists,
+    /// every refresh publishes through the handle slot and the
+    /// snapshot's copy-on-write takes its clone path.
+    fn epoch_handle(&self) -> EpochHandle;
+
+    /// Turns the `changed_since` delta chain on or off (off by
+    /// default); see [`SnapshotState::set_track_deltas`]
+    /// (crate::snapshot::SnapshotState::set_track_deltas). While on,
+    /// every refresh records which points changed cluster state, and
+    /// [`EpochHandle::changed_since`] answers with composed deltas
+    /// instead of [`ChangeFeed::Reset`](crate::ChangeFeed::Reset).
+    fn set_track_deltas(&mut self, on: bool);
 
     /// Answers a C-group-by query over `q`.
     ///

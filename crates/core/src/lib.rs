@@ -88,7 +88,9 @@ pub use parallel::sched;
 pub use params::{validate_point, validate_points, ParamError, Params};
 pub use points::{PointArena, PointId, PointRec};
 pub use semi::{SemiDynDbscan, SemiStats};
-pub use snapshot::{ClusterSnapshot, QueryError};
+pub use snapshot::{
+    ChangeFeed, ClusterSnapshot, DeltaEntry, EpochHandle, PointState, QueryError, SnapshotDelta,
+};
 pub use static_dbscan::{brute_force_exact, static_cluster};
 pub use usec::{solve_usec, solve_usec_ls_via_clustering, UsecInstance};
 pub use verify::{check_containment, check_sandwich, relabel};

@@ -44,7 +44,7 @@
 //! (`cargo +nightly miri test -p dydbscan-core sched`).
 
 use super::{checkout, claim, poison, try_pickup, Job, Pickup, Slots, State};
-use crate::snapshot::{Anchors, ClusterSnapshot, SnapshotState};
+use crate::snapshot::{Anchors, ChangeFeed, ClusterSnapshot, EpochHandle, SnapshotState};
 use dydbscan_geom::SplitMix64;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
@@ -570,6 +570,14 @@ struct SnapWorld {
 }
 
 impl SnapWorld {
+    /// Vends the wait-free epoch handle (with delta tracking on) for
+    /// the handle-protocol replay.
+    fn vend_handle(&self) -> EpochHandle {
+        let mut st = self.state.lock().unwrap();
+        st.set_track_deltas(true);
+        st.epoch_handle()
+    }
+
     /// Acquires the current snapshot through the real refresh protocol
     /// (dirt-driven, label export + re-anchoring from the model) and
     /// cross-checks epoch agreement. One scheduling step.
@@ -733,6 +741,188 @@ pub fn replay_snapshot_protocol(sc: &SnapScenario) -> SnapReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Epoch-handle protocol replay (ISSUE 9)
+// ---------------------------------------------------------------------
+
+/// One epoch-handle exploration: a flushing writer publishing epochs
+/// through the wait-free handle slot, `readers` readers that *only*
+/// touch the handle (`load` / `epoch` / `changed_since`) — never the
+/// `SnapshotState` mutex — under the interleaving picked by `seed`.
+#[derive(Debug, Clone, Copy)]
+pub struct HandleScenario {
+    /// Schedule seed (one seed = one interleaving).
+    pub seed: u64,
+    /// Concurrent handle-reader actors.
+    pub readers: usize,
+    /// Writer commit rounds (each: mutate + mark dirty, then refresh).
+    pub rounds: usize,
+    /// Key/point universe (`point id == key`, one point per key).
+    pub keys: u32,
+}
+
+/// What one epoch-handle replay observed (invariants already asserted:
+/// per-reader epoch monotonicity, loaded-snapshot consistency against
+/// the shared epoch→checksum map — a torn load could not agree — and
+/// change-feed span sanity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HandleReport {
+    /// Schedule fingerprint (determinism / coverage accounting).
+    pub schedule_hash: u64,
+    /// Scheduling decisions taken.
+    pub steps: u64,
+    /// The last epoch published through the handle.
+    pub final_epoch: u64,
+    /// Handle loads across all reader actors.
+    pub loads: u64,
+}
+
+/// Replays the wait-free publication protocol (`EpochHandle` readers
+/// vs. a flushing writer) under the interleaving picked by `sc.seed`.
+/// Reader actors never acquire `SnapWorld.state` — their whole protocol
+/// is the handle's pin/load/unpin — so the schedules explored here are
+/// exactly the reader-vs-publisher races the `SeqCst` fences in
+/// `EpochShared` exist for. Panics (failing the calling test) on any
+/// violation: a decreasing epoch, a load older than an epoch observed
+/// before it, two observers disagreeing on an epoch's contents (how a
+/// torn load would surface), or a change feed answering a broken span.
+pub fn replay_handle_protocol(sc: &HandleScenario) -> HandleReport {
+    assert!(sc.keys >= 1, "the protocol needs at least one key");
+    let world = SnapWorld {
+        state: Mutex::new(SnapshotState::new()),
+        model: Mutex::new(SnapModel {
+            alive: vec![false; sc.keys as usize],
+            core: vec![false; sc.keys as usize],
+            commits: 0,
+        }),
+        seen: Mutex::new(std::collections::BTreeMap::new()),
+        acquisitions: AtomicUsize::new(0),
+    };
+    let handle = world.vend_handle();
+    let loads = AtomicUsize::new(0);
+
+    let mut cmd_rng = SplitMix64::new(sc.seed ^ 0xD1A7_0000_5EED_0009);
+    let commands: Vec<(u32, bool)> = (0..sc.rounds)
+        .map(|_| {
+            let key = cmd_rng.next_below(sc.keys as u64) as u32;
+            let kill = cmd_rng.next_below(4) == 0;
+            (key, kill)
+        })
+        .collect();
+
+    let mut actors: Vec<Actor<'_>> = Vec::new();
+    let world_ref = &world;
+    let commands_ref = &commands;
+    let handle_ref = &handle;
+    let loads_ref = &loads;
+    // Writer: commit, then refresh through the real read path — which
+    // publishes into the handle slot before `acquire` returns.
+    actors.push(Box::new(move |y: &Yielder<'_>| {
+        for &(key, kill) in commands_ref {
+            {
+                let mut st = world_ref.state.lock().unwrap();
+                let mut model = world_ref.model.lock().unwrap();
+                let k = key as usize;
+                if kill && model.alive[k] {
+                    model.alive[k] = false;
+                    st.mark_dead(key);
+                } else {
+                    model.alive[k] = true;
+                    model.core[k] = !model.core[k];
+                    st.mark(key);
+                }
+                model.commits += 1;
+            }
+            y.point();
+            let snap = world_ref.acquire(sc.keys);
+            // The handle must already serve this epoch (publish happens
+            // before the refresh returns its Arc).
+            assert!(
+                handle_ref.epoch() >= snap.epoch(),
+                "refresh returned before its epoch reached the handle"
+            );
+            y.point();
+        }
+    }));
+    for _ in 0..sc.readers {
+        actors.push(Box::new(move |y: &Yielder<'_>| {
+            let mut last_epoch = 0u64;
+            for _ in 0..commands_ref.len() {
+                y.point();
+                // The wait-free read protocol: epoch, then load. The
+                // load must be at least as new as the epoch observed
+                // before it, and epochs never go backwards per handle.
+                let before = handle_ref.epoch();
+                let snap = handle_ref.load();
+                loads_ref.fetch_add(1, Ordering::Relaxed); // ORDERING: Relaxed — totals read after join.
+                assert!(
+                    before >= last_epoch,
+                    "handle epoch moved backwards ({last_epoch} -> {before})"
+                );
+                assert!(
+                    snap.epoch() >= before,
+                    "handle load (epoch {}) older than the epoch observed \
+                     before it ({before})",
+                    snap.epoch()
+                );
+                last_epoch = snap.epoch();
+                // Torn-load detector: all observers of an epoch — the
+                // writer through the state, readers through the handle —
+                // must agree on its checksum.
+                let sum = snap.checksum();
+                let mut seen = world_ref.seen.lock().unwrap();
+                if let Some(&prior) = seen.get(&snap.epoch()) {
+                    assert_eq!(
+                        prior,
+                        sum,
+                        "epoch {} observed with two different contents through \
+                         the handle",
+                        snap.epoch()
+                    );
+                } else {
+                    seen.insert(snap.epoch(), sum);
+                }
+                drop(seen);
+                y.point();
+                // Change-feed sanity off the handle: a delta must span
+                // from exactly the asked epoch forward; a reset must
+                // name a window not containing it.
+                match handle_ref.changed_since(last_epoch) {
+                    ChangeFeed::Delta(d) => {
+                        assert_eq!(d.from, last_epoch, "feed delta must start at the ask");
+                        assert!(d.to >= d.from, "feed delta span inverted");
+                    }
+                    ChangeFeed::Reset { oldest, current } => {
+                        assert!(
+                            last_epoch < oldest || last_epoch > current,
+                            "feed reset although {last_epoch} is inside \
+                             [{oldest}, {current}]"
+                        );
+                    }
+                }
+            }
+        }));
+    }
+
+    let outcome = run_schedule(sc.seed, actors);
+    outcome.assert_clean(sc.seed);
+
+    let final_epoch = handle.epoch();
+    let state = world.state.into_inner().unwrap();
+    let (refreshes, _, _) = state.counter_values();
+    assert_eq!(
+        refreshes, final_epoch,
+        "seed {}: the handle's final epoch must equal the refresh count",
+        sc.seed
+    );
+    HandleReport {
+        schedule_hash: outcome.schedule_hash,
+        steps: outcome.steps,
+        final_epoch,
+        loads: loads.into_inner() as u64,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -795,6 +985,20 @@ mod tests {
             });
             assert!(r.final_epoch >= 1, "at least one refresh must happen");
             assert!(r.acquisitions >= r.refreshes);
+        }
+    }
+
+    #[test]
+    fn handle_replay_holds_invariants() {
+        for seed in [3u64, 77, 0xBEEF] {
+            let r = replay_handle_protocol(&HandleScenario {
+                seed,
+                readers: 2,
+                rounds: 6,
+                keys: 8,
+            });
+            assert!(r.final_epoch >= 1, "the writer must publish at least once");
+            assert!(r.loads >= 1, "readers must load through the handle");
         }
     }
 

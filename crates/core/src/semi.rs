@@ -30,7 +30,7 @@ use crate::groups::{Clustering, GroupBy};
 use crate::params::Params;
 use crate::points::{PointArena, PointId};
 use crate::query::c_group_by;
-use crate::snapshot::{Anchors, ClusterSnapshot, QueryError, SnapshotState};
+use crate::snapshot::{Anchors, ClusterSnapshot, EpochHandle, QueryError, SnapshotState};
 use dydbscan_conn::UnionFind;
 use dydbscan_geom::{dist_sq, FxHashSet, Point};
 use dydbscan_grid::{CellId, GridIndex, NeighborScope};
@@ -641,6 +641,14 @@ impl<const D: usize> DynamicClusterer<D> for SemiDynDbscan<D> {
 
     fn snapshot(&self) -> Arc<ClusterSnapshot> {
         SemiDynDbscan::snapshot(self)
+    }
+
+    fn epoch_handle(&self) -> EpochHandle {
+        self.snap.epoch_handle()
+    }
+
+    fn set_track_deltas(&mut self, on: bool) {
+        self.snap.set_track_deltas(on);
     }
 
     fn group_by(&self, q: &[PointId]) -> GroupBy {

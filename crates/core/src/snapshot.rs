@@ -39,13 +39,36 @@
 //! [`SnapshotState`] is the engine-owned half: the current `Arc`, the
 //! dirty key set, the dead list, and the query counters surfaced in
 //! [`ClustererStats`](crate::ClustererStats).
+//!
+//! ## The serving layer (ISSUE 9)
+//!
+//! Two additions turn the read path into a serving substrate:
+//!
+//! * [`EpochHandle`] — a **wait-free** publication slot. Query threads
+//!   that go through the handle never touch the [`SnapshotState`] mutex:
+//!   a [`load`](EpochHandle::load) is a pin, an [`AtomicPtr`] read, a
+//!   strong-count bump, and an unpin — no loops, no locks. The single
+//!   refreshing thread swaps the slot at publish time and reclaims the
+//!   retired pointer after draining the (bounded, few-instruction) pin
+//!   window.
+//! * [`SnapshotDelta`] / [`ChangeFeed`] — an opt-in
+//!   ([`SnapshotState::set_track_deltas`]) delta-encoded epoch chain.
+//!   Each refresh computes the set of points whose resolved cluster
+//!   state changed (from the dirty-set bookkeeping it already keeps,
+//!   plus a label-table diff for merge/split relabels that touch no
+//!   geometry), and appends it to a bounded chain behind the handle.
+//!   [`changed_since`](EpochHandle::changed_since)`(E)` composes the
+//!   chain into one delta, or tells the client to resync
+//!   ([`ChangeFeed::Reset`]) when `E` predates the window or falls
+//!   inside a compacted span.
 
 use crate::groups::{Clustering, GroupBy};
 use crate::points::PointId;
 use dydbscan_conn::CompId;
 use dydbscan_geom::{FxHashMap, FxHashSet};
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 const F_ALIVE: u8 = 1;
@@ -224,6 +247,35 @@ impl ClusterSnapshot {
         h
     }
 
+    /// The resolved cluster-membership state of `id` at this epoch:
+    /// aliveness, core status, and the sorted, deduped set of cluster
+    /// labels the point belongs to (empty for noise). Dead and unknown
+    /// ids resolve to the default (dead, no labels) state rather than
+    /// erroring — a delta needs a total state function.
+    ///
+    /// This is the *one* definition of "point state" the change feed is
+    /// built on: both the incremental per-refresh delta and the
+    /// [`SnapshotDelta::between`] full-diff oracle compare exactly this,
+    /// which is what makes the differential tests exact.
+    pub fn point_state(&self, id: PointId) -> PointState {
+        let i = id as usize;
+        if i >= self.flags.len() || self.flags[i] & F_ALIVE == 0 {
+            return PointState::default();
+        }
+        let mut labels: Vec<CompId> = self.anchors[i]
+            .as_slice()
+            .iter()
+            .map(|&v| self.labels[v as usize])
+            .collect();
+        labels.sort_unstable();
+        labels.dedup();
+        PointState {
+            alive: true,
+            core: self.flags[i] & F_CORE != 0,
+            labels: labels.into(),
+        }
+    }
+
     /// Answers a C-group-by query over `q` at this epoch.
     ///
     /// # Panics
@@ -332,6 +384,449 @@ impl ClusterSnapshot {
     }
 }
 
+/// The resolved cluster-membership state of one point at one epoch (see
+/// [`ClusterSnapshot::point_state`]). The default value is the state of
+/// a dead or never-issued point.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PointState {
+    /// Whether the point is alive at the epoch.
+    pub alive: bool,
+    /// Whether the point is core at the epoch.
+    pub core: bool,
+    /// Sorted, deduped cluster labels the point belongs to (empty for
+    /// noise and for dead points).
+    pub labels: Box<[CompId]>,
+}
+
+/// One changed point in a [`SnapshotDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaEntry {
+    /// The point whose state changed.
+    pub id: PointId,
+    /// Its state at the delta's `from` epoch.
+    pub before: PointState,
+    /// Its state at the delta's `to` epoch.
+    pub after: PointState,
+}
+
+/// Every point whose resolved cluster state changed between two epochs
+/// of one engine — the unit of the `changed_since` change feed.
+///
+/// Entries are sorted by id and never vacuous (`before != after`); a
+/// delta with no entries still carries meaning ("these epochs are
+/// equivalent"). Deltas over adjacent spans [`compose`](Self::compose)
+/// exactly: `d(E,E').compose(d(E',E'')) == SnapshotDelta::between(E,
+/// E'')` — the invariant the change-feed differential tests pin down.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SnapshotDelta {
+    /// Epoch the `before` states belong to.
+    pub from: u64,
+    /// Epoch the `after` states belong to (`> from` except for the
+    /// empty "you are current" feed answer).
+    pub to: u64,
+    /// Changed points, sorted by id, `before != after` for every entry.
+    pub entries: Vec<DeltaEntry>,
+}
+
+impl SnapshotDelta {
+    /// True when no point changed state over the span (the epochs are
+    /// equivalent for query purposes).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The full diff of two snapshots: every id (of either) whose
+    /// resolved state differs. `O(num_ids)` — this is the *oracle* the
+    /// incrementally-computed refresh deltas are differentially tested
+    /// against, not the production path.
+    pub fn between(old: &ClusterSnapshot, new: &ClusterSnapshot) -> Self {
+        let ids = old.num_ids().max(new.num_ids());
+        let mut entries = Vec::new();
+        for id in 0..ids as u32 {
+            let before = old.point_state(id);
+            let after = new.point_state(id);
+            if before != after {
+                entries.push(DeltaEntry { id, before, after });
+            }
+        }
+        Self {
+            from: old.epoch,
+            to: new.epoch,
+            entries,
+        }
+    }
+
+    /// Composes two adjacent deltas (`self.to == later.from`) into one
+    /// spanning delta: earliest `before`, latest `after`, with points
+    /// that changed and changed back dropped entirely. Composition is
+    /// exact: the result equals [`between`](Self::between) over the
+    /// endpoints.
+    ///
+    /// # Panics
+    ///
+    /// If the spans are not adjacent — composing a gapped chain would
+    /// silently fabricate history.
+    pub fn compose(&self, later: &SnapshotDelta) -> SnapshotDelta {
+        assert_eq!(
+            self.to, later.from,
+            "SnapshotDelta::compose: spans must be adjacent"
+        );
+        let mut entries = Vec::with_capacity(self.entries.len().max(later.entries.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.entries.len() || j < later.entries.len() {
+            let a = self.entries.get(i);
+            let b = later.entries.get(j);
+            let (before, after, id) = match (a, b) {
+                (Some(a), Some(b)) if a.id == b.id => {
+                    i += 1;
+                    j += 1;
+                    (a.before.clone(), b.after.clone(), a.id)
+                }
+                (Some(a), Some(b)) if a.id < b.id => {
+                    i += 1;
+                    (a.before.clone(), a.after.clone(), a.id)
+                }
+                (Some(a), None) => {
+                    i += 1;
+                    (a.before.clone(), a.after.clone(), a.id)
+                }
+                (_, Some(b)) => {
+                    j += 1;
+                    (b.before.clone(), b.after.clone(), b.id)
+                }
+                (None, None) => unreachable!("loop condition"),
+            };
+            if before != after {
+                entries.push(DeltaEntry { id, before, after });
+            }
+        }
+        SnapshotDelta {
+            from: self.from,
+            to: later.to,
+            entries,
+        }
+    }
+
+    /// The incremental production computation: diffs only the candidate
+    /// ids a refresh already knows about. `candidates` must contain
+    /// every re-anchored (emitted) point and every drained death; this
+    /// function adds the points whose *anchor vertices* were relabeled
+    /// by the label export (cluster merges/splits touch no geometry, so
+    /// those points are re-anchored nowhere) and keeps only real
+    /// changes. Completeness rests on the snapshot's own update rule: a
+    /// point's per-point tables change only via emission or death, and
+    /// its resolved state changes only through those tables or through
+    /// the label of an anchor vertex.
+    fn incremental(
+        old: &ClusterSnapshot,
+        new: &ClusterSnapshot,
+        candidates: &mut Vec<PointId>,
+    ) -> Self {
+        let vmax = old.labels.len().max(new.labels.len());
+        let mut relabeled: FxHashSet<u32> = FxHashSet::default();
+        for v in 0..vmax {
+            if old.labels.get(v) != new.labels.get(v) {
+                relabeled.insert(v as u32);
+            }
+        }
+        if !relabeled.is_empty() {
+            // O(n) anchor sweep, paid only when connectivity actually
+            // changed some vertex label. Non-emitted points keep their
+            // old anchors (COW), so scanning the new table covers both.
+            for (id, anchors) in new.anchors.iter().enumerate() {
+                if anchors.as_slice().iter().any(|v| relabeled.contains(v)) {
+                    candidates.push(id as u32);
+                }
+            }
+        }
+        dydbscan_geom::radix_sort_u32(candidates);
+        candidates.dedup();
+        let mut entries = Vec::new();
+        for &id in candidates.iter() {
+            let before = old.point_state(id);
+            let after = new.point_state(id);
+            if before != after {
+                entries.push(DeltaEntry { id, before, after });
+            }
+        }
+        Self {
+            from: old.epoch,
+            to: new.epoch,
+            entries,
+        }
+    }
+}
+
+/// What [`EpochHandle::changed_since`] can answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChangeFeed {
+    /// Everything that changed over `(delta.from, delta.to]`, as one
+    /// composed delta (empty when the caller is already current).
+    Delta(SnapshotDelta),
+    /// The requested epoch predates the tracked window, falls inside a
+    /// compacted span, or post-dates the chain (tracking was off, or
+    /// the epoch is from another engine): resync from a full snapshot
+    /// ([`EpochHandle::load`] + `group_all`), then follow from
+    /// `current`.
+    Reset {
+        /// Oldest epoch the chain can still answer from.
+        oldest: u64,
+        /// Newest tracked epoch.
+        current: u64,
+    },
+}
+
+/// Bound on the delta chain's length: beyond this many spans the two
+/// *oldest* are composed into one, so the window `oldest..=current`
+/// is preserved while its old-end granularity coarsens. Memory stays
+/// bounded by `O(DELTA_CHAIN_MAX · changed points)` — a composed span
+/// holds at most one entry per point.
+pub(crate) const DELTA_CHAIN_MAX: usize = 64;
+
+/// The contiguous chain of per-refresh deltas behind `changed_since`.
+#[derive(Debug, Default)]
+struct DeltaChain {
+    /// Adjacent spans: `deltas[i].to == deltas[i + 1].from`.
+    deltas: VecDeque<SnapshotDelta>,
+    /// Newest tracked epoch (`deltas.back().to` when non-empty).
+    current: u64,
+}
+
+impl DeltaChain {
+    fn oldest(&self) -> u64 {
+        self.deltas.front().map_or(self.current, |d| d.from)
+    }
+
+    /// Forgets all history and restarts the feed at `epoch` (tracking
+    /// toggled: deltas across a gap would fabricate history).
+    fn reset(&mut self, epoch: u64) {
+        self.deltas.clear();
+        self.current = epoch;
+    }
+
+    fn push(&mut self, delta: SnapshotDelta) {
+        debug_assert_eq!(delta.from, self.current, "delta chain must stay contiguous");
+        self.current = delta.to;
+        self.deltas.push_back(delta);
+        while self.deltas.len() > DELTA_CHAIN_MAX {
+            let a = self.deltas.pop_front().expect("len > DELTA_CHAIN_MAX >= 2");
+            let b = self.deltas.pop_front().expect("len > DELTA_CHAIN_MAX >= 2");
+            self.deltas.push_front(a.compose(&b));
+        }
+    }
+
+    fn collect_since(&self, since: u64) -> ChangeFeed {
+        if since == self.current {
+            return ChangeFeed::Delta(SnapshotDelta {
+                from: since,
+                to: since,
+                entries: Vec::new(),
+            });
+        }
+        let reset = ChangeFeed::Reset {
+            oldest: self.oldest(),
+            current: self.current,
+        };
+        if since > self.current || since < self.oldest() {
+            return reset;
+        }
+        let mut spans = self.deltas.iter().skip_while(|d| d.to <= since);
+        let Some(first) = spans.next() else {
+            return reset;
+        };
+        if first.from != since {
+            // `since` falls strictly inside a compacted span: the chain
+            // no longer has a boundary there.
+            return reset;
+        }
+        let mut acc = first.clone();
+        for d in spans {
+            acc = acc.compose(d);
+        }
+        ChangeFeed::Delta(acc)
+    }
+}
+
+/// The wait-free publication slot shared between one engine's refresh
+/// path and every [`EpochHandle`] it vended. See [`EpochHandle::load`]
+/// for the reader half of the protocol and [`Self::reclaim`] for the
+/// publisher half.
+struct EpochShared {
+    /// The published snapshot, held as the raw form of one `Arc` strong
+    /// count (`Arc::into_raw`). Readers pin, load, secure their own
+    /// count, and unpin — wait-free; the single publisher swaps under
+    /// `SnapshotState.inner` and reclaims the retired count after
+    /// draining the pin window.
+    // LOCK: 5 — innermost: touched under `SnapshotState.inner` by
+    // publishers, lock-free by readers; never held (it cannot be) while
+    // acquiring anything.
+    current: AtomicPtr<ClusterSnapshot>,
+    /// Epoch of the snapshot in `current`, readable without touching it.
+    epoch: AtomicU64,
+    /// Readers inside the pin window (pinned, pointer loaded, strong
+    /// count not yet secured).
+    pinned: AtomicUsize,
+    /// A handle exists, so refreshes must publish into `current`.
+    /// While false the slot holds a private placeholder and the refresh
+    /// skips the swap — which keeps `Arc::make_mut`'s in-place fast
+    /// path for engines that never serve.
+    active: AtomicBool,
+    /// The delta chain behind `changed_since`.
+    // LOCK: 20 — acquired on its own by feed readers and by the
+    // publisher *before* it takes `SnapshotState.inner`; never nested
+    // with any other lock.
+    chain: Mutex<DeltaChain>,
+}
+
+impl EpochShared {
+    fn new() -> Self {
+        Self {
+            // A private placeholder (epoch 0, empty): until a handle
+            // activates the slot, this Arc is the slot's own and pins
+            // no engine snapshot (see `active`).
+            current: AtomicPtr::new(Arc::into_raw(Arc::new(ClusterSnapshot::default())).cast_mut()),
+            epoch: AtomicU64::new(0),
+            pinned: AtomicUsize::new(0),
+            active: AtomicBool::new(false),
+            chain: Mutex::new(DeltaChain::default()),
+        }
+    }
+
+    /// Publishes `snap` into the slot, returning the retired pointer
+    /// for the caller to [`reclaim`](Self::reclaim) once it released
+    /// `SnapshotState.inner` (which serializes publishers — that mutex
+    /// is what makes the epoch store monotone).
+    fn swap_in(&self, snap: &Arc<ClusterSnapshot>) -> *mut ClusterSnapshot {
+        let fresh = Arc::into_raw(Arc::clone(snap)).cast_mut();
+        // ORDERING: SeqCst — one half of the store-buffering pattern
+        // with `EpochHandle::load`: the swap and the reader's
+        // pin/pointer-load take a single total order, so a reader that
+        // loaded the retired pointer has its pin ordered before this
+        // swap, and `reclaim`'s drain (after the swap) must observe it.
+        let old = self.current.swap(fresh, Ordering::SeqCst);
+        // ORDERING: Release — pairs with the Acquire load in
+        // `EpochHandle::epoch`: the swap above is sequenced before this
+        // store, so a reader that observes epoch E finds a snapshot at
+        // least as new as E in the slot.
+        self.epoch.store(snap.epoch, Ordering::Release);
+        old
+    }
+
+    /// Drops the strong count a retired publication pointer owns, after
+    /// draining the pin window. A reader that could still materialize
+    /// `old` is inside its (few-instruction, lock-free) pin window, so
+    /// the spin is bounded in practice; yield periodically anyway.
+    fn reclaim(&self, old: *mut ClusterSnapshot) {
+        let mut spins = 0u32;
+        // ORDERING: SeqCst — the other half of the store-buffering
+        // pattern (see `swap_in`): this load is ordered after the swap,
+        // so any reader whose pointer-load could have returned `old`
+        // has its pin visible here; it is also an acquire edge against
+        // the reader's Release unpin, making the reader's
+        // strong-count increment visible before the drop below.
+        while self.pinned.load(Ordering::SeqCst) != 0 {
+            spins = spins.wrapping_add(1);
+            if spins % 64 == 0 {
+                std::thread::yield_now();
+            } else {
+                std::hint::spin_loop();
+            }
+        }
+        // SAFETY: `old` came out of exactly one `swap` on `current`
+        // (whose contents always originate in `Arc::into_raw`), so this
+        // consumes that one parked strong count exactly once. Readers
+        // that loaded `old` secured their own count before unpinning
+        // (drained above), so the total count cannot reach zero while a
+        // raw copy is still in flight.
+        drop(unsafe { Arc::from_raw(old) });
+    }
+}
+
+impl Drop for EpochShared {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` — no reader or publisher remains; the
+        // slot still owns the one strong count `new`/`swap_in` parked
+        // in it, consumed here exactly once.
+        drop(unsafe { Arc::from_raw(*self.current.get_mut()) });
+    }
+}
+
+/// A **wait-free** reader handle onto one engine's published snapshots,
+/// vended by [`SnapshotState::epoch_handle`] (or `epoch_handle()` on
+/// any [`DynamicClusterer`](crate::DynamicClusterer)). Clone it into as
+/// many query threads as you like: [`load`](Self::load) and
+/// [`epoch`](Self::epoch) never touch the engine's refresh mutex, never
+/// loop, and never block — a flushing writer can stall a handle reader
+/// by at most its own publish instant.
+///
+/// The handle observes *published* epochs: it advances when the engine
+/// refreshes (any `snapshot()`/`group_by` read boundary after updates),
+/// not when updates are applied. Epochs observed through one handle are
+/// monotone. If a refresh panics, the state poisons and the handle
+/// simply stops advancing (readers keep the last good epoch).
+#[derive(Clone)]
+pub struct EpochHandle {
+    shared: Arc<EpochShared>,
+}
+
+impl fmt::Debug for EpochHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EpochHandle")
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+impl EpochHandle {
+    /// The epoch of the currently published snapshot, without touching
+    /// the snapshot itself. Monotone per handle.
+    pub fn epoch(&self) -> u64 {
+        // ORDERING: Acquire — pairs with the Release store in
+        // `EpochShared::swap_in`: observing epoch E guarantees the slot
+        // holds a snapshot at least as new as E for a subsequent
+        // `load`.
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// The currently published snapshot — wait-free (a pin, a pointer
+    /// load, a strong-count bump, an unpin; no loops, no locks).
+    pub fn load(&self) -> Arc<ClusterSnapshot> {
+        let sh = &*self.shared;
+        // ORDERING: SeqCst — the pin must be ordered before the pointer
+        // load in the single total order shared with the publisher's
+        // swap and drain (store-buffering pattern, see
+        // `EpochShared::swap_in`/`reclaim`): either our pin is visible
+        // to the drain loop, or we already secured a strong count and
+        // unpinned.
+        sh.pinned.fetch_add(1, Ordering::SeqCst);
+        // ORDERING: SeqCst — ordered between our pin and the
+        // publisher's drain in the same total order; see above.
+        let p = sh.current.load(Ordering::SeqCst);
+        // SAFETY: `p` was produced by `Arc::into_raw` and the slot's
+        // strong count on it is not dropped before the publisher's
+        // drain loop observes `pinned == 0` — which cannot happen
+        // before our unpin below — so the allocation is live and
+        // incrementing its count is sound.
+        unsafe { Arc::increment_strong_count(p) };
+        // ORDERING: Release — the publisher's SeqCst drain load
+        // acquires this unpin, which makes the strong-count increment
+        // above visible before the publisher drops the slot's count.
+        sh.pinned.fetch_sub(1, Ordering::Release);
+        // SAFETY: consumes exactly the strong count secured above.
+        unsafe { Arc::from_raw(p) }
+    }
+
+    /// Everything that changed since epoch `since`, as one composed
+    /// [`SnapshotDelta`] — or [`ChangeFeed::Reset`] when the chain
+    /// cannot answer (tracking off, `since` outside the window or
+    /// inside a compacted span). Requires
+    /// [`SnapshotState::set_track_deltas`]`(true)` on the engine;
+    /// without it every call answers `Reset`.
+    pub fn changed_since(&self, since: u64) -> ChangeFeed {
+        self.shared.chain.lock().unwrap().collect_since(since)
+    }
+}
+
 /// What one refresh pass observed, folded into
 /// [`ClustererStats`](crate::ClustererStats) by the engines.
 ///
@@ -366,6 +861,11 @@ struct SnapInner {
     /// state is terminally broken: every later reader panics, exactly as
     /// if the mutex itself had been poisoned.
     poisoned: bool,
+    /// Refreshes compute a [`SnapshotDelta`] and feed the change-feed
+    /// chain. Opt-in ([`SnapshotState::set_track_deltas`]): the old
+    /// snapshot must be retained across the refresh, which forces
+    /// `Arc::make_mut` onto its clone path.
+    track_deltas: bool,
 }
 
 /// The engine-owned refresh state behind the `&self` read path: the
@@ -395,6 +895,9 @@ pub struct SnapshotState {
     // LOCK: 25 — gates `inner`; a wait releases it while parked.
     refreshed: Condvar,
     counters: SnapCounters,
+    /// The wait-free publication slot [`epoch_handle`](Self::epoch_handle)
+    /// readers share; dormant (publication skipped) until a handle exists.
+    shared: Arc<EpochShared>,
 }
 
 impl fmt::Debug for SnapshotState {
@@ -425,6 +928,7 @@ impl SnapshotState {
                 dead: Vec::new(),
                 refreshing: false,
                 poisoned: false,
+                track_deltas: false,
             }),
             refreshed: Condvar::new(),
             counters: SnapCounters {
@@ -432,7 +936,54 @@ impl SnapshotState {
                 keys_relabeled: AtomicU64::new(0),
                 query_parallel_tasks: AtomicU64::new(0),
             },
+            shared: Arc::new(EpochShared::new()),
         }
+    }
+
+    /// Vends a wait-free [`EpochHandle`] onto this state's published
+    /// snapshots, activating the publication slot: from here on every
+    /// refresh also swaps its result into the slot (and `Arc::make_mut`
+    /// pays the clone, since the slot pins the previous epoch).
+    /// Clone the handle freely; it stays valid for the state's lifetime
+    /// and merely stops advancing if the state is dropped or poisons.
+    pub fn epoch_handle(&self) -> EpochHandle {
+        let mut inner = self.inner.lock().unwrap();
+        while inner.refreshing {
+            inner = self.refreshed.wait(inner).unwrap();
+        }
+        if inner.poisoned {
+            // Same contract as `begin_read`: no later epoch can be
+            // trusted, so fail the caller loudly.
+            // ALLOW(poison): deliberate re-raise, fail every reader.
+            panic!("SnapshotState: a previous snapshot refresh panicked; state is poisoned");
+        }
+        // ORDERING: Relaxed — only read/written inside `inner` critical
+        // sections (here and in `RefreshWork::publish`), so the mutex
+        // already orders it; the atomic only exists because `publish`
+        // reads it through `&self`.
+        self.shared.active.store(true, Ordering::Relaxed);
+        // Seed the slot with the current snapshot so the handle answers
+        // immediately — the slot previously held a private placeholder
+        // (or a stale epoch if every prior handle was dropped; handles
+        // are cheap, callers keep them).
+        let retired = self.shared.swap_in(&inner.snap);
+        drop(inner);
+        self.shared.reclaim(retired);
+        EpochHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Turns the `changed_since` delta chain on or off. Turning it on
+    /// restarts the feed at the current epoch (history across the gap
+    /// is not fabricated: handles holding older epochs get
+    /// [`ChangeFeed::Reset`]). Off by default — tracking retains the
+    /// previous snapshot across each refresh, forcing the copy-on-write
+    /// clone path.
+    pub fn set_track_deltas(&mut self, on: bool) {
+        let inner = self.inner.get_mut().unwrap();
+        inner.track_deltas = on;
+        self.shared.chain.lock().unwrap().reset(inner.snap.epoch);
     }
 
     /// Marks one key (cell / point) dirty. Called from update paths,
@@ -503,13 +1054,23 @@ impl SnapshotState {
             ReadPath::Refresh(work) => work,
         };
         let relabeled = work.keys.len() as u64;
+        let track = work.old.is_some();
+        if track {
+            // Deaths must be captured before `begin_refresh` drains them.
+            work.candidates.extend_from_slice(&work.dead);
+        }
+        let candidates = &mut work.candidates;
         let s = Self::begin_refresh(&mut work.snap, &mut work.dead, total_ids, export_labels);
         for &key in &work.keys {
             reanchor(key, &mut |pid, core, anchors| {
+                if track {
+                    candidates.push(pid);
+                }
                 apply_emit(s, pid, core, anchors);
             });
         }
         self.note_refresh(relabeled);
+        work.finish_delta();
         work.publish()
     }
 
@@ -541,6 +1102,12 @@ impl SnapshotState {
             ReadPath::Refresh(work) => work,
         };
         let relabeled = work.keys.len() as u64;
+        let track = work.old.is_some();
+        if track {
+            // Deaths must be captured before `begin_refresh` drains them.
+            work.candidates.extend_from_slice(&work.dead);
+        }
+        let candidates = &mut work.candidates;
         let s = Self::begin_refresh(&mut work.snap, &mut work.dead, total_ids, export_labels);
         let keys = &work.keys;
         if keys.len() >= PARALLEL_REFRESH_MIN_KEYS {
@@ -556,6 +1123,9 @@ impl SnapshotState {
             });
             for part in parts {
                 for (pid, core, anchors) in part {
+                    if track {
+                        candidates.push(pid);
+                    }
                     apply_emit(s, pid, core, anchors);
                 }
             }
@@ -565,11 +1135,15 @@ impl SnapshotState {
         } else {
             for &key in keys {
                 reanchor(key, &mut |pid, core, anchors| {
+                    if track {
+                        candidates.push(pid);
+                    }
                     apply_emit(s, pid, core, anchors);
                 });
             }
         }
         self.note_refresh(relabeled);
+        work.finish_delta();
         work.publish()
     }
 
@@ -604,13 +1178,19 @@ impl SnapshotState {
         // stays "us + external readers", exactly as when refreshing
         // under the lock, so `Arc::make_mut` keeps its in-place fast
         // path once old readers retire. Nobody reads the placeholder —
-        // readers park on `refreshed` until publish.
+        // readers park on `refreshed` until publish. Delta tracking
+        // keeps a second count on the old epoch (the diff's `before`
+        // side), which deliberately forces the clone path.
+        let old = inner.track_deltas.then(|| Arc::clone(&inner.snap));
         let snap = std::mem::replace(&mut inner.snap, Arc::new(ClusterSnapshot::default()));
         ReadPath::Refresh(RefreshWork {
             state: self,
             keys,
             dead,
             snap,
+            old,
+            candidates: Vec::new(),
+            delta: None,
             published: false,
         })
     }
@@ -675,21 +1255,62 @@ struct RefreshWork<'a> {
     keys: Vec<u32>,
     dead: Vec<PointId>,
     snap: Arc<ClusterSnapshot>,
+    /// The pre-refresh epoch, retained only under delta tracking — the
+    /// `before` side of the change-feed diff.
+    old: Option<Arc<ClusterSnapshot>>,
+    /// Ids the refresh touched (emissions + deaths); the candidate set
+    /// the incremental delta diffs. Only fed when `old` is present.
+    candidates: Vec<PointId>,
+    /// The computed delta, ready for the chain at publish time.
+    delta: Option<SnapshotDelta>,
     published: bool,
 }
 
 impl RefreshWork<'_> {
-    /// Publishes the computed epoch: one acquisition of `inner` to store
-    /// the new `Arc` and clear `refreshing`, then wakes the readers
-    /// parked on `refreshed`.
+    /// Diffs the old and new epochs over the candidate set (off-lock;
+    /// call after the re-anchoring, before [`publish`](Self::publish)).
+    /// No-op unless delta tracking retained the old snapshot.
+    fn finish_delta(&mut self) {
+        if let Some(old) = self.old.take() {
+            self.delta = Some(SnapshotDelta::incremental(
+                &old,
+                &self.snap,
+                &mut self.candidates,
+            ));
+        }
+    }
+
+    /// Publishes the computed epoch: pushes the delta (its own lock,
+    /// never nested), then one acquisition of `inner` to store the new
+    /// `Arc`, clear `refreshing`, and — when a handle activated the
+    /// slot — swap the epoch into it (under `inner`, which is what
+    /// serializes publishers and keeps handle epochs monotone), then
+    /// wakes the readers parked on `refreshed` and reclaims the retired
+    /// publication pointer off-lock.
     fn publish(mut self) -> Arc<ClusterSnapshot> {
+        if let Some(delta) = self.delta.take() {
+            // Chain before slot: a reader that observes epoch E through
+            // the handle must find the chain already extended to E.
+            self.state.shared.chain.lock().unwrap().push(delta);
+        }
         let snap = Arc::clone(&self.snap);
         let mut inner = self.state.inner.lock().unwrap();
         inner.snap = Arc::clone(&snap);
         inner.refreshing = false;
+        // ORDERING: Relaxed — only read/written inside `inner` critical
+        // sections (see `epoch_handle`); the mutex orders it.
+        let retired = self
+            .state
+            .shared
+            .active
+            .load(Ordering::Relaxed)
+            .then(|| self.state.shared.swap_in(&snap));
         drop(inner);
         self.published = true;
         self.state.refreshed.notify_all();
+        if let Some(old) = retired {
+            self.state.shared.reclaim(old);
+        }
         snap
     }
 }
@@ -943,5 +1564,274 @@ mod tests {
         let (refreshes, keys, _) = st.counter_values();
         assert_eq!(refreshes, 2);
         assert_eq!(keys, 2);
+    }
+
+    #[test]
+    fn point_state_resolves_sorted_dedup_labels() {
+        let s = snap_with(
+            vec![9, 9, 3],
+            vec![
+                (true, true, Anchors::Many(Box::new([1, 0, 2]))), // 9,9,3 -> [3,9]
+                (true, false, Anchors::None),
+                (false, true, Anchors::One(0)),
+            ],
+        );
+        let st = s.point_state(0);
+        assert!(st.alive && st.core);
+        assert_eq!(&*st.labels, &[3, 9], "sorted and deduped");
+        assert_eq!(
+            s.point_state(1),
+            PointState {
+                alive: true,
+                core: false,
+                labels: Box::new([])
+            }
+        );
+        assert_eq!(s.point_state(2), PointState::default(), "dead is default");
+        assert_eq!(
+            s.point_state(99),
+            PointState::default(),
+            "unknown is default"
+        );
+    }
+
+    /// Drives one `SnapshotState` through a deterministic churn schedule
+    /// and returns the published epochs. Key `k` owns points `{2k,
+    /// 2k+1}`; a round re-anchors some keys, kills some points, and
+    /// shuffles the vertex labels so merges/splits happen without
+    /// geometry (exactly the case the candidate set must catch via the
+    /// relabeled-vertex sweep).
+    fn churn_rounds(st: &mut SnapshotState, rounds: u32) -> Vec<Arc<ClusterSnapshot>> {
+        const KEYS: u32 = 4;
+        let mut out = vec![st.read_with(0, Vec::new, |_, _| {})];
+        for r in 1..=rounds {
+            for k in 0..KEYS {
+                if (k + r) % 3 != 0 {
+                    st.mark(k);
+                }
+            }
+            if r % 2 == 0 {
+                st.mark_dead((r * 2 - 1) % (2 * KEYS));
+            }
+            let snap = st.read_with(
+                2 * KEYS as usize,
+                move || (0..KEYS as u64).map(|v| (v + r as u64) % 3).collect(),
+                move |key, emit| {
+                    emit(2 * key, true, Anchors::One(key));
+                    if (key + r) % 2 == 0 {
+                        emit(
+                            2 * key + 1,
+                            false,
+                            Anchors::Many(Box::new([key, (key + 1) % KEYS])),
+                        );
+                    }
+                },
+            );
+            out.push(snap);
+        }
+        out
+    }
+
+    /// The production (incremental, candidate-driven) deltas must agree
+    /// with the full-scan `between` oracle at every step, and composing
+    /// the per-step chain must equal the direct end-to-end diff.
+    #[test]
+    fn incremental_delta_matches_between_oracle() {
+        let mut st = SnapshotState::new();
+        st.set_track_deltas(true);
+        let handle = st.epoch_handle();
+        let snaps = churn_rounds(&mut st, 6);
+        for w in snaps.windows(2) {
+            let oracle = SnapshotDelta::between(&w[0], &w[1]);
+            match handle.changed_since(w[0].epoch()) {
+                ChangeFeed::Delta(d) => {
+                    // The chain answer spans w[0]..latest; recompute the
+                    // single-step answer through the oracle of the rest.
+                    let direct = SnapshotDelta::between(&w[0], snaps.last().unwrap());
+                    assert_eq!(d, direct, "chain from {} diverged", w[0].epoch());
+                }
+                ChangeFeed::Reset { .. } => panic!("chain lost epoch {}", w[0].epoch()),
+            }
+            // Adjacent-step incremental == oracle, via composition of
+            // chain answers: since(from) == step.compose(since(to)).
+            let step = match (
+                handle.changed_since(w[0].epoch()),
+                handle.changed_since(w[1].epoch()),
+            ) {
+                (ChangeFeed::Delta(a), ChangeFeed::Delta(b)) if b.to == b.from => a,
+                (ChangeFeed::Delta(a), ChangeFeed::Delta(b)) => {
+                    // a = step ∘ b  ⇒  check a == oracle ∘ b instead.
+                    assert_eq!(
+                        a,
+                        oracle.compose(&b),
+                        "step {} not incremental",
+                        w[1].epoch()
+                    );
+                    continue;
+                }
+                _ => panic!("chain lost a tracked epoch"),
+            };
+            assert_eq!(step, oracle);
+        }
+    }
+
+    #[test]
+    fn delta_compose_equals_direct_between() {
+        let mut st = SnapshotState::new();
+        let snaps = churn_rounds(&mut st, 5);
+        let (a, b, c) = (&snaps[1], &snaps[3], &snaps[5]);
+        let composed = SnapshotDelta::between(a, b).compose(&SnapshotDelta::between(b, c));
+        assert_eq!(composed, SnapshotDelta::between(a, c));
+        // Edge cases: identity and change-and-change-back.
+        let id = SnapshotDelta::between(a, a);
+        assert!(id.is_empty());
+        assert_eq!(
+            SnapshotDelta::between(a, b)
+                .compose(&SnapshotDelta::between(b, a))
+                .entries,
+            Vec::new(),
+            "a round trip composes to no changes"
+        );
+    }
+
+    #[test]
+    fn chain_answers_reset_outside_its_window() {
+        let mut chain = DeltaChain::default();
+        chain.reset(10);
+        assert_eq!(
+            chain.collect_since(10),
+            ChangeFeed::Delta(SnapshotDelta {
+                from: 10,
+                to: 10,
+                entries: Vec::new()
+            }),
+            "current epoch answers an empty delta"
+        );
+        assert!(matches!(
+            chain.collect_since(11),
+            ChangeFeed::Reset {
+                oldest: 10,
+                current: 10
+            }
+        ));
+        let step = |from: u64| SnapshotDelta {
+            from,
+            to: from + 1,
+            entries: vec![DeltaEntry {
+                id: from as u32,
+                before: PointState::default(),
+                after: PointState {
+                    alive: true,
+                    core: false,
+                    labels: Box::new([]),
+                },
+            }],
+        };
+        for e in 10..14 {
+            chain.push(step(e));
+        }
+        assert!(matches!(
+            chain.collect_since(9),
+            ChangeFeed::Reset {
+                oldest: 10,
+                current: 14
+            }
+        ));
+        let ChangeFeed::Delta(d) = chain.collect_since(11) else {
+            panic!("in-window epoch must answer a delta");
+        };
+        assert_eq!((d.from, d.to), (11, 14));
+        assert_eq!(d.entries.len(), 3);
+    }
+
+    #[test]
+    fn chain_compacts_its_oldest_spans_but_keeps_the_oldest_epoch() {
+        let mut chain = DeltaChain::default();
+        chain.reset(0);
+        for e in 0..(DELTA_CHAIN_MAX as u64 + 20) {
+            chain.push(SnapshotDelta {
+                from: e,
+                to: e + 1,
+                entries: Vec::new(),
+            });
+        }
+        assert_eq!(chain.deltas.len(), DELTA_CHAIN_MAX);
+        assert_eq!(
+            chain.oldest(),
+            0,
+            "compaction never drops the oldest boundary"
+        );
+        assert!(matches!(chain.collect_since(0), ChangeFeed::Delta(_)));
+        // Epoch 1 fell inside the compacted front span: only Reset.
+        assert!(matches!(chain.collect_since(1), ChangeFeed::Reset { .. }));
+    }
+
+    #[test]
+    fn epoch_handle_tracks_published_epochs_and_stays_monotone() {
+        let mut st = SnapshotState::new();
+        let handle = st.epoch_handle();
+        assert_eq!(handle.epoch(), 0);
+        assert_eq!(
+            handle.load().checksum(),
+            st.read_with(0, Vec::new, |_, _| {}).checksum()
+        );
+        let mut last = 0;
+        for snap in churn_rounds(&mut st, 5) {
+            let e = handle.epoch();
+            assert!(e >= last, "handle epoch went backwards: {last} -> {e}");
+            last = e;
+            let loaded = handle.load();
+            assert!(loaded.epoch() >= snap.epoch().min(e));
+        }
+        assert_eq!(handle.epoch(), 5);
+        assert_eq!(
+            handle.load().checksum(),
+            st.read_with(0, Vec::new, |_, _| {}).checksum()
+        );
+        // Untracked state: the handle answers Reset, never stale deltas.
+        assert!(matches!(handle.changed_since(2), ChangeFeed::Reset { .. }));
+    }
+
+    /// Miri-sized concurrent stress: readers hammer `load`/`epoch` off
+    /// the handle while the owner keeps refreshing. Epochs per reader
+    /// must be monotone and every loaded snapshot internally consistent
+    /// (epoch field agrees with a later `epoch()` lower bound).
+    #[test]
+    fn epoch_handle_readers_survive_concurrent_refreshes() {
+        let rounds: u32 = if cfg!(miri) { 4 } else { 64 };
+        let mut st = SnapshotState::new();
+        st.set_track_deltas(true);
+        let handle = st.epoch_handle();
+        let st = std::sync::Mutex::new(st);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let h = handle.clone();
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    loop {
+                        let e1 = h.epoch();
+                        let snap = h.load();
+                        assert!(e1 >= last, "epoch went backwards");
+                        assert!(
+                            snap.epoch() >= e1,
+                            "loaded snapshot older than the epoch observed before the load"
+                        );
+                        last = e1;
+                        match h.changed_since(last) {
+                            ChangeFeed::Delta(d) => assert!(d.from == last && d.to >= last),
+                            ChangeFeed::Reset { current, .. } => assert!(current >= last),
+                        }
+                        if last >= rounds as u64 {
+                            return;
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            scope.spawn(|| {
+                let mut guard = st.lock().unwrap();
+                churn_rounds(&mut guard, rounds);
+            });
+        });
     }
 }

@@ -1,0 +1,284 @@
+//! A blocking client for the serve protocol: typed request methods over
+//! one TCP connection. Server-side errors come back as
+//! [`ClientError::Server`] (the connection stays usable); transport and
+//! protocol-framing failures are terminal for the connection.
+
+use crate::proto::{
+    decode_response, encode_request, read_frame, write_frame, Cursor, ProtoError, Request,
+};
+use dydbscan_core::PointState;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-visible failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure; the connection is dead.
+    Io(io::Error),
+    /// The server's response violated the protocol; connection dead.
+    Proto(ProtoError),
+    /// The server answered this request with an error message; the
+    /// connection remains usable for further requests.
+    Server(String),
+    /// The server closed the connection.
+    Closed,
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Proto(e) => write!(f, "protocol violation in response: {e}"),
+            Self::Server(msg) => write!(f, "server error: {msg}"),
+            Self::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        Self::Proto(e)
+    }
+}
+
+/// A group-by / group-all answer as decoded from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireGroups {
+    /// The epoch of the snapshot that answered.
+    pub epoch: u64,
+    /// The groups, each a sorted id list.
+    pub groups: Vec<Vec<u32>>,
+    /// Queried ids that are noise at this epoch.
+    pub noise: Vec<u32>,
+}
+
+/// One changed point in a [`WireFeed::Delta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireDeltaEntry {
+    /// The changed point.
+    pub id: u32,
+    /// State at the delta's `from` epoch.
+    pub before: PointState,
+    /// State at the delta's `to` epoch.
+    pub after: PointState,
+}
+
+/// A `changed_since` answer as decoded from the wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireFeed {
+    /// Everything that changed over `(from, to]`.
+    Delta {
+        /// Epoch the `before` states belong to.
+        from: u64,
+        /// Epoch the `after` states belong to.
+        to: u64,
+        /// Changed points, sorted by id.
+        entries: Vec<WireDeltaEntry>,
+    },
+    /// The chain cannot answer from the requested epoch; resync from a
+    /// full snapshot.
+    Reset {
+        /// Oldest answerable epoch.
+        oldest: u64,
+        /// Newest tracked epoch.
+        current: u64,
+    },
+}
+
+/// A blocking protocol client over one TCP connection.
+///
+/// ```rust,no_run
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use dydbscan_serve::{Client, Server, ServerConfig};
+///
+/// let server = Server::start(ServerConfig::default())?;
+/// let mut client = Client::connect(server.addr())?;
+/// let (epoch, ids) = client.insert(&[[0.0, 0.0], [0.5, 0.0], [0.0, 0.5], [9.0, 9.0]])?;
+/// let groups = client.group_by(&ids)?;
+/// assert!(groups.epoch >= epoch);
+/// client.shutdown()?;
+/// server.join()?;
+/// # Ok(()) }
+/// ```
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects and verifies the protocol version with a `HELLO`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut c = Client { stream };
+        let version = c
+            .hello()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if version != crate::proto::VERSION {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "server speaks protocol v{version}, client v{}",
+                    crate::proto::VERSION
+                ),
+            ));
+        }
+        Ok(c)
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let Some(body) = read_frame(&mut self.stream)? else {
+            return Err(ClientError::Closed);
+        };
+        decode_response(&body)
+            .map(<[u8]>::to_vec)
+            .map_err(ClientError::Server)
+    }
+
+    /// Version handshake; returns the server's protocol version.
+    pub fn hello(&mut self) -> Result<u32, ClientError> {
+        let p = self.call(&Request::Hello)?;
+        let mut c = Cursor::new(&p);
+        let v = c.u32()?;
+        c.finish()?;
+        Ok(v)
+    }
+
+    /// Inserts a batch of 2-d rows; returns `(published_epoch, ids)`.
+    /// The epoch is already published when this returns: any handle or
+    /// connection sees these ids (read-your-writes).
+    pub fn insert(&mut self, rows: &[[f64; 2]]) -> Result<(u64, Vec<u32>), ClientError> {
+        let p = self.call(&Request::Insert(rows.to_vec()))?;
+        let mut c = Cursor::new(&p);
+        let epoch = c.u64()?;
+        let ids = read_id_list(&mut c)?;
+        c.finish()?;
+        Ok((epoch, ids))
+    }
+
+    /// Deletes a batch of ids; returns the published epoch. Unknown or
+    /// repeated ids reject the whole batch with a server error.
+    pub fn delete(&mut self, ids: &[u32]) -> Result<u64, ClientError> {
+        let p = self.call(&Request::Delete(ids.to_vec()))?;
+        let mut c = Cursor::new(&p);
+        let epoch = c.u64()?;
+        c.finish()?;
+        Ok(epoch)
+    }
+
+    /// C-group-by over `ids` at the server's current published epoch.
+    pub fn group_by(&mut self, ids: &[u32]) -> Result<WireGroups, ClientError> {
+        let p = self.call(&Request::GroupBy(ids.to_vec()))?;
+        decode_groups(&p)
+    }
+
+    /// The full clustering at the current published epoch.
+    pub fn group_all(&mut self) -> Result<WireGroups, ClientError> {
+        let p = self.call(&Request::GroupAll)?;
+        decode_groups(&p)
+    }
+
+    /// Everything that changed since `epoch` (requires delta tracking
+    /// on the server, else always [`WireFeed::Reset`]).
+    pub fn changed_since(&mut self, epoch: u64) -> Result<WireFeed, ClientError> {
+        let p = self.call(&Request::ChangedSince(epoch))?;
+        let mut c = Cursor::new(&p);
+        let feed = match c.u8()? {
+            0 => {
+                let from = c.u64()?;
+                let to = c.u64()?;
+                let n = c.count(9)?; // id + 2 × minimal state
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(WireDeltaEntry {
+                        id: c.u32()?,
+                        before: read_state(&mut c)?,
+                        after: read_state(&mut c)?,
+                    });
+                }
+                WireFeed::Delta { from, to, entries }
+            }
+            1 => WireFeed::Reset {
+                oldest: c.u64()?,
+                current: c.u64()?,
+            },
+            tag => return Err(ProtoError::BadOpcode(tag).into()),
+        };
+        c.finish()?;
+        Ok(feed)
+    }
+
+    /// The server's current published epoch.
+    pub fn epoch(&mut self) -> Result<u64, ClientError> {
+        let p = self.call(&Request::Epoch)?;
+        let mut c = Cursor::new(&p);
+        let e = c.u64()?;
+        c.finish()?;
+        Ok(e)
+    }
+
+    /// Requests a graceful server shutdown (acknowledged, then the
+    /// server drains; this connection is closed by the server).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        let p = self.call(&Request::Shutdown)?;
+        let c = Cursor::new(&p);
+        c.finish()?;
+        Ok(())
+    }
+
+    /// Sends raw bytes as one frame and returns the raw response body —
+    /// the malformed-input tests speak through this.
+    pub fn raw_call(&mut self, body: &[u8]) -> Result<Option<Vec<u8>>, io::Error> {
+        write_frame(&mut self.stream, body)?;
+        read_frame(&mut self.stream)
+    }
+}
+
+fn read_id_list(c: &mut Cursor<'_>) -> Result<Vec<u32>, ProtoError> {
+    let n = c.count(4)?;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(c.u32()?);
+    }
+    Ok(ids)
+}
+
+fn decode_groups(p: &[u8]) -> Result<WireGroups, ClientError> {
+    let mut c = Cursor::new(p);
+    let epoch = c.u64()?;
+    let n_groups = c.count(4)?; // each group is at least a u32 length
+    let mut groups = Vec::with_capacity(n_groups);
+    for _ in 0..n_groups {
+        groups.push(read_id_list(&mut c)?);
+    }
+    let noise = read_id_list(&mut c)?;
+    c.finish()?;
+    Ok(WireGroups {
+        epoch,
+        groups,
+        noise,
+    })
+}
+
+fn read_state(c: &mut Cursor<'_>) -> Result<PointState, ProtoError> {
+    let flags = c.u8()?;
+    let n = c.count(8)?;
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        labels.push(c.u64()?);
+    }
+    Ok(PointState {
+        alive: flags & 1 != 0,
+        core: flags & 2 != 0,
+        labels: labels.into(),
+    })
+}

@@ -1,0 +1,205 @@
+//! The shared measured loopback phase: one ingest driver churning
+//! batches against the server while N query clients hammer `group_by`.
+//! Both the `dydbscan-serve smoke` binary and the `repro -- serve`
+//! bench figure run this function, so the CI smoke artifact and the
+//! committed baseline measure the same workload.
+
+use crate::client::Client;
+use crate::server::{Server, ServerConfig, ServerStats};
+use dydbscan_geom::SplitMix64;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// One measured phase's knobs.
+#[derive(Debug, Clone)]
+pub struct PhaseConfig {
+    /// Concurrent query clients.
+    pub clients: usize,
+    /// Points preloaded before the measured window.
+    pub preload: usize,
+    /// Measured wall-clock window.
+    pub duration: Duration,
+    /// Rows per ingest batch during the window.
+    pub batch: usize,
+    /// Ids per `group_by` query.
+    pub query_ids: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for PhaseConfig {
+    fn default() -> Self {
+        Self {
+            clients: 4,
+            preload: 10_000,
+            duration: Duration::from_secs(2),
+            batch: 256,
+            query_ids: 64,
+            seed: 2017,
+        }
+    }
+}
+
+/// What one measured phase observed.
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// Queries answered across all clients in the window.
+    pub queries: u64,
+    /// Mutation round-trips the ingest driver completed.
+    pub ingest_batches: u64,
+    /// The measured window.
+    pub elapsed: Duration,
+    /// Aggregate queries per second.
+    pub qps: f64,
+    /// 99th-percentile query round-trip, microseconds.
+    pub p99_query_us: f64,
+    /// 99.9th-percentile query round-trip, microseconds.
+    pub p999_query_us: f64,
+    /// Every epoch observed by every client was non-decreasing per
+    /// connection, and the server agreed at join time.
+    pub epochs_monotone: bool,
+    /// Server lifetime stats (from [`Server::join`]).
+    pub server: ServerStats,
+}
+
+/// Uniform points in a `[0, side) × [0, side)` box: densities that give
+/// real cluster structure at `eps = 1` without degenerating into one
+/// blob as the preload grows.
+fn gen_rows(rng: &mut SplitMix64, n: usize, side: f64) -> Vec<[f64; 2]> {
+    (0..n)
+        .map(|_| [rng.next_f64() * side, rng.next_f64() * side])
+        .collect()
+}
+
+/// Starts a fresh server, preloads it, then runs `clients` query
+/// threads against a concurrent ingest driver for the configured
+/// window. Returns the phase metrics after a clean shutdown.
+pub fn run_phase(cfg: &PhaseConfig) -> io::Result<PhaseReport> {
+    let server = Server::start(ServerConfig::default())?;
+    let addr = server.addr();
+    let side = (cfg.preload as f64).sqrt() / 2.0; // mean ~4 points per unit cell
+
+    // Preload on the driver connection; the preload ids are the query
+    // population (the churn ids come later and are never queried, so
+    // queries cannot race deletions into DeadPoint errors).
+    let mut driver = Client::connect(addr)?;
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut preload_ids: Vec<u32> = Vec::with_capacity(cfg.preload);
+    for chunk in gen_rows(&mut rng, cfg.preload, side).chunks(1024) {
+        let (_, ids) = driver
+            .insert(chunk)
+            .map_err(|e| io::Error::other(e.to_string()))?;
+        preload_ids.extend(ids);
+    }
+
+    let stop = AtomicBool::new(false);
+    let mut queries = 0u64;
+    let mut ingest_batches = 0u64;
+    let mut monotone = true;
+    let mut lat_us: Vec<f64> = Vec::new();
+    let started = Instant::now();
+    let mut elapsed = Duration::ZERO;
+
+    std::thread::scope(|scope| -> io::Result<()> {
+        let mut query_threads = Vec::new();
+        for ci in 0..cfg.clients {
+            let stop = &stop;
+            let preload_ids = &preload_ids;
+            let seed = cfg.seed ^ (0x9e37 + ci as u64);
+            let query_ids = cfg.query_ids;
+            query_threads.push(scope.spawn(move || -> io::Result<(u64, Vec<f64>, bool)> {
+                let mut client = Client::connect(addr)?;
+                let mut rng = SplitMix64::new(seed);
+                let mut count = 0u64;
+                let mut lats = Vec::new();
+                let mut last_epoch = 0u64;
+                let mut mono = true;
+                // ORDERING: Relaxed — a quiescently-set stop flag; an
+                // extra iteration after the window closes is harmless.
+                while !stop.load(Ordering::Relaxed) {
+                    let q: Vec<u32> = (0..query_ids)
+                        .map(|_| preload_ids[rng.next_below(preload_ids.len() as u64) as usize])
+                        .collect();
+                    let t0 = Instant::now();
+                    let g = client
+                        .group_by(&q)
+                        .map_err(|e| io::Error::other(e.to_string()))?;
+                    lats.push(t0.elapsed().as_secs_f64() * 1e6);
+                    if g.epoch < last_epoch {
+                        mono = false;
+                    }
+                    last_epoch = g.epoch;
+                    count += 1;
+                }
+                Ok((count, lats, mono))
+            }));
+        }
+
+        // The ingest driver churns on this thread: insert a batch, then
+        // delete the previous churn batch (preload ids never die).
+        let mut churn_rng = SplitMix64::new(cfg.seed ^ 0xdead);
+        let mut last_batch: Vec<u32> = Vec::new();
+        let mut last_epoch = 0u64;
+        while started.elapsed() < cfg.duration {
+            let rows = gen_rows(&mut churn_rng, cfg.batch, side);
+            let (epoch, ids) = driver
+                .insert(&rows)
+                .map_err(|e| io::Error::other(e.to_string()))?;
+            if epoch < last_epoch {
+                monotone = false;
+            }
+            last_epoch = epoch;
+            ingest_batches += 1;
+            if !last_batch.is_empty() {
+                let epoch = driver
+                    .delete(&last_batch)
+                    .map_err(|e| io::Error::other(e.to_string()))?;
+                if epoch < last_epoch {
+                    monotone = false;
+                }
+                last_epoch = epoch;
+                ingest_batches += 1;
+            }
+            last_batch = ids;
+        }
+        elapsed = started.elapsed();
+        // ORDERING: Relaxed — see the load above.
+        stop.store(true, Ordering::Relaxed);
+        for t in query_threads {
+            let (count, lats, mono) = t
+                .join()
+                .map_err(|_| io::Error::other("query client panicked"))??;
+            queries += count;
+            lat_us.extend(lats);
+            monotone &= mono;
+        }
+        Ok(())
+    })?;
+
+    driver
+        .shutdown()
+        .map_err(|e| io::Error::other(e.to_string()))?;
+    drop(driver);
+    let server_stats = server.join()?;
+    monotone &= server_stats.epochs_monotone;
+
+    lat_us.sort_unstable_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if lat_us.is_empty() {
+            return 0.0;
+        }
+        let idx = ((lat_us.len() as f64 * p).ceil() as usize).clamp(1, lat_us.len()) - 1;
+        lat_us[idx]
+    };
+    Ok(PhaseReport {
+        queries,
+        ingest_batches,
+        qps: queries as f64 / elapsed.as_secs_f64().max(1e-9),
+        p99_query_us: pct(0.99),
+        p999_query_us: pct(0.999),
+        elapsed,
+        epochs_monotone: monotone,
+        server: server_stats,
+    })
+}

@@ -1,0 +1,30 @@
+//! `dydbscan-serve`: a dependency-free loopback serving front-end over
+//! dydbscan's wait-free epoch handles (Gan & Tao, SIGMOD 2017 — the
+//! "cluster-group-by under updates" regime, actually served).
+//!
+//! The paper's premise is answering cluster-membership queries *while*
+//! the dataset mutates. This crate is the serving shape of that
+//! premise:
+//!
+//! * one **ingest thread** owns the engine and applies
+//!   `insert_batch`/`delete_batch`, publishing each new epoch through
+//!   the wait-free [`EpochHandle`](dydbscan_core::EpochHandle) slot
+//!   *before* acknowledging the mutation (read-your-writes);
+//! * **N query threads** (one per client connection) answer
+//!   `group_by`/`group_all`/`changed_since` off cloned handles — they
+//!   never touch the engine, its refresh mutex, or each other;
+//! * a minimal **length-prefixed TCP protocol** ([`proto`]) carries
+//!   requests and responses; malformed bytes decode to error frames,
+//!   never panics.
+//!
+//! See the crate README / DESIGN.md "Serving layer" for the publication
+//! rules and the [`Client`] docs for a runnable quickstart.
+
+pub mod client;
+pub mod harness;
+pub mod proto;
+pub mod server;
+
+pub use client::{Client, ClientError, WireDeltaEntry, WireFeed, WireGroups};
+pub use harness::{run_phase, PhaseConfig, PhaseReport};
+pub use server::{Server, ServerConfig, ServerStats};

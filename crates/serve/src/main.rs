@@ -1,0 +1,168 @@
+//! The `dydbscan-serve` binary.
+//!
+//! ```text
+//! dydbscan-serve serve [--addr 127.0.0.1:7017] [--eps 1.0] [--min-pts 4] [--rho 0.001]
+//! dydbscan-serve smoke [--clients 4] [--duration-ms 2000] [--preload 10000] \
+//!                      [--seed 2017] [--out BENCH_serve.json]
+//! ```
+//!
+//! `serve` runs a server until a client sends `SHUTDOWN`. `smoke` is
+//! the CI entry point: it runs the shared loopback phase
+//! ([`dydbscan_serve::run_phase`]) at 1 client and at `--clients`
+//! clients, asserts clean shutdown and monotone epochs on both, and
+//! writes a small JSON report with per-phase qps, tail latencies, and
+//! the multi-client scaling ratio. Exit code 1 = a correctness
+//! assertion failed (never a perf threshold: CI runners vary; the
+//! scaling ratio is *recorded* for the acceptance audit, not gated
+//! here).
+
+use dydbscan_serve::{run_phase, PhaseConfig, Server, ServerConfig};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("smoke") => cmd_smoke(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage: dydbscan-serve serve [--addr A] [--eps E] [--min-pts K] [--rho R]\n\
+                 \u{20}      dydbscan-serve smoke [--clients N] [--duration-ms MS] \
+                 [--preload N] [--seed S] [--out FILE]"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == flag {
+            return it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                eprintln!("dydbscan-serve: {flag} needs a valid value");
+                std::process::exit(2);
+            });
+        }
+    }
+    default
+}
+
+fn cmd_serve(args: &[String]) {
+    let cfg = ServerConfig {
+        addr: parse_flag(args, "--addr", "127.0.0.1:7017".to_string()),
+        eps: parse_flag(args, "--eps", 1.0),
+        min_pts: parse_flag(args, "--min-pts", 4),
+        rho: parse_flag(args, "--rho", 0.001),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg).unwrap_or_else(|e| {
+        eprintln!("dydbscan-serve: bind failed: {e}");
+        std::process::exit(1);
+    });
+    println!("dydbscan-serve: listening on {}", server.addr());
+    match server.join() {
+        Ok(stats) => println!(
+            "dydbscan-serve: shut down cleanly after {} batches, {} queries (last epoch {})",
+            stats.batches, stats.queries, stats.last_epoch
+        ),
+        Err(e) => {
+            eprintln!("dydbscan-serve: server error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_smoke(args: &[String]) {
+    let clients: usize = parse_flag(args, "--clients", 4);
+    let duration = Duration::from_millis(parse_flag(args, "--duration-ms", 2000));
+    let preload: usize = parse_flag(args, "--preload", 10_000);
+    let seed: u64 = parse_flag(args, "--seed", 2017);
+    let out: String = parse_flag(args, "--out", "BENCH_serve.json".to_string());
+
+    let mut phases = Vec::new();
+    let mut ok = true;
+    for n in [1usize, clients] {
+        let cfg = PhaseConfig {
+            clients: n,
+            preload,
+            duration,
+            seed,
+            ..PhaseConfig::default()
+        };
+        match run_phase(&cfg) {
+            Ok(r) => {
+                println!(
+                    "smoke: clients={n} qps={:.0} p99={:.0}us p999={:.0}us \
+                     ingest_batches={} monotone={}",
+                    r.qps, r.p99_query_us, r.p999_query_us, r.ingest_batches, r.epochs_monotone
+                );
+                if !r.epochs_monotone {
+                    eprintln!("smoke: FAIL — non-monotone epochs at clients={n}");
+                    ok = false;
+                }
+                if r.queries == 0 || r.server.queries == 0 {
+                    eprintln!("smoke: FAIL — no queries answered at clients={n}");
+                    ok = false;
+                }
+                phases.push((n, r));
+            }
+            Err(e) => {
+                eprintln!("smoke: FAIL — phase clients={n} errored: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let scaling = match (&phases.first(), &phases.last()) {
+        (Some((1, one)), Some((n, many))) if *n > 1 && one.qps > 0.0 => many.qps / one.qps,
+        _ => 0.0,
+    };
+    println!("smoke: scaling {clients}v1 = {scaling:.2}x");
+
+    let json = render_json(clients, seed, preload, duration, &phases, scaling);
+    if let Err(e) = std::fs::write(&out, json) {
+        eprintln!("smoke: cannot write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("smoke: wrote {out}");
+    if !ok {
+        std::process::exit(1);
+    }
+}
+
+fn render_json(
+    clients: usize,
+    seed: u64,
+    preload: usize,
+    duration: Duration,
+    phases: &[(usize, dydbscan_serve::PhaseReport)],
+    scaling: f64,
+) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!(
+        "  \"config\": {{ \"clients\": {clients}, \"seed\": {seed}, \"preload\": {preload}, \
+         \"duration_ms\": {} }},\n",
+        duration.as_millis()
+    ));
+    s.push_str("  \"phases\": [\n");
+    for (i, (n, r)) in phases.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"clients\": {n}, \"qps\": {:.1}, \"queries\": {}, \
+             \"ingest_batches\": {}, \"p99_query_us\": {:.1}, \"p999_query_us\": {:.1}, \
+             \"epochs_monotone\": {}, \"last_epoch\": {} }}{}\n",
+            r.qps,
+            r.queries,
+            r.ingest_batches,
+            r.p99_query_us,
+            r.p999_query_us,
+            r.epochs_monotone,
+            r.server.last_epoch,
+            if i + 1 < phases.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!("  \"scaling_many_over_one\": {scaling:.3}\n"));
+    s.push_str("}\n");
+    s
+}

@@ -1,0 +1,435 @@
+//! The wire protocol: length-prefixed binary frames over TCP.
+//!
+//! Every message — request or response — is one *frame*: a `u32` little
+//! endian byte length (body only, capped at [`MAX_FRAME`]) followed by
+//! the body. A request body starts with a one-byte opcode ([`Op`]); a
+//! response body starts with a one-byte status (0 = OK, 1 = error,
+//! followed by a length-prefixed UTF-8 message). All integers are
+//! little endian; coordinates are `f64` bit patterns.
+//!
+//! Request bodies:
+//!
+//! | op | name | body | OK payload |
+//! |----|------|------|------------|
+//! | 1 | `HELLO` | — | `u32` protocol version |
+//! | 2 | `INSERT` | `u32 n`, then `n × 2×f64` rows | `u64` epoch, `u32 n`, `n × u32` ids |
+//! | 3 | `DELETE` | `u32 n`, then `n × u32` ids | `u64` epoch |
+//! | 4 | `GROUP_BY` | `u32 n`, then `n × u32` ids | groups (below) |
+//! | 5 | `GROUP_ALL` | — | groups (below) |
+//! | 6 | `CHANGED_SINCE` | `u64` epoch | feed (below) |
+//! | 7 | `EPOCH` | — | `u64` epoch |
+//! | 8 | `SHUTDOWN` | — | — (server drains and exits) |
+//!
+//! *Groups*: `u64` epoch, `u32` group count, per group a `u32` length +
+//! that many `u32` ids, then `u32` noise length + noise ids.
+//!
+//! *Feed*: `u8` tag — `0` a delta (`u64 from`, `u64 to`, `u32` entry
+//! count, per entry `u32` id + before-state + after-state) or `1` a
+//! reset (`u64 oldest`, `u64 current`). A *state* is `u8` flags (bit 0
+//! alive, bit 1 core), `u32` label count, labels as `u64`s.
+//!
+//! Decoding is cursor-based and total: any truncation, trailing bytes,
+//! unknown opcode, or oversized count decodes to a [`ProtoError`] the
+//! server answers with an error frame — malformed bytes can never
+//! panic the serving threads.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol version answered to `HELLO`.
+pub const VERSION: u32 = 1;
+
+/// Hard cap on one frame's body, both directions. Requests are small;
+/// responses are bounded by `GROUP_ALL` over the dataset, and 16 MiB of
+/// `u32` ids covers ~4M points — beyond the serving scale this harness
+/// targets.
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// Request opcodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Op {
+    /// Version handshake.
+    Hello = 1,
+    /// Batched point insertion (2-d rows).
+    Insert = 2,
+    /// Batched deletion by id.
+    Delete = 3,
+    /// C-group-by over an id set.
+    GroupBy = 4,
+    /// The full clustering.
+    GroupAll = 5,
+    /// The change feed since an epoch.
+    ChangedSince = 6,
+    /// The current published epoch.
+    Epoch = 7,
+    /// Graceful server shutdown.
+    Shutdown = 8,
+}
+
+/// A decoded request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version handshake.
+    Hello,
+    /// Rows to insert, flattened `[x0, y0, x1, y1, ...]`.
+    Insert(Vec<[f64; 2]>),
+    /// Ids to delete.
+    Delete(Vec<u32>),
+    /// Ids to group.
+    GroupBy(Vec<u32>),
+    /// The full clustering.
+    GroupAll,
+    /// The change feed since this epoch.
+    ChangedSince(u64),
+    /// The current published epoch.
+    Epoch,
+    /// Graceful server shutdown.
+    Shutdown,
+}
+
+/// Why a frame failed to decode (or exceeded protocol limits).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The length prefix exceeds [`MAX_FRAME`].
+    FrameTooLarge(u64),
+    /// The body ended before the structure it promises.
+    Truncated,
+    /// The body has bytes after the structure it promises.
+    TrailingBytes(usize),
+    /// Unknown opcode or tag byte.
+    BadOpcode(u8),
+    /// A count field promises more elements than the body could hold.
+    BadCount(u64),
+    /// A coordinate decoded to NaN or infinity.
+    BadCoordinate,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds {MAX_FRAME}"),
+            Self::Truncated => write!(f, "frame body truncated"),
+            Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after request"),
+            Self::BadOpcode(op) => write!(f, "unknown opcode {op}"),
+            Self::BadCount(n) => write!(f, "count {n} exceeds the frame body"),
+            Self::BadCoordinate => write!(f, "non-finite coordinate"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A bounds-checked little-endian reader over one frame body.
+pub struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    /// Wraps a frame body.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtoError> {
+        if self.remaining() < n {
+            return Err(ProtoError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, ProtoError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ProtoError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ProtoError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `u32` element count and checks the body could actually
+    /// hold `count × elem_size` more bytes, so a hostile count cannot
+    /// trigger a huge allocation.
+    pub fn count(&mut self, elem_size: usize) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(elem_size) > self.remaining() {
+            return Err(ProtoError::BadCount(n as u64));
+        }
+        Ok(n)
+    }
+
+    /// Decoding must consume the whole body — trailing garbage is a
+    /// malformed frame, not an extension point.
+    pub fn finish(&self) -> Result<(), ProtoError> {
+        if self.remaining() != 0 {
+            return Err(ProtoError::TrailingBytes(self.remaining()));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one request frame body.
+pub fn decode_request(body: &[u8]) -> Result<Request, ProtoError> {
+    let mut c = Cursor::new(body);
+    let op = c.u8()?;
+    let req = match op {
+        1 => Request::Hello,
+        2 => {
+            let n = c.count(16)?;
+            let mut rows = Vec::with_capacity(n);
+            for _ in 0..n {
+                let row = [c.f64()?, c.f64()?];
+                if !row[0].is_finite() || !row[1].is_finite() {
+                    return Err(ProtoError::BadCoordinate);
+                }
+                rows.push(row);
+            }
+            Request::Insert(rows)
+        }
+        3 => Request::Delete(read_ids(&mut c)?),
+        4 => Request::GroupBy(read_ids(&mut c)?),
+        5 => Request::GroupAll,
+        6 => Request::ChangedSince(c.u64()?),
+        7 => Request::Epoch,
+        8 => Request::Shutdown,
+        other => return Err(ProtoError::BadOpcode(other)),
+    };
+    c.finish()?;
+    Ok(req)
+}
+
+fn read_ids(c: &mut Cursor<'_>) -> Result<Vec<u32>, ProtoError> {
+    let n = c.count(4)?;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        ids.push(c.u32()?);
+    }
+    Ok(ids)
+}
+
+/// Encodes one request frame body (the client half).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut b = Vec::new();
+    match req {
+        Request::Hello => b.push(Op::Hello as u8),
+        Request::Insert(rows) => {
+            b.push(Op::Insert as u8);
+            put_u32(&mut b, rows.len() as u32);
+            for row in rows {
+                put_u64(&mut b, row[0].to_bits());
+                put_u64(&mut b, row[1].to_bits());
+            }
+        }
+        Request::Delete(ids) => {
+            b.push(Op::Delete as u8);
+            put_ids(&mut b, ids);
+        }
+        Request::GroupBy(ids) => {
+            b.push(Op::GroupBy as u8);
+            put_ids(&mut b, ids);
+        }
+        Request::GroupAll => b.push(Op::GroupAll as u8),
+        Request::ChangedSince(e) => {
+            b.push(Op::ChangedSince as u8);
+            put_u64(&mut b, *e);
+        }
+        Request::Epoch => b.push(Op::Epoch as u8),
+        Request::Shutdown => b.push(Op::Shutdown as u8),
+    }
+    b
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(b: &mut Vec<u8>, v: u32) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(b: &mut Vec<u8>, v: u64) {
+    b.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` count followed by the ids.
+pub fn put_ids(b: &mut Vec<u8>, ids: &[u32]) {
+    put_u32(b, ids.len() as u32);
+    for &id in ids {
+        put_u32(b, id);
+    }
+}
+
+/// Writes one frame (length prefix + body) to a stream.
+pub fn write_frame(w: &mut impl Write, body: &[u8]) -> io::Result<()> {
+    debug_assert!(body.len() <= MAX_FRAME, "oversized outbound frame");
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Reads one frame body from a stream. `Ok(None)` is a clean EOF at a
+/// frame boundary (the peer hung up); an oversized length prefix is a
+/// protocol error surfaced as `InvalidData` — the connection is beyond
+/// recovery because the stream cannot be resynchronized.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    match r.read_exact(&mut len) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            ProtoError::FrameTooLarge(len as u64),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+/// Builds an OK response frame body: status byte + payload.
+pub fn ok_response(payload: &[u8]) -> Vec<u8> {
+    let mut b = Vec::with_capacity(1 + payload.len());
+    b.push(0);
+    b.extend_from_slice(payload);
+    b
+}
+
+/// Builds an error response frame body.
+pub fn err_response(msg: &str) -> Vec<u8> {
+    let mut b = Vec::with_capacity(5 + msg.len());
+    b.push(1);
+    put_u32(&mut b, msg.len() as u32);
+    b.extend_from_slice(msg.as_bytes());
+    b
+}
+
+/// Splits a response body into `Ok(payload)` / `Err(message)`.
+pub fn decode_response(body: &[u8]) -> Result<&[u8], String> {
+    let mut c = Cursor::new(body);
+    match c.u8() {
+        Ok(0) => Ok(&body[1..]),
+        Ok(1) => {
+            let msg = (|| {
+                let n = c.count(1)?;
+                let bytes = c.take(n)?;
+                Ok::<_, ProtoError>(String::from_utf8_lossy(bytes).into_owned())
+            })()
+            .unwrap_or_else(|_| "malformed error response".to_string());
+            Err(msg)
+        }
+        Ok(s) => Err(format!("unknown response status {s}")),
+        Err(_) => Err("empty response frame".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Hello,
+            Request::Insert(vec![[1.5, -2.25], [0.0, 1e9]]),
+            Request::Delete(vec![3, 1, 4]),
+            Request::GroupBy(vec![]),
+            Request::GroupBy(vec![7]),
+            Request::GroupAll,
+            Request::ChangedSince(u64::MAX),
+            Request::Epoch,
+            Request::Shutdown,
+        ];
+        for req in cases {
+            let body = encode_request(&req);
+            assert_eq!(decode_request(&body).as_ref(), Ok(&req), "{req:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_bodies_decode_to_errors_never_panic() {
+        assert_eq!(decode_request(&[]), Err(ProtoError::Truncated));
+        assert_eq!(decode_request(&[99]), Err(ProtoError::BadOpcode(99)));
+        assert_eq!(decode_request(&[0]), Err(ProtoError::BadOpcode(0)));
+        // INSERT promising two rows but carrying none.
+        let mut b = vec![Op::Insert as u8];
+        put_u32(&mut b, 2);
+        assert_eq!(decode_request(&b), Err(ProtoError::BadCount(2)));
+        // DELETE with a hostile count that would allocate gigabytes.
+        let mut b = vec![Op::Delete as u8];
+        put_u32(&mut b, u32::MAX);
+        assert_eq!(
+            decode_request(&b),
+            Err(ProtoError::BadCount(u32::MAX as u64))
+        );
+        // Trailing garbage after a valid EPOCH request.
+        assert_eq!(
+            decode_request(&[Op::Epoch as u8, 0]),
+            Err(ProtoError::TrailingBytes(1))
+        );
+        // NaN coordinates are rejected at the protocol boundary.
+        let mut b = vec![Op::Insert as u8];
+        put_u32(&mut b, 1);
+        put_u64(&mut b, f64::NAN.to_bits());
+        put_u64(&mut b, 0.0f64.to_bits());
+        assert_eq!(decode_request(&b), Err(ProtoError::BadCoordinate));
+    }
+
+    #[test]
+    fn frames_round_trip_and_reject_oversized_prefixes() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"abc").expect("vec write cannot fail");
+        write_frame(&mut wire, b"").expect("vec write cannot fail");
+        let mut r = &wire[..];
+        assert_eq!(
+            read_frame(&mut r).expect("valid frame"),
+            Some(b"abc".to_vec())
+        );
+        assert_eq!(read_frame(&mut r).expect("valid frame"), Some(Vec::new()));
+        assert_eq!(read_frame(&mut r).expect("clean eof"), None);
+        // A length prefix beyond MAX_FRAME fails without allocating.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        let err = read_frame(&mut &huge[..]).expect_err("oversized prefix");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // A truncated body (prefix promises more than the stream has).
+        let mut t = Vec::new();
+        t.extend_from_slice(&8u32.to_le_bytes());
+        t.extend_from_slice(b"abc");
+        assert!(read_frame(&mut &t[..]).is_err());
+    }
+
+    #[test]
+    fn responses_split_ok_and_error() {
+        assert_eq!(decode_response(&ok_response(b"xy")), Ok(&b"xy"[..]));
+        assert_eq!(
+            decode_response(&err_response("boom")),
+            Err("boom".to_string())
+        );
+        assert!(decode_response(&[7]).is_err());
+        assert!(decode_response(&[]).is_err());
+    }
+}

@@ -23,8 +23,8 @@
 
 use crate::builder::{BuildError, DbscanBuilder};
 use dydbscan_core::{
-    ClusterSnapshot, ClustererStats, Clustering, DynamicClusterer, GroupBy, ParamError, Params,
-    PointId, QueryError,
+    ClusterSnapshot, ClustererStats, Clustering, DynamicClusterer, EpochHandle, GroupBy,
+    ParamError, Params, PointId, QueryError,
 };
 use std::sync::Arc;
 
@@ -222,6 +222,20 @@ impl DynDbscan {
     /// epoch (see [`ClusterSnapshot`]).
     pub fn snapshot(&self) -> Arc<ClusterSnapshot> {
         dispatch!(&self.inner, c => c.snapshot())
+    }
+
+    /// A wait-free [`EpochHandle`] onto this engine's published
+    /// snapshots: clone it into query threads and they read the latest
+    /// epoch without ever touching the refresh mutex (see
+    /// [`DynamicClusterer::epoch_handle`]).
+    pub fn epoch_handle(&self) -> EpochHandle {
+        dispatch!(&self.inner, c => c.epoch_handle())
+    }
+
+    /// Turns the `changed_since` delta chain on or off (off by
+    /// default); see [`DynamicClusterer::set_track_deltas`].
+    pub fn set_track_deltas(&mut self, on: bool) {
+        dispatch!(&mut self.inner, c => c.set_track_deltas(on))
     }
 
     /// Answers a C-group-by query over `q`. Panics on deleted or unknown

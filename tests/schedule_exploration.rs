@@ -19,8 +19,8 @@
 //!   and deterministic (same seed ⇒ identical run).
 
 use dydbscan_core::sched::{
-    replay_pool_protocol, replay_snapshot_protocol, run_schedule, Actor, PoolScenario,
-    SnapScenario, Yielder,
+    replay_handle_protocol, replay_pool_protocol, replay_snapshot_protocol, run_schedule, Actor,
+    HandleScenario, PoolScenario, SnapScenario, Yielder,
 };
 use dydbscan_geom::SplitMix64;
 use std::collections::BTreeSet;
@@ -81,6 +81,34 @@ fn property_snapshot_refresh_under_readers_64_random_seeds() {
         assert_eq!(
             report.refreshes, report.final_epoch,
             "round {round}, seed {seed}: refresh count must equal the final epoch"
+        );
+    }
+}
+
+/// ISSUE 9 satellite (e): `EpochHandle` readers under a flushing writer.
+/// The replay internally asserts per-reader epoch monotonicity, that a
+/// loaded snapshot's checksum agrees with every other observation of
+/// the same epoch (a torn load could not agree), and that `changed_since`
+/// answers span-consistent feeds — here we sweep 64 derived seeds.
+#[test]
+fn property_epoch_handle_readers_64_random_seeds() {
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 0x4A17_D1E5);
+    for round in 0..64 {
+        let seed = rng.next_u64();
+        let sc = HandleScenario {
+            seed,
+            readers: 1 + (rng.next_below(3) as usize), // 1..=3
+            rounds: 3 + (rng.next_below(6) as usize),  // 3..=8
+            keys: 4 + (rng.next_below(8) as u32),      // 4..=11
+        };
+        let report = replay_handle_protocol(&sc);
+        assert!(
+            report.final_epoch >= 1,
+            "round {round}, seed {seed}: the writer must publish at least once"
+        );
+        assert!(
+            report.loads >= 1,
+            "round {round}, seed {seed}: readers must load through the handle"
         );
     }
 }
@@ -163,6 +191,36 @@ fn pinned_seed_snapshot_published_arcs_are_frozen() {
         keys: 6,
     });
     assert!(report.acquisitions >= report.refreshes);
+}
+
+/// Invariant: a handle reader never observes a decreasing epoch and
+/// never observes a torn snapshot (its checksum must agree with the
+/// shared epoch→checksum record), even while the writer is mid-flush.
+/// Asserted inside the replay; this pins one witness schedule.
+#[test]
+fn pinned_seed_handle_readers_never_see_torn_or_decreasing_epochs() {
+    let report = replay_handle_protocol(&HandleScenario {
+        seed: 0x4A17_0001,
+        readers: 3,
+        rounds: 8,
+        keys: 8,
+    });
+    assert!(report.final_epoch >= 8, "every writer round must publish");
+    assert!(report.loads > 0);
+}
+
+/// Invariant: `changed_since` through the handle answers either a delta
+/// starting exactly at the asked-for epoch or an honest reset whose
+/// window excludes it — never a gapped span (asserted in the replay).
+#[test]
+fn pinned_seed_handle_change_feed_spans_are_gapless() {
+    let report = replay_handle_protocol(&HandleScenario {
+        seed: 0x4A17_0002,
+        readers: 2,
+        rounds: 6,
+        keys: 11,
+    });
+    assert!(report.final_epoch >= 6);
 }
 
 // ---------------------------------------------------------------------
@@ -377,4 +435,34 @@ fn snapshot_protocol_explores_1000_distinct_interleavings() {
         keys: 6,
     };
     assert_eq!(replay_snapshot_protocol(&sc), replay_snapshot_protocol(&sc));
+}
+
+#[test]
+fn handle_protocol_explores_1000_distinct_interleavings() {
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 0x3000);
+    let mut hashes = BTreeSet::new();
+    for _ in 0..1000 {
+        let seed = rng.next_u64();
+        let report = replay_handle_protocol(&HandleScenario {
+            seed,
+            readers: 2,
+            rounds: 4,
+            keys: 6,
+        });
+        hashes.insert(report.schedule_hash);
+    }
+    assert!(
+        hashes.len() >= 950,
+        "1000 seeds explored only {} distinct handle schedules",
+        hashes.len()
+    );
+    let mut rng = SplitMix64::new(MASTER_SEED ^ 0x3000);
+    let seed = rng.next_u64();
+    let sc = HandleScenario {
+        seed,
+        readers: 2,
+        rounds: 4,
+        keys: 6,
+    };
+    assert_eq!(replay_handle_protocol(&sc), replay_handle_protocol(&sc));
 }
