@@ -20,6 +20,9 @@
 //!   serve                     loopback serving: qps under concurrent
 //!                             ingest at 1/4/16 clients, p99/p999 query
 //!                             latency (recorded, never perf-gated)
+//!   shard                     sharded multi-writer ingest: insert and
+//!                             churn batch throughput at S = 1/2/4
+//!                             shards (recorded, never perf-gated)
 //!   all                       everything above
 //! ```
 //!
@@ -103,12 +106,12 @@ fn main() {
 
     let known = [
         "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1", "verify",
-        "batch", "query", "kernel", "serve",
+        "batch", "query", "kernel", "serve", "shard",
     ];
     let selected: Vec<&str> = if command == "all" {
         vec![
             "verify", "table1", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-            "fig15", "batch", "query", "kernel", "serve",
+            "fig15", "batch", "query", "kernel", "serve", "shard",
         ]
     } else if known.contains(&command.as_str()) {
         vec![command.as_str()]
@@ -132,6 +135,7 @@ fn main() {
             "query" => report.add_figure("query", figures::query(&cfg, threads)),
             "kernel" => report.add_figure("kernel", figures::kernel(&cfg)),
             "serve" => report.add_figure("serve", figures::serve(&cfg)),
+            "shard" => report.add_figure("shard", figures::shard(&cfg, threads)),
             "verify" => {
                 let checks = figures::verify(&cfg);
                 checks_failed |= checks.iter().any(|(_, pass)| !pass);
@@ -187,7 +191,7 @@ fn parse<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
 
 fn usage_and_exit() -> ! {
     eprintln!(
-        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|batch|query|kernel|serve|all> \
+        "usage: repro <fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table1|verify|batch|query|kernel|serve|shard|all> \
          [--n N] [--seed S] [--budget-secs B] [--samples K] [--batch-size B] [--threads T] \
          [--out PATH]\n\
          --out defaults to BENCH_scratch.json; pass --out BENCH_repro.json explicitly to \

@@ -683,6 +683,138 @@ pub fn kernel(cfg: &ReproConfig) -> Vec<SeriesRecord> {
         .collect()
 }
 
+/// `repro -- shard`: sharded multi-writer ingest throughput (ISSUE 10) —
+/// batches of 1024 at S ∈ {1, 2, 4} shards, d = 2, `rho = 0`: pure
+/// inserts on the semi-exact engine and an insert+delete churn on the
+/// full-exact engine, each series recording batch-latency p99/p999
+/// bands. The clustering is bit-identical at every S (the differential
+/// suite asserts it); this figure records what the shards buy.
+///
+/// The series are recorded with `finished: false`: shard scaling is
+/// machine-dependent (a single-CPU container serializes the shard
+/// flushes), so `benchdiff` records these series but never perf-gates
+/// them — the CI `test-threads` 4-vCPU artifacts are the acceptance
+/// reference for the S=4 vs S=1 ratio.
+pub fn shard(cfg: &ReproConfig, threads: usize) -> Vec<SeriesRecord> {
+    use crate::metrics::MetricsBuilder;
+    use dydbscan::geom::SplitMix64;
+    use dydbscan::{DynamicClusterer, FullDynDbscan, SemiDynDbscan, ShardedDbscan};
+    use std::time::Instant;
+
+    const BATCH: usize = 1024;
+    let threads = threads.max(1);
+    let n = cfg.n.max(4 * BATCH);
+    let params = Params::new(1.0, MIN_PTS); // rho = 0: exact semantics
+                                            // Uniform box. The axis-0 extent must span well past S·slab cells
+                                            // (slab = 16 cells of side 1/sqrt(2) at eps = 1) or the high shards
+                                            // would idle; the floor covers the smallest smoke runs.
+    let extent = ((n as f64).sqrt() / 2.0).max(64.0);
+    let gen_rows = |seed: u64, count: usize| -> Vec<Point<2>> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count)
+            .map(|_| [rng.next_f64() * extent, rng.next_f64() * extent])
+            .collect()
+    };
+    println!(
+        "\n== Sharded ingest (batch = {BATCH}, N = {n}, threads = {threads}, \
+         box = {extent:.0}x{extent:.0})"
+    );
+
+    let mut records = Vec::new();
+    let run = |label: String, mut step: Box<dyn FnMut(usize) -> Option<usize>>| -> SeriesRecord {
+        let batches = n / BATCH;
+        let mut mb = MetricsBuilder::new(label.clone(), batches, cfg.samples);
+        let started = Instant::now();
+        let mut finished = true;
+        let mut points = 0usize;
+        for b in 0..batches {
+            let t0 = Instant::now();
+            let Some(done) = step(b) else { break };
+            mb.record(true, t0.elapsed().as_nanos());
+            points += done;
+            if cfg.budget.is_some_and(|bud| started.elapsed() >= bud) {
+                finished = b + 1 == batches;
+                break;
+            }
+        }
+        let m = mb.finish(finished);
+        println!(
+            "  {label:<28} {:>10.0} pts/s   batch p99 {:>8.0}us   p999 {:>8.0}us",
+            points as f64 / (m.total_ns as f64 / 1e9).max(1e-9),
+            m.p99_update_us(),
+            m.p999_update_us(),
+        );
+        let mut r = SeriesRecord::from_metrics(&m);
+        // Machine-dependent scaling: record, never perf-gate.
+        r.finished = false;
+        r
+    };
+
+    for shards in [1usize, 2, 4] {
+        let mut c = ShardedDbscan::<2, SemiDynDbscan<2>>::new_with(params, shards, |p| {
+            SemiDynDbscan::new(*p).with_threads(1)
+        })
+        .with_threads(threads);
+        let seed = cfg.seed;
+        records.push(run(
+            format!("semi-exact/insert/S={shards}"),
+            Box::new(move |b| {
+                let rows = gen_rows(seed ^ (b as u64).wrapping_mul(0x9E37), BATCH);
+                Some(c.insert_batch(&rows).len())
+            }),
+        ));
+    }
+    for shards in [1usize, 2, 4] {
+        let mut c = ShardedDbscan::<2, FullDynDbscan<2>>::new_with(params, shards, |p| {
+            FullDynDbscan::new(*p).with_threads(1)
+        })
+        .with_threads(threads);
+        let seed = cfg.seed ^ 0xF0;
+        // Churn: insert a batch, delete the batch inserted two rounds
+        // earlier — the alive set plateaus while both update kinds stay
+        // hot. Both halves are timed inside the same batch op.
+        let mut pending: std::collections::VecDeque<Vec<PointId>> =
+            std::collections::VecDeque::new();
+        records.push(run(
+            format!("full-exact/churn/S={shards}"),
+            Box::new(move |b| {
+                let rows = gen_rows(seed ^ (b as u64).wrapping_mul(0x9E37), BATCH);
+                let ids = c.insert_batch(&rows);
+                let mut done = ids.len();
+                pending.push_back(ids);
+                if pending.len() > 2 {
+                    let dead = pending.pop_front().unwrap();
+                    done += dead.len();
+                    c.delete_batch(&dead);
+                }
+                Some(done)
+            }),
+        ));
+    }
+
+    let ratio = |prefix: &str| -> f64 {
+        let find = |s: &str| {
+            records
+                .iter()
+                .find(|r| r.series == s)
+                .map(|r| r.ops_per_sec())
+                .unwrap_or(0.0)
+        };
+        let one = find(&format!("{prefix}/S=1"));
+        if one <= 0.0 {
+            return 0.0;
+        }
+        find(&format!("{prefix}/S=4")) / one
+    };
+    println!(
+        "  scaling S=4 vs S=1: insert {:.2}x, churn {:.2}x (CI 4-vCPU artifacts are \
+         the acceptance reference)",
+        ratio("semi-exact/insert"),
+        ratio("full-exact/churn"),
+    );
+    records
+}
+
 /// Section 8 correctness gate: (1) at `rho = 0.001`, Double-Approx must
 /// return the same clusters as static ρ-approximate DBSCAN (the paper's
 /// stringent requirement); (2) at aggressive `rho`, the sandwich guarantee

@@ -20,8 +20,13 @@
 //! bounded by the number of insertions/deletions touching the instance.
 //!
 //! Invariant enforced throughout (as in the proof): **if the witness is
-//! empty, `L` is empty** — i.e. both pointers sit past every alive log
-//! entry.
+//! empty, no `eps`-close cross pair exists** among the two cells' current
+//! cores — established by a full sweep at creation or by exhausting `L`,
+//! and preserved because deletions never create pairs and insertions with
+//! an empty witness immediately re-run the de-listing loop. Consuming a
+//! log entry (advancing a pointer past it) is only sound when that entry
+//! was either verified pair-free by an emptiness query or is covered by
+//! the current witness.
 //!
 //! Coordinate lookups go through a caller-supplied closure (the point
 //! arena), keeping every operation `O~(1)` regardless of cell population.
@@ -122,14 +127,21 @@ pub fn create<const D: usize>(grid: &GridIndex<D>, a: CellId, b: CellId) -> Abcp
             break;
         }
     }
-    // Pointers start past the current logs: L is empty (every current
-    // point was covered by the initial search).
+    // Pointers start at the log *heads*: `L` holds every alive entry.
+    // The sweep above stops at the first witness, so the unswept tail of
+    // `from` and all of `to` are unverified — consuming them here (the
+    // old `end()` pointers) breaks the de-listing certificate: a later
+    // round that loses both witness halves at once would conclude "no
+    // pair" from an exhausted `L` while an unchecked pair survives.
+    // Points the sweep did verify may be re-checked once by a future
+    // de-listing round; positions only move forward, so the amortized
+    // query bound is unchanged.
     AbcpInstance {
         c1,
         c2,
         witness,
-        ptr1: grid.cell(c1).core_log.end(),
-        ptr2: grid.cell(c2).core_log.end(),
+        ptr1: 0,
+        ptr2: 0,
     }
 }
 
@@ -222,25 +234,48 @@ pub fn delete_cores<const D: usize>(
     removed: &[PointId],
     coords: &impl Fn(PointId) -> Point<D>,
 ) -> EdgeChange {
+    match inst.side_of(cell) {
+        Side::First => delete_cores_both(inst, grid, removed, &[], coords),
+        Side::Second => delete_cores_both(inst, grid, &[], removed, coords),
+    }
+}
+
+/// Two-sided [`delete_cores`]: one round covering a removal block on
+/// *each* side of the instance (`removed1` from `c1`, `removed2` from
+/// `c2`; either may be empty). The batch delete flush evicts every
+/// departing point from its core block before any instance round runs,
+/// so an instance whose both cells lost cores must learn about both
+/// blocks at once — re-anchoring on a witness half the other side just
+/// removed would resolve coordinates of an evicted point.
+pub fn delete_cores_both<const D: usize>(
+    inst: &mut AbcpInstance,
+    grid: &GridIndex<D>,
+    removed1: &[PointId],
+    removed2: &[PointId],
+    coords: &impl Fn(PointId) -> Point<D>,
+) -> EdgeChange {
     let (w1, w2) = match inst.witness {
-        None => return EdgeChange::None, // L empty by invariant; nothing to do
+        // No witness means no cross pair exists (module invariant), and
+        // deletions cannot create one.
+        None => return EdgeChange::None,
         Some(w) => w,
     };
-    let side = inst.side_of(cell);
-    let (departed, survivor) = match side {
-        Side::First => (w1, w2),
-        Side::Second => (w2, w1),
-    };
-    if !removed.contains(&departed) {
+    let gone1 = removed1.contains(&w1);
+    let gone2 = removed2.contains(&w2);
+    if !gone1 && !gone2 {
         return EdgeChange::None; // witness unaffected
     }
-    // Step 1: re-anchor on the surviving witness half.
-    if let Some((proof, _)) = grid.emptiness(&coords(survivor), cell) {
-        inst.witness = Some(match side {
-            Side::First => (proof, survivor),
-            Side::Second => (survivor, proof),
-        });
-        return EdgeChange::None;
+    // Step 1: re-anchor on a surviving witness half (if any survives).
+    if !gone1 && gone2 {
+        if let Some((proof, _)) = grid.emptiness(&coords(w1), inst.c2) {
+            inst.witness = Some((w1, proof));
+            return EdgeChange::None;
+        }
+    } else if gone1 && !gone2 {
+        if let Some((proof, _)) = grid.emptiness(&coords(w2), inst.c1) {
+            inst.witness = Some((proof, w2));
+            return EdgeChange::None;
+        }
     }
     // Step 2: de-list until a witness appears or L empties.
     inst.witness = None;

@@ -48,6 +48,10 @@ pub struct FlushStats {
     /// Per-cell / per-instance GUM rounds dispatched through phases
     /// that engaged more than one worker.
     pub gum_parallel_rounds: u64,
+    /// Whole-shard flush tasks dispatched through
+    /// [`FlushPipeline::run_shards`] runs that engaged more than one
+    /// worker.
+    pub shard_parallel_flushes: u64,
 }
 
 /// Which flush phase a parallel run belongs to, for counter provenance.
@@ -182,6 +186,21 @@ impl FlushPipeline {
                     self.stats.gum_parallel_rounds += tasks as u64;
                 }
             }
+        }
+        results
+    }
+
+    /// Runs one task per shard on the pool and returns the results in
+    /// task (= shard) order. Unlike [`run`](Self::run), this engages up
+    /// to `min(budget, tasks)` workers even for tiny task counts: each
+    /// task here is a whole shard flush — worth a core on its own — so
+    /// the per-cell amortization heuristic would wrongly serialize S=4
+    /// shards onto the coordinator.
+    pub fn run_shards<R: Send>(&mut self, tasks: usize, run: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        let (results, workers) = self.pool.get_mut().unwrap().run_wide(tasks, run);
+        if workers > 1 {
+            self.stats.parallel_workers += workers as u64;
+            self.stats.shard_parallel_flushes += tasks as u64;
         }
         results
     }

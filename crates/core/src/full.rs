@@ -88,6 +88,11 @@ pub struct FullDynDbscan<const D: usize, C: DynConnectivity = HdtConnectivity> {
     instance_ids: FxHashMap<(CellId, CellId), AbcpId>,
     /// Instances touching each cell.
     cell_instances: Vec<Vec<AbcpId>>,
+    /// When present, every grid-graph edge insert (`true`) / delete
+    /// (`false`) forwarded to the CC structure is also appended here.
+    /// Opt-in: the shard wrapper drains it after each flush to stitch
+    /// cross-shard components, without this engine knowing it is a shard.
+    edge_log: Option<Vec<(CellId, CellId, bool)>>,
     /// The batch flush pipeline: thread budget, persistent worker pool,
     /// shared flush counters.
     pipeline: crate::batch::FlushPipeline,
@@ -118,6 +123,7 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             free_instances: Vec::new(),
             instance_ids: FxHashMap::default(),
             cell_instances: Vec::new(),
+            edge_log: None,
             pipeline: crate::batch::FlushPipeline::new(),
             snap: SnapshotState::new(),
             stats: FullStats::default(),
@@ -137,6 +143,34 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
     /// The thread budget of the parallel batch flush.
     pub fn threads(&self) -> usize {
         self.pipeline.threads()
+    }
+
+    // ---- shard-wrapper hooks (crate-private) ---------------------------
+    // `ShardedDbscan` drives shard engines through these: grid/arena
+    // reads for the composed snapshot export, the snapshot mark log, and
+    // the grid-graph edge log. The engine itself stays shard-oblivious.
+
+    pub(crate) fn shard_grid(&self) -> &GridIndex<D> {
+        &self.grid
+    }
+
+    pub(crate) fn shard_points(&self) -> &PointArena {
+        &self.points
+    }
+
+    pub(crate) fn shard_snap_mut(&mut self) -> &mut SnapshotState {
+        &mut self.snap
+    }
+
+    pub(crate) fn set_edge_log(&mut self, on: bool) {
+        self.edge_log = on.then(Vec::new);
+    }
+
+    pub(crate) fn take_edge_log(&mut self) -> Vec<(CellId, CellId, bool)> {
+        match self.edge_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// The shared flush-pipeline counters (batching + parallelism).
@@ -503,6 +537,9 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
                 EdgeChange::Inserted => {
                     self.stats.edge_inserts += 1;
                     self.conn.insert_edge(c1, c2);
+                    if let Some(log) = self.edge_log.as_mut() {
+                        log.push((c1, c2, true));
+                    }
                 }
                 EdgeChange::Removed => unreachable!("insertion cannot remove a witness"),
                 EdgeChange::None => {}
@@ -717,14 +754,20 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
     }
 
     /// Unregisters a block of core points (departing or demoted) from
-    /// GUM cell-at-a-time: each cell's removals are applied to its core
-    /// block and log first, then every aBCP instance of the cell gets
-    /// **one** witness re-anchoring round ([`abcp::delete_cores`]) for
-    /// the whole block — the delete-side mirror of the insert flush,
-    /// which previously updated instances once per demoted point. Each
-    /// id's arena record must still hold its core-block location
-    /// (`cell`/`core_slot`/`log_pos`); the record may be alive (a
-    /// demoted survivor) or freshly killed (a departing batch point —
+    /// GUM: every removal is pulled out of its core block and log first
+    /// (phase A, cell-ascending), cells that left `V` drop their
+    /// instances (phase B), then each surviving touched aBCP instance
+    /// gets one witness re-anchoring round
+    /// ([`abcp::delete_cores_both`]) on the worker pool (phase C) — the
+    /// delete-side mirror of the insert flush. Because phase A finishes
+    /// before any round runs, every round sees the final core sets,
+    /// making rounds on distinct instances independent: instances are
+    /// *colored by cell pair* (one task per instance, covering both
+    /// sides' removal blocks) and the results are written back in task
+    /// order — bit-identical at every thread count. Each id's arena
+    /// record must still hold its core-block
+    /// location (`cell`/`core_slot`/`log_pos`); the record may be alive
+    /// (a demoted survivor) or freshly killed (a departing batch point —
     /// location fields survive the kill).
     fn flush_core_removals(&mut self, removals: &[PointId]) {
         if removals.is_empty() {
@@ -732,6 +775,10 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         }
         let cells_of: Vec<CellId> = removals.iter().map(|&q| self.points.get(q).cell).collect();
         let groups = crate::batch::group_by_cell(&cells_of);
+
+        // Phase A (sequential, cell-ascending): remove every departing
+        // point from its core block and log.
+        let mut removed_by_group: Vec<(CellId, Vec<PointId>)> = Vec::with_capacity(groups.len());
         for (cell, members) in &groups {
             // A shrunken core block changes emptiness answers for
             // every eps-close cell's non-core residents.
@@ -755,33 +802,81 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
                 }
                 self.grid.cell_mut(*cell).core_log.kill(log_pos);
             }
-            if !self.grid.cell(*cell).is_core_cell() {
-                self.destroy_cell_instances(*cell);
-            } else {
-                // One re-anchoring round per instance for the block.
-                // Coordinates are read from core blocks: points whose
-                // removal is still pending in a later group keep their
-                // core-block entry until their own round runs.
-                let points = &self.points;
-                let grid = &self.grid;
-                let coords = |pid: PointId| {
-                    let r = points.get(pid);
-                    *grid.cell(r.cell).core.point(r.core_slot)
-                };
-                for idx in 0..self.cell_instances[*cell as usize].len() {
-                    let iid = self.cell_instances[*cell as usize][idx];
-                    let inst = &mut self.instances[iid as usize];
-                    let change = abcp::delete_cores(inst, grid, *cell, &removed, &coords);
-                    let (c1, c2) = (inst.c1, inst.c2);
-                    match change {
-                        EdgeChange::Removed => {
-                            self.stats.edge_removes += 1;
-                            self.conn.delete_edge(c1, c2);
-                        }
-                        EdgeChange::Inserted => unreachable!("deletion cannot create a witness"),
-                        EdgeChange::None => {}
+            removed_by_group.push((*cell, removed));
+        }
+
+        // Phase B (sequential): cells that left V drop every instance.
+        for &(cell, _) in &removed_by_group {
+            if !self.grid.cell(cell).is_core_cell() {
+                self.destroy_cell_instances(cell);
+            }
+        }
+
+        // Phase C: color the surviving touched instances by cell pair —
+        // one task per instance, carrying the removal block of each of
+        // its touched sides. An instance whose both cells lost cores
+        // must learn about both blocks in one merged round
+        // ([`abcp::delete_cores_both`]): re-anchoring on a witness half
+        // the other side just evicted would resolve coordinates of a
+        // point that is no longer in any core block.
+        let mut tasks: Vec<(AbcpId, [Option<usize>; 2])> = Vec::new();
+        {
+            let mut task_of: FxHashMap<AbcpId, usize> = FxHashMap::default();
+            for (gi, &(cell, _)) in removed_by_group.iter().enumerate() {
+                if !self.grid.cell(cell).is_core_cell() {
+                    continue;
+                }
+                for &iid in &self.cell_instances[cell as usize] {
+                    let ti = *task_of.entry(iid).or_insert_with(|| {
+                        tasks.push((iid, [None, None]));
+                        tasks.len() - 1
+                    });
+                    let side = usize::from(self.instances[iid as usize].c2 == cell);
+                    tasks[ti].1[side] = Some(gi);
+                }
+            }
+        }
+        let outcomes = {
+            let (grid, points, instances) = (&self.grid, &self.points, &self.instances);
+            let (tasks, removed_by_group) = (&tasks, &removed_by_group);
+            self.pipeline
+                .run(crate::batch::FlushPhase::Gum, tasks.len(), |ti| {
+                    // Coordinates are read from core blocks: phase A
+                    // already evicted every removal, so the closure only
+                    // ever resolves survivors.
+                    let coords = |pid: PointId| {
+                        let r = points.get(pid);
+                        *grid.cell(r.cell).core.point(r.core_slot)
+                    };
+                    let (iid, sides) = tasks[ti];
+                    let removed_of = |s: Option<usize>| match s {
+                        Some(gi) => removed_by_group[gi].1.as_slice(),
+                        None => &[],
+                    };
+                    let mut inst = instances[iid as usize].clone();
+                    let change = abcp::delete_cores_both(
+                        &mut inst,
+                        grid,
+                        removed_of(sides[0]),
+                        removed_of(sides[1]),
+                        &coords,
+                    );
+                    (inst, change)
+                })
+        };
+        for (ti, (inst, change)) in outcomes.into_iter().enumerate() {
+            let (c1, c2) = (inst.c1, inst.c2);
+            self.instances[tasks[ti].0 as usize] = inst;
+            match change {
+                EdgeChange::Removed => {
+                    self.stats.edge_removes += 1;
+                    self.conn.delete_edge(c1, c2);
+                    if let Some(log) = self.edge_log.as_mut() {
+                        log.push((c1, c2, false));
                     }
                 }
+                EdgeChange::Inserted => unreachable!("deletion cannot create a witness"),
+                EdgeChange::None => {}
             }
         }
     }
@@ -853,6 +948,9 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
                 EdgeChange::Inserted => {
                     self.stats.edge_inserts += 1;
                     self.conn.insert_edge(c1, c2);
+                    if let Some(log) = self.edge_log.as_mut() {
+                        log.push((c1, c2, true));
+                    }
                 }
                 EdgeChange::Removed => unreachable!("insertion cannot remove a witness"),
                 EdgeChange::None => {}
@@ -902,6 +1000,9 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
                     EdgeChange::Removed => {
                         self.stats.edge_removes += 1;
                         self.conn.delete_edge(c1, c2);
+                        if let Some(log) = self.edge_log.as_mut() {
+                            log.push((c1, c2, false));
+                        }
                     }
                     EdgeChange::Inserted => unreachable!("deletion cannot create a witness"),
                     EdgeChange::None => {}
@@ -920,6 +1021,9 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
             if inst.has_edge() {
                 self.stats.edge_removes += 1;
                 self.conn.delete_edge(c1, c2);
+                if let Some(log) = self.edge_log.as_mut() {
+                    log.push((c1, c2, false));
+                }
             }
             let other = if c1 == cell { c2 } else { c1 };
             let olist = &mut self.cell_instances[other as usize];
@@ -973,6 +1077,9 @@ impl<const D: usize, C: DynConnectivity> FullDynDbscan<D, C> {
         if has_edge {
             self.stats.edge_inserts += 1;
             self.conn.insert_edge(key.0, key.1);
+            if let Some(log) = self.edge_log.as_mut() {
+                log.push((key.0, key.1, true));
+            }
         }
     }
 

@@ -74,6 +74,7 @@ pub mod params;
 pub mod points;
 pub mod query;
 pub mod semi;
+pub mod shard;
 pub mod snapshot;
 pub mod static_dbscan;
 pub mod usec;
@@ -88,6 +89,7 @@ pub use parallel::sched;
 pub use params::{validate_point, validate_points, ParamError, Params};
 pub use points::{PointArena, PointId, PointRec};
 pub use semi::{SemiDynDbscan, SemiStats};
+pub use shard::{ShardEngine, ShardTaps, ShardedDbscan};
 pub use snapshot::{
     ChangeFeed, ClusterSnapshot, DeltaEntry, EpochHandle, PointState, QueryError, SnapshotDelta,
 };

@@ -438,6 +438,29 @@ impl WorkerPool {
         run: impl Fn(usize) -> R + Sync,
     ) -> (Vec<R>, usize) {
         let crew = self.budget.min(tasks / MIN_TASKS_PER_WORKER);
+        self.run_with_crew(crew, tasks, run)
+    }
+
+    /// Like [`run`](Self::run), but engages up to `min(budget, tasks)`
+    /// workers even for tiny task counts. The shard flush uses this: S
+    /// shard-flush tasks are each worth a whole core, so the
+    /// `MIN_TASKS_PER_WORKER` amortization heuristic (tuned for
+    /// thousands of per-cell scans) would wrongly run them inline.
+    pub(crate) fn run_wide<R: Send>(
+        &mut self,
+        tasks: usize,
+        run: impl Fn(usize) -> R + Sync,
+    ) -> (Vec<R>, usize) {
+        let crew = self.budget.min(tasks);
+        self.run_with_crew(crew, tasks, run)
+    }
+
+    fn run_with_crew<R: Send>(
+        &mut self,
+        crew: usize,
+        tasks: usize,
+        run: impl Fn(usize) -> R + Sync,
+    ) -> (Vec<R>, usize) {
         if crew <= 1 {
             return ((0..tasks).map(run).collect(), 1);
         }

@@ -45,7 +45,8 @@
 
 use super::{checkout, claim, poison, try_pickup, Job, Pickup, Slots, State};
 use crate::snapshot::{Anchors, ChangeFeed, ClusterSnapshot, EpochHandle, SnapshotState};
-use dydbscan_geom::SplitMix64;
+use dydbscan_conn::{DynConnectivity, HdtConnectivity};
+use dydbscan_geom::{FxHashMap, SplitMix64};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicIsize, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -923,6 +924,288 @@ pub fn replay_handle_protocol(sc: &HandleScenario) -> HandleReport {
     }
 }
 
+// ---------------------------------------------------------------------
+// Shard-stitch protocol replay (ISSUE 10)
+// ---------------------------------------------------------------------
+
+/// One shard-stitch exploration: `shards` flush actors concurrently
+/// producing grid-graph edge events (their [`crate::shard::ShardTaps`]),
+/// a coordinator that barriers per flush round and applies the taps in
+/// ascending shard order through the real per-pair refcount and a real
+/// [`HdtConnectivity`] — the exact composition protocol of
+/// [`crate::shard::ShardedDbscan`].
+///
+/// The workload script is derived from `script_seed` and the
+/// interleaving from `seed`, independently: a sweep holds the script
+/// fixed and varies only the schedule, asserting the composed
+/// connectivity is a pure function of the script (bit-identical
+/// `label_trace` across seeds).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStitchScenario {
+    /// Schedule seed (one seed = one interleaving).
+    pub seed: u64,
+    /// Workload seed — fixed across a sweep so only the schedule varies.
+    pub script_seed: u64,
+    /// Concurrent shard flush actors.
+    pub shards: usize,
+    /// Flush rounds (each: concurrent tap production, one barrier, one
+    /// in-order application).
+    pub rounds: usize,
+    /// Edge events per round.
+    pub events_per_round: usize,
+    /// Stitch vertex universe (cell-coordinate stand-ins).
+    pub verts: u32,
+}
+
+/// What one shard-stitch replay observed (all invariants already
+/// asserted: refcounts stay within the observer multiplicity, deletes
+/// never underflow, and after every round the stitched components equal
+/// a serially-applied reference).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStitchReport {
+    /// Schedule fingerprint (determinism / coverage accounting).
+    pub schedule_hash: u64,
+    /// Scheduling decisions taken.
+    pub steps: u64,
+    /// Fingerprint of the canonical component labels after every round:
+    /// schedule-independent for a fixed `script_seed`.
+    pub label_trace: u64,
+    /// Stitch edge transitions actually forwarded to the CC structure.
+    pub stitch_ops: u64,
+}
+
+/// The stitch replay's shared world: a single lock at one level, so
+/// every actor region is one acquisition and the lock DAG is trivial.
+struct StitchWorld {
+    // LOCK: 50 — the replay's only lock; every region is one step.
+    st: Mutex<StitchState>,
+}
+
+/// Per-round tap slots shared between the shard actors and the
+/// coordinator.
+struct StitchState {
+    /// Round currently open for production.
+    round: usize,
+    /// Per-shard tap buffers of the open round.
+    taps: Vec<Vec<(u32, u32, bool)>>,
+    /// Per-shard "flush returned" flags of the open round.
+    done: Vec<bool>,
+}
+
+/// Canonical (first-occurrence dense renumbering) component labels, so
+/// two CC structures can be compared without agreeing on raw ids.
+fn canon_labels(labels: &[u64]) -> Vec<u32> {
+    let mut map: FxHashMap<u64, u32> = FxHashMap::default();
+    labels
+        .iter()
+        .map(|&l| {
+            let next = map.len() as u32;
+            *map.entry(l).or_insert(next)
+        })
+        .collect()
+}
+
+/// Replays the sharded-ingest stitch protocol (concurrent per-shard tap
+/// production, barrier, ascending-shard-order application through the
+/// per-pair refcount) under the interleaving picked by `sc.seed`.
+/// Panics (failing the calling test) on any violation: a refcount
+/// exceeding the pair's observer multiplicity, an unbalanced delete, or
+/// any round after which the stitched components differ from applying
+/// the global event script serially.
+pub fn replay_shard_stitch_protocol(sc: &ShardStitchScenario) -> ShardStitchReport {
+    assert!(sc.shards >= 1 && sc.verts >= 2, "degenerate scenario");
+    let s = sc.shards as u32;
+    // A vertex's owning shard (the axis-0 slab map stand-in): each edge
+    // event is observed by one shard (both endpoints owned) or two (a
+    // cross-slab pair) — exactly the wrapper's owned-endpoint filter.
+    let owner = |v: u32| (v % s) as usize;
+
+    // The global event script: alternating insert/delete transitions per
+    // pair, exactly what the engines' edge taps emit for the grid graph.
+    let mut rng = SplitMix64::new(sc.script_seed ^ 0xD1A7_0000_5EED_0010);
+    let mut present: std::collections::BTreeSet<(u32, u32)> = std::collections::BTreeSet::new();
+    let script: Vec<Vec<(u32, u32, bool)>> = (0..sc.rounds)
+        .map(|_| {
+            (0..sc.events_per_round)
+                .map(|_| {
+                    let (u, v) = loop {
+                        let u = rng.next_below(u64::from(sc.verts)) as u32;
+                        let v = rng.next_below(u64::from(sc.verts)) as u32;
+                        if u != v {
+                            break if u < v { (u, v) } else { (v, u) };
+                        }
+                    };
+                    let ins = present.insert((u, v));
+                    if !ins {
+                        present.remove(&(u, v));
+                    }
+                    (u, v, ins)
+                })
+                .collect()
+        })
+        .collect();
+
+    let world = StitchWorld {
+        st: Mutex::new(StitchState {
+            round: 0,
+            taps: vec![Vec::new(); sc.shards],
+            done: vec![false; sc.shards],
+        }),
+    };
+    let label_trace = AtomicUsize::new(0);
+    let stitch_ops = AtomicUsize::new(0);
+
+    let world_ref = &world;
+    let script_ref = &script;
+    let trace_ref = &label_trace;
+    let ops_ref = &stitch_ops;
+    let mut actors: Vec<Actor<'_>> = Vec::new();
+    // Coordinator: barrier on all shards' flush returns, apply taps in
+    // ascending shard order (the protocol's serialization point), check
+    // the stitched components against the serial reference, open the
+    // next round.
+    actors.push(Box::new(move |y: &Yielder<'_>| {
+        let mut stitch = HdtConnectivity::new();
+        let mut reference = HdtConnectivity::new();
+        for v in 0..sc.verts {
+            stitch.ensure_vertex(v);
+            reference.ensure_vertex(v);
+        }
+        let mut refs: FxHashMap<(u32, u32), u8> = FxHashMap::default();
+        let mut trace = mix(0, sc.script_seed);
+        let mut ops = 0u64;
+        for (r, round_script) in script_ref.iter().enumerate() {
+            let taken = loop {
+                {
+                    // LOCK: 50 — single-step region (see SnapWorld).
+                    let mut st = world_ref.st_lock();
+                    if st.done.iter().all(|&d| d) {
+                        let taken = std::mem::replace(&mut st.taps, vec![Vec::new(); sc.shards]);
+                        st.done.iter_mut().for_each(|d| *d = false);
+                        break taken;
+                    }
+                }
+                y.point();
+            };
+            for shard_taps in &taken {
+                for &(u, v, ins) in shard_taps {
+                    let cnt = refs.entry((u, v)).or_insert(0);
+                    // One or two shards observe a pair, and their event
+                    // streams are identical: the count never exceeds the
+                    // observer multiplicity.
+                    let observers = if owner(u) == owner(v) { 1 } else { 2 };
+                    if ins {
+                        *cnt += 1;
+                        assert!(
+                            *cnt <= observers,
+                            "seed {}: refcount {cnt} exceeds {observers} \
+                             observers of ({u},{v})",
+                            sc.seed
+                        );
+                        if *cnt == 1 {
+                            stitch.insert_edge(u, v);
+                            ops += 1;
+                        }
+                    } else {
+                        assert!(*cnt > 0, "seed {}: unbalanced stitch delete", sc.seed);
+                        *cnt -= 1;
+                        if *cnt == 0 {
+                            stitch.delete_edge(u, v);
+                            ops += 1;
+                        }
+                    }
+                }
+            }
+            // Serial reference: the same round's events, global order,
+            // applied exactly once each.
+            for &(u, v, ins) in round_script {
+                if ins {
+                    reference.insert_edge(u, v);
+                } else {
+                    reference.delete_edge(u, v);
+                }
+            }
+            let got = canon_labels(&stitch.export_labels());
+            let want = canon_labels(&reference.export_labels());
+            assert_eq!(
+                got, want,
+                "seed {}: stitched components diverged from the serial \
+                 reference after round {r}",
+                sc.seed
+            );
+            for &l in &got {
+                trace = mix(trace, u64::from(l));
+            }
+            {
+                let mut st = world_ref.st_lock();
+                st.round = r + 1;
+            }
+            y.point();
+        }
+        // ORDERING: Relaxed — read after every actor joined.
+        trace_ref.store(trace as usize, Ordering::Relaxed);
+        // ORDERING: Relaxed — read after every actor joined.
+        ops_ref.store(ops as usize, Ordering::Relaxed);
+    }));
+    for t in 0..sc.shards {
+        actors.push(Box::new(move |y: &Yielder<'_>| {
+            for (r, round_script) in script_ref.iter().enumerate() {
+                // Wait for the coordinator to open round `r`.
+                loop {
+                    {
+                        let st = world_ref.st_lock();
+                        if st.round == r {
+                            break;
+                        }
+                    }
+                    y.point();
+                }
+                // Produce this shard's taps: the sub-sequence of the
+                // global script this shard observes, one scheduling step
+                // per event — the flush-task timing the pool gives them.
+                for &(u, v, ins) in round_script {
+                    if owner(u) != t && owner(v) != t {
+                        continue;
+                    }
+                    {
+                        let mut st = world_ref.st_lock();
+                        st.taps[t].push((u, v, ins));
+                    }
+                    y.point();
+                }
+                {
+                    let mut st = world_ref.st_lock();
+                    st.done[t] = true;
+                }
+                y.point();
+            }
+        }));
+    }
+
+    let outcome = run_schedule(sc.seed, actors);
+    outcome.assert_clean(sc.seed);
+
+    ShardStitchReport {
+        schedule_hash: outcome.schedule_hash,
+        steps: outcome.steps,
+        // ORDERING: Relaxed — all actors joined.
+        label_trace: label_trace.into_inner() as u64,
+        stitch_ops: stitch_ops.into_inner() as u64,
+    }
+}
+
+/// Tiny ergonomic shim so the replay reads like the other protocols.
+trait StLock {
+    fn st_lock(&self) -> std::sync::MutexGuard<'_, StitchState>;
+}
+
+impl StLock for StitchWorld {
+    fn st_lock(&self) -> std::sync::MutexGuard<'_, StitchState> {
+        // LOCK: 50 — the replay's only lock; every region is one step.
+        self.st.lock().unwrap()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1000,6 +1283,28 @@ mod tests {
             assert!(r.final_epoch >= 1, "the writer must publish at least once");
             assert!(r.loads >= 1, "readers must load through the handle");
         }
+    }
+
+    #[test]
+    fn shard_stitch_replay_is_schedule_independent() {
+        let mut traces = std::collections::BTreeSet::new();
+        for seed in 0..8u64 {
+            let r = replay_shard_stitch_protocol(&ShardStitchScenario {
+                seed,
+                script_seed: 2017,
+                shards: 3,
+                rounds: 3,
+                events_per_round: 12,
+                verts: 9,
+            });
+            assert!(r.stitch_ops >= 1, "the script must drive the stitch");
+            traces.insert(r.label_trace);
+        }
+        assert_eq!(
+            traces.len(),
+            1,
+            "stitched components must not depend on the schedule"
+        );
     }
 
     #[test]

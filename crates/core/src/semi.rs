@@ -75,6 +75,10 @@ pub struct SemiDynDbscan<const D: usize> {
     /// Materialized grid-graph edges (normalized cell pairs), to skip
     /// emptiness probes for already-connected cell pairs.
     edges: FxHashSet<(CellId, CellId)>,
+    /// When present, every fresh grid-graph edge is also appended here.
+    /// Opt-in: the shard wrapper drains it after each flush to stitch
+    /// cross-shard components, without this engine knowing it is a shard.
+    edge_log: Option<Vec<(CellId, CellId)>>,
     /// Scratch buffers reused across operations.
     promo_scratch: Vec<PointId>,
     cell_scratch: Vec<CellId>,
@@ -98,6 +102,7 @@ impl<const D: usize> SemiDynDbscan<D> {
             points: PointArena::new(),
             uf: UnionFind::new(),
             edges: FxHashSet::default(),
+            edge_log: None,
             promo_scratch: Vec::new(),
             cell_scratch: Vec::new(),
             pipeline: crate::batch::FlushPipeline::new(),
@@ -119,6 +124,34 @@ impl<const D: usize> SemiDynDbscan<D> {
     /// The thread budget of the parallel batch flush.
     pub fn threads(&self) -> usize {
         self.pipeline.threads()
+    }
+
+    // ---- shard-wrapper hooks (crate-private) ---------------------------
+    // `ShardedDbscan` drives shard engines through these: grid/arena
+    // reads for the composed snapshot export, the snapshot mark log, and
+    // the grid-graph edge log. The engine itself stays shard-oblivious.
+
+    pub(crate) fn shard_grid(&self) -> &GridIndex<D> {
+        &self.grid
+    }
+
+    pub(crate) fn shard_points(&self) -> &PointArena {
+        &self.points
+    }
+
+    pub(crate) fn shard_snap_mut(&mut self) -> &mut SnapshotState {
+        &mut self.snap
+    }
+
+    pub(crate) fn set_edge_log(&mut self, on: bool) {
+        self.edge_log = on.then(Vec::new);
+    }
+
+    pub(crate) fn take_edge_log(&mut self) -> Vec<(CellId, CellId)> {
+        match self.edge_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Operation counters.
@@ -453,6 +486,9 @@ impl<const D: usize> SemiDynDbscan<D> {
                 if self.edges.insert(key) {
                     self.uf.ensure(key.0.max(key.1));
                     self.uf.union(key.0, key.1);
+                    if let Some(log) = self.edge_log.as_mut() {
+                        log.push(key);
+                    }
                 }
             }
         }
@@ -501,6 +537,9 @@ impl<const D: usize> SemiDynDbscan<D> {
                     self.edges.insert(key);
                     self.uf.ensure(cell.max(c));
                     self.uf.union(cell, c);
+                    if let Some(log) = self.edge_log.as_mut() {
+                        log.push(key);
+                    }
                 }
             }
         }

@@ -866,6 +866,12 @@ struct SnapInner {
     /// snapshot must be retained across the refresh, which forces
     /// `Arc::make_mut` onto its clone path.
     track_deltas: bool,
+    /// When present, every [`SnapshotState::mark`] also appends its key
+    /// here (duplicates included). Opt-in
+    /// ([`SnapshotState::set_mark_log`]): the shard wrapper drains it
+    /// after each shard flush to learn which cells the flush dirtied,
+    /// without the engines having to know they are sharded.
+    mark_log: Option<Vec<u32>>,
 }
 
 /// The engine-owned refresh state behind the `&self` read path: the
@@ -929,6 +935,7 @@ impl SnapshotState {
                 refreshing: false,
                 poisoned: false,
                 track_deltas: false,
+                mark_log: None,
             }),
             refreshed: Condvar::new(),
             counters: SnapCounters {
@@ -990,7 +997,29 @@ impl SnapshotState {
     /// which hold `&mut self` — `Mutex::get_mut` makes this lock-free.
     #[inline]
     pub fn mark(&mut self, key: u32) {
-        self.inner.get_mut().unwrap().dirty.insert(key);
+        let inner = self.inner.get_mut().unwrap();
+        inner.dirty.insert(key);
+        if let Some(log) = inner.mark_log.as_mut() {
+            log.push(key);
+        }
+    }
+
+    /// Turns the mark log on or off (see [`SnapInner::mark_log`]).
+    /// Turning it on starts an empty log; turning it off discards it.
+    pub fn set_mark_log(&mut self, on: bool) {
+        let inner = self.inner.get_mut().unwrap();
+        inner.mark_log = on.then(Vec::new);
+    }
+
+    /// Drains the mark log: every key passed to [`mark`](Self::mark)
+    /// since the last drain, in mark order, duplicates included (the
+    /// consumer dedups into its own dirty set). Empty when the log is
+    /// off.
+    pub fn take_mark_log(&mut self) -> Vec<u32> {
+        match self.inner.get_mut().unwrap().mark_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
     }
 
     /// Records a point death (its snapshot slot is cleared on refresh).

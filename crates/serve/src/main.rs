@@ -49,12 +49,14 @@ fn parse_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> 
 }
 
 fn cmd_serve(args: &[String]) {
+    let defaults = ServerConfig::default();
     let cfg = ServerConfig {
         addr: parse_flag(args, "--addr", "127.0.0.1:7017".to_string()),
         eps: parse_flag(args, "--eps", 1.0),
         min_pts: parse_flag(args, "--min-pts", 4),
         rho: parse_flag(args, "--rho", 0.001),
-        ..ServerConfig::default()
+        shards: parse_flag(args, "--shards", defaults.shards),
+        ..defaults
     };
     let server = Server::start(cfg).unwrap_or_else(|e| {
         eprintln!("dydbscan-serve: bind failed: {e}");

@@ -32,7 +32,7 @@ use crate::proto::{
 };
 use dydbscan_core::{
     ChangeFeed, DynamicClusterer, EpochHandle, FullDynDbscan, GroupBy, Params, PointState,
-    SnapshotDelta,
+    ShardedDbscan, SnapshotDelta,
 };
 use dydbscan_geom::FxHashSet;
 use std::io;
@@ -55,6 +55,12 @@ pub struct ServerConfig {
     pub rho: f64,
     /// Engine flush-thread budget (0 = engine default).
     pub threads: usize,
+    /// Shard the cell space `shards` ways for multi-writer ingest
+    /// (`0` or `1` = the plain single-engine setup): batches route by
+    /// owning shard and flush concurrently, clustering stays
+    /// bit-identical. The default reads `DYDBSCAN_SERVE_SHARDS` (the CI
+    /// smoke matrix sets it), falling back to `0`.
+    pub shards: usize,
     /// Maintain the `changed_since` delta chain (on by default; turning
     /// it off makes that query always answer a reset).
     pub track_deltas: bool,
@@ -68,6 +74,10 @@ impl Default for ServerConfig {
             min_pts: 4,
             rho: 0.001,
             threads: 0,
+            shards: std::env::var("DYDBSCAN_SERVE_SHARDS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0),
             track_deltas: true,
         }
     }
@@ -118,10 +128,24 @@ impl Server {
         let addr = listener.local_addr()?;
 
         let params = Params::new(cfg.eps, cfg.min_pts).with_rho(cfg.rho);
-        let mut engine = FullDynDbscan::<2>::new(params);
-        if cfg.threads > 0 {
-            engine = engine.with_threads(cfg.threads);
-        }
+        // The ingest loop only speaks the trait, so the engine shape —
+        // one fully-dynamic engine or a sharded front-end over several —
+        // is a boxed runtime choice.
+        let mut engine: Box<dyn DynamicClusterer<2> + Send> = if cfg.shards > 1 {
+            let mut c = ShardedDbscan::<2, FullDynDbscan<2>>::new_with(params, cfg.shards, |p| {
+                FullDynDbscan::new(*p).with_threads(1)
+            });
+            if cfg.threads > 0 {
+                c = c.with_threads(cfg.threads);
+            }
+            Box::new(c)
+        } else {
+            let mut c = FullDynDbscan::<2>::new(params);
+            if cfg.threads > 0 {
+                c = c.with_threads(cfg.threads);
+            }
+            Box::new(c)
+        };
         if cfg.track_deltas {
             engine.set_track_deltas(true);
         }
@@ -204,7 +228,10 @@ impl Server {
     }
 }
 
-fn ingest_loop(mut engine: FullDynDbscan<2>, rx: mpsc::Receiver<IngestCmd>) -> IngestReport {
+fn ingest_loop(
+    mut engine: Box<dyn DynamicClusterer<2> + Send>,
+    rx: mpsc::Receiver<IngestCmd>,
+) -> IngestReport {
     let mut alive: FxHashSet<u32> = FxHashSet::default();
     let mut report = IngestReport {
         batches: 0,

@@ -25,7 +25,9 @@
 use crate::facade::DynDbscan;
 use dydbscan_baseline::{GridRangeIndex, IncDbscan};
 use dydbscan_conn::NaiveConnectivity;
-use dydbscan_core::{DynamicClusterer, FullDynDbscan, ParamError, Params, SemiDynDbscan};
+use dydbscan_core::{
+    DynamicClusterer, FullDynDbscan, ParamError, Params, SemiDynDbscan, ShardedDbscan,
+};
 use std::fmt;
 
 /// The clustering engine to instantiate.
@@ -98,6 +100,9 @@ pub enum BuildError {
     /// The runtime dimension is outside the monomorphized range `2..=7`
     /// (see [`DynDbscan`]).
     UnsupportedDimension(usize),
+    /// Sharded ingest does not apply to the algorithm (IncDBSCAN has no
+    /// cell space to partition).
+    UnsupportedShards(Algorithm, usize),
 }
 
 impl fmt::Display for BuildError {
@@ -121,6 +126,13 @@ impl fmt::Display for BuildError {
                 f,
                 "dimension {d} is outside the monomorphized range 2..=7 of DynDbscan"
             ),
+            BuildError::UnsupportedShards(a, s) => {
+                write!(
+                    f,
+                    "sharded ingest ({s} shards) does not apply to {}",
+                    a.name()
+                )
+            }
         }
     }
 }
@@ -146,6 +158,7 @@ pub struct DbscanBuilder {
     connectivity: ConnectivityBackend,
     index: IndexBackend,
     threads: Option<usize>,
+    shards: Option<usize>,
 }
 
 impl DbscanBuilder {
@@ -159,6 +172,7 @@ impl DbscanBuilder {
             connectivity: ConnectivityBackend::default(),
             index: IndexBackend::default(),
             threads: None,
+            shards: None,
         }
     }
 
@@ -178,6 +192,20 @@ impl DbscanBuilder {
     /// the grid engines for placement, per-cell scans and GUM rounds.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Shards the cell space `S` ways for multi-writer ingest (grid
+    /// algorithms only; `0` is treated as `1`): each shard owns a full
+    /// engine over an axis-0 slab of the cell space, batches are routed
+    /// by owning shard and flushed concurrently on the wrapper's worker
+    /// pool, and a stitch connectivity composes the shard-local
+    /// clusters into globally correct ids. The clustering is
+    /// bit-identical to the unsharded engine at every shard count —
+    /// shards only buy ingest throughput. Combine with
+    /// [`threads`](Self::threads) to size the wrapper's flush pool.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards.max(1));
         self
     }
 
@@ -247,6 +275,11 @@ impl DbscanBuilder {
         if self.index != IndexBackend::Auto && self.algorithm != Algorithm::IncDbscan {
             return Err(BuildError::UnsupportedIndex(self.algorithm, self.index));
         }
+        if let Some(s) = self.shards {
+            if self.algorithm == Algorithm::IncDbscan {
+                return Err(BuildError::UnsupportedShards(self.algorithm, s));
+            }
+        }
         Ok(())
     }
 
@@ -258,29 +291,74 @@ impl DbscanBuilder {
         // new backend variant fails to compile here until it is wired up,
         // rather than silently falling back to the default engine.
         Ok(match self.algorithm {
-            Algorithm::SemiDynamic => {
-                let mut c = SemiDynDbscan::<D>::new(params);
-                if let Some(t) = self.threads {
-                    c = c.with_threads(t);
+            Algorithm::SemiDynamic => match self.shards {
+                Some(s) => {
+                    // Per-shard engines flush single-threaded: the
+                    // wrapper's pool supplies the parallelism, one task
+                    // per busy shard, without nesting worker pools.
+                    let mut c = ShardedDbscan::<D, SemiDynDbscan<D>>::new_with(params, s, |p| {
+                        SemiDynDbscan::new(*p).with_threads(1)
+                    });
+                    if let Some(t) = self.threads {
+                        c = c.with_threads(t);
+                    }
+                    Box::new(c)
                 }
-                Box::new(c)
-            }
+                None => {
+                    let mut c = SemiDynDbscan::<D>::new(params);
+                    if let Some(t) = self.threads {
+                        c = c.with_threads(t);
+                    }
+                    Box::new(c)
+                }
+            },
             Algorithm::FullyDynamic => match self.connectivity {
-                ConnectivityBackend::Auto | ConnectivityBackend::Hdt => {
-                    let mut c = FullDynDbscan::<D>::new(params);
-                    if let Some(t) = self.threads {
-                        c = c.with_threads(t);
+                ConnectivityBackend::Auto | ConnectivityBackend::Hdt => match self.shards {
+                    Some(s) => {
+                        let mut c =
+                            ShardedDbscan::<D, FullDynDbscan<D>>::new_with(params, s, |p| {
+                                FullDynDbscan::new(*p).with_threads(1)
+                            });
+                        if let Some(t) = self.threads {
+                            c = c.with_threads(t);
+                        }
+                        Box::new(c)
                     }
-                    Box::new(c)
-                }
-                ConnectivityBackend::Naive => {
-                    let mut c =
-                        FullDynDbscan::<D, _>::with_connectivity(params, NaiveConnectivity::new());
-                    if let Some(t) = self.threads {
-                        c = c.with_threads(t);
+                    None => {
+                        let mut c = FullDynDbscan::<D>::new(params);
+                        if let Some(t) = self.threads {
+                            c = c.with_threads(t);
+                        }
+                        Box::new(c)
                     }
-                    Box::new(c)
-                }
+                },
+                ConnectivityBackend::Naive => match self.shards {
+                    Some(s) => {
+                        let mut c =
+                            ShardedDbscan::<D, FullDynDbscan<D, NaiveConnectivity>>::new_with(
+                                params,
+                                s,
+                                |p| {
+                                    FullDynDbscan::with_connectivity(*p, NaiveConnectivity::new())
+                                        .with_threads(1)
+                                },
+                            );
+                        if let Some(t) = self.threads {
+                            c = c.with_threads(t);
+                        }
+                        Box::new(c)
+                    }
+                    None => {
+                        let mut c = FullDynDbscan::<D, _>::with_connectivity(
+                            params,
+                            NaiveConnectivity::new(),
+                        );
+                        if let Some(t) = self.threads {
+                            c = c.with_threads(t);
+                        }
+                        Box::new(c)
+                    }
+                },
                 ConnectivityBackend::UnionFind => {
                     unreachable!("rejected by check_combination")
                 }
@@ -382,6 +460,33 @@ mod tests {
     }
 
     #[test]
+    fn builds_sharded_variants() {
+        for algo in [Algorithm::SemiDynamic, Algorithm::FullyDynamic] {
+            for shards in [0usize, 1, 4] {
+                let mut c = DbscanBuilder::new(1.0, 2)
+                    .algorithm(algo)
+                    .shards(shards)
+                    .threads(2)
+                    .build::<2>()
+                    .unwrap_or_else(|e| panic!("{} shards={shards}: {e}", algo.name()));
+                let ids = c.insert_batch(&[[0.0, 0.0], [0.5, 0.0], [90.0, 0.0]]);
+                let g = c.group_by(&ids);
+                assert!(g.same_cluster(ids[0], ids[1]));
+                assert!(g.is_noise(ids[2]));
+            }
+        }
+        // Sharded Naive connectivity (differential-oracle configuration).
+        let mut c = DbscanBuilder::new(1.0, 2)
+            .connectivity(ConnectivityBackend::Naive)
+            .shards(2)
+            .build::<2>()
+            .unwrap();
+        let id = c.insert([0.0, 0.0]);
+        c.delete(id);
+        assert!(c.is_empty());
+    }
+
+    #[test]
     fn rejects_invalid_configurations() {
         assert!(matches!(
             DbscanBuilder::new(0.0, 3).build::<2>(),
@@ -418,6 +523,13 @@ mod tests {
                 .index(IndexBackend::Grid)
                 .build::<2>(),
             Err(BuildError::UnsupportedIndex(..))
+        ));
+        assert!(matches!(
+            DbscanBuilder::new(1.0, 3)
+                .algorithm(Algorithm::IncDbscan)
+                .shards(4)
+                .build::<2>(),
+            Err(BuildError::UnsupportedShards(Algorithm::IncDbscan, 4))
         ));
         // errors display without panicking
         let e = DbscanBuilder::new(1.0, 0).check().unwrap_err();

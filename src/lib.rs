@@ -103,6 +103,6 @@ pub use dydbscan_baseline::{IncDbscan, IncStats};
 pub use dydbscan_core::{
     brute_force_exact, check_containment, check_sandwich, relabel, static_cluster, ClusterSnapshot,
     ClustererStats, Clustering, DynamicClusterer, FlushStats, FullDynDbscan, FullStats, GroupBy,
-    Op, ParamError, Params, PointId, QueryError, SemiDynDbscan, SemiStats,
+    Op, ParamError, Params, PointId, QueryError, SemiDynDbscan, SemiStats, ShardedDbscan,
 };
 pub use dydbscan_workload::{seed_spreader, Workload, WorkloadSpec};

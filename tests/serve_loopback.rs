@@ -19,7 +19,9 @@
 //!   length prefix) draw error responses or a closed connection, never
 //!   a server panic; the server keeps serving and shuts down cleanly.
 
-use dydbscan_core::{DynamicClusterer, FullDynDbscan, GroupBy, Params, PointId, SnapshotDelta};
+use dydbscan_core::{
+    DynamicClusterer, FullDynDbscan, GroupBy, Params, PointId, ShardedDbscan, SnapshotDelta,
+};
 use dydbscan_geom::SplitMix64;
 use dydbscan_serve::{Client, Server, ServerConfig, WireFeed};
 use std::collections::BTreeMap;
@@ -35,9 +37,21 @@ fn client_threads() -> usize {
         .unwrap_or(4)
 }
 
-/// A replica engine configured exactly like `ServerConfig::default()`.
-fn replica(cfg: &ServerConfig) -> FullDynDbscan<2> {
-    FullDynDbscan::<2>::new(Params::new(cfg.eps, cfg.min_pts).with_rho(cfg.rho))
+/// A replica engine configured exactly like `ServerConfig::default()` —
+/// including the shard count (`DYDBSCAN_SERVE_SHARDS`), so a sharded
+/// server is diffed against an equally-sharded replica and every wire
+/// answer, raw snapshot label included, must match bit for bit.
+fn replica(cfg: &ServerConfig) -> Box<dyn DynamicClusterer<2>> {
+    let params = Params::new(cfg.eps, cfg.min_pts).with_rho(cfg.rho);
+    if cfg.shards > 1 {
+        Box::new(ShardedDbscan::<2, FullDynDbscan<2>>::new_with(
+            params,
+            cfg.shards,
+            |p| FullDynDbscan::new(*p).with_threads(1),
+        ))
+    } else {
+        Box::new(FullDynDbscan::<2>::new(params))
+    }
 }
 
 /// Uniform rows in a box sized for real cluster structure at eps = 1.
